@@ -1,0 +1,272 @@
+(* fpgrind: command-line driver for the Herbgrind reproduction.
+
+     fpgrind analyze prog.mc --inputs 1.0,2.0 --precision 1000
+     fpgrind analyze bench:nmse-3-1 --iterations 16
+     fpgrind run prog.mc
+     fpgrind list-benchmarks
+     fpgrind improve "(FPCore (x) (- (sqrt (+ x 1)) (sqrt x)))" --lo 1e8 --hi 1e15
+*)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_program ~wrap_libm ~vectorize ~iterations path : Vex.Ir.prog * float array =
+  if Filename.check_suffix path ".fpcore" then begin
+    let core = Fpcore.Parse.parse_core (read_file path) in
+    let prog = Fpcore.Compile.compile ~wrap_libm ~n_inputs:iterations core in
+    (prog, [||])
+  end
+  else if String.length path > 6 && String.sub path 0 6 = "bench:" then begin
+    let name = String.sub path 6 (String.length path - 6) in
+    let bench = Fpcore.Suite.find name in
+    let core = Fpcore.Suite.core_of bench in
+    let prog =
+      Fpcore.Compile.compile ~wrap_libm ~n_inputs:iterations ~name core
+    in
+    let inputs = Fpcore.Suite.inputs_for bench ~n:iterations in
+    (prog, inputs)
+  end
+  else (Minic.compile_file ~wrap_libm ~vectorize path, [||])
+
+(* ---------- common options ---------- *)
+
+let path_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"PROGRAM"
+        ~doc:
+          "A MiniC source file (.mc), an FPCore file (.fpcore), or \
+           bench:NAME for a suite benchmark.")
+
+let inputs_arg =
+  Arg.(
+    value & opt (list float) []
+    & info [ "inputs" ] ~docv:"FLOATS"
+        ~doc:"Comma-separated values returned by the __arg builtin.")
+
+let iterations_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "iterations" ] ~docv:"N"
+        ~doc:"Input tuples to run for FPCore programs.")
+
+let precision_arg =
+  Arg.(
+    value & opt int Core.Config.default.Core.Config.precision
+    & info [ "precision" ] ~docv:"BITS" ~doc:"Shadow real precision in bits.")
+
+let threshold_arg =
+  Arg.(
+    value & opt float Core.Config.default.Core.Config.error_threshold
+    & info [ "threshold" ] ~docv:"BITS"
+        ~doc:"Bits of local error that taint an operation.")
+
+let depth_arg =
+  Arg.(
+    value & opt int Core.Config.default.Core.Config.equiv_depth
+    & info [ "equiv-depth" ] ~docv:"D"
+        ~doc:"Depth of exact value-equivalence tracking (paper default 5).")
+
+let vectorize_arg =
+  Arg.(
+    value & flag
+    & info [ "vectorize" ]
+        ~doc:"Auto-vectorize elementwise double loops to SSE operations.")
+
+let no_wrap_arg =
+  Arg.(
+    value & flag
+    & info [ "no-wrap-libm" ]
+        ~doc:
+          "Compile math calls to the MiniC math library instead of \
+           intercepted library calls (section 8.2 ablation).")
+
+let no_reals_arg =
+  Arg.(value & flag & info [ "no-reals" ] ~doc:"Disable the shadow real execution.")
+
+let no_exprs_arg =
+  Arg.(value & flag & info [ "no-expressions" ] ~doc:"Disable expression building.")
+
+let no_typeinfer_arg =
+  Arg.(
+    value & flag
+    & info [ "no-type-inference" ] ~doc:"Disable superblock type inference.")
+
+let classic_arg =
+  Arg.(
+    value & flag
+    & info [ "classic-antiunify" ]
+        ~doc:"Use classical most-specific generalization (no internal pruning).")
+
+let all_spots_arg =
+  Arg.(
+    value & flag
+    & info [ "all-spots" ] ~doc:"Report spots with no observed error too.")
+
+(* ---------- analyze ---------- *)
+
+let analyze_cmd =
+  let run path inputs iterations vectorize precision threshold depth no_wrap
+      no_reals no_exprs no_ti classic all_spots =
+    let cfg =
+      {
+        Core.Config.default with
+        Core.Config.precision;
+        error_threshold = threshold;
+        equiv_depth = depth;
+        enable_reals = not no_reals;
+        enable_expressions = not no_exprs;
+        type_inference = not no_ti;
+        classic_antiunify = classic;
+        report_all_spots = all_spots;
+      }
+    in
+    try
+      let prog, bench_inputs =
+        load_program ~wrap_libm:(not no_wrap) ~vectorize ~iterations path
+      in
+      let inputs = if inputs <> [] then Array.of_list inputs else bench_inputs in
+      let r = Core.Analysis.analyze ~cfg ~max_steps:1_000_000_000 ~inputs prog in
+      print_string (Core.Analysis.report_string r);
+      let st = r.Core.Analysis.raw.Core.Exec.r_stats in
+      Printf.printf
+        "\n--- statistics ---\n\
+         superblocks run:          %d\n\
+         statements run:           %d\n\
+         statements instrumented:  %d\n\
+         floating-point ops:       %d\n\
+         compensations detected:   %d\n"
+        st.Core.Exec.blocks_run st.Core.Exec.stmts_run
+        st.Core.Exec.stmts_instrumented st.Core.Exec.fp_ops
+        st.Core.Exec.compensations;
+      0
+    with
+    | Minic.Compile_error msg | Fpcore.Parse.Error msg | Sys_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+  in
+  let term =
+    Term.(
+      const run $ path_arg $ inputs_arg $ iterations_arg $ vectorize_arg
+      $ precision_arg $ threshold_arg $ depth_arg $ no_wrap_arg $ no_reals_arg
+      $ no_exprs_arg $ no_typeinfer_arg $ classic_arg $ all_spots_arg)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Run a program under the full Herbgrind analysis and print the report.")
+    term
+
+(* ---------- run (uninstrumented) ---------- *)
+
+let run_cmd =
+  let run path inputs iterations vectorize no_wrap =
+    try
+      let prog, bench_inputs =
+        load_program ~wrap_libm:(not no_wrap) ~vectorize ~iterations path
+      in
+      let inputs = if inputs <> [] then Array.of_list inputs else bench_inputs in
+      let st = Vex.Machine.run ~max_steps:1_000_000_000 ~inputs prog in
+      List.iter
+        (fun (o : Vex.Machine.output) ->
+          Printf.printf "%s\n" (Vex.Value.to_string o.Vex.Machine.value))
+        (Vex.Machine.outputs st);
+      0
+    with
+    | Minic.Compile_error msg | Fpcore.Parse.Error msg | Sys_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+  in
+  let term =
+    Term.(
+      const run $ path_arg $ inputs_arg $ iterations_arg $ vectorize_arg
+      $ no_wrap_arg)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run a program natively (no instrumentation) and print its outputs.")
+    term
+
+(* ---------- list-benchmarks ---------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (b : Fpcore.Suite.bench) ->
+        Printf.printf "%-24s %s\n" b.Fpcore.Suite.name
+          (match b.Fpcore.Suite.group with
+          | `Straight -> "straight-line"
+          | `Loop -> "looping"))
+      Fpcore.Suite.all;
+    0
+  in
+  Cmd.v
+    (Cmd.info "list-benchmarks" ~doc:"List the vendored FPBench suite.")
+    Term.(const run $ const ())
+
+(* ---------- improve ---------- *)
+
+let improve_cmd =
+  let expr_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FPCORE" ~doc:"An FPCore expression to improve.")
+  in
+  let lo_arg =
+    Arg.(value & opt float 1.0 & info [ "lo" ] ~doc:"Sample range low end.")
+  in
+  let hi_arg =
+    Arg.(value & opt float 1e9 & info [ "hi" ] ~doc:"Sample range high end.")
+  in
+  let run src lo hi =
+    try
+      let core = Fpcore.Parse.parse_core src in
+      let n = 12 in
+      let samples =
+        List.init n (fun i ->
+            let t = float_of_int i /. float_of_int (max 1 (n - 1)) in
+            let v =
+              if lo > 0.0 && hi > 0.0 then lo *. Float.pow (hi /. lo) t
+              else lo +. (t *. (hi -. lo))
+            in
+            List.map (fun x -> (x, v)) core.Fpcore.Ast.args)
+      in
+      let r = Rewrite.Improve.improve core.Fpcore.Ast.body samples in
+      Printf.printf "error before: %.2f bits\nerror after:  %.2f bits\n"
+        r.Rewrite.Improve.error_before r.Rewrite.Improve.error_after;
+      let rec render (e : Fpcore.Ast.expr) =
+        match e with
+        | Fpcore.Ast.Num f ->
+            if Float.is_integer f && Float.abs f < 1e15 then
+              Printf.sprintf "%.0f" f
+            else Printf.sprintf "%.17g" f
+        | Fpcore.Ast.Var x -> x
+        | Fpcore.Ast.Const c -> c
+        | Fpcore.Ast.Op (f, args) ->
+            Printf.sprintf "(%s %s)" f (String.concat " " (List.map render args))
+        | _ -> "<unsupported>"
+      in
+      Printf.printf "improved: (FPCore (%s) %s)\n"
+        (String.concat " " core.Fpcore.Ast.args)
+        (render r.Rewrite.Improve.improved);
+      0
+    with Fpcore.Parse.Error msg | Fpcore.Sexp.Parse_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  in
+  Cmd.v
+    (Cmd.info "improve"
+       ~doc:"Search for a more accurate equivalent of an FPCore expression.")
+    Term.(const run $ expr_arg $ lo_arg $ hi_arg)
+
+let () =
+  let doc = "find root causes of floating-point error (Herbgrind reproduction)" in
+  let info = Cmd.info "fpgrind" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ analyze_cmd; run_cmd; list_cmd; improve_cmd ]))

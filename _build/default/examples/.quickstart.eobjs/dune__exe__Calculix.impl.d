@@ -1,0 +1,1 @@
+examples/calculix.ml: Core List Printf Vex Workloads

@@ -1,0 +1,1 @@
+examples/calculix.mli:

@@ -1,0 +1,1 @@
+examples/fpbench_tour.ml: Array Core Float Fpcore List Printexc Printf Sys

@@ -1,0 +1,1 @@
+examples/fpbench_tour.mli:

@@ -1,0 +1,1 @@
+examples/mesh.ml: Core Float Int64 List Printf Unix Vex Workloads

@@ -1,0 +1,1 @@
+examples/plotter.ml: Core Float List Printf Rewrite Vex Workloads

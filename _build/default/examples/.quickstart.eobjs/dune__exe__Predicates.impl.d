@@ -1,0 +1,1 @@
+examples/predicates.ml: Core Hashtbl List Printf Vex Workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Core List Minic Printf Rewrite Vex

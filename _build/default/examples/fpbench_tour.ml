@@ -1,0 +1,53 @@
+(* A tour of the FPBench suite (paper section 8).
+
+   For each vendored benchmark: compile to VEX through MiniC, run under
+   the analysis on sampled inputs, and print a one-line summary -- the
+   maximum output error observed and whether the benchmark's own
+   expression was recovered as a root cause.
+
+     dune exec examples/fpbench_tour.exe            # quick subset
+     dune exec examples/fpbench_tour.exe -- --all   # whole suite
+*)
+
+let analyze_bench (b : Fpcore.Suite.bench) =
+  let core = Fpcore.Suite.core_of b in
+  let n = 8 in
+  let inputs = Fpcore.Suite.inputs_for ~seed:1 b ~n in
+  let prog = Fpcore.Compile.compile ~n_inputs:n core in
+  let cfg = { Core.Config.default with Core.Config.precision = 256 } in
+  Core.Analysis.analyze ~cfg ~max_steps:200_000_000 ~inputs prog
+
+let summarize (b : Fpcore.Suite.bench) =
+  match analyze_bench b with
+  | r ->
+      let spots = Core.Analysis.output_spots r in
+      let errmax =
+        List.fold_left
+          (fun m (s : Core.Exec.spot_info) -> Float.max m s.Core.Exec.s_err_max)
+          0.0 spots
+      in
+      let causes = List.length (Core.Analysis.erroneous_expressions r) in
+      Printf.printf "%-24s %13s  max output error %5.1f bits, %d root cause%s\n"
+        b.Fpcore.Suite.name
+        (match b.Fpcore.Suite.group with
+        | `Straight -> "straight-line"
+        | `Loop -> "looping")
+        errmax causes
+        (if causes = 1 then "" else "s")
+  | exception e ->
+      Printf.printf "%-24s FAILED: %s\n" b.Fpcore.Suite.name (Printexc.to_string e)
+
+let quick_subset =
+  [ "intro-example"; "nmse-3-1"; "nmse-p331"; "doppler1"; "verhulst";
+    "quadratic-p"; "expm1-naive"; "hypot-naive"; "logistic-map";
+    "step-counter"; "newton-sqrt"; "harmonic-sum" ]
+
+let () =
+  let all = Array.exists (( = ) "--all") Sys.argv in
+  let benches =
+    if all then Fpcore.Suite.all
+    else List.map Fpcore.Suite.find quick_subset
+  in
+  Printf.printf "analyzing %d FPBench benchmarks at 256-bit shadow precision\n\n"
+    (List.length benches);
+  List.iter summarize benches

@@ -1,0 +1,54 @@
+(* The complex plotter case study, end to end (paper section 3.1 / figure 1).
+
+   Renders the plot with the naive complex square root (speckled), runs the
+   analysis to find the root cause, improves the reported expression with
+   the rewriter, and renders the repaired plot. Writes plotter-naive.ppm
+   and plotter-fixed.ppm into the working directory.
+
+     dune exec examples/plotter.exe
+*)
+
+let () =
+  let width = 40 and height = 40 in
+
+  print_endline "rendering with the naive complex square root...";
+  let naive = Workloads.Plotter.render ~width ~height ~repaired:false () in
+  Workloads.Plotter.write_ppm naive "plotter-naive.ppm";
+
+  print_endline "rendering with the repaired complex square root...";
+  let fixed = Workloads.Plotter.render ~width ~height ~repaired:true () in
+  Workloads.Plotter.write_ppm fixed "plotter-fixed.ppm";
+
+  Printf.printf "images differ on %d of %d pixels (see plotter-*.ppm)\n\n"
+    (Workloads.Plotter.diff_count naive fixed)
+    (width * height);
+
+  print_endline "=== fpgrind report on the naive plotter (16x16 sample) ===";
+  let prog = Workloads.Plotter.compile ~width:16 ~height:16 ~repaired:false () in
+  let r =
+    Core.Analysis.analyze ~cfg:Core.Config.default ~max_steps:1_000_000_000 prog
+  in
+  print_string (Core.Analysis.report_string r);
+
+  (* the paper's fix: pass the reported expression, for example
+     "(- (sqrt (+ (sq x) (sq y))) x)", to an accuracy rewriter, which
+     produces the y^2 / (m + x) form for positive x *)
+  print_endline "\n=== improving the reported csqrt expression ===";
+  let candidates =
+    List.filter
+      (fun (_, _, (o : Core.Exec.op_info)) ->
+        o.Core.Exec.o_loc.Vex.Ir.func = "csqrt")
+      (Core.Analysis.erroneous_expressions r)
+  in
+  match candidates with
+  | (sym, fpcore, _) :: _ ->
+      Printf.printf "reported: %s\n" fpcore;
+      let samples =
+        List.init 10 (fun i ->
+            let x = 0.05 +. (0.02 *. float_of_int i) in
+            [| x; 1e-13 *. Float.exp (-20.0 *. x) |])
+      in
+      let res = Rewrite.Improve.improve_sym sym samples in
+      Printf.printf "error before: %.1f bits, after: %.1f bits\n"
+        res.Rewrite.Improve.error_before res.Rewrite.Improve.error_after
+  | [] -> print_endline "(no csqrt expression in this sample)"

@@ -1,0 +1,48 @@
+(* Quickstart: the whole pipeline on ten lines of client code.
+
+   A MiniC program computes (x + 1) - x for large x -- silently wrong in
+   doubles. We compile it to VEX, run it under the analysis, print the
+   Herbgrind-style report, and feed the recovered expression to the
+   accuracy improver.
+
+     dune exec examples/quickstart.exe
+*)
+
+let client_source =
+  {| int main() {
+       int i;
+       for (i = 0; i < 8; i = i + 1) {
+         double x = __arg(i);
+         double y = (x + 1.0) - x;   // should be 1.0
+         print(y);
+       }
+       return 0;
+     } |}
+
+let () =
+  print_endline "=== client program ===";
+  print_endline client_source;
+
+  (* compile MiniC -> VEX, like gcc producing the binary Valgrind sees *)
+  let prog = Minic.compile ~file:"quickstart.mc" client_source in
+  let inputs = Array.init 8 (fun i -> 1e16 +. (float_of_int i *. 3e15)) in
+
+  (* run natively first: the client output is silently wrong *)
+  let st = Vex.Machine.run ~inputs prog in
+  print_endline "=== native outputs (should all be 1) ===";
+  List.iter (Printf.printf "  %g\n") (Vex.Machine.output_floats st);
+
+  (* run under the analysis *)
+  let r = Core.Analysis.analyze ~cfg:Core.Config.default ~inputs prog in
+  print_endline "\n=== fpgrind report ===";
+  print_string (Core.Analysis.report_string r);
+
+  (* close the loop: improve the reported root cause *)
+  match Core.Analysis.erroneous_expressions r with
+  | (sym, fpcore, _) :: _ ->
+      Printf.printf "\n=== improving %s ===\n" fpcore;
+      let samples = List.map (fun v -> [| v |]) (Array.to_list inputs) in
+      let res = Rewrite.Improve.improve_sym sym samples in
+      Printf.printf "error before: %.1f bits, after: %.1f bits\n"
+        res.Rewrite.Improve.error_before res.Rewrite.Improve.error_after
+  | [] -> print_endline "no erroneous expressions found"

@@ -1,0 +1,1 @@
+lib/bignum/bigfloat.ml: Bigint Float Format Hashtbl Int64 Natural Stdlib String

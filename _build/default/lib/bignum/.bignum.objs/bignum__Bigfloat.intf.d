@@ -1,0 +1,1 @@
+lib/bignum/bigfloat.mli: Bigint Format Natural

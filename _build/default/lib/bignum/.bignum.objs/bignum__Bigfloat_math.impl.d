@@ -1,0 +1,1 @@
+lib/bignum/bigfloat_math.ml: Bigfloat Bigint Float Hashtbl Natural Stdlib

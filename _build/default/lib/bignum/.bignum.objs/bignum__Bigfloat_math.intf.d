@@ -1,0 +1,1 @@
+lib/bignum/bigfloat_math.mli: Bigfloat

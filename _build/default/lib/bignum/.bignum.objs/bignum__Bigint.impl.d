@@ -1,0 +1,1 @@
+lib/bignum/bigint.ml: Format Natural Stdlib String

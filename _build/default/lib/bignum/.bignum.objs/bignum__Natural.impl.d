@@ -1,0 +1,1 @@
+lib/bignum/natural.ml: Array Buffer Char Format List Printf Stdlib String

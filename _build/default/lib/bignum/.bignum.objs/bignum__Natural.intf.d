@@ -1,0 +1,1 @@
+lib/bignum/natural.mli: Format

@@ -1,0 +1,686 @@
+module N = Natural
+module B = Bigfloat
+
+let guard = 32
+
+(* ---------- cached constants ---------- *)
+
+(* atan(1/k) scaled by 2^wp, by the Gregory series in integer arithmetic:
+   sum_i (-1)^i / ((2i+1) k^(2i+1)). Error below one unit of the scaling. *)
+let atan_inv_scaled ~wp k =
+  let k2 = k * k in
+  if k2 >= 1 lsl 31 then invalid_arg "atan_inv_scaled: k too large";
+  let term = ref (fst (N.divmod_int (N.shift_left N.one wp) k)) in
+  let acc = ref N.zero in
+  let i = ref 0 in
+  let negate = ref false in
+  while not (N.is_zero !term) do
+    let t, _ = N.divmod_int !term (2 * !i + 1) in
+    acc := (if !negate then N.sub !acc t else N.add !acc t);
+    term := fst (N.divmod_int !term k2);
+    negate := not !negate;
+    incr i
+  done;
+  !acc
+
+let const_cache : (string * int, B.t) Hashtbl.t = Hashtbl.create 16
+
+let cached name prec compute =
+  (* Compute at the next power-of-two precision at least [prec] so repeated
+     nearby precisions share one entry. *)
+  let bucket =
+    let p = ref 64 in
+    while !p < prec do
+      p := !p * 2
+    done;
+    !p
+  in
+  let key = (name, bucket) in
+  let v =
+    match Hashtbl.find_opt const_cache key with
+    | Some v -> v
+    | None ->
+        let v = compute bucket in
+        Hashtbl.add const_cache key v;
+        v
+  in
+  B.round ~prec v
+
+(* Machin: pi = 16 atan(1/5) - 4 atan(1/239). *)
+let pi ~prec =
+  cached "pi" (prec + guard) (fun wp ->
+      let a = atan_inv_scaled ~wp:(wp + 8) 5 in
+      let b = atan_inv_scaled ~wp:(wp + 8) 239 in
+      let scaled = N.sub (N.mul_int a 16) (N.mul_int b 4) in
+      B.round ~prec:wp (B.make ~neg:false ~mant:scaled ~exp:(-(wp + 8))))
+
+(* ln 2 = sum_{i>=1} 1 / (i 2^i), in integer arithmetic scaled by 2^wp. *)
+let ln2 ~prec =
+  cached "ln2" (prec + guard) (fun wp ->
+      let wpx = wp + 16 in
+      let acc = ref N.zero in
+      for i = 1 to wpx do
+        let t, _ = N.divmod_int (N.shift_left N.one (wpx - i)) i in
+        acc := N.add !acc t
+      done;
+      B.round ~prec:wp (B.make ~neg:false ~mant:!acc ~exp:(-wpx)))
+
+(* ---------- series helpers ---------- *)
+
+(* magnitude: position of the leading bit (value in [2^(m-1), 2^m));
+   min_int for zero, max_int for specials *)
+let magnitude t =
+  match t with
+  | B.Fin f -> f.B.exp + N.bit_length f.B.mant
+  | B.Zero _ -> min_int
+  | B.Nan | B.Inf _ -> max_int
+
+(* exp(r) for |r| <= 0.4, Taylor at precision wp. *)
+let exp_series ~wp r =
+  let acc = ref B.one and term = ref B.one and i = ref 1 in
+  let continue = ref true in
+  while !continue do
+    term := B.div ~prec:wp (B.mul ~prec:wp !term r) (B.of_int !i);
+    if B.is_zero !term || magnitude !term < magnitude !acc - wp - 4 then
+      continue := false
+    else begin
+      acc := B.add ~prec:wp !acc !term;
+      incr i
+    end
+  done;
+  !acc
+
+let exp ~prec x =
+  match x with
+  | B.Nan -> B.Nan
+  | B.Inf false -> B.Inf false
+  | B.Inf true -> B.zero
+  | B.Zero _ -> B.one
+  | B.Fin _ ->
+      let wp = prec + guard in
+      if magnitude x < -(prec + 8) then
+        (* 1 + x already rounds correctly at this precision *)
+        B.add ~prec B.one x
+      else begin
+        let xf = B.to_float x in
+        let kf = Float.round (xf /. 0.6931471805599453) in
+        if Float.abs kf > 1e9 then
+          (if kf > 0.0 then B.Inf false else B.zero)
+        else begin
+          let k = int_of_float kf in
+          let kbits = if k = 0 then 0 else 64 in
+          let l2 = ln2 ~prec:(wp + kbits) in
+          let r =
+            B.sub ~prec:(wp + kbits) x (B.mul ~prec:(wp + kbits) (B.of_int k) l2)
+          in
+          let s = exp_series ~wp r in
+          B.round ~prec (B.mul_2exp s k)
+        end
+      end
+
+(* 2 atanh(z) = 2 (z + z^3/3 + z^5/5 + ...) at precision wp. *)
+let atanh2_series ~wp z =
+  let z2 = B.mul ~prec:wp z z in
+  let acc = ref z and term = ref z and i = ref 1 in
+  let continue = ref true in
+  while !continue do
+    term := B.mul ~prec:wp !term z2;
+    let t = B.div ~prec:wp !term (B.of_int (2 * !i + 1)) in
+    if B.is_zero t || magnitude t < magnitude !acc - wp - 4 then
+      continue := false
+    else begin
+      acc := B.add ~prec:wp !acc t;
+      incr i
+    end
+  done;
+  B.mul_2exp !acc 1
+
+let log ~prec x =
+  match x with
+  | B.Nan -> B.Nan
+  | B.Inf false -> B.Inf false
+  | B.Inf true -> B.Nan
+  | B.Zero _ -> B.Inf true
+  | B.Fin f when f.B.neg -> B.Nan
+  | B.Fin _ ->
+      if B.equal x B.one then B.zero
+      else begin
+        let wp = prec + guard in
+        (* Near 1, avoid the e*ln2 split entirely (cancellation). *)
+        let near_one =
+          B.gt x (B.of_decimal_string ~prec:64 "0.70")
+          && B.lt x (B.of_decimal_string ~prec:64 "1.5")
+        in
+        if near_one then begin
+          (* When x = 1 + eps the leading term of 2 atanh((x-1)/(x+1)) has
+             magnitude eps, so ask for enough working precision. *)
+          let d = B.sub ~prec:wp x B.one in
+          let extra = max 0 (-magnitude d) + 8 in
+          let wp = wp + extra in
+          let z =
+            B.div ~prec:wp (B.sub ~prec:wp x B.one) (B.add ~prec:wp x B.one)
+          in
+          B.round ~prec (atanh2_series ~wp z)
+        end
+        else begin
+          let b = magnitude x in
+          (* m in [1, 2) *)
+          let m = B.mul_2exp x (1 - b) in
+          let z =
+            B.div ~prec:wp (B.sub ~prec:wp m B.one) (B.add ~prec:wp m B.one)
+          in
+          let lnm = atanh2_series ~wp z in
+          let l2 = ln2 ~prec:wp in
+          B.round ~prec
+            (B.add ~prec:wp (B.mul ~prec:wp (B.of_int (b - 1)) l2) lnm)
+        end
+      end
+
+let log1p ~prec x =
+  match x with
+  | B.Nan -> B.Nan
+  | B.Inf false -> B.Inf false
+  | B.Inf true -> B.Nan
+  | B.Zero _ -> x
+  | B.Fin _ ->
+      if B.le x B.minus_one then
+        if B.equal x B.minus_one then B.Inf true else B.Nan
+      else if magnitude x < -2 then begin
+        (* ln(1+x) = 2 atanh(x / (x+2)): no cancellation for small x *)
+        let wp = prec + guard in
+        let z = B.div ~prec:wp x (B.add ~prec:wp x B.two) in
+        B.round ~prec (atanh2_series ~wp z)
+      end
+      else begin
+        let wp = prec + guard in
+        log ~prec (B.add ~prec:wp B.one x)
+      end
+
+let expm1 ~prec x =
+  match x with
+  | B.Nan -> B.Nan
+  | B.Inf false -> B.Inf false
+  | B.Inf true -> B.minus_one
+  | B.Zero _ -> x
+  | B.Fin _ ->
+      if magnitude x < -1 then begin
+        (* Taylor sum_{i>=1} x^i / i!, no cancellation *)
+        let wp = prec + guard + max 0 (-magnitude x) in
+        let acc = ref x and term = ref x and i = ref 2 in
+        let continue = ref true in
+        while !continue do
+          term := B.div ~prec:wp (B.mul ~prec:wp !term x) (B.of_int !i);
+          if B.is_zero !term || magnitude !term < magnitude !acc - wp - 4 then
+            continue := false
+          else begin
+            acc := B.add ~prec:wp !acc !term;
+            incr i
+          end
+        done;
+        B.round ~prec !acc
+      end
+      else begin
+        let wp = prec + guard in
+        B.sub ~prec (exp ~prec:wp x) B.one
+      end
+
+let log2 ~prec x =
+  let wp = prec + guard in
+  let l = log ~prec:wp x in
+  match l with
+  | B.Nan | B.Inf _ -> l
+  | B.Zero _ | B.Fin _ -> B.div ~prec l (ln2 ~prec:wp)
+
+let log10 ~prec x =
+  let wp = prec + guard in
+  let l = log ~prec:wp x in
+  match l with
+  | B.Nan | B.Inf _ -> l
+  | _ -> B.div ~prec l (log ~prec:wp (B.of_int 10))
+
+let exp2 ~prec x =
+  match x with
+  | B.Fin _ when B.is_integer x -> begin
+      match B.to_bigint x with
+      | Some bi -> begin
+          match Bigint.to_int_opt bi with
+          | Some k when abs k < 1 lsl 30 -> B.mul_2exp B.one k
+          | _ -> if B.is_negative x then B.zero else B.Inf false
+        end
+      | None -> assert false
+    end
+  | _ ->
+      let wp = prec + guard in
+      exp ~prec (B.mul ~prec:wp x (ln2 ~prec:wp))
+
+(* sin(r) and cos(r) Taylor series for |r| <= pi/4 + small slack. *)
+let sin_series ~wp r =
+  let r2 = B.mul ~prec:wp r r in
+  let acc = ref r and term = ref r and k = ref 1 in
+  let continue = ref true in
+  while !continue do
+    term :=
+      B.neg
+        (B.div ~prec:wp
+           (B.mul ~prec:wp !term r2)
+           (B.of_int ((2 * !k) * ((2 * !k) + 1))));
+    if B.is_zero !term || magnitude !term < magnitude !acc - wp - 4 then
+      continue := false
+    else begin
+      acc := B.add ~prec:wp !acc !term;
+      incr k
+    end
+  done;
+  !acc
+
+let cos_series ~wp r =
+  let r2 = B.mul ~prec:wp r r in
+  let acc = ref B.one and term = ref B.one and k = ref 1 in
+  let continue = ref true in
+  while !continue do
+    term :=
+      B.neg
+        (B.div ~prec:wp
+           (B.mul ~prec:wp !term r2)
+           (B.of_int (((2 * !k) - 1) * (2 * !k))));
+    if B.is_zero !term || magnitude !term < magnitude !acc - wp - 4 then
+      continue := false
+    else begin
+      acc := B.add ~prec:wp !acc !term;
+      incr k
+    end
+  done;
+  !acc
+
+(* Reduce x modulo pi/2: returns (quadrant mod 4, remainder) with
+   |remainder| <= pi/4 (up to rounding), both at precision wp. Uses a Ziv
+   retry so the remainder keeps wp significant bits even near multiples of
+   pi/2. *)
+let trig_reduce ~wp x =
+  let xmag = max 0 (magnitude x) in
+  if xmag > 8192 then None
+  else begin
+    let rec attempt extra tries =
+      let p = wp + xmag + extra in
+      let halfpi = B.mul_2exp (pi ~prec:p) (-1) in
+      let q = B.round_to_int (B.div ~prec:p x halfpi) in
+      let r = B.sub ~prec:p x (B.mul ~prec:p q halfpi) in
+      if
+        tries < 3
+        && (not (B.is_zero r))
+        && magnitude r < magnitude x - xmag - extra + (2 * guard)
+        && not (B.is_zero q)
+      then attempt (extra + max 64 (2 * extra)) (tries + 1)
+      else begin
+        let qmod =
+          match B.to_bigint q with
+          | Some bi -> begin
+              let m =
+                Bigint.divmod bi (Bigint.of_int 4) |> snd |> Bigint.to_int_opt
+              in
+              match m with Some v -> ((v mod 4) + 4) mod 4 | None -> 0
+            end
+          | None -> 0
+        in
+        Some (qmod, r)
+      end
+    in
+    attempt guard 0
+  end
+
+let sin ~prec x =
+  match x with
+  | B.Nan | B.Inf _ -> B.Nan
+  | B.Zero _ -> x
+  | B.Fin _ -> begin
+      let wp = prec + guard in
+      match trig_reduce ~wp x with
+      | None -> B.of_float (Stdlib.sin (B.to_float x))
+      | Some (q, r) ->
+          let v =
+            match q with
+            | 0 -> sin_series ~wp r
+            | 1 -> cos_series ~wp r
+            | 2 -> B.neg (sin_series ~wp r)
+            | _ -> B.neg (cos_series ~wp r)
+          in
+          B.round ~prec v
+    end
+
+let cos ~prec x =
+  match x with
+  | B.Nan | B.Inf _ -> B.Nan
+  | B.Zero _ -> B.one
+  | B.Fin _ -> begin
+      let wp = prec + guard in
+      match trig_reduce ~wp x with
+      | None -> B.of_float (Stdlib.cos (B.to_float x))
+      | Some (q, r) ->
+          let v =
+            match q with
+            | 0 -> cos_series ~wp r
+            | 1 -> B.neg (sin_series ~wp r)
+            | 2 -> B.neg (cos_series ~wp r)
+            | _ -> sin_series ~wp r
+          in
+          B.round ~prec v
+    end
+
+let tan ~prec x =
+  match x with
+  | B.Nan | B.Inf _ -> B.Nan
+  | B.Zero _ -> x
+  | B.Fin _ -> begin
+      let wp = prec + guard in
+      match trig_reduce ~wp x with
+      | None -> B.of_float (Stdlib.tan (B.to_float x))
+      | Some (q, r) ->
+          let s = sin_series ~wp r and c = cos_series ~wp r in
+          let v =
+            if q = 0 || q = 2 then B.div ~prec:wp s c
+            else B.neg (B.div ~prec:wp c s)
+          in
+          B.round ~prec v
+    end
+
+(* atan for finite x via 8 angle-halving reductions then the Gregory
+   series. *)
+let atan ~prec x =
+  match x with
+  | B.Nan -> B.Nan
+  | B.Inf n ->
+      let h = B.mul_2exp (pi ~prec) (-1) in
+      if n then B.neg h else h
+  | B.Zero _ -> x
+  | B.Fin f ->
+      let wp = prec + guard in
+      let ax = B.abs x in
+      let big = B.gt ax B.one in
+      let y = if big then B.div ~prec:wp B.one ax else ax in
+      (* halve the angle 8 times: y <- y / (1 + sqrt(1+y^2)) *)
+      let reductions = if magnitude y < -8 then 0 else 8 in
+      let z = ref y in
+      for _ = 1 to reductions do
+        let s =
+          B.sqrt ~prec:wp (B.add ~prec:wp B.one (B.mul ~prec:wp !z !z))
+        in
+        z := B.div ~prec:wp !z (B.add ~prec:wp B.one s)
+      done;
+      (* Gregory series *)
+      let z2 = B.mul ~prec:wp !z !z in
+      let acc = ref !z and term = ref !z and i = ref 1 in
+      let continue = ref true in
+      while !continue do
+        term := B.neg (B.mul ~prec:wp !term z2);
+        let t = B.div ~prec:wp !term (B.of_int ((2 * !i) + 1)) in
+        if B.is_zero t || magnitude t < magnitude !acc - wp - 4 then
+          continue := false
+        else begin
+          acc := B.add ~prec:wp !acc t;
+          incr i
+        end
+      done;
+      let angle = B.mul_2exp !acc reductions in
+      let angle =
+        if big then
+          B.sub ~prec:wp (B.mul_2exp (pi ~prec:wp) (-1)) angle
+        else angle
+      in
+      B.round ~prec (if f.B.neg then B.neg angle else angle)
+
+let atan2 ~prec y x =
+  match (y, x) with
+  | B.Nan, _ | _, B.Nan -> B.Nan
+  | B.Zero ny, B.Zero nx ->
+      (* C99: atan2(+-0, +0) = +-0; atan2(+-0, -0) = +-pi *)
+      if nx then
+        let p = pi ~prec in
+        if ny then B.neg p else p
+      else B.Zero ny
+  | B.Zero ny, _ when not (B.is_negative x) -> B.Zero ny
+  | B.Zero ny, _ ->
+      let p = pi ~prec in
+      if ny then B.neg p else p
+  | _, B.Zero _ ->
+      let h = B.mul_2exp (pi ~prec) (-1) in
+      if B.is_negative y then B.neg h else h
+  | B.Inf ny, B.Inf nx ->
+      let wp = prec + guard in
+      let q = B.mul_2exp (pi ~prec:wp) (-2) in
+      let v = if nx then B.mul ~prec:wp (B.of_int 3) q else q in
+      B.round ~prec (if ny then B.neg v else v)
+  | B.Inf ny, _ ->
+      let h = B.mul_2exp (pi ~prec) (-1) in
+      if ny then B.neg h else h
+  | _, B.Inf nx ->
+      if nx then begin
+        let p = pi ~prec in
+        if B.is_negative y then B.neg p else p
+      end
+      else B.Zero (B.is_negative y)
+  | B.Fin _, B.Fin fx ->
+      let wp = prec + guard in
+      let base = atan ~prec:wp (B.div ~prec:wp y x) in
+      if not fx.B.neg then B.round ~prec base
+      else begin
+        let p = pi ~prec:wp in
+        let v =
+          if B.is_negative y then B.sub ~prec:wp base p
+          else B.add ~prec:wp base p
+        in
+        B.round ~prec v
+      end
+
+let asin ~prec x =
+  match x with
+  | B.Nan | B.Inf _ -> B.Nan
+  | B.Zero _ -> x
+  | B.Fin f ->
+      let ax = B.abs x in
+      if B.gt ax B.one then B.Nan
+      else if B.equal ax B.one then begin
+        let h = B.mul_2exp (pi ~prec) (-1) in
+        if f.B.neg then B.neg h else h
+      end
+      else begin
+        let wp = prec + guard in
+        let c =
+          B.sqrt ~prec:wp (B.sub ~prec:wp B.one (B.mul ~prec:wp x x))
+        in
+        atan2 ~prec x c
+      end
+
+let acos ~prec x =
+  match x with
+  | B.Nan | B.Inf _ -> B.Nan
+  | B.Zero _ -> B.mul_2exp (pi ~prec) (-1)
+  | B.Fin f ->
+      let ax = B.abs x in
+      if B.gt ax B.one then B.Nan
+      else if B.equal ax B.one then
+        if f.B.neg then pi ~prec else B.zero
+      else begin
+        let wp = prec + guard in
+        let s =
+          B.sqrt ~prec:wp (B.sub ~prec:wp B.one (B.mul ~prec:wp x x))
+        in
+        atan2 ~prec s x
+      end
+
+let sinh ~prec x =
+  match x with
+  | B.Nan | B.Inf _ | B.Zero _ -> x
+  | B.Fin f ->
+      if magnitude x < -1 then begin
+        (* Taylor: x + x^3/3! + ... avoids exp cancellation near zero *)
+        let wp = prec + guard in
+        let x2 = B.mul ~prec:wp x x in
+        let acc = ref x and term = ref x and k = ref 1 in
+        let continue = ref true in
+        while !continue do
+          term :=
+            B.div ~prec:wp
+              (B.mul ~prec:wp !term x2)
+              (B.of_int ((2 * !k) * ((2 * !k) + 1)));
+          if B.is_zero !term || magnitude !term < magnitude !acc - wp - 4 then
+            continue := false
+          else begin
+            acc := B.add ~prec:wp !acc !term;
+            incr k
+          end
+        done;
+        B.round ~prec !acc
+      end
+      else begin
+        let wp = prec + guard in
+        let e = exp ~prec:wp x and en = exp ~prec:wp (B.neg x) in
+        ignore f;
+        B.round ~prec (B.mul_2exp (B.sub ~prec:wp e en) (-1))
+      end
+
+let cosh ~prec x =
+  match x with
+  | B.Nan -> B.Nan
+  | B.Inf _ -> B.Inf false
+  | B.Zero _ -> B.one
+  | B.Fin _ ->
+      let wp = prec + guard in
+      let e = exp ~prec:wp x and en = exp ~prec:wp (B.neg x) in
+      B.round ~prec (B.mul_2exp (B.add ~prec:wp e en) (-1))
+
+let tanh ~prec x =
+  match x with
+  | B.Nan | B.Zero _ -> x
+  | B.Inf n -> if n then B.minus_one else B.one
+  | B.Fin _ ->
+      let wp = prec + guard in
+      B.round ~prec (B.div ~prec:wp (sinh ~prec:wp x) (cosh ~prec:wp x))
+
+(* x^k for an int k by repeated squaring, rounding each step at wp. *)
+let pow_int_bf ~wp x k =
+  let rec go acc b e =
+    if e = 0 then acc
+    else begin
+      let acc = if e land 1 = 1 then B.mul ~prec:wp acc b else acc in
+      go acc (B.mul ~prec:wp b b) (e lsr 1)
+    end
+  in
+  if k >= 0 then go B.one x k
+  else B.div ~prec:wp B.one (go B.one x (-k))
+
+let pow ~prec x y =
+  match (x, y) with
+  | _, B.Zero _ -> B.one (* pow(x, 0) = 1 even for nan per C99 *)
+  | _, _ when B.equal x B.one -> B.one (* pow(1, y) = 1 even for nan *)
+  | B.Nan, _ | _, B.Nan -> B.Nan
+  | _, B.Inf ny -> begin
+      let ax = B.abs x in
+      match B.cmp ax B.one with
+      | Some 0 -> B.one
+      | Some c ->
+          if (c > 0) = not ny then B.Inf false else B.zero
+      | None -> B.Nan
+    end
+  | B.Inf nx, _ ->
+      let y_odd_int =
+        B.is_integer y
+        && (match B.to_bigint y with
+           | Some bi -> (match Bigint.to_int_opt bi with
+               | Some i -> i land 1 = 1
+               | None -> false)
+           | None -> false)
+      in
+      if B.is_negative y then B.Zero (nx && y_odd_int)
+      else if nx && y_odd_int then B.Inf true
+      else B.Inf false
+  | B.Zero nz, _ ->
+      let y_odd_int =
+        B.is_integer y
+        && (match B.to_bigint y with
+           | Some bi -> (match Bigint.to_int_opt bi with
+               | Some i -> i land 1 = 1
+               | None -> false)
+           | None -> false)
+      in
+      if B.is_negative y then B.Inf (nz && y_odd_int)
+      else B.Zero (nz && y_odd_int)
+  | B.Fin fx, B.Fin _ ->
+      let wp = prec + guard in
+      let int_exp =
+        if B.is_integer y then
+          match B.to_bigint y with
+          | Some bi -> Bigint.to_int_opt bi
+          | None -> None
+        else None
+      in
+      begin
+        match int_exp with
+        | Some k when abs k <= 1 lsl 22 ->
+            B.round ~prec (pow_int_bf ~wp:(wp + 16) x k)
+        | _ ->
+            if fx.B.neg then B.Nan
+            else begin
+              (* relative error of exp(y ln x) scales with |y ln x| *)
+              let est = Float.abs (B.to_float y *. Stdlib.log (B.to_float x)) in
+              let extra =
+                if Float.is_nan est || est < 2.0 then 8
+                else min 1024 (8 + int_of_float (Float.log2 est))
+              in
+              let wp2 = wp + extra in
+              exp ~prec (B.mul ~prec:wp2 y (log ~prec:wp2 x))
+            end
+      end
+
+let cbrt ~prec x =
+  match x with
+  | B.Nan | B.Inf _ | B.Zero _ -> x
+  | B.Fin f ->
+      let wp = prec + guard in
+      let ax = B.abs x in
+      let r = exp ~prec:wp (B.div ~prec:wp (log ~prec:wp ax) (B.of_int 3)) in
+      (* one Newton step sharpens the exp/log route: r <- (2r + a/r^2)/3 *)
+      let r =
+        B.div ~prec:wp
+          (B.add ~prec:wp (B.mul ~prec:wp B.two r)
+             (B.div ~prec:wp ax (B.mul ~prec:wp r r)))
+          (B.of_int 3)
+      in
+      B.round ~prec (if f.B.neg then B.neg r else r)
+
+let hypot ~prec x y =
+  match (x, y) with
+  | B.Nan, _ | _, B.Nan ->
+      if B.is_inf x || B.is_inf y then B.Inf false else B.Nan
+  | B.Inf _, _ | _, B.Inf _ -> B.Inf false
+  | _ ->
+      let wp = prec + guard in
+      B.sqrt ~prec
+        (B.add ~prec:wp (B.mul ~prec:wp x x) (B.mul ~prec:wp y y))
+
+let fma ~prec x y z =
+  let p = B.mul ~prec:(max_int / 16) x y in
+  B.add ~prec p z
+
+let fmod x y =
+  match (x, y) with
+  | B.Nan, _ | _, B.Nan | B.Inf _, _ | _, B.Zero _ -> B.Nan
+  | B.Zero _, _ -> x
+  | B.Fin _, B.Inf _ -> x
+  | B.Fin fx, B.Fin fy ->
+      (* exact: align mantissas at a common exponent and take the integer
+         remainder *)
+      let e = min fx.B.exp fy.B.exp in
+      let xm = N.shift_left fx.B.mant (fx.B.exp - e) in
+      let ym = N.shift_left fy.B.mant (fy.B.exp - e) in
+      let _, r = N.divmod xm ym in
+      if N.is_zero r then B.Zero fx.B.neg
+      else B.make ~neg:fx.B.neg ~mant:r ~exp:e
+
+let copysign x s =
+  let n = B.is_negative s in
+  if B.is_negative x = n then x else B.neg x
+
+let fdim ~prec x y =
+  match (x, y) with
+  | B.Nan, _ | _, B.Nan -> B.Nan
+  | _ -> if B.gt x y then B.sub ~prec x y else B.zero

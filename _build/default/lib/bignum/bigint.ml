@@ -1,0 +1,68 @@
+type t = { neg : bool; mag : Natural.t }
+
+let make ~neg mag = { neg = neg && not (Natural.is_zero mag); mag }
+let zero = make ~neg:false Natural.zero
+let one = make ~neg:false Natural.one
+let minus_one = make ~neg:true Natural.one
+let of_natural mag = make ~neg:false mag
+
+let of_int n =
+  if n >= 0 then make ~neg:false (Natural.of_int n)
+  else if n = min_int then
+    (* -min_int overflows; build it as 2 * (min_int / -2) *)
+    make ~neg:true (Natural.shift_left (Natural.of_int (n / -2)) 1)
+  else make ~neg:true (Natural.of_int (-n))
+
+let to_int_opt a =
+  match Natural.to_int_opt a.mag with
+  | Some m -> Some (if a.neg then -m else m)
+  | None -> None
+
+let to_natural_opt a = if a.neg then None else Some a.mag
+let sign a = if Natural.is_zero a.mag then 0 else if a.neg then -1 else 1
+let magnitude a = a.mag
+let is_negative a = a.neg
+let neg a = make ~neg:(not a.neg) a.mag
+let abs a = make ~neg:false a.mag
+
+let add a b =
+  if a.neg = b.neg then make ~neg:a.neg (Natural.add a.mag b.mag)
+  else begin
+    let c = Natural.compare a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then make ~neg:a.neg (Natural.sub a.mag b.mag)
+    else make ~neg:b.neg (Natural.sub b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+let mul a b = make ~neg:(a.neg <> b.neg) (Natural.mul a.mag b.mag)
+
+let divmod a b =
+  let q, r = Natural.divmod a.mag b.mag in
+  (make ~neg:(a.neg <> b.neg) q, make ~neg:a.neg r)
+
+let fdiv a b =
+  let q, r = divmod a b in
+  if sign r <> 0 && (a.neg <> b.neg) then sub q one else q
+
+let equal a b = a.neg = b.neg && Natural.equal a.mag b.mag
+
+let compare a b =
+  match (sign a, sign b) with
+  | sa, sb when sa <> sb -> Stdlib.compare sa sb
+  | -1, _ -> Natural.compare b.mag a.mag
+  | _ -> Natural.compare a.mag b.mag
+
+let of_string s =
+  if String.length s > 0 && s.[0] = '-' then
+    make ~neg:true (Natural.of_string (String.sub s 1 (String.length s - 1)))
+  else Natural.of_string s |> of_natural
+
+let to_string a =
+  if a.neg then "-" ^ Natural.to_string a.mag else Natural.to_string a.mag
+
+let to_float a =
+  let f = Natural.to_float a.mag in
+  if a.neg then -.f else f
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)

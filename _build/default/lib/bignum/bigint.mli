@@ -1,0 +1,42 @@
+(** Arbitrary-precision signed integers built on {!Natural}.
+
+    Canonical form: zero carries a positive sign, so structural equality
+    coincides with numeric equality. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val of_int : int -> t
+val of_natural : Natural.t -> t
+val make : neg:bool -> Natural.t -> t
+
+val to_int_opt : t -> int option
+val to_natural_opt : t -> Natural.t option
+
+val sign : t -> int
+(** -1, 0 or 1. *)
+
+val magnitude : t -> Natural.t
+val is_negative : t -> bool
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** Euclidean division: remainder has the sign of the dividend, truncating
+    toward zero (matching C semantics used by the MiniC front-end). *)
+
+val fdiv : t -> t -> t
+(** Floor division (quotient rounded toward negative infinity). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val of_string : string -> t
+val to_string : t -> string
+val to_float : t -> float
+val pp : Format.formatter -> t -> unit

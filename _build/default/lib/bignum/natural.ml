@@ -1,0 +1,410 @@
+(* Base-2^31 little-endian limbs, no leading zeros. Products of two limbs
+   fit in OCaml's 63-bit native int, which keeps multiplication and Knuth
+   division free of overflow checks. *)
+
+type t = int array
+
+let base_bits = 31
+let base = 1 lsl base_bits
+let limb_mask = base - 1
+
+let zero : t = [||]
+let one : t = [| 1 |]
+let two : t = [| 2 |]
+
+let is_zero (a : t) = Array.length a = 0
+
+(* Strip leading (high-index) zero limbs to restore canonical form. *)
+let normalize (a : int array) : t =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_int n =
+  if n < 0 then invalid_arg "Natural.of_int: negative";
+  if n = 0 then zero
+  else if n < base then [| n |]
+  else
+    normalize
+      [|
+        n land limb_mask;
+        (n lsr base_bits) land limb_mask;
+        n lsr (2 * base_bits);
+      |]
+
+let to_int_opt (a : t) =
+  match Array.length a with
+  | 0 -> Some 0
+  | 1 -> Some a.(0)
+  | 2 -> Some (a.(0) lor (a.(1) lsl base_bits))
+  | 3 when a.(2) <= 1 ->
+      (* limb 2 contributes bit 62, the last usable bit of a 63-bit int *)
+      let hi = a.(2) lsl (2 * base_bits) in
+      if hi < 0 then None
+      else Some (a.(0) lor (a.(1) lsl base_bits) lor hi)
+  | _ -> None
+
+let equal (a : t) (b : t) = a = b
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+
+let add (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  let lr = max la lb + 1 in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let s =
+      (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry
+    in
+    r.(i) <- s land limb_mask;
+    carry := s lsr base_bits
+  done;
+  normalize r
+
+let sub (a : t) (b : t) : t =
+  if compare a b < 0 then invalid_arg "Natural.sub: underflow";
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  normalize r
+
+let mul_int (a : t) (k : int) : t =
+  if k < 0 then invalid_arg "Natural.mul_int: negative";
+  if k = 0 || is_zero a then zero
+  else if k < base then begin
+    let la = Array.length a in
+    let r = Array.make (la + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let p = (a.(i) * k) + !carry in
+      r.(i) <- p land limb_mask;
+      carry := p lsr base_bits
+    done;
+    r.(la) <- !carry;
+    normalize r
+  end
+  else invalid_arg "Natural.mul_int: factor too large"
+
+let mul_school (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        let carry = ref 0 in
+        for j = 0 to lb - 1 do
+          let p = (ai * b.(j)) + r.(i + j) + !carry in
+          r.(i + j) <- p land limb_mask;
+          carry := p lsr base_bits
+        done;
+        (* The final carry fits in one limb: ai*b(j) <= (B-1)^2 and the
+           running sum stays below B^2. *)
+        r.(i + lb) <- r.(i + lb) + !carry
+      end
+    done;
+    normalize r
+  end
+
+let karatsuba_threshold = 32
+
+let split_at (a : t) (k : int) : t * t =
+  let la = Array.length a in
+  if la <= k then (a, zero)
+  else (normalize (Array.sub a 0 k), Array.sub a k (la - k))
+
+let shift_limbs (a : t) (k : int) : t =
+  if is_zero a then zero
+  else begin
+    let la = Array.length a in
+    let r = Array.make (la + k) 0 in
+    Array.blit a 0 r k la;
+    r
+  end
+
+let rec mul (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else if la = 1 then mul_int b a.(0)
+  else if lb = 1 then mul_int a b.(0)
+  else if min la lb < karatsuba_threshold then mul_school a b
+  else begin
+    (* Karatsuba: split both operands at half the larger length. *)
+    let k = (max la lb + 1) / 2 in
+    let a0, a1 = split_at a k and b0, b1 = split_at b k in
+    let z0 = mul a0 b0 in
+    let z2 = mul a1 b1 in
+    let z1 = sub (mul (add a0 a1) (add b0 b1)) (add z0 z2) in
+    add (add z0 (shift_limbs z1 k)) (shift_limbs z2 (2 * k))
+  end
+
+let bit_length (a : t) =
+  let la = Array.length a in
+  if la = 0 then 0
+  else begin
+    let top = a.(la - 1) in
+    let bits = ref 0 in
+    let v = ref top in
+    while !v > 0 do
+      incr bits;
+      v := !v lsr 1
+    done;
+    ((la - 1) * base_bits) + !bits
+  end
+
+let testbit (a : t) (i : int) =
+  let limb = i / base_bits and off = i mod base_bits in
+  limb < Array.length a && (a.(limb) lsr off) land 1 = 1
+
+let is_even (a : t) = is_zero a || a.(0) land 1 = 0
+
+let shift_left (a : t) (n : int) : t =
+  if n < 0 then invalid_arg "Natural.shift_left: negative";
+  if n = 0 || is_zero a then a
+  else begin
+    let limbs = n / base_bits and bits = n mod base_bits in
+    let la = Array.length a in
+    let r = Array.make (la + limbs + 1) 0 in
+    if bits = 0 then Array.blit a 0 r limbs la
+    else begin
+      let carry = ref 0 in
+      for i = 0 to la - 1 do
+        let v = (a.(i) lsl bits) lor !carry in
+        r.(i + limbs) <- v land limb_mask;
+        carry := v lsr base_bits
+      done;
+      r.(la + limbs) <- !carry
+    end;
+    normalize r
+  end
+
+let shift_right (a : t) (n : int) : t =
+  if n < 0 then invalid_arg "Natural.shift_right: negative";
+  if n = 0 || is_zero a then a
+  else begin
+    let limbs = n / base_bits and bits = n mod base_bits in
+    let la = Array.length a in
+    if limbs >= la then zero
+    else begin
+      let lr = la - limbs in
+      let r = Array.make lr 0 in
+      if bits = 0 then Array.blit a limbs r 0 lr
+      else
+        for i = 0 to lr - 1 do
+          let lo = a.(i + limbs) lsr bits in
+          let hi =
+            if i + limbs + 1 < la then
+              (a.(i + limbs + 1) lsl (base_bits - bits)) land limb_mask
+            else 0
+          in
+          r.(i) <- lo lor hi
+        done;
+      normalize r
+    end
+  end
+
+let trailing_zeros (a : t) =
+  if is_zero a then invalid_arg "Natural.trailing_zeros: zero";
+  let i = ref 0 in
+  while a.(!i) = 0 do
+    incr i
+  done;
+  let v = ref a.(!i) and b = ref 0 in
+  while !v land 1 = 0 do
+    incr b;
+    v := !v lsr 1
+  done;
+  (!i * base_bits) + !b
+
+let divmod_int (a : t) (k : int) : t * int =
+  if k <= 0 then invalid_arg "Natural.divmod_int: non-positive divisor";
+  if k >= base then invalid_arg "Natural.divmod_int: divisor too large";
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let rem = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!rem lsl base_bits) lor a.(i) in
+    q.(i) <- cur / k;
+    rem := cur mod k
+  done;
+  (normalize q, !rem)
+
+(* Knuth algorithm D (TAOCP vol. 2, 4.3.1). Divisor normalized so its top
+   limb has the high bit set, which bounds the qhat correction loop. *)
+let divmod_knuth (a : t) (b : t) : t * t =
+  let n = Array.length b in
+  let shift = base_bits - (bit_length b - ((n - 1) * base_bits)) in
+  let u0 = shift_left a shift and v = shift_left b shift in
+  assert (Array.length v = n);
+  let m = Array.length u0 - n in
+  if m < 0 then (zero, a)
+  else begin
+    (* u gets one extra high limb for the running remainder window *)
+    let u = Array.make (Array.length u0 + 1) 0 in
+    Array.blit u0 0 u 0 (Array.length u0);
+    let q = Array.make (m + 1) 0 in
+    let vtop = v.(n - 1) in
+    let vsec = if n >= 2 then v.(n - 2) else 0 in
+    for j = m downto 0 do
+      let num = (u.(j + n) lsl base_bits) lor u.(j + n - 1) in
+      let qhat = ref (num / vtop) and rhat = ref (num mod vtop) in
+      if !qhat >= base then begin
+        qhat := base - 1;
+        rhat := num - ((base - 1) * vtop)
+      end;
+      (* n >= 2 always holds here: single-limb divisors use divmod_int. *)
+      while
+        !rhat < base && !qhat * vsec > (!rhat lsl base_bits) lor u.(j + n - 2)
+      do
+        decr qhat;
+        rhat := !rhat + vtop
+      done;
+      (* multiply-subtract u[j..j+n] -= qhat * v *)
+      let borrow = ref 0 and carry = ref 0 in
+      for i = 0 to n - 1 do
+        let p = (!qhat * v.(i)) + !carry in
+        carry := p lsr base_bits;
+        let d = u.(i + j) - (p land limb_mask) - !borrow in
+        if d < 0 then begin
+          u.(i + j) <- d + base;
+          borrow := 1
+        end
+        else begin
+          u.(i + j) <- d;
+          borrow := 0
+        end
+      done;
+      let d = u.(j + n) - !carry - !borrow in
+      if d < 0 then begin
+        (* qhat was one too large: add back one copy of v *)
+        u.(j + n) <- d + base;
+        decr qhat;
+        let c = ref 0 in
+        for i = 0 to n - 1 do
+          let s = u.(i + j) + v.(i) + !c in
+          u.(i + j) <- s land limb_mask;
+          c := s lsr base_bits
+        done;
+        u.(j + n) <- (u.(j + n) + !c) land limb_mask
+      end
+      else u.(j + n) <- d;
+      q.(j) <- !qhat
+    done;
+    let r = normalize (Array.sub u 0 n) in
+    (normalize q, shift_right r shift)
+  end
+
+let divmod (a : t) (b : t) : t * t =
+  if is_zero b then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else if Array.length b = 1 then begin
+    let q, r = divmod_int a b.(0) in
+    (q, of_int r)
+  end
+  else divmod_knuth a b
+
+let isqrt (a : t) : t =
+  if is_zero a then zero
+  else begin
+    let bl = bit_length a in
+    (* Initial overestimate: 2^ceil(bl/2); Newton from above converges
+       monotonically to floor(sqrt). *)
+    let x = ref (shift_left one ((bl + 1) / 2)) in
+    let continue = ref true in
+    while !continue do
+      let q, _ = divmod a !x in
+      let next = shift_right (add !x q) 1 in
+      if compare next !x < 0 then x := next else continue := false
+    done;
+    !x
+  end
+
+let pow_int (b : t) (e : int) : t =
+  if e < 0 then invalid_arg "Natural.pow_int: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else begin
+      let acc = if e land 1 = 1 then mul acc b else acc in
+      go acc (mul b b) (e lsr 1)
+    end
+  in
+  go one b e
+
+let of_string (s : string) : t =
+  if s = "" then invalid_arg "Natural.of_string: empty";
+  let acc = ref zero in
+  String.iter
+    (fun c ->
+      if c < '0' || c > '9' then invalid_arg "Natural.of_string: bad digit";
+      acc := add (mul_int !acc 10) (of_int (Char.code c - Char.code '0')))
+    s;
+  !acc
+
+let to_string (a : t) =
+  if is_zero a then "0"
+  else begin
+    let chunks = ref [] in
+    let cur = ref a in
+    while not (is_zero !cur) do
+      let q, r = divmod_int !cur 1_000_000_000 in
+      chunks := r :: !chunks;
+      cur := q
+    done;
+    match !chunks with
+    | [] -> "0"
+    | first :: rest ->
+        let buf = Buffer.create 32 in
+        Buffer.add_string buf (string_of_int first);
+        List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest;
+        Buffer.contents buf
+  end
+
+let to_float (a : t) =
+  let bl = bit_length a in
+  if bl = 0 then 0.0
+  else if bl <= 53 then begin
+    match to_int_opt a with
+    | Some i -> float_of_int i
+    | None -> assert false
+  end
+  else begin
+    (* Keep 54 bits plus a sticky bit, then round to nearest even. *)
+    let sh = bl - 54 in
+    let top = shift_right a sh in
+    let sticky = compare (shift_left top sh) a <> 0 in
+    let i =
+      match to_int_opt top with Some i -> i | None -> assert false
+    in
+    let round_bit = i land 1 = 1 in
+    let keep = i lsr 1 in
+    let rounded =
+      if round_bit && (sticky || keep land 1 = 1) then keep + 1 else keep
+    in
+    ldexp (float_of_int rounded) (sh + 1)
+  end
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)

@@ -1,0 +1,71 @@
+(** Arbitrary-precision natural numbers.
+
+    Values are immutable. The representation uses base-[2^31] limbs stored
+    little-endian in an [int array] with no leading zero limbs, so every
+    mathematical natural has exactly one representation. All operations are
+    exact. This module is the foundation of the {!Bigfloat} shadow
+    arithmetic that replaces MPFR in this reproduction. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+
+val of_int : int -> t
+(** [of_int n] converts a non-negative [int]. Raises [Invalid_argument] on
+    negative input. *)
+
+val to_int_opt : t -> int option
+(** [to_int_opt n] is [Some i] when [n] fits in a non-negative OCaml [int]. *)
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+(** [sub a b] requires [a >= b]; raises [Invalid_argument] otherwise. *)
+
+val mul : t -> t -> t
+val mul_int : t -> int -> t
+(** [mul_int a k] multiplies by a small non-negative int. *)
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(q, r)] with [a = q*b + r] and [0 <= r < b]. Raises
+    [Division_by_zero] when [b] is zero. *)
+
+val divmod_int : t -> int -> t * int
+(** [divmod_int a k] divides by a small positive int. *)
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+
+val bit_length : t -> int
+(** [bit_length n] is the position of the highest set bit plus one; 0 for
+    zero. *)
+
+val testbit : t -> int -> bool
+(** [testbit n i] is bit [i] (little-endian) of [n]. *)
+
+val is_even : t -> bool
+
+val trailing_zeros : t -> int
+(** Number of low zero bits; raises [Invalid_argument] on zero. *)
+
+val isqrt : t -> t
+(** [isqrt n] is the integer square root, the largest [s] with [s*s <= n]. *)
+
+val pow_int : t -> int -> t
+(** [pow_int b e] is [b] raised to the non-negative power [e]. *)
+
+val of_string : string -> t
+(** Parse a decimal string of digits. *)
+
+val to_string : t -> string
+(** Render in decimal. *)
+
+val to_float : t -> float
+(** Nearest [float] (round to nearest even); may be [infinity]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Antiunify Config Exec Hashtbl List Report Vex

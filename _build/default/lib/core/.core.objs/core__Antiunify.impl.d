@@ -1,0 +1,1 @@
+lib/core/antiunify.ml: Array Float Hashtbl List Option Printf String Trace

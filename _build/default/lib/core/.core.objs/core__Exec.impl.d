@@ -1,0 +1,1 @@
+lib/core/exec.ml: Antiunify Array Bignum Bytes Config Float Hashtbl Ieee Int64 List Printf Shadow Trace Vex

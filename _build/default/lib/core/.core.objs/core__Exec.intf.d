@@ -1,0 +1,1 @@
+lib/core/exec.mli: Antiunify Config Hashtbl Shadow Vex

@@ -1,0 +1,1 @@
+lib/core/report.ml: Antiunify Buffer Config Exec Hashtbl List Printf Shadow String Vex

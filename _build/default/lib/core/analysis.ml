@@ -1,0 +1,73 @@
+(* The public entry point of the Herbgrind reproduction: run a VEX program
+   under the full shadow analysis and produce a root-cause report. *)
+
+type result = {
+  raw : Exec.result;
+  report : Report.t;
+  cfg : Config.t;
+}
+
+let analyze ?(cfg = Config.default) ?mem_size ?max_steps ?inputs
+    (prog : Vex.Ir.prog) : result =
+  let raw = Exec.run ?mem_size ?max_steps ?inputs cfg prog in
+  let report = Report.build ~cfg raw in
+  { raw; report; cfg }
+
+let report_string (r : result) = Report.to_string r.report
+
+(* All symbolic expressions recovered for operations that produced local
+   error above the threshold, most erroneous first. Useful for tests and
+   for feeding the rewriter. *)
+let erroneous_expressions (r : result) :
+    (Antiunify.sym * string * Exec.op_info) list =
+  Hashtbl.fold
+    (fun _ (o : Exec.op_info) acc ->
+      if o.Exec.o_local_err_max > r.cfg.Config.error_threshold then begin
+        let expr =
+          Antiunify.finalize ~classic:r.cfg.Config.classic_antiunify
+            o.Exec.o_agg
+        in
+        (expr, Antiunify.to_fpcore expr, o) :: acc
+      end
+      else acc)
+    r.raw.Exec.r_ops []
+  |> List.sort (fun (_, _, a) (_, _, b) ->
+         compare b.Exec.o_local_err_max a.Exec.o_local_err_max)
+
+(* All recovered expressions regardless of error, for section 8.1-style
+   recovery checks. *)
+let all_expressions (r : result) : (Antiunify.sym * string * Exec.op_info) list
+    =
+  Hashtbl.fold
+    (fun _ (o : Exec.op_info) acc ->
+      let expr =
+        Antiunify.finalize ~classic:r.cfg.Config.classic_antiunify o.Exec.o_agg
+      in
+      (expr, Antiunify.to_fpcore expr, o) :: acc)
+    r.raw.Exec.r_ops []
+
+let output_floats (r : result) : float list =
+  List.filter_map
+    (fun (o : Vex.Machine.output) ->
+      match o.Vex.Machine.value with
+      | Vex.Value.VF64 f | Vex.Value.VF32 f -> Some f
+      | Vex.Value.VI64 _ | Vex.Value.VI32 _ | Vex.Value.VBool _
+      | Vex.Value.VV128 _ ->
+          None)
+    r.raw.Exec.r_outputs
+
+let branch_spots (r : result) : Exec.spot_info list =
+  Hashtbl.fold
+    (fun _ (s : Exec.spot_info) acc ->
+      match s.Exec.s_kind with
+      | Exec.Spot_branch -> s :: acc
+      | Exec.Spot_output | Exec.Spot_convert -> acc)
+    r.raw.Exec.r_spots []
+
+let output_spots (r : result) : Exec.spot_info list =
+  Hashtbl.fold
+    (fun _ (s : Exec.spot_info) acc ->
+      match s.Exec.s_kind with
+      | Exec.Spot_output -> s :: acc
+      | Exec.Spot_branch | Exec.Spot_convert -> acc)
+    r.raw.Exec.r_spots []

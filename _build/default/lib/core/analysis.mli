@@ -1,0 +1,45 @@
+(** The public entry point of the Herbgrind reproduction.
+
+    [analyze] runs a VEX program under the full shadow analysis — real
+    execution, influences, expression traces (paper section 4) — and
+    produces the root-cause report. All knobs live in {!Config.t}. *)
+
+type result = {
+  raw : Exec.result;  (** the op and spot tables, outputs, and run stats *)
+  report : Report.t;  (** the rendered root-cause report *)
+  cfg : Config.t;  (** the configuration the analysis ran with *)
+}
+
+val analyze :
+  ?cfg:Config.t ->
+  ?mem_size:int ->
+  ?max_steps:int ->
+  ?inputs:float array ->
+  Vex.Ir.prog ->
+  result
+(** Run [prog] under the analysis. [inputs] backs the [__arg] builtin
+    (program inputs with no floating-point provenance); [max_steps] bounds
+    the number of superblocks executed. *)
+
+val report_string : result -> string
+(** The report in the paper's format: one entry per erroneous spot, with
+    instance counts and the influencing FPCore expressions. *)
+
+val erroneous_expressions :
+  result -> (Antiunify.sym * string * Exec.op_info) list
+(** Symbolic expressions of all operations whose maximum local error
+    exceeded the threshold, most erroneous first, with their FPCore
+    rendering. These are the candidate root causes. *)
+
+val all_expressions : result -> (Antiunify.sym * string * Exec.op_info) list
+(** Every recovered expression regardless of error (for section 8.1-style
+    recovery checks). *)
+
+val output_floats : result -> float list
+(** The client program's floating-point outputs, in order. *)
+
+val branch_spots : result -> Exec.spot_info list
+(** All conditional-branch spots (total and incorrect instance counts). *)
+
+val output_spots : result -> Exec.spot_info list
+(** All program-output spots (error statistics and influences). *)

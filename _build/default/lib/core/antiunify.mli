@@ -1,0 +1,49 @@
+(** Incremental anti-unification of concrete traces into symbolic
+    expressions (paper sections 4.4 and 6.3/6.4).
+
+    Each operation (pc) owns an [agg]: the running generalization of every
+    concrete trace seen at that operation. Aggregation is associative, so
+    folding traces one at a time matches collecting them all (6.3) while
+    letting old traces become garbage.
+
+    Herbgrind's two changes to Plotkin's algorithm are implemented:
+    + a generalized position whose runtime value was identical in every
+      instance becomes a {e constant}, not a variable;
+    + positions (internal ones included) whose runtime values were equal
+      in every instance merge into one variable, guarded by the two
+      criteria of 4.4 (more than one member; no other class straddles the
+      boundary). [classic] restores most-specific generalization.
+
+    Value equality across instances is tracked exactly up to
+    [equiv_depth] by hashing per-instance exact values; deeper positions
+    keep only the constant check (6.4). *)
+
+type agg
+
+val create : equiv_depth:int -> agg
+
+val add : agg -> Trace.node -> unit
+(** Fold one concrete trace into the aggregation. *)
+
+val count : agg -> int
+(** Number of traces folded in so far. *)
+
+(** Symbolic expressions: variables, real constants, operations. *)
+type sym = Svar of int | Sconst of float | Sop of string * sym array
+
+val finalize : ?classic:bool -> agg -> sym
+(** The symbolic expression generalizing every added trace. *)
+
+val rename : sym -> sym * string list
+(** Canonical left-to-right variable numbering; returns the variable names
+    in order. *)
+
+val var_names : string array
+(** Display names for the first variables: x, y, z, a, ... *)
+
+val to_fpcore : sym -> string
+(** Render as an FPCore form, e.g. ["(FPCore (x) (- (+ x 1) x))"]. *)
+
+val sym_op_count : sym -> int
+val sym_vars : sym -> int list
+val sym_body_to_string : sym -> string

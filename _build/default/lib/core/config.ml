@@ -1,0 +1,37 @@
+(* Analysis configuration. Defaults follow the paper: 1000-bit shadow
+   precision, equivalence-class depth 5, and every subsystem enabled. The
+   per-component switches exist for the section 8.2 ablations. *)
+
+type t = {
+  precision : int;  (* shadow real precision in bits *)
+  error_threshold : float;  (* bits of local error that taint an op *)
+  equiv_depth : int;  (* exact value-equivalence tracking depth *)
+  max_trace_depth : int;  (* concrete trace nodes kept per value *)
+  enable_reals : bool;  (* higher-precision shadow execution *)
+  enable_influences : bool;  (* spots-and-influences system *)
+  enable_expressions : bool;  (* concrete/symbolic expression building *)
+  type_inference : bool;  (* superblock static type inference *)
+  classic_antiunify : bool;
+      (* most-specific generalization (no internal-node pruning), the
+         paper's section 4.4 completeness flag *)
+  detect_compensation : bool;  (* compensating-term detection *)
+  report_all_spots : bool;  (* include spots with no observed error *)
+}
+
+let default =
+  {
+    precision = 1000;
+    error_threshold = 5.0;
+    equiv_depth = 5;
+    max_trace_depth = 24;
+    enable_reals = true;
+    enable_influences = true;
+    enable_expressions = true;
+    type_inference = true;
+    classic_antiunify = false;
+    detect_compensation = true;
+    report_all_spots = false;
+  }
+
+(* a cheaper configuration for unit tests *)
+let fast = { default with precision = 128 }

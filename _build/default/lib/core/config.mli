@@ -1,0 +1,32 @@
+(** Analysis configuration.
+
+    Defaults follow the paper: 1000-bit shadow precision, local-error
+    threshold of 5 bits, value-equivalence depth 5, every subsystem
+    enabled. The component switches exist for the section 8.2 ablations
+    and figure 10 sweeps. *)
+
+type t = {
+  precision : int;  (** shadow real precision in bits (paper default 1000) *)
+  error_threshold : float;
+      (** bits of local error above which an operation taints its output *)
+  equiv_depth : int;
+      (** depth to which exact value-equivalence is tracked during
+          anti-unification (paper default 5, section 6.4) *)
+  max_trace_depth : int;
+      (** concrete trace depth kept per value before truncation (6.3) *)
+  enable_reals : bool;  (** the higher-precision shadow execution (4.2) *)
+  enable_influences : bool;  (** the spots-and-influences system (4.3) *)
+  enable_expressions : bool;  (** concrete/symbolic expression building (4.4) *)
+  type_inference : bool;  (** superblock static type inference (5.3) *)
+  classic_antiunify : bool;
+      (** classical most-specific generalization: no internal-node pruning
+          (the section 4.4 completeness flag) *)
+  detect_compensation : bool;  (** compensating-term detection (5.4) *)
+  report_all_spots : bool;  (** include error-free spots in the report *)
+}
+
+val default : t
+(** The paper's configuration. *)
+
+val fast : t
+(** [default] at 128-bit precision, for tests. *)

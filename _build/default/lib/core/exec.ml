@@ -1,0 +1,945 @@
+(* The instrumented VEX interpreter: the analogue of running the client
+   binary under Valgrind with the Herbgrind tool loaded. Client semantics
+   are shared with the fast interpreter through [Vex.Eval]; this module
+   adds the three shadow executions of paper section 4 (reals, influences,
+   expressions), the spot bookkeeping, libm wrapping, bit-trick
+   recognition, compensation detection, and the type-inference fast
+   paths. *)
+
+module B = Bignum.Bigfloat
+module IntSet = Shadow.IntSet
+
+type op_info = {
+  o_id : int;
+  o_loc : Vex.Ir.loc;
+  o_name : string;
+  o_agg : Antiunify.agg;
+  mutable o_count : int;
+  mutable o_local_err_sum : float;
+  mutable o_local_err_max : float;
+  mutable o_out_err_sum : float;
+  mutable o_out_err_max : float;
+}
+
+type spot_kind = Spot_output | Spot_branch | Spot_convert
+
+type spot_info = {
+  s_id : int;
+  s_loc : Vex.Ir.loc;
+  s_kind : spot_kind;
+  mutable s_total : int;
+  mutable s_incorrect : int;  (* for branches/conversions *)
+  mutable s_err_sum : float;  (* for outputs *)
+  mutable s_err_max : float;
+  mutable s_infl : IntSet.t;
+}
+
+type stats = {
+  mutable blocks_run : int;
+  mutable stmts_run : int;
+  mutable stmts_instrumented : int;
+  mutable fp_ops : int;
+  mutable compensations : int;
+}
+
+type state = {
+  prog : Vex.Ir.prog;
+  cfg : Config.t;
+  info : Vex.Typeinfer.t;
+  mem : Bytes.t;
+  thread : Bytes.t;
+  (* shadow storage: byte offset -> (slot, byte size) *)
+  mem_shadow : (int, Shadow.t * int) Hashtbl.t;
+  thread_shadow : (int, Shadow.t * int) Hashtbl.t;
+  ops : (int, op_info) Hashtbl.t;
+  spots : (int, spot_info) Hashtbl.t;
+  inputs : float array;  (* values returned by the __arg builtin *)
+  mutable outputs : Vex.Machine.output list;
+  stats : stats;
+  max_steps : int;
+}
+
+exception Client_error of string
+
+let create ?(mem_size = Vex.Machine.default_mem_size) ?(max_steps = max_int)
+    ?(inputs = [||]) (cfg : Config.t) prog =
+  let info =
+    if cfg.Config.type_inference then Vex.Typeinfer.infer prog
+    else Vex.Typeinfer.all_full prog
+  in
+  {
+    prog;
+    cfg;
+    info;
+    mem = Bytes.make mem_size '\000';
+    thread = Bytes.make Vex.Machine.default_thread_size '\000';
+    mem_shadow = Hashtbl.create 1024;
+    thread_shadow = Hashtbl.create 64;
+    ops = Hashtbl.create 256;
+    spots = Hashtbl.create 64;
+    inputs;
+    outputs = [];
+    stats =
+      {
+        blocks_run = 0;
+        stmts_run = 0;
+        stmts_instrumented = 0;
+        fp_ops = 0;
+        compensations = 0;
+      };
+    max_steps;
+  }
+
+(* ---------- spot and op tables ---------- *)
+
+let op_entry st id loc name =
+  match Hashtbl.find_opt st.ops id with
+  | Some o -> o
+  | None ->
+      let o =
+        {
+          o_id = id;
+          o_loc = loc;
+          o_name = name;
+          o_agg = Antiunify.create ~equiv_depth:st.cfg.Config.equiv_depth;
+          o_count = 0;
+          o_local_err_sum = 0.0;
+          o_local_err_max = 0.0;
+          o_out_err_sum = 0.0;
+          o_out_err_max = 0.0;
+        }
+      in
+      Hashtbl.replace st.ops id o;
+      o
+
+let spot_entry st id loc kind =
+  match Hashtbl.find_opt st.spots id with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          s_id = id;
+          s_loc = loc;
+          s_kind = kind;
+          s_total = 0;
+          s_incorrect = 0;
+          s_err_sum = 0.0;
+          s_err_max = 0.0;
+          s_infl = IntSet.empty;
+        }
+      in
+      Hashtbl.replace st.spots id s;
+      s
+
+(* ---------- shadow storage ---------- *)
+
+(* remove shadows overlapping [addr, addr+size); entries live at 4-byte
+   granularity in practice *)
+let clear_shadow_range tbl addr size =
+  let lo = addr - 12 in
+  let off = ref lo in
+  while !off < addr + size do
+    (match Hashtbl.find_opt tbl !off with
+    | Some (_, esize) when !off + esize > addr && !off < addr + size ->
+        Hashtbl.remove tbl !off
+    | Some _ | None -> ());
+    off := !off + 4
+  done
+
+let write_shadow tbl addr size (sh : Shadow.t option) =
+  clear_shadow_range tbl addr size;
+  match sh with
+  | Some s -> Hashtbl.replace tbl addr (s, size)
+  | None -> ()
+
+let read_shadow tbl addr size : Shadow.t option =
+  match Hashtbl.find_opt tbl addr with
+  | Some (s, esize) when esize = size -> Some s
+  | Some _ | None -> None
+
+(* ---------- error metrics ---------- *)
+
+let out_error st (client : float) (real : B.t) ~single =
+  if not st.cfg.Config.enable_reals then 0.0
+  else begin
+    let rf = B.to_float real in
+    if single then Ieee.Single.bits_of_error client (Ieee.Single.of_double rf)
+    else Ieee.bits_of_error client rf
+  end
+
+(* ---------- the float operation core ----------
+
+   [do_op] implements one shadowed floating-point operation: computes the
+   exact result, the local error (paper 4.3), influence taint with
+   compensation detection (5.4), the concrete trace node, and folds the
+   trace into the op's aggregation (6.3). *)
+
+let arg_shadow ~single (v : float) (sl : Shadow.slot) : Shadow.t =
+  match sl with
+  | Shadow.SVal s -> s
+  | Shadow.SNone | Shadow.SBool _ | Shadow.SVec _ -> Shadow.fresh_leaf ~single v
+
+let do_op st ~stmt_id ~loc ~name ~single ~(client : float)
+    ~(client_fn : float array -> float) ~(real_fn : B.t array -> B.t)
+    (args : (float * Shadow.slot) array) : Shadow.slot =
+  st.stats.fp_ops <- st.stats.fp_ops + 1;
+  let cfg = st.cfg in
+  let shadows = Array.map (fun (v, sl) -> arg_shadow ~single v sl) args in
+  let real =
+    if cfg.Config.enable_reals then
+      real_fn (Array.map (fun s -> s.Shadow.real) shadows)
+    else B.of_float client
+  in
+  (* local error: round the exact inputs to floats, run the op in client
+     arithmetic, compare with the rounded exact result *)
+  let local_err =
+    if not cfg.Config.enable_reals then 0.0
+    else begin
+      let round v =
+        let f = B.to_float v in
+        if single then Ieee.Single.of_double f else f
+      in
+      let rounded_args = Array.map (fun s -> round s.Shadow.real) shadows in
+      let r_f = client_fn rounded_args in
+      let r_r = round (if cfg.Config.enable_reals then real else B.of_float client) in
+      if single then Ieee.Single.bits_of_error r_f r_r
+      else Ieee.bits_of_error r_f r_r
+    end
+  in
+  (* influences *)
+  let infl =
+    if not cfg.Config.enable_influences then IntSet.empty
+    else begin
+      let union_all =
+        Array.fold_left
+          (fun acc s -> IntSet.union acc s.Shadow.infl)
+          IntSet.empty shadows
+      in
+      let compensating_passthrough () =
+        (* an add/sub that returns one argument exactly in the reals, where
+           the output is more accurate than the passed-through argument *)
+        if
+          (not cfg.Config.detect_compensation)
+          || (name <> "+" && name <> "-")
+          || Array.length shadows <> 2
+          || not cfg.Config.enable_reals
+        then None
+        else begin
+          let check i =
+            let s = shadows.(i) in
+            if B.equal real s.Shadow.real then begin
+              let arg_err =
+                out_error st (Shadow.client_value s) s.Shadow.real ~single
+              in
+              let out_err = out_error st client real ~single in
+              if out_err < arg_err then Some s else None
+            end
+            else None
+          in
+          match check 0 with Some s -> Some s | None -> check 1
+        end
+      in
+      match compensating_passthrough () with
+      | Some passthrough ->
+          (* Influence from the compensating term is dropped (paper 5.4).
+             When the compensated result is itself accurate, the
+             passed-through argument's taint is dropped too: its error has
+             been repaired, so improving the tainting operation can no
+             longer reduce output error. This is what keeps Triangle's 225
+             compensated computations out of the report (section 7). *)
+          st.stats.compensations <- st.stats.compensations + 1;
+          if out_error st client real ~single <= cfg.Config.error_threshold
+          then IntSet.empty
+          else passthrough.Shadow.infl
+      | None ->
+          if local_err > cfg.Config.error_threshold then
+            IntSet.add stmt_id union_all
+          else union_all
+    end
+  in
+  (* trace; the node key hashes the exact result for equivalence inference *)
+  let trace =
+    if cfg.Config.enable_expressions then
+      Trace.node ~max_depth:cfg.Config.max_trace_depth ~key:(B.hash real) name
+        (Array.map (fun s -> s.Shadow.trace) shadows)
+        client
+    else Trace.leaf client
+  in
+  (* aggregate *)
+  if cfg.Config.enable_expressions then begin
+    let o = op_entry st stmt_id loc name in
+    Antiunify.add o.o_agg trace;
+    o.o_count <- o.o_count + 1;
+    o.o_local_err_sum <- o.o_local_err_sum +. local_err;
+    if local_err > o.o_local_err_max then o.o_local_err_max <- local_err;
+    let oe = out_error st client real ~single in
+    o.o_out_err_sum <- o.o_out_err_sum +. oe;
+    if oe > o.o_out_err_max then o.o_out_err_max <- oe
+  end
+  else if cfg.Config.enable_reals then begin
+    (* still track error statistics even without expressions *)
+    let o = op_entry st stmt_id loc name in
+    o.o_count <- o.o_count + 1;
+    o.o_local_err_sum <- o.o_local_err_sum +. local_err;
+    if local_err > o.o_local_err_max then o.o_local_err_max <- local_err
+  end;
+  Shadow.SVal { Shadow.real; trace; infl; single }
+
+(* comparison of two shadowed floats in the reals *)
+let do_cmp st ~(client : bool) (cmp : B.t -> B.t -> bool)
+    (args : (float * Shadow.slot) array) : Shadow.slot =
+  if not st.cfg.Config.enable_reals then Shadow.SNone
+  else begin
+    let shadows =
+      Array.map (fun (v, sl) -> arg_shadow ~single:false v sl) args
+    in
+    let shadow_b = cmp shadows.(0).Shadow.real shadows.(1).Shadow.real in
+    let binfl =
+      if st.cfg.Config.enable_influences then
+        IntSet.union shadows.(0).Shadow.infl shadows.(1).Shadow.infl
+      else IntSet.empty
+    in
+    Shadow.SBool { Shadow.client_b = client; shadow_b; binfl }
+  end
+
+(* ---------- per-statement interpretation ---------- *)
+
+type frame = {
+  temps : Vex.Value.t array;
+  tshadow : Shadow.slot array;
+}
+
+let prec st = st.cfg.Config.precision
+
+let check_mem st addr size =
+  if addr < 0 || addr + size > Bytes.length st.mem then
+    raise (Client_error (Printf.sprintf "memory access out of bounds: %d" addr))
+
+(* evaluate an expression returning both the client value and its shadow *)
+let rec eval st fr ~loc ~stmt_id (e : Vex.Ir.expr) : Vex.Value.t * Shadow.slot =
+  match e with
+  | Vex.Ir.RdTmp t -> (fr.temps.(t), fr.tshadow.(t))
+  | Vex.Ir.Const c -> (Vex.Value.of_const c, Shadow.SNone)
+  | Vex.Ir.LabelAddr l ->
+      (Vex.Value.VI64 (Int64.of_int (Vex.Ir.block_index st.prog l)), Shadow.SNone)
+  | Vex.Ir.Get (off, ty) ->
+      let v = Vex.Value.read_bytes st.thread off ty in
+      let sh = load_shadow st st.thread_shadow off ty in
+      (v, sh)
+  | Vex.Ir.Load (ty, a) ->
+      let av, _ = eval st fr ~loc ~stmt_id a in
+      let addr = Int64.to_int (Vex.Value.as_i64 av) in
+      check_mem st addr (Vex.Ir.ty_size ty);
+      let v = Vex.Value.read_bytes st.mem addr ty in
+      let sh = load_shadow st st.mem_shadow addr ty in
+      (v, sh)
+  | Vex.Ir.Unop (op, a) ->
+      let av, ash = eval st fr ~loc ~stmt_id a in
+      let v = Vex.Eval.eval_unop op av in
+      (v, shadow_unop st ~loc ~stmt_id op av ash v)
+  | Vex.Ir.Binop (op, a, b) ->
+      let av, ash = eval st fr ~loc ~stmt_id a in
+      let bv, bsh = eval st fr ~loc ~stmt_id b in
+      let v = Vex.Eval.eval_binop op av bv in
+      (v, shadow_binop st ~loc ~stmt_id op (av, ash) (bv, bsh) v)
+  | Vex.Ir.ITE (g, t, e2) ->
+      let gv, gsh = eval st fr ~loc ~stmt_id g in
+      let taken = Vex.Value.as_bool gv in
+      (* an ITE guarded by a float comparison is a branch spot *)
+      (match gsh with
+      | Shadow.SBool sb -> record_branch st ~loc ~stmt_id sb
+      | Shadow.SNone | Shadow.SVal _ | Shadow.SVec _ -> ());
+      if taken then eval st fr ~loc ~stmt_id t else eval st fr ~loc ~stmt_id e2
+
+and load_shadow _st tbl off (ty : Vex.Ir.ty) : Shadow.slot =
+  match ty with
+  | Vex.Ir.F64 | Vex.Ir.I64 -> begin
+      match read_shadow tbl off 8 with
+      | Some s -> Shadow.SVal s
+      | None -> Shadow.SNone
+    end
+  | Vex.Ir.F32 | Vex.Ir.I32 -> begin
+      match read_shadow tbl off 4 with
+      | Some s -> Shadow.SVal s
+      | None -> Shadow.SNone
+    end
+  | Vex.Ir.V128 -> begin
+      match (read_shadow tbl off 8, read_shadow tbl (off + 8) 8) with
+      | None, None -> begin
+          (* maybe four single lanes *)
+          let lanes =
+            Array.init 4 (fun i ->
+                match read_shadow tbl (off + (4 * i)) 4 with
+                | Some s -> Shadow.SVal s
+                | None -> Shadow.SNone)
+          in
+          if Array.exists (fun s -> s <> Shadow.SNone) lanes then
+            Shadow.SVec lanes
+          else Shadow.SNone
+        end
+      | lo, hi ->
+          Shadow.SVec
+            [|
+              (match lo with Some s -> Shadow.SVal s | None -> Shadow.SNone);
+              (match hi with Some s -> Shadow.SVal s | None -> Shadow.SNone);
+            |]
+    end
+  | Vex.Ir.I1 | Vex.Ir.I8 | Vex.Ir.I16 -> Shadow.SNone
+
+and store_shadow _st tbl off (v : Vex.Value.t) (sh : Shadow.slot) =
+  match (v, sh) with
+  | Vex.Value.VV128 _, Shadow.SVec lanes ->
+      if Array.length lanes = 2 then begin
+        let put i sl =
+          write_shadow tbl (off + (8 * i)) 8
+            (match sl with Shadow.SVal s -> Some s | _ -> None)
+        in
+        Array.iteri put lanes
+      end
+      else begin
+        let put i sl =
+          write_shadow tbl (off + (4 * i)) 4
+            (match sl with Shadow.SVal s -> Some s | _ -> None)
+        in
+        Array.iteri put lanes
+      end
+  | Vex.Value.VV128 _, _ -> clear_shadow_range tbl off 16
+  | v, Shadow.SVal s ->
+      let size =
+        match Vex.Value.ty_of v with
+        | Vex.Ir.F32 | Vex.Ir.I32 -> 4
+        | _ -> 8
+      in
+      write_shadow tbl off size (Some s)
+  | v, _ ->
+      clear_shadow_range tbl off (Vex.Ir.ty_size (Vex.Value.ty_of v))
+
+and record_branch st ~loc ~stmt_id (sb : Shadow.sbool) =
+  let sp = spot_entry st stmt_id loc Spot_branch in
+  sp.s_total <- sp.s_total + 1;
+  if sb.Shadow.client_b <> sb.Shadow.shadow_b then begin
+    sp.s_incorrect <- sp.s_incorrect + 1;
+    if st.cfg.Config.enable_influences then
+      sp.s_infl <- IntSet.union sp.s_infl sb.Shadow.binfl
+  end
+
+and record_conversion st ~loc ~stmt_id ~(agree : bool) (infl : IntSet.t) =
+  let sp = spot_entry st stmt_id loc Spot_convert in
+  sp.s_total <- sp.s_total + 1;
+  if not agree then begin
+    sp.s_incorrect <- sp.s_incorrect + 1;
+    if st.cfg.Config.enable_influences then
+      sp.s_infl <- IntSet.union sp.s_infl infl
+  end
+
+and shadow_unop st ~loc ~stmt_id (op : Vex.Ir.unop) (av : Vex.Value.t)
+    (ash : Shadow.slot) (result : Vex.Value.t) : Shadow.slot =
+  let p = prec st in
+  match op with
+  (* float compute ops *)
+  | Vex.Ir.SqrtF64 ->
+      do_op st ~stmt_id ~loc ~name:"sqrt" ~single:false
+        ~client:(Vex.Value.as_f64 result)
+        ~client_fn:(fun a -> Float.sqrt a.(0))
+        ~real_fn:(fun a -> B.sqrt ~prec:p a.(0))
+        [| (Vex.Value.as_f64 av, ash) |]
+  | Vex.Ir.SqrtF32 ->
+      do_op st ~stmt_id ~loc ~name:"sqrt" ~single:true
+        ~client:(Vex.Value.as_f32 result)
+        ~client_fn:(fun a -> Ieee.Single.sqrt a.(0))
+        ~real_fn:(fun a -> B.sqrt ~prec:p a.(0))
+        [| (Vex.Value.as_f32 av, ash) |]
+  | Vex.Ir.NegF64 | Vex.Ir.NegF32 -> begin
+      match ash with
+      | Shadow.SVal s ->
+          let real = B.neg s.Shadow.real in
+          let trace =
+            if st.cfg.Config.enable_expressions then
+              Trace.node ~max_depth:st.cfg.Config.max_trace_depth
+                ~key:(B.hash real) "neg"
+                [| s.Shadow.trace |]
+                (match result with
+                | Vex.Value.VF64 f | Vex.Value.VF32 f -> f
+                | _ -> 0.0)
+            else s.Shadow.trace
+          in
+          Shadow.SVal { s with Shadow.real = real; trace }
+      | _ -> Shadow.SNone
+    end
+  | Vex.Ir.AbsF64 | Vex.Ir.AbsF32 -> begin
+      match ash with
+      | Shadow.SVal s ->
+          let real = B.abs s.Shadow.real in
+          let trace =
+            if st.cfg.Config.enable_expressions then
+              Trace.node ~max_depth:st.cfg.Config.max_trace_depth
+                ~key:(B.hash real) "fabs"
+                [| s.Shadow.trace |]
+                (match result with
+                | Vex.Value.VF64 f | Vex.Value.VF32 f -> f
+                | _ -> 0.0)
+            else s.Shadow.trace
+          in
+          Shadow.SVal { s with Shadow.real = real; trace }
+      | _ -> Shadow.SNone
+    end
+  (* precision conversions: same value, new grid; no trace node (6.1) *)
+  | Vex.Ir.F32toF64 -> begin
+      match ash with
+      | Shadow.SVal s -> Shadow.SVal { s with Shadow.single = false }
+      | _ -> Shadow.SNone
+    end
+  | Vex.Ir.F64toF32 -> begin
+      match ash with
+      | Shadow.SVal s -> Shadow.SVal { s with Shadow.single = true }
+      | _ -> Shadow.SNone
+    end
+  (* int -> float: exact provenance *)
+  | Vex.Ir.I64toF64 ->
+      let i = Vex.Value.as_i64 av in
+      let real = B.of_bigint (Bignum.Bigint.of_int (Int64.to_int i)) in
+      Shadow.SVal
+        {
+          Shadow.real = real;
+          trace = Trace.leaf ~key:(B.hash real) (Vex.Value.as_f64 result);
+          infl = IntSet.empty;
+          single = false;
+        }
+  | Vex.Ir.I64toF32 ->
+      let i = Vex.Value.as_i64 av in
+      let real = B.of_bigint (Bignum.Bigint.of_int (Int64.to_int i)) in
+      Shadow.SVal
+        {
+          Shadow.real = real;
+          trace = Trace.leaf ~key:(B.hash real) (Vex.Value.as_f32 result);
+          infl = IntSet.empty;
+          single = true;
+        }
+  (* float -> int: a conversion spot *)
+  | Vex.Ir.F64toI64tz | Vex.Ir.F32toI64tz | Vex.Ir.F64toI64rn -> begin
+      (match ash with
+      | Shadow.SVal s when st.cfg.Config.enable_reals ->
+          let shadow_int =
+            let r =
+              match op with
+              | Vex.Ir.F64toI64rn -> B.round_to_int s.Shadow.real
+              | _ -> B.trunc s.Shadow.real
+            in
+            match B.to_bigint r with
+            | Some bi -> Bignum.Bigint.to_int_opt bi
+            | None -> None
+          in
+          let client_int = Int64.to_int (Vex.Value.as_i64 result) in
+          let agree =
+            match shadow_int with Some i -> i = client_int | None -> false
+          in
+          record_conversion st ~loc ~stmt_id ~agree s.Shadow.infl
+      | _ -> ());
+      Shadow.SNone
+    end
+  (* bit reinterpretation: the shadow rides along *)
+  | Vex.Ir.ReinterpF64asI64 | Vex.Ir.ReinterpI64asF64 | Vex.Ir.ReinterpF32asI32
+  | Vex.Ir.ReinterpI32asF32 ->
+      ash
+  (* vector lane extraction *)
+  | Vex.Ir.V128to64 -> begin
+      match ash with
+      | Shadow.SVec lanes when Array.length lanes = 2 -> lanes.(0)
+      | _ -> Shadow.SNone
+    end
+  | Vex.Ir.V128HIto64 -> begin
+      match ash with
+      | Shadow.SVec lanes when Array.length lanes = 2 -> lanes.(1)
+      | _ -> Shadow.SNone
+    end
+  | Vex.Ir.Sqrt64Fx2 -> begin
+      let a0, a1 = Vex.Value.v128_f64_lanes (Vex.Value.as_v128 av) in
+      let r0, r1 = Vex.Value.v128_f64_lanes (Vex.Value.as_v128 result) in
+      let lane_shadow i arg_v res_v =
+        let arg_sl =
+          match ash with
+          | Shadow.SVec lanes when Array.length lanes = 2 -> lanes.(i)
+          | _ -> Shadow.SNone
+        in
+        do_op st ~stmt_id ~loc ~name:"sqrt" ~single:false ~client:res_v
+          ~client_fn:(fun a -> Float.sqrt a.(0))
+          ~real_fn:(fun a -> B.sqrt ~prec:p a.(0))
+          [| (arg_v, arg_sl) |]
+      in
+      Shadow.SVec [| lane_shadow 0 a0 r0; lane_shadow 1 a1 r1 |]
+    end
+  (* pure integer ops: no shadow *)
+  | Vex.Ir.Not1 | Vex.Ir.Neg64 | Vex.Ir.Not64 | Vex.Ir.I32toI64s
+  | Vex.Ir.I32toI64u | Vex.Ir.I64toI32 ->
+      (* Not1 must preserve comparison shadows so negated guards track *)
+      (match (op, ash) with
+      | Vex.Ir.Not1, Shadow.SBool sb ->
+          Shadow.SBool
+            {
+              sb with
+              Shadow.client_b = not sb.Shadow.client_b;
+              shadow_b = not sb.Shadow.shadow_b;
+            }
+      | _ -> Shadow.SNone)
+
+and shadow_binop st ~loc ~stmt_id (op : Vex.Ir.binop) (a : Vex.Value.t * Shadow.slot)
+    (b : Vex.Value.t * Shadow.slot) (result : Vex.Value.t) : Shadow.slot =
+  let p = prec st in
+  let av, ash = a and bv, bsh = b in
+  let f64_op name client_fn real_fn =
+    do_op st ~stmt_id ~loc ~name ~single:false
+      ~client:(Vex.Value.as_f64 result) ~client_fn ~real_fn
+      [| (Vex.Value.as_f64 av, ash); (Vex.Value.as_f64 bv, bsh) |]
+  in
+  let f32_op name client_fn real_fn =
+    do_op st ~stmt_id ~loc ~name ~single:true
+      ~client:(Vex.Value.as_f32 result) ~client_fn ~real_fn
+      [| (Vex.Value.as_f32 av, ash); (Vex.Value.as_f32 bv, bsh) |]
+  in
+  match op with
+  | Vex.Ir.AddF64 ->
+      f64_op "+" (fun x -> x.(0) +. x.(1)) (fun x -> B.add ~prec:p x.(0) x.(1))
+  | Vex.Ir.SubF64 ->
+      f64_op "-" (fun x -> x.(0) -. x.(1)) (fun x -> B.sub ~prec:p x.(0) x.(1))
+  | Vex.Ir.MulF64 ->
+      f64_op "*" (fun x -> x.(0) *. x.(1)) (fun x -> B.mul ~prec:p x.(0) x.(1))
+  | Vex.Ir.DivF64 ->
+      f64_op "/" (fun x -> x.(0) /. x.(1)) (fun x -> B.div ~prec:p x.(0) x.(1))
+  | Vex.Ir.MinF64 ->
+      f64_op "fmin" (fun x -> Float.min x.(0) x.(1)) (fun x -> B.min2 x.(0) x.(1))
+  | Vex.Ir.MaxF64 ->
+      f64_op "fmax" (fun x -> Float.max x.(0) x.(1)) (fun x -> B.max2 x.(0) x.(1))
+  | Vex.Ir.AddF32 ->
+      f32_op "+"
+        (fun x -> Ieee.Single.add x.(0) x.(1))
+        (fun x -> B.add ~prec:p x.(0) x.(1))
+  | Vex.Ir.SubF32 ->
+      f32_op "-"
+        (fun x -> Ieee.Single.sub x.(0) x.(1))
+        (fun x -> B.sub ~prec:p x.(0) x.(1))
+  | Vex.Ir.MulF32 ->
+      f32_op "*"
+        (fun x -> Ieee.Single.mul x.(0) x.(1))
+        (fun x -> B.mul ~prec:p x.(0) x.(1))
+  | Vex.Ir.DivF32 ->
+      f32_op "/"
+        (fun x -> Ieee.Single.div x.(0) x.(1))
+        (fun x -> B.div ~prec:p x.(0) x.(1))
+  | Vex.Ir.CmpEQF64 | Vex.Ir.CmpEQF32 ->
+      do_cmp st ~client:(Vex.Value.as_bool result) B.equal
+        [| (float_of_value av, ash); (float_of_value bv, bsh) |]
+  | Vex.Ir.CmpNEF64 ->
+      do_cmp st ~client:(Vex.Value.as_bool result)
+        (fun x y -> not (B.equal x y))
+        [| (float_of_value av, ash); (float_of_value bv, bsh) |]
+  | Vex.Ir.CmpLTF64 | Vex.Ir.CmpLTF32 ->
+      do_cmp st ~client:(Vex.Value.as_bool result) B.lt
+        [| (float_of_value av, ash); (float_of_value bv, bsh) |]
+  | Vex.Ir.CmpLEF64 | Vex.Ir.CmpLEF32 ->
+      do_cmp st ~client:(Vex.Value.as_bool result) B.le
+        [| (float_of_value av, ash); (float_of_value bv, bsh) |]
+  (* gcc bit tricks: XOR with the sign mask is negation, AND with the abs
+     mask is fabs (paper 5.4) *)
+  | Vex.Ir.Xor64 -> begin
+      match (ash, bsh, av, bv) with
+      | Shadow.SVal s, Shadow.SNone, _, Vex.Value.VI64 m
+        when Int64.equal m Ieee.Bits.sign_flip_mask64 ->
+          bit_trick_neg st s result
+      | Shadow.SNone, Shadow.SVal s, Vex.Value.VI64 m, _
+        when Int64.equal m Ieee.Bits.sign_flip_mask64 ->
+          bit_trick_neg st s result
+      | _ -> Shadow.SNone
+    end
+  | Vex.Ir.And64 -> begin
+      match (ash, bsh, av, bv) with
+      | Shadow.SVal s, Shadow.SNone, _, Vex.Value.VI64 m
+        when Int64.equal m Ieee.Bits.abs_mask64 ->
+          bit_trick_abs st s result
+      | Shadow.SNone, Shadow.SVal s, Vex.Value.VI64 m, _
+        when Int64.equal m Ieee.Bits.abs_mask64 ->
+          bit_trick_abs st s result
+      | _ -> Shadow.SNone
+    end
+  (* SIMD packed float ops: one shadow op per lane, same pc *)
+  | Vex.Ir.Add64Fx2 -> simd2 st ~loc ~stmt_id "+" ( +. )
+        (fun x y -> B.add ~prec:p x y) (av, ash) (bv, bsh) result
+  | Vex.Ir.Sub64Fx2 -> simd2 st ~loc ~stmt_id "-" ( -. )
+        (fun x y -> B.sub ~prec:p x y) (av, ash) (bv, bsh) result
+  | Vex.Ir.Mul64Fx2 -> simd2 st ~loc ~stmt_id "*" ( *. )
+        (fun x y -> B.mul ~prec:p x y) (av, ash) (bv, bsh) result
+  | Vex.Ir.Div64Fx2 -> simd2 st ~loc ~stmt_id "/" ( /. )
+        (fun x y -> B.div ~prec:p x y) (av, ash) (bv, bsh) result
+  | Vex.Ir.Add32Fx4 -> simd4 st ~loc ~stmt_id "+" Ieee.Single.add
+        (fun x y -> B.add ~prec:p x y) (av, ash) (bv, bsh) result
+  | Vex.Ir.Sub32Fx4 -> simd4 st ~loc ~stmt_id "-" Ieee.Single.sub
+        (fun x y -> B.sub ~prec:p x y) (av, ash) (bv, bsh) result
+  | Vex.Ir.Mul32Fx4 -> simd4 st ~loc ~stmt_id "*" Ieee.Single.mul
+        (fun x y -> B.mul ~prec:p x y) (av, ash) (bv, bsh) result
+  | Vex.Ir.Div32Fx4 -> simd4 st ~loc ~stmt_id "/" Ieee.Single.div
+        (fun x y -> B.div ~prec:p x y) (av, ash) (bv, bsh) result
+  | Vex.Ir.I64HLtoV128 ->
+      (* Binop(hi, lo): lanes are [lo; hi] *)
+      Shadow.SVec [| bsh; ash |]
+  | Vex.Ir.XorV128 | Vex.Ir.AndV128 | Vex.Ir.OrV128 -> Shadow.SNone
+  (* integer ops carry no shadow *)
+  | Vex.Ir.Add64 | Vex.Ir.Sub64 | Vex.Ir.Mul64 | Vex.Ir.DivS64 | Vex.Ir.ModS64
+  | Vex.Ir.Or64 | Vex.Ir.Shl64 | Vex.Ir.Shr64 | Vex.Ir.Sar64 | Vex.Ir.CmpEQ64
+  | Vex.Ir.CmpNE64 | Vex.Ir.CmpLT64S | Vex.Ir.CmpLE64S ->
+      Shadow.SNone
+
+and float_of_value = function
+  | Vex.Value.VF64 f | Vex.Value.VF32 f -> f
+  | v -> Vex.Value.type_error "expected float" v
+
+and bit_trick_neg st (s : Shadow.t) (result : Vex.Value.t) : Shadow.slot =
+  let client =
+    match result with
+    | Vex.Value.VI64 bits -> Int64.float_of_bits bits
+    | Vex.Value.VF64 f -> f
+    | _ -> 0.0
+  in
+  let real = B.neg s.Shadow.real in
+  let trace =
+    if st.cfg.Config.enable_expressions then
+      Trace.node ~max_depth:st.cfg.Config.max_trace_depth ~key:(B.hash real)
+        "neg" [| s.Shadow.trace |] client
+    else s.Shadow.trace
+  in
+  Shadow.SVal { s with Shadow.real = real; trace }
+
+and bit_trick_abs st (s : Shadow.t) (result : Vex.Value.t) : Shadow.slot =
+  let client =
+    match result with
+    | Vex.Value.VI64 bits -> Int64.float_of_bits bits
+    | Vex.Value.VF64 f -> f
+    | _ -> 0.0
+  in
+  let real = B.abs s.Shadow.real in
+  let trace =
+    if st.cfg.Config.enable_expressions then
+      Trace.node ~max_depth:st.cfg.Config.max_trace_depth ~key:(B.hash real)
+        "fabs" [| s.Shadow.trace |] client
+    else s.Shadow.trace
+  in
+  Shadow.SVal { s with Shadow.real = real; trace }
+
+and simd2 st ~loc ~stmt_id name ffn rfn (av, ash) (bv, bsh) result : Shadow.slot =
+  let a0, a1 = Vex.Value.v128_f64_lanes (Vex.Value.as_v128 av) in
+  let b0, b1 = Vex.Value.v128_f64_lanes (Vex.Value.as_v128 bv) in
+  let r0, r1 = Vex.Value.v128_f64_lanes (Vex.Value.as_v128 result) in
+  let lane i a b r =
+    let asl = lane_slot ash 2 i and bsl = lane_slot bsh 2 i in
+    do_op st ~stmt_id ~loc ~name ~single:false ~client:r
+      ~client_fn:(fun x -> ffn x.(0) x.(1))
+      ~real_fn:(fun x -> rfn x.(0) x.(1))
+      [| (a, asl); (b, bsl) |]
+  in
+  Shadow.SVec [| lane 0 a0 b0 r0; lane 1 a1 b1 r1 |]
+
+and simd4 st ~loc ~stmt_id name ffn rfn (av, ash) (bv, bsh) result : Shadow.slot =
+  let a0, a1, a2, a3 = Vex.Value.v128_f32_lanes (Vex.Value.as_v128 av) in
+  let b0, b1, b2, b3 = Vex.Value.v128_f32_lanes (Vex.Value.as_v128 bv) in
+  let r0, r1, r2, r3 = Vex.Value.v128_f32_lanes (Vex.Value.as_v128 result) in
+  let lane i a b r =
+    let asl = lane_slot ash 4 i and bsl = lane_slot bsh 4 i in
+    do_op st ~stmt_id ~loc ~name ~single:true ~client:r
+      ~client_fn:(fun x -> ffn x.(0) x.(1))
+      ~real_fn:(fun x -> rfn x.(0) x.(1))
+      [| (a, asl); (b, bsl) |]
+  in
+  Shadow.SVec
+    [| lane 0 a0 b0 r0; lane 1 a1 b1 r1; lane 2 a2 b2 r2; lane 3 a3 b3 r3 |]
+
+and lane_slot (sl : Shadow.slot) n i : Shadow.slot =
+  match sl with
+  | Shadow.SVec lanes when Array.length lanes = n -> lanes.(i)
+  | _ -> Shadow.SNone
+
+(* ---------- statement and block loop ---------- *)
+
+exception Exit_to of int
+
+let run_block st (bidx : int) : int =
+  let b = st.prog.Vex.Ir.blocks.(bidx) in
+  let fr =
+    {
+      temps = Array.map Vex.Machine.init_value b.Vex.Ir.temp_tys;
+      tshadow = Array.make (Array.length b.Vex.Ir.temp_tys) Shadow.SNone;
+    }
+  in
+  let cur_loc = ref Vex.Ir.no_loc in
+  let n = Array.length b.Vex.Ir.stmts in
+  (* the fast path shares the uninstrumented evaluator through a minimal
+     machine-state view *)
+  let rec fast_eval (e : Vex.Ir.expr) : Vex.Value.t =
+    match e with
+    | Vex.Ir.RdTmp t -> fr.temps.(t)
+    | Vex.Ir.Const c -> Vex.Value.of_const c
+    | Vex.Ir.LabelAddr l ->
+        Vex.Value.VI64 (Int64.of_int (Vex.Ir.block_index st.prog l))
+    | Vex.Ir.Get (off, ty) -> Vex.Value.read_bytes st.thread off ty
+    | Vex.Ir.Load (ty, a) ->
+        let addr = Int64.to_int (Vex.Value.as_i64 (fast_eval a)) in
+        check_mem st addr (Vex.Ir.ty_size ty);
+        Vex.Value.read_bytes st.mem addr ty
+    | Vex.Ir.Unop (op, a) -> Vex.Eval.eval_unop op (fast_eval a)
+    | Vex.Ir.Binop (op, a, b) ->
+        Vex.Eval.eval_binop op (fast_eval a) (fast_eval b)
+    | Vex.Ir.ITE (g, t, e2) ->
+        if Vex.Value.as_bool (fast_eval g) then fast_eval t else fast_eval e2
+  in
+  let rec go i =
+    if i >= n then
+      match b.Vex.Ir.next with
+      | Vex.Ir.Goto l -> Vex.Ir.block_index st.prog l
+      | Vex.Ir.IndirectGoto e -> Int64.to_int (Vex.Value.as_i64 (fast_eval e))
+      | Vex.Ir.Halt -> -1
+    else begin
+      st.stats.stmts_run <- st.stats.stmts_run + 1;
+      let stmt_id = Vex.Ir.stmt_id ~block:bidx ~stmt:i in
+      let action = Vex.Typeinfer.action st.info ~block:bidx ~stmt:i in
+      (match (b.Vex.Ir.stmts.(i), action) with
+      | Vex.Ir.IMark l, _ -> cur_loc := l
+      (* fast paths allowed by type inference *)
+      | Vex.Ir.WrTmp (t, e), Vex.Typeinfer.Skip -> fr.temps.(t) <- fast_eval e
+      | Vex.Ir.Exit (g, l), Vex.Typeinfer.Skip ->
+          if Vex.Value.as_bool (fast_eval g) then
+            raise (Exit_to (Vex.Ir.block_index st.prog l))
+      | Vex.Ir.Put (off, e), Vex.Typeinfer.Clear ->
+          let v = fast_eval e in
+          clear_shadow_range st.thread_shadow off
+            (Vex.Ir.ty_size (Vex.Value.ty_of v));
+          Vex.Value.write_bytes st.thread off v
+      | Vex.Ir.Store (a, v), Vex.Typeinfer.Clear ->
+          let addr = Int64.to_int (Vex.Value.as_i64 (fast_eval a)) in
+          let value = fast_eval v in
+          check_mem st addr (Vex.Ir.ty_size (Vex.Value.ty_of value));
+          clear_shadow_range st.mem_shadow addr
+            (Vex.Ir.ty_size (Vex.Value.ty_of value));
+          Vex.Value.write_bytes st.mem addr value
+      | stmt, _ -> begin
+          st.stats.stmts_instrumented <- st.stats.stmts_instrumented + 1;
+          let loc = !cur_loc in
+          match stmt with
+          | Vex.Ir.IMark _ -> ()
+          | Vex.Ir.WrTmp (t, e) ->
+              let v, sh = eval st fr ~loc ~stmt_id e in
+              fr.temps.(t) <- v;
+              fr.tshadow.(t) <- sh
+          | Vex.Ir.Put (off, e) ->
+              let v, sh = eval st fr ~loc ~stmt_id e in
+              store_shadow st st.thread_shadow off v sh;
+              Vex.Value.write_bytes st.thread off v
+          | Vex.Ir.Store (a, ve) ->
+              let av, _ = eval st fr ~loc ~stmt_id a in
+              let addr = Int64.to_int (Vex.Value.as_i64 av) in
+              let v, sh = eval st fr ~loc ~stmt_id ve in
+              check_mem st addr (Vex.Ir.ty_size (Vex.Value.ty_of v));
+              store_shadow st st.mem_shadow addr v sh;
+              Vex.Value.write_bytes st.mem addr v
+          | Vex.Ir.Dirty (t, name, args) when name = "__arg" ->
+              (* a harness input: a fresh shadow leaf with no provenance *)
+              let evaluated =
+                List.map (fun a -> eval st fr ~loc ~stmt_id a) args
+              in
+              let k =
+                match evaluated with
+                | [ (v, _) ] -> Vex.Value.as_f64 v
+                | _ -> 0.0
+              in
+              let client =
+                let n = Array.length st.inputs in
+                if n = 0 then 0.0
+                else begin
+                  let i = int_of_float k in
+                  st.inputs.(((i mod n) + n) mod n)
+                end
+              in
+              fr.temps.(t) <- Vex.Value.VF64 client;
+              fr.tshadow.(t) <- Shadow.SVal (Shadow.fresh_leaf client)
+          | Vex.Ir.Dirty (t, name, args) ->
+              let evaluated =
+                List.map (fun a -> eval st fr ~loc ~stmt_id a) args
+              in
+              let fargs =
+                Array.of_list
+                  (List.map (fun (v, _) -> Vex.Value.as_f64 v) evaluated)
+              in
+              let client = Vex.Eval.libm_apply name fargs in
+              let arg_pairs =
+                Array.of_list
+                  (List.map (fun (v, sh) -> (Vex.Value.as_f64 v, sh)) evaluated)
+              in
+              let sh =
+                do_op st ~stmt_id ~loc ~name ~single:false ~client
+                  ~client_fn:(fun a -> Vex.Eval.libm_apply name a)
+                  ~real_fn:(fun a ->
+                    Vex.Eval.libm_apply_real ~prec:(prec st) name a)
+                  arg_pairs
+              in
+              fr.temps.(t) <- Vex.Value.VF64 client;
+              fr.tshadow.(t) <- sh
+          | Vex.Ir.Exit (g, l) ->
+              let gv, gsh = eval st fr ~loc ~stmt_id g in
+              (match gsh with
+              | Shadow.SBool sb -> record_branch st ~loc ~stmt_id sb
+              | Shadow.SNone | Shadow.SVal _ | Shadow.SVec _ -> ());
+              if Vex.Value.as_bool gv then
+                raise (Exit_to (Vex.Ir.block_index st.prog l))
+          | Vex.Ir.Out (kind, e) ->
+              let v, sh = eval st fr ~loc ~stmt_id e in
+              (match kind with
+              | Vex.Ir.OutMark -> () (* user spot mark: not a program output *)
+              | Vex.Ir.OutFloat | Vex.Ir.OutInt ->
+                  st.outputs <-
+                    { Vex.Machine.stmt_id; loc; kind; value = v } :: st.outputs);
+              let sp = spot_entry st stmt_id loc Spot_output in
+              sp.s_total <- sp.s_total + 1;
+              (match (v, sh) with
+              | (Vex.Value.VF64 f | Vex.Value.VF32 f), Shadow.SVal s ->
+                  (* a NaN output is conservatively reported at full error,
+                     even when the shadow real is NaN too (the paper's
+                     Gram-Schmidt division-by-zero finding, section 7) *)
+                  let err =
+                    if Float.is_nan f && st.cfg.Config.enable_reals then 64.0
+                    else out_error st f s.Shadow.real ~single:s.Shadow.single
+                  in
+                  sp.s_err_sum <- sp.s_err_sum +. err;
+                  if err > sp.s_err_max then sp.s_err_max <- err;
+                  if
+                    err > st.cfg.Config.error_threshold
+                    && st.cfg.Config.enable_influences
+                  then sp.s_infl <- IntSet.union sp.s_infl s.Shadow.infl
+              | _ -> ())
+        end);
+      go (i + 1)
+    end
+  in
+  try go 0 with Exit_to target -> target
+
+type result = {
+  r_ops : (int, op_info) Hashtbl.t;
+  r_spots : (int, spot_info) Hashtbl.t;
+  r_outputs : Vex.Machine.output list;
+  r_stats : stats;
+}
+
+let run ?mem_size ?max_steps ?inputs (cfg : Config.t) (prog : Vex.Ir.prog) :
+    result =
+  let st = create ?mem_size ?max_steps ?inputs cfg prog in
+  let bidx = ref st.prog.Vex.Ir.entry in
+  let steps = ref 0 in
+  while !bidx >= 0 do
+    if !bidx >= Array.length st.prog.Vex.Ir.blocks then
+      raise (Client_error (Printf.sprintf "jump out of program: %d" !bidx));
+    incr steps;
+    if !steps > st.max_steps then raise (Client_error "step budget exceeded");
+    st.stats.blocks_run <- st.stats.blocks_run + 1;
+    bidx := run_block st !bidx
+  done;
+  {
+    r_ops = st.ops;
+    r_spots = st.spots;
+    r_outputs = List.rev st.outputs;
+    r_stats = st.stats;
+  }

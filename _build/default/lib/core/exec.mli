@@ -1,0 +1,68 @@
+(** The instrumented VEX interpreter: the analogue of running the client
+    binary under Valgrind with the Herbgrind tool loaded.
+
+    Client semantics are shared with the fast interpreter through
+    {!Vex.Eval}; this module adds the three shadow executions of paper
+    section 4 (reals, influences, expressions), spot bookkeeping, libm
+    wrapping, bit-trick recognition, compensation detection, and the
+    type-inference fast paths. Use {!Analysis.analyze} unless you need
+    the raw tables. *)
+
+(** Per-operation (pc) aggregate: location, running anti-unification of
+    its concrete traces, and error statistics. *)
+type op_info = {
+  o_id : int;  (** the statement id (pc) *)
+  o_loc : Vex.Ir.loc;
+  o_name : string;  (** operator, e.g. "+", "sqrt", "exp" *)
+  o_agg : Antiunify.agg;
+  mutable o_count : int;
+  mutable o_local_err_sum : float;
+  mutable o_local_err_max : float;
+  mutable o_out_err_sum : float;
+  mutable o_out_err_max : float;
+}
+
+type spot_kind =
+  | Spot_output  (** a program output *)
+  | Spot_branch  (** a conditional guarded by a float comparison *)
+  | Spot_convert  (** a float-to-integer conversion *)
+
+(** Per-spot record: instance counts, divergence counts, error statistics
+    and the influence set of candidate root causes. *)
+type spot_info = {
+  s_id : int;
+  s_loc : Vex.Ir.loc;
+  s_kind : spot_kind;
+  mutable s_total : int;
+  mutable s_incorrect : int;  (** for branches and conversions *)
+  mutable s_err_sum : float;  (** for outputs *)
+  mutable s_err_max : float;
+  mutable s_infl : Shadow.IntSet.t;
+}
+
+type stats = {
+  mutable blocks_run : int;
+  mutable stmts_run : int;
+  mutable stmts_instrumented : int;  (** statements taking the full path *)
+  mutable fp_ops : int;  (** shadowed floating-point operations *)
+  mutable compensations : int;  (** compensating ops detected (5.4) *)
+}
+
+type result = {
+  r_ops : (int, op_info) Hashtbl.t;
+  r_spots : (int, spot_info) Hashtbl.t;
+  r_outputs : Vex.Machine.output list;
+  r_stats : stats;
+}
+
+exception Client_error of string
+
+val run :
+  ?mem_size:int ->
+  ?max_steps:int ->
+  ?inputs:float array ->
+  Config.t ->
+  Vex.Ir.prog ->
+  result
+(** Run the program under full instrumentation, following the client's
+    control flow (divergences are recorded as spots, paper 4.2). *)

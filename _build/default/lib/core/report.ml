@@ -1,0 +1,118 @@
+(* Rendering analysis results in the paper's report format:
+
+     Compare in run(int, int) at main.cpp:26
+       734 incorrect values
+       1520 total instances
+       Influenced by erroneous expressions:
+         20.0 bits average error
+         an FPCore expression such as "(FPCore (x y) (- (sqrt y) x))"
+           in csqrt at plotter.mc:12
+         Aggregated over 1600 instances
+*)
+
+type influence_entry = {
+  i_op : Exec.op_info;
+  i_expr : Antiunify.sym;
+  i_fpcore : string;
+}
+
+type entry = {
+  e_spot : Exec.spot_info;
+  e_influences : influence_entry list;
+}
+
+type t = {
+  entries : entry list;
+  total_ops : int;
+  total_spots : int;
+  compensations : int;
+}
+
+let spot_kind_name = function
+  | Exec.Spot_output -> "Output"
+  | Exec.Spot_branch -> "Compare"
+  | Exec.Spot_convert -> "Convert"
+
+let spot_has_error (s : Exec.spot_info) threshold =
+  match s.Exec.s_kind with
+  | Exec.Spot_output -> s.Exec.s_err_max > threshold
+  | Exec.Spot_branch | Exec.Spot_convert -> s.Exec.s_incorrect > 0
+
+let build ?(cfg = Config.default) (r : Exec.result) : t =
+  let classic = cfg.Config.classic_antiunify in
+  let influence_of op_id =
+    match Hashtbl.find_opt r.Exec.r_ops op_id with
+    | None -> None
+    | Some o ->
+        let expr =
+          if Antiunify.count o.Exec.o_agg = 0 then Antiunify.Svar 0
+          else Antiunify.finalize ~classic o.Exec.o_agg
+        in
+        Some { i_op = o; i_expr = expr; i_fpcore = Antiunify.to_fpcore expr }
+  in
+  let entries =
+    Hashtbl.fold
+      (fun _ spot acc ->
+        if
+          spot_has_error spot cfg.Config.error_threshold
+          || cfg.Config.report_all_spots
+        then begin
+          let infl =
+            Shadow.IntSet.elements spot.Exec.s_infl
+            |> List.filter_map influence_of
+            |> List.sort (fun a b ->
+                   compare b.i_op.Exec.o_local_err_max a.i_op.Exec.o_local_err_max)
+          in
+          { e_spot = spot; e_influences = infl } :: acc
+        end
+        else acc)
+      r.Exec.r_spots []
+    |> List.sort (fun a b -> compare a.e_spot.Exec.s_id b.e_spot.Exec.s_id)
+  in
+  {
+    entries;
+    total_ops = Hashtbl.length r.Exec.r_ops;
+    total_spots = Hashtbl.length r.Exec.r_spots;
+    compensations = r.Exec.r_stats.Exec.compensations;
+  }
+
+let entry_to_string (e : entry) : string =
+  let buf = Buffer.create 256 in
+  let spot = e.e_spot in
+  Buffer.add_string buf
+    (Printf.sprintf "%s in %s\n"
+       (spot_kind_name spot.Exec.s_kind)
+       (Vex.Ir.loc_to_string spot.Exec.s_loc));
+  (match spot.Exec.s_kind with
+  | Exec.Spot_branch | Exec.Spot_convert ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %d incorrect values\n  %d total instances\n"
+           spot.Exec.s_incorrect spot.Exec.s_total)
+  | Exec.Spot_output ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  %.1f bits max error, %.1f bits average error\n  %d total instances\n"
+           spot.Exec.s_err_max
+           (spot.Exec.s_err_sum /. float_of_int (max 1 spot.Exec.s_total))
+           spot.Exec.s_total));
+  if e.e_influences <> [] then begin
+    Buffer.add_string buf "  Influenced by erroneous expressions:\n";
+    List.iter
+      (fun inf ->
+        let o = inf.i_op in
+        Buffer.add_string buf
+          (Printf.sprintf "    %.1f bits average local error (max %.1f)\n"
+             (o.Exec.o_local_err_sum /. float_of_int (max 1 o.Exec.o_count))
+             o.Exec.o_local_err_max);
+        Buffer.add_string buf (Printf.sprintf "    %s\n" inf.i_fpcore);
+        Buffer.add_string buf
+          (Printf.sprintf "      in %s\n" (Vex.Ir.loc_to_string o.Exec.o_loc));
+        Buffer.add_string buf
+          (Printf.sprintf "      Aggregated over %d instances\n" o.Exec.o_count))
+      e.e_influences
+  end;
+  Buffer.contents buf
+
+let to_string (t : t) : string =
+  if t.entries = [] then "No floating-point problems found.\n"
+  else String.concat "\n" (List.map entry_to_string t.entries)

@@ -1,0 +1,28 @@
+(** Rendering analysis results in the paper's report format: one entry
+    per erroneous spot, listing instance counts and the influencing
+    operations with their FPCore-formatted symbolic expressions. *)
+
+type influence_entry = {
+  i_op : Exec.op_info;
+  i_expr : Antiunify.sym;
+  i_fpcore : string;
+}
+
+type entry = { e_spot : Exec.spot_info; e_influences : influence_entry list }
+
+type t = {
+  entries : entry list;  (** erroneous spots, in program order *)
+  total_ops : int;
+  total_spots : int;
+  compensations : int;
+}
+
+val spot_kind_name : Exec.spot_kind -> string
+
+val spot_has_error : Exec.spot_info -> float -> bool
+(** Did the spot observe error above the threshold (outputs) or any
+    divergence (branches, conversions)? *)
+
+val build : ?cfg:Config.t -> Exec.result -> t
+val entry_to_string : entry -> string
+val to_string : t -> string

@@ -1,0 +1,45 @@
+(* Shadow values (paper sections 4 and 5.1-5.2).
+
+   A shadowed float carries three analyses at once: the exact real value
+   (Bigfloat, standing in for MPFR), the concrete trace of the computation
+   that produced it, and the influence set of high-local-error operations
+   it depends on. Shadows are immutable and freely shared between copies
+   in temporaries, thread state, and memory (section 6.2); OCaml's GC
+   replaces the reference counting of the C implementation.
+
+   Shadow *locations* describe what a VEX temporary or storage slot
+   holds: nothing, one scalar shadow, a float-comparison boolean, or the
+   lanes of a SIMD vector. *)
+
+module IntSet = Set.Make (Int)
+
+type t = {
+  real : Bignum.Bigfloat.t;
+  trace : Trace.node;
+  infl : IntSet.t;
+  single : bool;  (* true when this value lives on the binary32 grid *)
+}
+
+(* the shadow of a boolean produced by a float comparison: tracks whether
+   the real-number comparison agrees with the client's *)
+type sbool = { client_b : bool; shadow_b : bool; binfl : IntSet.t }
+
+type slot =
+  | SNone
+  | SVal of t
+  | SBool of sbool
+  | SVec of slot array  (* 2 (F64) or 4 (F32) lanes, each SNone/SVal *)
+
+(* lazily shadow a client value that has no recorded provenance; trace keys
+   always hash the exact value so equivalence inference is consistent
+   between leaves and computed nodes *)
+let fresh_leaf ?(single = false) (v : float) : t =
+  let real = Bignum.Bigfloat.of_float v in
+  {
+    real;
+    trace = Trace.leaf ~key:(Bignum.Bigfloat.hash real) v;
+    infl = IntSet.empty;
+    single;
+  }
+
+let client_value (s : t) : float = s.trace.Trace.value

@@ -1,0 +1,35 @@
+(** Shadow values (paper sections 4 and 5.1-5.2).
+
+    A shadowed float carries the three analyses at once: the exact real
+    value (standing in for MPFR), the concrete trace of the computation
+    that produced it, and the influence set of high-local-error
+    operations it depends on. Shadows are immutable and freely shared
+    between copies in temporaries, thread state and memory (6.2). *)
+
+module IntSet : Set.S with type elt = int
+
+type t = {
+  real : Bignum.Bigfloat.t;  (** the exact value *)
+  trace : Trace.node;  (** how it was computed *)
+  infl : IntSet.t;  (** stmt ids of tainting operations *)
+  single : bool;  (** lives on the binary32 grid *)
+}
+
+(** The shadow of a boolean produced by a float comparison: whether the
+    real-number comparison agrees with the client's. *)
+type sbool = { client_b : bool; shadow_b : bool; binfl : IntSet.t }
+
+(** What a VEX temporary or storage slot holds. *)
+type slot =
+  | SNone  (** nothing shadowed *)
+  | SVal of t  (** one scalar shadow (possibly riding in an integer) *)
+  | SBool of sbool
+  | SVec of slot array  (** SIMD lanes, 2 (F64) or 4 (F32) *)
+
+val fresh_leaf : ?single:bool -> float -> t
+(** Lazily shadow a client value with no recorded provenance (paper 6.1).
+    The trace key hashes the exact value, consistent with computed
+    nodes. *)
+
+val client_value : t -> float
+(** The client double this shadow accompanies. *)

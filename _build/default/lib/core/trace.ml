@@ -1,0 +1,92 @@
+(* Concrete expression traces (paper section 4.4).
+
+   Every shadowed value carries a trace node describing the computation
+   that produced it: a leaf (an input value with no float-op provenance, or
+   an immediate constant) or an operation applied to child traces. Nodes
+   are immutable and shared between copies of a value, mirroring the
+   reference-counted trace sharing of section 6.2 (OCaml's GC plays the
+   role of the reference counts).
+
+   [value] is the client double, used for display; [key] is a hash of the
+   *exact* shadow value, used for the runtime-value equivalence inference
+   of anti-unification. The distinction matters: at x = 1e16 the client
+   values of "x + 1" and "x" coincide, but their exact values do not, and
+   equating them would collapse the root cause (- (+ x 1) x) to (- x x).
+
+   Depth is capped: past [max_depth] a child is summarized by a leaf
+   carrying its value, corresponding to Herbgrind freeing deep concrete
+   trace nodes once they can no longer affect aggregation (6.3/6.4). *)
+
+type node = {
+  op : string;  (* "" for leaves *)
+  args : node array;
+  value : float;  (* the client double computed at this node *)
+  key : int;  (* hash of the exact (shadow real) value *)
+  depth : int;  (* 1 for leaves *)
+  size : int;  (* tree-expanded node count; bounds aggregation work *)
+  id : int;
+}
+
+let counter = ref 0
+
+let next_id () =
+  incr counter;
+  !counter
+
+let float_key v = Hashtbl.hash (Int64.bits_of_float v)
+
+let leaf ?key value =
+  let key = match key with Some k -> k | None -> float_key value in
+  { op = ""; args = [||]; value; key; depth = 1; size = 1; id = next_id () }
+
+let is_leaf n = n.op = ""
+
+(* replace a subtree by a value-only leaf *)
+let truncate n = leaf ~key:n.key n.value
+
+(* Nodes share children (a DAG), but aggregation walks them as trees, so
+   both the depth and the tree-expanded size must stay bounded; otherwise
+   a loop-carried accumulator (s = s + x) makes every walk exponential.
+   Oversized children are summarized by leaves, deepest first — the same
+   freeing of distant concrete trace nodes as the paper's section 6.3. *)
+let max_tree_size = 768
+
+let node ~max_depth ~key op args value =
+  let args =
+    Array.map (fun a -> if a.depth >= max_depth then truncate a else a) args
+  in
+  let args =
+    let total = Array.fold_left (fun s a -> s + a.size) 1 args in
+    if total <= max_tree_size then args
+    else begin
+      (* truncate the largest children until the node fits *)
+      let order =
+        Array.init (Array.length args) (fun i -> i)
+        |> Array.to_list
+        |> List.sort (fun i j -> compare args.(j).size args.(i).size)
+      in
+      let args = Array.copy args in
+      let total = ref total in
+      List.iter
+        (fun i ->
+          if !total > max_tree_size && not (is_leaf args.(i)) then begin
+            total := !total - args.(i).size + 1;
+            args.(i) <- truncate args.(i)
+          end)
+        order;
+      args
+    end
+  in
+  let depth = 1 + Array.fold_left (fun d a -> max d a.depth) 0 args in
+  let size = Array.fold_left (fun s a -> s + a.size) 1 args in
+  { op; args; value; key; depth; size; id = next_id () }
+
+let rec op_count n =
+  if is_leaf n then 0
+  else 1 + Array.fold_left (fun acc a -> acc + op_count a) 0 n.args
+
+let rec to_string n =
+  if is_leaf n then Printf.sprintf "%.17g" n.value
+  else
+    Printf.sprintf "(%s %s)" n.op
+      (String.concat " " (Array.to_list (Array.map to_string n.args)))

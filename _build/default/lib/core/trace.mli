@@ -1,0 +1,49 @@
+(** Concrete expression traces (paper section 4.4).
+
+    Each shadowed value carries a trace describing the computation that
+    produced it: a leaf (an input with no float-op provenance, or an
+    immediate), or an operation over child traces. Nodes are immutable
+    and shared between value copies (6.2); the GC replaces the original's
+    reference counting.
+
+    [value] is the client double (for display); [key] hashes the *exact*
+    shadow value and drives the runtime-value equivalence inference of
+    {!Antiunify} — keying on client doubles would equate [x+1] with [x]
+    at x = 1e16 and collapse the root cause.
+
+    Both depth and tree-expanded size are bounded: traces share children
+    as a DAG but aggregation walks them as trees, so an unbounded
+    loop-carried accumulator would make every walk exponential (the
+    paper's 6.3 freeing of distant concrete nodes). *)
+
+type node = private {
+  op : string;  (** [""] for leaves *)
+  args : node array;
+  value : float;  (** the client double computed at this node *)
+  key : int;  (** hash of the exact (shadow real) value *)
+  depth : int;  (** 1 for leaves *)
+  size : int;  (** tree-expanded node count *)
+  id : int;  (** unique node identity *)
+}
+
+val max_tree_size : int
+(** Bound on a node's tree-expanded size; larger children are summarized
+    by value leaves, deepest first. *)
+
+val float_key : float -> int
+(** Key for a leaf whose exact value is the double itself. *)
+
+val leaf : ?key:int -> float -> node
+val is_leaf : node -> bool
+
+val truncate : node -> node
+(** Replace a subtree by a value-only leaf (same key). *)
+
+val node : max_depth:int -> key:int -> string -> node array -> float -> node
+(** Build an operation node, truncating children that exceed [max_depth]
+    or push the node past {!max_tree_size}. *)
+
+val op_count : node -> int
+(** Number of operation nodes in the (truncated) tree. *)
+
+val to_string : node -> string

@@ -1,0 +1,1 @@
+lib/fpcore/ast.ml: Float List

@@ -1,0 +1,1 @@
+lib/fpcore/compile.ml: Ast Buffer Float List Minic Printf String Vex

@@ -1,0 +1,1 @@
+lib/fpcore/eval.ml: Array Ast Bignum Float Ieee List Vex

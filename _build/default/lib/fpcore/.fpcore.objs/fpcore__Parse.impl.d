@@ -1,0 +1,1 @@
+lib/fpcore/parse.ml: Ast List Sexp String

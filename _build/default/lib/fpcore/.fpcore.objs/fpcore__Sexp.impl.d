@@ -1,0 +1,1 @@
+lib/fpcore/sexp.ml: Buffer List String

@@ -1,0 +1,1 @@
+lib/fpcore/suite.ml: Array Ast Float Int64 List Parse

@@ -1,0 +1,88 @@
+(* FPCore abstract syntax (Damouche et al. 2016), covering the fragment
+   used by the FPBench benchmarks vendored in [Suite]. *)
+
+type expr =
+  | Num of float
+  | Const of string  (* PI, E, ... *)
+  | Var of string
+  | Op of string * expr list  (* arithmetic and math functions *)
+  | If of expr * expr * expr
+  | Let of (string * expr) list * expr  (* simultaneous *)
+  | LetStar of (string * expr) list * expr
+  | While of expr * (string * expr * expr) list * expr
+    (* cond, (var, init, update) list (simultaneous updates), result *)
+  | WhileStar of expr * (string * expr * expr) list * expr
+  | Cmp of string * expr list  (* <, <=, >, >=, ==, != *)
+  | AndE of expr list
+  | OrE of expr list
+  | NotE of expr
+
+type core = {
+  name : string option;
+  args : string list;
+  pre : expr option;
+  body : expr;
+}
+
+let constants = [ ("PI", Float.pi); ("E", Float.exp 1.0); ("LN2", Float.log 2.0) ]
+
+let is_comparison = function
+  | "<" | "<=" | ">" | ">=" | "==" | "!=" -> true
+  | _ -> false
+
+let arith_ops =
+  [ "+"; "-"; "*"; "/"; "sqrt"; "fabs"; "exp"; "expm1"; "exp2"; "log";
+    "log1p"; "log2"; "log10"; "pow"; "sin"; "cos"; "tan"; "asin"; "acos";
+    "atan"; "atan2"; "sinh"; "cosh"; "tanh"; "fma"; "hypot"; "fmax"; "fmin";
+    "floor"; "ceil"; "trunc"; "round"; "fmod"; "cbrt"; "copysign"; "fdim" ]
+
+let rec free_vars_expr bound (e : expr) : string list =
+  match e with
+  | Num _ | Const _ -> []
+  | Var v -> if List.mem v bound then [] else [ v ]
+  | Op (_, args) | Cmp (_, args) | AndE args | OrE args ->
+      List.concat_map (free_vars_expr bound) args
+  | NotE a -> free_vars_expr bound a
+  | If (c, t, e2) ->
+      free_vars_expr bound c @ free_vars_expr bound t @ free_vars_expr bound e2
+  | Let (binds, body) ->
+      let init_vars = List.concat_map (fun (_, e) -> free_vars_expr bound e) binds in
+      let bound' = List.map fst binds @ bound in
+      init_vars @ free_vars_expr bound' body
+  | LetStar (binds, body) ->
+      let rec go bound acc = function
+        | [] -> (bound, acc)
+        | (x, e) :: rest -> go (x :: bound) (acc @ free_vars_expr bound e) rest
+      in
+      let bound', acc = go bound [] binds in
+      acc @ free_vars_expr bound' body
+  | While (c, binds, res) | WhileStar (c, binds, res) ->
+      let inits = List.concat_map (fun (_, i, _) -> free_vars_expr bound i) binds in
+      let bound' = List.map (fun (x, _, _) -> x) binds @ bound in
+      inits
+      @ List.concat_map (fun (_, _, u) -> free_vars_expr bound' u) binds
+      @ free_vars_expr bound' c @ free_vars_expr bound' res
+
+let rec op_count = function
+  | Num _ | Const _ | Var _ -> 0
+  | Op (_, args) -> 1 + List.fold_left (fun a e -> a + op_count e) 0 args
+  | Cmp (_, args) | AndE args | OrE args ->
+      1 + List.fold_left (fun a e -> a + op_count e) 0 args
+  | NotE a -> 1 + op_count a
+  | If (c, t, e) -> op_count c + op_count t + op_count e
+  | Let (binds, body) | LetStar (binds, body) ->
+      List.fold_left (fun a (_, e) -> a + op_count e) 0 binds + op_count body
+  | While (c, binds, res) | WhileStar (c, binds, res) ->
+      op_count c
+      + List.fold_left (fun a (_, i, u) -> a + op_count i + op_count u) 0 binds
+      + op_count res
+
+let rec has_loop = function
+  | Num _ | Const _ | Var _ -> false
+  | Op (_, args) | Cmp (_, args) | AndE args | OrE args ->
+      List.exists has_loop args
+  | NotE a -> has_loop a
+  | If (c, t, e) -> has_loop c || has_loop t || has_loop e
+  | Let (binds, body) | LetStar (binds, body) ->
+      List.exists (fun (_, e) -> has_loop e) binds || has_loop body
+  | While _ | WhileStar _ -> true

@@ -1,0 +1,230 @@
+(* FPCore -> MiniC source. This plays the role of the FPBench-to-C
+   compilation used by the paper's section 8 harness: each benchmark
+   becomes a MiniC program whose main() reads input tuples through the
+   __arg builtin, evaluates the benchmark in a loop, and prints the
+   result (which becomes an output spot for the analysis). *)
+
+exception Error of string
+
+let buf_add = Buffer.add_string
+
+(* sanitize FPCore identifiers into MiniC identifiers *)
+let sanitize name =
+  let b = Buffer.create (String.length name) in
+  String.iter
+    (fun c ->
+      if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+      then Buffer.add_char b c
+      else Buffer.add_char b '_')
+    name;
+  let s = Buffer.contents b in
+  if s = "" || (s.[0] >= '0' && s.[0] <= '9') then "v_" ^ s else s
+
+let float_lit f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+type ctx = {
+  buf : Buffer.t;
+  mutable indent : int;
+  mutable counter : int;
+  mutable renames : (string * string) list;  (* FPCore var -> MiniC var *)
+}
+
+let fresh ctx prefix =
+  ctx.counter <- ctx.counter + 1;
+  Printf.sprintf "%s%d" prefix ctx.counter
+
+let line ctx s =
+  buf_add ctx.buf (String.make (2 * ctx.indent) ' ');
+  buf_add ctx.buf s;
+  buf_add ctx.buf "\n"
+
+let rename ctx x =
+  match List.assoc_opt x ctx.renames with
+  | Some m -> m
+  | None -> raise (Error ("unbound FPCore variable " ^ x))
+
+(* Generate statements computing [e]; returns a MiniC expression string
+   for its value. Statement-level constructs (if/let/while) emit code. *)
+let rec gen ctx (e : Ast.expr) : string =
+  match e with
+  | Ast.Num f -> "(" ^ float_lit f ^ ")"
+  | Ast.Const c -> "(" ^ float_lit (List.assoc c Ast.constants) ^ ")"
+  | Ast.Var x -> rename ctx x
+  | Ast.Op ("-", [ a ]) -> Printf.sprintf "(-%s)" (gen ctx a)
+  | Ast.Op ("+", [ a ]) -> gen ctx a
+  | Ast.Op (("+" | "-" | "*" | "/") as op, args) -> begin
+      match List.map (gen ctx) args with
+      | [ a; b ] -> Printf.sprintf "(%s %s %s)" a op b
+      | a :: (_ :: _ as rest) when op = "+" || op = "*" ->
+          List.fold_left (fun acc x -> Printf.sprintf "(%s %s %s)" acc op x) a rest
+      | _ -> raise (Error ("bad arity for " ^ op))
+    end
+  | Ast.Op (fn, args) ->
+      Printf.sprintf "%s(%s)" fn (String.concat ", " (List.map (gen ctx) args))
+  | Ast.If (c, t, e2) ->
+      let tmp = fresh ctx "t" in
+      line ctx (Printf.sprintf "double %s = 0.0;" tmp);
+      let cs = gen_cond ctx c in
+      line ctx (Printf.sprintf "if (%s) {" cs);
+      ctx.indent <- ctx.indent + 1;
+      let tv = gen ctx t in
+      line ctx (Printf.sprintf "%s = %s;" tmp tv);
+      ctx.indent <- ctx.indent - 1;
+      line ctx "} else {";
+      ctx.indent <- ctx.indent + 1;
+      let ev = gen ctx e2 in
+      line ctx (Printf.sprintf "%s = %s;" tmp ev);
+      ctx.indent <- ctx.indent - 1;
+      line ctx "}";
+      tmp
+  | Ast.Let (binds, body) ->
+      (* simultaneous: evaluate all inits in the outer scope first *)
+      let saved = ctx.renames in
+      let evaluated =
+        List.map
+          (fun (x, e) ->
+            let v = gen ctx e in
+            let m = fresh ctx (sanitize x ^ "_") in
+            line ctx (Printf.sprintf "double %s = %s;" m v);
+            (x, m))
+          binds
+      in
+      ctx.renames <- evaluated @ saved;
+      let r = gen ctx body in
+      ctx.renames <- saved;
+      r
+  | Ast.LetStar (binds, body) ->
+      let saved = ctx.renames in
+      List.iter
+        (fun (x, e) ->
+          let v = gen ctx e in
+          let m = fresh ctx (sanitize x ^ "_") in
+          line ctx (Printf.sprintf "double %s = %s;" m v);
+          ctx.renames <- (x, m) :: ctx.renames)
+        binds;
+      let r = gen ctx body in
+      ctx.renames <- saved;
+      r
+  | Ast.While (c, binds, res) ->
+      let saved = ctx.renames in
+      (* initialize state variables *)
+      let state =
+        List.map
+          (fun (x, init, _) ->
+            let v = gen ctx init in
+            let m = fresh ctx (sanitize x ^ "_") in
+            line ctx (Printf.sprintf "double %s = %s;" m v);
+            (x, m))
+          binds
+      in
+      ctx.renames <- state @ saved;
+      let cs = gen_cond ctx c in
+      line ctx (Printf.sprintf "while (%s) {" cs);
+      ctx.indent <- ctx.indent + 1;
+      (* simultaneous updates via temporaries *)
+      let temps =
+        List.map
+          (fun (x, _, update) ->
+            let v = gen ctx update in
+            let tmp = fresh ctx "u" in
+            line ctx (Printf.sprintf "double %s = %s;" tmp v);
+            (x, tmp))
+          binds
+      in
+      List.iter
+        (fun (x, tmp) -> line ctx (Printf.sprintf "%s = %s;" (rename ctx x) tmp))
+        temps;
+      ctx.indent <- ctx.indent - 1;
+      line ctx "}";
+      let r = gen ctx res in
+      ctx.renames <- saved;
+      r
+  | Ast.WhileStar (c, binds, res) ->
+      let saved = ctx.renames in
+      let state =
+        List.map
+          (fun (x, init, _) ->
+            let v = gen ctx init in
+            let m = fresh ctx (sanitize x ^ "_") in
+            line ctx (Printf.sprintf "double %s = %s;" m v);
+            (x, m))
+          binds
+      in
+      ctx.renames <- state @ saved;
+      let cs = gen_cond ctx c in
+      line ctx (Printf.sprintf "while (%s) {" cs);
+      ctx.indent <- ctx.indent + 1;
+      List.iter
+        (fun (x, _, update) ->
+          let v = gen ctx update in
+          line ctx (Printf.sprintf "%s = %s;" (rename ctx x) v))
+        binds;
+      ctx.indent <- ctx.indent - 1;
+      line ctx "}";
+      let r = gen ctx res in
+      ctx.renames <- saved;
+      r
+  | Ast.Cmp _ | Ast.AndE _ | Ast.OrE _ | Ast.NotE _ ->
+      raise (Error "boolean expression in numeric position")
+
+and gen_cond ctx (e : Ast.expr) : string =
+  match e with
+  | Ast.Cmp (op, args) -> begin
+      let vals = List.map (gen ctx) args in
+      match vals with
+      | [ a; b ] -> Printf.sprintf "%s %s %s" a op b
+      | _ ->
+          (* chained comparison: a < b < c *)
+          let rec chain = function
+            | a :: b :: rest ->
+                Printf.sprintf "%s %s %s" a op b
+                :: (if rest = [] then [] else chain (b :: rest))
+            | _ -> []
+          in
+          String.concat " && " (chain vals)
+    end
+  | Ast.AndE args ->
+      String.concat " && " (List.map (fun a -> "(" ^ gen_cond ctx a ^ ")") args)
+  | Ast.OrE args ->
+      String.concat " || " (List.map (fun a -> "(" ^ gen_cond ctx a ^ ")") args)
+  | Ast.NotE a -> "!(" ^ gen_cond ctx a ^ ")"
+  | _ ->
+      (* numeric truthiness *)
+      Printf.sprintf "%s != 0.0" (gen ctx e)
+
+(* The whole harness program: iterate over [n_inputs] tuples. *)
+let to_minic ?(n_inputs = 16) (core : Ast.core) : string =
+  let ctx = { buf = Buffer.create 1024; indent = 0; counter = 0; renames = [] } in
+  let nvars = List.length core.Ast.args in
+  line ctx "int main() {";
+  ctx.indent <- 1;
+  line ctx "int __i;";
+  line ctx (Printf.sprintf "for (__i = 0; __i < %d; __i = __i + 1) {" n_inputs);
+  ctx.indent <- 2;
+  List.iteri
+    (fun k x ->
+      let m = sanitize x in
+      line ctx
+        (Printf.sprintf "double %s = __arg(__i * %d + %d);" m nvars k);
+      ctx.renames <- (x, m) :: ctx.renames)
+    core.Ast.args;
+  let result = gen ctx core.Ast.body in
+  line ctx (Printf.sprintf "print(%s);" result);
+  ctx.indent <- 1;
+  line ctx "}";
+  line ctx "return 0;";
+  ctx.indent <- 0;
+  line ctx "}";
+  Buffer.contents ctx.buf
+
+let compile ?(wrap_libm = true) ?n_inputs ?name (core : Ast.core) : Vex.Ir.prog =
+  let src = to_minic ?n_inputs core in
+  let name =
+    match (name, core.Ast.name) with
+    | Some n, _ -> n
+    | None, Some n -> n
+    | None, None -> "fpcore"
+  in
+  Minic.compile ~wrap_libm ~file:(sanitize name ^ ".mc") src

@@ -1,0 +1,123 @@
+(* Sexp -> FPCore. Properties (:name, :pre, :precision, ...) are parsed;
+   unknown properties and (! ...) annotations are skipped. *)
+
+exception Error of string
+
+let err msg = raise (Error msg)
+
+let parse_number (a : string) : float option =
+  match float_of_string_opt a with
+  | Some f -> Some f
+  | None -> (
+      (* rational literals like 17/3 *)
+      match String.index_opt a '/' with
+      | Some i when i > 0 && i < String.length a - 1 -> (
+          let n = String.sub a 0 i
+          and d = String.sub a (i + 1) (String.length a - i - 1) in
+          match (float_of_string_opt n, float_of_string_opt d) with
+          | Some n, Some d -> Some (n /. d)
+          | _ -> None)
+      | _ -> None)
+
+let rec expr_of_sexp (s : Sexp.t) : Ast.expr =
+  match s with
+  | Sexp.Atom a -> begin
+      match parse_number a with
+      | Some f -> Ast.Num f
+      | None ->
+          if List.mem_assoc a Ast.constants then Ast.Const a else Ast.Var a
+    end
+  | Sexp.List (Sexp.Atom "if" :: rest) -> begin
+      match rest with
+      | [ c; t; e ] -> Ast.If (expr_of_sexp c, expr_of_sexp t, expr_of_sexp e)
+      | _ -> err "if expects 3 arguments"
+    end
+  | Sexp.List [ Sexp.Atom ("let" as kw); Sexp.List binds; body ]
+  | Sexp.List [ Sexp.Atom ("let*" as kw); Sexp.List binds; body ] ->
+      let parse_bind = function
+        | Sexp.List [ Sexp.Atom x; e ] -> (x, expr_of_sexp e)
+        | _ -> err "malformed let binding"
+      in
+      let binds = List.map parse_bind binds in
+      if kw = "let" then Ast.Let (binds, expr_of_sexp body)
+      else Ast.LetStar (binds, expr_of_sexp body)
+  | Sexp.List [ Sexp.Atom ("while" as kw); cond; Sexp.List binds; res ]
+  | Sexp.List [ Sexp.Atom ("while*" as kw); cond; Sexp.List binds; res ] ->
+      let parse_bind = function
+        | Sexp.List [ Sexp.Atom x; init; update ] ->
+            (x, expr_of_sexp init, expr_of_sexp update)
+        | _ -> err "malformed while binding"
+      in
+      let binds = List.map parse_bind binds in
+      if kw = "while" then Ast.While (expr_of_sexp cond, binds, expr_of_sexp res)
+      else Ast.WhileStar (expr_of_sexp cond, binds, expr_of_sexp res)
+  | Sexp.List (Sexp.Atom "!" :: rest) -> begin
+      (* annotation: skip the properties, keep the expression *)
+      let rec skip = function
+        | [ e ] -> expr_of_sexp e
+        | Sexp.Atom p :: _ :: rest when String.length p > 0 && p.[0] = ':' ->
+            skip rest
+        | _ -> err "malformed annotation"
+      in
+      skip rest
+    end
+  | Sexp.List (Sexp.Atom "and" :: args) -> Ast.AndE (List.map expr_of_sexp args)
+  | Sexp.List (Sexp.Atom "or" :: args) -> Ast.OrE (List.map expr_of_sexp args)
+  | Sexp.List [ Sexp.Atom "not"; a ] -> Ast.NotE (expr_of_sexp a)
+  | Sexp.List (Sexp.Atom op :: args) when Ast.is_comparison op ->
+      Ast.Cmp (op, List.map expr_of_sexp args)
+  | Sexp.List (Sexp.Atom op :: args) ->
+      if List.mem op Ast.arith_ops then Ast.Op (op, List.map expr_of_sexp args)
+      else err ("unknown operator " ^ op)
+  | Sexp.List _ -> err "malformed expression"
+
+let core_of_sexp (s : Sexp.t) : Ast.core =
+  match s with
+  | Sexp.List (Sexp.Atom "FPCore" :: rest) -> begin
+      let args, rest =
+        match rest with
+        | Sexp.List args :: rest ->
+            ( List.map
+                (function
+                  | Sexp.Atom a -> a
+                  | Sexp.List (Sexp.Atom "!" :: tail) -> begin
+                      (* annotated argument: last atom is the name *)
+                      match List.rev tail with
+                      | Sexp.Atom name :: _ -> name
+                      | _ -> err "malformed annotated argument"
+                    end
+                  | Sexp.List _ -> err "malformed argument")
+                args,
+              rest )
+        | Sexp.Atom fname :: Sexp.List args :: rest ->
+            ignore fname;
+            ( List.map
+                (function Sexp.Atom a -> a | Sexp.List _ -> err "bad arg")
+                args,
+              rest )
+        | _ -> err "FPCore expects an argument list"
+      in
+      let name = ref None and pre = ref None in
+      let rec props = function
+        | [ body ] -> body
+        | Sexp.Atom ":name" :: Sexp.Atom n :: rest ->
+            let n =
+              if String.length n >= 2 && n.[0] = '"' then
+                String.sub n 1 (String.length n - 2)
+              else n
+            in
+            name := Some n;
+            props rest
+        | Sexp.Atom ":pre" :: p :: rest ->
+            pre := Some (expr_of_sexp p);
+            props rest
+        | Sexp.Atom p :: _ :: rest when String.length p > 0 && p.[0] = ':' ->
+            props rest
+        | _ -> err "malformed FPCore properties"
+      in
+      let body = props rest in
+      { Ast.name = !name; args; pre = !pre; body = expr_of_sexp body }
+    end
+  | _ -> err "not an FPCore form"
+
+let parse_core (src : string) : Ast.core = core_of_sexp (Sexp.parse src)

@@ -1,0 +1,83 @@
+(* Minimal s-expression reader for the FPCore format. *)
+
+type t = Atom of string | List of t list
+
+exception Parse_error of string
+
+let tokenize (src : string) : string list =
+  let tokens = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      tokens := Buffer.contents buf :: !tokens;
+      Buffer.clear buf
+    end
+  in
+  let n = String.length src in
+  let i = ref 0 in
+  while !i < n do
+    (match src.[!i] with
+    | '(' | '[' ->
+        flush ();
+        tokens := "(" :: !tokens
+    | ')' | ']' ->
+        flush ();
+        tokens := ")" :: !tokens
+    | ' ' | '\t' | '\n' | '\r' -> flush ()
+    | ';' ->
+        flush ();
+        while !i < n && src.[!i] <> '\n' do
+          incr i
+        done
+    | '"' ->
+        (* string literal: kept as a single atom including quotes *)
+        flush ();
+        Buffer.add_char buf '"';
+        incr i;
+        while !i < n && src.[!i] <> '"' do
+          Buffer.add_char buf src.[!i];
+          incr i
+        done;
+        Buffer.add_char buf '"';
+        flush ()
+    | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  flush ();
+  List.rev !tokens
+
+let parse_many (src : string) : t list =
+  let tokens = tokenize src in
+  let rec parse_one = function
+    | [] -> raise (Parse_error "unexpected end of input")
+    | "(" :: rest ->
+        let items, rest = parse_list rest [] in
+        (List items, rest)
+    | ")" :: _ -> raise (Parse_error "unexpected )")
+    | atom :: rest -> (Atom atom, rest)
+  and parse_list tokens acc =
+    match tokens with
+    | [] -> raise (Parse_error "unterminated list")
+    | ")" :: rest -> (List.rev acc, rest)
+    | _ ->
+        let item, rest = parse_one tokens in
+        parse_list rest (item :: acc)
+  in
+  let rec go tokens acc =
+    match tokens with
+    | [] -> List.rev acc
+    | _ ->
+        let item, rest = parse_one tokens in
+        go rest (item :: acc)
+  in
+  go tokens []
+
+let parse (src : string) : t =
+  match parse_many src with
+  | [ s ] -> s
+  | [] -> raise (Parse_error "empty input")
+  | _ -> raise (Parse_error "expected a single s-expression")
+
+let rec to_string = function
+  | Atom a -> a
+  | List items -> "(" ^ String.concat " " (List.map to_string items) ^ ")"

@@ -1,0 +1,411 @@
+(* The FPBench benchmark suite (Damouche et al. 2016), vendored as FPCore
+   source. The paper's section 8 evaluation uses 59 straight-line and 13
+   looping FPBench expressions; this reproduction vendors a comparable set
+   drawn from the same suite families: the FPBench/Herbie application
+   benchmarks (doppler, turbine, kepler, jet, rigidBody, ...), the
+   Hamming/NMSE accuracy problems, and the control/integration loop
+   benchmarks. Each entry carries sampling ranges for its inputs, standing
+   in for the suite's :pre preconditions. *)
+
+type scale = Linear | Log
+
+type bench = {
+  name : string;
+  group : [ `Straight | `Loop ];
+  src : string;
+  ranges : (string * float * float * scale) list;
+}
+
+let b name group ranges src = { name; group; src; ranges }
+
+(* ---------- straight-line: application benchmarks ---------- *)
+
+let straight_line =
+  [
+    b "intro-example" `Straight
+      [ ("x", 1.0, 1e9, Log) ]
+      "(FPCore (x) (- (sqrt (+ x 1)) (sqrt x)))";
+    b "x_by_xy" `Straight
+      [ ("x", 1.0, 4.0, Linear); ("y", 1.0, 4.0, Linear) ]
+      "(FPCore (x y) (/ x (+ x y)))";
+    b "hypot-naive" `Straight
+      [ ("x", 1.0, 100.0, Linear); ("y", 1.0, 100.0, Linear) ]
+      "(FPCore (x y) (sqrt (+ (* x x) (* y y))))";
+    b "logexp" `Straight
+      [ ("x", -8.0, 8.0, Linear) ]
+      "(FPCore (x) (log (+ 1 (exp x))))";
+    b "carbon-gas" `Straight
+      [ ("v", 0.1, 0.5, Linear) ]
+      "(FPCore (v) (let ((p 35000000.0) (a 0.401) (b 0.0000427) (t 300.0) \
+       (n 1000.0) (k 0.000000000000000000000013806503)) (- (* (+ p (* (* a \
+       (/ n v)) (/ n v))) (- v (* n b))) (* (* k n) t))))";
+    b "doppler1" `Straight
+      [ ("u", -100.0, 100.0, Linear); ("v", 20.0, 20000.0, Linear);
+        ("t", -30.0, 50.0, Linear) ]
+      "(FPCore (u v t) (let ((t1 (+ 331.4 (* 0.6 t)))) (/ (* (- t1) v) (* \
+       (+ t1 u) (+ t1 u)))))";
+    b "doppler2" `Straight
+      [ ("u", -125.0, 125.0, Linear); ("v", 15.0, 25000.0, Linear);
+        ("t", -40.0, 60.0, Linear) ]
+      "(FPCore (u v t) (let ((t1 (+ 331.4 (* 0.6 t)))) (/ (* (- t1) v) (* \
+       (+ t1 u) (+ t1 u)))))";
+    b "doppler3" `Straight
+      [ ("u", -30.0, 120.0, Linear); ("v", 320.0, 20300.0, Linear);
+        ("t", -50.0, 30.0, Linear) ]
+      "(FPCore (u v t) (let ((t1 (+ 331.4 (* 0.6 t)))) (/ (* (- t1) v) (* \
+       (+ t1 u) (+ t1 u)))))";
+    b "jet-engine" `Straight
+      [ ("x1", -5.0, 5.0, Linear); ("x2", -20.0, 5.0, Linear) ]
+      "(FPCore (x1 x2) (let ((t (- (* (* 3 x1) x1) (+ (* 2 x2) x1)))) (+ x1 \
+       (+ (* (* (* (* 2 x1) (/ t (+ (* x1 x1) 1))) (/ t (+ (* x1 x1) 1))) \
+       (- (* x1 x1) 3)) (* (* (* x1 x1) (* 4 (/ t (+ (* x1 x1) 1)))) 6)))))";
+    b "predator-prey" `Straight
+      [ ("x", 0.1, 0.3, Linear) ]
+      "(FPCore (x) (let ((r 4.0) (k 1.11)) (/ (* (* r x) x) (+ 1 (* (/ x k) \
+       (/ x k))))))";
+    b "rigid-body1" `Straight
+      [ ("x1", -15.0, 15.0, Linear); ("x2", -15.0, 15.0, Linear);
+        ("x3", -15.0, 15.0, Linear) ]
+      "(FPCore (x1 x2 x3) (- (- (- (* (- x1) x2) (* (* 2 x2) x3)) x1) x3))";
+    b "rigid-body2" `Straight
+      [ ("x1", -15.0, 15.0, Linear); ("x2", -15.0, 15.0, Linear);
+        ("x3", -15.0, 15.0, Linear) ]
+      "(FPCore (x1 x2 x3) (- (+ (- (* (* (* 2 x1) x2) x3) (* (* 3 x3) x3)) \
+       (* (* (* x2 x1) x2) x3)) x2))";
+    b "sine-taylor" `Straight
+      [ ("x", -1.57079632679, 1.57079632679, Linear) ]
+      "(FPCore (x) (+ (- (- x (/ (* (* x x) x) 6)) (- 0 (/ (* (* (* (* x x) \
+       x) x) x) 120))) (- 0 (/ (* (* (* (* (* (* x x) x) x) x) x) x) 5040))))";
+    b "sine-order3" `Straight
+      [ ("x", -2.0, 2.0, Linear) ]
+      "(FPCore (x) (- (* 0.954929658551372 x) (* 0.12900613773279798 (* (* \
+       x x) x))))";
+    b "sqroot-taylor" `Straight
+      [ ("x", 0.0, 1.0, Linear) ]
+      "(FPCore (x) (- (+ (- (+ 1 (* 0.5 x)) (* (* 0.125 x) x)) (* (* (* \
+       0.0625 x) x) x)) (* (* (* (* 0.0390625 x) x) x) x)))";
+    b "turbine1" `Straight
+      [ ("v", -4.5, -0.3, Linear); ("w", 0.4, 0.9, Linear);
+        ("r", 3.8, 7.8, Linear) ]
+      "(FPCore (v w r) (- (- (+ 3 (/ 2 (* r r))) (/ (* (* 0.125 (- 3 (* 2 \
+       v))) (* (* w w) (* r r))) (- 1 v))) 4.5))";
+    b "turbine2" `Straight
+      [ ("v", -4.5, -0.3, Linear); ("w", 0.4, 0.9, Linear);
+        ("r", 3.8, 7.8, Linear) ]
+      "(FPCore (v w r) (- (- (* 6 v) (/ (* (* 0.5 v) (* (* w w) (* r r))) \
+       (- 1 v))) 2.5))";
+    b "turbine3" `Straight
+      [ ("v", -4.5, -0.3, Linear); ("w", 0.4, 0.9, Linear);
+        ("r", 3.8, 7.8, Linear) ]
+      "(FPCore (v w r) (- (- (- 3 (/ 2 (* r r))) (/ (* (* 0.125 (+ 1 (* 2 \
+       v))) (* (* w w) (* r r))) (- 1 v))) 0.5))";
+    b "verhulst" `Straight
+      [ ("x", 0.1, 0.3, Linear) ]
+      "(FPCore (x) (let ((r 4.0) (k 1.11)) (/ (* r x) (+ 1 (/ x k)))))";
+    b "kepler0" `Straight
+      [ ("x1", 4.0, 6.36, Linear); ("x2", 4.0, 6.36, Linear);
+        ("x3", 4.0, 6.36, Linear); ("x4", 4.0, 6.36, Linear);
+        ("x5", 4.0, 6.36, Linear); ("x6", 4.0, 6.36, Linear) ]
+      "(FPCore (x1 x2 x3 x4 x5 x6) (+ (- (+ (* x2 x5) (* x3 x6)) (* x2 x3)) \
+       (- (* x5 x6) (* x1 (+ (- (- (+ x1 x2) x3) x4) (- x5 x6))))))";
+    b "kepler1" `Straight
+      [ ("x1", 4.0, 6.36, Linear); ("x2", 4.0, 6.36, Linear);
+        ("x3", 4.0, 6.36, Linear); ("x4", 4.0, 6.36, Linear) ]
+      "(FPCore (x1 x2 x3 x4) (- (- (- (- (+ (* (* x1 x4) (+ (- (- x1 x2) \
+       x3) x4)) (* x2 (- (+ (- x1 x2) x3) x4))) (* x3 x4)) (* (* x2 x3) \
+       x4)) (* x1 x3)) x1))";
+    b "kepler2" `Straight
+      [ ("x1", 4.0, 6.36, Linear); ("x2", 4.0, 6.36, Linear);
+        ("x3", 4.0, 6.36, Linear); ("x4", 4.0, 6.36, Linear);
+        ("x5", 4.0, 6.36, Linear); ("x6", 4.0, 6.36, Linear) ]
+      "(FPCore (x1 x2 x3 x4 x5 x6) (- (- (- (- (+ (* (* x1 x4) (+ (+ (- (- \
+       x1 x2) x3) x4) (- x5 x6))) (* (* x2 x5) (+ (- (+ (+ x1 x2) x3) x4) \
+       (- x6 x5)))) (* (* x3 x6) (+ (- (+ (- x1 x2) x3) x4) (+ x5 x6)))) (* \
+       (* x2 x3) x4)) (* (* x1 x3) x5)) (* (* x1 x2) x6)))";
+    b "himmilbeau" `Straight
+      [ ("x1", -5.0, 5.0, Linear); ("x2", -5.0, 5.0, Linear) ]
+      "(FPCore (x1 x2) (let ((a (- (+ (* x1 x1) x2) 11)) (b (- (+ x1 (* x2 \
+       x2)) 7))) (+ (* a a) (* b b))))";
+    b "delta4" `Straight
+      [ ("x1", 4.0, 6.36, Linear); ("x2", 4.0, 6.36, Linear);
+        ("x3", 4.0, 6.36, Linear); ("x4", 4.0, 6.36, Linear);
+        ("x5", 4.0, 6.36, Linear); ("x6", 4.0, 6.36, Linear) ]
+      "(FPCore (x1 x2 x3 x4 x5 x6) (+ (+ (+ (+ (+ (* (- x2) x3) (* (- x1) \
+       x4)) (* x2 x5)) (* x3 x6)) (* (- x5) x6)) (* x1 (+ (+ (+ (- (- x1) \
+       x2) x3) (- x4 x5)) x6))))";
+    b "quadratic-p" `Straight
+      [ ("a", 1.0, 10.0, Linear); ("b", 100.0, 1000.0, Linear);
+        ("c", 0.001, 1.0, Linear) ]
+      "(FPCore (a b c) (/ (+ (- b) (sqrt (- (* b b) (* (* 4 a) c)))) (* 2 a)))";
+    b "quadratic-m" `Straight
+      [ ("a", 1.0, 10.0, Linear); ("b", 100.0, 1000.0, Linear);
+        ("c", 0.001, 1.0, Linear) ]
+      "(FPCore (a b c) (/ (- (- b) (sqrt (- (* b b) (* (* 4 a) c)))) (* 2 a)))";
+    b "nonlin1" `Straight
+      [ ("x", 1.00001, 2.0, Linear) ]
+      "(FPCore (x) (/ (- x 1) (- (* x x) 1)))";
+    b "nonlin2" `Straight
+      [ ("x", 1.001, 10.0, Linear); ("y", 1.001, 10.0, Linear) ]
+      "(FPCore (x y) (/ (- (* x y) 1) (- (* (* x y) (* x y)) 1)))";
+    b "exp1x" `Straight
+      [ ("x", 0.01, 0.5, Linear) ]
+      "(FPCore (x) (/ (- (exp x) 1) x))";
+    b "exp1x-small" `Straight
+      [ ("x", 1e-12, 1e-6, Log) ]
+      "(FPCore (x) (/ (- (exp x) 1) x))";
+    (* ---------- Hamming / NMSE accuracy problems ---------- *)
+    b "nmse-3-1" `Straight
+      [ ("x", 1.0, 1e12, Log) ]
+      "(FPCore (x) (- (sqrt (+ x 1)) (sqrt x)))";
+    b "nmse-3-3" `Straight
+      [ ("x", 0.1, 10.0, Linear); ("eps", 1e-10, 1e-6, Log) ]
+      "(FPCore (x eps) (- (sin (+ x eps)) (sin x)))";
+    b "nmse-3-4" `Straight
+      [ ("x", 1e-8, 0.01, Log) ]
+      "(FPCore (x) (/ (- 1 (cos x)) (sin x)))";
+    b "nmse-3-5" `Straight
+      [ ("n", 1000.0, 1e8, Log) ]
+      "(FPCore (n) (- (atan (+ n 1)) (atan n)))";
+    b "nmse-3-6" `Straight
+      [ ("x", 100.0, 1e10, Log) ]
+      "(FPCore (x) (- (/ 1 (sqrt x)) (/ 1 (sqrt (+ x 1)))))";
+    b "nmse-p331" `Straight
+      [ ("x", 100.0, 1e10, Log) ]
+      "(FPCore (x) (- (/ 1 (+ x 1)) (/ 1 x)))";
+    b "nmse-p333" `Straight
+      [ ("x", 100.0, 1e7, Log) ]
+      "(FPCore (x) (+ (- (/ 1 (+ x 1)) (/ 2 x)) (/ 1 (- x 1))))";
+    b "nmse-p336" `Straight
+      [ ("x", 100.0, 1e10, Log) ]
+      "(FPCore (x) (- (log (+ x 1)) (log x)))";
+    b "nmse-p337" `Straight
+      [ ("x", 1e-8, 0.001, Log) ]
+      "(FPCore (x) (+ (- (exp x) 2) (exp (- x))))";
+    b "nmse-ex38" `Straight
+      [ ("n", 1000.0, 1e8, Log) ]
+      "(FPCore (n) (- (- (* (+ n 1) (log (+ n 1))) (* n (log n))) 1))";
+    b "nmse-ex39" `Straight
+      [ ("x", 1e-8, 0.001, Log) ]
+      "(FPCore (x) (- (/ 1 x) (/ 1 (tan x))))";
+    b "nmse-ex310" `Straight
+      [ ("x", 1e-10, 0.001, Log) ]
+      "(FPCore (x) (/ (log (- 1 x)) (log (+ 1 x))))";
+    b "nmse-p341" `Straight
+      [ ("x", 1e-8, 0.01, Log) ]
+      "(FPCore (x) (/ (- 1 (cos x)) (* x x)))";
+    b "nmse-s311" `Straight
+      [ ("x", 1e-8, 0.001, Log) ]
+      "(FPCore (x) (/ (exp x) (- (exp x) 1)))";
+    b "nmse-p345" `Straight
+      [ ("x", 0.01, 1.5, Linear) ]
+      "(FPCore (x) (/ (- x (sin x)) (- x (tan x))))";
+    b "cos-naive" `Straight
+      [ ("x", 1e-9, 1e-5, Log) ]
+      "(FPCore (x) (- 1 (cos x)))";
+    b "expm1-naive" `Straight
+      [ ("x", 1e-12, 1e-7, Log) ]
+      "(FPCore (x) (- (exp x) 1))";
+    b "log1p-naive" `Straight
+      [ ("x", 1e-12, 1e-7, Log) ]
+      "(FPCore (x) (log (+ 1 x)))";
+    b "tan-diff" `Straight
+      [ ("x", 0.1, 1.0, Linear); ("eps", 1e-10, 1e-7, Log) ]
+      "(FPCore (x eps) (- (tan (+ x eps)) (tan x)))";
+    b "asin-edge" `Straight
+      [ ("x", 0.9999, 0.99999999, Linear) ]
+      "(FPCore (x) (asin x))";
+    b "atanh-like" `Straight
+      [ ("x", 1e-8, 0.001, Log) ]
+      "(FPCore (x) (* 0.5 (log (/ (+ 1 x) (- 1 x)))))";
+    b "midpoint-naive" `Straight
+      [ ("a", 1e8, 1e9, Linear); ("b", 1e8, 1e9, Linear) ]
+      "(FPCore (a b) (/ (+ a b) 2))";
+    b "variance-naive" `Straight
+      [ ("x", 1e6, 1e7, Linear); ("y", 1e6, 1e7, Linear) ]
+      "(FPCore (x y) (let ((m (/ (+ x y) 2))) (/ (+ (* (- x m) (- x m)) (* \
+       (- y m) (- y m))) 2)))";
+    b "sum3" `Straight
+      [ ("x0", -10.0, 10.0, Linear); ("x1", -10.0, 10.0, Linear);
+        ("x2", -10.0, 10.0, Linear) ]
+      "(FPCore (x0 x1 x2) (let ((p0 (+ (- x0 x1) x2)) (p1 (+ (- x1 x2) x0)) \
+       (p2 (+ (- x2 x0) x1))) (+ (+ p0 p1) p2)))";
+    b "triangle-area" `Straight
+      [ ("a", 9.0, 9.5, Linear); ("b", 4.71, 4.89, Linear);
+        ("c", 4.71, 4.89, Linear) ]
+      "(FPCore (a b c) (let ((s (/ (+ (+ a b) c) 2))) (sqrt (* (* (* s (- s \
+       a)) (- s b)) (- s c)))))";
+    b "poly-cancel" `Straight
+      [ ("x", 0.999, 1.001, Linear) ]
+      "(FPCore (x) (+ (- (* x x) (* 2 x)) 1))";
+    b "cav10" `Straight
+      [ ("x", 0.0, 10.0, Linear) ]
+      "(FPCore (x) (if (>= (- (* x x) x) 0) (/ x 10) (* x x)))";
+    b "cubic-discriminant" `Straight
+      [ ("p", 0.1, 1.0, Linear); ("q", 1e-6, 1e-4, Log) ]
+      "(FPCore (p q) (- (* q q) (* (* (* p p) p) 4)))";
+    b "one-minus-sqrt" `Straight
+      [ ("x", 1e-12, 1e-6, Log) ]
+      "(FPCore (x) (- 1 (sqrt (- 1 x))))";
+    b "sin-x-minus-x" `Straight
+      [ ("x", 1e-6, 0.01, Log) ]
+      "(FPCore (x) (- x (sin x)))";
+    b "cos-sin-sum" `Straight
+      [ ("x", 0.0, 6.28318, Linear) ]
+      "(FPCore (x) (+ (* (sin x) (sin x)) (* (cos x) (cos x))))";
+    b "sum8" `Straight
+      [ ("x0", -100.0, 100.0, Linear); ("x1", -100.0, 100.0, Linear);
+        ("x2", -100.0, 100.0, Linear); ("x3", -100.0, 100.0, Linear);
+        ("x4", -100.0, 100.0, Linear); ("x5", -100.0, 100.0, Linear);
+        ("x6", -100.0, 100.0, Linear); ("x7", -100.0, 100.0, Linear) ]
+      "(FPCore (x0 x1 x2 x3 x4 x5 x6 x7) (+ (+ (+ (+ (+ (+ (+ x0 x1) x2) \
+       x3) x4) x5) x6) x7))";
+    b "azimuth" `Straight
+      [ ("lat1", 0.0, 0.4, Linear); ("lat2", 0.5, 1.0, Linear);
+        ("dlon", 0.0, 3.14159, Linear) ]
+      "(FPCore (lat1 lat2 dlon) (atan2 (* (cos lat2) (sin dlon)) (- (* \
+       (cos lat1) (sin lat2)) (* (* (sin lat1) (cos lat2)) (cos dlon)))))";
+    b "sphere-coord" `Straight
+      [ ("r", 0.0, 10.0, Linear); ("theta", -3.14159, 3.14159, Linear);
+        ("phi", -1.5707, 1.5707, Linear) ]
+      "(FPCore (r theta phi) (+ (* (* r (sin theta)) (cos phi)) (* r (cos \
+       theta))))";
+    b "cone-slant" `Straight
+      [ ("h", 1e6, 1e8, Linear); ("r", 0.001, 1.0, Linear) ]
+      "(FPCore (h r) (- (sqrt (+ (* h h) (* r r))) h))";
+    b "tanh-naive" `Straight
+      [ ("x", 1e-9, 1e-5, Log) ]
+      "(FPCore (x) (/ (- (exp (* 2 x)) 1) (+ (exp (* 2 x)) 1)))";
+    b "compound-interest" `Straight
+      [ ("rate", 1e-8, 1e-5, Log) ]
+      "(FPCore (rate) (- (pow (+ 1 rate) 365) 1))";
+    (* unrolled 3-vector Gram-Schmidt in 2D: the kind of benchmark that
+       produced the paper's largest (67-op) recovered expressions *)
+    b "gram-schmidt-unrolled" `Straight
+      [ ("ax", 1.0, 10.0, Linear); ("ay", 1.0, 10.0, Linear);
+        ("bx", 1.0, 10.0, Linear); ("by", 1.0, 10.0, Linear);
+        ("cx", 1.0, 10.0, Linear); ("cy", 1.0, 10.0, Linear) ]
+      "(FPCore (ax ay bx by cx cy) (let* ((na (sqrt (+ (* ax ax) (* ay \
+       ay)))) (qax (/ ax na)) (qay (/ ay na)) (rb (+ (* qax bx) (* qay \
+       by))) (ubx (- bx (* rb qax))) (uby (- by (* rb qay))) (nb (sqrt (+ \
+       (* ubx ubx) (* uby uby)))) (qbx (/ ubx nb)) (qby (/ uby nb)) (rc1 \
+       (+ (* qax cx) (* qay cy))) (rc2 (+ (* qbx cx) (* qby cy))) (ucx (- \
+       (- cx (* rc1 qax)) (* rc2 qbx))) (ucy (- (- cy (* rc1 qay)) (* rc2 \
+       qby)))) (sqrt (+ (* ucx ucx) (* ucy ucy)))))";
+    b "poly-horner-deep" `Straight
+      [ ("x", 0.99, 1.01, Linear) ]
+      "(FPCore (x) (+ (- (+ (- (+ (- (+ (- (+ (- (* (* (* (* (* (* (* (* \
+       (* x x) x) x) x) x) x) x) x) x) (* 10 (* (* (* (* (* (* (* (* x x) \
+       x) x) x) x) x) x) x))) (* 45 (* (* (* (* (* (* (* x x) x) x) x) x) \
+       x) x))) (* 120 (* (* (* (* (* (* x x) x) x) x) x) x))) (* 210 (* (* \
+       (* (* (* x x) x) x) x) x))) (* 252 (* (* (* (* x x) x) x) x))) (* \
+       210 (* (* (* x x) x) x))) (* 120 (* (* x x) x))) (* 45 (* x x))) (* \
+       10 x)) 1))";
+  ]
+
+(* ---------- looping benchmarks ---------- *)
+
+let looping =
+  [
+    b "step-counter" `Loop []
+      "(FPCore () (while (< t 1.0) ((t 0.0 (+ t 0.1)) (n 0.0 (+ n 1.0))) n))";
+    b "harmonic-sum" `Loop []
+      "(FPCore () (while (< i 1000.0) ((i 1.0 (+ i 1.0)) (s 0.0 (+ s (/ 1.0 \
+       i)))) s))";
+    b "logistic-map" `Loop
+      [ ("x0", 0.1, 0.9, Linear) ]
+      "(FPCore (x0) (while (< i 75.0) ((i 0.0 (+ i 1.0)) (x x0 (* (* 3.75 \
+       x) (- 1 x)))) x))";
+    b "euler-oscillator" `Loop
+      [ ("x0", 0.5, 1.5, Linear) ]
+      "(FPCore (x0) (while (< t 10.0) ((t 0.0 (+ t 0.01)) (x x0 (+ x (* \
+       0.01 v))) (v 0.0 (- v (* 0.01 x)))) (+ (* x x) (* v v))))";
+    b "pid-controller" `Loop
+      [ ("setpoint", 0.5, 5.0, Linear) ]
+      "(FPCore (setpoint) (while (< t 20.0) ((t 0.0 (+ t 0.2)) (m 0.0 (+ m \
+       (* 0.2 (+ (* 0.6 (- setpoint m)) (+ (* 0.1 i) (* 0.05 (/ (- (- \
+       setpoint m) e) 0.2))))))) (i 0.0 (+ i (* 0.2 (- setpoint m)))) (e \
+       0.0 (- setpoint m))) m))";
+    b "lead-lag" `Loop
+      [ ("yd", 1.0, 10.0, Linear) ]
+      "(FPCore (yd) (while (< t 20.0) ((t 0.0 (+ t 0.1)) (yc 0.0 (+ (* \
+       0.499 yc) (* 0.05 xc))) (xc 0.0 (+ (* 0.98 xc) (* 0.02 (- yd yc))))) \
+       yc))";
+    b "newton-sqrt" `Loop
+      [ ("a", 0.5, 100.0, Linear) ]
+      "(FPCore (a) (while (> (fabs (- (* x x) a)) 0.000000000001) ((x (/ a \
+       2) (* 0.5 (+ x (/ a x))))) x))";
+    b "trapeze-integral" `Loop
+      [ ("u", 1.11, 2.22, Linear) ]
+      "(FPCore (u) (while (< x 5.0) ((x 0.25 (+ x 0.25)) (acc 0.0 (let ((fx \
+       (/ 0.7 (- (* x x) (+ x u)))) (fx1 (/ 0.7 (- (* (+ x 0.25) (+ x \
+       0.25)) (+ (+ x 0.25) u))))) (+ acc (* 0.125 (+ fx fx1)))))) acc))";
+    b "arclength" `Loop []
+      "(FPCore () (while (< i 100.0) ((i 1.0 (+ i 1.0)) (x 0.0 (+ x \
+       0.0314159265358979)) (s 0.0 (+ s (* 0.0314159265358979 (sqrt (+ 1 \
+       (* (* 2 (cos (* 2 (+ x 0.0314159265358979)))) (* 2 (cos (* 2 (+ x \
+       0.0314159265358979))))))))))) s))";
+    b "pendulum" `Loop
+      [ ("theta0", 0.1, 1.0, Linear) ]
+      "(FPCore (theta0) (while (< t 5.0) ((t 0.0 (+ t 0.01)) (theta theta0 \
+       (+ theta (* 0.01 w))) (w 0.0 (- w (* 0.01 (* 9.80665 (sin \
+       theta)))))) theta))";
+    b "rump-polynomial-iter" `Loop
+      [ ("x", 0.9, 1.1, Linear) ]
+      "(FPCore (x) (while (< i 30.0) ((i 0.0 (+ i 1.0)) (y x (- (* y (+ 1 \
+       (* 0.001 (- 1 y)))) 0.0000001))) y))";
+    b "rk4-decay" `Loop
+      [ ("y0", 0.5, 5.0, Linear) ]
+      "(FPCore (y0) (while (< t 4.0) ((t 0.0 (+ t 0.1)) (y y0 (let* ((k1 \
+       (* -1.2 y)) (k2 (* -1.2 (+ y (* 0.05 k1)))) (k3 (* -1.2 (+ y (* \
+       0.05 k2)))) (k4 (* -1.2 (+ y (* 0.1 k3))))) (+ y (* \
+       0.016666666666666666 (+ (+ k1 (* 2 k2)) (+ (* 2 k3) k4))))))) y))";
+    b "geometric-series" `Loop
+      [ ("r", 0.9, 0.99, Linear) ]
+      "(FPCore (r) (while (> term 0.0000000001) ((term 1.0 (* term r)) (s \
+       0.0 (+ s term))) s))";
+  ]
+
+let all = straight_line @ looping
+
+let find name =
+  match List.find_opt (fun b -> b.name = name) all with
+  | Some b -> b
+  | None -> invalid_arg ("Suite.find: unknown benchmark " ^ name)
+
+let core_of (bench : bench) : Ast.core = Parse.parse_core bench.src
+
+(* ---------- deterministic input sampling ---------- *)
+
+(* xorshift64*: reproducible across runs, no dependence on Random *)
+let next_rand (state : int64 ref) : float =
+  let x = !state in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  state := x;
+  let bits = Int64.shift_right_logical (Int64.mul x 0x2545F4914F6CDD1DL) 11 in
+  Int64.to_float bits /. 9007199254740992.0 (* 2^53 *)
+
+let sample_range state (lo, hi, scale) =
+  let u = next_rand state in
+  match scale with
+  | Linear -> lo +. (u *. (hi -. lo))
+  | Log ->
+      (* log-uniform; requires 0 < lo < hi *)
+      let llo = Float.log lo and lhi = Float.log hi in
+      Float.exp (llo +. (u *. (lhi -. llo)))
+
+(* flattened input tuples for [n] iterations of the benchmark harness *)
+let inputs_for ?(seed = 42) (bench : bench) ~(n : int) : float array =
+  let state = ref (Int64.of_int ((seed * 2654435761) + 1)) in
+  (* warm up the generator *)
+  for _ = 1 to 8 do
+    ignore (next_rand state)
+  done;
+  let nvars = List.length bench.ranges in
+  if nvars = 0 then [||]
+  else
+    Array.init (n * nvars) (fun i ->
+        let var = i mod nvars in
+        let _, lo, hi, scale = List.nth bench.ranges var in
+        sample_range state (lo, hi, scale))

@@ -1,0 +1,81 @@
+module B = Bignum.Bigfloat
+
+(* Sign-magnitude to two's-complement-style monotone mapping. *)
+let ordinal_of_double f =
+  let bits = Int64.bits_of_float f in
+  if Int64.compare bits 0L >= 0 then bits else Int64.sub Int64.min_int bits
+
+let double_of_ordinal o =
+  if Int64.compare o 0L >= 0 then Int64.float_of_bits o
+  else Int64.float_of_bits (Int64.sub Int64.min_int o)
+
+let ulps_between a b =
+  match (Float.is_nan a, Float.is_nan b) with
+  | true, true -> 0L
+  | true, false | false, true -> Int64.max_int
+  | false, false ->
+      let oa = ordinal_of_double a and ob = ordinal_of_double b in
+      let d = Int64.sub (Int64.max oa ob) (Int64.min oa ob) in
+      if Int64.compare d 0L < 0 then Int64.max_int else d
+
+let bits_of_error computed correct =
+  let u = ulps_between computed correct in
+  if Int64.equal u 0L then 0.0
+  else if Int64.equal u Int64.max_int then 64.0
+  else Float.min 64.0 (Float.log2 (Int64.to_float u +. 1.0))
+
+let error_against_real ~prec computed real =
+  ignore prec;
+  bits_of_error computed (B.to_float real)
+
+let is_negative_zero f = f = 0.0 && 1.0 /. f = neg_infinity
+
+let double_total_compare a b =
+  Int64.compare (ordinal_of_double a) (ordinal_of_double b)
+
+module Bits = struct
+  let double_to_int64 = Int64.bits_of_float
+  let double_of_int64 = Int64.float_of_bits
+  let single_to_int32 f = Int32.bits_of_float f
+  let single_of_int32 = Int32.float_of_bits
+  let sign_flip_mask64 = 0x8000_0000_0000_0000L
+  let abs_mask64 = 0x7FFF_FFFF_FFFF_FFFFL
+  let sign_flip_mask32 = 0x8000_0000l
+  let abs_mask32 = 0x7FFF_FFFFl
+end
+
+module Single = struct
+  let of_double f = Int32.float_of_bits (Int32.bits_of_float f)
+
+  (* Rounding the double result to binary32 computes the correctly rounded
+     single operation for +,-,*,/,sqrt: the double result carries more than
+     2x the significand bits plus a sticky, so no double rounding occurs
+     for these ops (Figueroa's theorem). *)
+  let add a b = of_double (a +. b)
+  let sub a b = of_double (a -. b)
+  let mul a b = of_double (a *. b)
+  let div a b = of_double (a /. b)
+  let sqrt a = of_double (Float.sqrt a)
+  let neg a = -.a
+
+  let ordinal f =
+    let bits = Int32.bits_of_float f in
+    if Int32.compare bits 0l >= 0 then bits else Int32.sub Int32.min_int bits
+
+  let ulps_between a b =
+    match (Float.is_nan a, Float.is_nan b) with
+    | true, true -> 0l
+    | true, false | false, true -> Int32.max_int
+    | false, false ->
+        let oa = ordinal a and ob = ordinal b in
+        let d = Int32.sub (Int32.max oa ob) (Int32.min oa ob) in
+        if Int32.compare d 0l < 0 then Int32.max_int else d
+
+  let bits_of_error computed correct =
+    let u = ulps_between computed correct in
+    if Int32.equal u 0l then 0.0
+    else if Int32.equal u Int32.max_int then 32.0
+    else Float.min 32.0 (Float.log2 (Int32.to_float u +. 1.0))
+
+  let is_representable f = Float.is_nan f || of_double f = f
+end

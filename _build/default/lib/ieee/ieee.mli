@@ -1,0 +1,74 @@
+(** IEEE-754 bit-level utilities.
+
+    Provides the ordinal encoding of doubles and singles (mapping the
+    floats, in order, onto consecutive integers), ULP distances, and the
+    bits-of-error metric ℰ used throughout the Herbgrind analysis: the
+    error between a computed float and the correct real answer is the log2
+    of their distance in ulps, between 0 (exact) and 64 (wildly wrong).
+    Also emulates single-precision arithmetic on top of OCaml's doubles,
+    which the VEX machine uses for 32-bit float operations. *)
+
+val ordinal_of_double : float -> int64
+(** Monotone encoding: if [a < b] (both non-NaN) then
+    [ordinal_of_double a < ordinal_of_double b]. The two zeros share an
+    ordinal (they are 0 ulps apart); NaN maps above all. *)
+
+val double_of_ordinal : int64 -> float
+
+val ulps_between : float -> float -> int64
+(** Absolute ordinal distance; saturates at [Int64.max_int] when a NaN is
+    involved and the other value is not NaN. Returns 0 for two NaNs. *)
+
+val bits_of_error : float -> float -> float
+(** [bits_of_error computed correct] = log2(ulps + 1), clamped to
+    [0, 64.]; this is ℰ from the paper (following Herbie). *)
+
+val error_against_real : prec:int -> float -> Bignum.Bigfloat.t -> float
+(** [error_against_real ~prec computed real] rounds [real] to the nearest
+    double and measures {!bits_of_error} against it. *)
+
+val is_negative_zero : float -> bool
+
+val double_total_compare : float -> float -> int
+(** Ordinal comparison: -inf < ... < +inf < NaN, with the two zeros
+    comparing equal. *)
+
+(** Single-precision (binary32) emulation. A single is represented as the
+    double with the same value; every operation rounds through binary32. *)
+module Single : sig
+  val of_double : float -> float
+  (** Round a double to the nearest representable single. *)
+
+  val add : float -> float -> float
+  val sub : float -> float -> float
+  val mul : float -> float -> float
+  val div : float -> float -> float
+  val sqrt : float -> float
+  val neg : float -> float
+
+  val ordinal : float -> int32
+  val ulps_between : float -> float -> int32
+  val bits_of_error : float -> float -> float
+  (** Like the double version but against the binary32 grid; clamped to
+      [0, 32.]. *)
+
+  val is_representable : float -> bool
+end
+
+(** Bit-pattern helpers used by the VEX machine for raw loads/stores. *)
+module Bits : sig
+  val double_to_int64 : float -> int64
+  val double_of_int64 : int64 -> float
+  val single_to_int32 : float -> int32
+  (** Bits of the binary32 nearest to the given value. *)
+
+  val single_of_int32 : int32 -> float
+
+  val sign_flip_mask64 : int64
+  (** 0x8000000000000000: XOR negates a double (the gcc trick the analysis
+      must recognize, paper section 5.4). *)
+
+  val abs_mask64 : int64
+  val sign_flip_mask32 : int32
+  val abs_mask32 : int32
+end

@@ -1,0 +1,1 @@
+lib/minic/minic.ml: Ast Codegen Filename Lexer List Mathlib Normalize Parser Printf Typecheck Vex

@@ -1,0 +1,1 @@
+lib/minic/codegen.ml: Ast Hashtbl Ieee Int64 List Normalize Printf String Typecheck Vex

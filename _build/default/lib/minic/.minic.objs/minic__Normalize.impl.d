@@ -1,0 +1,1 @@
+lib/minic/normalize.ml: Ast List Printf Typecheck Vex

@@ -1,0 +1,80 @@
+(* Abstract syntax of MiniC, the small C-like language that plays the role
+   of the paper's C/C++/Fortran client programs. Programs are compiled to
+   VEX superblocks by [Codegen], which is the analogue of gcc producing the
+   binaries that Valgrind instruments. *)
+
+type ty =
+  | Tint  (* 64-bit signed *)
+  | Tdouble
+  | Tfloat  (* binary32 *)
+  | Tarray of ty * int  (* fixed-size local/global array *)
+  | Tptr of ty  (* array parameter, e.g. double a[] *)
+
+let rec ty_to_string = function
+  | Tint -> "int"
+  | Tdouble -> "double"
+  | Tfloat -> "float"
+  | Tarray (t, n) -> Printf.sprintf "%s[%d]" (ty_to_string t) n
+  | Tptr t -> ty_to_string t ^ "[]"
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And  (* && with lazy right operand *)
+  | Or
+
+type unop = Neg | Not
+
+type pos = { line : int }
+
+type expr = { desc : expr_desc; pos : pos }
+
+and expr_desc =
+  | Int_lit of int64
+  | Float_lit of float * string
+    (* value and original spelling (kept so "0.1f" can stay a single) *)
+  | Var of string
+  | Index of expr * expr
+  | Call of string * expr list
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Cast of ty * expr
+
+type stmt = { sdesc : stmt_desc; spos : pos }
+
+and stmt_desc =
+  | Decl of ty * string * expr option
+  | Assign of string * expr
+  | Store of string * expr * expr  (* a[i] = e *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt option * expr option * stmt option * stmt list
+  | Return of expr option
+  | Expr of expr  (* expression statement, e.g. a call *)
+  | Print of expr  (* program output: becomes an Out spot *)
+  | Mark of expr
+    (* __mark(e): a user-requested analysis spot that is not a program
+       output (Herbgrind's manual spot marks, paper footnote 9) *)
+  | Break
+  | Continue
+
+type func = {
+  fname : string;
+  ret : ty option;  (* None = void *)
+  params : (ty * string) list;
+  body : stmt list;
+  fpos : pos;
+}
+
+type global = { gty : ty; gname : string; ginit : expr option; gpos : pos }
+
+type program = { globals : global list; funcs : func list; source_file : string }

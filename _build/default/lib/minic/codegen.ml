@@ -1,0 +1,790 @@
+(* MiniC -> VEX code generation. The produced code deliberately mirrors
+   what gcc -O0/-O1 emits for x86-64 and what Valgrind then sees:
+
+   - every named variable lives in the memory stack frame, with VEX
+     temporaries only carrying values within one superblock;
+   - calls push a return block index and the caller's frame pointer, so
+     control returns through an indirect jump (as through a return
+     address);
+   - unary minus and fabs on doubles compile to XOR/AND bit tricks on the
+     reinterpreted value, which the analysis must recognize (paper 5.4);
+   - transcendental math goes through Dirty "library calls" when libm
+     wrapping is on, and through the MiniC math library when off. *)
+
+open Ast
+
+let sp_off = 0 (* I64: stack pointer *)
+let fp_off = 8 (* I64: frame pointer *)
+let ret_off = 16 (* untyped 8-byte return-value register *)
+let global_base = 64
+
+exception Codegen_error of string
+
+type layout = {
+  l_params : (string * ty * int) list; (* name, type, frame offset *)
+  l_frame : int; (* total frame size in bytes *)
+}
+
+type ctx = {
+  env : Typecheck.env;
+  pb : Vex.Builder.prog_builder;
+  mutable b : Vex.Builder.t;
+  file : string;
+  mutable fname : string;
+  mutable scope : (string * (ty * int)) list; (* local -> (type, frame offset) *)
+  mutable alloc : int; (* next free frame offset *)
+  layouts : (string, layout) Hashtbl.t;
+  global_addrs : (string, int * ty) Hashtbl.t;
+  cfg : Normalize.config;
+  vectorize : bool;  (* auto-vectorize elementwise double loops to SSE *)
+  mutable terminated : bool;
+  mutable loop_labels : (string * string) list;
+      (* innermost first: (continue target = loop head, break target) *)
+  stack_base : int;
+}
+
+let scalar_vex_ty = function
+  | Tint -> Vex.Ir.I64
+  | Tdouble -> Vex.Ir.F64
+  | Tfloat -> Vex.Ir.F32
+  | Tarray _ | Tptr _ -> Vex.Ir.I64 (* an address *)
+
+let elem_size = function
+  | Tfloat -> 4
+  | Tint | Tdouble -> 8
+  | Tarray _ | Tptr _ -> raise (Codegen_error "nested arrays unsupported")
+
+let slot_size = function
+  | Tarray (elt, n) -> ((n * elem_size elt) + 7) / 8 * 8
+  | Tint | Tdouble | Tfloat | Tptr _ -> 8
+
+(* ---------- frame layout ---------- *)
+
+let rec stmt_frame_bytes (s : stmt) : int =
+  match s.sdesc with
+  | Decl (t, _, _) -> slot_size t
+  | If (_, a, b) -> block_frame_bytes a + block_frame_bytes b
+  | While (_, body) -> block_frame_bytes body
+  | For (i, _, st, body) ->
+      (match i with Some x -> stmt_frame_bytes x | None -> 0)
+      + (match st with Some x -> stmt_frame_bytes x | None -> 0)
+      + block_frame_bytes body
+  | Assign _ | Store _ | Return _ | Expr _ | Print _ | Mark _ | Break
+  | Continue ->
+      0
+
+and block_frame_bytes stmts =
+  List.fold_left (fun acc s -> acc + stmt_frame_bytes s) 0 stmts
+
+let compute_layout (f : func) : layout =
+  let off = ref 16 in
+  let params =
+    List.map
+      (fun (t, n) ->
+        let o = !off in
+        off := !off + slot_size t;
+        (n, t, o))
+      f.params
+  in
+  let frame = !off + block_frame_bytes f.body in
+  { l_params = params; l_frame = ((frame + 15) / 16 * 16) + 16 }
+
+(* ---------- emission helpers ---------- *)
+
+let emit ctx s = Vex.Builder.emit ctx.b s
+
+let assign ctx ty e = Vex.Builder.assign ctx.b ty e
+
+let imark ctx line =
+  emit ctx (Vex.Ir.IMark { Vex.Ir.file = ctx.file; line; func = ctx.fname })
+
+(* finish the current block with [next] and start a new one *)
+let cut ctx next new_label =
+  Vex.Builder.add_block ctx.pb (Vex.Builder.finish ctx.b next);
+  ctx.b <- Vex.Builder.create new_label
+
+let fn_label name = "fn_" ^ name
+
+let fresh ctx prefix = Vex.Builder.fresh_label ctx.pb prefix
+
+let read_fp ctx = assign ctx Vex.Ir.I64 (Vex.Ir.Get (fp_off, Vex.Ir.I64))
+let read_sp ctx = assign ctx Vex.Ir.I64 (Vex.Ir.Get (sp_off, Vex.Ir.I64))
+
+let addr_add ctx base off =
+  if off = 0 then base
+  else
+    assign ctx Vex.Ir.I64
+      (Vex.Ir.Binop (Vex.Ir.Add64, base, Vex.Ir.Const (Vex.Ir.CI64 (Int64.of_int off))))
+
+let lookup_local ctx name = List.assoc_opt name ctx.scope
+
+let lookup_global ctx name = Hashtbl.find_opt ctx.global_addrs name
+
+let var_ty ctx pos name : ty =
+  match lookup_local ctx name with
+  | Some (t, _) -> t
+  | None -> (
+      match lookup_global ctx name with
+      | Some (_, t) -> t
+      | None ->
+          raise (Codegen_error (Printf.sprintf "line %d: unbound %s" pos.line name)))
+
+(* the address expression of a named variable's storage *)
+let var_addr ctx pos name : Vex.Ir.expr * ty =
+  match lookup_local ctx name with
+  | Some (t, off) ->
+      let fp = read_fp ctx in
+      (addr_add ctx fp off, t)
+  | None -> (
+      match lookup_global ctx name with
+      | Some (addr, t) -> (Vex.Ir.Const (Vex.Ir.CI64 (Int64.of_int addr)), t)
+      | None ->
+          raise (Codegen_error (Printf.sprintf "line %d: unbound %s" pos.line name)))
+
+(* ---------- conversions ---------- *)
+
+let convert ctx (e : Vex.Ir.expr) (from_ty : ty) (to_ty : ty) : Vex.Ir.expr =
+  if from_ty = to_ty then e
+  else
+    match (from_ty, to_ty) with
+    | Tint, Tdouble -> assign ctx Vex.Ir.F64 (Vex.Ir.Unop (Vex.Ir.I64toF64, e))
+    | Tint, Tfloat -> assign ctx Vex.Ir.F32 (Vex.Ir.Unop (Vex.Ir.I64toF32, e))
+    | Tdouble, Tint -> assign ctx Vex.Ir.I64 (Vex.Ir.Unop (Vex.Ir.F64toI64tz, e))
+    | Tfloat, Tint -> assign ctx Vex.Ir.I64 (Vex.Ir.Unop (Vex.Ir.F32toI64tz, e))
+    | Tfloat, Tdouble -> assign ctx Vex.Ir.F64 (Vex.Ir.Unop (Vex.Ir.F32toF64, e))
+    | Tdouble, Tfloat -> assign ctx Vex.Ir.F32 (Vex.Ir.Unop (Vex.Ir.F64toF32, e))
+    | _ -> raise (Codegen_error "invalid conversion")
+
+(* gcc-style bit tricks for sign manipulation *)
+let negate_double ctx e =
+  let bits = assign ctx Vex.Ir.I64 (Vex.Ir.Unop (Vex.Ir.ReinterpF64asI64, e)) in
+  let flipped =
+    assign ctx Vex.Ir.I64
+      (Vex.Ir.Binop
+         (Vex.Ir.Xor64, bits, Vex.Ir.Const (Vex.Ir.CI64 Ieee.Bits.sign_flip_mask64)))
+  in
+  assign ctx Vex.Ir.F64 (Vex.Ir.Unop (Vex.Ir.ReinterpI64asF64, flipped))
+
+let abs_double ctx e =
+  let bits = assign ctx Vex.Ir.I64 (Vex.Ir.Unop (Vex.Ir.ReinterpF64asI64, e)) in
+  let masked =
+    assign ctx Vex.Ir.I64
+      (Vex.Ir.Binop
+         (Vex.Ir.And64, bits, Vex.Ir.Const (Vex.Ir.CI64 Ieee.Bits.abs_mask64)))
+  in
+  assign ctx Vex.Ir.F64 (Vex.Ir.Unop (Vex.Ir.ReinterpI64asF64, masked))
+
+(* ---------- expressions ---------- *)
+
+let arith_binop op ty : Vex.Ir.binop =
+  match (op, ty) with
+  | Add, Tint -> Vex.Ir.Add64
+  | Sub, Tint -> Vex.Ir.Sub64
+  | Mul, Tint -> Vex.Ir.Mul64
+  | Div, Tint -> Vex.Ir.DivS64
+  | Mod, Tint -> Vex.Ir.ModS64
+  | Add, Tdouble -> Vex.Ir.AddF64
+  | Sub, Tdouble -> Vex.Ir.SubF64
+  | Mul, Tdouble -> Vex.Ir.MulF64
+  | Div, Tdouble -> Vex.Ir.DivF64
+  | Add, Tfloat -> Vex.Ir.AddF32
+  | Sub, Tfloat -> Vex.Ir.SubF32
+  | Mul, Tfloat -> Vex.Ir.MulF32
+  | Div, Tfloat -> Vex.Ir.DivF32
+  | _ -> raise (Codegen_error "bad arithmetic operator/type")
+
+let rec gen_expr ctx (e : expr) : Vex.Ir.expr * ty =
+  match e.desc with
+  | Int_lit i -> (Vex.Ir.Const (Vex.Ir.CI64 i), Tint)
+  | Float_lit (f, s) ->
+      if String.length s > 0 && s.[String.length s - 1] = 'f' then
+        (Vex.Ir.Const (Vex.Ir.CF32 f), Tfloat)
+      else (Vex.Ir.Const (Vex.Ir.CF64 f), Tdouble)
+  | Var name -> begin
+      let t = var_ty ctx e.pos name in
+      match t with
+      | Tarray _ ->
+          let addr, _ = var_addr ctx e.pos name in
+          (addr, t)
+      | Tptr _ ->
+          let addr, _ = var_addr ctx e.pos name in
+          (assign ctx Vex.Ir.I64 (Vex.Ir.Load (Vex.Ir.I64, addr)), t)
+      | Tint | Tdouble | Tfloat ->
+          let addr, _ = var_addr ctx e.pos name in
+          let vty = scalar_vex_ty t in
+          (assign ctx vty (Vex.Ir.Load (vty, addr)), t)
+    end
+  | Index (a, i) -> begin
+      let base, aty = gen_expr ctx a in
+      let idx, _ = gen_expr ctx i in
+      let elt =
+        match aty with
+        | Tarray (t, _) | Tptr t -> t
+        | _ -> raise (Codegen_error "indexing a non-array")
+      in
+      let scaled =
+        assign ctx Vex.Ir.I64
+          (Vex.Ir.Binop
+             ( Vex.Ir.Mul64,
+               idx,
+               Vex.Ir.Const (Vex.Ir.CI64 (Int64.of_int (elem_size elt))) ))
+      in
+      let addr = assign ctx Vex.Ir.I64 (Vex.Ir.Binop (Vex.Ir.Add64, base, scaled)) in
+      let vty = scalar_vex_ty elt in
+      (assign ctx vty (Vex.Ir.Load (vty, addr)), elt)
+    end
+  | Call (name, args) -> gen_inline_call ctx e.pos name args
+  | Unary (Neg, a) -> begin
+      let v, t = gen_expr ctx a in
+      match t with
+      | Tint -> (assign ctx Vex.Ir.I64 (Vex.Ir.Unop (Vex.Ir.Neg64, v)), Tint)
+      | Tdouble -> (negate_double ctx v, Tdouble)
+      | Tfloat ->
+          let bits = assign ctx Vex.Ir.I32 (Vex.Ir.Unop (Vex.Ir.ReinterpF32asI32, v)) in
+          let wide = assign ctx Vex.Ir.I64 (Vex.Ir.Unop (Vex.Ir.I32toI64u, bits)) in
+          let flipped =
+            assign ctx Vex.Ir.I64
+              (Vex.Ir.Binop
+                 (Vex.Ir.Xor64, wide, Vex.Ir.Const (Vex.Ir.CI64 0x80000000L)))
+          in
+          let narrow = assign ctx Vex.Ir.I32 (Vex.Ir.Unop (Vex.Ir.I64toI32, flipped)) in
+          (assign ctx Vex.Ir.F32 (Vex.Ir.Unop (Vex.Ir.ReinterpI32asF32, narrow)), Tfloat)
+      | Tarray _ | Tptr _ -> raise (Codegen_error "negating a non-scalar")
+    end
+  | Unary (Not, a) ->
+      let g = gen_cond ctx a in
+      let ng = assign ctx Vex.Ir.I1 (Vex.Ir.Unop (Vex.Ir.Not1, g)) in
+      (bool_to_int ctx ng, Tint)
+  | Binary ((Add | Sub | Mul | Div | Mod) as op, a, b) ->
+      let va, ta = gen_expr ctx a in
+      let vb, tb = gen_expr ctx b in
+      let t = Typecheck.promote e.pos ta tb in
+      let va = convert ctx va ta t and vb = convert ctx vb tb t in
+      (assign ctx (scalar_vex_ty t) (Vex.Ir.Binop (arith_binop op t, va, vb)), t)
+  | Binary ((Lt | Le | Gt | Ge | Eq | Ne | And | Or), _, _) ->
+      let g = gen_cond ctx e in
+      (bool_to_int ctx g, Tint)
+  | Cast (t, a) ->
+      let v, ta = gen_expr ctx a in
+      (convert ctx v ta t, t)
+
+and bool_to_int ctx (g : Vex.Ir.expr) : Vex.Ir.expr =
+  assign ctx Vex.Ir.I64
+    (Vex.Ir.ITE (g, Vex.Ir.Const (Vex.Ir.CI64 1L), Vex.Ir.Const (Vex.Ir.CI64 0L)))
+
+(* generate an I1-valued condition *)
+and gen_cond ctx (e : expr) : Vex.Ir.expr =
+  match e.desc with
+  | Binary ((Lt | Le | Gt | Ge | Eq | Ne) as op, a, b) -> begin
+      let va, ta = gen_expr ctx a in
+      let vb, tb = gen_expr ctx b in
+      let t = Typecheck.promote e.pos ta tb in
+      let va = convert ctx va ta t and vb = convert ctx vb tb t in
+      (* Gt/Ge are lowered by swapping operands, like compilers do *)
+      let cmp, x, y =
+        match (op, t) with
+        | Lt, Tint -> (Vex.Ir.CmpLT64S, va, vb)
+        | Le, Tint -> (Vex.Ir.CmpLE64S, va, vb)
+        | Gt, Tint -> (Vex.Ir.CmpLT64S, vb, va)
+        | Ge, Tint -> (Vex.Ir.CmpLE64S, vb, va)
+        | Eq, Tint -> (Vex.Ir.CmpEQ64, va, vb)
+        | Ne, Tint -> (Vex.Ir.CmpNE64, va, vb)
+        | Lt, Tdouble -> (Vex.Ir.CmpLTF64, va, vb)
+        | Le, Tdouble -> (Vex.Ir.CmpLEF64, va, vb)
+        | Gt, Tdouble -> (Vex.Ir.CmpLTF64, vb, va)
+        | Ge, Tdouble -> (Vex.Ir.CmpLEF64, vb, va)
+        | Eq, Tdouble -> (Vex.Ir.CmpEQF64, va, vb)
+        | Ne, Tdouble -> (Vex.Ir.CmpNEF64, va, vb)
+        | Lt, Tfloat -> (Vex.Ir.CmpLTF32, va, vb)
+        | Le, Tfloat -> (Vex.Ir.CmpLEF32, va, vb)
+        | Gt, Tfloat -> (Vex.Ir.CmpLTF32, vb, va)
+        | Ge, Tfloat -> (Vex.Ir.CmpLEF32, vb, va)
+        | Eq, Tfloat -> (Vex.Ir.CmpEQF32, va, vb)
+        | Ne, Tfloat ->
+            (* no CmpNEF32 op: negate the equality *)
+            (Vex.Ir.CmpEQF32, va, vb)
+        | _ -> raise (Codegen_error "bad comparison type")
+      in
+      let g = assign ctx Vex.Ir.I1 (Vex.Ir.Binop (cmp, x, y)) in
+      if op = Ne && t = Tfloat then
+        assign ctx Vex.Ir.I1 (Vex.Ir.Unop (Vex.Ir.Not1, g))
+      else g
+    end
+  | Binary (And, a, b) ->
+      let ga = gen_cond ctx a in
+      let gb = gen_cond ctx b in
+      assign ctx Vex.Ir.I1 (Vex.Ir.ITE (ga, gb, Vex.Ir.Const (Vex.Ir.CBool false)))
+  | Binary (Or, a, b) ->
+      let ga = gen_cond ctx a in
+      let gb = gen_cond ctx b in
+      assign ctx Vex.Ir.I1 (Vex.Ir.ITE (ga, Vex.Ir.Const (Vex.Ir.CBool true), gb))
+  | Unary (Not, a) ->
+      let g = gen_cond ctx a in
+      assign ctx Vex.Ir.I1 (Vex.Ir.Unop (Vex.Ir.Not1, g))
+  | _ -> begin
+      (* scalar truth test: e != 0 *)
+      let v, t = gen_expr ctx e in
+      match t with
+      | Tint ->
+          assign ctx Vex.Ir.I1
+            (Vex.Ir.Binop (Vex.Ir.CmpNE64, v, Vex.Ir.Const (Vex.Ir.CI64 0L)))
+      | Tdouble ->
+          assign ctx Vex.Ir.I1
+            (Vex.Ir.Binop (Vex.Ir.CmpNEF64, v, Vex.Ir.Const (Vex.Ir.CF64 0.0)))
+      | Tfloat ->
+          let g =
+            assign ctx Vex.Ir.I1
+              (Vex.Ir.Binop (Vex.Ir.CmpEQF32, v, Vex.Ir.Const (Vex.Ir.CF32 0.0)))
+          in
+          assign ctx Vex.Ir.I1 (Vex.Ir.Unop (Vex.Ir.Not1, g))
+      | Tarray _ | Tptr _ -> raise (Codegen_error "non-scalar condition")
+    end
+
+(* inline (non-block-breaking) builtin calls: hardware float ops and Dirty
+   library calls *)
+and gen_inline_call ctx pos name args : Vex.Ir.expr * ty =
+  if not (Vex.Eval.libm_known name) then
+    raise
+      (Codegen_error
+         (Printf.sprintf "line %d: call to %s survived normalization" pos.line name));
+  let gen_double a =
+    let v, t = gen_expr ctx a in
+    convert ctx v t Tdouble
+  in
+  match (name, args) with
+  | "sqrt", [ a ] ->
+      (assign ctx Vex.Ir.F64 (Vex.Ir.Unop (Vex.Ir.SqrtF64, gen_double a)), Tdouble)
+  | "fabs", [ a ] -> (abs_double ctx (gen_double a), Tdouble)
+  | _ ->
+      let vargs = List.map gen_double args in
+      let t = Vex.Builder.new_temp ctx.b Vex.Ir.F64 in
+      emit ctx (Vex.Ir.Dirty (t, name, vargs));
+      (Vex.Ir.RdTmp t, Tdouble)
+
+(* ---------- calls ---------- *)
+
+(* Generate a call to user function [name]; afterwards the current block is
+   the continuation block. Returns the return-value expression (reading the
+   return register) unless the callee is void. *)
+let gen_call ctx pos name (args : expr list) : (Vex.Ir.expr * ty) option =
+  let layout =
+    match Hashtbl.find_opt ctx.layouts name with
+    | Some l -> l
+    | None ->
+        raise (Codegen_error (Printf.sprintf "line %d: unknown function %s" pos.line name))
+  in
+  let fsig = Hashtbl.find ctx.env.Typecheck.funcs name in
+  let base = read_sp ctx in
+  let cont = fresh ctx ("ret_" ^ name) in
+  (* return address and saved frame pointer *)
+  emit ctx (Vex.Ir.Store (base, Vex.Ir.LabelAddr cont));
+  let fp = read_fp ctx in
+  emit ctx (Vex.Ir.Store (addr_add ctx base 8, fp));
+  (* arguments into the callee frame *)
+  List.iter2
+    (fun (_, pty, poff) arg ->
+      let v, t = gen_expr ctx arg in
+      let v =
+        match (pty, t) with
+        | Tptr _, (Tarray _ | Tptr _) -> v
+        | (Tint | Tdouble | Tfloat), (Tint | Tdouble | Tfloat) ->
+            convert ctx v t pty
+        | _ -> raise (Codegen_error "bad argument")
+      in
+      emit ctx (Vex.Ir.Store (addr_add ctx base poff, v)))
+    layout.l_params args;
+  emit ctx (Vex.Ir.Put (sp_off, addr_add ctx base layout.l_frame));
+  emit ctx (Vex.Ir.Put (fp_off, base));
+  cut ctx (Vex.Ir.Goto (fn_label name)) cont;
+  match fsig.Typecheck.fs_ret with
+  | None -> None
+  | Some rt ->
+      let vty = scalar_vex_ty rt in
+      Some (assign ctx vty (Vex.Ir.Get (ret_off, vty)), rt)
+
+(* ---------- statements ---------- *)
+
+let alloc_slot ctx t name =
+  let off = ctx.alloc in
+  ctx.alloc <- ctx.alloc + slot_size t;
+  ctx.scope <- (name, (t, off)) :: ctx.scope;
+  off
+
+let store_scalar ctx addr (v : Vex.Ir.expr) = emit ctx (Vex.Ir.Store (addr, v))
+
+let gen_return ctx (v : (Vex.Ir.expr * ty) option) ret_ty =
+  (match (v, ret_ty) with
+  | Some (e, t), Some rt ->
+      let e = convert ctx e t rt in
+      emit ctx (Vex.Ir.Put (ret_off, e))
+  | None, _ -> ()
+  | Some _, None -> raise (Codegen_error "value return from void function"));
+  let fp = read_fp ctx in
+  let ret_idx = assign ctx Vex.Ir.I64 (Vex.Ir.Load (Vex.Ir.I64, fp)) in
+  let saved_fp = assign ctx Vex.Ir.I64 (Vex.Ir.Load (Vex.Ir.I64, addr_add ctx fp 8)) in
+  emit ctx (Vex.Ir.Put (fp_off, saved_fp));
+  emit ctx (Vex.Ir.Put (sp_off, fp));
+  ctx.terminated <- true;
+  cut ctx (Vex.Ir.IndirectGoto ret_idx) (fresh ctx "dead")
+
+(* ---------- auto-vectorization ----------
+
+   Recognizes the canonical elementwise loop left by desugaring
+
+     for (i = 0; i < N; i = i + 1) { c[i] = a[i] OP b[i]; }
+
+   over double arrays and emits an SSE main loop that processes two
+   elements per iteration (packed V128 loads, a 64Fx2 operation, a V128
+   store) followed by the ordinary scalar loop as the tail -- the code
+   shape gcc -O2 produces, and the reason the analysis must shadow SIMD
+   lanes (paper section 5.2). Elementwise same-index accesses cannot
+   overlap across lanes, so the transformation needs no alias check. *)
+
+type vector_loop = {
+  vl_index : string;
+  vl_bound : expr;
+  vl_dst : string;
+  vl_a : string;
+  vl_b : string;
+  vl_op : binop;
+}
+
+let is_double_array ctx name =
+  match lookup_local ctx name with
+  | Some ((Tarray (Tdouble, _) | Tptr Tdouble), _) -> true
+  | Some _ -> false
+  | None -> (
+      match lookup_global ctx name with
+      | Some (_, Tarray (Tdouble, _)) -> true
+      | Some _ | None -> false)
+
+let match_vector_loop ctx (cond : expr) (body : stmt list) : vector_loop option =
+  match (cond.desc, body) with
+  | ( Binary (Lt, { desc = Var i; _ }, bound),
+      [
+        {
+          sdesc =
+            Store
+              ( dst,
+                { desc = Var i1; _ },
+                {
+                  desc =
+                    Binary
+                      ( ((Add | Sub | Mul | Div) as op),
+                        { desc = Index ({ desc = Var a; _ }, { desc = Var i2; _ }); _ },
+                        { desc = Index ({ desc = Var b; _ }, { desc = Var i3; _ }); _ }
+                      );
+                  _;
+                } );
+          _;
+        };
+        {
+          sdesc =
+            Assign
+              ( i4,
+                {
+                  desc = Binary (Add, { desc = Var i5; _ }, { desc = Int_lit 1L; _ });
+                  _;
+                } );
+          _;
+        };
+      ] )
+    when i1 = i && i2 = i && i3 = i && i4 = i && i5 = i
+         && is_double_array ctx dst && is_double_array ctx a
+         && is_double_array ctx b ->
+      Some { vl_index = i; vl_bound = bound; vl_dst = dst; vl_a = a; vl_b = b; vl_op = op }
+  | _ -> None
+
+let simd_binop = function
+  | Add -> Vex.Ir.Add64Fx2
+  | Sub -> Vex.Ir.Sub64Fx2
+  | Mul -> Vex.Ir.Mul64Fx2
+  | Div -> Vex.Ir.Div64Fx2
+  | Mod | Lt | Le | Gt | Ge | Eq | Ne | And | Or ->
+      raise (Codegen_error "not a vectorizable operator")
+
+(* the base address of a double array variable (decayed) *)
+let array_base ctx pos name : Vex.Ir.expr =
+  let t = var_ty ctx pos name in
+  let addr, _ = var_addr ctx pos name in
+  match t with
+  | Tarray _ -> addr
+  | Tptr _ -> assign ctx Vex.Ir.I64 (Vex.Ir.Load (Vex.Ir.I64, addr))
+  | Tint | Tdouble | Tfloat -> raise (Codegen_error "not an array")
+
+(* Emit the packed main loop; the caller then emits the ordinary scalar
+   loop which consumes any remaining iterations. *)
+let emit_vector_loop ctx (s : stmt) (vl : vector_loop) : unit =
+  let pos = s.spos in
+  let l_vhead = fresh ctx "vhead"
+  and l_vbody = fresh ctx "vbody"
+  and l_vexit = fresh ctx "vexit" in
+  cut ctx (Vex.Ir.Goto l_vhead) l_vhead;
+  imark ctx pos.line;
+  (* guard: i + 1 < bound *)
+  let iv, _ = gen_expr ctx { desc = Var vl.vl_index; pos } in
+  let i1 =
+    assign ctx Vex.Ir.I64
+      (Vex.Ir.Binop (Vex.Ir.Add64, iv, Vex.Ir.Const (Vex.Ir.CI64 1L)))
+  in
+  let bv, _ = gen_expr ctx vl.vl_bound in
+  let g = assign ctx Vex.Ir.I1 (Vex.Ir.Binop (Vex.Ir.CmpLT64S, i1, bv)) in
+  emit ctx (Vex.Ir.Exit (g, l_vbody));
+  cut ctx (Vex.Ir.Goto l_vexit) l_vbody;
+  imark ctx pos.line;
+  (* packed body *)
+  let iv, _ = gen_expr ctx { desc = Var vl.vl_index; pos } in
+  let byte_off =
+    assign ctx Vex.Ir.I64
+      (Vex.Ir.Binop (Vex.Ir.Mul64, iv, Vex.Ir.Const (Vex.Ir.CI64 8L)))
+  in
+  let addr_of name =
+    let base = array_base ctx pos name in
+    assign ctx Vex.Ir.I64 (Vex.Ir.Binop (Vex.Ir.Add64, base, byte_off))
+  in
+  let va =
+    assign ctx Vex.Ir.V128 (Vex.Ir.Load (Vex.Ir.V128, addr_of vl.vl_a))
+  in
+  let vb =
+    assign ctx Vex.Ir.V128 (Vex.Ir.Load (Vex.Ir.V128, addr_of vl.vl_b))
+  in
+  let vr =
+    assign ctx Vex.Ir.V128 (Vex.Ir.Binop (simd_binop vl.vl_op, va, vb))
+  in
+  emit ctx (Vex.Ir.Store (addr_of vl.vl_dst, vr));
+  (* i = i + 2 *)
+  let iv, _ = gen_expr ctx { desc = Var vl.vl_index; pos } in
+  let inext =
+    assign ctx Vex.Ir.I64
+      (Vex.Ir.Binop (Vex.Ir.Add64, iv, Vex.Ir.Const (Vex.Ir.CI64 2L)))
+  in
+  let iaddr, _ = var_addr ctx pos vl.vl_index in
+  emit ctx (Vex.Ir.Store (iaddr, inext));
+  cut ctx (Vex.Ir.Goto l_vhead) l_vexit
+
+let rec gen_stmt ctx ret_ty (s : stmt) : unit =
+  if ctx.terminated then () (* unreachable code after return *)
+  else begin
+    imark ctx s.spos.line;
+    match s.sdesc with
+    | Decl (t, name, init) -> begin
+        let off = alloc_slot ctx t name in
+        match init with
+        | None -> ()
+        | Some ({ desc = Call (cname, args); _ } as e)
+          when not (Normalize.is_inline_call ctx.cfg cname) -> begin
+            match gen_call ctx e.pos cname args with
+            | Some (v, vt) ->
+                let v = convert ctx v vt t in
+                let fp = read_fp ctx in
+                store_scalar ctx (addr_add ctx fp off) v
+            | None -> raise (Codegen_error "void call used as initializer")
+          end
+        | Some e ->
+            let v, vt = gen_expr ctx e in
+            let v = convert ctx v vt t in
+            let fp = read_fp ctx in
+            store_scalar ctx (addr_add ctx fp off) v
+      end
+    | Assign (name, e) -> begin
+        let t = var_ty ctx s.spos name in
+        match e.desc with
+        | Call (cname, args) when not (Normalize.is_inline_call ctx.cfg cname) -> begin
+            match gen_call ctx e.pos cname args with
+            | Some (v, vt) ->
+                let v = convert ctx v vt t in
+                let addr, _ = var_addr ctx s.spos name in
+                store_scalar ctx addr v
+            | None -> raise (Codegen_error "void call used as value")
+          end
+        | _ ->
+            let v, vt = gen_expr ctx e in
+            let v = convert ctx v vt t in
+            let addr, _ = var_addr ctx s.spos name in
+            store_scalar ctx addr v
+      end
+    | Store (name, idx, e) ->
+        let base, aty = gen_expr ctx { desc = Var name; pos = { line = s.spos.line } } in
+        let elt =
+          match aty with
+          | Tarray (t, _) | Tptr t -> t
+          | _ -> raise (Codegen_error "storing into a non-array")
+        in
+        let iv, _ = gen_expr ctx idx in
+        let scaled =
+          assign ctx Vex.Ir.I64
+            (Vex.Ir.Binop
+               ( Vex.Ir.Mul64,
+                 iv,
+                 Vex.Ir.Const (Vex.Ir.CI64 (Int64.of_int (elem_size elt))) ))
+        in
+        let addr = assign ctx Vex.Ir.I64 (Vex.Ir.Binop (Vex.Ir.Add64, base, scaled)) in
+        let v, vt = gen_expr ctx e in
+        let v = convert ctx v vt elt in
+        store_scalar ctx addr v
+    | If (c, then_, else_) ->
+        let g = gen_cond ctx c in
+        let l_then = fresh ctx "then"
+        and l_else = fresh ctx "else"
+        and l_join = fresh ctx "join" in
+        emit ctx (Vex.Ir.Exit (g, l_then));
+        cut ctx (Vex.Ir.Goto l_else) l_then;
+        (* then branch *)
+        let saved_scope = ctx.scope in
+        List.iter (gen_stmt ctx ret_ty) then_;
+        ctx.scope <- saved_scope;
+        let then_terminated = ctx.terminated in
+        ctx.terminated <- false;
+        cut ctx (if then_terminated then Vex.Ir.Halt else Vex.Ir.Goto l_join) l_else;
+        (* else branch *)
+        let saved_scope = ctx.scope in
+        List.iter (gen_stmt ctx ret_ty) else_;
+        ctx.scope <- saved_scope;
+        let else_terminated = ctx.terminated in
+        ctx.terminated <- false;
+        cut ctx (if else_terminated then Vex.Ir.Halt else Vex.Ir.Goto l_join) l_join
+    | While (c, body) ->
+        (if ctx.vectorize then
+           match match_vector_loop ctx c body with
+           | Some vl -> emit_vector_loop ctx s vl
+           | None -> ());
+        let l_head = fresh ctx "head"
+        and l_body = fresh ctx "body"
+        and l_exit = fresh ctx "exit" in
+        cut ctx (Vex.Ir.Goto l_head) l_head;
+        imark ctx s.spos.line;
+        let g = gen_cond ctx c in
+        emit ctx (Vex.Ir.Exit (g, l_body));
+        cut ctx (Vex.Ir.Goto l_exit) l_body;
+        let saved_scope = ctx.scope in
+        ctx.loop_labels <- (l_head, l_exit) :: ctx.loop_labels;
+        List.iter (gen_stmt ctx ret_ty) body;
+        ctx.loop_labels <- List.tl ctx.loop_labels;
+        ctx.scope <- saved_scope;
+        let body_terminated = ctx.terminated in
+        ctx.terminated <- false;
+        cut ctx (if body_terminated then Vex.Ir.Halt else Vex.Ir.Goto l_head) l_exit
+    | For _ -> raise (Codegen_error "for loop survived normalization")
+    | Return None -> gen_return ctx None ret_ty
+    | Return (Some e) ->
+        let v = gen_expr ctx e in
+        gen_return ctx (Some v) ret_ty
+    | Expr ({ desc = Call (cname, args); pos } as _e)
+      when not (Normalize.is_inline_call ctx.cfg cname) ->
+        ignore (gen_call ctx pos cname args)
+    | Expr e -> ignore (gen_expr ctx e)
+    | Print e -> begin
+        let v, t = gen_expr ctx e in
+        match t with
+        | Tint -> emit ctx (Vex.Ir.Out (Vex.Ir.OutInt, v))
+        | Tdouble -> emit ctx (Vex.Ir.Out (Vex.Ir.OutFloat, v))
+        | Tfloat ->
+            let v64 = convert ctx v Tfloat Tdouble in
+            emit ctx (Vex.Ir.Out (Vex.Ir.OutFloat, v64))
+        | Tarray _ | Tptr _ -> raise (Codegen_error "cannot print a non-scalar")
+      end
+    | Break -> begin
+        match ctx.loop_labels with
+        | (_, l_exit) :: _ ->
+            ctx.terminated <- true;
+            cut ctx (Vex.Ir.Goto l_exit) (fresh ctx "dead")
+        | [] -> raise (Codegen_error "break outside a loop")
+      end
+    | Continue -> begin
+        match ctx.loop_labels with
+        | (l_head, _) :: _ ->
+            ctx.terminated <- true;
+            cut ctx (Vex.Ir.Goto l_head) (fresh ctx "dead")
+        | [] -> raise (Codegen_error "continue outside a loop")
+      end
+    | Mark e -> begin
+        let v, t = gen_expr ctx e in
+        match t with
+        | Tdouble -> emit ctx (Vex.Ir.Out (Vex.Ir.OutMark, v))
+        | Tfloat | Tint ->
+            let v64 = convert ctx v t Tdouble in
+            emit ctx (Vex.Ir.Out (Vex.Ir.OutMark, v64))
+        | Tarray _ | Tptr _ -> raise (Codegen_error "cannot mark a non-scalar")
+      end
+  end
+
+(* ---------- functions and the whole program ---------- *)
+
+let gen_func ctx (f : func) : unit =
+  ctx.fname <- f.fname;
+  ctx.terminated <- false;
+  ctx.loop_labels <- [];
+  let layout = Hashtbl.find ctx.layouts f.fname in
+  ctx.scope <- List.map (fun (n, t, off) -> (n, (t, off))) layout.l_params;
+  ctx.alloc <- 16 + List.fold_left (fun a (_, t, _) -> a + slot_size t) 0 layout.l_params;
+  ctx.b <- Vex.Builder.create (fn_label f.fname);
+  imark ctx f.fpos.line;
+  List.iter (gen_stmt ctx f.ret) f.body;
+  if not ctx.terminated then begin
+    (* implicit return; non-void functions return zero *)
+    (match f.ret with
+    | None -> gen_return ctx None f.ret
+    | Some Tint -> gen_return ctx (Some (Vex.Ir.Const (Vex.Ir.CI64 0L), Tint)) f.ret
+    | Some Tdouble ->
+        gen_return ctx (Some (Vex.Ir.Const (Vex.Ir.CF64 0.0), Tdouble)) f.ret
+    | Some Tfloat ->
+        gen_return ctx (Some (Vex.Ir.Const (Vex.Ir.CF32 0.0), Tfloat)) f.ret
+    | Some _ -> raise (Codegen_error "bad return type"))
+  end;
+  (* the trailing dead block left by gen_return *)
+  Vex.Builder.add_block ctx.pb (Vex.Builder.finish ctx.b Vex.Ir.Halt);
+  ctx.terminated <- false
+
+let generate ?(wrap_libm = true) ?(mathlib_names = []) ?(vectorize = false)
+    (env : Typecheck.env) (p : program) : Vex.Ir.prog =
+  let cfg = { Normalize.wrap_libm; mathlib_names } in
+  let pb = Vex.Builder.create_prog () in
+  let global_addrs = Hashtbl.create 16 in
+  let next_addr = ref global_base in
+  List.iter
+    (fun g ->
+      Hashtbl.replace global_addrs g.gname (!next_addr, g.gty);
+      next_addr := !next_addr + slot_size g.gty)
+    p.globals;
+  let stack_base = ((!next_addr + 63) / 64 * 64) + 64 in
+  let ctx =
+    {
+      env;
+      pb;
+      b = Vex.Builder.create "entry";
+      file = p.source_file;
+      fname = "<startup>";
+      scope = [];
+      alloc = 0;
+      layouts = Hashtbl.create 16;
+      global_addrs;
+      cfg;
+      vectorize;
+      terminated = false;
+      loop_labels = [];
+      stack_base;
+    }
+  in
+  List.iter
+    (fun (f : func) -> Hashtbl.replace ctx.layouts f.fname (compute_layout f))
+    p.funcs;
+  (* entry: set up the stack, run global initializers, call main, halt *)
+  imark ctx 0;
+  emit ctx
+    (Vex.Ir.Put (sp_off, Vex.Ir.Const (Vex.Ir.CI64 (Int64.of_int stack_base))));
+  emit ctx (Vex.Ir.Put (fp_off, Vex.Ir.Const (Vex.Ir.CI64 0L)));
+  List.iter
+    (fun g ->
+      match g.ginit with
+      | None -> ()
+      | Some e ->
+          let v, vt = gen_expr ctx e in
+          let v = convert ctx v vt g.gty in
+          let a, _ = Hashtbl.find ctx.global_addrs g.gname in
+          let addr = Vex.Ir.Const (Vex.Ir.CI64 (Int64.of_int a)) in
+          emit ctx (Vex.Ir.Store (addr, v)))
+    p.globals;
+  ignore (gen_call ctx { line = 0 } "main" []);
+  Vex.Builder.add_block ctx.pb (Vex.Builder.finish ctx.b Vex.Ir.Halt);
+  List.iter (gen_func ctx) p.funcs;
+  Vex.Builder.finish_prog ~entry:"entry" pb

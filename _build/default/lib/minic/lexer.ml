@@ -1,0 +1,249 @@
+(* Hand-written lexer for MiniC. *)
+
+type token =
+  | INT_LIT of int64
+  | FLOAT_LIT of float * string  (* value, original spelling *)
+  | IDENT of string
+  | KW_INT
+  | KW_DOUBLE
+  | KW_FLOAT
+  | KW_VOID
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_FOR
+  | KW_RETURN
+  | KW_BREAK
+  | KW_CONTINUE
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | ASSIGN
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ
+  | NE
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+exception Lex_error of string * int  (* message, line *)
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable tok : token;
+  mutable tok_line : int;
+}
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || is_digit c
+
+let keyword_of = function
+  | "int" -> Some KW_INT
+  | "double" -> Some KW_DOUBLE
+  | "float" -> Some KW_FLOAT
+  | "void" -> Some KW_VOID
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "while" -> Some KW_WHILE
+  | "for" -> Some KW_FOR
+  | "return" -> Some KW_RETURN
+  | "break" -> Some KW_BREAK
+  | "continue" -> Some KW_CONTINUE
+  | _ -> None
+
+let rec skip_ws lx =
+  if lx.pos >= String.length lx.src then ()
+  else
+    match lx.src.[lx.pos] with
+    | ' ' | '\t' | '\r' ->
+        lx.pos <- lx.pos + 1;
+        skip_ws lx
+    | '\n' ->
+        lx.pos <- lx.pos + 1;
+        lx.line <- lx.line + 1;
+        skip_ws lx
+    | '/' when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '/' ->
+        while lx.pos < String.length lx.src && lx.src.[lx.pos] <> '\n' do
+          lx.pos <- lx.pos + 1
+        done;
+        skip_ws lx
+    | '/' when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '*' ->
+        lx.pos <- lx.pos + 2;
+        let rec find () =
+          if lx.pos + 1 >= String.length lx.src then
+            raise (Lex_error ("unterminated comment", lx.line))
+          else if lx.src.[lx.pos] = '*' && lx.src.[lx.pos + 1] = '/' then
+            lx.pos <- lx.pos + 2
+          else begin
+            if lx.src.[lx.pos] = '\n' then lx.line <- lx.line + 1;
+            lx.pos <- lx.pos + 1;
+            find ()
+          end
+        in
+        find ();
+        skip_ws lx
+    | _ -> ()
+
+let scan_number lx =
+  let start = lx.pos in
+  while lx.pos < String.length lx.src && is_digit lx.src.[lx.pos] do
+    lx.pos <- lx.pos + 1
+  done;
+  let is_float = ref false in
+  if lx.pos < String.length lx.src && lx.src.[lx.pos] = '.' then begin
+    is_float := true;
+    lx.pos <- lx.pos + 1;
+    while lx.pos < String.length lx.src && is_digit lx.src.[lx.pos] do
+      lx.pos <- lx.pos + 1
+    done
+  end;
+  if
+    lx.pos < String.length lx.src
+    && (lx.src.[lx.pos] = 'e' || lx.src.[lx.pos] = 'E')
+  then begin
+    is_float := true;
+    lx.pos <- lx.pos + 1;
+    if
+      lx.pos < String.length lx.src
+      && (lx.src.[lx.pos] = '+' || lx.src.[lx.pos] = '-')
+    then lx.pos <- lx.pos + 1;
+    while lx.pos < String.length lx.src && is_digit lx.src.[lx.pos] do
+      lx.pos <- lx.pos + 1
+    done
+  end;
+  let has_f_suffix =
+    lx.pos < String.length lx.src
+    && (lx.src.[lx.pos] = 'f' || lx.src.[lx.pos] = 'F')
+  in
+  let text = String.sub lx.src start (lx.pos - start) in
+  if has_f_suffix then lx.pos <- lx.pos + 1;
+  if !is_float || has_f_suffix then
+    FLOAT_LIT (float_of_string text, text ^ if has_f_suffix then "f" else "")
+  else INT_LIT (Int64.of_string text)
+
+let next_token lx =
+  skip_ws lx;
+  lx.tok_line <- lx.line;
+  if lx.pos >= String.length lx.src then EOF
+  else begin
+    let c = lx.src.[lx.pos] in
+    let two s tok1 tok2 =
+      if lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = s then begin
+        lx.pos <- lx.pos + 2;
+        tok2
+      end
+      else begin
+        lx.pos <- lx.pos + 1;
+        tok1
+      end
+    in
+    if is_digit c then scan_number lx
+    else if is_ident_start c then begin
+      let start = lx.pos in
+      while lx.pos < String.length lx.src && is_ident lx.src.[lx.pos] do
+        lx.pos <- lx.pos + 1
+      done;
+      let name = String.sub lx.src start (lx.pos - start) in
+      match keyword_of name with Some k -> k | None -> IDENT name
+    end
+    else
+      match c with
+      | '(' -> lx.pos <- lx.pos + 1; LPAREN
+      | ')' -> lx.pos <- lx.pos + 1; RPAREN
+      | '{' -> lx.pos <- lx.pos + 1; LBRACE
+      | '}' -> lx.pos <- lx.pos + 1; RBRACE
+      | '[' -> lx.pos <- lx.pos + 1; LBRACKET
+      | ']' -> lx.pos <- lx.pos + 1; RBRACKET
+      | ';' -> lx.pos <- lx.pos + 1; SEMI
+      | ',' -> lx.pos <- lx.pos + 1; COMMA
+      | '+' -> lx.pos <- lx.pos + 1; PLUS
+      | '-' -> lx.pos <- lx.pos + 1; MINUS
+      | '*' -> lx.pos <- lx.pos + 1; STAR
+      | '/' -> lx.pos <- lx.pos + 1; SLASH
+      | '%' -> lx.pos <- lx.pos + 1; PERCENT
+      | '=' -> two '=' ASSIGN EQ
+      | '<' -> two '=' LT LE
+      | '>' -> two '=' GT GE
+      | '!' -> two '=' BANG NE
+      | '&' ->
+          if lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '&'
+          then begin
+            lx.pos <- lx.pos + 2;
+            ANDAND
+          end
+          else raise (Lex_error ("unexpected '&'", lx.line))
+      | '|' ->
+          if lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '|'
+          then begin
+            lx.pos <- lx.pos + 2;
+            OROR
+          end
+          else raise (Lex_error ("unexpected '|'", lx.line))
+      | c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, lx.line))
+  end
+
+let create src =
+  let lx = { src; pos = 0; line = 1; tok = EOF; tok_line = 1 } in
+  lx.tok <- next_token lx;
+  lx
+
+let peek lx = lx.tok
+let token_line lx = lx.tok_line
+let advance lx = lx.tok <- next_token lx
+
+let token_to_string = function
+  | INT_LIT i -> Int64.to_string i
+  | FLOAT_LIT (_, s) -> s
+  | IDENT s -> s
+  | KW_INT -> "int"
+  | KW_DOUBLE -> "double"
+  | KW_FLOAT -> "float"
+  | KW_VOID -> "void"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_WHILE -> "while"
+  | KW_FOR -> "for"
+  | KW_RETURN -> "return"
+  | KW_BREAK -> "break"
+  | KW_CONTINUE -> "continue"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | ASSIGN -> "="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EQ -> "=="
+  | NE -> "!="
+  | ANDAND -> "&&"
+  | OROR -> "||"
+  | BANG -> "!"
+  | EOF -> "<eof>"

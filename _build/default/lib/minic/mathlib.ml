@@ -1,0 +1,287 @@
+(* A double-precision math library written in MiniC itself. When libm
+   wrapping is turned off (the paper's section 8.2 ablation), calls to
+   exp/log/sin/cos/tan/atan/atan2/pow compile to ordinary MiniC calls into
+   these implementations, so the analysis traces their internals --
+   including the 6755399441055744 round-to-nearest magic constant the
+   paper shows leaking into recovered expressions.
+
+   Accuracy is a few ulps, which is all the client execution needs: the
+   shadow real execution never runs this code (with wrapping on it is
+   bypassed entirely; with wrapping off the point is precisely that the
+   analysis sees these internals). *)
+
+let names =
+  [ "exp"; "log"; "sin"; "cos"; "tan"; "atan"; "atan2"; "pow"; "asin";
+    "acos"; "sinh"; "cosh"; "tanh"; "expm1"; "log1p"; "cbrt"; "hypot" ]
+
+let source =
+  {|
+// ---- MiniC math library (used when libm wrapping is off) ----
+
+double __mc_two_to(int k) {
+  double p = 1.0;
+  double b = 2.0;
+  int n = k;
+  if (n < 0) {
+    n = -n;
+    b = 0.5;
+  }
+  while (n > 0) {
+    if (n % 2 == 1) {
+      p = p * b;
+    }
+    b = b * b;
+    n = n / 2;
+  }
+  return p;
+}
+
+double exp(double x) {
+  if (x > 710.0) { return 1.0 / 0.0; }
+  if (x < -745.0) { return 0.0; }
+  // round(x / ln 2) via the add-magic-constant trick
+  double kd = (x * 1.4426950408889634 + 6755399441055744.0) - 6755399441055744.0;
+  double r = x - kd * 0.6931471805599453;
+  r = r - kd * 2.3190468138462996e-17;
+  // straight-line Horner polynomial for exp on [-ln2/2, ln2/2], like the
+  // unrolled minimax kernels of a real libm
+  double s = 1.0 + r * (1.0 + r * (0.5 + r * (0.16666666666666666
+    + r * (0.041666666666666664 + r * (0.008333333333333333
+    + r * (0.001388888888888889 + r * (0.0001984126984126984
+    + r * (2.48015873015873e-05 + r * (2.7557319223985893e-06
+    + r * (2.755731922398589e-07 + r * (2.505210838544172e-08
+    + r * (2.08767569878681e-09 + r * (1.6059043836821613e-10
+    + r * (1.1470745597729725e-11))))))))))))));
+  return s * __mc_two_to((int) kd);
+}
+
+double log(double x) {
+  if (x < 0.0) { return 0.0 / 0.0; }
+  if (x == 0.0) { return -1.0 / 0.0; }
+  // normalize x = m * 2^e with m in [1, 2)
+  int e = 0;
+  double m = x;
+  while (m >= 2.0) {
+    m = m * 0.5;
+    e = e + 1;
+  }
+  while (m < 1.0) {
+    m = m * 2.0;
+    e = e - 1;
+  }
+  // atanh kernel, straight-line Horner:
+  // ln m = 2 z (1 + z^2/3 + z^4/5 + ...), z = (m-1)/(m+1), |z| <= 1/3
+  double z = (m - 1.0) / (m + 1.0);
+  double z2 = z * z;
+  double s = z * (1.0 + z2 * (0.3333333333333333 + z2 * (0.2
+    + z2 * (0.14285714285714285 + z2 * (0.1111111111111111
+    + z2 * (0.09090909090909091 + z2 * (0.07692307692307693
+    + z2 * (0.06666666666666667 + z2 * (0.058823529411764705
+    + z2 * (0.05263157894736842 + z2 * (0.047619047619047616
+    + z2 * (0.043478260869565216 + z2 * (0.04 + z2 * (0.037037037037037035
+    + z2 * (0.034482758620689655 + z2 * (0.03225806451612903
+    + z2 * (0.030303030303030304
+    + z2 * (0.02857142857142857))))))))))))))))));
+  return 2.0 * s + (double) e * 0.6931471805599453;
+}
+
+double __mc_sin_poly(double r) {
+  // straight-line Taylor/Horner kernel for |r| <= pi/4
+  double r2 = r * r;
+  return r * (1.0 + r2 * (-0.16666666666666666 + r2 * (0.008333333333333333
+    + r2 * (-0.0001984126984126984 + r2 * (2.7557319223985893e-06
+    + r2 * (-2.505210838544172e-08 + r2 * (1.6059043836821613e-10
+    + r2 * (-7.647163731819816e-13))))))));
+}
+
+double __mc_cos_poly(double r) {
+  double r2 = r * r;
+  return 1.0 + r2 * (-0.5 + r2 * (0.041666666666666664
+    + r2 * (-0.001388888888888889 + r2 * (2.48015873015873e-05
+    + r2 * (-2.755731922398589e-07 + r2 * (2.08767569878681e-09
+    + r2 * (-1.1470745597729725e-11)))))));
+}
+
+double sin(double x) {
+  // reduce modulo pi/2 with the magic-constant rounding trick
+  double nd = (x * 0.6366197723675814 + 6755399441055744.0) - 6755399441055744.0;
+  double r = x - nd * 1.5707963267948966;
+  r = r + nd * 2.4492935982947064e-17;
+  int q = (int) nd;
+  int m = q % 4;
+  if (m < 0) { m = m + 4; }
+  if (m == 0) { return __mc_sin_poly(r); }
+  if (m == 1) { return __mc_cos_poly(r); }
+  if (m == 2) { return -__mc_sin_poly(r); }
+  return -__mc_cos_poly(r);
+}
+
+double cos(double x) {
+  double nd = (x * 0.6366197723675814 + 6755399441055744.0) - 6755399441055744.0;
+  double r = x - nd * 1.5707963267948966;
+  r = r + nd * 2.4492935982947064e-17;
+  int q = (int) nd;
+  int m = q % 4;
+  if (m < 0) { m = m + 4; }
+  if (m == 0) { return __mc_cos_poly(r); }
+  if (m == 1) { return -__mc_sin_poly(r); }
+  if (m == 2) { return -__mc_cos_poly(r); }
+  return __mc_sin_poly(r);
+}
+
+double tan(double x) {
+  return sin(x) / cos(x);
+}
+
+double atan(double x) {
+  double ax = fabs(x);
+  int flip = 0;
+  if (ax > 1.0) {
+    ax = 1.0 / ax;
+    flip = 1;
+  }
+  // three angle halvings, then a straight-line Gregory kernel
+  ax = ax / (1.0 + sqrt(1.0 + ax * ax));
+  ax = ax / (1.0 + sqrt(1.0 + ax * ax));
+  ax = ax / (1.0 + sqrt(1.0 + ax * ax));
+  double z2 = ax * ax;
+  double s = ax * (1.0 + z2 * (-0.3333333333333333 + z2 * (0.2
+    + z2 * (-0.14285714285714285 + z2 * (0.1111111111111111
+    + z2 * (-0.09090909090909091 + z2 * (0.07692307692307693
+    + z2 * (-0.06666666666666667 + z2 * (0.058823529411764705
+    + z2 * (-0.05263157894736842 + z2 * (0.047619047619047616
+    + z2 * (-0.043478260869565216 + z2 * (0.04)))))))))))));
+  s = s * 8.0;
+  if (flip == 1) {
+    s = 1.5707963267948966 - s;
+  }
+  if (x < 0.0) {
+    s = -s;
+  }
+  return s;
+}
+
+double atan2(double y, double x) {
+  if (x > 0.0) {
+    return atan(y / x);
+  }
+  if (x < 0.0) {
+    if (y >= 0.0) {
+      return atan(y / x) + 3.141592653589793;
+    }
+    return atan(y / x) - 3.141592653589793;
+  }
+  if (y > 0.0) { return 1.5707963267948966; }
+  if (y < 0.0) { return -1.5707963267948966; }
+  return 0.0;
+}
+
+double pow(double x, double y) {
+  if (y == 0.0) { return 1.0; }
+  if (x == 0.0) { return 0.0; }
+  int yi = (int) y;
+  if ((double) yi == y) {
+    // integer exponent: repeated squaring keeps negative bases exact
+    double p = 1.0;
+    double b = x;
+    int n = yi;
+    if (n < 0) { n = -n; }
+    while (n > 0) {
+      if (n % 2 == 1) { p = p * b; }
+      b = b * b;
+      n = n / 2;
+    }
+    if (yi < 0) { p = 1.0 / p; }
+    return p;
+  }
+  return exp(y * log(x));
+}
+
+double asin(double x) {
+  if (x > 1.0) { return 0.0 / 0.0; }
+  if (x < -1.0) { return 0.0 / 0.0; }
+  if (x == 1.0) { return 1.5707963267948966; }
+  if (x == -1.0) { return -1.5707963267948966; }
+  return atan(x / sqrt((1.0 - x) * (1.0 + x)));
+}
+
+double acos(double x) {
+  if (x > 1.0) { return 0.0 / 0.0; }
+  if (x < -1.0) { return 0.0 / 0.0; }
+  if (x == 1.0) { return 0.0; }
+  if (x == -1.0) { return 3.141592653589793; }
+  return atan2(sqrt((1.0 - x) * (1.0 + x)), x);
+}
+
+double expm1(double x) {
+  double ax = fabs(x);
+  if (ax < 0.5) {
+    // straight-line Taylor kernel, no cancellation
+    return x * (1.0 + x * (0.5 + x * (0.16666666666666666
+      + x * (0.041666666666666664 + x * (0.008333333333333333
+      + x * (0.001388888888888889 + x * (0.0001984126984126984
+      + x * (0.0000248015873015873 + x * (0.0000027557319223985893
+      + x * 0.00000027557319223985888)))))))));
+  }
+  return exp(x) - 1.0;
+}
+
+double log1p(double x) {
+  double ax = fabs(x);
+  if (ax < 0.5) {
+    // 2 atanh(x / (x + 2)) via the straight-line atanh kernel
+    double z = x / (x + 2.0);
+    double z2 = z * z;
+    return 2.0 * z * (1.0 + z2 * (0.3333333333333333 + z2 * (0.2
+      + z2 * (0.14285714285714285 + z2 * (0.1111111111111111
+      + z2 * (0.09090909090909091 + z2 * (0.07692307692307693
+      + z2 * 0.06666666666666667)))))));
+  }
+  return log(1.0 + x);
+}
+
+double sinh(double x) {
+  double ax = fabs(x);
+  if (ax < 0.5) {
+    double x2 = x * x;
+    return x * (1.0 + x2 * (0.16666666666666666 + x2 * (0.008333333333333333
+      + x2 * (0.0001984126984126984 + x2 * 0.0000027557319223985893))));
+  }
+  double e = exp(x);
+  return 0.5 * (e - 1.0 / e);
+}
+
+double cosh(double x) {
+  double e = exp(x);
+  return 0.5 * (e + 1.0 / e);
+}
+
+double tanh(double x) {
+  if (x > 20.0) { return 1.0; }
+  if (x < -20.0) { return -1.0; }
+  double e = expm1(2.0 * x);
+  return e / (e + 2.0);
+}
+
+double cbrt(double x) {
+  if (x == 0.0) { return x; }
+  double ax = fabs(x);
+  // seed from exp(log/3), then one Newton step
+  double r = exp(log(ax) / 3.0);
+  r = (2.0 * r + ax / (r * r)) / 3.0;
+  if (x < 0.0) { r = -r; }
+  return r;
+}
+
+double hypot(double x, double y) {
+  double ax = fabs(x);
+  double ay = fabs(y);
+  double hi = fmax(ax, ay);
+  double lo = fmin(ax, ay);
+  if (hi == 0.0) { return 0.0; }
+  double ratio = lo / hi;
+  return hi * sqrt(1.0 + ratio * ratio);
+}
+|}
+
+let helper_names = [ "__mc_two_to"; "__mc_sin_poly"; "__mc_cos_poly" ]

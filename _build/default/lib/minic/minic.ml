@@ -1,0 +1,65 @@
+(* Front-end driver: MiniC source text to a VEX program.
+
+   [wrap_libm] mirrors Herbgrind's math-library wrapping (paper 5.4): when
+   true (the default), transcendental calls compile to Dirty library calls
+   that the analysis intercepts; when false, they compile to the MiniC
+   implementations in [Mathlib], whose internals the analysis then
+   traces. *)
+
+module Ast = Ast
+module Lexer = Lexer
+module Parser = Parser
+module Typecheck = Typecheck
+module Normalize = Normalize
+module Codegen = Codegen
+module Mathlib = Mathlib
+
+exception Compile_error of string
+
+let parse ~file src =
+  try Parser.parse_program ~file src with
+  | Lexer.Lex_error (msg, line) ->
+      raise (Compile_error (Printf.sprintf "%s:%d: lexical error: %s" file line msg))
+  | Parser.Parse_error (msg, line) ->
+      raise (Compile_error (Printf.sprintf "%s:%d: parse error: %s" file line msg))
+
+let compile ?(wrap_libm = true) ?vectorize ~file src : Vex.Ir.prog =
+  let prog = parse ~file src in
+  let prog =
+    if wrap_libm then prog
+    else begin
+      (* link in the MiniC math library *)
+      let mathlib = parse ~file:"<mathlib>" Mathlib.source in
+      let user_names = List.map (fun f -> f.Ast.fname) prog.Ast.funcs in
+      let lib_funcs =
+        List.filter
+          (fun f -> not (List.mem f.Ast.fname user_names))
+          mathlib.Ast.funcs
+      in
+      { prog with Ast.funcs = prog.Ast.funcs @ lib_funcs }
+    end
+  in
+  let mathlib_names = if wrap_libm then [] else Mathlib.names in
+  try
+    let env = Typecheck.check prog in
+    let cfg = { Normalize.wrap_libm; mathlib_names } in
+    let prog = Normalize.normalize cfg env prog in
+    Codegen.generate ~wrap_libm ~mathlib_names ?vectorize env prog
+  with
+  | Typecheck.Type_error (msg, line) ->
+      raise (Compile_error (Printf.sprintf "%s:%d: type error: %s" file line msg))
+  | Codegen.Codegen_error msg ->
+      raise (Compile_error (Printf.sprintf "%s: codegen error: %s" file msg))
+
+let compile_file ?wrap_libm ?vectorize path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  compile ?wrap_libm ?vectorize ~file:(Filename.basename path) src
+
+(* convenience for tests and examples: run and return printed outputs *)
+let run ?wrap_libm ?vectorize ?mem_size ?max_steps ~file src =
+  let prog = compile ?wrap_libm ?vectorize ~file src in
+  let st = Vex.Machine.run ?mem_size ?max_steps prog in
+  Vex.Machine.outputs st

@@ -1,0 +1,211 @@
+(* Normalization before code generation:
+
+   - every user-function call is hoisted into its own declaration
+     statement, so [Codegen] only ever sees calls at statement level
+     (calls break VEX superblocks, and temporaries do not survive block
+     boundaries);
+   - [for] loops are desugared into [while] loops;
+   - loop conditions containing calls get their hoisted statements
+     replayed at the end of each iteration.
+
+   Math library builtins ([Vex.Eval.libm_known]) are not hoisted when they
+   compile to inline hardware ops or Dirty calls; with libm wrapping off,
+   the transcendentals implemented by the MiniC math library become
+   ordinary user calls and are hoisted like any other call. *)
+
+open Ast
+
+type config = { wrap_libm : bool; mathlib_names : string list }
+
+let is_inline_call cfg name =
+  Vex.Eval.libm_known name
+  && (cfg.wrap_libm || not (List.mem name cfg.mathlib_names))
+
+let fresh_counter = ref 0
+
+let fresh_name () =
+  incr fresh_counter;
+  Printf.sprintf "__hoist%d" !fresh_counter
+
+let rec has_user_call cfg (e : expr) : bool =
+  match e.desc with
+  | Int_lit _ | Float_lit _ | Var _ -> false
+  | Index (a, i) -> has_user_call cfg a || has_user_call cfg i
+  | Call (name, args) ->
+      (not (is_inline_call cfg name)) || List.exists (has_user_call cfg) args
+  | Unary (_, a) -> has_user_call cfg a
+  | Binary (_, a, b) -> has_user_call cfg a || has_user_call cfg b
+  | Cast (_, a) -> has_user_call cfg a
+
+(* All normalization runs against a live Typecheck environment so hoisted
+   temporaries can be typed; declarations are recorded as they are made. *)
+
+let declare (env : Typecheck.env) name ty =
+  env.Typecheck.locals <- (name, ty) :: env.Typecheck.locals
+
+(* Hoist user calls out of [e]: returns (decl statements, call-free expr). *)
+let rec hoist cfg env (e : expr) : stmt list * expr =
+  if not (has_user_call cfg e) then ([], e)
+  else
+    match e.desc with
+    | Int_lit _ | Float_lit _ | Var _ -> ([], e)
+    | Index (a, i) ->
+        let sa, a' = hoist cfg env a in
+        let si, i' = hoist cfg env i in
+        (sa @ si, { e with desc = Index (a', i') })
+    | Unary (op, a) ->
+        let sa, a' = hoist cfg env a in
+        (sa, { e with desc = Unary (op, a') })
+    | Binary (op, a, b) ->
+        let sa, a' = hoist cfg env a in
+        let sb, b' = hoist cfg env b in
+        (sa @ sb, { e with desc = Binary (op, a', b') })
+    | Cast (t, a) ->
+        let sa, a' = hoist cfg env a in
+        (sa, { e with desc = Cast (t, a') })
+    | Call (name, args) ->
+        let stmts, args' = hoist_list cfg env args in
+        let call = { e with desc = Call (name, args') } in
+        if is_inline_call cfg name then (stmts, call)
+        else begin
+          let tmp = fresh_name () in
+          let ty = Typecheck.expr_ty env call in
+          declare env tmp ty;
+          let decl =
+            { sdesc = Decl (ty, tmp, Some call); spos = { line = e.pos.line } }
+          in
+          (stmts @ [ decl ], { e with desc = Var tmp })
+        end
+
+and hoist_list cfg env args =
+  let stmts, rev =
+    List.fold_left
+      (fun (ss, aa) arg ->
+        let s, a' = hoist cfg env arg in
+        (ss @ s, a' :: aa))
+      ([], []) args
+  in
+  (stmts, List.rev rev)
+
+(* Hoist arguments but keep a top-level user call in place (the canonical
+   "call statement" position). *)
+let hoist_keep_top cfg env (e : expr) : stmt list * expr =
+  match e.desc with
+  | Call (name, args) when not (is_inline_call cfg name) ->
+      let pre, args' = hoist_list cfg env args in
+      (pre, { e with desc = Call (name, args') })
+  | _ -> hoist cfg env e
+
+let rec norm_stmt cfg env (s : stmt) : stmt list =
+  match s.sdesc with
+  | Decl (t, name, Some init) ->
+      let pre, init' = hoist_keep_top cfg env init in
+      declare env name t;
+      pre @ [ { s with sdesc = Decl (t, name, Some init') } ]
+  | Decl (t, name, None) ->
+      declare env name t;
+      [ s ]
+  | Assign (name, e) ->
+      let pre, e' = hoist_keep_top cfg env e in
+      pre @ [ { s with sdesc = Assign (name, e') } ]
+  | Store (name, idx, e) ->
+      let si, idx' = hoist cfg env idx in
+      let se, e' = hoist cfg env e in
+      si @ se @ [ { s with sdesc = Store (name, idx', e') } ]
+  | If (c, then_, else_) ->
+      let sc, c' = hoist cfg env c in
+      let then' = norm_block cfg env then_ in
+      let else' = norm_block cfg env else_ in
+      sc @ [ { s with sdesc = If (c', then', else') } ]
+  | While (c, body) ->
+      let saved = env.Typecheck.locals in
+      let sc, c' = hoist cfg env c in
+      let body' = norm_block cfg env body in
+      env.Typecheck.locals <- saved;
+      if sc = [] then [ { s with sdesc = While (c', body') } ]
+      else begin
+        (* run the condition's call statements before the loop, and replay
+           them as assignments at the end of each iteration so the same
+           frame slots are updated *)
+        let replay =
+          List.map
+            (fun st ->
+              match st.sdesc with
+              | Decl (_, n, Some e) -> { st with sdesc = Assign (n, e) }
+              | Decl (_, _, None) | Assign _ | Store _ | If _ | While _
+              | For _ | Return _ | Expr _ | Print _ | Mark _ | Break
+              | Continue ->
+                  st)
+            sc
+        in
+        List.iter
+          (fun st ->
+            match st.sdesc with
+            | Decl (t, n, _) -> declare env n t
+            | Assign _ | Store _ | If _ | While _ | For _ | Return _ | Expr _
+            | Print _ | Mark _ | Break | Continue ->
+                ())
+          sc;
+        sc @ [ { s with sdesc = While (c', body' @ replay) } ]
+      end
+  | For (init, cond, step, body) ->
+      (* `continue` inside a for-loop would skip the desugared step
+         statement; reject it rather than silently change semantics *)
+      let rec has_continue stmts =
+        List.exists
+          (fun st ->
+            match st.sdesc with
+            | Continue -> true
+            | If (_, a, b) -> has_continue a || has_continue b
+            | While _ | For _ -> false (* belongs to the inner loop *)
+            | Decl _ | Assign _ | Store _ | Return _ | Expr _ | Print _
+            | Mark _ | Break ->
+                false)
+          stmts
+      in
+      if step <> None && has_continue body then
+        raise
+          (Typecheck.Type_error
+             ("continue inside a for loop with a step is not supported; use while",
+              s.spos.line));
+      let saved = env.Typecheck.locals in
+      let init' = match init with Some st -> norm_stmt cfg env st | None -> [] in
+      let cond' =
+        match cond with
+        | Some c -> c
+        | None -> { desc = Int_lit 1L; pos = { line = s.spos.line } }
+      in
+      let step_stmts = match step with Some st -> [ st ] | None -> [] in
+      let while_stmt = { s with sdesc = While (cond', body @ step_stmts) } in
+      let out = init' @ norm_stmt cfg env while_stmt in
+      env.Typecheck.locals <- saved;
+      out
+  | Return (Some e) ->
+      let pre, e' = hoist cfg env e in
+      pre @ [ { s with sdesc = Return (Some e') } ]
+  | Return None -> [ s ]
+  | Expr e ->
+      let pre, e' = hoist_keep_top cfg env e in
+      pre @ [ { s with sdesc = Expr e' } ]
+  | Print e ->
+      let pre, e' = hoist cfg env e in
+      pre @ [ { s with sdesc = Print e' } ]
+  | Mark e ->
+      let pre, e' = hoist cfg env e in
+      pre @ [ { s with sdesc = Mark e' } ]
+  | Break | Continue -> [ s ]
+
+and norm_block cfg env stmts =
+  let saved = env.Typecheck.locals in
+  let out = List.concat_map (norm_stmt cfg env) stmts in
+  env.Typecheck.locals <- saved;
+  out
+
+let normalize cfg (env : Typecheck.env) (p : program) : program =
+  let norm_func (f : func) : func =
+    env.Typecheck.locals <- List.map (fun (t, n) -> (n, t)) f.params;
+    let body = List.concat_map (norm_stmt cfg env) f.body in
+    env.Typecheck.locals <- [];
+    { f with body }
+  in
+  { p with funcs = List.map norm_func p.funcs }

@@ -1,0 +1,375 @@
+(* Recursive-descent parser for MiniC. *)
+
+open Ast
+
+exception Parse_error of string * int
+
+let error lx msg =
+  raise (Parse_error (msg ^ " (got " ^ Lexer.token_to_string (Lexer.peek lx) ^ ")",
+                      Lexer.token_line lx))
+
+let expect lx tok what =
+  if Lexer.peek lx = tok then Lexer.advance lx else error lx ("expected " ^ what)
+
+let pos_of lx = { line = Lexer.token_line lx }
+
+let parse_base_ty lx : ty option =
+  match Lexer.peek lx with
+  | Lexer.KW_INT -> Lexer.advance lx; Some Tint
+  | Lexer.KW_DOUBLE -> Lexer.advance lx; Some Tdouble
+  | Lexer.KW_FLOAT -> Lexer.advance lx; Some Tfloat
+  | _ -> None
+
+(* precedence climbing: level 0 lowest (||) *)
+let binop_of_token = function
+  | Lexer.OROR -> Some (Or, 0)
+  | Lexer.ANDAND -> Some (And, 1)
+  | Lexer.EQ -> Some (Eq, 2)
+  | Lexer.NE -> Some (Ne, 2)
+  | Lexer.LT -> Some (Lt, 3)
+  | Lexer.LE -> Some (Le, 3)
+  | Lexer.GT -> Some (Gt, 3)
+  | Lexer.GE -> Some (Ge, 3)
+  | Lexer.PLUS -> Some (Add, 4)
+  | Lexer.MINUS -> Some (Sub, 4)
+  | Lexer.STAR -> Some (Mul, 5)
+  | Lexer.SLASH -> Some (Div, 5)
+  | Lexer.PERCENT -> Some (Mod, 5)
+  | _ -> None
+
+let rec parse_expr lx = parse_binary lx 0
+
+and parse_binary lx min_prec =
+  let lhs = ref (parse_unary lx) in
+  let continue = ref true in
+  while !continue do
+    match binop_of_token (Lexer.peek lx) with
+    | Some (op, prec) when prec >= min_prec ->
+        let pos = pos_of lx in
+        Lexer.advance lx;
+        let rhs = parse_binary lx (prec + 1) in
+        lhs := { desc = Binary (op, !lhs, rhs); pos }
+    | Some _ | None -> continue := false
+  done;
+  !lhs
+
+and parse_unary lx =
+  let pos = pos_of lx in
+  match Lexer.peek lx with
+  | Lexer.MINUS ->
+      Lexer.advance lx;
+      { desc = Unary (Neg, parse_unary lx); pos }
+  | Lexer.BANG ->
+      Lexer.advance lx;
+      { desc = Unary (Not, parse_unary lx); pos }
+  | Lexer.LPAREN -> begin
+      (* either a cast or a parenthesized expression: look for a type *)
+      Lexer.advance lx;
+      match parse_base_ty lx with
+      | Some t ->
+          expect lx Lexer.RPAREN ")";
+          { desc = Cast (t, parse_unary lx); pos }
+      | None ->
+          let e = parse_expr lx in
+          expect lx Lexer.RPAREN ")";
+          parse_postfix lx e
+    end
+  | _ -> parse_primary lx
+
+and parse_postfix lx e =
+  match Lexer.peek lx with
+  | Lexer.LBRACKET ->
+      let pos = pos_of lx in
+      Lexer.advance lx;
+      let idx = parse_expr lx in
+      expect lx Lexer.RBRACKET "]";
+      parse_postfix lx { desc = Index (e, idx); pos }
+  | _ -> e
+
+and parse_primary lx =
+  let pos = pos_of lx in
+  match Lexer.peek lx with
+  | Lexer.INT_LIT i ->
+      Lexer.advance lx;
+      { desc = Int_lit i; pos }
+  | Lexer.FLOAT_LIT (f, s) ->
+      Lexer.advance lx;
+      { desc = Float_lit (f, s); pos }
+  | Lexer.IDENT name -> begin
+      Lexer.advance lx;
+      match Lexer.peek lx with
+      | Lexer.LPAREN ->
+          Lexer.advance lx;
+          let args = parse_args lx in
+          expect lx Lexer.RPAREN ")";
+          parse_postfix lx { desc = Call (name, args); pos }
+      | _ -> parse_postfix lx { desc = Var name; pos }
+    end
+  | _ -> error lx "expected expression"
+
+and parse_args lx =
+  if Lexer.peek lx = Lexer.RPAREN then []
+  else begin
+    let rec more acc =
+      if Lexer.peek lx = Lexer.COMMA then begin
+        Lexer.advance lx;
+        more (parse_expr lx :: acc)
+      end
+      else List.rev acc
+    in
+    more [ parse_expr lx ]
+  end
+
+let rec parse_stmt lx : stmt =
+  let spos = pos_of lx in
+  match Lexer.peek lx with
+  | Lexer.KW_IF ->
+      Lexer.advance lx;
+      expect lx Lexer.LPAREN "(";
+      let cond = parse_expr lx in
+      expect lx Lexer.RPAREN ")";
+      let then_ = parse_block_or_stmt lx in
+      let else_ =
+        if Lexer.peek lx = Lexer.KW_ELSE then begin
+          Lexer.advance lx;
+          parse_block_or_stmt lx
+        end
+        else []
+      in
+      { sdesc = If (cond, then_, else_); spos }
+  | Lexer.KW_WHILE ->
+      Lexer.advance lx;
+      expect lx Lexer.LPAREN "(";
+      let cond = parse_expr lx in
+      expect lx Lexer.RPAREN ")";
+      let body = parse_block_or_stmt lx in
+      { sdesc = While (cond, body); spos }
+  | Lexer.KW_FOR ->
+      Lexer.advance lx;
+      expect lx Lexer.LPAREN "(";
+      let init =
+        if Lexer.peek lx = Lexer.SEMI then None else Some (parse_simple_stmt lx)
+      in
+      expect lx Lexer.SEMI ";";
+      let cond = if Lexer.peek lx = Lexer.SEMI then None else Some (parse_expr lx) in
+      expect lx Lexer.SEMI ";";
+      let step =
+        if Lexer.peek lx = Lexer.RPAREN then None else Some (parse_simple_stmt lx)
+      in
+      expect lx Lexer.RPAREN ")";
+      let body = parse_block_or_stmt lx in
+      { sdesc = For (init, cond, step, body); spos }
+  | Lexer.KW_BREAK ->
+      Lexer.advance lx;
+      expect lx Lexer.SEMI ";";
+      { sdesc = Break; spos }
+  | Lexer.KW_CONTINUE ->
+      Lexer.advance lx;
+      expect lx Lexer.SEMI ";";
+      { sdesc = Continue; spos }
+  | Lexer.KW_RETURN ->
+      Lexer.advance lx;
+      if Lexer.peek lx = Lexer.SEMI then begin
+        Lexer.advance lx;
+        { sdesc = Return None; spos }
+      end
+      else begin
+        let e = parse_expr lx in
+        expect lx Lexer.SEMI ";";
+        { sdesc = Return (Some e); spos }
+      end
+  | _ ->
+      let s = parse_simple_stmt lx in
+      expect lx Lexer.SEMI ";";
+      s
+
+(* declaration / assignment / call, without the trailing semicolon *)
+and parse_simple_stmt lx : stmt =
+  let spos = pos_of lx in
+  match parse_base_ty lx with
+  | Some base -> begin
+      match Lexer.peek lx with
+      | Lexer.IDENT name -> begin
+          Lexer.advance lx;
+          match Lexer.peek lx with
+          | Lexer.LBRACKET ->
+              Lexer.advance lx;
+              let size =
+                match Lexer.peek lx with
+                | Lexer.INT_LIT i ->
+                    Lexer.advance lx;
+                    Int64.to_int i
+                | _ -> error lx "expected array size"
+              in
+              expect lx Lexer.RBRACKET "]";
+              { sdesc = Decl (Tarray (base, size), name, None); spos }
+          | Lexer.ASSIGN ->
+              Lexer.advance lx;
+              let e = parse_expr lx in
+              { sdesc = Decl (base, name, Some e); spos }
+          | _ -> { sdesc = Decl (base, name, None); spos }
+        end
+      | _ -> error lx "expected identifier after type"
+    end
+  | None -> begin
+      match Lexer.peek lx with
+      | Lexer.IDENT name -> begin
+          Lexer.advance lx;
+          match Lexer.peek lx with
+          | Lexer.ASSIGN ->
+              Lexer.advance lx;
+              let e = parse_expr lx in
+              { sdesc = Assign (name, e); spos }
+          | Lexer.LBRACKET ->
+              Lexer.advance lx;
+              let idx = parse_expr lx in
+              expect lx Lexer.RBRACKET "]";
+              if Lexer.peek lx = Lexer.ASSIGN then begin
+                Lexer.advance lx;
+                let e = parse_expr lx in
+                { sdesc = Store (name, idx, e); spos }
+              end
+              else error lx "expected = after a[i]"
+          | Lexer.LPAREN ->
+              Lexer.advance lx;
+              let args = parse_args lx in
+              expect lx Lexer.RPAREN ")";
+              if name = "print" then begin
+                match args with
+                | [ e ] -> { sdesc = Print e; spos }
+                | _ -> error lx "print takes one argument"
+              end
+              else if name = "__mark" then begin
+                match args with
+                | [ e ] -> { sdesc = Mark e; spos }
+                | _ -> error lx "__mark takes one argument"
+              end
+              else { sdesc = Expr { desc = Call (name, args); pos = spos }; spos }
+          | _ -> error lx "expected statement"
+        end
+      | _ -> error lx "expected statement"
+    end
+
+and parse_block_or_stmt lx : stmt list =
+  if Lexer.peek lx = Lexer.LBRACE then begin
+    Lexer.advance lx;
+    let rec go acc =
+      if Lexer.peek lx = Lexer.RBRACE then begin
+        Lexer.advance lx;
+        List.rev acc
+      end
+      else go (parse_stmt lx :: acc)
+    in
+    go []
+  end
+  else [ parse_stmt lx ]
+
+(* top level: globals and functions *)
+let parse_program ~file src : program =
+  let lx = Lexer.create src in
+  let globals = ref [] and funcs = ref [] in
+  let rec top () =
+    if Lexer.peek lx = Lexer.EOF then ()
+    else begin
+      let fpos = pos_of lx in
+      let ret =
+        match Lexer.peek lx with
+        | Lexer.KW_VOID ->
+            Lexer.advance lx;
+            None
+        | _ -> (
+            match parse_base_ty lx with
+            | Some t -> Some t
+            | None -> error lx "expected type at top level")
+      in
+      let name =
+        match Lexer.peek lx with
+        | Lexer.IDENT n ->
+            Lexer.advance lx;
+            n
+        | _ -> error lx "expected name at top level"
+      in
+      match Lexer.peek lx with
+      | Lexer.LPAREN ->
+          (* function definition *)
+          Lexer.advance lx;
+          let params = parse_params lx in
+          expect lx Lexer.RPAREN ")";
+          expect lx Lexer.LBRACE "{";
+          let rec body acc =
+            if Lexer.peek lx = Lexer.RBRACE then begin
+              Lexer.advance lx;
+              List.rev acc
+            end
+            else body (parse_stmt lx :: acc)
+          in
+          let body = body [] in
+          funcs := { fname = name; ret; params; body; fpos } :: !funcs;
+          top ()
+      | Lexer.LBRACKET ->
+          Lexer.advance lx;
+          let size =
+            match Lexer.peek lx with
+            | Lexer.INT_LIT i ->
+                Lexer.advance lx;
+                Int64.to_int i
+            | _ -> error lx "expected array size"
+          in
+          expect lx Lexer.RBRACKET "]";
+          expect lx Lexer.SEMI ";";
+          let base = match ret with Some t -> t | None -> error lx "void array" in
+          globals :=
+            { gty = Tarray (base, size); gname = name; ginit = None; gpos = fpos }
+            :: !globals;
+          top ()
+      | Lexer.ASSIGN ->
+          Lexer.advance lx;
+          let e = parse_expr lx in
+          expect lx Lexer.SEMI ";";
+          let base = match ret with Some t -> t | None -> error lx "void global" in
+          globals :=
+            { gty = base; gname = name; ginit = Some e; gpos = fpos } :: !globals;
+          top ()
+      | Lexer.SEMI ->
+          Lexer.advance lx;
+          let base = match ret with Some t -> t | None -> error lx "void global" in
+          globals :=
+            { gty = base; gname = name; ginit = None; gpos = fpos } :: !globals;
+          top ()
+      | _ -> error lx "expected (, [, = or ; at top level"
+    end
+  and parse_params lx =
+    if Lexer.peek lx = Lexer.RPAREN then []
+    else begin
+      let rec one () =
+        let t =
+          match parse_base_ty lx with
+          | Some t -> t
+          | None -> error lx "expected parameter type"
+        in
+        let n =
+          match Lexer.peek lx with
+          | Lexer.IDENT n ->
+              Lexer.advance lx;
+              n
+          | _ -> error lx "expected parameter name"
+        in
+        let t =
+          if Lexer.peek lx = Lexer.LBRACKET then begin
+            Lexer.advance lx;
+            expect lx Lexer.RBRACKET "]";
+            Tptr t
+          end
+          else t
+        in
+        if Lexer.peek lx = Lexer.COMMA then begin
+          Lexer.advance lx;
+          (t, n) :: one ()
+        end
+        else [ (t, n) ]
+      in
+      one ()
+    end
+  in
+  top ();
+  { globals = List.rev !globals; funcs = List.rev !funcs; source_file = file }

@@ -1,0 +1,227 @@
+(* Type checking for MiniC. Also exports the environment and the
+   expression-typing function that [Codegen] reuses, so the two phases
+   cannot disagree about promotions. *)
+
+open Ast
+
+exception Type_error of string * int
+
+let err pos msg = raise (Type_error (msg, pos.line))
+
+type fsig = { fs_ret : ty option; fs_params : ty list }
+
+type env = {
+  globals : (string, ty) Hashtbl.t;
+  funcs : (string, fsig) Hashtbl.t;
+  mutable locals : (string * ty) list;  (* innermost first *)
+}
+
+let lookup_var env pos name =
+  match List.assoc_opt name env.locals with
+  | Some t -> t
+  | None -> (
+      match Hashtbl.find_opt env.globals name with
+      | Some t -> t
+      | None -> err pos ("unbound variable " ^ name))
+
+let is_arith = function
+  | Tint | Tdouble | Tfloat -> true
+  | Tarray _ | Tptr _ -> false
+
+(* usual arithmetic conversions, restricted to our three scalar types *)
+let promote pos a b =
+  match (a, b) with
+  | Tdouble, (Tdouble | Tfloat | Tint) | (Tfloat | Tint), Tdouble -> Tdouble
+  | Tfloat, (Tfloat | Tint) | Tint, Tfloat -> Tfloat
+  | Tint, Tint -> Tint
+  | _ -> err pos "arithmetic on non-scalar type"
+
+let rec expr_ty env (e : expr) : ty =
+  match e.desc with
+  | Int_lit _ -> Tint
+  | Float_lit (_, s) ->
+      if String.length s > 0 && s.[String.length s - 1] = 'f' then Tfloat
+      else Tdouble
+  | Var name -> lookup_var env e.pos name
+  | Index (a, i) -> begin
+      (match expr_ty env i with
+      | Tint -> ()
+      | t -> err e.pos ("array index must be int, got " ^ ty_to_string t));
+      match expr_ty env a with
+      | Tarray (t, _) | Tptr t -> t
+      | t -> err e.pos ("cannot index " ^ ty_to_string t)
+    end
+  | Call (name, args) -> begin
+      let arg_tys = List.map (expr_ty env) args in
+      if Vex.Eval.libm_known name then begin
+        let arity = Vex.Eval.libm_arity name in
+        if List.length args <> arity then
+          err e.pos (Printf.sprintf "%s expects %d arguments" name arity);
+        List.iter
+          (fun t -> if not (is_arith t) then err e.pos (name ^ ": non-scalar argument"))
+          arg_tys;
+        Tdouble
+      end
+      else
+        match Hashtbl.find_opt env.funcs name with
+        | None -> err e.pos ("unknown function " ^ name)
+        | Some fs ->
+            if List.length fs.fs_params <> List.length args then
+              err e.pos ("wrong number of arguments to " ^ name);
+            List.iter2
+              (fun expected got ->
+                match (expected, got) with
+                | t1, t2 when t1 = t2 -> ()
+                | (Tint | Tdouble | Tfloat), (Tint | Tdouble | Tfloat) -> ()
+                | Tptr t1, (Tarray (t2, _) | Tptr t2) when t1 = t2 -> ()
+                | _ ->
+                    err e.pos
+                      (Printf.sprintf "argument type mismatch in call to %s: %s vs %s"
+                         name (ty_to_string expected) (ty_to_string got)))
+              fs.fs_params arg_tys;
+            (match fs.fs_ret with
+            | Some t -> t
+            | None -> err e.pos (name ^ " returns void; cannot use its value"))
+    end
+  | Unary (Neg, a) -> begin
+      match expr_ty env a with
+      | t when is_arith t -> t
+      | t -> err e.pos ("cannot negate " ^ ty_to_string t)
+    end
+  | Unary (Not, a) -> begin
+      match expr_ty env a with
+      | t when is_arith t -> Tint
+      | t -> err e.pos ("cannot apply ! to " ^ ty_to_string t)
+    end
+  | Binary ((Add | Sub | Mul | Div), a, b) ->
+      promote e.pos (expr_ty env a) (expr_ty env b)
+  | Binary (Mod, a, b) -> begin
+      match (expr_ty env a, expr_ty env b) with
+      | Tint, Tint -> Tint
+      | _ -> err e.pos "% requires int operands"
+    end
+  | Binary ((Lt | Le | Gt | Ge | Eq | Ne), a, b) ->
+      ignore (promote e.pos (expr_ty env a) (expr_ty env b));
+      Tint
+  | Binary ((And | Or), a, b) ->
+      let ta = expr_ty env a and tb = expr_ty env b in
+      if is_arith ta && is_arith tb then Tint
+      else err e.pos "&&/|| require scalar operands"
+  | Cast (t, a) ->
+      let ta = expr_ty env a in
+      if is_arith t && is_arith ta then t
+      else err e.pos "invalid cast"
+
+let rec check_stmt env (ret : ty option) (s : stmt) : unit =
+  match s.sdesc with
+  | Decl (t, name, init) ->
+      (match init with
+      | Some e ->
+          let te = expr_ty env e in
+          if not (is_arith te && is_arith t) then
+            err s.spos ("cannot initialize " ^ name)
+      | None -> ());
+      env.locals <- (name, t) :: env.locals
+  | Assign (name, e) ->
+      let tv = lookup_var env s.spos name and te = expr_ty env e in
+      if not (is_arith tv && is_arith te) then
+        err s.spos ("cannot assign to " ^ name)
+  | Store (name, idx, e) -> begin
+      (match expr_ty env idx with
+      | Tint -> ()
+      | _ -> err s.spos "array index must be int");
+      let te = expr_ty env e in
+      match lookup_var env s.spos name with
+      | Tarray (t, _) | Tptr t ->
+          if not (is_arith t && is_arith te) then err s.spos "bad element store"
+      | t -> err s.spos ("cannot index " ^ ty_to_string t)
+    end
+  | If (c, then_, else_) ->
+      if not (is_arith (expr_ty env c)) then err s.spos "condition must be scalar";
+      check_block env ret then_;
+      check_block env ret else_
+  | While (c, body) ->
+      if not (is_arith (expr_ty env c)) then err s.spos "condition must be scalar";
+      check_block env ret body
+  | For (init, cond, step, body) ->
+      let saved = env.locals in
+      (match init with Some st -> check_stmt env ret st | None -> ());
+      (match cond with
+      | Some c ->
+          if not (is_arith (expr_ty env c)) then err s.spos "condition must be scalar"
+      | None -> ());
+      (match step with Some st -> check_stmt env ret st | None -> ());
+      check_block env ret body;
+      env.locals <- saved
+  | Return None ->
+      if ret <> None then err s.spos "missing return value"
+  | Return (Some e) -> begin
+      let te = expr_ty env e in
+      match ret with
+      | None -> err s.spos "returning a value from void function"
+      | Some t ->
+          if not (is_arith t && is_arith te) then err s.spos "bad return type"
+    end
+  | Expr e -> ignore (expr_ty_allow_void env e)
+  | Print e ->
+      if not (is_arith (expr_ty env e)) then err s.spos "print needs a scalar"
+  | Mark e ->
+      if not (is_arith (expr_ty env e)) then err s.spos "__mark needs a scalar"
+  | Break | Continue -> ()
+
+and expr_ty_allow_void env (e : expr) : ty option =
+  match e.desc with
+  | Call (name, args) when not (Vex.Eval.libm_known name) -> begin
+      match Hashtbl.find_opt env.funcs name with
+      | Some { fs_ret = None; fs_params } ->
+          if List.length fs_params <> List.length args then
+            err e.pos ("wrong number of arguments to " ^ name);
+          List.iter (fun a -> ignore (expr_ty env a)) args;
+          None
+      | _ -> Some (expr_ty env e)
+    end
+  | _ -> Some (expr_ty env e)
+
+and check_block env ret stmts =
+  let saved = env.locals in
+  List.iter (check_stmt env ret) stmts;
+  env.locals <- saved
+
+let build_env (p : program) : env =
+  let env =
+    { globals = Hashtbl.create 16; funcs = Hashtbl.create 16; locals = [] }
+  in
+  List.iter
+    (fun g ->
+      if Hashtbl.mem env.globals g.gname then
+        err g.gpos ("duplicate global " ^ g.gname);
+      Hashtbl.add env.globals g.gname g.gty)
+    p.globals;
+  List.iter
+    (fun f ->
+      if Hashtbl.mem env.funcs f.fname then
+        err f.fpos ("duplicate function " ^ f.fname);
+      Hashtbl.add env.funcs f.fname
+        { fs_ret = f.ret; fs_params = List.map fst f.params })
+    p.funcs;
+  env
+
+let check (p : program) : env =
+  let env = build_env p in
+  List.iter
+    (fun g ->
+      match g.ginit with
+      | Some e ->
+          if not (is_arith (expr_ty env e)) then
+            err g.gpos ("bad initializer for " ^ g.gname)
+      | None -> ())
+    p.globals;
+  List.iter
+    (fun f ->
+      env.locals <- List.map (fun (t, n) -> (n, t)) f.params;
+      check_block env f.ret f.body;
+      env.locals <- [])
+    p.funcs;
+  if not (Hashtbl.mem env.funcs "main") then
+    raise (Type_error ("program has no main function", 0));
+  env

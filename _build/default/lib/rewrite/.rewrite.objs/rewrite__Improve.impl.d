@@ -1,0 +1,1 @@
+lib/rewrite/improve.ml: Array Bignum Core Float Fpcore Hashtbl Ieee List Marshal Pattern Printf Rules

@@ -1,0 +1,1 @@
+lib/rewrite/pattern.ml: Fpcore Int64 List String

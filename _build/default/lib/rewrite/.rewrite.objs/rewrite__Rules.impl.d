@@ -1,0 +1,1 @@
+lib/rewrite/rules.ml: Pattern

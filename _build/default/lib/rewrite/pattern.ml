@@ -1,0 +1,67 @@
+(* First-order patterns over FPCore expressions, for the rewrite rules of
+   the accuracy improver. Metavariables match any subexpression; repeated
+   metavariables must match structurally equal subexpressions. *)
+
+type pat =
+  | Pmeta of string  (* matches anything; repeated names must agree *)
+  | Pnum of float
+  | Pop of string * pat list
+
+type bindings = (string * Fpcore.Ast.expr) list
+
+let rec expr_equal (a : Fpcore.Ast.expr) (b : Fpcore.Ast.expr) : bool =
+  match (a, b) with
+  | Fpcore.Ast.Num x, Fpcore.Ast.Num y ->
+      Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | Fpcore.Ast.Var x, Fpcore.Ast.Var y -> x = y
+  | Fpcore.Ast.Const x, Fpcore.Ast.Const y -> x = y
+  | Fpcore.Ast.Op (f, xs), Fpcore.Ast.Op (g, ys) ->
+      f = g && List.length xs = List.length ys && List.for_all2 expr_equal xs ys
+  | _, _ -> false
+
+let rec matches (p : pat) (e : Fpcore.Ast.expr) (env : bindings) :
+    bindings option =
+  match (p, e) with
+  | Pmeta name, _ -> begin
+      match List.assoc_opt name env with
+      | Some bound -> if expr_equal bound e then Some env else None
+      | None -> Some ((name, e) :: env)
+    end
+  | Pnum f, Fpcore.Ast.Num g ->
+      if Int64.equal (Int64.bits_of_float f) (Int64.bits_of_float g) then
+        Some env
+      else None
+  | Pop (f, ps), Fpcore.Ast.Op (g, es)
+    when f = g && List.length ps = List.length es ->
+      List.fold_left2
+        (fun acc p e -> match acc with None -> None | Some env -> matches p e env)
+        (Some env) ps es
+  | _, _ -> None
+
+let rec instantiate (p : pat) (env : bindings) : Fpcore.Ast.expr =
+  match p with
+  | Pmeta name -> begin
+      match List.assoc_opt name env with
+      | Some e -> e
+      | None -> invalid_arg ("Pattern.instantiate: unbound " ^ name)
+    end
+  | Pnum f -> Fpcore.Ast.Num f
+  | Pop (f, ps) -> Fpcore.Ast.Op (f, List.map (fun p -> instantiate p env) ps)
+
+(* parse a pattern from a compact sexp string: metavariables are ?a, ?b *)
+let of_string (src : string) : pat =
+  let rec conv (s : Fpcore.Sexp.t) : pat =
+    match s with
+    | Fpcore.Sexp.Atom a ->
+        if String.length a > 1 && a.[0] = '?' then
+          Pmeta (String.sub a 1 (String.length a - 1))
+        else begin
+          match float_of_string_opt a with
+          | Some f -> Pnum f
+          | None -> invalid_arg ("Pattern.of_string: bad atom " ^ a)
+        end
+    | Fpcore.Sexp.List (Fpcore.Sexp.Atom op :: args) ->
+        Pop (op, List.map conv args)
+    | Fpcore.Sexp.List _ -> invalid_arg "Pattern.of_string: bad pattern"
+  in
+  conv (Fpcore.Sexp.parse src)

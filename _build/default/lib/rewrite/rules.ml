@@ -1,0 +1,70 @@
+(* The rewrite rule database: accuracy-improving transformations and
+   algebraic simplifications, in the style of Herbie's rule set. All rules
+   are real-arithmetic identities; whether a rewrite *improves* floating
+   point accuracy is decided empirically by [Improve]'s error evaluation,
+   never assumed. *)
+
+type rule = { name : string; lhs : Pattern.pat; rhs : Pattern.pat }
+
+let r name lhs rhs =
+  { name; lhs = Pattern.of_string lhs; rhs = Pattern.of_string rhs }
+
+let accuracy_rules =
+  [
+    (* cancellation removers *)
+    r "sqrt-diff" "(- (sqrt ?a) (sqrt ?b))"
+      "(/ (- ?a ?b) (+ (sqrt ?a) (sqrt ?b)))";
+    r "sqrt-diff-flip" "(- ?x (sqrt ?b))"
+      "(/ (- (* ?x ?x) ?b) (+ ?x (sqrt ?b)))";
+    r "sqrt-diff-flip2" "(- (sqrt ?a) ?x)"
+      "(/ (- ?a (* ?x ?x)) (+ (sqrt ?a) ?x))";
+    r "inv-diff" "(- (/ 1 ?a) (/ 1 ?b))" "(/ (- ?b ?a) (* ?a ?b))";
+    r "log-diff" "(- (log ?a) (log ?b))" "(log (/ ?a ?b))";
+    r "expm1-intro" "(- (exp ?x) 1)" "(expm1 ?x)";
+    r "log1p-intro" "(log (+ 1 ?x))" "(log1p ?x)";
+    r "log1p-intro2" "(log (+ ?x 1))" "(log1p ?x)";
+    r "cos-to-sin" "(- 1 (cos ?x))"
+      "(* 2 (* (sin (/ ?x 2)) (sin (/ ?x 2))))";
+    r "diff-of-squares" "(- (* ?a ?a) (* ?b ?b))" "(* (- ?a ?b) (+ ?a ?b))";
+    (* x+ * x- = c/a turns the cancelling quadratic root into a division *)
+    r "quadratic-flip"
+      "(/ (+ (- ?b) (sqrt (- (* ?b ?b) (* (* 4 ?a) ?c)))) (* 2 ?a))"
+      "(/ (* 2 ?c) (- (- ?b) (sqrt (- (* ?b ?b) (* (* 4 ?a) ?c)))))";
+    (* fused-multiply-add introduction *)
+    r "fma-intro" "(+ (* ?a ?b) ?c)" "(fma ?a ?b ?c)";
+    r "fms-intro" "(- (* ?a ?b) ?c)" "(fma ?a ?b (- ?c))";
+    (* trigonometric differences: product forms avoid the cancellation *)
+    r "sin-diff" "(- (sin ?a) (sin ?b))"
+      "(* 2 (* (cos (/ (+ ?a ?b) 2)) (sin (/ (- ?a ?b) 2))))";
+    r "cos-diff" "(- (cos ?a) (cos ?b))"
+      "(* -2 (* (sin (/ (+ ?a ?b) 2)) (sin (/ (- ?a ?b) 2))))";
+    r "tan-half" "(/ (- 1 (cos ?x)) (sin ?x))" "(tan (/ ?x 2))";
+    r "atan-diff" "(- (atan ?a) (atan ?b))"
+      "(atan (/ (- ?a ?b) (+ 1 (* ?a ?b))))";
+    r "hypot-intro" "(sqrt (+ (* ?a ?a) (* ?b ?b)))" "(hypot ?a ?b)";
+    r "exp-sum-to-cosh" "(+ (exp ?x) (exp (- ?x)))" "(* 2 (cosh ?x))";
+    r "log-div" "(log (/ ?a ?b))" "(- (log ?a) (log ?b))";
+    r "log-div-rev" "(- (log ?a) (log ?b))" "(log (/ ?a ?b))";
+  ]
+
+let simplify_rules =
+  [
+    r "add-sub-cancel" "(- (+ ?a ?b) ?a)" "?b";
+    r "add-sub-cancel2" "(- (+ ?a ?b) ?b)" "?a";
+    r "sub-add-cancel" "(+ (- ?a ?b) ?b)" "?a";
+    r "sub-self" "(- ?a ?a)" "0";
+    r "div-self" "(/ ?a ?a)" "1";
+    r "mul-one" "(* ?a 1)" "?a";
+    r "one-mul" "(* 1 ?a)" "?a";
+    r "add-zero" "(+ ?a 0)" "?a";
+    r "zero-add" "(+ 0 ?a)" "?a";
+    r "sub-zero" "(- ?a 0)" "?a";
+    r "div-one" "(/ ?a 1)" "?a";
+    r "sqrt-square" "(sqrt (* ?a ?a))" "(fabs ?a)";
+    r "neg-neg" "(- (- ?a))" "?a";
+    r "sub-neg" "(- ?a (- ?b))" "(+ ?a ?b)";
+    r "mul-comm-const" "(* ?a 2)" "(* 2 ?a)";
+    r "distribute-out" "(+ (* ?a ?b) (* ?a ?c))" "(* ?a (+ ?b ?c))";
+  ]
+
+let all = accuracy_rules @ simplify_rules

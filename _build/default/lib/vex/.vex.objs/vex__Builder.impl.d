@@ -1,0 +1,1 @@
+lib/vex/builder.ml: Array Ir List Printf

@@ -1,0 +1,1 @@
+lib/vex/builder.mli: Ir

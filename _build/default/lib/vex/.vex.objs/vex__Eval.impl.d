@@ -1,0 +1,1 @@
+lib/vex/eval.ml: Array Bignum Float Ieee Int32 Int64 Ir Printf Value

@@ -1,0 +1,1 @@
+lib/vex/eval.mli: Bignum Ir Value

@@ -1,0 +1,1 @@
+lib/vex/ir.ml: Array Format Hashtbl Int32 Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/vex/machine.ml: Array Bytes Eval Int64 Ir List Printf Value

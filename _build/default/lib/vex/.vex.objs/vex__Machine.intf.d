@@ -1,0 +1,1 @@
+lib/vex/machine.mli: Ir Value

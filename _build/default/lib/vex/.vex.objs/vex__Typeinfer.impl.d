@@ -1,0 +1,1 @@
+lib/vex/typeinfer.ml: Array Hashtbl Ir

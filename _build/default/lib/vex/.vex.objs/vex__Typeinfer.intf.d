@@ -1,0 +1,1 @@
+lib/vex/typeinfer.mli: Ir

@@ -1,0 +1,1 @@
+lib/vex/value.ml: Bytes Ieee Int32 Int64 Ir Printf

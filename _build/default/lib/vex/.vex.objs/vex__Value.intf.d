@@ -1,0 +1,1 @@
+lib/vex/value.mli: Bytes Ir

@@ -1,0 +1,52 @@
+(* Imperative convenience layer for emitting VEX blocks, used by the MiniC
+   code generator, the FPCore compiler, and tests. *)
+
+type t = {
+  mutable temp_tys : Ir.ty list;  (* reversed *)
+  mutable n_temps : int;
+  mutable stmts : Ir.stmt list;  (* reversed *)
+  label : string;
+}
+
+let create label = { temp_tys = []; n_temps = 0; stmts = []; label }
+
+let new_temp b ty =
+  let t = b.n_temps in
+  b.temp_tys <- ty :: b.temp_tys;
+  b.n_temps <- b.n_temps + 1;
+  t
+
+let emit b s = b.stmts <- s :: b.stmts
+
+(* Evaluate an expression into a fresh temp and return RdTmp of it; the
+   result type must be supplied for consts/loads. *)
+let assign b ty e =
+  let t = new_temp b ty in
+  emit b (Ir.WrTmp (t, e));
+  Ir.RdTmp t
+
+let finish b next : Ir.block =
+  {
+    Ir.label = b.label;
+    temp_tys = Array.of_list (List.rev b.temp_tys);
+    stmts = Array.of_list (List.rev b.stmts);
+    next;
+  }
+
+(* ---------- whole-program builder ---------- *)
+
+type prog_builder = {
+  mutable blocks : Ir.block list;  (* reversed *)
+  mutable counter : int;
+}
+
+let create_prog () = { blocks = []; counter = 0 }
+
+let fresh_label pb prefix =
+  pb.counter <- pb.counter + 1;
+  Printf.sprintf "%s_%d" prefix pb.counter
+
+let add_block pb block = pb.blocks <- block :: pb.blocks
+
+let finish_prog ?(entry = "entry") pb =
+  Ir.make_prog ~entry (List.rev pb.blocks)

@@ -1,0 +1,23 @@
+(** Imperative convenience layer for emitting VEX blocks, used by the
+    MiniC code generator, the FPCore compiler, and tests. *)
+
+type t
+(** A superblock under construction. *)
+
+val create : string -> t
+(** Start a block with the given label. *)
+
+val new_temp : t -> Ir.ty -> Ir.tmp
+val emit : t -> Ir.stmt -> unit
+
+val assign : t -> Ir.ty -> Ir.expr -> Ir.expr
+(** Write the expression into a fresh temporary; returns [RdTmp] of it. *)
+
+val finish : t -> Ir.jump -> Ir.block
+
+type prog_builder
+
+val create_prog : unit -> prog_builder
+val fresh_label : prog_builder -> string -> string
+val add_block : prog_builder -> Ir.block -> unit
+val finish_prog : ?entry:string -> prog_builder -> Ir.prog

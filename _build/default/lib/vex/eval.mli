@@ -1,0 +1,23 @@
+(** Pure operational semantics of VEX operators, shared between the fast
+    uninstrumented interpreter ({!Machine}) and the instrumented analysis
+    interpreter ({!Core.Exec}) so the two can never disagree on client
+    behaviour. *)
+
+val eval_unop : Ir.unop -> Value.t -> Value.t
+val eval_binop : Ir.binop -> Value.t -> Value.t -> Value.t
+
+val libm_arity : string -> int
+(** Argument count of a math-library function (1 unless known binary or
+    ternary). *)
+
+val libm_known : string -> bool
+(** Is this a recognized library call (including the [__arg] input
+    builtin)? *)
+
+val libm_apply : string -> float array -> float
+(** The concrete double answer the client sees for a dirty call (the role
+    of OpenLibm in the original implementation). *)
+
+val libm_apply_real :
+  prec:int -> string -> Bignum.Bigfloat.t array -> Bignum.Bigfloat.t
+(** The exact (shadow) semantics of the same call. *)

@@ -1,0 +1,370 @@
+(* A VEX-style intermediate representation: the target of the MiniC code
+   generator and the language executed by the machine in [Machine]. It
+   mirrors the properties of Valgrind's VEX that the Herbgrind analysis
+   depends on (paper section 5): typed temporaries local to a superblock,
+   untyped byte-addressed thread state and memory, SIMD vector operations,
+   bitwise tricks on float values, and "dirty" calls to math library
+   functions. *)
+
+type ty = I1 | I8 | I16 | I32 | I64 | F32 | F64 | V128
+
+let ty_size = function
+  | I1 | I8 -> 1
+  | I16 -> 2
+  | I32 -> 4
+  | I64 -> 8
+  | F32 -> 4
+  | F64 -> 8
+  | V128 -> 16
+
+let ty_to_string = function
+  | I1 -> "I1"
+  | I8 -> "I8"
+  | I16 -> "I16"
+  | I32 -> "I32"
+  | I64 -> "I64"
+  | F32 -> "F32"
+  | F64 -> "F64"
+  | V128 -> "V128"
+
+type const =
+  | CBool of bool
+  | CI64 of int64
+  | CI32 of int32
+  | CF64 of float
+  | CF32 of float  (* must be exactly representable in binary32 *)
+  | CV128 of int64 * int64  (* lo, hi raw bits *)
+
+type unop =
+  (* integer *)
+  | Not1
+  | Neg64
+  | Not64
+  (* integer width changes *)
+  | I32toI64s  (* sign extend *)
+  | I32toI64u
+  | I64toI32
+  (* float precision changes *)
+  | F32toF64
+  | F64toF32
+  (* float <-> integer conversions: spots in the analysis *)
+  | I64toF64
+  | I64toF32
+  | F64toI64tz  (* truncate toward zero, cvttsd2si *)
+  | F64toI64rn  (* round to nearest *)
+  | F32toI64tz
+  (* scalar float ops implemented in hardware *)
+  | NegF64
+  | AbsF64
+  | SqrtF64
+  | NegF32
+  | AbsF32
+  | SqrtF32
+  (* bit-level reinterpretation *)
+  | ReinterpF64asI64
+  | ReinterpI64asF64
+  | ReinterpF32asI32
+  | ReinterpI32asF32
+  (* vector lane access *)
+  | V128to64    (* low 64 bits *)
+  | V128HIto64  (* high 64 bits *)
+  | Sqrt64Fx2
+
+type binop =
+  (* 64-bit integer *)
+  | Add64
+  | Sub64
+  | Mul64
+  | DivS64
+  | ModS64
+  | And64
+  | Or64
+  | Xor64
+  | Shl64
+  | Shr64
+  | Sar64
+  | CmpEQ64
+  | CmpNE64
+  | CmpLT64S
+  | CmpLE64S
+  (* scalar double *)
+  | AddF64
+  | SubF64
+  | MulF64
+  | DivF64
+  | MinF64
+  | MaxF64
+  | CmpEQF64
+  | CmpNEF64
+  | CmpLTF64
+  | CmpLEF64
+  (* scalar single *)
+  | AddF32
+  | SubF32
+  | MulF32
+  | DivF32
+  | CmpEQF32
+  | CmpLTF32
+  | CmpLEF32
+  (* SSE-style packed vectors *)
+  | Add64Fx2
+  | Sub64Fx2
+  | Mul64Fx2
+  | Div64Fx2
+  | Add32Fx4
+  | Sub32Fx4
+  | Mul32Fx4
+  | Div32Fx4
+  | AndV128
+  | OrV128
+  | XorV128
+  | I64HLtoV128 (* (hi, lo) -> V128 *)
+
+type tmp = int
+
+type expr =
+  | RdTmp of tmp
+  | Const of const
+  | LabelAddr of string
+    (* I64 index of a block, used as a return address by the calling
+       convention; resolved against the program's label table *)
+  | Get of int * ty  (* thread-state offset *)
+  | Load of ty * expr
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | ITE of expr * expr * expr
+    (* guard I1, then, else; evaluated lazily like a branch *)
+
+(* Where the real analysis gets a source position from debug info, ours
+   gets it from IMark statements emitted by the MiniC compiler. *)
+type loc = { file : string; line : int; func : string }
+
+let no_loc = { file = "<unknown>"; line = 0; func = "<unknown>" }
+let loc_to_string l = Printf.sprintf "%s at %s:%d" l.func l.file l.line
+
+type out_kind =
+  | OutFloat
+  | OutInt
+  | OutMark
+      (* a user-requested spot (the paper's footnote 9 manual spot marks):
+         watched by the analysis but not part of the program's output *)
+
+type stmt =
+  | IMark of loc
+  | WrTmp of tmp * expr
+  | Put of int * expr  (* thread-state write *)
+  | Store of expr * expr  (* address, value *)
+  | Dirty of tmp * string * expr list
+    (* call into a math library: destination temp, function name, F64 args *)
+  | Exit of expr * string  (* conditional jump: I1 guard, target label *)
+  | Out of out_kind * expr  (* program output: a spot *)
+
+type jump =
+  | Goto of string
+  | IndirectGoto of expr  (* I64 block index, for returns *)
+  | Halt
+
+type block = {
+  label : string;
+  temp_tys : ty array;  (* types of this superblock's temporaries *)
+  stmts : stmt array;
+  next : jump;
+}
+
+type prog = {
+  blocks : block array;
+  entry : int;
+  label_index : (string, int) Hashtbl.t;
+}
+
+let make_prog ?(entry = "entry") blocks =
+  let arr = Array.of_list blocks in
+  let index = Hashtbl.create (Array.length arr * 2) in
+  Array.iteri
+    (fun i b ->
+      if Hashtbl.mem index b.label then
+        invalid_arg ("Ir.make_prog: duplicate label " ^ b.label);
+      Hashtbl.add index b.label i)
+    arr;
+  let entry_idx =
+    match Hashtbl.find_opt index entry with
+    | Some i -> i
+    | None -> invalid_arg ("Ir.make_prog: no entry block " ^ entry)
+  in
+  { blocks = arr; entry = entry_idx; label_index = index }
+
+let block_index prog label =
+  match Hashtbl.find_opt prog.label_index label with
+  | Some i -> i
+  | None -> invalid_arg ("Ir.block_index: unknown label " ^ label)
+
+(* Unique statement identity across the program, used as the "pc" of the
+   abstract machine in the analysis (spot and op keys). *)
+let stmt_id ~block ~stmt = (block lsl 16) lor stmt
+let stmt_id_block id = id lsr 16
+let stmt_id_stmt id = id land 0xFFFF
+
+(* ---------- result types of operators ---------- *)
+
+let unop_result_ty = function
+  | Not1 -> I1
+  | Neg64 | Not64 | I32toI64s | I32toI64u -> I64
+  | I64toI32 -> I32
+  | F32toF64 -> F64
+  | F64toF32 -> F32
+  | I64toF64 -> F64
+  | I64toF32 -> F32
+  | F64toI64tz | F64toI64rn | F32toI64tz -> I64
+  | NegF64 | AbsF64 | SqrtF64 -> F64
+  | NegF32 | AbsF32 | SqrtF32 -> F32
+  | ReinterpF64asI64 -> I64
+  | ReinterpI64asF64 -> F64
+  | ReinterpF32asI32 -> I32
+  | ReinterpI32asF32 -> F32
+  | V128to64 | V128HIto64 -> I64
+  | Sqrt64Fx2 -> V128
+
+let binop_result_ty = function
+  | Add64 | Sub64 | Mul64 | DivS64 | ModS64 | And64 | Or64 | Xor64 | Shl64
+  | Shr64 | Sar64 ->
+      I64
+  | CmpEQ64 | CmpNE64 | CmpLT64S | CmpLE64S -> I1
+  | AddF64 | SubF64 | MulF64 | DivF64 | MinF64 | MaxF64 -> F64
+  | CmpEQF64 | CmpNEF64 | CmpLTF64 | CmpLEF64 -> I1
+  | AddF32 | SubF32 | MulF32 | DivF32 -> F32
+  | CmpEQF32 | CmpLTF32 | CmpLEF32 -> I1
+  | Add64Fx2 | Sub64Fx2 | Mul64Fx2 | Div64Fx2 | Add32Fx4 | Sub32Fx4
+  | Mul32Fx4 | Div32Fx4 | AndV128 | OrV128 | XorV128 | I64HLtoV128 ->
+      V128
+
+let const_ty = function
+  | CBool _ -> I1
+  | CI64 _ -> I64
+  | CI32 _ -> I32
+  | CF64 _ -> F64
+  | CF32 _ -> F32
+  | CV128 _ -> V128
+
+(* ---------- pretty printing ---------- *)
+
+let const_to_string = function
+  | CBool b -> string_of_bool b
+  | CI64 i -> Int64.to_string i
+  | CI32 i -> Int32.to_string i ^ ":I32"
+  | CF64 f -> Printf.sprintf "%h" f
+  | CF32 f -> Printf.sprintf "%h:F32" f
+  | CV128 (lo, hi) -> Printf.sprintf "V128(%Lx,%Lx)" lo hi
+
+let unop_to_string = function
+  | Not1 -> "Not1"
+  | Neg64 -> "Neg64"
+  | Not64 -> "Not64"
+  | I32toI64s -> "I32toI64s"
+  | I32toI64u -> "I32toI64u"
+  | I64toI32 -> "I64toI32"
+  | F32toF64 -> "F32toF64"
+  | F64toF32 -> "F64toF32"
+  | I64toF64 -> "I64toF64"
+  | I64toF32 -> "I64toF32"
+  | F64toI64tz -> "F64toI64tz"
+  | F64toI64rn -> "F64toI64rn"
+  | F32toI64tz -> "F32toI64tz"
+  | NegF64 -> "NegF64"
+  | AbsF64 -> "AbsF64"
+  | SqrtF64 -> "SqrtF64"
+  | NegF32 -> "NegF32"
+  | AbsF32 -> "AbsF32"
+  | SqrtF32 -> "SqrtF32"
+  | ReinterpF64asI64 -> "ReinterpF64asI64"
+  | ReinterpI64asF64 -> "ReinterpI64asF64"
+  | ReinterpF32asI32 -> "ReinterpF32asI32"
+  | ReinterpI32asF32 -> "ReinterpI32asF32"
+  | V128to64 -> "V128to64"
+  | V128HIto64 -> "V128HIto64"
+  | Sqrt64Fx2 -> "Sqrt64Fx2"
+
+let binop_to_string = function
+  | Add64 -> "Add64"
+  | Sub64 -> "Sub64"
+  | Mul64 -> "Mul64"
+  | DivS64 -> "DivS64"
+  | ModS64 -> "ModS64"
+  | And64 -> "And64"
+  | Or64 -> "Or64"
+  | Xor64 -> "Xor64"
+  | Shl64 -> "Shl64"
+  | Shr64 -> "Shr64"
+  | Sar64 -> "Sar64"
+  | CmpEQ64 -> "CmpEQ64"
+  | CmpNE64 -> "CmpNE64"
+  | CmpLT64S -> "CmpLT64S"
+  | CmpLE64S -> "CmpLE64S"
+  | AddF64 -> "AddF64"
+  | SubF64 -> "SubF64"
+  | MulF64 -> "MulF64"
+  | DivF64 -> "DivF64"
+  | MinF64 -> "MinF64"
+  | MaxF64 -> "MaxF64"
+  | CmpEQF64 -> "CmpEQF64"
+  | CmpNEF64 -> "CmpNEF64"
+  | CmpLTF64 -> "CmpLTF64"
+  | CmpLEF64 -> "CmpLEF64"
+  | AddF32 -> "AddF32"
+  | SubF32 -> "SubF32"
+  | MulF32 -> "MulF32"
+  | DivF32 -> "DivF32"
+  | CmpEQF32 -> "CmpEQF32"
+  | CmpLTF32 -> "CmpLTF32"
+  | CmpLEF32 -> "CmpLEF32"
+  | Add64Fx2 -> "Add64Fx2"
+  | Sub64Fx2 -> "Sub64Fx2"
+  | Mul64Fx2 -> "Mul64Fx2"
+  | Div64Fx2 -> "Div64Fx2"
+  | Add32Fx4 -> "Add32Fx4"
+  | Sub32Fx4 -> "Sub32Fx4"
+  | Mul32Fx4 -> "Mul32Fx4"
+  | Div32Fx4 -> "Div32Fx4"
+  | AndV128 -> "AndV128"
+  | OrV128 -> "OrV128"
+  | XorV128 -> "XorV128"
+  | I64HLtoV128 -> "I64HLtoV128"
+
+let rec expr_to_string = function
+  | RdTmp t -> Printf.sprintf "t%d" t
+  | Const c -> const_to_string c
+  | LabelAddr l -> "&" ^ l
+  | Get (off, ty) -> Printf.sprintf "GET(%d):%s" off (ty_to_string ty)
+  | Load (ty, a) -> Printf.sprintf "LD%s[%s]" (ty_to_string ty) (expr_to_string a)
+  | Unop (op, a) -> Printf.sprintf "%s(%s)" (unop_to_string op) (expr_to_string a)
+  | Binop (op, a, b) ->
+      Printf.sprintf "%s(%s, %s)" (binop_to_string op) (expr_to_string a)
+        (expr_to_string b)
+  | ITE (g, t, e) ->
+      Printf.sprintf "ITE(%s, %s, %s)" (expr_to_string g) (expr_to_string t)
+        (expr_to_string e)
+
+let stmt_to_string = function
+  | IMark l -> Printf.sprintf "------ IMark(%s) ------" (loc_to_string l)
+  | WrTmp (t, e) -> Printf.sprintf "t%d = %s" t (expr_to_string e)
+  | Put (off, e) -> Printf.sprintf "PUT(%d) = %s" off (expr_to_string e)
+  | Store (a, v) ->
+      Printf.sprintf "ST[%s] = %s" (expr_to_string a) (expr_to_string v)
+  | Dirty (t, name, args) ->
+      Printf.sprintf "t%d = DIRTY %s(%s)" t name
+        (String.concat ", " (List.map expr_to_string args))
+  | Exit (g, l) -> Printf.sprintf "if (%s) goto %s" (expr_to_string g) l
+  | Out (k, e) ->
+      let ks = match k with OutFloat -> "F" | OutInt -> "I" | OutMark -> "M" in
+      Printf.sprintf "OUT%s %s" ks (expr_to_string e)
+
+let jump_to_string = function
+  | Goto l -> "goto " ^ l
+  | IndirectGoto e -> "goto *" ^ expr_to_string e
+  | Halt -> "halt"
+
+let pp_block fmt b =
+  Format.fprintf fmt "%s:  (%d temps)@." b.label (Array.length b.temp_tys);
+  Array.iter (fun s -> Format.fprintf fmt "  %s@." (stmt_to_string s)) b.stmts;
+  Format.fprintf fmt "  %s@." (jump_to_string b.next)
+
+let pp_prog fmt p = Array.iter (pp_block fmt) p.blocks

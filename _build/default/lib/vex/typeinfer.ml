@@ -1,0 +1,202 @@
+(* Static superblock type inference (paper sections 5.3 and 6.1).
+
+   Thread state and memory are untyped, so the instrumented interpreter
+   would otherwise have to treat every statement as potentially moving a
+   shadowed float. This pass computes, per superblock, a conservative type
+   for every temporary and thread-state offset written in the block, and
+   classifies each statement into one of three instrumentation actions:
+
+   - [Skip]: provably never touches float data nor float-derived control;
+     the analysis can execute it with no shadow bookkeeping at all.
+   - [Clear]: stores a provably non-float value to thread state or memory;
+     the only shadow work needed is killing any stale shadow at the target.
+   - [Full]: everything else.
+
+   Turning the pass off (paper figure 10c) classifies every statement as
+   [Full]. *)
+
+type vt =
+  | Vt_unknown  (* could be anything, including a shadowed float *)
+  | Vt_f32
+  | Vt_f64
+  | Vt_vec  (* V128: lanes may hold floats *)
+  | Vt_nonfloat  (* provably integer/boolean data with no float ancestry *)
+  | Vt_fcmp  (* boolean produced by a float comparison: control taint *)
+
+let join a b =
+  if a = b then a
+  else
+    match (a, b) with
+    | Vt_nonfloat, Vt_nonfloat -> Vt_nonfloat
+    | _, _ -> Vt_unknown
+
+type action = Skip | Clear | Full
+
+type block_info = {
+  temp_vt : vt array;
+  actions : action array;
+  (* number of statements classified Full, for instrumentation stats *)
+  full_count : int;
+}
+
+type t = { enabled : bool; blocks : block_info array }
+
+let unop_vt (op : Ir.unop) (a : vt) : vt =
+  match op with
+  | Ir.Not1 -> if a = Vt_fcmp then Vt_fcmp else a
+  | Ir.Neg64 | Ir.Not64 | Ir.I32toI64s | Ir.I32toI64u | Ir.I64toI32 -> (
+      (* integer compute kills float ancestry unless the input is unknown:
+         bit-level tricks (sign flips) are handled by the Full path *)
+      match a with Vt_nonfloat -> Vt_nonfloat | _ -> Vt_unknown)
+  | Ir.F32toF64 | Ir.I64toF64 -> Vt_f64
+  | Ir.F64toF32 | Ir.I64toF32 -> Vt_f32
+  | Ir.F64toI64tz | Ir.F64toI64rn | Ir.F32toI64tz ->
+      (* conversion spot: result is an integer derived from a float *)
+      Vt_unknown
+  | Ir.NegF64 | Ir.AbsF64 | Ir.SqrtF64 -> Vt_f64
+  | Ir.NegF32 | Ir.AbsF32 | Ir.SqrtF32 -> Vt_f32
+  | Ir.ReinterpF64asI64 | Ir.ReinterpF32asI32 -> Vt_unknown
+  | Ir.ReinterpI64asF64 -> Vt_f64
+  | Ir.ReinterpI32asF32 -> Vt_f32
+  | Ir.V128to64 | Ir.V128HIto64 -> Vt_unknown
+  | Ir.Sqrt64Fx2 -> Vt_vec
+
+let binop_vt (op : Ir.binop) (a : vt) (b : vt) : vt =
+  match op with
+  | Ir.Add64 | Ir.Sub64 | Ir.Mul64 | Ir.DivS64 | Ir.ModS64 | Ir.Shl64
+  | Ir.Shr64 | Ir.Sar64 -> (
+      match (a, b) with
+      | Vt_nonfloat, Vt_nonfloat -> Vt_nonfloat
+      | _ -> Vt_unknown)
+  | Ir.And64 | Ir.Or64 | Ir.Xor64 -> (
+      (* XOR/AND with a mask implements negation/fabs on float bits, so
+         only provably non-float inputs stay non-float *)
+      match (a, b) with
+      | Vt_nonfloat, Vt_nonfloat -> Vt_nonfloat
+      | _ -> Vt_unknown)
+  | Ir.CmpEQ64 | Ir.CmpNE64 | Ir.CmpLT64S | Ir.CmpLE64S -> (
+      match (a, b) with
+      | Vt_nonfloat, Vt_nonfloat -> Vt_nonfloat
+      | _ -> Vt_fcmp)
+  | Ir.AddF64 | Ir.SubF64 | Ir.MulF64 | Ir.DivF64 | Ir.MinF64 | Ir.MaxF64 ->
+      Vt_f64
+  | Ir.CmpEQF64 | Ir.CmpNEF64 | Ir.CmpLTF64 | Ir.CmpLEF64 | Ir.CmpEQF32
+  | Ir.CmpLTF32 | Ir.CmpLEF32 ->
+      Vt_fcmp
+  | Ir.AddF32 | Ir.SubF32 | Ir.MulF32 | Ir.DivF32 -> Vt_f32
+  | Ir.Add64Fx2 | Ir.Sub64Fx2 | Ir.Mul64Fx2 | Ir.Div64Fx2 | Ir.Add32Fx4
+  | Ir.Sub32Fx4 | Ir.Mul32Fx4 | Ir.Div32Fx4 | Ir.AndV128 | Ir.OrV128
+  | Ir.XorV128 | Ir.I64HLtoV128 ->
+      Vt_vec
+
+let const_vt : Ir.const -> vt = function
+  | Ir.CBool _ | Ir.CI64 _ | Ir.CI32 _ -> Vt_nonfloat
+  | Ir.CF64 _ -> Vt_f64
+  | Ir.CF32 _ -> Vt_f32
+  | Ir.CV128 _ -> Vt_vec
+
+(* A Get/Load declared at a float type is float data; declared at an
+   integer type it may still be a float being copied, hence unknown unless
+   the same offset was Put with a known type earlier in the block. *)
+let storage_vt (declared : Ir.ty) (known : vt option) : vt =
+  match known with
+  | Some v -> v
+  | None -> (
+      match declared with
+      | Ir.F32 -> Vt_f32
+      | Ir.F64 -> Vt_f64
+      | Ir.V128 -> Vt_vec
+      | Ir.I1 -> Vt_nonfloat
+      | Ir.I8 | Ir.I16 | Ir.I32 | Ir.I64 -> Vt_unknown)
+
+let rec expr_vt (temp_vt : vt array) (thread_vt : (int, vt) Hashtbl.t)
+    (e : Ir.expr) : vt =
+  match e with
+  | Ir.RdTmp t -> temp_vt.(t)
+  | Ir.Const c -> const_vt c
+  | Ir.LabelAddr _ -> Vt_nonfloat
+  | Ir.Get (off, ty) -> storage_vt ty (Hashtbl.find_opt thread_vt off)
+  | Ir.Load (ty, _) -> storage_vt ty None
+  | Ir.Unop (op, a) -> unop_vt op (expr_vt temp_vt thread_vt a)
+  | Ir.Binop (op, a, b) ->
+      binop_vt op (expr_vt temp_vt thread_vt a) (expr_vt temp_vt thread_vt b)
+  | Ir.ITE (g, t, e2) -> (
+      match expr_vt temp_vt thread_vt g with
+      | Vt_fcmp | Vt_unknown -> Vt_unknown
+      | _ ->
+          join (expr_vt temp_vt thread_vt t) (expr_vt temp_vt thread_vt e2))
+
+(* An expression whose evaluation may consult shadow state: any Load or
+   Get can alias shadowed data unless its computed vt is non-float. *)
+let rec has_storage_read (e : Ir.expr) : bool =
+  match e with
+  | Ir.RdTmp _ | Ir.Const _ | Ir.LabelAddr _ -> false
+  | Ir.Get _ | Ir.Load _ -> true
+  | Ir.Unop (_, a) -> has_storage_read a
+  | Ir.Binop (_, a, b) -> has_storage_read a || has_storage_read b
+  | Ir.ITE (g, t, e2) ->
+      has_storage_read g || has_storage_read t || has_storage_read e2
+
+let infer_block (b : Ir.block) : block_info =
+  let n_tmp = Array.length b.Ir.temp_tys in
+  let temp_vt = Array.make n_tmp Vt_unknown in
+  (* temporaries start undefined; their vt comes from assignments *)
+  let thread_vt : (int, vt) Hashtbl.t = Hashtbl.create 16 in
+  let n = Array.length b.Ir.stmts in
+  let actions = Array.make n Full in
+  let full = ref 0 in
+  for i = 0 to n - 1 do
+    let action =
+      match b.Ir.stmts.(i) with
+      | Ir.IMark _ -> Skip
+      | Ir.WrTmp (t, e) ->
+          let vt = expr_vt temp_vt thread_vt e in
+          temp_vt.(t) <- vt;
+          if vt = Vt_nonfloat && not (has_storage_read e) then Skip else Full
+      | Ir.Put (off, e) ->
+          let vt = expr_vt temp_vt thread_vt e in
+          Hashtbl.replace thread_vt off vt;
+          if vt = Vt_nonfloat then
+            if has_storage_read e then Full else Clear
+          else Full
+      | Ir.Store (_, v) ->
+          let vt = expr_vt temp_vt thread_vt v in
+          if vt = Vt_nonfloat && not (has_storage_read v) then Clear else Full
+      | Ir.Dirty (t, _, _) ->
+          temp_vt.(t) <- Vt_f64;
+          Full
+      | Ir.Exit (g, _) -> (
+          match expr_vt temp_vt thread_vt g with
+          | Vt_nonfloat -> Skip
+          | _ -> Full)
+      | Ir.Out (_, _) -> Full
+    in
+    actions.(i) <- action;
+    if action = Full then incr full
+  done;
+  { temp_vt; actions; full_count = !full }
+
+let infer (prog : Ir.prog) : t =
+  { enabled = true; blocks = Array.map infer_block prog.Ir.blocks }
+
+let all_full (prog : Ir.prog) : t =
+  {
+    enabled = false;
+    blocks =
+      Array.map
+        (fun (b : Ir.block) ->
+          let n = Array.length b.Ir.stmts in
+          {
+            temp_vt = Array.make (Array.length b.Ir.temp_tys) Vt_unknown;
+            actions = Array.make n Full;
+            full_count = n;
+          })
+        prog.Ir.blocks;
+  }
+
+let action (info : t) ~block ~stmt = info.blocks.(block).actions.(stmt)
+
+let stats (info : t) =
+  Array.fold_left
+    (fun (full, total) bi -> (full + bi.full_count, total + Array.length bi.actions))
+    (0, 0) info.blocks

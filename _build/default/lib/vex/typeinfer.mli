@@ -1,0 +1,36 @@
+(** Static superblock type inference (paper sections 5.3 and 6.1).
+
+    Thread state and memory are untyped, so the instrumented interpreter
+    would otherwise treat every statement as potentially moving a shadowed
+    float. This pass computes a conservative type for every temporary and
+    thread-state offset written within a superblock, and classifies each
+    statement by the shadow work it needs. Turning it off (figure 10c)
+    classifies everything [Full]. *)
+
+(** Conservative value type. *)
+type vt =
+  | Vt_unknown  (** could be anything, including a shadowed float *)
+  | Vt_f32
+  | Vt_f64
+  | Vt_vec  (** V128: lanes may hold floats *)
+  | Vt_nonfloat  (** provably integer/boolean with no float ancestry *)
+  | Vt_fcmp  (** boolean produced by a float comparison: control taint *)
+
+val join : vt -> vt -> vt
+
+(** What the analysis must do at a statement. *)
+type action =
+  | Skip  (** provably no float data or float-derived control: no shadow work *)
+  | Clear  (** stores a provably non-float value: just kill stale shadows *)
+  | Full  (** everything else *)
+
+type t
+
+val infer : Ir.prog -> t
+val all_full : Ir.prog -> t
+(** The inference-off configuration: every statement is [Full]. *)
+
+val action : t -> block:int -> stmt:int -> action
+
+val stats : t -> int * int
+(** (statements classified Full, total statements). *)

@@ -1,0 +1,97 @@
+(* Runtime values of the VEX machine. Integers are kept as int64 (narrower
+   widths are stored sign-extended with the width recorded by the
+   expression type); singles are stored as the double with the same value,
+   mirroring how SSE registers hold them. *)
+
+type t =
+  | VBool of bool
+  | VI64 of int64
+  | VI32 of int32
+  | VF64 of float
+  | VF32 of float  (* always exactly representable in binary32 *)
+  | VV128 of int64 * int64  (* raw bits: lo, hi *)
+
+let of_const : Ir.const -> t = function
+  | Ir.CBool b -> VBool b
+  | Ir.CI64 i -> VI64 i
+  | Ir.CI32 i -> VI32 i
+  | Ir.CF64 f -> VF64 f
+  | Ir.CF32 f -> VF32 (Ieee.Single.of_double f)
+  | Ir.CV128 (lo, hi) -> VV128 (lo, hi)
+
+let ty_of : t -> Ir.ty = function
+  | VBool _ -> Ir.I1
+  | VI64 _ -> Ir.I64
+  | VI32 _ -> Ir.I32
+  | VF64 _ -> Ir.F64
+  | VF32 _ -> Ir.F32
+  | VV128 _ -> Ir.V128
+
+let to_string = function
+  | VBool b -> string_of_bool b
+  | VI64 i -> Int64.to_string i
+  | VI32 i -> Int32.to_string i
+  | VF64 f -> Printf.sprintf "%.17g" f
+  | VF32 f -> Printf.sprintf "%.9gf" f
+  | VV128 (lo, hi) -> Printf.sprintf "v128(%Lx,%Lx)" lo hi
+
+exception Type_error of string
+
+let type_error ctx v =
+  raise (Type_error (Printf.sprintf "%s: got %s" ctx (to_string v)))
+
+let as_bool = function VBool b -> b | v -> type_error "expected I1" v
+let as_i64 = function VI64 i -> i | v -> type_error "expected I64" v
+let as_i32 = function VI32 i -> i | v -> type_error "expected I32" v
+let as_f64 = function VF64 f -> f | v -> type_error "expected F64" v
+let as_f32 = function VF32 f -> f | v -> type_error "expected F32" v
+
+let as_v128 = function
+  | VV128 (lo, hi) -> (lo, hi)
+  | v -> type_error "expected V128" v
+
+(* ---------- byte-level encoding, little endian ---------- *)
+
+let write_bytes (buf : Bytes.t) (off : int) (v : t) : unit =
+  match v with
+  | VBool b -> Bytes.set_uint8 buf off (if b then 1 else 0)
+  | VI32 i -> Bytes.set_int32_le buf off i
+  | VI64 i -> Bytes.set_int64_le buf off i
+  | VF64 f -> Bytes.set_int64_le buf off (Int64.bits_of_float f)
+  | VF32 f -> Bytes.set_int32_le buf off (Int32.bits_of_float f)
+  | VV128 (lo, hi) ->
+      Bytes.set_int64_le buf off lo;
+      Bytes.set_int64_le buf (off + 8) hi
+
+let read_bytes (buf : Bytes.t) (off : int) (ty : Ir.ty) : t =
+  match ty with
+  | Ir.I1 -> VBool (Bytes.get_uint8 buf off <> 0)
+  | Ir.I8 -> VI64 (Int64.of_int (Bytes.get_int8 buf off))
+  | Ir.I16 -> VI64 (Int64.of_int (Bytes.get_int16_le buf off))
+  | Ir.I32 -> VI32 (Bytes.get_int32_le buf off)
+  | Ir.I64 -> VI64 (Bytes.get_int64_le buf off)
+  | Ir.F64 -> VF64 (Int64.float_of_bits (Bytes.get_int64_le buf off))
+  | Ir.F32 -> VF32 (Int32.float_of_bits (Bytes.get_int32_le buf off))
+  | Ir.V128 ->
+      VV128 (Bytes.get_int64_le buf off, Bytes.get_int64_le buf (off + 8))
+
+(* lane views over a V128 *)
+
+let v128_f64_lanes (lo, hi) =
+  (Int64.float_of_bits lo, Int64.float_of_bits hi)
+
+let v128_of_f64_lanes (a, b) =
+  VV128 (Int64.bits_of_float a, Int64.bits_of_float b)
+
+let v128_f32_lanes (lo, hi) =
+  let f32 bits = Int32.float_of_bits bits in
+  ( f32 (Int64.to_int32 lo),
+    f32 (Int64.to_int32 (Int64.shift_right_logical lo 32)),
+    f32 (Int64.to_int32 hi),
+    f32 (Int64.to_int32 (Int64.shift_right_logical hi 32)) )
+
+let v128_of_f32_lanes (a, b, c, d) =
+  let bits f = Int64.logand (Int64.of_int32 (Int32.bits_of_float f)) 0xFFFFFFFFL in
+  VV128
+    ( Int64.logor (bits a) (Int64.shift_left (bits b) 32),
+      Int64.logor (bits c) (Int64.shift_left (bits d) 32) )

@@ -1,0 +1,39 @@
+(** Runtime values of the VEX machine.
+
+    Integers are kept as [int64]/[int32]; singles are stored as the double
+    with the same value (as in SSE registers); V128 vectors are raw bit
+    pairs with lane views for the packed float operations. *)
+
+type t =
+  | VBool of bool
+  | VI64 of int64
+  | VI32 of int32
+  | VF64 of float
+  | VF32 of float  (** always exactly representable in binary32 *)
+  | VV128 of int64 * int64  (** raw bits: lo, hi *)
+
+val of_const : Ir.const -> t
+val ty_of : t -> Ir.ty
+val to_string : t -> string
+
+exception Type_error of string
+
+val type_error : string -> t -> 'a
+
+val as_bool : t -> bool
+val as_i64 : t -> int64
+val as_i32 : t -> int32
+val as_f64 : t -> float
+val as_f32 : t -> float
+val as_v128 : t -> int64 * int64
+
+val write_bytes : Bytes.t -> int -> t -> unit
+(** Little-endian store at a byte offset. *)
+
+val read_bytes : Bytes.t -> int -> Ir.ty -> t
+(** Little-endian load of a value of the given type. *)
+
+val v128_f64_lanes : int64 * int64 -> float * float
+val v128_of_f64_lanes : float * float -> t
+val v128_f32_lanes : int64 * int64 -> float * float * float * float
+val v128_of_f32_lanes : float * float * float * float -> t

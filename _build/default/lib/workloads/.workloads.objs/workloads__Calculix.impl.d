@@ -1,0 +1,1 @@
+lib/workloads/calculix.ml: Array Core Float Int64 Minic Printf

@@ -1,0 +1,1 @@
+lib/workloads/delaunay.ml: Array Float Minic Predicates Printf

@@ -1,0 +1,1 @@
+lib/workloads/gromacs.ml: Minic Printf

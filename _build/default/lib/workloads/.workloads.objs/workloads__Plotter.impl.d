@@ -1,0 +1,1 @@
+lib/workloads/plotter.ml: Array Int64 List Minic Printf Vex

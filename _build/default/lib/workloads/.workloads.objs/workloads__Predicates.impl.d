@@ -1,0 +1,1 @@
+lib/workloads/predicates.ml: Array Float Int64 Minic Printf

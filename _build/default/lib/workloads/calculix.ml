@@ -1,0 +1,96 @@
+(* The CalculiX case study of paper section 3.2 (E2).
+
+   The original is a 105 KLOC finite-element program; the numerical story
+   centers on its DVdot routine, a dot product over vectors that vary in
+   magnitude and sign (so the running sum suffers catastrophic
+   cancellation), and an output comparison in write_float that sometimes
+   goes the wrong way as a result. This workload reproduces exactly that
+   structure: DVdot kernels feeding a tolerance comparison, with inputs
+   provided by the harness. *)
+
+let source ~n ~trials =
+  Printf.sprintf
+    {|
+double va[%d];
+double vb[%d];
+
+double DVdot(double a[], double b[], int n) {
+  double s = 0.0;
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    s = s + a[i] * b[i];
+  }
+  return s;
+}
+
+void load_vectors(int trial, int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    va[i] = __arg(trial * 2 * n + 2 * i);
+    vb[i] = __arg(trial * 2 * n + 2 * i + 1);
+  }
+}
+
+int main() {
+  int t;
+  int converged = 0;
+  for (t = 0; t < %d; t = t + 1) {
+    load_vectors(t, %d);
+    double dot = DVdot(va, vb, %d);
+    // write_float: the residual's sign decides the branch; cancellation
+    // error in the dot product occasionally flips it
+    if (dot > 0.0) {
+      converged = converged + 1;
+    }
+    print(dot);
+  }
+  print(converged);
+  return 0;
+}
+|}
+    n n trials n n
+
+(* Inputs engineered like the CalculiX residuals: consecutive products
+   nearly cancel in pairs (large stiffness terms of both signs), leaving a
+   true residual some fifteen orders of magnitude below the largest term,
+   so the running sum cancels catastrophically and the sign of the result
+   is occasionally wrong. *)
+let inputs ~n ~trials ~seed : float array =
+  let state = ref (Int64.of_int ((seed * 2654435761) + 7)) in
+  let rand () =
+    let x = !state in
+    let x = Int64.logxor x (Int64.shift_left x 13) in
+    let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+    let x = Int64.logxor x (Int64.shift_left x 17) in
+    state := x;
+    Int64.to_float (Int64.shift_right_logical (Int64.mul x 0x2545F4914F6CDD1DL) 11)
+    /. 9007199254740992.0
+  in
+  let arr = Array.make (trials * 2 * n) 0.0 in
+  for t = 0 to trials - 1 do
+    let base = t * 2 * n in
+    let k = ref 0 in
+    while !k < n do
+      let a0 = Float.exp (rand () *. 18.4) *. if rand () < 0.5 then 1.0 else -1.0 in
+      let b0 = 1.0 +. rand () in
+      arr.(base + (2 * !k)) <- a0;
+      arr.(base + (2 * !k) + 1) <- b0;
+      if !k + 1 < n then begin
+        (* the next product cancels this one to ~1e-10 relative *)
+        let b1 = 1.0 +. rand () in
+        let residual = a0 *. b0 *. 2e-15 *. (rand () -. 0.5) in
+        arr.(base + (2 * (!k + 1))) <- (-.(a0 *. b0) +. residual) /. b1;
+        arr.(base + (2 * (!k + 1)) + 1) <- b1
+      end;
+      k := !k + 2
+    done
+  done;
+  arr
+
+let compile ~n ~trials = Minic.compile ~file:"calculix.mc" (source ~n ~trials)
+
+let analyze ?(cfg = Core.Config.default) ~n ~trials ~seed () =
+  let prog = compile ~n ~trials in
+  Core.Analysis.analyze ~cfg ~max_steps:100_000_000
+    ~inputs:(inputs ~n ~trials ~seed)
+    prog

@@ -1,0 +1,193 @@
+(* A miniature Triangle: Bowyer-Watson Delaunay triangulation in MiniC,
+   built on the adaptive orient2d/incircle predicates of [Predicates].
+
+   This is the shape of the paper's Triangle case study: a mesh generator
+   whose correctness hinges on exact geometric predicates, run under the
+   analysis to confirm that (a) the compensated predicate arithmetic is
+   not reported as a root cause and (b) overhead tracks the input's
+   degeneracy (cocircular point sets force the compensated fallbacks).
+
+   The algorithm is the standard one: seed with a super-triangle, insert
+   points one at a time, collect the "bad" triangles whose circumcircle
+   contains the new point, carve the cavity, and retriangulate its
+   boundary fan. Everything lives in flat global arrays. *)
+
+let delaunay_source ~max_points =
+  let max_tri = (4 * max_points) + 16 in
+  Printf.sprintf
+    {|
+double ptx[%d];
+double pty[%d];
+int tri_a[%d];
+int tri_b[%d];
+int tri_c[%d];
+int alive[%d];
+int n_tri[1];
+
+int edge_u[%d];
+int edge_v[%d];
+int edge_dup[%d];
+
+// make triangle (a, b, c) counterclockwise and record it
+void add_triangle(int a, int b, int c) {
+  int t = n_tri[0];
+  double d = orient2d(ptx[a], pty[a], ptx[b], pty[b], ptx[c], pty[c]);
+  if (d < 0.0) {
+    int tmp = b;
+    b = c;
+    c = tmp;
+  }
+  tri_a[t] = a;
+  tri_b[t] = b;
+  tri_c[t] = c;
+  alive[t] = 1;
+  n_tri[0] = t + 1;
+}
+
+int build(int n) {
+  int i; int t; int e; int k;
+  n_tri[0] = 0;
+  // super-triangle enclosing the unit box
+  ptx[n] = -100.0;  pty[n] = -100.0;
+  ptx[n + 1] = 200.0;  pty[n + 1] = -100.0;
+  ptx[n + 2] = 0.0;  pty[n + 2] = 200.0;
+  add_triangle(n, n + 1, n + 2);
+
+  for (i = 0; i < n; i = i + 1) {
+    // collect boundary edges of the cavity
+    int n_edges = 0;
+    for (t = 0; t < n_tri[0]; t = t + 1) {
+      if (alive[t] == 1) {
+        double d = incircle(ptx[tri_a[t]], pty[tri_a[t]],
+                            ptx[tri_b[t]], pty[tri_b[t]],
+                            ptx[tri_c[t]], pty[tri_c[t]],
+                            ptx[i], pty[i]);
+        if (d > 0.0) {
+          alive[t] = 0;
+          edge_u[n_edges] = tri_a[t];
+          edge_v[n_edges] = tri_b[t];
+          edge_u[n_edges + 1] = tri_b[t];
+          edge_v[n_edges + 1] = tri_c[t];
+          edge_u[n_edges + 2] = tri_c[t];
+          edge_v[n_edges + 2] = tri_a[t];
+          n_edges = n_edges + 3;
+        }
+      }
+    }
+    // an edge shared by two removed triangles is interior: drop both copies
+    for (e = 0; e < n_edges; e = e + 1) { edge_dup[e] = 0; }
+    for (e = 0; e < n_edges; e = e + 1) {
+      for (k = e + 1; k < n_edges; k = k + 1) {
+        if (edge_u[e] == edge_v[k] && edge_v[e] == edge_u[k]) {
+          edge_dup[e] = 1;
+          edge_dup[k] = 1;
+        }
+      }
+    }
+    // fan the cavity boundary around the new point
+    for (e = 0; e < n_edges; e = e + 1) {
+      if (edge_dup[e] == 0) {
+        add_triangle(edge_u[e], edge_v[e], i);
+      }
+    }
+  }
+  // count triangles that survive and touch no super-triangle vertex
+  int count = 0;
+  for (t = 0; t < n_tri[0]; t = t + 1) {
+    if (alive[t] == 1 && tri_a[t] < n && tri_b[t] < n && tri_c[t] < n) {
+      count = count + 1;
+    }
+  }
+  return count;
+}
+
+double mesh_quality(int n) {
+  // smallest angle proxy: min over triangles of area / (longest edge)^2
+  int t;
+  double worst = 1000.0;
+  for (t = 0; t < n_tri[0]; t = t + 1) {
+    if (alive[t] == 1 && tri_a[t] < n && tri_b[t] < n && tri_c[t] < n) {
+      double ax = ptx[tri_a[t]];
+      double ay = pty[tri_a[t]];
+      double bx = ptx[tri_b[t]];
+      double by = pty[tri_b[t]];
+      double cx = ptx[tri_c[t]];
+      double cy = pty[tri_c[t]];
+      double area = fabs(orient2d(ax, ay, bx, by, cx, cy)) * 0.5;
+      double e1 = (bx - ax) * (bx - ax) + (by - ay) * (by - ay);
+      double e2 = (cx - bx) * (cx - bx) + (cy - by) * (cy - by);
+      double e3 = (ax - cx) * (ax - cx) + (ay - cy) * (ay - cy);
+      double longest = fmax(e1, fmax(e2, e3));
+      double q = area / longest;
+      if (q < worst) { worst = q; }
+    }
+  }
+  return worst;
+}
+|}
+    (max_points + 3) (max_points + 3) max_tri max_tri max_tri max_tri
+    (3 * max_tri) (3 * max_tri) (3 * max_tri)
+
+let main_source ~points ~emit_triangles =
+  let emit =
+    if emit_triangles then
+      {|
+  int t;
+  for (t = 0; t < n_tri[0]; t = t + 1) {
+    if (alive[t] == 1 && tri_a[t] < n && tri_b[t] < n && tri_c[t] < n) {
+      print(tri_a[t]);
+      print(tri_b[t]);
+      print(tri_c[t]);
+    }
+  }
+|}
+    else ""
+  in
+  Printf.sprintf
+    {|
+int main() {
+  int i;
+  int n = %d;
+  for (i = 0; i < n; i = i + 1) {
+    ptx[i] = __arg(2 * i);
+    pty[i] = __arg(2 * i + 1);
+  }
+  int triangles = build(n);
+  print(triangles);
+  print(mesh_quality(n));
+%s
+  return 0;
+}
+|}
+    points emit
+
+let source ?(emit_triangles = false) ~points () =
+  Predicates.predicates_source ^ Predicates.incircle_source
+  ^ delaunay_source ~max_points:points
+  ^ main_source ~points ~emit_triangles
+
+let compile ?emit_triangles ~points () =
+  Minic.compile ~file:"mini-triangle.mc" (source ?emit_triangles ~points ())
+
+(* [cocircular] fraction of the points are placed EXACTLY on one common
+   circle, the classic degenerate input for Delaunay: every incircle test
+   among those points is an exact tie that only the compensated fallback
+   decides consistently. Exactness comes from integer points on
+   x^2 + y^2 = 25, scaled by a power of two, so every intermediate value
+   of the stage-B incircle computation is exact in doubles. At most 12
+   such points exist; any excess falls back to random placement. *)
+let circle12 =
+  [| (3, 4); (4, 3); (5, 0); (0, 5); (-3, 4); (4, -3); (0, -5); (-5, 0);
+     (-4, 3); (3, -4); (-4, -3); (-3, -4) |]
+
+let inputs ~points ~cocircular ~seed : float array =
+  let rand = Predicates.rng seed in
+  let n_circle = min 12 (int_of_float (Float.of_int points *. cocircular)) in
+  Array.init (2 * points) (fun i ->
+      let p = i / 2 in
+      if p < n_circle then begin
+        let x, y = circle12.(p) in
+        if i land 1 = 0 then 0.5 +. (float_of_int x /. 16.0)
+        else 0.5 +. (float_of_int y /. 16.0)
+      end
+      else rand ())

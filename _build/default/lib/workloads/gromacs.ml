@@ -1,0 +1,92 @@
+(* A Gromacs-style molecular dynamics inner loop (paper section 7, E7).
+
+   Gromacs spends ~95% of its time in nonbonded-interaction inner loops:
+   for each particle pair within a cutoff, accumulate Lennard-Jones and
+   Coulomb forces, then integrate. This workload reproduces that loop
+   nest at laptop scale: N particles on a perturbed lattice, all-pairs
+   LJ+Coulomb force accumulation with 1/r and r^-6 kernels (inverse sqrt
+   included, as in the Fortran inner loops), leapfrog integration, and
+   energy reporting per step. *)
+
+let source ~particles ~steps =
+  Printf.sprintf
+    {|
+double px[%d];
+double py[%d];
+double pz[%d];
+double vx[%d];
+double vy[%d];
+double vz[%d];
+double fx[%d];
+double fy[%d];
+double fz[%d];
+
+int main() {
+  int n = %d;
+  int steps = %d;
+  int i; int j; int s;
+
+  // perturbed-lattice initial positions, zero velocities
+  for (i = 0; i < n; i = i + 1) {
+    int gx = i %% 4;
+    int gy = (i / 4) %% 4;
+    int gz = i / 16;
+    px[i] = (double) gx * 1.2 + 0.1 * sin((double) i * 12.9898);
+    py[i] = (double) gy * 1.2 + 0.1 * sin((double) i * 78.233);
+    pz[i] = (double) gz * 1.2 + 0.1 * sin((double) i * 37.719);
+    vx[i] = 0.0;
+    vy[i] = 0.0;
+    vz[i] = 0.0;
+  }
+
+  for (s = 0; s < steps; s = s + 1) {
+    double epot = 0.0;
+    for (i = 0; i < n; i = i + 1) {
+      fx[i] = 0.0;
+      fy[i] = 0.0;
+      fz[i] = 0.0;
+    }
+    // all-pairs nonbonded kernel
+    for (i = 0; i < n; i = i + 1) {
+      for (j = i + 1; j < n; j = j + 1) {
+        double dx = px[i] - px[j];
+        double dy = py[i] - py[j];
+        double dz = pz[i] - pz[j];
+        double r2 = dx * dx + dy * dy + dz * dz;
+        double rinv = 1.0 / sqrt(r2);
+        double rinv2 = rinv * rinv;
+        double rinv6 = rinv2 * rinv2 * rinv2;
+        // LJ with epsilon = sigma = 1, plus a weak Coulomb term
+        double vlj = 4.0 * (rinv6 * rinv6 - rinv6);
+        double vc = 0.1 * rinv;
+        epot = epot + vlj + vc;
+        double fscale = (24.0 * (2.0 * rinv6 * rinv6 - rinv6) + 0.1 * rinv) * rinv2;
+        fx[i] = fx[i] + fscale * dx;
+        fy[i] = fy[i] + fscale * dy;
+        fz[i] = fz[i] + fscale * dz;
+        fx[j] = fx[j] - fscale * dx;
+        fy[j] = fy[j] - fscale * dy;
+        fz[j] = fz[j] - fscale * dz;
+      }
+    }
+    // leapfrog integration and kinetic energy
+    double ekin = 0.0;
+    for (i = 0; i < n; i = i + 1) {
+      vx[i] = vx[i] + 0.0005 * fx[i];
+      vy[i] = vy[i] + 0.0005 * fy[i];
+      vz[i] = vz[i] + 0.0005 * fz[i];
+      px[i] = px[i] + 0.0005 * vx[i];
+      py[i] = py[i] + 0.0005 * vy[i];
+      pz[i] = pz[i] + 0.0005 * vz[i];
+      ekin = ekin + 0.5 * (vx[i] * vx[i] + vy[i] * vy[i] + vz[i] * vz[i]);
+    }
+    print(epot + ekin);
+  }
+  return 0;
+}
+|}
+    particles particles particles particles particles particles particles
+    particles particles particles steps
+
+let compile ?(particles = 32) ?(steps = 4) () =
+  Minic.compile ~file:"gromacs.mc" (source ~particles ~steps)

@@ -1,0 +1,185 @@
+(* The complex function plotter of paper section 3.1 (E1).
+
+   Plots f(z) = 1 / (sqrt(Re z) - csqrt(Re z + i exp(-20 z))) over the
+   region [0, 1/4] x [-3, 3] by evaluating f at each pixel center and
+   coloring by arg(f). The naive complex square root
+
+     sqrt(x+iy) = (sqrt(sqrt(x^2+y^2)+x) + i sqrt(sqrt(x^2+y^2)-x))/sqrt(2)
+
+   catastrophically cancels in sqrt(x^2+y^2) - x when x > 0 and |y| << x,
+   which speckles the image; the repaired version (the output of passing
+   Herbgrind's report through an accuracy rewriter, section 3.1) computes
+   the cancelling branch as y^2 / (sqrt(x^2+y^2) + x). *)
+
+(* Complex numbers are 2-element arrays [re, im]; helpers write through an
+   out-parameter array, matching how C code threads structs by pointer. *)
+let common_source =
+  {|
+double g_re[1];
+double g_im[1];
+
+void cmul(double ar, double ai, double br, double bi) {
+  g_re[0] = ar * br - ai * bi;
+  g_im[0] = ar * bi + ai * br;
+}
+
+void cdiv(double ar, double ai, double br, double bi) {
+  double d = br * br + bi * bi;
+  g_re[0] = (ar * br + ai * bi) / d;
+  g_im[0] = (ai * br - ar * bi) / d;
+}
+
+void cexp(double ar, double ai) {
+  double m = exp(ar);
+  g_re[0] = m * cos(ai);
+  g_im[0] = m * sin(ai);
+}
+|}
+
+let naive_csqrt =
+  {|
+void csqrt(double x, double y) {
+  double m = sqrt(x * x + y * y);
+  double rp = sqrt((m + x) / 2.0);
+  double rm = sqrt((m - x) / 2.0);
+  if (y < 0.0) { rm = -rm; }
+  g_re[0] = rp;
+  g_im[0] = rm;
+}
+|}
+
+let repaired_csqrt =
+  {|
+void csqrt(double x, double y) {
+  double m = sqrt(x * x + y * y);
+  double rp = 0.0;
+  double rm = 0.0;
+  if (x <= 0.0) {
+    rm = sqrt((m - x) / 2.0);
+    rp = fabs(y) / (2.0 * rm);
+    if (rm == 0.0) { rp = 0.0; }
+  } else {
+    rp = sqrt((m + x) / 2.0);
+    rm = fabs(y) / (2.0 * rp);
+  }
+  if (y < 0.0) { rm = -rm; }
+  g_re[0] = rp;
+  g_im[0] = rm;
+}
+|}
+
+(* main: iterate the pixel grid, evaluate f, print the color bucket.
+
+   The perturbation term is scaled by 1e-13 relative to the paper's f so
+   that the csqrt instability dominates arg(f) at this rendering
+   resolution (40x40 pixels, 8 hue buckets) the way it dominated the
+   original's 1000x1000 24-bit rendering; the erroneous computation and
+   Herbgrind's report are unchanged (see DESIGN.md, E1). *)
+let main_source ~width ~height =
+  Printf.sprintf
+    {|
+int main() {
+  int px;
+  int py;
+  for (py = 0; py < %d; py = py + 1) {
+    for (px = 0; px < %d; px = px + 1) {
+      double x = 0.02 + 0.23 * ((double) px + 0.5) / %d.0;
+      double y = -3.0 + 6.0 * ((double) py + 0.5) / %d.0;
+
+      // w = x + i * 1e-13 * exp(-20 z), computed in complex arithmetic
+      cexp(-20.0 * x, -20.0 * y);
+      double wr = x - 0.0000000000001 * g_im[0];
+      double wi = 0.0000000000001 * g_re[0];
+
+      // d = sqrt(Re z) - csqrt(w)
+      csqrt(wr, wi);
+      double dr = sqrt(x) - g_re[0];
+      double di = -g_im[0];
+
+      // f = 1 / d
+      cdiv(1.0, 0.0, dr, di);
+
+      // color by the argument of f: 8 hue buckets
+      double ang = atan2(g_im[0], g_re[0]);
+      int color = (int) ((ang + 3.14159265358979312) * 1.27323954473516276);
+      if (color > 7) { color = 7; }
+      if (color < 0) { color = 0; }
+      print(color);
+    }
+  }
+  return 0;
+}
+|}
+    height width width height
+
+let source ?(width = 40) ?(height = 40) ~(repaired : bool) () =
+  common_source
+  ^ (if repaired then repaired_csqrt else naive_csqrt)
+  ^ main_source ~width ~height
+
+let compile ?width ?height ~repaired () =
+  Minic.compile ~file:(if repaired then "plotter-fixed.mc" else "plotter.mc")
+    (source ?width ?height ~repaired ())
+
+(* run the plotter and return the pixel grid of color buckets *)
+let render ?(width = 40) ?(height = 40) ~repaired () : int array array =
+  let prog = compile ~width ~height ~repaired () in
+  let st = Vex.Machine.run ~max_steps:100_000_000 prog in
+  let colors =
+    List.filter_map
+      (fun (o : Vex.Machine.output) ->
+        match o.Vex.Machine.value with
+        | Vex.Value.VI64 i -> Some (Int64.to_int i)
+        | _ -> None)
+      (Vex.Machine.outputs st)
+  in
+  let grid = Array.make_matrix height width 0 in
+  List.iteri
+    (fun i c -> if i < width * height then grid.(i / width).(i mod width) <- c)
+    colors;
+  grid
+
+(* number of pixels at which two renderings disagree *)
+let diff_count (a : int array array) (b : int array array) : int =
+  let count = ref 0 in
+  Array.iteri
+    (fun y row ->
+      Array.iteri (fun x c -> if b.(y).(x) <> c then incr count) row)
+    a;
+  !count
+
+(* speckle metric: pixels whose color differs from 3+ of their 4 neighbours
+   are likely numerical noise rather than a feature boundary *)
+let speckle_count (grid : int array array) : int =
+  let h = Array.length grid and w = Array.length grid.(0) in
+  let count = ref 0 in
+  for y = 1 to h - 2 do
+    for x = 1 to w - 2 do
+      let c = grid.(y).(x) in
+      let diff = ref 0 in
+      List.iter
+        (fun (dy, dx) -> if grid.(y + dy).(x + dx) <> c then incr diff)
+        [ (-1, 0); (1, 0); (0, -1); (0, 1) ];
+      if !diff >= 3 then incr count
+    done
+  done;
+  !count
+
+let write_ppm (grid : int array array) (path : string) : unit =
+  let palette =
+    [| (230, 25, 75); (245, 130, 48); (255, 225, 25); (60, 180, 75);
+       (70, 240, 240); (0, 130, 200); (145, 30, 180); (240, 50, 230) |]
+  in
+  let h = Array.length grid and w = Array.length grid.(0) in
+  let oc = open_out path in
+  Printf.fprintf oc "P3\n%d %d\n255\n" w h;
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun c ->
+          let r, g, b = palette.(c land 7) in
+          Printf.fprintf oc "%d %d %d " r g b)
+        row;
+      output_char oc '\n')
+    grid;
+  close_out oc

@@ -1,0 +1,665 @@
+(* Polybench kernels in MiniC (paper section 7, E5/E6).
+
+   Polybench is a suite of static-control numerical kernels; the paper
+   runs Herbgrind over all of them to measure how overhead varies between
+   independent programs in one style. These are faithful (small-N)
+   transcriptions: same loop structure and initialization style, with 2-D
+   arrays flattened to 1-D with manual index arithmetic, as the C
+   originals are after lowering. Each kernel prints its result array (or a
+   row) as output spots.
+
+   The gramschmidt kernel on a rank-deficient input reproduces the paper's
+   division-by-zero NaN finding (E6). *)
+
+type kernel = { k_name : string; k_source : int -> string }
+
+let k name f = { k_name = name; k_source = f }
+
+let gemm n =
+  Printf.sprintf
+    {|
+double A[%d];
+double B[%d];
+double C[%d];
+int main() {
+  int i; int j; int p;
+  int n = %d;
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) {
+      A[i*n+j] = (double) (i * j %% 7 + 1) / 7.0;
+      B[i*n+j] = (double) (i + j %% 5 + 1) / 5.0;
+      C[i*n+j] = 0.0;
+    }
+  }
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) {
+      C[i*n+j] = C[i*n+j] * 1.2;
+      for (p = 0; p < n; p = p + 1) {
+        C[i*n+j] = C[i*n+j] + 1.5 * A[i*n+p] * B[p*n+j];
+      }
+    }
+  }
+  for (i = 0; i < n; i = i + 1) { print(C[i*n+i]); }
+  return 0;
+}
+|}
+    (n * n) (n * n) (n * n) n
+
+let atax n =
+  Printf.sprintf
+    {|
+double A[%d];
+double x[%d];
+double y[%d];
+double tmp[%d];
+int main() {
+  int i; int j;
+  int n = %d;
+  for (i = 0; i < n; i = i + 1) {
+    x[i] = 1.0 + (double) i / (double) n;
+    y[i] = 0.0;
+    for (j = 0; j < n; j = j + 1) {
+      A[i*n+j] = (double) ((i + j) %% n) / (double) n;
+    }
+  }
+  for (i = 0; i < n; i = i + 1) {
+    tmp[i] = 0.0;
+    for (j = 0; j < n; j = j + 1) { tmp[i] = tmp[i] + A[i*n+j] * x[j]; }
+  }
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) { y[j] = y[j] + A[i*n+j] * tmp[i]; }
+  }
+  for (i = 0; i < n; i = i + 1) { print(y[i]); }
+  return 0;
+}
+|}
+    (n * n) n n n n
+
+let bicg n =
+  Printf.sprintf
+    {|
+double A[%d];
+double s[%d];
+double q[%d];
+double p[%d];
+double r[%d];
+int main() {
+  int i; int j;
+  int n = %d;
+  for (i = 0; i < n; i = i + 1) {
+    p[i] = (double) (i %% n) / (double) n;
+    r[i] = (double) (i %% n) / (double) n + 0.5;
+    s[i] = 0.0;
+    q[i] = 0.0;
+    for (j = 0; j < n; j = j + 1) {
+      A[i*n+j] = (double) (i * (j + 1) %% n) / (double) n;
+    }
+  }
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) {
+      s[j] = s[j] + r[i] * A[i*n+j];
+      q[i] = q[i] + A[i*n+j] * p[j];
+    }
+  }
+  for (i = 0; i < n; i = i + 1) { print(s[i]); print(q[i]); }
+  return 0;
+}
+|}
+    (n * n) n n n n n
+
+let mvt n =
+  Printf.sprintf
+    {|
+double A[%d];
+double x1[%d];
+double x2[%d];
+double y1[%d];
+double y2[%d];
+int main() {
+  int i; int j;
+  int n = %d;
+  for (i = 0; i < n; i = i + 1) {
+    x1[i] = (double) (i %% n) / (double) n;
+    x2[i] = (double) ((i + 1) %% n) / (double) n;
+    y1[i] = (double) ((i + 3) %% n) / (double) n;
+    y2[i] = (double) ((i + 4) %% n) / (double) n;
+    for (j = 0; j < n; j = j + 1) {
+      A[i*n+j] = (double) (i * j %% n) / (double) n;
+    }
+  }
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) { x1[i] = x1[i] + A[i*n+j] * y1[j]; }
+  }
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) { x2[i] = x2[i] + A[j*n+i] * y2[j]; }
+  }
+  for (i = 0; i < n; i = i + 1) { print(x1[i]); print(x2[i]); }
+  return 0;
+}
+|}
+    (n * n) n n n n n
+
+let gesummv n =
+  Printf.sprintf
+    {|
+double A[%d];
+double B[%d];
+double x[%d];
+double y[%d];
+double tmp[%d];
+int main() {
+  int i; int j;
+  int n = %d;
+  for (i = 0; i < n; i = i + 1) {
+    x[i] = (double) (i %% n) / (double) n;
+    for (j = 0; j < n; j = j + 1) {
+      A[i*n+j] = (double) (i * j %% n) / (double) n;
+      B[i*n+j] = (double) ((i * j + 1) %% n) / (double) n;
+    }
+  }
+  for (i = 0; i < n; i = i + 1) {
+    tmp[i] = 0.0;
+    y[i] = 0.0;
+    for (j = 0; j < n; j = j + 1) {
+      tmp[i] = A[i*n+j] * x[j] + tmp[i];
+      y[i] = B[i*n+j] * x[j] + y[i];
+    }
+    y[i] = 1.5 * tmp[i] + 1.2 * y[i];
+  }
+  for (i = 0; i < n; i = i + 1) { print(y[i]); }
+  return 0;
+}
+|}
+    (n * n) (n * n) n n n n
+
+let trisolv n =
+  Printf.sprintf
+    {|
+double L[%d];
+double x[%d];
+double bb[%d];
+int main() {
+  int i; int j;
+  int n = %d;
+  for (i = 0; i < n; i = i + 1) {
+    bb[i] = (double) i / (double) n / 2.0 + 4.0;
+    for (j = 0; j < n; j = j + 1) {
+      L[i*n+j] = (double) (i + n - j + 1) * 2.0 / (double) n;
+    }
+  }
+  for (i = 0; i < n; i = i + 1) {
+    x[i] = bb[i];
+    for (j = 0; j < i; j = j + 1) {
+      x[i] = x[i] - L[i*n+j] * x[j];
+    }
+    x[i] = x[i] / L[i*n+i];
+  }
+  for (i = 0; i < n; i = i + 1) { print(x[i]); }
+  return 0;
+}
+|}
+    (n * n) n n n
+
+let cholesky n =
+  Printf.sprintf
+    {|
+double A[%d];
+int main() {
+  int i; int j; int p;
+  int n = %d;
+  // positive-definite input: A = I*n + small symmetric part
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) {
+      double v = 1.0 / (double) (i + j + 1);
+      A[i*n+j] = v;
+    }
+    A[i*n+i] = A[i*n+i] + (double) n;
+  }
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < i; j = j + 1) {
+      for (p = 0; p < j; p = p + 1) {
+        A[i*n+j] = A[i*n+j] - A[i*n+p] * A[j*n+p];
+      }
+      A[i*n+j] = A[i*n+j] / A[j*n+j];
+    }
+    for (p = 0; p < i; p = p + 1) {
+      A[i*n+i] = A[i*n+i] - A[i*n+p] * A[i*n+p];
+    }
+    A[i*n+i] = sqrt(A[i*n+i]);
+  }
+  for (i = 0; i < n; i = i + 1) { print(A[i*n+i]); }
+  return 0;
+}
+|}
+    (n * n) n
+
+let lu n =
+  Printf.sprintf
+    {|
+double A[%d];
+int main() {
+  int i; int j; int p;
+  int n = %d;
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) {
+      A[i*n+j] = (double) ((i * j) %% n) / (double) n + 0.02;
+    }
+    A[i*n+i] = A[i*n+i] + (double) n;
+  }
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < i; j = j + 1) {
+      for (p = 0; p < j; p = p + 1) {
+        A[i*n+j] = A[i*n+j] - A[i*n+p] * A[p*n+j];
+      }
+      A[i*n+j] = A[i*n+j] / A[j*n+j];
+    }
+    for (j = i; j < n; j = j + 1) {
+      for (p = 0; p < i; p = p + 1) {
+        A[i*n+j] = A[i*n+j] - A[i*n+p] * A[p*n+j];
+      }
+    }
+  }
+  for (i = 0; i < n; i = i + 1) { print(A[i*n+i]); }
+  return 0;
+}
+|}
+    (n * n) n
+
+let durbin n =
+  Printf.sprintf
+    {|
+double r[%d];
+double y[%d];
+double z[%d];
+int main() {
+  int i; int p;
+  int n = %d;
+  for (i = 0; i < n; i = i + 1) {
+    r[i] = (double) (n + 1 - i) / (double) (2 * n);
+  }
+  y[0] = -r[0];
+  double beta = 1.0;
+  double alpha = -r[0];
+  for (p = 1; p < n; p = p + 1) {
+    beta = (1.0 - alpha * alpha) * beta;
+    double sum = 0.0;
+    for (i = 0; i < p; i = i + 1) {
+      sum = sum + r[p - i - 1] * y[i];
+    }
+    alpha = -(r[p] + sum) / beta;
+    for (i = 0; i < p; i = i + 1) {
+      z[i] = y[i] + alpha * y[p - i - 1];
+    }
+    for (i = 0; i < p; i = i + 1) {
+      y[i] = z[i];
+    }
+    y[p] = alpha;
+  }
+  for (i = 0; i < n; i = i + 1) { print(y[i]); }
+  return 0;
+}
+|}
+    n n n n
+
+let jacobi_1d n =
+  Printf.sprintf
+    {|
+double A[%d];
+double B[%d];
+int main() {
+  int i; int t;
+  int n = %d;
+  for (i = 0; i < n; i = i + 1) {
+    A[i] = ((double) i + 2.0) / (double) n;
+    B[i] = ((double) i + 3.0) / (double) n;
+  }
+  for (t = 0; t < 10; t = t + 1) {
+    for (i = 1; i < n - 1; i = i + 1) {
+      B[i] = 0.33333 * (A[i-1] + A[i] + A[i+1]);
+    }
+    for (i = 1; i < n - 1; i = i + 1) {
+      A[i] = 0.33333 * (B[i-1] + B[i] + B[i+1]);
+    }
+  }
+  for (i = 0; i < n; i = i + 1) { print(A[i]); }
+  return 0;
+}
+|}
+    n n n
+
+(* gramschmidt: [rank_deficient] makes two columns linearly dependent,
+   which drives a column norm to zero and the normalization to 0/0 = NaN
+   (the paper's finding, E6) *)
+let gramschmidt ?(rank_deficient = false) n =
+  let init_col =
+    if rank_deficient then
+      (* column 1 = 2 * column 0 *)
+      {|
+      if (j == 1) { A[i*n+j] = 2.0 * A[i*n+0]; }
+|}
+    else ""
+  in
+  Printf.sprintf
+    {|
+double A[%d];
+double R[%d];
+double Q[%d];
+int main() {
+  int i; int j; int p;
+  int n = %d;
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) {
+      A[i*n+j] = (double) ((i * j %% n) + 1) / (double) n;
+      %s
+      R[i*n+j] = 0.0;
+      Q[i*n+j] = 0.0;
+    }
+  }
+  for (p = 0; p < n; p = p + 1) {
+    double nrm = 0.0;
+    for (i = 0; i < n; i = i + 1) {
+      nrm = nrm + A[i*n+p] * A[i*n+p];
+    }
+    R[p*n+p] = sqrt(nrm);
+    for (i = 0; i < n; i = i + 1) {
+      Q[i*n+p] = A[i*n+p] / R[p*n+p];
+    }
+    for (j = p + 1; j < n; j = j + 1) {
+      R[p*n+j] = 0.0;
+      for (i = 0; i < n; i = i + 1) {
+        R[p*n+j] = R[p*n+j] + Q[i*n+p] * A[i*n+j];
+      }
+      for (i = 0; i < n; i = i + 1) {
+        A[i*n+j] = A[i*n+j] - Q[i*n+p] * R[p*n+j];
+      }
+    }
+  }
+  for (i = 0; i < n; i = i + 1) { print(R[i*n+i]); }
+  return 0;
+}
+|}
+    (n * n) (n * n) (n * n) n init_col
+
+let two_mm n =
+  Printf.sprintf
+    {|
+double A[%d];
+double B[%d];
+double C[%d];
+double D[%d];
+double tmp[%d];
+int main() {
+  int i; int j; int p;
+  int n = %d;
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) {
+      A[i*n+j] = (double) ((i * j + 1) %% n) / (double) n;
+      B[i*n+j] = (double) ((i * (j + 1)) %% n) / (double) n;
+      C[i*n+j] = (double) ((i * (j + 3) + 1) %% n) / (double) n;
+      D[i*n+j] = (double) ((i * (j + 2)) %% n) / (double) n;
+      tmp[i*n+j] = 0.0;
+    }
+  }
+  // D := alpha*A*B*C + beta*D
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) {
+      for (p = 0; p < n; p = p + 1) {
+        tmp[i*n+j] = tmp[i*n+j] + 1.5 * A[i*n+p] * B[p*n+j];
+      }
+    }
+  }
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) {
+      D[i*n+j] = D[i*n+j] * 1.2;
+      for (p = 0; p < n; p = p + 1) {
+        D[i*n+j] = D[i*n+j] + tmp[i*n+p] * C[p*n+j];
+      }
+    }
+  }
+  for (i = 0; i < n; i = i + 1) { print(D[i*n+i]); }
+  return 0;
+}
+|}
+    (n * n) (n * n) (n * n) (n * n) (n * n) n
+
+let syrk n =
+  Printf.sprintf
+    {|
+double A[%d];
+double C[%d];
+int main() {
+  int i; int j; int p;
+  int n = %d;
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) {
+      A[i*n+j] = (double) ((i * j) %% n) / (double) n;
+      C[i*n+j] = (double) ((i + j) %% n) / (double) n;
+    }
+  }
+  // C := alpha*A*A^T + beta*C (lower triangle)
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j <= i; j = j + 1) {
+      C[i*n+j] = C[i*n+j] * 1.2;
+      for (p = 0; p < n; p = p + 1) {
+        C[i*n+j] = C[i*n+j] + 1.5 * A[i*n+p] * A[j*n+p];
+      }
+    }
+  }
+  for (i = 0; i < n; i = i + 1) { print(C[i*n+i]); }
+  return 0;
+}
+|}
+    (n * n) (n * n) n
+
+let seidel_1d n =
+  Printf.sprintf
+    {|
+double A[%d];
+int main() {
+  int i; int t;
+  int n = %d;
+  for (i = 0; i < n; i = i + 1) {
+    A[i] = ((double) i + 2.0) / (double) n;
+  }
+  for (t = 0; t < 12; t = t + 1) {
+    for (i = 1; i < n - 1; i = i + 1) {
+      A[i] = (A[i-1] + A[i] + A[i+1]) / 3.0;
+    }
+  }
+  for (i = 0; i < n; i = i + 1) { print(A[i]); }
+  return 0;
+}
+|}
+    n n
+
+let nussinov_like n =
+  (* a dynamic-programming triangle with max accumulation, exercising
+     fmax through the analysis *)
+  Printf.sprintf
+    {|
+double S[%d];
+int main() {
+  int i; int j; int p;
+  int n = %d;
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) {
+      S[i*n+j] = 0.0;
+    }
+  }
+  for (i = n - 1; i >= 0; i = i - 1) {
+    for (j = i + 1; j < n; j = j + 1) {
+      double best = S[(i+1)*n+(j-1)] + (double) ((i + j) %% 3) * 0.5;
+      if (j - 1 >= 0) {
+        best = fmax(best, S[i*n+(j-1)]);
+      }
+      if (i + 1 < n) {
+        best = fmax(best, S[(i+1)*n+j]);
+      }
+      for (p = i + 1; p < j; p = p + 1) {
+        best = fmax(best, S[i*n+p] + S[(p+1)*n+j]);
+      }
+      S[i*n+j] = best;
+    }
+  }
+  print(S[0*n+(n-1)]);
+  return 0;
+}
+|}
+    (n * n) n
+
+let covariance n =
+  Printf.sprintf
+    {|
+double data[%d];
+double cov[%d];
+double mean[%d];
+int main() {
+  int i; int j; int p;
+  int n = %d;
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) {
+      data[i*n+j] = (double) (i * j %% n) / (double) n + (double) i * 0.1;
+    }
+  }
+  for (j = 0; j < n; j = j + 1) {
+    mean[j] = 0.0;
+    for (i = 0; i < n; i = i + 1) {
+      mean[j] = mean[j] + data[i*n+j];
+    }
+    mean[j] = mean[j] / (double) n;
+  }
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) {
+      data[i*n+j] = data[i*n+j] - mean[j];
+    }
+  }
+  for (i = 0; i < n; i = i + 1) {
+    for (j = i; j < n; j = j + 1) {
+      cov[i*n+j] = 0.0;
+      for (p = 0; p < n; p = p + 1) {
+        cov[i*n+j] = cov[i*n+j] + data[p*n+i] * data[p*n+j];
+      }
+      cov[i*n+j] = cov[i*n+j] / ((double) n - 1.0);
+      cov[j*n+i] = cov[i*n+j];
+    }
+  }
+  for (i = 0; i < n; i = i + 1) { print(cov[i*n+i]); }
+  return 0;
+}
+|}
+    (n * n) (n * n) n n
+
+let correlation n =
+  Printf.sprintf
+    {|
+double data[%d];
+double corr[%d];
+double mean[%d];
+double stddev[%d];
+int main() {
+  int i; int j; int p;
+  int n = %d;
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) {
+      data[i*n+j] = (double) ((i * j + 2) %% n) / (double) n + (double) j * 0.05;
+    }
+  }
+  for (j = 0; j < n; j = j + 1) {
+    mean[j] = 0.0;
+    for (i = 0; i < n; i = i + 1) { mean[j] = mean[j] + data[i*n+j]; }
+    mean[j] = mean[j] / (double) n;
+    stddev[j] = 0.0;
+    for (i = 0; i < n; i = i + 1) {
+      stddev[j] = stddev[j] + (data[i*n+j] - mean[j]) * (data[i*n+j] - mean[j]);
+    }
+    stddev[j] = sqrt(stddev[j] / (double) n);
+    // guard against constant columns, as the original does
+    if (stddev[j] <= 0.1) { stddev[j] = 1.0; }
+  }
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) {
+      data[i*n+j] = (data[i*n+j] - mean[j]) / (sqrt((double) n) * stddev[j]);
+    }
+  }
+  for (i = 0; i < n; i = i + 1) {
+    corr[i*n+i] = 1.0;
+    for (j = i + 1; j < n; j = j + 1) {
+      corr[i*n+j] = 0.0;
+      for (p = 0; p < n; p = p + 1) {
+        corr[i*n+j] = corr[i*n+j] + data[p*n+i] * data[p*n+j];
+      }
+      corr[j*n+i] = corr[i*n+j];
+    }
+  }
+  for (i = 0; i < n - 1; i = i + 1) { print(corr[i*n+i+1]); }
+  return 0;
+}
+|}
+    (n * n) (n * n) n n n
+
+let symm n =
+  Printf.sprintf
+    {|
+double A[%d];
+double B[%d];
+double C[%d];
+int main() {
+  int i; int j; int p;
+  int n = %d;
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) {
+      A[i*n+j] = (double) ((i + j) %% n) / (double) n;
+      B[i*n+j] = (double) ((i * 2 + j) %% n) / (double) n;
+      C[i*n+j] = (double) ((i + j * 3) %% n) / (double) n;
+    }
+  }
+  // C := alpha*A*B + beta*C with A symmetric (lower stored)
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) {
+      double temp = 0.0;
+      for (p = 0; p < i; p = p + 1) {
+        C[p*n+j] = C[p*n+j] + 1.5 * B[i*n+j] * A[i*n+p];
+        temp = temp + B[p*n+j] * A[i*n+p];
+      }
+      C[i*n+j] = 1.2 * C[i*n+j] + 1.5 * B[i*n+j] * A[i*n+i] + 1.5 * temp;
+    }
+  }
+  for (i = 0; i < n; i = i + 1) { print(C[i*n+i]); }
+  return 0;
+}
+|}
+    (n * n) (n * n) (n * n) n
+
+let kernels =
+  [
+    k "gemm" gemm;
+    k "covariance" covariance;
+    k "correlation" correlation;
+    k "symm" symm;
+    k "2mm" two_mm;
+    k "syrk" syrk;
+    k "seidel-1d" seidel_1d;
+    k "nussinov" nussinov_like;
+    k "atax" atax;
+    k "bicg" bicg;
+    k "mvt" mvt;
+    k "gesummv" gesummv;
+    k "trisolv" trisolv;
+    k "cholesky" cholesky;
+    k "lu" lu;
+    k "durbin" durbin;
+    k "jacobi-1d" jacobi_1d;
+    k "gramschmidt" (fun n -> gramschmidt n);
+  ]
+
+let find name =
+  match List.find_opt (fun k -> k.k_name = name) kernels with
+  | Some k -> k
+  | None -> invalid_arg ("Polybench.find: unknown kernel " ^ name)
+
+let compile ?(n = 8) (kernel : kernel) =
+  Minic.compile ~file:(kernel.k_name ^ ".mc") (kernel.k_source n)
+
+let compile_gramschmidt_rank_deficient ?(n = 8) () =
+  Minic.compile ~file:"gramschmidt-defective.mc"
+    (gramschmidt ~rank_deficient:true n)

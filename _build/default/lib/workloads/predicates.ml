@@ -1,0 +1,405 @@
+(* Triangle/Tetgen-style geometric predicates (paper section 7, E3/E4).
+
+   Shewchuk's Triangle won the Wilkinson prize partly for its adaptive
+   exact predicates, built from "compensating" error-free transformations:
+   two_sum, two_diff and two_product compute both a float result and its
+   exact rounding error. Each compensating term has enormous local error
+   in isolation (its exact value is 0 relative to the real computation of
+   the sum), which is exactly the false-positive hazard Herbgrind's
+   compensation detection addresses (section 5.4).
+
+   This workload implements orient2d with Shewchuk's stage-A filter plus a
+   compensated fallback, and a Tetgen-style orient3d, over input point
+   sets whose degeneracy is a parameter (E4 sweeps it to vary how much
+   floating-point work each run does). *)
+
+let predicates_source =
+  {|
+// error-free transformations; results returned through globals
+double g_hi[1];
+double g_lo[1];
+
+void two_sum(double a, double b) {
+  double x = a + b;
+  double bv = x - a;
+  double av = x - bv;
+  double br = b - bv;
+  double ar = a - av;
+  g_hi[0] = x;
+  g_lo[0] = ar + br;
+}
+
+void two_diff(double a, double b) {
+  double x = a - b;
+  double bv = a - x;
+  double av = x + bv;
+  double br = bv - b;
+  double ar = a - av;
+  g_hi[0] = x;
+  g_lo[0] = ar + br;
+}
+
+void split(double a) {
+  double c = 134217729.0 * a;
+  double abig = c - a;
+  g_hi[0] = c - abig;
+  g_lo[0] = a - g_hi[0];
+}
+
+double gp_x[1];
+double gp_y[1];
+
+void two_product(double a, double b) {
+  double x = a * b;
+  split(a);
+  double ahi = g_hi[0];
+  double alo = g_lo[0];
+  split(b);
+  double bhi = g_hi[0];
+  double blo = g_lo[0];
+  double err1 = x - ahi * bhi;
+  double err2 = err1 - alo * bhi;
+  double err3 = err2 - ahi * blo;
+  gp_x[0] = x;
+  gp_y[0] = alo * blo - err3;
+}
+
+// orient2d: sign of the 2x2 determinant | ax-cx  ay-cy ; bx-cx  by-cy |
+double orient2d(double ax, double ay, double bx, double by,
+                double cx, double cy) {
+  double acx = ax - cx;
+  double bcx = bx - cx;
+  double acy = ay - cy;
+  double bcy = by - cy;
+  double detleft = acx * bcy;
+  double detright = acy * bcx;
+  double det = detleft - detright;
+
+  // stage A: accept when the floating-point result is certainly right
+  double detsum = fabs(detleft) + fabs(detright);
+  double errbound = 0.00000000000000035527 * detsum;
+  if (det > errbound) { return det; }
+  if (-det > errbound) { return det; }
+
+  // adaptive stage B (after Shewchuk): exact products of the difference
+  // heads, plus first-order corrections from the difference tails
+  two_diff(ax, cx);
+  double acxtail = g_lo[0];
+  two_diff(bx, cx);
+  double bcxtail = g_lo[0];
+  two_diff(ay, cy);
+  double acytail = g_lo[0];
+  two_diff(by, cy);
+  double bcytail = g_lo[0];
+
+  two_product(acx, bcy);
+  double l_hi = gp_x[0];
+  double l_lo = gp_y[0];
+  two_product(acy, bcx);
+  double r_hi = gp_x[0];
+  double r_lo = gp_y[0];
+  two_diff(l_hi, r_hi);
+  double d_hi = g_hi[0];
+  double d_lo = g_lo[0];
+  double det_b = d_hi + (d_lo + (l_lo - r_lo));
+  double tails = (acx * bcytail + bcy * acxtail)
+               - (acy * bcxtail + bcx * acytail);
+  return det_b + tails;
+}
+
+// orient3d: sign of the 3x3 determinant of the edge vectors
+double orient3d(double ax, double ay, double az, double bx, double by,
+                double bz, double cx, double cy, double cz, double dx,
+                double dy, double dz) {
+  double adx = ax - dx;
+  double ady = ay - dy;
+  double adz = az - dz;
+  double bdx = bx - dx;
+  double bdy = by - dy;
+  double bdz = bz - dz;
+  double cdx = cx - dx;
+  double cdy = cy - dy;
+  double cdz = cz - dz;
+
+  double bdxcdy = bdx * cdy;
+  double cdxbdy = cdx * bdy;
+  double cdxady = cdx * ady;
+  double adxcdy = adx * cdy;
+  double adxbdy = adx * bdy;
+  double bdxady = bdx * ady;
+
+  double det = adz * (bdxcdy - cdxbdy) + bdz * (cdxady - adxcdy)
+             + cdz * (adxbdy - bdxady);
+
+  double permanent = (fabs(bdxcdy) + fabs(cdxbdy)) * fabs(adz)
+                   + (fabs(cdxady) + fabs(adxcdy)) * fabs(bdz)
+                   + (fabs(adxbdy) + fabs(bdxady)) * fabs(cdz);
+  double errbound = 0.0000000000000007771 * permanent;
+  if (det > errbound) { return det; }
+  if (-det > errbound) { return det; }
+
+  // compensated fallback on the three 2x2 minors
+  two_product(bdx, cdy);
+  double m1 = gp_x[0];
+  double e1 = gp_y[0];
+  two_product(cdx, bdy);
+  double m2 = gp_x[0];
+  double e2 = gp_y[0];
+  two_diff(m1, m2);
+  double minor1 = g_hi[0] + (g_lo[0] + (e1 - e2));
+
+  two_product(cdx, ady);
+  m1 = gp_x[0];
+  e1 = gp_y[0];
+  two_product(adx, cdy);
+  m2 = gp_x[0];
+  e2 = gp_y[0];
+  two_diff(m1, m2);
+  double minor2 = g_hi[0] + (g_lo[0] + (e1 - e2));
+
+  two_product(adx, bdy);
+  m1 = gp_x[0];
+  e1 = gp_y[0];
+  two_product(bdx, ady);
+  m2 = gp_x[0];
+  e2 = gp_y[0];
+  two_diff(m1, m2);
+  double minor3 = g_hi[0] + (g_lo[0] + (e1 - e2));
+
+  return adz * minor1 + bdz * minor2 + cdz * minor3;
+}
+|}
+
+let incircle_source =
+  {|
+// incircle: is point d inside the circle through a, b, c?
+// (sign of Shewchuk's 4x4 lifted determinant)
+double incircle(double ax, double ay, double bx, double by, double cx,
+                double cy, double dx, double dy) {
+  double adx = ax - dx;
+  double ady = ay - dy;
+  double bdx = bx - dx;
+  double bdy = by - dy;
+  double cdx = cx - dx;
+  double cdy = cy - dy;
+
+  double bdxcdy = bdx * cdy;
+  double cdxbdy = cdx * bdy;
+  double alift = adx * adx + ady * ady;
+
+  double cdxady = cdx * ady;
+  double adxcdy = adx * cdy;
+  double blift = bdx * bdx + bdy * bdy;
+
+  double adxbdy = adx * bdy;
+  double bdxady = bdx * ady;
+  double clift = cdx * cdx + cdy * cdy;
+
+  double det = alift * (bdxcdy - cdxbdy) + blift * (cdxady - adxcdy)
+             + clift * (adxbdy - bdxady);
+
+  double permanent = (fabs(bdxcdy) + fabs(cdxbdy)) * alift
+                   + (fabs(cdxady) + fabs(adxcdy)) * blift
+                   + (fabs(adxbdy) + fabs(bdxady)) * clift;
+  double errbound = 0.00000000000000111 * permanent;
+  if (det > errbound) { return det; }
+  if (-det > errbound) { return det; }
+
+  // compensated fallback on the three 2x2 minors (stage B flavor)
+  two_product(bdx, cdy);
+  double m1 = gp_x[0];
+  double e1 = gp_y[0];
+  two_product(cdx, bdy);
+  double m2 = gp_x[0];
+  double e2 = gp_y[0];
+  two_diff(m1, m2);
+  double minor_a = g_hi[0] + (g_lo[0] + (e1 - e2));
+
+  two_product(cdx, ady);
+  m1 = gp_x[0];
+  e1 = gp_y[0];
+  two_product(adx, cdy);
+  m2 = gp_x[0];
+  e2 = gp_y[0];
+  two_diff(m1, m2);
+  double minor_b = g_hi[0] + (g_lo[0] + (e1 - e2));
+
+  two_product(adx, bdy);
+  m1 = gp_x[0];
+  e1 = gp_y[0];
+  two_product(bdx, ady);
+  m2 = gp_x[0];
+  e2 = gp_y[0];
+  two_diff(m1, m2);
+  double minor_c = g_hi[0] + (g_lo[0] + (e1 - e2));
+
+  return alift * minor_a + blift * minor_b + clift * minor_c;
+}
+|}
+
+let incircle_main ~trials =
+  Printf.sprintf
+    {|
+int main() {
+  int t;
+  int inside = 0;
+  for (t = 0; t < %d; t = t + 1) {
+    double d = incircle(__arg(t * 8), __arg(t * 8 + 1), __arg(t * 8 + 2),
+                        __arg(t * 8 + 3), __arg(t * 8 + 4), __arg(t * 8 + 5),
+                        __arg(t * 8 + 6), __arg(t * 8 + 7));
+    if (d > 0.0) { inside = inside + 1; }
+    print(d);
+  }
+  print(inside);
+  return 0;
+}
+|}
+    trials
+
+let orient2d_main ~trials =
+  Printf.sprintf
+    {|
+int main() {
+  int t;
+  int left = 0;
+  for (t = 0; t < %d; t = t + 1) {
+    double ax = __arg(t * 6);
+    double ay = __arg(t * 6 + 1);
+    double bx = __arg(t * 6 + 2);
+    double by = __arg(t * 6 + 3);
+    double cx = __arg(t * 6 + 4);
+    double cy = __arg(t * 6 + 5);
+    double d = orient2d(ax, ay, bx, by, cx, cy);
+    if (d > 0.0) { left = left + 1; }
+    print(d);
+  }
+  print(left);
+  return 0;
+}
+|}
+    trials
+
+let orient3d_main ~trials =
+  Printf.sprintf
+    {|
+int main() {
+  int t;
+  int above = 0;
+  for (t = 0; t < %d; t = t + 1) {
+    double d = orient3d(__arg(t * 12), __arg(t * 12 + 1), __arg(t * 12 + 2),
+                        __arg(t * 12 + 3), __arg(t * 12 + 4), __arg(t * 12 + 5),
+                        __arg(t * 12 + 6), __arg(t * 12 + 7), __arg(t * 12 + 8),
+                        __arg(t * 12 + 9), __arg(t * 12 + 10), __arg(t * 12 + 11));
+    if (d > 0.0) { above = above + 1; }
+    print(d);
+  }
+  print(above);
+  return 0;
+}
+|}
+    trials
+
+let orient2d_source ~trials = predicates_source ^ orient2d_main ~trials
+let orient3d_source ~trials = predicates_source ^ orient3d_main ~trials
+
+let incircle_full_source ~trials =
+  predicates_source ^ incircle_source ^ incircle_main ~trials
+
+(* ---------- input generation ----------
+
+   [degeneracy] in [0, 1] controls how close the inputs sit to the
+   predicate's zero set: 0 gives generic points (stage A almost always
+   suffices, little FP work); near 1, most queries are nearly degenerate
+   and take the compensated fallback. This is the axis that makes
+   Herbgrind's overhead vary with input (paper figure 8, left). *)
+
+let rng seed =
+  let state = ref (Int64.of_int ((seed * 2654435761) + 13)) in
+  fun () ->
+    let x = !state in
+    let x = Int64.logxor x (Int64.shift_left x 13) in
+    let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+    let x = Int64.logxor x (Int64.shift_left x 17) in
+    state := x;
+    Int64.to_float (Int64.shift_right_logical (Int64.mul x 0x2545F4914F6CDD1DL) 11)
+    /. 9007199254740992.0
+
+let orient2d_inputs ~trials ~degeneracy ~seed : float array =
+  let rand = rng seed in
+  Array.init (trials * 6) (fun i ->
+      let t = i / 6 and k = i mod 6 in
+      let degenerate =
+        float_of_int ((t * 7919) mod 100) /. 100.0 < degeneracy
+      in
+      if not degenerate then (rand () *. 20.0) -. 10.0
+      else begin
+        (* a, b random; c = a + s*(b-a) + tiny perpendicular offset; the
+           components are generated coherently from the trial index *)
+        let r = rng ((seed * 31) + t) in
+        let ax = r () and ay = r () and bx = r () +. 1.0 and by = r () in
+        let s = 2.0 *. r () in
+        let eps = (r () -. 0.5) *. 1e-16 in
+        match k with
+        | 0 -> ax
+        | 1 -> ay
+        | 2 -> bx
+        | 3 -> by
+        | 4 -> ax +. (s *. (bx -. ax)) -. (eps *. (by -. ay))
+        | _ -> ay +. (s *. (by -. ay)) +. (eps *. (bx -. ax))
+      end)
+
+let orient3d_inputs ~trials ~degeneracy ~seed : float array =
+  let rand = rng (seed + 77) in
+  Array.init (trials * 12) (fun i ->
+      let t = i / 12 and k = i mod 12 in
+      let degenerate =
+        float_of_int ((t * 7919) mod 100) /. 100.0 < degeneracy
+      in
+      if not degenerate then (rand () *. 20.0) -. 10.0
+      else begin
+        (* d lies in the plane of a, b, c up to a tiny offset *)
+        let r = rng ((seed * 17) + t) in
+        let pt = Array.init 9 (fun _ -> r () *. 4.0) in
+        let u = r () and v = r () in
+        let coord j =
+          pt.(j)
+          +. (u *. (pt.(3 + j) -. pt.(j)))
+          +. (v *. (pt.(6 + j) -. pt.(j)))
+          +. ((r () -. 0.5) *. 1e-16)
+        in
+        if k < 9 then pt.(k) else coord (k - 9)
+      end)
+
+(* points on a circle through a,b,c, with d displaced radially by a small
+   controlled amount: degeneracy pushes d onto the circle itself *)
+let incircle_inputs ~trials ~degeneracy ~seed : float array =
+  Array.init (trials * 8) (fun i ->
+      let t = i / 8 and k = i mod 8 in
+      let r = rng ((seed * 23) + t) in
+      let cx0 = r () *. 4.0 and cy0 = r () *. 4.0 in
+      let radius = 1.0 +. r () in
+      let angle j = r () *. 6.283185307179586 *. float_of_int (j + 1) /. 3.0 in
+      let a1 = angle 0 and a2 = angle 1 and a3 = angle 2 and a4 = angle 3 in
+      let degenerate = float_of_int (t mod 100) /. 100.0 < degeneracy in
+      let d_radius =
+        if degenerate then radius *. (1.0 +. ((r () -. 0.5) *. 1e-15))
+        else radius *. (0.5 +. r ())
+      in
+      match k with
+      | 0 -> cx0 +. (radius *. Float.cos a1)
+      | 1 -> cy0 +. (radius *. Float.sin a1)
+      | 2 -> cx0 +. (radius *. Float.cos a2)
+      | 3 -> cy0 +. (radius *. Float.sin a2)
+      | 4 -> cx0 +. (radius *. Float.cos a3)
+      | 5 -> cy0 +. (radius *. Float.sin a3)
+      | 6 -> cx0 +. (d_radius *. Float.cos a4)
+      | _ -> cy0 +. (d_radius *. Float.sin a4))
+
+let compile_orient2d ~trials =
+  Minic.compile ~file:"triangle.mc" (orient2d_source ~trials)
+
+let compile_orient3d ~trials =
+  Minic.compile ~file:"tetgen.mc" (orient3d_source ~trials)
+
+let compile_incircle ~trials =
+  Minic.compile ~file:"triangle-incircle.mc" (incircle_full_source ~trials)

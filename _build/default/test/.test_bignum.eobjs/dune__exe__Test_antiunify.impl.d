@@ -1,0 +1,1 @@
+test/test_antiunify.ml: Alcotest Array Core Float List

@@ -1,0 +1,1 @@
+test/test_bignum.ml: Alcotest Bignum Float Int64 List Option Printf QCheck QCheck_alcotest Random Stdlib String Test

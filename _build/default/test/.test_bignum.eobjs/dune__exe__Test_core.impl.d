@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Core Hashtbl List Minic Printf Str Vex

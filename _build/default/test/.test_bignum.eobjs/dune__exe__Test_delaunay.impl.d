@@ -1,0 +1,1 @@
+test/test_delaunay.ml: Alcotest Array Bignum Core Hashtbl Int64 List Printf Vex Workloads

@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Array Core Float Int64 List Minic Printf QCheck QCheck_alcotest Vex

@@ -1,0 +1,1 @@
+test/test_fpcore.ml: Alcotest Array Core Fpcore Int64 List Option Printexc Printf Vex

@@ -1,0 +1,1 @@
+test/test_ieee.ml: Alcotest Float Ieee Int64 List Printf QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Array Float Int32 Int64 List Minic Printf QCheck QCheck_alcotest Test Vex

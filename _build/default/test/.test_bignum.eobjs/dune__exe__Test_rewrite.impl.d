@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Array Core Float Fpcore List Minic Printf Rewrite

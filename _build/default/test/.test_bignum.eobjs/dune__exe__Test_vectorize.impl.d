@@ -1,0 +1,1 @@
+test/test_vectorize.ml: Alcotest Array Core Float Int64 List Minic Printf Vex

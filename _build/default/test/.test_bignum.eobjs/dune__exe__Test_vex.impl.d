@@ -1,0 +1,1 @@
+test/test_vex.ml: Alcotest Array Builder Bytes Eval Float Ieee Int64 Ir List Machine QCheck QCheck_alcotest Test Typeinfer Value Vex

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Core Float Hashtbl List Printf Vex Workloads

@@ -1,0 +1,208 @@
+(* Unit tests for the anti-unification engine, exercised directly on
+   hand-built concrete traces (the core tests exercise it end-to-end). *)
+
+module A = Core.Antiunify
+module T = Core.Trace
+
+let checkb = Alcotest.check Alcotest.bool
+let checks = Alcotest.check Alcotest.string
+let checki = Alcotest.check Alcotest.int
+
+(* trace builders; keys come from the value so equal values are
+   runtime-equivalent, as in the analysis *)
+let leaf v = T.leaf v
+let node op args v = T.node ~max_depth:24 ~key:(T.float_key v) op (Array.of_list args) v
+
+let finalize_str ?classic agg = A.to_fpcore (A.finalize ?classic agg)
+
+let single_trace_is_itself () =
+  let agg = A.create ~equiv_depth:5 in
+  (* (+ 2 3) = 5, seen once: every position is constant *)
+  A.add agg (node "+" [ leaf 2.0; leaf 3.0 ] 5.0);
+  checks "constants" "(FPCore () (+ 2 3))" (finalize_str agg)
+
+let varying_leaf_becomes_variable () =
+  let agg = A.create ~equiv_depth:5 in
+  A.add agg (node "+" [ leaf 2.0; leaf 3.0 ] 5.0);
+  A.add agg (node "+" [ leaf 7.0; leaf 3.0 ] 10.0);
+  checks "x + 3" "(FPCore (x) (+ x 3))" (finalize_str agg)
+
+let equal_values_share_variable () =
+  let agg = A.create ~equiv_depth:5 in
+  A.add agg (node "*" [ leaf 2.0; leaf 2.0 ] 4.0);
+  A.add agg (node "*" [ leaf 7.0; leaf 7.0 ] 49.0);
+  checks "x * x" "(FPCore (x) (* x x))" (finalize_str agg)
+
+let unequal_values_get_distinct_variables () =
+  let agg = A.create ~equiv_depth:5 in
+  A.add agg (node "*" [ leaf 2.0; leaf 3.0 ] 6.0);
+  A.add agg (node "*" [ leaf 7.0; leaf 5.0 ] 35.0);
+  checks "x * y" "(FPCore (x y) (* x y))" (finalize_str agg)
+
+let operator_mismatch_generalizes () =
+  let agg = A.create ~equiv_depth:5 in
+  A.add agg (node "+" [ node "*" [ leaf 2.0; leaf 3.0 ] 6.0; leaf 1.0 ] 7.0);
+  A.add agg (node "+" [ node "-" [ leaf 9.0; leaf 2.0 ] 7.0; leaf 1.0 ] 8.0);
+  (* the differing subtree collapses to one variable; 1 stays constant *)
+  checks "hole" "(FPCore (x) (+ x 1))" (finalize_str agg);
+  (* when the mismatched subtrees have EQUAL runtime values, Herbgrind's
+     first modification turns the hole into a constant instead *)
+  let agg2 = A.create ~equiv_depth:5 in
+  A.add agg2 (node "+" [ node "*" [ leaf 2.0; leaf 3.0 ] 6.0; leaf 1.0 ] 7.0);
+  A.add agg2 (node "+" [ node "-" [ leaf 9.0; leaf 3.0 ] 6.0; leaf 1.0 ] 7.0);
+  checks "constant hole" "(FPCore () (+ 6 1))" (finalize_str agg2)
+
+let internal_pruning_requires_multiple_members () =
+  (* a subtree equal to nothing else stays structural *)
+  let agg = A.create ~equiv_depth:5 in
+  let t v =
+    node "sqrt" [ node "+" [ leaf v; leaf 1.0 ] (v +. 1.0) ] (Float.sqrt (v +. 1.0))
+  in
+  A.add agg (t 4.0);
+  A.add agg (t 9.0);
+  checks "no pruning" "(FPCore (x) (sqrt (+ x 1)))" (finalize_str agg)
+
+let internal_pruning_on_repeated_subtree () =
+  (* (- (sqrt (+ y 1)) (sqrt y)) where y = x*c appears twice: prunes to a
+     shared variable (the paper's section 4.4 example) *)
+  let agg = A.create ~equiv_depth:8 in
+  let t x =
+    let y = x *. 12345.67 in
+    let ynode () = node "*" [ leaf x; leaf 12345.67 ] y in
+    node "-"
+      [
+        node "sqrt" [ node "+" [ ynode (); leaf 1.0 ] (y +. 1.0) ] (Float.sqrt (y +. 1.0));
+        node "sqrt" [ ynode () ] (Float.sqrt y);
+      ]
+      (Float.sqrt (y +. 1.0) -. Float.sqrt y)
+  in
+  A.add agg (t 3.0);
+  A.add agg (t 11.0);
+  A.add agg (t 29.0);
+  checks "pruned" "(FPCore (x) (- (sqrt (+ x 1)) (sqrt x)))" (finalize_str agg);
+  (* classic mode keeps the multiplication structure *)
+  checks "classic"
+    "(FPCore (x) (- (sqrt (+ (* x 12345.67) 1)) (sqrt (* x 12345.67))))"
+    (finalize_str ~classic:true agg)
+
+let straddle_criterion_blocks_pruning () =
+  (* (- (sqrt (+ y 1)) (sqrt y)) * (+ y 1): the (+ y 1) class straddles *)
+  let agg = A.create ~equiv_depth:8 in
+  let t y =
+    let yp1 () = node "+" [ leaf y; leaf 1.0 ] (y +. 1.0) in
+    node "*"
+      [
+        node "-"
+          [
+            node "sqrt" [ yp1 () ] (Float.sqrt (y +. 1.0));
+            node "sqrt" [ leaf y ] (Float.sqrt y);
+          ]
+          (Float.sqrt (y +. 1.0) -. Float.sqrt y);
+        yp1 ();
+      ]
+      ((Float.sqrt (y +. 1.0) -. Float.sqrt y) *. (y +. 1.0))
+  in
+  A.add agg (t 3.0);
+  A.add agg (t 17.0);
+  let out = finalize_str agg in
+  checks "not over-pruned"
+    "(FPCore (x) (* (- (sqrt (+ x 1)) (sqrt x)) (+ x 1)))" out
+
+let depth_limits_variable_sharing () =
+  (* equal leaves BELOW the equivalence depth cannot be unified and
+     become distinct variables (figure 10a's depth-2 behavior) *)
+  let deep x =
+    node "+"
+      [
+        node "*" [ node "-" [ leaf x; leaf 1.0 ] (x -. 1.0); leaf 2.0 ]
+          ((x -. 1.0) *. 2.0);
+        node "*" [ node "-" [ leaf x; leaf 1.0 ] (x -. 1.0); leaf 3.0 ]
+          ((x -. 1.0) *. 3.0);
+      ]
+      (((x -. 1.0) *. 2.0) +. ((x -. 1.0) *. 3.0))
+  in
+  let shallow_agg = A.create ~equiv_depth:8 in
+  A.add shallow_agg (deep 5.0);
+  A.add shallow_agg (deep 9.0);
+  let wide = A.finalize shallow_agg in
+  checki "depth 8 unifies x" 1 (List.length (A.sym_vars wide));
+  let agg2 = A.create ~equiv_depth:2 in
+  A.add agg2 (deep 5.0);
+  A.add agg2 (deep 9.0);
+  let narrow = A.finalize agg2 in
+  checkb "depth 2 has more variables" true
+    (List.length (A.sym_vars narrow) > 1)
+
+let aggregation_is_order_insensitive () =
+  (* associativity/commutativity of aggregation (paper 6.3): any order of
+     the same traces yields the same symbolic expression *)
+  let traces =
+    List.map
+      (fun (a, b) -> node "/" [ leaf a; node "+" [ leaf a; leaf b ] (a +. b) ] (a /. (a +. b)))
+      [ (1.0, 2.0); (3.0, 4.0); (5.0, 6.0); (7.0, 8.0) ]
+  in
+  let run order =
+    let agg = A.create ~equiv_depth:5 in
+    List.iter (A.add agg) order;
+    finalize_str agg
+  in
+  let base = run traces in
+  checks "reversed" base (run (List.rev traces));
+  checks "rotated" base
+    (run (match traces with t :: rest -> rest @ [ t ] | [] -> []))
+
+let op_count_and_vars () =
+  let agg = A.create ~equiv_depth:5 in
+  A.add agg (node "+" [ node "*" [ leaf 2.0; leaf 3.0 ] 6.0; leaf 1.0 ] 7.0);
+  A.add agg (node "+" [ node "*" [ leaf 4.0; leaf 5.0 ] 20.0; leaf 1.0 ] 21.0);
+  let s = A.finalize agg in
+  checki "two ops" 2 (A.sym_op_count s);
+  checki "two vars" 2 (List.length (A.sym_vars s))
+
+let trace_depth_cap () =
+  (* growing a trace past the cap truncates instead of deepening *)
+  let t = ref (leaf 0.0) in
+  for i = 1 to 100 do
+    t := T.node ~max_depth:10 ~key:i "+" [| !t; leaf 1.0 |] (float_of_int i)
+  done;
+  checkb "depth bounded" true (!t.T.depth <= 11)
+
+let trace_size_cap () =
+  (* doubling trees stay below the size bound *)
+  let t = ref (leaf 1.0) in
+  for i = 1 to 30 do
+    t := T.node ~max_depth:64 ~key:i "+" [| !t; !t |] (float_of_int i)
+  done;
+  checkb "size bounded" true (!t.T.size <= 2 * T.max_tree_size)
+
+let () =
+  Alcotest.run "antiunify"
+    [
+      ( "generalization",
+        [
+          Alcotest.test_case "single trace" `Quick single_trace_is_itself;
+          Alcotest.test_case "varying leaf" `Quick varying_leaf_becomes_variable;
+          Alcotest.test_case "equal values share" `Quick equal_values_share_variable;
+          Alcotest.test_case "unequal values split" `Quick
+            unequal_values_get_distinct_variables;
+          Alcotest.test_case "operator mismatch" `Quick operator_mismatch_generalizes;
+        ] );
+      ( "pruning",
+        [
+          Alcotest.test_case "needs multiple members" `Quick
+            internal_pruning_requires_multiple_members;
+          Alcotest.test_case "repeated subtree" `Quick
+            internal_pruning_on_repeated_subtree;
+          Alcotest.test_case "straddle criterion" `Quick
+            straddle_criterion_blocks_pruning;
+          Alcotest.test_case "depth bound" `Quick depth_limits_variable_sharing;
+        ] );
+      ( "aggregation",
+        [
+          Alcotest.test_case "order insensitive" `Quick
+            aggregation_is_order_insensitive;
+          Alcotest.test_case "op count and vars" `Quick op_count_and_vars;
+          Alcotest.test_case "trace depth cap" `Quick trace_depth_cap;
+          Alcotest.test_case "trace size cap" `Quick trace_size_cap;
+        ] );
+    ]

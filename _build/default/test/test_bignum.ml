@@ -1,0 +1,454 @@
+(* Tests for the bignum substrate: naturals, integers, and the MPFR-style
+   Bigfloat. The sharpest oracle available is IEEE hardware itself: a
+   Bigfloat operation at precision 53 on double inputs must reproduce the
+   hardware double result bit for bit (outside the subnormal/overflow
+   range). *)
+
+module N = Bignum.Natural
+module Z = Bignum.Bigint
+module B = Bignum.Bigfloat
+module M = Bignum.Bigfloat_math
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+(* ---------- Natural ---------- *)
+
+let nat_of_int_roundtrip () =
+  List.iter
+    (fun n -> check (Alcotest.option Alcotest.int) "roundtrip" (Some n)
+        (N.to_int_opt (N.of_int n)))
+    [ 0; 1; 2; 42; 1 lsl 30; (1 lsl 31) - 1; 1 lsl 31; 1 lsl 61; max_int ]
+
+let nat_add_sub_small () =
+  for _ = 1 to 200 do
+    let a = Random.int 1_000_000_000 and b = Random.int 1_000_000_000 in
+    checki "add" (a + b) (Option.get (N.to_int_opt (N.add (N.of_int a) (N.of_int b))));
+    let hi, lo = if a >= b then (a, b) else (b, a) in
+    checki "sub" (hi - lo)
+      (Option.get (N.to_int_opt (N.sub (N.of_int hi) (N.of_int lo))))
+  done
+
+let nat_mul_small () =
+  for _ = 1 to 200 do
+    let a = Random.int 1_000_000 and b = Random.int 1_000_000 in
+    checki "mul" (a * b) (Option.get (N.to_int_opt (N.mul (N.of_int a) (N.of_int b))))
+  done
+
+let random_nat bits =
+  let limbs = (bits + 30) / 31 in
+  let rec build acc i =
+    if i = 0 then acc
+    else
+      build (N.add (N.shift_left acc 31) (N.of_int (Random.full_int (1 lsl 31)))) (i - 1)
+  in
+  build N.zero limbs
+
+let nat_divmod_property () =
+  for _ = 1 to 200 do
+    let a = random_nat (1 + Random.int 600) in
+    let b = random_nat (1 + Random.int 300) in
+    if not (N.is_zero b) then begin
+      let q, r = N.divmod a b in
+      checkb "r < b" true (N.compare r b < 0);
+      checkb "a = q*b + r" true (N.equal a (N.add (N.mul q b) r))
+    end
+  done
+
+let nat_string_roundtrip () =
+  for _ = 1 to 50 do
+    let a = random_nat (1 + Random.int 400) in
+    checkb "string roundtrip" true (N.equal a (N.of_string (N.to_string a)))
+  done;
+  checks "zero" "0" (N.to_string N.zero);
+  checks "big"
+    "340282366920938463463374607431768211456"
+    (N.to_string (N.pow_int N.two 128))
+
+let nat_isqrt () =
+  for _ = 1 to 100 do
+    let a = random_nat (1 + Random.int 400) in
+    let s = N.isqrt a in
+    checkb "s*s <= a" true (N.compare (N.mul s s) a <= 0);
+    let s1 = N.add s N.one in
+    checkb "(s+1)^2 > a" true (N.compare (N.mul s1 s1) a > 0)
+  done
+
+let nat_karatsuba_matches () =
+  (* Large operands exercise the Karatsuba path; compare against a
+     sum-of-shifts reference computed with add/shift only. *)
+  for _ = 1 to 10 do
+    let a = random_nat 2200 and b = random_nat 2500 in
+    let reference =
+      let acc = ref N.zero in
+      for i = 0 to N.bit_length b - 1 do
+        if N.testbit b i then acc := N.add !acc (N.shift_left a i)
+      done;
+      !acc
+    in
+    checkb "karatsuba = reference" true (N.equal (N.mul a b) reference)
+  done
+
+let nat_shifts () =
+  for _ = 1 to 100 do
+    let a = random_nat (1 + Random.int 300) in
+    let k = Random.int 200 in
+    checkb "shift roundtrip" true
+      (N.equal a (N.shift_right (N.shift_left a k) k));
+    checki "bitlen shift" (N.bit_length a + k)
+      (if N.is_zero a then 0 else N.bit_length (N.shift_left a k))
+  done
+
+let nat_to_float () =
+  check (Alcotest.float 0.0) "2^70" (ldexp 1.0 70)
+    (N.to_float (N.pow_int N.two 70));
+  check (Alcotest.float 0.0) "exact small" 123456789.0
+    (N.to_float (N.of_int 123456789));
+  (* 2^64 + 1 rounds down to 2^64 under nearest-even *)
+  check (Alcotest.float 0.0) "round to even" (ldexp 1.0 64)
+    (N.to_float (N.add (N.pow_int N.two 64) N.one))
+
+(* ---------- Bigint ---------- *)
+
+let int_arith () =
+  for _ = 1 to 300 do
+    let a = Random.int 2_000_000 - 1_000_000
+    and b = Random.int 2_000_000 - 1_000_000 in
+    let za = Z.of_int a and zb = Z.of_int b in
+    checki "add" (a + b) (Option.get (Z.to_int_opt (Z.add za zb)));
+    checki "sub" (a - b) (Option.get (Z.to_int_opt (Z.sub za zb)));
+    checki "mul" (a * b) (Option.get (Z.to_int_opt (Z.mul za zb)));
+    if b <> 0 then begin
+      let q, r = Z.divmod za zb in
+      checki "quot" (a / b) (Option.get (Z.to_int_opt q));
+      checki "rem" (a mod b) (Option.get (Z.to_int_opt r))
+    end
+  done
+
+let int_compare_sign () =
+  checki "sign neg" (-1) (Z.sign (Z.of_int (-5)));
+  checki "sign zero" 0 (Z.sign Z.zero);
+  checkb "compare" true (Z.compare (Z.of_int (-10)) (Z.of_int (-2)) < 0);
+  checks "to_string" "-12345" (Z.to_string (Z.of_int (-12345)))
+
+(* ---------- Bigfloat ---------- *)
+
+let float_roundtrip () =
+  let cases =
+    [ 0.0; -0.0; 1.0; -1.5; 0.1; 1e300; 1e-300; 4e-320; Float.max_float;
+      Float.min_float; ldexp 1.0 (-1074); Float.pi; 1.0 /. 3.0 ]
+  in
+  List.iter
+    (fun f ->
+      let b = B.of_float f in
+      checkb (Printf.sprintf "roundtrip %h" f) true
+        (Int64.equal (Int64.bits_of_float f) (Int64.bits_of_float (B.to_float b))))
+    cases;
+  checkb "inf" true (B.to_float (B.of_float infinity) = infinity);
+  checkb "nan" true (Float.is_nan (B.to_float (B.of_float Float.nan)))
+
+let random_double () =
+  (* random finite double spanning a wide exponent range *)
+  let m = Random.float 2.0 -. 1.0 in
+  let e = Random.int 600 - 300 in
+  ldexp m e
+
+let hardware_oracle_binop name bf ff =
+  for _ = 1 to 500 do
+    let a = random_double () and b = random_double () in
+    let expected = ff a b in
+    let got = B.to_float (bf ~prec:53 (B.of_float a) (B.of_float b)) in
+    if Float.is_nan expected then checkb (name ^ " nan") true (Float.is_nan got)
+    else if Float.abs expected >= ldexp 1.0 (-1021)
+            && Float.abs expected < infinity then
+      checkb
+        (Printf.sprintf "%s %h %h -> %h vs %h" name a b expected got)
+        true
+        (Int64.equal (Int64.bits_of_float expected) (Int64.bits_of_float got))
+  done
+
+let bf_add_matches_hardware () = hardware_oracle_binop "add" B.add ( +. )
+let bf_sub_matches_hardware () = hardware_oracle_binop "sub" B.sub ( -. )
+let bf_mul_matches_hardware () = hardware_oracle_binop "mul" B.mul ( *. )
+let bf_div_matches_hardware () = hardware_oracle_binop "div" B.div ( /. )
+
+let bf_sqrt_matches_hardware () =
+  for _ = 1 to 500 do
+    let a = Float.abs (random_double ()) in
+    let expected = Float.sqrt a in
+    let got = B.to_float (B.sqrt ~prec:53 (B.of_float a)) in
+    checkb
+      (Printf.sprintf "sqrt %h -> %h vs %h" a expected got)
+      true
+      (Int64.equal (Int64.bits_of_float expected) (Int64.bits_of_float got))
+  done
+
+let bf_extended_precision_catches_cancellation () =
+  (* (x + 1) - x at high precision is exactly 1 even when doubles fail *)
+  let x = B.of_float 1e16 in
+  let prec = 200 in
+  let s = B.add ~prec x B.one in
+  let d = B.sub ~prec s x in
+  checkb "(1e16 + 1) - 1e16 = 1 in 200 bits" true (B.equal d B.one);
+  (* while in 53 bits it is 0 or 2 but not 1 *)
+  let s53 = B.add ~prec:53 x B.one in
+  let d53 = B.sub ~prec:53 s53 x in
+  checkb "not 1 in 53 bits" false (B.equal d53 B.one)
+
+let bf_compare () =
+  checkb "lt" true (B.lt (B.of_float 1.0) (B.of_float 2.0));
+  checkb "zeros equal" true (B.equal B.zero B.neg_zero);
+  checkb "neg inf least" true (B.lt B.neg_inf (B.of_float (-1e308)));
+  checkb "nan incomparable" true (B.cmp B.nan B.one = None);
+  for _ = 1 to 300 do
+    let a = random_double () and b = random_double () in
+    let expected = Stdlib.compare a b in
+    match B.cmp (B.of_float a) (B.of_float b) with
+    | Some c -> checki "cmp sign" expected c
+    | None -> Alcotest.fail "unexpected nan"
+  done
+
+let bf_decimal_parse () =
+  checkb "0.5" true (B.equal (B.of_decimal_string ~prec:53 "0.5") B.half);
+  checkb "0.1 rounds like float" true
+    (B.to_float (B.of_decimal_string ~prec:53 "0.1") = 0.1);
+  checkb "-12345.67e-8 like float" true
+    (B.to_float (B.of_decimal_string ~prec:53 "-12345.67e-8") = -12345.67e-8);
+  checkb "1e300" true
+    (B.to_float (B.of_decimal_string ~prec:53 "1e300") = 1e300);
+  checkb "inf" true (B.of_decimal_string ~prec:53 "inf" = B.pos_inf);
+  checkb "nan" true (B.is_nan (B.of_decimal_string ~prec:53 "nan"))
+
+let bf_decimal_print () =
+  checks "half" "0.5" (B.to_decimal_string ~digits:5 B.half);
+  checks "neg" "-2" (B.to_decimal_string ~digits:5 (B.of_float (-2.0)));
+  let pi_str = B.to_decimal_string ~digits:10 (B.of_float Float.pi) in
+  checkb ("pi prints " ^ pi_str) true
+    (String.length pi_str >= 10 && String.sub pi_str 0 6 = "3.1415")
+
+let bf_floor_ceil () =
+  let f25 = B.of_float 2.5 and fm25 = B.of_float (-2.5) in
+  checkb "floor 2.5" true (B.equal (B.floor f25) B.two);
+  checkb "ceil 2.5" true (B.equal (B.ceil f25) (B.of_int 3));
+  checkb "floor -2.5" true (B.equal (B.floor fm25) (B.of_int (-3)));
+  checkb "ceil -2.5" true (B.equal (B.ceil fm25) (B.of_int (-2)));
+  checkb "round 2.5 away" true (B.equal (B.round_to_int f25) (B.of_int 3));
+  checkb "round -2.5 away" true (B.equal (B.round_to_int fm25) (B.of_int (-3)));
+  checkb "trunc -2.7" true (B.equal (B.trunc (B.of_float (-2.7))) (B.of_int (-2)))
+
+let bf_subnormal_to_float () =
+  (* value between two subnormals rounds to the nearest one *)
+  let tiny = B.mul_2exp B.one (-1074) in
+  checkb "min subnormal" true (B.to_float tiny = ldexp 1.0 (-1074));
+  let halftiny = B.mul_2exp B.one (-1075) in
+  checkb "half of min rounds to even (0)" true (B.to_float halftiny = 0.0);
+  let three_q = B.mul ~prec:60 (B.of_float 1.5) halftiny in
+  checkb "0.75 * min rounds up" true (B.to_float three_q = ldexp 1.0 (-1074))
+
+(* ---------- Bigfloat_math vs libm (1-2 ulp tolerance) ---------- *)
+
+let ulps_apart a b =
+  if a = b then 0L
+  else begin
+    let ord f =
+      let bits = Int64.bits_of_float f in
+      if Int64.compare bits 0L >= 0 then bits
+      else Int64.sub Int64.min_int bits
+    in
+    Int64.abs (Int64.sub (ord a) (ord b))
+  end
+
+let close name expected got =
+  if Float.is_nan expected then checkb (name ^ " nan") true (Float.is_nan got)
+  else
+    checkb
+      (Printf.sprintf "%s: %h vs %h (%Ld ulps)" name expected got
+         (ulps_apart expected got))
+      true
+      (Int64.compare (ulps_apart expected got) 2L <= 0)
+
+let math_unop name bf ff inputs =
+  List.iter
+    (fun x -> close (Printf.sprintf "%s(%h)" name x) (ff x)
+        (B.to_float (bf ~prec:53 (B.of_float x))))
+    inputs
+
+let standard_inputs =
+  [ 0.5; 1.0; 2.0; -0.5; -1.0; 0.001; -0.001; 10.0; -10.0; 100.0; 0.9999;
+    1.0001; 3.14159; -2.71828; 1e-10; -1e-10; 55.5; 0.25 ]
+
+let math_exp () =
+  math_unop "exp" M.exp Stdlib.exp (standard_inputs @ [ 700.0; -700.0 ]);
+  checkb "exp -inf" true (B.to_float (M.exp ~prec:53 B.neg_inf) = 0.0);
+  checkb "exp overflow" true (B.to_float (M.exp ~prec:53 (B.of_float 1e10)) = infinity)
+
+let math_log () =
+  math_unop "log" M.log Stdlib.log
+    [ 0.5; 1.0; 2.0; 10.0; 1e-300; 1e300; 0.9999999; 1.0000001; 3.0 ];
+  checkb "log 0" true (B.to_float (M.log ~prec:53 B.zero) = neg_infinity);
+  checkb "log neg" true (B.is_nan (M.log ~prec:53 B.minus_one))
+
+let math_trig () =
+  let inputs = standard_inputs @ [ 1e8; -1e8; 1.5707963267948966; 3.141592653589793 ] in
+  math_unop "sin" M.sin Stdlib.sin inputs;
+  math_unop "cos" M.cos Stdlib.cos inputs;
+  math_unop "tan" M.tan Stdlib.tan inputs
+
+let math_inverse_trig () =
+  let inputs = [ 0.5; -0.5; 0.999; -0.999; 0.001; 1.0; -1.0; 0.0 ] in
+  math_unop "asin" M.asin Stdlib.asin inputs;
+  math_unop "acos" M.acos Stdlib.acos inputs;
+  math_unop "atan" M.atan Stdlib.atan (standard_inputs @ [ 1e10; -1e10 ])
+
+let math_atan2 () =
+  List.iter
+    (fun (y, x) ->
+      close
+        (Printf.sprintf "atan2(%h,%h)" y x)
+        (Stdlib.atan2 y x)
+        (B.to_float (M.atan2 ~prec:53 (B.of_float y) (B.of_float x))))
+    [ (1.0, 1.0); (1.0, -1.0); (-1.0, 1.0); (-1.0, -1.0); (0.0, 1.0);
+      (0.0, -1.0); (1.0, 0.0); (-1.0, 0.0); (3.0, 4.0); (-5.0, 12.0) ]
+
+let math_hyperbolic () =
+  math_unop "sinh" M.sinh Stdlib.sinh standard_inputs;
+  math_unop "cosh" M.cosh Stdlib.cosh standard_inputs;
+  math_unop "tanh" M.tanh Stdlib.tanh standard_inputs
+
+let math_pow () =
+  List.iter
+    (fun (x, y) ->
+      close
+        (Printf.sprintf "pow(%h,%h)" x y)
+        (Float.pow x y)
+        (B.to_float (M.pow ~prec:53 (B.of_float x) (B.of_float y))))
+    [ (2.0, 10.0); (2.0, 0.5); (10.0, -3.0); (1.5, 300.0); (0.5, 0.5);
+      (-2.0, 3.0); (-2.0, 2.0); (7.0, 0.0); (0.0, 0.0); (0.0, 3.0);
+      (1.0, Float.nan); (2.0, 1000.0); (1.0000001, 1e7) ]
+
+let math_misc () =
+  math_unop "cbrt" M.cbrt Float.cbrt [ 8.0; -8.0; 27.0; 2.0; 1e12; -0.001 ];
+  math_unop "log2" M.log2 Float.log2 [ 8.0; 3.0; 1e10; 0.25 ];
+  math_unop "log10" M.log10 Float.log10 [ 1000.0; 3.0; 1e-5 ];
+  math_unop "expm1" M.expm1 Float.expm1 [ 1e-10; -1e-10; 0.5; -0.5; 3.0 ];
+  math_unop "log1p" M.log1p Float.log1p [ 1e-10; -1e-10; 0.5; -0.5; 3.0 ];
+  List.iter
+    (fun (x, y) ->
+      close
+        (Printf.sprintf "hypot(%h,%h)" x y)
+        (Float.hypot x y)
+        (B.to_float (M.hypot ~prec:53 (B.of_float x) (B.of_float y))))
+    [ (3.0, 4.0); (1e200, 1e200); (1e-200, 1e-200); (0.0, -5.0) ];
+  List.iter
+    (fun (x, y) ->
+      let expected = Float.rem x y in
+      let got = B.to_float (M.fmod (B.of_float x) (B.of_float y)) in
+      checkb (Printf.sprintf "fmod(%h,%h): %h vs %h" x y expected got) true
+        (Int64.equal (Int64.bits_of_float expected) (Int64.bits_of_float got)))
+    [ (7.5, 2.0); (-7.5, 2.0); (7.5, -2.0); (1e300, 7.0); (0.1, 0.03) ]
+
+let math_fma () =
+  List.iter
+    (fun (x, y, z) ->
+      let expected = Float.fma x y z in
+      let got =
+        B.to_float (M.fma ~prec:53 (B.of_float x) (B.of_float y) (B.of_float z))
+      in
+      checkb (Printf.sprintf "fma(%h,%h,%h)" x y z) true
+        (Int64.equal (Int64.bits_of_float expected) (Int64.bits_of_float got)))
+    [ (1.0, 1.0, 1.0); (1e16, 1e16, -1e32); (0.1, 0.1, -0.01); (3.0, 4.0, 5.0) ]
+
+let math_pi_ln2 () =
+  checkb "pi at 53" true (B.to_float (M.pi ~prec:53) = Float.pi);
+  close "ln2" (Stdlib.log 2.0) (B.to_float (M.ln2 ~prec:53));
+  (* higher precision is consistent: rounding pi@2000 to 53 gives pi *)
+  checkb "pi 2000 -> 53" true
+    (B.to_float (B.round ~prec:53 (M.pi ~prec:2000)) = Float.pi)
+
+(* qcheck properties *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"bigfloat add commutes" ~count:300
+      (pair (float_range (-1e10) 1e10) (float_range (-1e10) 1e10))
+      (fun (a, b) ->
+        B.equal
+          (B.add ~prec:200 (B.of_float a) (B.of_float b))
+          (B.add ~prec:200 (B.of_float b) (B.of_float a)));
+    Test.make ~name:"bigfloat mul by inverse near one" ~count:200
+      (float_range 0.001 1000.0) (fun a ->
+        let x = B.of_float a in
+        let inv = B.div ~prec:200 B.one x in
+        let p = B.mul ~prec:200 x inv in
+        (* within 2^-195 of 1 *)
+        let d = B.abs (B.sub ~prec:200 p B.one) in
+        B.lt d (B.mul_2exp B.one (-190)));
+    Test.make ~name:"natural add assoc" ~count:200
+      (triple (int_bound 1_000_000) (int_bound 1_000_000) (int_bound 1_000_000))
+      (fun (a, b, c) ->
+        N.equal
+          (N.add (N.of_int a) (N.add (N.of_int b) (N.of_int c)))
+          (N.add (N.add (N.of_int a) (N.of_int b)) (N.of_int c)));
+    Test.make ~name:"bigfloat exp/log roundtrip" ~count:60
+      (float_range 0.01 100.0) (fun a ->
+        let x = B.of_float a in
+        let r = M.exp ~prec:200 (M.log ~prec:260 x) in
+        let d = B.abs (B.sub ~prec:200 r x) in
+        B.is_zero d || B.lt (B.div ~prec:60 d x) (B.mul_2exp B.one (-180)));
+  ]
+
+let () =
+  Random.self_init ();
+  Alcotest.run "bignum"
+    [
+      ( "natural",
+        [
+          Alcotest.test_case "of_int roundtrip" `Quick nat_of_int_roundtrip;
+          Alcotest.test_case "add/sub small" `Quick nat_add_sub_small;
+          Alcotest.test_case "mul small" `Quick nat_mul_small;
+          Alcotest.test_case "divmod property" `Quick nat_divmod_property;
+          Alcotest.test_case "string roundtrip" `Quick nat_string_roundtrip;
+          Alcotest.test_case "isqrt" `Quick nat_isqrt;
+          Alcotest.test_case "karatsuba matches" `Quick nat_karatsuba_matches;
+          Alcotest.test_case "shifts" `Quick nat_shifts;
+          Alcotest.test_case "to_float" `Quick nat_to_float;
+        ] );
+      ( "bigint",
+        [
+          Alcotest.test_case "arith vs int" `Quick int_arith;
+          Alcotest.test_case "compare/sign" `Quick int_compare_sign;
+        ] );
+      ( "bigfloat",
+        [
+          Alcotest.test_case "float roundtrip" `Quick float_roundtrip;
+          Alcotest.test_case "add = hardware" `Quick bf_add_matches_hardware;
+          Alcotest.test_case "sub = hardware" `Quick bf_sub_matches_hardware;
+          Alcotest.test_case "mul = hardware" `Quick bf_mul_matches_hardware;
+          Alcotest.test_case "div = hardware" `Quick bf_div_matches_hardware;
+          Alcotest.test_case "sqrt = hardware" `Quick bf_sqrt_matches_hardware;
+          Alcotest.test_case "high precision beats cancellation" `Quick
+            bf_extended_precision_catches_cancellation;
+          Alcotest.test_case "compare" `Quick bf_compare;
+          Alcotest.test_case "decimal parse" `Quick bf_decimal_parse;
+          Alcotest.test_case "decimal print" `Quick bf_decimal_print;
+          Alcotest.test_case "floor/ceil/round/trunc" `Quick bf_floor_ceil;
+          Alcotest.test_case "subnormal conversion" `Quick bf_subnormal_to_float;
+        ] );
+      ( "bigfloat_math",
+        [
+          Alcotest.test_case "exp" `Quick math_exp;
+          Alcotest.test_case "log" `Quick math_log;
+          Alcotest.test_case "trig" `Quick math_trig;
+          Alcotest.test_case "inverse trig" `Quick math_inverse_trig;
+          Alcotest.test_case "atan2" `Quick math_atan2;
+          Alcotest.test_case "hyperbolic" `Quick math_hyperbolic;
+          Alcotest.test_case "pow" `Quick math_pow;
+          Alcotest.test_case "misc" `Quick math_misc;
+          Alcotest.test_case "fma" `Quick math_fma;
+          Alcotest.test_case "pi and ln2" `Quick math_pi_ln2;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

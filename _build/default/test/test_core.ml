@@ -1,0 +1,813 @@
+(* Tests for the Herbgrind analysis core: error detection, influence
+   tracking across functions and the heap, symbolic expression recovery
+   with anti-unification, compensation detection, spots, and the
+   type-inference fast path. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let cfg = Core.Config.fast (* 128-bit shadow precision for test speed *)
+
+let analyze ?(cfg = cfg) ?(wrap_libm = true) ?inputs src =
+  let prog = Minic.compile ~wrap_libm ~file:"test.mc" src in
+  Core.Analysis.analyze ~cfg ?inputs prog
+
+(* ---------- basic error detection ---------- *)
+
+let detects_catastrophic_cancellation () =
+  (* (x + 1) - x at x = 1e16: silent error, caught by the shadow reals *)
+  let r =
+    analyze
+      {| int main() {
+           int i;
+           for (i = 0; i < 8; i = i + 1) {
+             double x = 1.0e16 + (double) i * 3.0e15;
+             double y = (x + 1.0) - x;
+             print(y);
+           }
+           return 0;
+         } |}
+  in
+  let spots = Core.Analysis.output_spots r in
+  checki "one output spot" 1 (List.length spots);
+  let s = List.hd spots in
+  checki "8 instances" 8 s.Core.Exec.s_total;
+  checkb "high output error" true (s.Core.Exec.s_err_max > 50.0);
+  checkb "has influences" true (not (Core.Shadow.IntSet.is_empty s.Core.Exec.s_infl));
+  (* the erroneous op is the subtraction; its recovered expression should
+     be (- (+ x 1) x) *)
+  let errs = Core.Analysis.erroneous_expressions r in
+  checkb "found erroneous expression" true (List.length errs >= 1);
+  let _, fpcore, _ = List.hd errs in
+  checks "recovered subtraction" "(FPCore (x) (- (+ x 1) x))" fpcore
+
+let accurate_program_is_clean () =
+  let r =
+    analyze
+      {| int main() {
+           int i;
+           double s = 0.0;
+           for (i = 1; i < 50; i = i + 1) {
+             s = s + 1.0 / (double) i;
+           }
+           print(s);
+           return 0;
+         } |}
+  in
+  let spots = Core.Analysis.output_spots r in
+  let s = List.hd spots in
+  checkb "harmonic sum is accurate" true (s.Core.Exec.s_err_max < 3.0);
+  checki "no erroneous expressions" 0
+    (List.length (Core.Analysis.erroneous_expressions r))
+
+(* ---------- non-local error (paper section 2.2) ---------- *)
+
+let nonlocal_error_through_functions_and_heap () =
+  (* the paper's foo/bar example: points built in one function, the
+     erroneous combination only visible across the call boundary *)
+  let r =
+    analyze
+      {| double pa[2];
+         double pb[2];
+         void mk_point(double a[], double x, double y) {
+           a[0] = x;
+           a[1] = y;
+         }
+         double foo() {
+           return ((pa[0] + pa[1]) - (pb[0] + pb[1])) * pa[0];
+         }
+         double bar(double x, double y, double z) {
+           mk_point(pa, x, y);
+           mk_point(pb, x, z);
+           return foo();
+         }
+         int main() {
+           int i;
+           for (i = 0; i < 4; i = i + 1) {
+             print(bar(1.0e16 + (double) i * 1.0e15, 1.0, 0.0));
+           }
+           return 0;
+         } |}
+  in
+  let spots = Core.Analysis.output_spots r in
+  let s = List.hd spots in
+  checkb "output wildly wrong" true (s.Core.Exec.s_err_max > 40.0);
+  (* influence must have crossed mk_point (heap) and foo (function) *)
+  let errs = Core.Analysis.erroneous_expressions r in
+  checkb "root cause found" true (List.length errs >= 1);
+  let influenced =
+    Core.Shadow.IntSet.exists
+      (fun id ->
+        match Hashtbl.find_opt r.Core.Analysis.raw.Core.Exec.r_ops id with
+        | Some o -> o.Core.Exec.o_loc.Vex.Ir.func = "foo"
+        | None -> false)
+      s.Core.Exec.s_infl
+  in
+  checkb "influence points into foo" true influenced
+
+(* ---------- branch spots ---------- *)
+
+let branch_spot_on_flipped_comparison () =
+  (* 1e16 + 1 == 1e16 in doubles but not in the reals: the comparison goes
+     the wrong way *)
+  let r =
+    analyze
+      {| int main() {
+           double x = 1.0e16;
+           double y = x + 1.0;
+           if (y > x) {
+             print(1);
+           } else {
+             print(0);
+           }
+           return 0;
+         } |}
+  in
+  let branches = Core.Analysis.branch_spots r in
+  let diverged =
+    List.filter (fun s -> s.Core.Exec.s_incorrect > 0) branches
+  in
+  checkb "a branch diverged" true (List.length diverged >= 1)
+
+let correct_branches_not_flagged () =
+  let r =
+    analyze
+      {| int main() {
+           double x = 2.0;
+           if (x * x > 3.0) { print(1); } else { print(0); }
+           return 0;
+         } |}
+  in
+  List.iter
+    (fun s -> checki "no incorrect branch" 0 s.Core.Exec.s_incorrect)
+    (Core.Analysis.branch_spots r)
+
+(* ---------- conversion spots ---------- *)
+
+let conversion_spot () =
+  (* floor-like conversion where accumulated error crosses an integer
+     boundary: 0.1 summed 10 times is just under 1.0 *)
+  let r =
+    analyze
+      {| int main() {
+           double s = 0.0;
+           int i;
+           for (i = 0; i < 10; i = i + 1) { s = s + 0.1; }
+           int k = (int) (s * 10.0);
+           print(k);
+           return 0;
+         } |}
+  in
+  let converts =
+    Hashtbl.fold
+      (fun _ (s : Core.Exec.spot_info) acc ->
+        match s.Core.Exec.s_kind with
+        | Core.Exec.Spot_convert -> s :: acc
+        | _ -> acc)
+      r.Core.Analysis.raw.Core.Exec.r_spots []
+  in
+  checkb "conversion spot exists" true (List.length converts >= 1);
+  let diverged = List.exists (fun s -> s.Core.Exec.s_incorrect > 0) converts in
+  checkb "conversion diverged from reals" true diverged
+
+(* ---------- the while-loop 0.2 surprise (paper 8.1 / E10) ---------- *)
+
+let loop_condition_extra_iteration () =
+  (* counting to 1.0 by 0.1: binary cannot represent 0.1, so after ten
+     steps the client total is just below 1.0 and the loop runs once more
+     than the real-number execution would (paper 8.1) *)
+  let r =
+    analyze
+      {| int main() {
+           double t = 0.0;
+           int n = 0;
+           while (t < 1.0) {
+             t = t + 0.1;
+             n = n + 1;
+           }
+           print(n);
+           return 0;
+         } |}
+  in
+  let branches = Core.Analysis.branch_spots r in
+  let diverged = List.filter (fun s -> s.Core.Exec.s_incorrect > 0) branches in
+  checkb "loop condition flagged" true (List.length diverged >= 1);
+  checki "exactly one wrong instance" 1
+    (List.fold_left (fun a s -> a + s.Core.Exec.s_incorrect) 0 diverged)
+
+(* ---------- symbolic expression recovery ---------- *)
+
+let recovers_sqrt_expression () =
+  let r =
+    analyze
+      {| int main() {
+           int i;
+           for (i = 0; i < 6; i = i + 1) {
+             double x = 1.0e14 + (double) i * 7.0e13;
+             print(sqrt(x + 1.0) - sqrt(x));
+           }
+           return 0;
+         } |}
+  in
+  let errs = Core.Analysis.erroneous_expressions r in
+  checkb "found" true (List.length errs >= 1);
+  let _, fpcore, _ = List.hd errs in
+  checks "sqrt cancellation recovered" "(FPCore (x) (- (sqrt (+ x 1)) (sqrt x)))"
+    fpcore
+
+let equivalence_pruning_collapses_common_subexpression () =
+  (* sqrt(y+1) - sqrt(y) with y = x * 12345.67 computed twice: the paper's
+     section 4.4 example; both occurrences are runtime-equal, so they are
+     generalized to one variable *)
+  let r =
+    analyze
+      {| int main() {
+           int i;
+           for (i = 0; i < 6; i = i + 1) {
+             double x = 1.0e10 + (double) i * 3.0e9;
+             double r = sqrt(x * 12345.67 + 1.0) - sqrt(x * 12345.67);
+             print(r);
+           }
+           return 0;
+         } |}
+  in
+  let errs = Core.Analysis.erroneous_expressions r in
+  checkb "found" true (List.length errs >= 1);
+  let _, fpcore, _ = List.hd errs in
+  checks "pruned to one variable" "(FPCore (x) (- (sqrt (+ x 1)) (sqrt x)))"
+    fpcore
+
+let classic_antiunify_keeps_structure () =
+  let cfg = { cfg with Core.Config.classic_antiunify = true } in
+  let inputs = Array.init 6 (fun i -> 1.0e10 +. (float_of_int i *. 3.0e9)) in
+  let r =
+    analyze ~cfg ~inputs
+      {| int main() {
+           int i;
+           for (i = 0; i < 6; i = i + 1) {
+             double x = __arg(i);
+             double r = sqrt(x * 12345.67 + 1.0) - sqrt(x * 12345.67);
+             print(r);
+           }
+           return 0;
+         } |}
+  in
+  let errs = Core.Analysis.erroneous_expressions r in
+  checkb "found" true (List.length errs >= 1);
+  let _, fpcore, _ = List.hd errs in
+  (* classical most-specific generalization keeps the multiplication
+     structure; equal-value leaves still share one variable *)
+  checks "full structure kept"
+    "(FPCore (x) (- (sqrt (+ (* x 12345.67) 1)) (sqrt (* x 12345.67))))"
+    fpcore
+
+let pruning_respects_straddle_criterion () =
+  (* (sqrt(y+1) - sqrt(y)) * (y+1): substituting z = y+1 would hide the
+     relation between the two sides of the subtraction, so Herbgrind must
+     NOT prune (paper's equation 3/4 example) *)
+  let r =
+    analyze
+      {| int main() {
+           int i;
+           for (i = 0; i < 6; i = i + 1) {
+             double y = 1.0e14 + (double) i * 7.0e13;
+             double r = (sqrt(y + 1.0) - sqrt(y)) * (y + 1.0);
+             print(r);
+           }
+           return 0;
+         } |}
+  in
+  let errs = Core.Analysis.erroneous_expressions r in
+  checkb "found" true (List.length errs >= 1);
+  (* find the expression for the subtraction op *)
+  let sub_exprs =
+    List.filter (fun (_, _, o) -> o.Core.Exec.o_name = "-") errs
+  in
+  checkb "subtraction flagged" true (List.length sub_exprs >= 1);
+  let _, fpcore, _ = List.hd sub_exprs in
+  checks "not over-pruned" "(FPCore (x) (- (sqrt (+ x 1)) (sqrt x)))" fpcore
+
+let constant_generalization () =
+  (* a position whose value never varies becomes a constant, not a
+     variable (Herbgrind's first modification to anti-unification) *)
+  let r =
+    analyze
+      {| int main() {
+           int i;
+           for (i = 0; i < 6; i = i + 1) {
+             double x = 1.0e16 + (double) i * 3.0e15;
+             print((x + 42.0) - x);
+           }
+           return 0;
+         } |}
+  in
+  let errs = Core.Analysis.erroneous_expressions r in
+  let _, fpcore, _ = List.hd errs in
+  checks "42 stays a constant" "(FPCore (x) (- (+ x 42) x))" fpcore
+
+let same_value_positions_share_variable () =
+  (* x used twice: (x * x) - (x * x + 1) style; both x leaves unify *)
+  let r =
+    analyze
+      {| int main() {
+           int i;
+           for (i = 0; i < 6; i = i + 1) {
+             double x = 3.0e8 + (double) i * 1.0e7;
+             print((x * x + 1.0) - x * x);
+           }
+           return 0;
+         } |}
+  in
+  let errs = Core.Analysis.erroneous_expressions r in
+  checkb "found" true (List.length errs >= 1);
+  let _, fpcore, _ = List.hd errs in
+  (* with pruning, x*x collapses to one variable *)
+  checks "multiplications unified" "(FPCore (x) (- (+ x 1) x))" fpcore
+
+(* ---------- compensation detection (paper 5.4 / Triangle) ---------- *)
+
+let compensation_not_reported () =
+  (* two_sum: the compensating term (an exact error term) has huge local
+     error but makes the overall computation MORE accurate; it must not be
+     reported as a root cause *)
+  let r =
+    analyze
+      {| int main() {
+           int i;
+           double sum = 0.0;
+           double comp = 0.0;
+           for (i = 0; i < 50; i = i + 1) {
+             double x = 0.1;
+             double t = sum + x;
+             double e = (sum - t) + x;   // compensating term
+             comp = comp + e;
+             sum = t;
+           }
+           print(sum + comp);
+           return 0;
+         } |}
+  in
+  checkb "compensations detected" true
+    (r.Core.Analysis.raw.Core.Exec.r_stats.Core.Exec.compensations > 0);
+  let spots = Core.Analysis.output_spots r in
+  let s = List.hd spots in
+  checkb "compensated sum is accurate" true (s.Core.Exec.s_err_max < 2.0);
+  checkb "no influences on output" true
+    (Core.Shadow.IntSet.is_empty s.Core.Exec.s_infl)
+
+let uncompensated_sum_flagged_vs_compensated () =
+  (* sanity for the compensation test: the naive sum of 0.1 should carry a
+     bit more error than the Kahan sum *)
+  let run src =
+    let r = analyze src in
+    (List.hd (Core.Analysis.output_spots r)).Core.Exec.s_err_max
+  in
+  let naive =
+    run
+      {| int main() {
+           int i;
+           double sum = 0.0;
+           for (i = 0; i < 5000; i = i + 1) { sum = sum + 0.1; }
+           print(sum);
+           return 0;
+         } |}
+  in
+  let kahan =
+    run
+      {| int main() {
+           int i;
+           double sum = 0.0;
+           double c = 0.0;
+           for (i = 0; i < 5000; i = i + 1) {
+             double y = 0.1 - c;
+             double t = sum + y;
+             c = (t - sum) - y;
+             sum = t;
+           }
+           print(sum);
+           return 0;
+         } |}
+  in
+  checkb
+    (Printf.sprintf "kahan (%.2f bits) beats naive (%.2f bits)" kahan naive)
+    true (kahan <= naive)
+
+(* ---------- libm wrapping (paper 5.4 / 8.2) ---------- *)
+
+let wrapped_libm_gives_clean_traces () =
+  let inputs = Array.init 5 (fun i -> 1.0e-9 +. (float_of_int i *. 1.0e-10)) in
+  let r =
+    analyze ~inputs
+      {| int main() {
+           int i;
+           for (i = 0; i < 5; i = i + 1) {
+             double x = __arg(i);
+             print(exp(x) - 1.0);
+           }
+           return 0;
+         } |}
+  in
+  let errs = Core.Analysis.erroneous_expressions r in
+  checkb "found cancellation" true (List.length errs >= 1);
+  let _, fpcore, _ = List.hd errs in
+  checks "clean exp trace" "(FPCore (x) (- (exp x) 1))" fpcore
+
+let unwrapped_libm_exposes_internals () =
+  let inputs = Array.init 5 (fun i -> 1.0e-9 +. (float_of_int i *. 1.0e-10)) in
+  let r =
+    analyze ~wrap_libm:false ~inputs
+      {| int main() {
+           int i;
+           for (i = 0; i < 5; i = i + 1) {
+             double x = __arg(i);
+             print(exp(x) - 1.0);
+           }
+           return 0;
+         } |}
+  in
+  (* the magic constant 6755399441055744 from the MiniC exp implementation
+     must appear somewhere in the recovered expressions *)
+  let all = Core.Analysis.all_expressions r in
+  let has_magic =
+    List.exists (fun (_, fp, _) ->
+      let re = Str.regexp_string "6755399441055744" in
+      (try ignore (Str.search_forward re fp 0); true with Not_found -> false))
+      all
+  in
+  checkb "magic constant leaks into traces" true has_magic;
+  (* and expressions get much larger than the wrapped (- (exp x) 1) *)
+  let max_ops =
+    List.fold_left
+      (fun m (e, _, _) -> max m (Core.Antiunify.sym_op_count e))
+      0 all
+  in
+  checkb "internal expressions are large" true (max_ops > 10)
+
+(* ---------- ablations agree on client behaviour ---------- *)
+
+let src_mixed =
+  {| double work(double a[], int n) {
+       double s = 0.0;
+       int i;
+       for (i = 0; i < n; i = i + 1) {
+         s = s + a[i] * a[i] - 0.25;
+       }
+       return sqrt(fabs(s));
+     }
+     int main() {
+       double xs[16];
+       int i;
+       for (i = 0; i < 16; i = i + 1) {
+         xs[i] = (double) (i - 8) * 0.75;
+       }
+       print(work(xs, 16));
+       if (work(xs, 16) > 10.0) { print(1); } else { print(0); }
+       return 0;
+     } |}
+
+let ablations_preserve_client_outputs () =
+  let base = Minic.run ~file:"t.mc" src_mixed in
+  let base_floats =
+    List.filter_map
+      (fun (o : Vex.Machine.output) ->
+        match o.Vex.Machine.value with
+        | Vex.Value.VF64 f -> Some f
+        | _ -> None)
+      base
+  in
+  let variants =
+    [
+      cfg;
+      { cfg with Core.Config.enable_reals = false };
+      { cfg with Core.Config.enable_expressions = false };
+      { cfg with Core.Config.enable_influences = false };
+      { cfg with Core.Config.type_inference = false };
+      { cfg with Core.Config.detect_compensation = false };
+    ]
+  in
+  List.iter
+    (fun cfg ->
+      let r = analyze ~cfg src_mixed in
+      let floats = Core.Analysis.output_floats r in
+      checkb "client outputs identical" true (floats = base_floats))
+    variants
+
+let type_inference_preserves_analysis () =
+  let with_ti = analyze src_mixed in
+  let without_ti =
+    analyze ~cfg:{ cfg with Core.Config.type_inference = false } src_mixed
+  in
+  let summarize (r : Core.Analysis.result) =
+    Hashtbl.fold
+      (fun id (o : Core.Exec.op_info) acc ->
+        (id, o.Core.Exec.o_count, o.Core.Exec.o_local_err_max) :: acc)
+      r.Core.Analysis.raw.Core.Exec.r_ops []
+    |> List.sort compare
+  in
+  checkb "same ops and errors" true (summarize with_ti = summarize without_ti);
+  (* and the fast path actually skipped work *)
+  let s1 = with_ti.Core.Analysis.raw.Core.Exec.r_stats in
+  let s2 = without_ti.Core.Analysis.raw.Core.Exec.r_stats in
+  checkb "fewer instrumented statements with inference" true
+    (s1.Core.Exec.stmts_instrumented < s2.Core.Exec.stmts_instrumented)
+
+let reals_off_marks_nothing () =
+  let r =
+    analyze ~cfg:{ cfg with Core.Config.enable_reals = false }
+      {| int main() {
+           int i;
+           for (i = 0; i < 4; i = i + 1) {
+             double x = 1.0e16 + (double) i;
+             print((x + 1.0) - x);
+           }
+           return 0;
+         } |}
+  in
+  checki "nothing marked without reals" 0
+    (List.length (Core.Analysis.erroneous_expressions r));
+  let spots = Core.Analysis.output_spots r in
+  checkb "spot error reads zero" true
+    ((List.hd spots).Core.Exec.s_err_max = 0.0)
+
+(* ---------- SIMD and bit tricks on hand-built VEX ---------- *)
+
+let simd_ops_shadowed () =
+  (* a hand-built VEX block, mimicking a vectorized loop body: pack two
+     doubles, SIMD-subtract, extract, and print; checks shadow lanes *)
+  let b = Vex.Builder.create "entry" in
+  let open Vex.Ir in
+  let t_x = Vex.Builder.new_temp b F64 in
+  Vex.Builder.emit b (IMark { file = "simd.vex"; line = 1; func = "main" });
+  Vex.Builder.emit b (WrTmp (t_x, Const (CF64 1.0e16)));
+  let t_x1 = Vex.Builder.new_temp b F64 in
+  Vex.Builder.emit b
+    (WrTmp (t_x1, Binop (AddF64, RdTmp t_x, Const (CF64 1.0))));
+  (* pack [x+1; x+1] and [x; x] *)
+  let bits a = Unop (ReinterpF64asI64, a) in
+  let t_v1 = Vex.Builder.new_temp b V128 in
+  Vex.Builder.emit b
+    (WrTmp (t_v1, Binop (I64HLtoV128, bits (RdTmp t_x1), bits (RdTmp t_x1))));
+  let t_v2 = Vex.Builder.new_temp b V128 in
+  Vex.Builder.emit b
+    (WrTmp (t_v2, Binop (I64HLtoV128, bits (RdTmp t_x), bits (RdTmp t_x))));
+  let t_diff = Vex.Builder.new_temp b V128 in
+  Vex.Builder.emit b (WrTmp (t_diff, Binop (Sub64Fx2, RdTmp t_v1, RdTmp t_v2)));
+  let t_lo = Vex.Builder.new_temp b F64 in
+  Vex.Builder.emit b
+    (WrTmp (t_lo, Unop (ReinterpI64asF64, Unop (V128to64, RdTmp t_diff))));
+  Vex.Builder.emit b (Out (OutFloat, RdTmp t_lo));
+  let block = Vex.Builder.finish b Halt in
+  let prog = Vex.Ir.make_prog [ block ] in
+  let r = Core.Analysis.analyze ~cfg prog in
+  let spots = Core.Analysis.output_spots r in
+  checki "spot recorded" 1 (List.length spots);
+  checkb "SIMD error detected" true ((List.hd spots).Core.Exec.s_err_max > 40.0)
+
+let shadow_storage_overlap () =
+  (* paper 5.2: writes must clear overlapping shadows; reads that do not
+     match the size/alignment of the original write see no shadow *)
+  let open Vex.Ir in
+  let b = Vex.Builder.create "entry" in
+  Vex.Builder.emit b (IMark { file = "ov.vex"; line = 1; func = "main" });
+  (* an erroneous double stored at address 64 *)
+  let x =
+    Vex.Builder.assign b F64 (Binop (AddF64, Const (CF64 1e16), Const (CF64 1.0)))
+  in
+  let bad = Vex.Builder.assign b F64 (Binop (SubF64, x, Const (CF64 1e16))) in
+  Vex.Builder.emit b (Store (Const (CI64 64L), bad));
+  (* (a) read back as F64: shadow survives, full error visible *)
+  let r1 = Vex.Builder.assign b F64 (Load (F64, Const (CI64 64L))) in
+  Vex.Builder.emit b (Out (OutFloat, r1));
+  (* (b) clobber its middle with an integer store, read again: the
+     shadow must be gone (value reads as leaf, error invisible) *)
+  Vex.Builder.emit b (Store (Const (CI64 68L), Const (CI32 42l)));
+  let r2 = Vex.Builder.assign b F64 (Load (F64, Const (CI64 64L))) in
+  Vex.Builder.emit b (Out (OutFloat, r2));
+  (* (c) store the shadowed double again, then read a mismatched F32 from
+     its middle: conservatively unshadowed *)
+  Vex.Builder.emit b (Store (Const (CI64 96L), bad));
+  let r3 = Vex.Builder.assign b F32 (Load (F32, Const (CI64 100L))) in
+  Vex.Builder.emit b (Out (OutFloat, Unop (F32toF64, r3)));
+  let prog = Vex.Ir.make_prog [ Vex.Builder.finish b Halt ] in
+  let r = Core.Analysis.analyze ~cfg prog in
+  (match
+     List.sort
+       (fun (a : Core.Exec.spot_info) b ->
+         compare a.Core.Exec.s_id b.Core.Exec.s_id)
+       (Core.Analysis.output_spots r)
+   with
+  | [ s1; s2; s3 ] ->
+      checkb "intact shadow sees the error" true (s1.Core.Exec.s_err_max > 50.0);
+      checkb "clobbered shadow is cleared" true (s2.Core.Exec.s_err_max = 0.0);
+      checkb "mismatched read is unshadowed" true (s3.Core.Exec.s_err_max = 0.0)
+  | spots ->
+      Alcotest.fail (Printf.sprintf "expected 3 spots, got %d" (List.length spots)))
+
+let simd_store_load_lanes () =
+  (* a V128 store then scalar F64 loads of each half: lane shadows arrive *)
+  let open Vex.Ir in
+  let b = Vex.Builder.create "entry" in
+  Vex.Builder.emit b (IMark { file = "lanes.vex"; line = 1; func = "main" });
+  let x =
+    Vex.Builder.assign b F64 (Binop (AddF64, Const (CF64 1e16), Const (CF64 1.0)))
+  in
+  let bad = Vex.Builder.assign b F64 (Binop (SubF64, x, Const (CF64 1e16))) in
+  let bits e = Unop (ReinterpF64asI64, e) in
+  let v =
+    Vex.Builder.assign b V128
+      (Binop (I64HLtoV128, bits bad, bits (Const (CF64 2.0))))
+  in
+  Vex.Builder.emit b (Store (Const (CI64 128L), v));
+  let lo = Vex.Builder.assign b F64 (Load (F64, Const (CI64 128L))) in
+  let hi = Vex.Builder.assign b F64 (Load (F64, Const (CI64 136L))) in
+  Vex.Builder.emit b (Out (OutFloat, lo));
+  Vex.Builder.emit b (Out (OutFloat, hi));
+  let prog = Vex.Ir.make_prog [ Vex.Builder.finish b Halt ] in
+  let r = Core.Analysis.analyze ~cfg prog in
+  (match
+     List.sort
+       (fun (a : Core.Exec.spot_info) b ->
+         compare a.Core.Exec.s_id b.Core.Exec.s_id)
+       (Core.Analysis.output_spots r)
+   with
+  | [ s_lo; s_hi ] ->
+      checkb "clean low lane" true (s_lo.Core.Exec.s_err_max < 1.0);
+      checkb "erroneous high lane" true (s_hi.Core.Exec.s_err_max > 50.0)
+  | spots ->
+      Alcotest.fail (Printf.sprintf "expected 2 spots, got %d" (List.length spots)))
+
+let bit_trick_negation_shadowed () =
+  (* compiled unary minus keeps exact shadow: -(x) has zero local error
+     and influence flows through *)
+  let r =
+    analyze
+      {| int main() {
+           int i;
+           for (i = 0; i < 4; i = i + 1) {
+             double x = 1.0e16 + (double) i * 1.0e15;
+             double bad = (x + 1.0) - x;
+             print(-bad);
+           }
+           return 0;
+         } |}
+  in
+  let spots = Core.Analysis.output_spots r in
+  let s = List.hd spots in
+  checkb "error survives negation" true (s.Core.Exec.s_err_max > 40.0);
+  checkb "influences survive negation" true
+    (not (Core.Shadow.IntSet.is_empty s.Core.Exec.s_infl))
+
+(* ---------- user spot marks (paper footnote 9) ---------- *)
+
+let user_spot_marks () =
+  (* benchmark-style code with no outputs: __mark makes the analysis
+     watch a value without printing it *)
+  let r =
+    analyze
+      {| int main() {
+           int i;
+           for (i = 0; i < 4; i = i + 1) {
+             double x = 1.0e16 + (double) i;
+             double bad = (x + 1.0) - x;
+             __mark(bad);
+           }
+           return 0;
+         } |}
+  in
+  checki "no program outputs" 0 (List.length (Core.Analysis.output_floats r));
+  let spots = Core.Analysis.output_spots r in
+  checki "mark creates a spot" 1 (List.length spots);
+  let s = List.hd spots in
+  checki "4 instances" 4 s.Core.Exec.s_total;
+  checkb "error observed at mark" true (s.Core.Exec.s_err_max > 50.0);
+  checkb "influences recorded" true
+    (not (Core.Shadow.IntSet.is_empty s.Core.Exec.s_infl))
+
+(* ---------- report formatting ---------- *)
+
+let report_golden () =
+  (* exact report text for a fixed program: guards both content and the
+     paper's formatting *)
+  let r =
+    analyze
+      {| int main() {
+           int i;
+           for (i = 0; i < 4; i = i + 1) {
+             double x = 1.0e16 + (double) i;
+             print((x + 1.0) - x);
+           }
+           return 0;
+         } |}
+  in
+  let expected =
+    "Output in main at test.mc:5\n\
+    \  62.0 bits max error, 59.5 bits average error\n\
+    \  4 total instances\n\
+    \  Influenced by erroneous expressions:\n\
+    \    57.0 bits average local error (max 62.0)\n\
+    \    (FPCore (x) (- (+ x 1) x))\n\
+    \      in main at test.mc:5\n\
+    \      Aggregated over 4 instances\n"
+  in
+  checks "golden report" expected (Core.Analysis.report_string r)
+
+let report_renders () =
+  let r =
+    analyze
+      {| int main() {
+           int i;
+           for (i = 0; i < 4; i = i + 1) {
+             double x = 1.0e16 + (double) i;
+             print((x + 1.0) - x);
+           }
+           return 0;
+         } |}
+  in
+  let s = Core.Analysis.report_string r in
+  checkb "mentions Output spot" true
+    (try ignore (Str.search_forward (Str.regexp_string "Output in main") s 0); true
+     with Not_found -> false);
+  checkb "mentions FPCore" true
+    (try ignore (Str.search_forward (Str.regexp_string "(FPCore") s 0); true
+     with Not_found -> false);
+  checkb "mentions instance counts" true
+    (try ignore (Str.search_forward (Str.regexp_string "instances") s 0); true
+     with Not_found -> false)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "detection",
+        [
+          Alcotest.test_case "catastrophic cancellation" `Quick
+            detects_catastrophic_cancellation;
+          Alcotest.test_case "accurate program clean" `Quick
+            accurate_program_is_clean;
+          Alcotest.test_case "non-local error" `Quick
+            nonlocal_error_through_functions_and_heap;
+        ] );
+      ( "spots",
+        [
+          Alcotest.test_case "branch divergence" `Quick
+            branch_spot_on_flipped_comparison;
+          Alcotest.test_case "correct branches clean" `Quick
+            correct_branches_not_flagged;
+          Alcotest.test_case "conversion spot" `Quick conversion_spot;
+          Alcotest.test_case "0.2-step loop surprise" `Quick
+            loop_condition_extra_iteration;
+        ] );
+      ( "expressions",
+        [
+          Alcotest.test_case "sqrt recovery" `Quick recovers_sqrt_expression;
+          Alcotest.test_case "equivalence pruning" `Quick
+            equivalence_pruning_collapses_common_subexpression;
+          Alcotest.test_case "classic anti-unification" `Quick
+            classic_antiunify_keeps_structure;
+          Alcotest.test_case "straddle criterion" `Quick
+            pruning_respects_straddle_criterion;
+          Alcotest.test_case "constant generalization" `Quick
+            constant_generalization;
+          Alcotest.test_case "shared variables" `Quick
+            same_value_positions_share_variable;
+        ] );
+      ( "compensation",
+        [
+          Alcotest.test_case "compensation suppressed" `Quick
+            compensation_not_reported;
+          Alcotest.test_case "kahan beats naive" `Quick
+            uncompensated_sum_flagged_vs_compensated;
+        ] );
+      ( "wrapping",
+        [
+          Alcotest.test_case "wrapped traces clean" `Quick
+            wrapped_libm_gives_clean_traces;
+          Alcotest.test_case "unwrapped exposes internals" `Quick
+            unwrapped_libm_exposes_internals;
+        ] );
+      ( "ablations",
+        [
+          Alcotest.test_case "client outputs preserved" `Quick
+            ablations_preserve_client_outputs;
+          Alcotest.test_case "type inference transparent" `Quick
+            type_inference_preserves_analysis;
+          Alcotest.test_case "reals off marks nothing" `Quick
+            reals_off_marks_nothing;
+        ] );
+      ( "machine-level",
+        [
+          Alcotest.test_case "SIMD shadowing" `Quick simd_ops_shadowed;
+          Alcotest.test_case "bit-trick negation" `Quick
+            bit_trick_negation_shadowed;
+          Alcotest.test_case "storage overlap semantics" `Quick
+            shadow_storage_overlap;
+          Alcotest.test_case "SIMD store/load lanes" `Quick
+            simd_store_load_lanes;
+        ] );
+      ("marks", [ Alcotest.test_case "user spot marks" `Quick user_spot_marks ]);
+      ( "report",
+        [
+          Alcotest.test_case "renders" `Quick report_renders;
+          Alcotest.test_case "golden" `Quick report_golden;
+        ] );
+    ]

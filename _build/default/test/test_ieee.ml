@@ -1,0 +1,116 @@
+(* Tests for the IEEE bit-level utilities: ordinal encoding, ULP
+   distances, the bits-of-error metric, and single-precision emulation. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+let ordinal_monotone () =
+  let values =
+    [ Float.neg_infinity; -1e300; -1.0; -1e-300; -0.0; 0.0; 1e-300; 1.0;
+      1e300; Float.infinity ]
+  in
+  let rec pairs = function
+    | a :: (b :: _ as rest) ->
+        checkb
+          (Printf.sprintf "%h < %h" a b)
+          true
+          (Ieee.ordinal_of_double a <= Ieee.ordinal_of_double b);
+        pairs rest
+    | _ -> ()
+  in
+  pairs values
+
+let ordinal_roundtrip () =
+  List.iter
+    (fun f ->
+      let f' = Ieee.double_of_ordinal (Ieee.ordinal_of_double f) in
+      checkb (Printf.sprintf "%h" f) true
+        (Int64.equal (Int64.bits_of_float f) (Int64.bits_of_float f')))
+    [ 0.0; 1.0; -1.0; Float.pi; -1e308; 5e-324; Float.infinity ];
+  (* the two zeros intentionally share an ordinal (0 ulps apart) *)
+  checkb "-0.0 maps with +0.0" true
+    (Ieee.ordinal_of_double (-0.0) = Ieee.ordinal_of_double 0.0)
+
+let ulps_adjacent () =
+  checkb "adjacent" true (Ieee.ulps_between 1.0 (Float.succ 1.0) = 1L);
+  checkb "self" true (Ieee.ulps_between 42.0 42.0 = 0L);
+  checkb "across zero" true (Ieee.ulps_between (-0.0) 0.0 = 0L);
+  checkb "tiny to zero" true (Ieee.ulps_between 0.0 5e-324 = 1L)
+
+let bits_of_error_scale () =
+  checkf "exact" 0.0 (Ieee.bits_of_error 1.0 1.0);
+  checkf "one ulp" 1.0 (Ieee.bits_of_error 1.0 (Float.succ 1.0));
+  checkb "half the bits" true
+    (let e = Ieee.bits_of_error 1.0 (1.0 +. 1e-8) in
+     e > 25.0 && e < 29.0);
+  checkf "nan vs number" 64.0 (Ieee.bits_of_error Float.nan 1.0);
+  checkf "nan vs nan" 0.0 (Ieee.bits_of_error Float.nan Float.nan);
+  checkb "sign flip is huge" true (Ieee.bits_of_error 1.0 (-1.0) > 60.0)
+
+let single_rounding () =
+  checkb "0.1 not representable" false (Ieee.Single.is_representable 0.1);
+  checkb "1.5 representable" true (Ieee.Single.is_representable 1.5);
+  let x = Ieee.Single.of_double 0.1 in
+  checkb "rounded value differs" true (x <> 0.1);
+  checkb "idempotent" true (Ieee.Single.of_double x = x)
+
+let single_arithmetic_rounds () =
+  (* 1 + 2^-25 rounds back to 1 in binary32 but not in binary64 *)
+  let tiny = ldexp 1.0 (-25) in
+  checkb "double keeps it" true (1.0 +. tiny <> 1.0);
+  checkb "single drops it" true (Ieee.Single.add 1.0 tiny = 1.0);
+  checkb "single sqrt" true (Ieee.Single.sqrt 2.0 = Ieee.Single.of_double (Float.sqrt 2.0))
+
+let single_error_metric () =
+  let exact = 1.0 /. 3.0 in
+  let single = Ieee.Single.of_double exact in
+  checkb "double error vs exact large in double ulps" true
+    (Ieee.bits_of_error single exact > 20.0);
+  checkb "but zero in single ulps" true
+    (Ieee.Single.bits_of_error single (Ieee.Single.of_double exact) = 0.0)
+
+let total_compare () =
+  checkb "order" true (Ieee.double_total_compare (-1.0) 1.0 < 0);
+  checkb "zeros equal" true (Ieee.double_total_compare (-0.0) 0.0 = 0);
+  checkb "inf below nan" true
+    (Ieee.double_total_compare Float.infinity Float.nan < 0)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"ordinal respects order" ~count:500 (pair float float)
+      (fun (a, b) ->
+        assume (Float.is_finite a && Float.is_finite b);
+        if a < b then Ieee.ordinal_of_double a < Ieee.ordinal_of_double b
+        else if a > b then Ieee.ordinal_of_double a > Ieee.ordinal_of_double b
+        else true);
+    Test.make ~name:"bits_of_error symmetric" ~count:500 (pair float float)
+      (fun (a, b) -> Ieee.bits_of_error a b = Ieee.bits_of_error b a);
+    Test.make ~name:"single rounding is monotone" ~count:500 (pair float float)
+      (fun (a, b) ->
+        assume (Float.is_finite a && Float.is_finite b && a <= b);
+        Ieee.Single.of_double a <= Ieee.Single.of_double b);
+  ]
+
+let () =
+  Alcotest.run "ieee"
+    [
+      ( "ordinals",
+        [
+          Alcotest.test_case "monotone" `Quick ordinal_monotone;
+          Alcotest.test_case "roundtrip" `Quick ordinal_roundtrip;
+          Alcotest.test_case "ulps" `Quick ulps_adjacent;
+        ] );
+      ( "error-metric",
+        [
+          Alcotest.test_case "scale" `Quick bits_of_error_scale;
+          Alcotest.test_case "total compare" `Quick total_compare;
+        ] );
+      ( "single",
+        [
+          Alcotest.test_case "rounding" `Quick single_rounding;
+          Alcotest.test_case "arithmetic" `Quick single_arithmetic_rounds;
+          Alcotest.test_case "error metric" `Quick single_error_metric;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

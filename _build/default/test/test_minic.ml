@@ -1,0 +1,446 @@
+(* End-to-end tests of the MiniC front-end: compile to VEX, run on the
+   uninstrumented machine, check printed outputs. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let run_floats ?(wrap_libm = true) src =
+  let outs = Minic.run ~wrap_libm ~file:"test.mc" src in
+  List.filter_map
+    (fun (o : Vex.Machine.output) ->
+      match o.Vex.Machine.value with
+      | Vex.Value.VF64 f -> Some f
+      | Vex.Value.VF32 f -> Some f
+      | Vex.Value.VI64 _ | Vex.Value.VI32 _ | Vex.Value.VBool _
+      | Vex.Value.VV128 _ ->
+          None)
+    outs
+
+let run_ints ?(wrap_libm = true) src =
+  let outs = Minic.run ~wrap_libm ~file:"test.mc" src in
+  List.filter_map
+    (fun (o : Vex.Machine.output) ->
+      match o.Vex.Machine.value with
+      | Vex.Value.VI64 i -> Some (Int64.to_int i)
+      | _ -> None)
+    outs
+
+let check_floats name expected got =
+  checki (name ^ " count") (List.length expected) (List.length got);
+  List.iter2
+    (fun e g ->
+      checkb
+        (Printf.sprintf "%s: %.17g vs %.17g" name e g)
+        true
+        (Int64.equal (Int64.bits_of_float e) (Int64.bits_of_float g)))
+    expected got
+
+let basic_arith () =
+  let got =
+    run_floats
+      {| int main() {
+           double x = 1.5;
+           double y = 2.25;
+           print(x + y * 2.0);
+           print((x - y) / 0.5);
+           return 0;
+         } |}
+  in
+  check_floats "arith" [ 1.5 +. (2.25 *. 2.0); (1.5 -. 2.25) /. 0.5 ] got
+
+let int_arith () =
+  let got =
+    run_ints
+      {| int main() {
+           int a = 17;
+           int b = 5;
+           print(a / b);
+           print(a % b);
+           print(-a);
+           print(a * b + 2);
+           return 0;
+         } |}
+  in
+  Alcotest.(check (list int)) "ints" [ 3; 2; -17; 87 ] got
+
+let control_flow () =
+  let got =
+    run_ints
+      {| int main() {
+           int i;
+           int s = 0;
+           for (i = 0; i < 10; i = i + 1) {
+             if (i % 2 == 0) { s = s + i; }
+           }
+           print(s);
+           int j = 0;
+           while (j < 100) { j = j + 7; }
+           print(j);
+           return 0;
+         } |}
+  in
+  Alcotest.(check (list int)) "control" [ 20; 105 ] got
+
+let functions_and_recursion () =
+  let got =
+    run_ints
+      {| int fib(int n) {
+           if (n < 2) { return n; }
+           return fib(n - 1) + fib(n - 2);
+         }
+         int main() {
+           print(fib(15));
+           return 0;
+         } |}
+  in
+  Alcotest.(check (list int)) "fib" [ 610 ] got
+
+let float_args_and_returns () =
+  let got =
+    run_floats
+      {| double hyp(double a, double b) {
+           return sqrt(a * a + b * b);
+         }
+         int main() {
+           print(hyp(3.0, 4.0));
+           print(hyp(1.0, 1.0));
+           return 0;
+         } |}
+  in
+  check_floats "hyp" [ 5.0; Float.sqrt 2.0 ] got
+
+let arrays () =
+  let got =
+    run_floats
+      {| double sum(double a[], int n) {
+           double s = 0.0;
+           int i;
+           for (i = 0; i < n; i = i + 1) { s = s + a[i]; }
+           return s;
+         }
+         int main() {
+           double xs[5];
+           int i;
+           for (i = 0; i < 5; i = i + 1) { xs[i] = (double) i * 1.5; }
+           print(sum(xs, 5));
+           return 0;
+         } |}
+  in
+  check_floats "array sum" [ 15.0 ] got
+
+let global_arrays () =
+  let got =
+    run_floats
+      {| double g[3];
+         double total = 0.0;
+         int main() {
+           g[0] = 1.25;
+           g[1] = 2.5;
+           g[2] = g[0] + g[1];
+           total = g[2] * 2.0;
+           print(total);
+           return 0;
+         } |}
+  in
+  check_floats "globals" [ 7.5 ] got
+
+let single_precision () =
+  let got =
+    run_floats
+      {| int main() {
+           float x = 0.1f;
+           float y = 0.2f;
+           float z = x + y;
+           print(z);
+           print((double) x);
+           return 0;
+         } |}
+  in
+  let x = Int32.float_of_bits (Int32.bits_of_float 0.1) in
+  let y = Int32.float_of_bits (Int32.bits_of_float 0.2) in
+  let z = Int32.float_of_bits (Int32.bits_of_float (x +. y)) in
+  check_floats "single" [ z; x ] got
+
+let casts () =
+  let got =
+    run_ints
+      {| int main() {
+           double d = 3.99;
+           print((int) d);
+           print((int) -3.99);
+           float f = 7.5f;
+           print((int) f);
+           return 0;
+         } |}
+  in
+  Alcotest.(check (list int)) "casts" [ 3; -3; 7 ] got
+
+let libm_wrapped () =
+  let got =
+    run_floats
+      {| int main() {
+           print(exp(1.0));
+           print(log(exp(2.0)));
+           print(sin(0.5) * sin(0.5) + cos(0.5) * cos(0.5));
+           print(atan2(1.0, 1.0));
+           print(pow(2.0, 10.0));
+           print(fabs(-2.5));
+           return 0;
+         } |}
+  in
+  check_floats "libm"
+    [
+      Float.exp 1.0;
+      Float.log (Float.exp 2.0);
+      (Float.sin 0.5 *. Float.sin 0.5) +. (Float.cos 0.5 *. Float.cos 0.5);
+      Float.atan2 1.0 1.0;
+      1024.0;
+      2.5;
+    ]
+    got
+
+let libm_unwrapped_close () =
+  (* with wrapping off the MiniC math library runs instead: only close,
+     not bit-identical *)
+  let got =
+    run_floats ~wrap_libm:false
+      {| int main() {
+           print(exp(1.0));
+           print(log(7.389056098930649));
+           print(sin(1.0));
+           print(cos(1.0));
+           print(atan(1.0));
+           print(pow(2.0, 10.0));
+           print(asin(0.5));
+           print(acos(0.5));
+           print(sinh(0.3));
+           print(cosh(0.3));
+           print(tanh(0.3));
+           print(expm1(0.0001));
+           print(log1p(0.0001));
+           print(cbrt(27.0));
+           print(hypot(3.0, 4.0));
+           return 0;
+         } |}
+  in
+  let expected =
+    [ Float.exp 1.0; 2.0; Float.sin 1.0; Float.cos 1.0; Float.atan 1.0; 1024.0;
+      Float.asin 0.5; Float.acos 0.5; Float.sinh 0.3; Float.cosh 0.3;
+      Float.tanh 0.3; Float.expm1 0.0001; Float.log1p 0.0001; 3.0;
+      Float.hypot 3.0 4.0 ]
+  in
+  checki "count" (List.length expected) (List.length got);
+  List.iter2
+    (fun e g ->
+      let rel = Float.abs (e -. g) /. Float.max 1e-300 (Float.abs e) in
+      checkb (Printf.sprintf "minic libm %.17g vs %.17g" e g) true (rel < 1e-12))
+    expected got
+
+let logic_ops () =
+  let got =
+    run_ints
+      {| int main() {
+           int a = 5;
+           int b = 0;
+           print(a > 3 && b == 0);
+           print(a < 3 || b != 0);
+           print(!(a == 5));
+           if (a > 0 && 10 / a > 1) { print(42); }
+           return 0;
+         } |}
+  in
+  Alcotest.(check (list int)) "logic" [ 1; 0; 0; 42 ] got
+
+let nested_calls () =
+  let got =
+    run_floats
+      {| double f(double x) { return x * 2.0; }
+         double g(double x, double y) { return x + y; }
+         int main() {
+           print(g(f(1.5), f(g(1.0, 2.0))));
+           return 0;
+         } |}
+  in
+  check_floats "nested" [ 9.0 ] got
+
+let bit_trick_negation_works () =
+  (* compiled negation uses XOR on the reinterpreted bits; check -0.0 *)
+  let got =
+    run_floats
+      {| int main() {
+           double z = 0.0;
+           double nz = -z;
+           print(1.0 / nz);
+           print(fabs(-7.25));
+           return 0;
+         } |}
+  in
+  check_floats "bit tricks" [ Float.neg_infinity; 7.25 ] got
+
+let voids_and_side_effects () =
+  let got =
+    run_ints
+      {| int counter = 0;
+         void bump(int k) { counter = counter + k; }
+         int main() {
+           bump(3);
+           bump(4);
+           print(counter);
+           return 0;
+         } |}
+  in
+  Alcotest.(check (list int)) "void calls" [ 7 ] got
+
+let while_with_call_condition () =
+  let got =
+    run_ints
+      {| int next(int x) { return x + 3; }
+         int main() {
+           int i = 0;
+           int steps = 0;
+           while (next(i) < 20) {
+             i = next(i);
+             steps = steps + 1;
+           }
+           print(i);
+           print(steps);
+           return 0;
+         } |}
+  in
+  Alcotest.(check (list int)) "call in cond" [ 18; 6 ] got
+
+let break_and_continue () =
+  let got =
+    run_ints
+      {| int main() {
+           int i = 0;
+           int s = 0;
+           while (i < 100) {
+             i = i + 1;
+             if (i % 3 == 0) { continue; }
+             if (i > 10) { break; }
+             s = s + i;
+           }
+           print(s);
+           print(i);
+           // break inside for skips the step correctly
+           int j;
+           int hits = 0;
+           for (j = 0; j < 100; j = j + 1) {
+             if (j * j > 50) { break; }
+             hits = hits + 1;
+           }
+           print(j);
+           print(hits);
+           return 0;
+         } |}
+  in
+  (* i=1..10 excluding multiples of 3: 1+2+4+5+7+8+10 = 37; loop breaks at 11 *)
+  Alcotest.(check (list int)) "break/continue" [ 37; 11; 8; 8 ] got
+
+let continue_in_for_rejected () =
+  match
+    Minic.compile ~file:"bad.mc"
+      {| int main() {
+           int i;
+           for (i = 0; i < 10; i = i + 1) {
+             if (i == 5) { continue; }
+           }
+           return 0;
+         } |}
+  with
+  | _ -> Alcotest.fail "continue in for should be rejected"
+  | exception Minic.Compile_error _ -> ()
+
+let imarks_present () =
+  let prog =
+    Minic.compile ~file:"loc.mc"
+      "int main() {\n  double x = 1.0;\n  print(x);\n  return 0;\n}"
+  in
+  let has_line2 = ref false in
+  Array.iter
+    (fun (b : Vex.Ir.block) ->
+      Array.iter
+        (fun s ->
+          match s with
+          | Vex.Ir.IMark l when l.Vex.Ir.line = 2 && l.Vex.Ir.file = "loc.mc" ->
+              has_line2 := true
+          | _ -> ())
+        b.Vex.Ir.stmts)
+    prog.Vex.Ir.blocks;
+  checkb "IMark line 2 exists" true !has_line2
+
+let type_errors_rejected () =
+  let bad = [
+    "int main() { double x = 1.0; x[0] = 2.0; return 0; }";
+    "int main() { return y; }";
+    "int main() { print(unknown_fn(1.0)); return 0; }";
+    "double f() { return 1.0; } int main() { f(2.0); return 0; }";
+  ]
+  in
+  List.iter
+    (fun src ->
+      match Minic.compile ~file:"bad.mc" src with
+      | _ -> Alcotest.fail ("should not compile: " ^ src)
+      | exception Minic.Compile_error _ -> ())
+    bad
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"compiled double arithmetic matches OCaml" ~count:100
+      (pair (float_range (-1e6) 1e6) (float_range (-1e6) 1e6))
+      (fun (a, b) ->
+        let src =
+          Printf.sprintf
+            "int main() { double a = %.17g; double b = %.17g;\n\
+             print(a + b); print(a - b); print(a * b); print(a / b);\n\
+             return 0; }"
+            a b
+        in
+        let got = run_floats src in
+        let expected = [ a +. b; a -. b; a *. b; a /. b ] in
+        List.for_all2
+          (fun e g -> Int64.equal (Int64.bits_of_float e) (Int64.bits_of_float g))
+          expected got);
+    Test.make ~name:"compiled int expressions match OCaml" ~count:100
+      (pair (int_range (-10000) 10000) (int_range 1 100))
+      (fun (a, b) ->
+        let src =
+          Printf.sprintf
+            "int main() { int a = %d; int b = %d;\n\
+             print(a / b); print(a %% b); print(a * b - a);\n\
+             return 0; }"
+            a b
+        in
+        run_ints src = [ a / b; a mod b; (a * b) - a ]);
+  ]
+
+let () =
+  Alcotest.run "minic"
+    [
+      ( "execution",
+        [
+          Alcotest.test_case "basic arithmetic" `Quick basic_arith;
+          Alcotest.test_case "int arithmetic" `Quick int_arith;
+          Alcotest.test_case "control flow" `Quick control_flow;
+          Alcotest.test_case "functions and recursion" `Quick functions_and_recursion;
+          Alcotest.test_case "float args and returns" `Quick float_args_and_returns;
+          Alcotest.test_case "arrays" `Quick arrays;
+          Alcotest.test_case "global arrays" `Quick global_arrays;
+          Alcotest.test_case "single precision" `Quick single_precision;
+          Alcotest.test_case "casts" `Quick casts;
+          Alcotest.test_case "libm wrapped" `Quick libm_wrapped;
+          Alcotest.test_case "libm unwrapped" `Quick libm_unwrapped_close;
+          Alcotest.test_case "logic ops" `Quick logic_ops;
+          Alcotest.test_case "nested calls" `Quick nested_calls;
+          Alcotest.test_case "bit-trick negation" `Quick bit_trick_negation_works;
+          Alcotest.test_case "void functions" `Quick voids_and_side_effects;
+          Alcotest.test_case "call in loop condition" `Quick while_with_call_condition;
+          Alcotest.test_case "break and continue" `Quick break_and_continue;
+          Alcotest.test_case "continue-in-for rejected" `Quick continue_in_for_rejected;
+          Alcotest.test_case "IMarks carry locations" `Quick imarks_present;
+          Alcotest.test_case "type errors rejected" `Quick type_errors_rejected;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

@@ -1,0 +1,205 @@
+(* Tests for the MiniC auto-vectorizer: elementwise double loops compile
+   to SSE-style packed operations, client results are bit-identical to the
+   scalar compilation, and the analysis shadows the packed lanes. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let elementwise_src op =
+  Printf.sprintf
+    {| double a[9];
+       double b[9];
+       double c[9];
+       int main() {
+         int i;
+         for (i = 0; i < 9; i = i + 1) {
+           a[i] = (double) (i + 1) * 1.25;
+           b[i] = (double) (9 - i) * 0.75;
+         }
+         for (i = 0; i < 9; i = i + 1) {
+           c[i] = a[i] %s b[i];
+         }
+         for (i = 0; i < 9; i = i + 1) {
+           print(c[i]);
+         }
+         return 0;
+       } |}
+    op
+
+let count_simd (prog : Vex.Ir.prog) =
+  let n = ref 0 in
+  Array.iter
+    (fun (b : Vex.Ir.block) ->
+      Array.iter
+        (fun s ->
+          match s with
+          | Vex.Ir.WrTmp
+              ( _,
+                Vex.Ir.Binop
+                  ( ( Vex.Ir.Add64Fx2 | Vex.Ir.Sub64Fx2 | Vex.Ir.Mul64Fx2
+                    | Vex.Ir.Div64Fx2 ),
+                    _,
+                    _ ) ) ->
+              incr n
+          | _ -> ())
+        b.Vex.Ir.stmts)
+    prog.Vex.Ir.blocks;
+  !n
+
+let run_floats ?vectorize src =
+  let outs = Minic.run ?vectorize ~file:"vec.mc" src in
+  List.filter_map
+    (fun (o : Vex.Machine.output) ->
+      match o.Vex.Machine.value with
+      | Vex.Value.VF64 f -> Some f
+      | _ -> None)
+    outs
+
+let vectorizer_emits_simd () =
+  List.iter
+    (fun op ->
+      let prog = Minic.compile ~vectorize:true ~file:"vec.mc" (elementwise_src op) in
+      checkb (op ^ " vectorized") true (count_simd prog >= 1);
+      let scalar = Minic.compile ~file:"vec.mc" (elementwise_src op) in
+      checki (op ^ " scalar has no simd") 0 (count_simd scalar))
+    [ "+"; "-"; "*"; "/" ]
+
+let vectorized_results_identical () =
+  List.iter
+    (fun op ->
+      let v = run_floats ~vectorize:true (elementwise_src op) in
+      let s = run_floats (elementwise_src op) in
+      checki (op ^ " same count") (List.length s) (List.length v);
+      List.iter2
+        (fun a b ->
+          checkb
+            (Printf.sprintf "%s: %h = %h" op a b)
+            true
+            (Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)))
+        s v)
+    [ "+"; "-"; "*"; "/" ]
+
+let odd_length_tail_handled () =
+  (* 9 elements: 4 packed iterations + 1 scalar tail element *)
+  let v = run_floats ~vectorize:true (elementwise_src "*") in
+  checki "all 9 outputs" 9 (List.length v);
+  let expected = List.init 9 (fun i ->
+      float_of_int (i + 1) *. 1.25 *. (float_of_int (9 - i) *. 0.75))
+  in
+  List.iter2
+    (fun a b -> checkb "value" true (a = b))
+    expected v
+
+let non_elementwise_not_vectorized () =
+  (* a reduction does not match the pattern and must stay scalar *)
+  let src =
+    {| double a[8];
+       int main() {
+         int i;
+         double s = 0.0;
+         for (i = 0; i < 8; i = i + 1) { a[i] = (double) i; }
+         for (i = 0; i < 8; i = i + 1) { s = s + a[i]; }
+         print(s);
+         return 0;
+       } |}
+  in
+  let prog = Minic.compile ~vectorize:true ~file:"vec.mc" src in
+  checki "no simd for reduction" 0 (count_simd prog);
+  let v = run_floats ~vectorize:true src in
+  checkb "sum correct" true (v = [ 28.0 ])
+
+let analysis_shadows_packed_lanes () =
+  (* catastrophic cancellation through the vectorized path must still be
+     detected, with the same spot errors as the scalar compilation *)
+  let src =
+    {| double a[8];
+       double b[8];
+       double c[8];
+       int main() {
+         int i;
+         for (i = 0; i < 8; i = i + 1) {
+           a[i] = 1.0e16 + (double) i;
+           b[i] = 1.0e16 + (double) i - 1.0;
+         }
+         for (i = 0; i < 8; i = i + 1) {
+           c[i] = a[i] - b[i];
+         }
+         for (i = 0; i < 8; i = i + 1) {
+           print(c[i]);
+         }
+         return 0;
+       } |}
+  in
+  let analyze vectorize =
+    let prog = Minic.compile ~vectorize ~file:"vec.mc" src in
+    Core.Analysis.analyze ~cfg:Core.Config.fast prog
+  in
+  let rv = analyze true and rs = analyze false in
+  let errmax (r : Core.Analysis.result) =
+    List.fold_left
+      (fun m (s : Core.Exec.spot_info) -> Float.max m s.Core.Exec.s_err_max)
+      0.0
+      (Core.Analysis.output_spots r)
+  in
+  checkb "same client outputs" true
+    (Core.Analysis.output_floats rv = Core.Analysis.output_floats rs);
+  checkb
+    (Printf.sprintf "vector error %.1f ~ scalar error %.1f" (errmax rv) (errmax rs))
+    true
+    (Float.abs (errmax rv -. errmax rs) < 0.6);
+  (* the packed subtraction op must carry shadow info (fp ops counted) *)
+  checkb "packed ops shadowed" true
+    (rv.Core.Analysis.raw.Core.Exec.r_stats.Core.Exec.fp_ops > 8)
+
+let vectorized_workload_matches_polybench () =
+  (* the jacobi-like elementwise update in a function with array params *)
+  let src =
+    {| void axpy(double x[], double y[], double out[], int n) {
+         int i;
+         for (i = 0; i < n; i = i + 1) {
+           out[i] = x[i] + y[i];
+         }
+       }
+       double xs[6];
+       double ys[6];
+       double zs[6];
+       int main() {
+         int i;
+         for (i = 0; i < 6; i = i + 1) {
+           xs[i] = (double) i * 0.5;
+           ys[i] = (double) i * 0.25;
+         }
+         axpy(xs, ys, zs, 6);
+         for (i = 0; i < 6; i = i + 1) { print(zs[i]); }
+         return 0;
+       } |}
+  in
+  let prog = Minic.compile ~vectorize:true ~file:"vec.mc" src in
+  checkb "pointer-parameter loop vectorized" true (count_simd prog >= 1);
+  let v = run_floats ~vectorize:true src in
+  let expected = List.init 6 (fun i -> (float_of_int i *. 0.5) +. (float_of_int i *. 0.25)) in
+  checkb "results" true (v = expected)
+
+let () =
+  Alcotest.run "vectorize"
+    [
+      ( "codegen",
+        [
+          Alcotest.test_case "emits SIMD" `Quick vectorizer_emits_simd;
+          Alcotest.test_case "reduction stays scalar" `Quick
+            non_elementwise_not_vectorized;
+          Alcotest.test_case "pointer params" `Quick
+            vectorized_workload_matches_polybench;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "bit-identical results" `Quick
+            vectorized_results_identical;
+          Alcotest.test_case "odd-length tail" `Quick odd_length_tail_handled;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "packed lanes shadowed" `Quick
+            analysis_shadows_packed_lanes;
+        ] );
+    ]
