@@ -3,6 +3,8 @@
      fpgrind analyze prog.mc --inputs 1.0,2.0 --precision 1000
      fpgrind analyze bench:nmse-3-1 --iterations 16
      fpgrind run prog.mc
+     fpgrind suite -j 4 --timeout 30 --json results.jsonl
+     fpgrind validate results.jsonl
      fpgrind list-benchmarks
      fpgrind improve "(FPCore (x) (- (sqrt (+ x 1)) (sqrt x)))" --lo 1e8 --hi 1e15
 *)
@@ -193,6 +195,159 @@ let run_cmd =
        ~doc:"Run a program natively (no instrumentation) and print its outputs.")
     term
 
+(* ---------- suite (batch analysis over the fleet) ---------- *)
+
+let suite_cmd =
+  let names_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"NAME"
+          ~doc:
+            "Benchmarks to analyze (default: the whole vendored FPBench \
+             suite).")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains to run jobs on.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-job wall-clock deadline; an overrunning job is marked \
+                timeout instead of stalling the fleet.")
+  in
+  let json_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write per-benchmark results as JSON lines to $(docv). If the \
+             file already exists it also serves as a result cache: jobs \
+             whose content hash (source, sampling, config) is unchanged \
+             are skipped.")
+  in
+  let no_cache_arg =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:"Re-analyze every benchmark even if --json holds results.")
+  in
+  let group_arg =
+    Arg.(
+      value & opt (some (enum [ ("straight", `Straight); ("loop", `Loop) ])) None
+      & info [ "group" ] ~docv:"GROUP"
+          ~doc:"Restrict to one benchmark group (straight|loop).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N" ~doc:"Input sampling seed.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress per-job progress lines.")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Exit nonzero if any job failed or timed out.")
+  in
+  let run names jobs timeout iterations precision threshold json_path no_cache
+      group seed quiet strict =
+    let cfg =
+      {
+        Core.Config.default with
+        Core.Config.precision;
+        error_threshold = threshold;
+      }
+    in
+    try
+      let specs =
+        Fpcore.Suite.enumerate ~iterations ~seed ~names ?group ()
+        |> List.map (Fleet.bench_spec ~cfg)
+      in
+      let cache =
+        match json_path with
+        | Some path when not no_cache -> Some (Fleet.Store.cache_of_file path)
+        | _ -> None
+      in
+      let on_progress =
+        if quiet then None
+        else
+          Some
+            (fun (p : Fleet.progress) ->
+              Printf.eprintf "[%3d/%3d] %-8s %-24s %6.2fs\n%!" p.Fleet.pr_done
+                p.Fleet.pr_total
+                (Fleet.Store.status_to_string p.Fleet.pr_last.Fleet.o_status)
+                p.Fleet.pr_last.Fleet.o_name p.Fleet.pr_last.Fleet.o_wall_s)
+      in
+      let outcomes = Fleet.run ~jobs ?timeout ?cache ?on_progress specs in
+      (match json_path with
+      | Some path -> Fleet.Store.save path outcomes
+      | None -> ());
+      print_string (Fleet.Store.summary_table outcomes);
+      let bad =
+        List.exists
+          (fun (o : Fleet.outcome) ->
+            match o.Fleet.o_status with
+            | Fleet.Failed _ | Fleet.Timed_out -> true
+            | Fleet.Done | Fleet.Cached -> false)
+          outcomes
+      in
+      if strict && bad then 1 else 0
+    with
+    | Invalid_argument msg | Sys_error msg | Failure msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Fleet.Json.Parse_error msg ->
+        Printf.eprintf
+          "error: corrupt results store (%s); pass --no-cache or delete the \
+           file\n"
+          msg;
+        1
+  in
+  let term =
+    Term.(
+      const run $ names_arg $ jobs_arg $ timeout_arg $ iterations_arg
+      $ precision_arg $ threshold_arg $ json_arg $ no_cache_arg $ group_arg
+      $ seed_arg $ quiet_arg $ strict_arg)
+  in
+  Cmd.v
+    (Cmd.info "suite"
+       ~doc:
+         "Batch-analyze FPBench benchmarks on a parallel, fault-isolated \
+          worker pool, with JSONL results and caching.")
+    term
+
+(* ---------- validate (check a JSONL results store) ---------- *)
+
+let validate_cmd =
+  let path_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"A JSONL results file written by suite --json.")
+  in
+  let run path =
+    match Fleet.Store.load path with
+    | outcomes ->
+        Printf.printf "%s: %d result%s, valid JSONL\n" path
+          (List.length outcomes)
+          (if List.length outcomes = 1 then "" else "s");
+        0
+    | exception Fleet.Json.Parse_error msg | exception Failure msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | exception Sys_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Parse a JSONL results store and report how many records it holds.")
+    Term.(const run $ path_arg)
+
 (* ---------- list-benchmarks ---------- *)
 
 let list_cmd =
@@ -269,4 +424,7 @@ let improve_cmd =
 let () =
   let doc = "find root causes of floating-point error (Herbgrind reproduction)" in
   let info = Cmd.info "fpgrind" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ analyze_cmd; run_cmd; list_cmd; improve_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ analyze_cmd; run_cmd; suite_cmd; validate_cmd; list_cmd; improve_cmd ]))

@@ -1,41 +1,17 @@
-(* A tour of the FPBench suite (paper section 8).
+(* A tour of the FPBench suite (paper section 8), driven by the
+   fpgrind.fleet batch engine.
 
    For each vendored benchmark: compile to VEX through MiniC, run under
    the analysis on sampled inputs, and print a one-line summary -- the
-   maximum output error observed and whether the benchmark's own
-   expression was recovered as a root cause.
+   maximum output error observed and how many root causes were reported.
+   Jobs run on a fault-isolated worker pool: a diverging or crashing
+   benchmark is reported as timeout/failed instead of killing the tour,
+   and the output order and content are identical whatever -j is.
 
-     dune exec examples/fpbench_tour.exe            # quick subset
-     dune exec examples/fpbench_tour.exe -- --all   # whole suite
+     dune exec examples/fpbench_tour.exe                # quick subset
+     dune exec examples/fpbench_tour.exe -- --all       # whole suite
+     dune exec examples/fpbench_tour.exe -- --all -j 4  # 4 worker domains
 *)
-
-let analyze_bench (b : Fpcore.Suite.bench) =
-  let core = Fpcore.Suite.core_of b in
-  let n = 8 in
-  let inputs = Fpcore.Suite.inputs_for ~seed:1 b ~n in
-  let prog = Fpcore.Compile.compile ~n_inputs:n core in
-  let cfg = { Core.Config.default with Core.Config.precision = 256 } in
-  Core.Analysis.analyze ~cfg ~max_steps:200_000_000 ~inputs prog
-
-let summarize (b : Fpcore.Suite.bench) =
-  match analyze_bench b with
-  | r ->
-      let spots = Core.Analysis.output_spots r in
-      let errmax =
-        List.fold_left
-          (fun m (s : Core.Exec.spot_info) -> Float.max m s.Core.Exec.s_err_max)
-          0.0 spots
-      in
-      let causes = List.length (Core.Analysis.erroneous_expressions r) in
-      Printf.printf "%-24s %13s  max output error %5.1f bits, %d root cause%s\n"
-        b.Fpcore.Suite.name
-        (match b.Fpcore.Suite.group with
-        | `Straight -> "straight-line"
-        | `Loop -> "looping")
-        errmax causes
-        (if causes = 1 then "" else "s")
-  | exception e ->
-      Printf.printf "%-24s FAILED: %s\n" b.Fpcore.Suite.name (Printexc.to_string e)
 
 let quick_subset =
   [ "intro-example"; "nmse-3-1"; "nmse-p331"; "doppler1"; "verhulst";
@@ -44,10 +20,33 @@ let quick_subset =
 
 let () =
   let all = Array.exists (( = ) "--all") Sys.argv in
-  let benches =
-    if all then Fpcore.Suite.all
-    else List.map Fpcore.Suite.find quick_subset
+  let jobs =
+    let j = ref 1 in
+    Array.iteri
+      (fun i a ->
+        if a = "-j" && i + 1 < Array.length Sys.argv then
+          j := max 1 (int_of_string Sys.argv.(i + 1)))
+      Sys.argv;
+    !j
   in
-  Printf.printf "analyzing %d FPBench benchmarks at 256-bit shadow precision\n\n"
-    (List.length benches);
-  List.iter summarize benches
+  let names = if all then [] else quick_subset in
+  let cfg = { Core.Config.default with Core.Config.precision = 256 } in
+  let specs =
+    Fpcore.Suite.enumerate ~iterations:8 ~seed:1 ~names ()
+    |> List.map (Fleet.bench_spec ~cfg)
+  in
+  Printf.printf
+    "analyzing %d FPBench benchmarks at 256-bit shadow precision (%d worker%s)\n\n"
+    (List.length specs) jobs
+    (if jobs = 1 then "" else "s");
+  let outcomes = Fleet.run ~jobs ~timeout:120.0 specs in
+  List.iter
+    (fun (o : Fleet.outcome) ->
+      match (o.Fleet.o_status, o.Fleet.o_payload) with
+      | (Fleet.Done | Fleet.Cached), Some p ->
+          print_endline p.Fleet.p_summary
+      | Fleet.Timed_out, _ -> Printf.printf "%-24s TIMED OUT\n" o.Fleet.o_name
+      | Fleet.Failed msg, _ ->
+          Printf.printf "%-24s FAILED: %s\n" o.Fleet.o_name msg
+      | _, None -> Printf.printf "%-24s (no result)\n" o.Fleet.o_name)
+    outcomes

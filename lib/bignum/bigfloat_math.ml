@@ -23,7 +23,14 @@ let atan_inv_scaled ~wp k =
   done;
   !acc
 
+(* The constant cache is shared process-wide state reachable from every
+   shadow-real execution, so it must survive concurrent domains
+   (fpgrind.fleet runs analyses in parallel). A mutex guards the table;
+   holding it across [compute] also means a constant is computed once
+   rather than racing duplicates. Values are immutable, so readers never
+   see a partial entry. *)
 let const_cache : (string * int, B.t) Hashtbl.t = Hashtbl.create 16
+let const_cache_lock = Mutex.create ()
 
 let cached name prec compute =
   (* Compute at the next power-of-two precision at least [prec] so repeated
@@ -36,14 +43,20 @@ let cached name prec compute =
     !p
   in
   let key = (name, bucket) in
+  Mutex.lock const_cache_lock;
   let v =
     match Hashtbl.find_opt const_cache key with
     | Some v -> v
-    | None ->
-        let v = compute bucket in
-        Hashtbl.add const_cache key v;
-        v
+    | None -> (
+        match compute bucket with
+        | v ->
+            Hashtbl.add const_cache key v;
+            v
+        | exception e ->
+            Mutex.unlock const_cache_lock;
+            raise e)
   in
+  Mutex.unlock const_cache_lock;
   B.round ~prec v
 
 (* Machin: pi = 16 atan(1/5) - 4 atan(1/239). *)

@@ -15,11 +15,14 @@ val analyze :
   ?mem_size:int ->
   ?max_steps:int ->
   ?inputs:float array ->
+  ?tick:(unit -> unit) ->
   Vex.Ir.prog ->
   result
 (** Run [prog] under the analysis. [inputs] backs the [__arg] builtin
     (program inputs with no floating-point provenance); [max_steps] bounds
-    the number of superblocks executed. *)
+    the number of superblocks executed; [tick] is called once per
+    superblock (see {!Exec.run}) so callers can abort long runs by
+    raising from it. *)
 
 val report_string : result -> string
 (** The report in the paper's format: one entry per erroneous spot, with

@@ -35,3 +35,13 @@ let default =
 
 (* a cheaper configuration for unit tests *)
 let fast = { default with precision = 128 }
+
+(* Canonical rendering of every field, in declaration order. Batch
+   drivers hash this into result-cache keys, so two configs collide iff
+   they analyze identically; a new field must be appended here to keep
+   stale cache entries from matching. *)
+let fingerprint (t : t) : string =
+  Printf.sprintf "prec=%d;thr=%h;eqd=%d;mtd=%d;re=%b;infl=%b;expr=%b;ti=%b;ca=%b;comp=%b;all=%b"
+    t.precision t.error_threshold t.equiv_depth t.max_trace_depth
+    t.enable_reals t.enable_influences t.enable_expressions t.type_inference
+    t.classic_antiunify t.detect_compensation t.report_all_spots

@@ -30,3 +30,7 @@ val default : t
 
 val fast : t
 (** [default] at 128-bit precision, for tests. *)
+
+val fingerprint : t -> string
+(** Canonical string covering every field, for content-hash cache keys:
+    equal fingerprints iff the configurations analyze identically. *)

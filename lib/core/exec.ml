@@ -924,8 +924,8 @@ type result = {
   r_stats : stats;
 }
 
-let run ?mem_size ?max_steps ?inputs (cfg : Config.t) (prog : Vex.Ir.prog) :
-    result =
+let run ?mem_size ?max_steps ?inputs ?tick (cfg : Config.t)
+    (prog : Vex.Ir.prog) : result =
   let st = create ?mem_size ?max_steps ?inputs cfg prog in
   let bidx = ref st.prog.Vex.Ir.entry in
   let steps = ref 0 in
@@ -934,6 +934,7 @@ let run ?mem_size ?max_steps ?inputs (cfg : Config.t) (prog : Vex.Ir.prog) :
       raise (Client_error (Printf.sprintf "jump out of program: %d" !bidx));
     incr steps;
     if !steps > st.max_steps then raise (Client_error "step budget exceeded");
+    (match tick with Some f -> f () | None -> ());
     st.stats.blocks_run <- st.stats.blocks_run + 1;
     bidx := run_block st !bidx
   done;

@@ -61,8 +61,13 @@ val run :
   ?mem_size:int ->
   ?max_steps:int ->
   ?inputs:float array ->
+  ?tick:(unit -> unit) ->
   Config.t ->
   Vex.Ir.prog ->
   result
 (** Run the program under full instrumentation, following the client's
-    control flow (divergences are recorded as spots, paper 4.2). *)
+    control flow (divergences are recorded as spots, paper 4.2).
+
+    [tick] is called once per superblock before it executes; batch
+    drivers use it to enforce wall-clock deadlines by raising from the
+    callback (the exception propagates out of [run] untouched). *)

@@ -27,11 +27,19 @@ type node = {
   id : int;
 }
 
-let counter = ref 0
+(* Node ids must stay unique when several analyses run in parallel
+   domains (fpgrind.fleet), so the id source is atomic. The per-domain
+   creation count feeds per-job metrics: a fleet worker runs one job at a
+   time, so the delta across a job is exactly that job's node count, with
+   no interference from jobs on other domains. *)
+let counter = Atomic.make 0
+let created_key = Domain.DLS.new_key (fun () -> ref 0)
 
 let next_id () =
-  incr counter;
-  !counter
+  incr (Domain.DLS.get created_key);
+  Atomic.fetch_and_add counter 1 + 1
+
+let created_in_domain () = !(Domain.DLS.get created_key)
 
 let float_key v = Hashtbl.hash (Int64.bits_of_float v)
 

@@ -26,6 +26,11 @@ type node = private {
   id : int;  (** unique node identity *)
 }
 
+val created_in_domain : unit -> int
+(** Nodes created on the calling domain since it started. A batch worker
+    running one job at a time can difference this around the job to get a
+    per-job trace-node count that is independent of other domains. *)
+
 val max_tree_size : int
 (** Bound on a node's tree-expanded size; larger children are summarized
     by value leaves, deepest first. *)

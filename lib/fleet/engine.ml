@@ -1,0 +1,233 @@
+(* fpgrind.fleet — a parallel, fault-isolated batch-analysis engine.
+
+   Many [Analysis.analyze] jobs run across a pool of OCaml 5 domains: an
+   atomic work counter feeds N workers, each job gets a wall-clock
+   deadline enforced cooperatively through the analysis tick, and any
+   exception a job raises (including the deadline) becomes a structured
+   outcome instead of taking down the fleet.
+
+   Determinism contract: the number of workers only changes *scheduling*.
+   Each job compiles and analyzes in isolation (lib/core holds no shared
+   mutable analysis state; see Trace/Normalize/Bigfloat_math), results
+   land in a slot indexed by submission order, and nothing about a job's
+   summary or report depends on wall time — so a `-j 4` run produces the
+   same per-job output as `-j 1`. *)
+
+exception Deadline_exceeded
+
+type status =
+  | Done
+  | Failed of string  (* the raised exception, printed *)
+  | Timed_out
+  | Cached  (* reused from a results store, work skipped *)
+
+type metrics = {
+  m_blocks : int;  (* superblocks executed *)
+  m_stmts : int;  (* statements executed (instruction count) *)
+  m_fp_ops : int;  (* shadowed floating-point operations *)
+  m_trace_nodes : int;  (* concrete trace nodes built for this job *)
+  m_spots : int;  (* spots observed *)
+  m_causes : int;  (* erroneous expressions above threshold *)
+  m_compensations : int;
+  m_err_max : float;  (* max output-spot error, bits *)
+}
+
+type payload = {
+  p_metrics : metrics;
+  p_summary : string;  (* one deterministic line, no timing *)
+  p_report : string;  (* the full root-cause report *)
+}
+
+type spec = {
+  sp_name : string;
+  sp_group : string;
+  sp_key : string;  (* content-hash cache key; "" disables caching *)
+  sp_work : tick:(unit -> unit) -> payload;
+}
+
+type outcome = {
+  o_name : string;
+  o_group : string;
+  o_key : string;
+  o_status : status;
+  o_wall_s : float;
+  o_payload : payload option;  (* [Some] for [Done] and [Cached] *)
+}
+
+type progress = { pr_done : int; pr_total : int; pr_last : outcome }
+
+(* ---------- running one job ---------- *)
+
+(* The deadline is enforced from the per-superblock tick: every 16th call
+   compares the clock (the first call also checks, so an already-expired
+   deadline fires deterministically even on tiny jobs). A domain cannot
+   be killed, so a job that never re-enters the interpreter loop can only
+   be stopped by [Exec]'s own step budget. *)
+let make_tick ~start = function
+  | None -> fun () -> ()
+  | Some timeout ->
+      let deadline = start +. timeout in
+      let calls = ref 0 in
+      fun () ->
+        incr calls;
+        if !calls land 15 = 1 && Unix.gettimeofday () > deadline then
+          raise Deadline_exceeded
+
+let exec_one ?timeout (sp : spec) : outcome =
+  let start = Unix.gettimeofday () in
+  let finish status payload =
+    {
+      o_name = sp.sp_name;
+      o_group = sp.sp_group;
+      o_key = sp.sp_key;
+      o_status = status;
+      o_wall_s = Unix.gettimeofday () -. start;
+      o_payload = payload;
+    }
+  in
+  match sp.sp_work ~tick:(make_tick ~start timeout) with
+  | p -> finish Done (Some p)
+  | exception Deadline_exceeded -> finish Timed_out None
+  | exception e -> finish (Failed (Printexc.to_string e)) None
+
+(* ---------- the pool ---------- *)
+
+let run ?(jobs = 1) ?timeout ?cache ?on_progress (specs : spec list) :
+    outcome list =
+  let arr = Array.of_list specs in
+  let n = Array.length arr in
+  let results : outcome option array = Array.make n None in
+  let next = Atomic.make 0 in
+  let lock = Mutex.create () in
+  let completed = ref 0 in
+  let record i (o : outcome) =
+    Mutex.lock lock;
+    results.(i) <- Some o;
+    incr completed;
+    (match on_progress with
+    | Some f -> (
+        (* a throwing progress callback must not kill a worker *)
+        try f { pr_done = !completed; pr_total = n; pr_last = o }
+        with _ -> ())
+    | None -> ());
+    Mutex.unlock lock
+  in
+  let run_one i =
+    let sp = arr.(i) in
+    let cached =
+      match cache with
+      | Some lookup when sp.sp_key <> "" -> lookup sp.sp_key
+      | _ -> None
+    in
+    match cached with
+    | Some (prev : outcome) when prev.o_payload <> None ->
+        record i
+          {
+            prev with
+            o_name = sp.sp_name;
+            o_group = sp.sp_group;
+            o_key = sp.sp_key;
+            o_status = Cached;
+            o_wall_s = 0.0;
+          }
+    | _ -> record i (exec_one ?timeout sp)
+  in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        run_one i;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let helpers =
+    List.init (max 0 (min jobs n - 1)) (fun _ -> Domain.spawn worker)
+  in
+  worker ();
+  List.iter Domain.join helpers;
+  Array.to_list results
+  |> List.map (function
+       | Some o -> o
+       | None -> assert false (* every index was claimed exactly once *))
+
+(* ---------- the standard benchmark job ---------- *)
+
+let scale_tag = function Fpcore.Suite.Linear -> "lin" | Fpcore.Suite.Log -> "log"
+
+(* The cache key hashes everything that determines a job's result:
+   benchmark source and sampling ranges, iteration count, sampling seed,
+   and the full analysis configuration. Re-runs skip a job iff nothing
+   it depends on changed. *)
+let job_key ?(cfg = Core.Config.default) (j : Fpcore.Suite.job) : string =
+  let b = j.Fpcore.Suite.job_bench in
+  let ranges =
+    List.map
+      (fun (v, lo, hi, sc) -> Printf.sprintf "%s:%h:%h:%s" v lo hi (scale_tag sc))
+      b.Fpcore.Suite.ranges
+  in
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          ([ b.Fpcore.Suite.src ]
+          @ ranges
+          @ [
+              string_of_int j.Fpcore.Suite.job_iterations;
+              string_of_int j.Fpcore.Suite.job_seed;
+              Core.Config.fingerprint cfg;
+            ])))
+
+let group_name (b : Fpcore.Suite.bench) =
+  match b.Fpcore.Suite.group with
+  | `Straight -> "straight-line"
+  | `Loop -> "looping"
+
+let max_output_err (r : Core.Analysis.result) =
+  List.fold_left
+    (fun m (s : Core.Exec.spot_info) -> Float.max m s.Core.Exec.s_err_max)
+    0.0
+    (Core.Analysis.output_spots r)
+
+let bench_spec ?(cfg = Core.Config.default) ?(max_steps = 200_000_000)
+    (j : Fpcore.Suite.job) : spec =
+  let b = j.Fpcore.Suite.job_bench in
+  let iters = j.Fpcore.Suite.job_iterations in
+  let work ~tick =
+    let core = Fpcore.Suite.core_of b in
+    let inputs =
+      Fpcore.Suite.inputs_for ~seed:j.Fpcore.Suite.job_seed b ~n:iters
+    in
+    let prog =
+      Fpcore.Compile.compile ~n_inputs:iters ~name:b.Fpcore.Suite.name core
+    in
+    let nodes0 = Core.Trace.created_in_domain () in
+    let r = Core.Analysis.analyze ~cfg ~max_steps ~inputs ~tick prog in
+    let st = r.Core.Analysis.raw.Core.Exec.r_stats in
+    let err_max = max_output_err r in
+    let causes = List.length (Core.Analysis.erroneous_expressions r) in
+    let metrics =
+      {
+        m_blocks = st.Core.Exec.blocks_run;
+        m_stmts = st.Core.Exec.stmts_run;
+        m_fp_ops = st.Core.Exec.fp_ops;
+        m_trace_nodes = Core.Trace.created_in_domain () - nodes0;
+        m_spots = Hashtbl.length r.Core.Analysis.raw.Core.Exec.r_spots;
+        m_causes = causes;
+        m_compensations = st.Core.Exec.compensations;
+        m_err_max = err_max;
+      }
+    in
+    let summary =
+      Printf.sprintf "%-24s %13s  max output error %5.1f bits, %d root cause%s"
+        b.Fpcore.Suite.name (group_name b) err_max causes
+        (if causes = 1 then "" else "s")
+    in
+    { p_metrics = metrics; p_summary = summary; p_report = Core.Analysis.report_string r }
+  in
+  {
+    sp_name = b.Fpcore.Suite.name;
+    sp_group = group_name b;
+    sp_key = job_key ~cfg j;
+    sp_work = work;
+  }

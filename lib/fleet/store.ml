@@ -1,0 +1,177 @@
+(* The fleet's results store: one JSON object per line (JSONL), plus the
+   human summary table. The JSONL file doubles as the result cache — a
+   re-run loads it, and jobs whose content-hash key matches a stored
+   successful result are skipped.
+
+   Nothing order- or time-dependent goes into the comparable fields: a
+   record's [summary], [report], and [metrics] depend only on the job
+   itself, so stores written by `-j 1` and `-j 4` runs differ at most in
+   [wall_s]. *)
+
+let status_to_string = function
+  | Engine.Done -> "ok"
+  | Engine.Failed _ -> "failed"
+  | Engine.Timed_out -> "timeout"
+  | Engine.Cached -> "cached"
+
+let metrics_to_json (m : Engine.metrics) : Json.t =
+  Json.Obj
+    [
+      ("blocks", Json.Num (float_of_int m.Engine.m_blocks));
+      ("stmts", Json.Num (float_of_int m.Engine.m_stmts));
+      ("fp_ops", Json.Num (float_of_int m.Engine.m_fp_ops));
+      ("trace_nodes", Json.Num (float_of_int m.Engine.m_trace_nodes));
+      ("spots", Json.Num (float_of_int m.Engine.m_spots));
+      ("causes", Json.Num (float_of_int m.Engine.m_causes));
+      ("compensations", Json.Num (float_of_int m.Engine.m_compensations));
+      ("err_max_bits", Json.Num m.Engine.m_err_max);
+    ]
+
+let metrics_of_json (v : Json.t) : Engine.metrics =
+  {
+    Engine.m_blocks = Json.get_int "blocks" v;
+    m_stmts = Json.get_int "stmts" v;
+    m_fp_ops = Json.get_int "fp_ops" v;
+    m_trace_nodes = Json.get_int "trace_nodes" v;
+    m_spots = Json.get_int "spots" v;
+    m_causes = Json.get_int "causes" v;
+    m_compensations = Json.get_int "compensations" v;
+    m_err_max = Json.get_num "err_max_bits" v;
+  }
+
+let outcome_to_json (o : Engine.outcome) : Json.t =
+  Json.Obj
+    ([
+       ("name", Json.Str o.Engine.o_name);
+       ("group", Json.Str o.Engine.o_group);
+       ("key", Json.Str o.Engine.o_key);
+       ("status", Json.Str (status_to_string o.Engine.o_status));
+       ("wall_s", Json.Num o.Engine.o_wall_s);
+     ]
+    @ (match o.Engine.o_status with
+      | Engine.Failed msg -> [ ("error", Json.Str msg) ]
+      | _ -> [])
+    @
+    match o.Engine.o_payload with
+    | None -> []
+    | Some p ->
+        [
+          ("metrics", metrics_to_json p.Engine.p_metrics);
+          ("summary", Json.Str p.Engine.p_summary);
+          ("report", Json.Str p.Engine.p_report);
+        ])
+
+let outcome_of_json (v : Json.t) : Engine.outcome =
+  let status =
+    match Json.get_str "status" v with
+    | "ok" -> Engine.Done
+    | "failed" -> Engine.Failed (Json.get_str "error" v)
+    | "timeout" -> Engine.Timed_out
+    | "cached" -> Engine.Cached
+    | s -> failwith ("Store.outcome_of_json: unknown status " ^ s)
+  in
+  let payload =
+    match Json.member "metrics" v with
+    | None -> None
+    | Some m ->
+        Some
+          {
+            Engine.p_metrics = metrics_of_json m;
+            p_summary = Json.get_str "summary" v;
+            p_report = Json.get_str "report" v;
+          }
+  in
+  {
+    Engine.o_name = Json.get_str "name" v;
+    o_group = Json.get_str "group" v;
+    o_key = Json.get_str "key" v;
+    o_status = status;
+    o_wall_s = Json.get_num "wall_s" v;
+    o_payload = payload;
+  }
+
+(* ---------- files ---------- *)
+
+let save (path : string) (outcomes : Engine.outcome list) : unit =
+  let oc = open_out path in
+  List.iter
+    (fun o ->
+      output_string oc (Json.to_string (outcome_to_json o));
+      output_char oc '\n')
+    outcomes;
+  close_out oc
+
+(* Raises [Json.Parse_error] or [Failure] with the offending line number
+   on a malformed store. *)
+let load (path : string) : Engine.outcome list =
+  let ic = open_in path in
+  let rec go lineno acc =
+    match input_line ic with
+    | exception End_of_file -> List.rev acc
+    | "" -> go (lineno + 1) acc
+    | line -> (
+        match outcome_of_json (Json.of_string line) with
+        | o -> go (lineno + 1) (o :: acc)
+        | exception Json.Parse_error msg ->
+            close_in ic;
+            raise
+              (Json.Parse_error (Printf.sprintf "%s:%d: %s" path lineno msg)))
+  in
+  let outcomes = go 1 [] in
+  close_in ic;
+  outcomes
+
+(* A cache over a previous store: only successful results with a
+   nonempty key are reusable. Missing file = empty cache. *)
+let cache_of_file (path : string) : string -> Engine.outcome option =
+  if not (Sys.file_exists path) then fun _ -> None
+  else begin
+    let tbl = Hashtbl.create 97 in
+    List.iter
+      (fun (o : Engine.outcome) ->
+        match o.Engine.o_status with
+        | (Engine.Done | Engine.Cached) when o.Engine.o_key <> "" ->
+            Hashtbl.replace tbl o.Engine.o_key o
+        | _ -> ())
+      (load path);
+    fun key -> Hashtbl.find_opt tbl key
+  end
+
+(* ---------- the human summary ---------- *)
+
+let summary_table (outcomes : Engine.outcome list) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-26s %-14s %-8s %9s %10s %7s\n" "benchmark" "group"
+       "status" "wall(s)" "err(bits)" "causes");
+  List.iter
+    (fun (o : Engine.outcome) ->
+      let err, causes =
+        match o.Engine.o_payload with
+        | Some p ->
+            ( Printf.sprintf "%10.1f" p.Engine.p_metrics.Engine.m_err_max,
+              Printf.sprintf "%7d" p.Engine.p_metrics.Engine.m_causes )
+        | None -> (Printf.sprintf "%10s" "-", Printf.sprintf "%7s" "-")
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-26s %-14s %-8s %9.2f %s %s\n" o.Engine.o_name
+           o.Engine.o_group
+           (status_to_string o.Engine.o_status)
+           o.Engine.o_wall_s err causes))
+    outcomes;
+  let count pred = List.length (List.filter pred outcomes) in
+  let ok = count (fun o -> o.Engine.o_status = Engine.Done) in
+  let cached = count (fun o -> o.Engine.o_status = Engine.Cached) in
+  let timeout = count (fun o -> o.Engine.o_status = Engine.Timed_out) in
+  let failed =
+    count (fun o ->
+        match o.Engine.o_status with Engine.Failed _ -> true | _ -> false)
+  in
+  let wall =
+    List.fold_left (fun acc o -> acc +. o.Engine.o_wall_s) 0.0 outcomes
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "%d jobs: %d ok, %d cached, %d failed, %d timeout; total wall %.2fs\n"
+       (List.length outcomes) ok cached failed timeout wall);
+  Buffer.contents buf

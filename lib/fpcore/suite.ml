@@ -367,6 +367,37 @@ let looping =
 
 let all = straight_line @ looping
 
+(* ---------- job enumeration for batch drivers ---------- *)
+
+(* A job is a benchmark plus everything that determines its analysis
+   inputs: the iteration count and the sampling seed. Batch engines
+   (fpgrind.fleet) consume these; the enumeration order is the canonical
+   suite order, which batch runs must preserve in their output. *)
+type job = { job_bench : bench; job_iterations : int; job_seed : int }
+
+let enumerate ?(iterations = 8) ?(seed = 1) ?(names = []) ?group () :
+    job list =
+  let selected =
+    match names with
+    | [] -> all
+    | names ->
+        (* preserve the caller's order and fail fast on unknown names *)
+        List.map
+          (fun n ->
+            match List.find_opt (fun b -> b.name = n) all with
+            | Some b -> b
+            | None -> invalid_arg ("Suite.enumerate: unknown benchmark " ^ n))
+          names
+  in
+  let selected =
+    match group with
+    | None -> selected
+    | Some g -> List.filter (fun b -> b.group = g) selected
+  in
+  List.map
+    (fun b -> { job_bench = b; job_iterations = iterations; job_seed = seed })
+    selected
+
 let find name =
   match List.find_opt (fun b -> b.name = name) all with
   | Some b -> b

@@ -21,11 +21,16 @@ let is_inline_call cfg name =
   Vex.Eval.libm_known name
   && (cfg.wrap_libm || not (List.mem name cfg.mathlib_names))
 
-let fresh_counter = ref 0
+(* Hoist names only need to be unique within one translation unit, so the
+   counter is domain-local and reset per [normalize] call: concurrent
+   compilations on other domains (fpgrind.fleet) cannot perturb it, which
+   keeps compiled programs byte-identical however jobs are scheduled. *)
+let fresh_counter = Domain.DLS.new_key (fun () -> ref 0)
 
 let fresh_name () =
-  incr fresh_counter;
-  Printf.sprintf "__hoist%d" !fresh_counter
+  let c = Domain.DLS.get fresh_counter in
+  incr c;
+  Printf.sprintf "__hoist%d" !c
 
 let rec has_user_call cfg (e : expr) : bool =
   match e.desc with
@@ -202,6 +207,7 @@ and norm_block cfg env stmts =
   out
 
 let normalize cfg (env : Typecheck.env) (p : program) : program =
+  Domain.DLS.get fresh_counter := 0;
   let norm_func (f : func) : func =
     env.Typecheck.locals <- List.map (fun (t, n) -> (n, t)) f.params;
     let body = List.concat_map (norm_stmt cfg env) f.body in

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# CI entry point: build, run the full test suite, then smoke-test the
+# fleet batch engine end to end — a small `fpgrind suite` run with a
+# JSONL store, validated by parsing it back.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dune build @all
+dune runtest
+
+out="$(mktemp /tmp/fpgrind-ci.XXXXXX.jsonl)"
+trap 'rm -f "$out"' EXIT
+
+dune exec bin/fpgrind_cli.exe -- suite \
+  intro-example nmse-3-1 verhulst midpoint-naive logistic-map newton-sqrt \
+  -j 2 --timeout 60 --precision 128 --iterations 4 \
+  --json "$out" --no-cache --strict
+
+dune exec bin/fpgrind_cli.exe -- validate "$out"
+
+echo "ci: ok"
