@@ -421,10 +421,137 @@ let improve_cmd =
        ~doc:"Search for a more accurate equivalent of an FPCore expression.")
     Term.(const run $ expr_arg $ lo_arg $ hi_arg)
 
+(* ---------- fuzz (differential campaigns) ---------- *)
+
+let fuzz_cmd =
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed.")
+  in
+  let iters_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "iters" ] ~docv:"N"
+          ~doc:
+            "Programs to generate and check. 0 skips generation (useful \
+             with --corpus to replay only).")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains. The transcript is identical for any value: \
+             program i depends only on (seed, i).")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-chunk wall-clock deadline.")
+  in
+  let corpus_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Replay every .mc reproducer in $(docv) before the campaign, \
+             and write newly shrunken counterexamples there.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress progress lines.")
+  in
+  let run seed iters jobs timeout corpus quiet =
+    let bad = ref false in
+    (* replay the corpus first: every past counterexample must stay fixed *)
+    (match corpus with
+    | Some dir when Sys.file_exists dir ->
+        List.iter
+          (fun (file, result) ->
+            match result with
+            | Fuzz.Oracle.Pass ->
+                if not quiet then Printf.eprintf "replay %-40s ok\n%!" file
+            | Fuzz.Oracle.Skip why ->
+                if not quiet then
+                  Printf.eprintf "replay %-40s skip (%s)\n%!" file why
+            | Fuzz.Oracle.Fail d ->
+                bad := true;
+                Printf.printf "replay %s: DIVERGENT (%s) %s\n" file
+                  d.Fuzz.Oracle.d_oracle d.Fuzz.Oracle.d_detail)
+          (Fuzz.Campaign.replay_dir dir)
+    | Some dir -> Printf.eprintf "warning: corpus dir %s does not exist\n" dir
+    | None -> ());
+    if iters > 0 then begin
+      let on_progress =
+        if quiet then None
+        else
+          Some
+            (fun (p : Fleet.progress) ->
+              Printf.eprintf "[%3d/%3d] %-8s %s\n%!" p.Fleet.pr_done
+                p.Fleet.pr_total
+                (Fleet.Store.status_to_string p.Fleet.pr_last.Fleet.o_status)
+                p.Fleet.pr_last.Fleet.o_name)
+      in
+      let t =
+        Fuzz.Campaign.run ~jobs ?timeout ?on_progress ~seed ~iters ()
+      in
+      let failures = Fuzz.Campaign.failed t in
+      let skips = List.length (Fuzz.Campaign.skipped t) in
+      Printf.printf "fuzz: seed %d, %d programs, %d divergent%s\n" seed iters
+        (List.length failures)
+        (if skips = 0 then ""
+         else Printf.sprintf ", %d skipped (step budget)" skips);
+      List.iter
+        (fun (e : Fuzz.Campaign.entry) ->
+          bad := true;
+          match e.Fuzz.Campaign.e_status with
+          | Fuzz.Campaign.Error msg ->
+              Printf.printf "program %d: ERROR %s\n" e.Fuzz.Campaign.e_index msg
+          | Fuzz.Campaign.Divergent d0 -> begin
+              Printf.printf "program %d: DIVERGENT (%s) %s\n"
+                e.Fuzz.Campaign.e_index d0.Fuzz.Oracle.d_oracle
+                d0.Fuzz.Oracle.d_detail;
+              (* shrink to a minimal reproducer *)
+              match Fuzz.Campaign.shrink_entry ~seed e.Fuzz.Campaign.e_index with
+              | Some (small, inputs, d) ->
+                  let src = Fuzz.Printer.program small in
+                  (match corpus with
+                  | Some dir when Sys.file_exists dir ->
+                      let path =
+                        Fuzz.Campaign.save_repro ~dir ~seed
+                          ~index:e.Fuzz.Campaign.e_index ~d ~inputs src
+                      in
+                      Printf.printf "  reproducer written to %s\n" path
+                  | _ -> ());
+                  print_string
+                    (String.concat "\n"
+                       (List.map (fun l -> "  | " ^ l)
+                          (String.split_on_char '\n' src)));
+                  print_newline ()
+              | None ->
+                  Printf.printf "  (divergence did not reproduce on re-run)\n"
+            end
+          | Fuzz.Campaign.Passed | Fuzz.Campaign.Skipped _ -> ())
+        failures
+    end;
+    if !bad then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: generate seeded random MiniC programs and \
+          check the reference evaluator, the VEX machine and the \
+          instrumented analysis agree bit-for-bit; shrink and record any \
+          counterexample.")
+    Term.(
+      const run $ seed_arg $ iters_arg $ jobs_arg $ timeout_arg $ corpus_arg
+      $ quiet_arg)
+
 let () =
   let doc = "find root causes of floating-point error (Herbgrind reproduction)" in
   let info = Cmd.info "fpgrind" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ analyze_cmd; run_cmd; suite_cmd; validate_cmd; list_cmd; improve_cmd ]))
+          [
+            analyze_cmd; run_cmd; suite_cmd; validate_cmd; list_cmd;
+            improve_cmd; fuzz_cmd;
+          ]))

@@ -1,0 +1,311 @@
+(* Campaign driver: seeded batches of generate -> oracle, optionally in
+   parallel over the Fleet pool, plus corpus reproducer files.
+
+   Determinism contract (mirrors Fleet's): program [i] of a campaign is
+   generated from [Rng.make_indexed ~seed i], an RNG stream keyed only by
+   (seed, i); which oracle checks run for [i] depends only on [i]; and
+   results are keyed by index. So the transcript — sources, digests and
+   verdicts — is a pure function of (seed, iters, config), whatever
+   [--jobs] is. Work is sharded into fixed-size chunks; each chunk is one
+   Fleet job whose report serializes its entries one per line, parsed
+   back and reassembled in index order. *)
+
+type status =
+  | Passed
+  | Skipped of string (* step budget exhausted: harness limit, not a bug *)
+  | Divergent of Oracle.divergence
+  | Error of string
+
+type entry = { e_index : int; e_digest : string; e_status : status }
+
+type transcript = { t_seed : int; t_iters : int; t_entries : entry list }
+
+let chunk_size = 25
+
+(* every 8th program gets the expensive legs (ablations, vectorize,
+   mathlib) on top of the default reference/machine/analysis/kernel *)
+let checks_for ~(base : Oracle.checks) (i : int) : Oracle.checks =
+  if i mod 8 = 0 then
+    {
+      base with
+      Oracle.c_ablations = true;
+      c_vectorize = true;
+      c_mathlib = true;
+    }
+  else base
+
+let generate ?config ~seed (i : int) : Minic.Ast.program * float array =
+  Gen.program ?config (Rng.make_indexed ~seed i)
+
+let digest_of (ast : Minic.Ast.program) : string =
+  Digest.to_hex (Digest.string (Printer.program ast))
+
+let run_one ?config ?(checks = Oracle.default_checks) ?tick ~seed (i : int) :
+    entry =
+  let ast, inputs = generate ?config ~seed i in
+  let digest = digest_of ast in
+  let status =
+    match Oracle.run ~checks:(checks_for ~base:checks i) ?tick ~inputs ast with
+    | Oracle.Pass -> Passed
+    | Oracle.Skip why -> Skipped why
+    | Oracle.Fail d -> Divergent d
+    | exception exn -> Error (Printexc.to_string exn)
+  in
+  { e_index = i; e_digest = digest; e_status = status }
+
+(* ---------- chunk (de)serialization through Fleet payloads ---------- *)
+
+let sanitize (s : string) : string =
+  String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) s
+
+let entry_to_line (e : entry) : string =
+  match e.e_status with
+  | Passed -> Printf.sprintf "%d %s ok" e.e_index e.e_digest
+  | Skipped why ->
+      Printf.sprintf "%d %s skip %s" e.e_index e.e_digest (sanitize why)
+  | Divergent d ->
+      Printf.sprintf "%d %s div %s %s" e.e_index e.e_digest
+        (sanitize d.Oracle.d_oracle)
+        (sanitize d.Oracle.d_detail)
+  | Error msg -> Printf.sprintf "%d %s err %s" e.e_index e.e_digest (sanitize msg)
+
+let entry_of_line (line : string) : entry =
+  let field_end s from =
+    match String.index_from_opt s from ' ' with
+    | Some i -> i
+    | None -> String.length s
+  in
+  let i1 = field_end line 0 in
+  let i2 = field_end line (i1 + 1) in
+  let i3 = field_end line (i2 + 1) in
+  let idx = int_of_string (String.sub line 0 i1) in
+  let digest = String.sub line (i1 + 1) (i2 - i1 - 1) in
+  let tag = String.sub line (i2 + 1) (i3 - i2 - 1) in
+  let rest =
+    if i3 >= String.length line then ""
+    else String.sub line (i3 + 1) (String.length line - i3 - 1)
+  in
+  let status =
+    match tag with
+    | "ok" -> Passed
+    | "skip" -> Skipped rest
+    | "err" -> Error rest
+    | "div" ->
+        let j = field_end rest 0 in
+        let oracle = String.sub rest 0 j in
+        let detail =
+          if j >= String.length rest then ""
+          else String.sub rest (j + 1) (String.length rest - j - 1)
+        in
+        Divergent { Oracle.d_oracle = oracle; d_detail = detail }
+    | t -> Error ("bad transcript tag " ^ t)
+  in
+  { e_index = idx; e_digest = digest; e_status = status }
+
+(* ---------- the campaign ---------- *)
+
+let run ?config ?(checks = Oracle.default_checks) ?(jobs = 1) ?timeout
+    ?on_progress ~seed ~iters () : transcript =
+  let n_chunks = (iters + chunk_size - 1) / chunk_size in
+  let specs =
+    List.init n_chunks (fun c ->
+        let lo = c * chunk_size in
+        let hi = min iters (lo + chunk_size) in
+        {
+          Fleet.sp_name = Printf.sprintf "fuzz[%d..%d)" lo hi;
+          sp_group = "fuzz";
+          sp_key = "";
+          (* no caching: generation is cheaper than hashing a campaign key *)
+          sp_work =
+            (fun ~tick ->
+              let entries =
+                List.init (hi - lo) (fun k ->
+                    tick ();
+                    run_one ?config ~checks ~tick ~seed (lo + k))
+              in
+              let divergences =
+                List.length
+                  (List.filter
+                     (fun e ->
+                       match e.e_status with
+                       | Passed | Skipped _ -> false
+                       | Divergent _ | Error _ -> true)
+                     entries)
+              in
+              {
+                Fleet.p_metrics =
+                  {
+                    Fleet.m_blocks = hi - lo;
+                    m_stmts = 0;
+                    m_fp_ops = 0;
+                    m_trace_nodes = 0;
+                    m_spots = 0;
+                    m_causes = divergences;
+                    m_compensations = 0;
+                    m_err_max = 0.0;
+                  };
+                p_summary =
+                  Printf.sprintf "%d programs, %d divergent" (hi - lo)
+                    divergences;
+                p_report =
+                  String.concat "\n" (List.map entry_to_line entries);
+              });
+        })
+  in
+  let outcomes = Fleet.run ~jobs ?timeout ?on_progress specs in
+  let entries =
+    List.concat
+      (List.mapi
+         (fun c (o : Fleet.outcome) ->
+           let lo = c * chunk_size in
+           let hi = min iters (lo + chunk_size) in
+           match (o.Fleet.o_status, o.Fleet.o_payload) with
+           | (Fleet.Done | Fleet.Cached), Some p ->
+               String.split_on_char '\n' p.Fleet.p_report
+               |> List.filter (fun l -> l <> "")
+               |> List.map entry_of_line
+           | Fleet.Timed_out, _ ->
+               List.init (hi - lo) (fun k ->
+                   { e_index = lo + k; e_digest = "-"; e_status = Error "timed out" })
+           | Fleet.Failed msg, _ ->
+               List.init (hi - lo) (fun k ->
+                   { e_index = lo + k; e_digest = "-"; e_status = Error msg })
+           | _, None ->
+               List.init (hi - lo) (fun k ->
+                   { e_index = lo + k; e_digest = "-"; e_status = Error "no payload" }))
+         outcomes)
+  in
+  let entries = List.sort (fun a b -> compare a.e_index b.e_index) entries in
+  { t_seed = seed; t_iters = iters; t_entries = entries }
+
+let divergent (t : transcript) : entry list =
+  List.filter
+    (fun e -> match e.e_status with Divergent _ -> true | _ -> false)
+    t.t_entries
+
+let skipped (t : transcript) : entry list =
+  List.filter
+    (fun e -> match e.e_status with Skipped _ -> true | _ -> false)
+    t.t_entries
+
+(* divergences and harness errors; skips are benign *)
+let failed (t : transcript) : entry list =
+  List.filter
+    (fun e ->
+      match e.e_status with
+      | Passed | Skipped _ -> false
+      | Divergent _ | Error _ -> true)
+    t.t_entries
+
+(* ---------- shrinking a divergent entry ---------- *)
+
+(* Re-derive program [i], confirm the divergence, and shrink while the
+   same oracle keeps failing. Returns the shrunken AST, its inputs and
+   the (post-shrink) divergence. *)
+let shrink_entry ?config ?(checks = Oracle.default_checks) ?max_attempts ~seed
+    (i : int) : (Minic.Ast.program * float array * Oracle.divergence) option =
+  let ast, inputs = generate ?config ~seed i in
+  let checks = checks_for ~base:checks i in
+  match Oracle.run ~checks ~inputs ast with
+  | Oracle.Pass | Oracle.Skip _ | (exception _) -> None
+  | Oracle.Fail d0 ->
+      let still_fails c =
+        match Oracle.run ~checks ~inputs c with
+        | Oracle.Fail d -> d.Oracle.d_oracle = d0.Oracle.d_oracle
+        | Oracle.Pass | Oracle.Skip _ -> false
+        | exception _ -> false
+      in
+      let small, _stats = Shrink.shrink ?max_attempts ~still_fails ast in
+      let d =
+        match Oracle.run ~checks ~inputs small with
+        | Oracle.Fail d -> d
+        | Oracle.Pass | Oracle.Skip _ | (exception _) -> d0
+      in
+      Some (small, inputs, d)
+
+(* ---------- corpus files ---------- *)
+
+(* A reproducer is a self-contained MiniC file: the inputs ride along in
+   a header comment as hex double bits, so replay is bit-exact. *)
+let repro_contents ~seed ~index ~(d : Oracle.divergence)
+    ~(inputs : float array) (src : string) : string =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "// fpgrind fuzz reproducer\n";
+  Buffer.add_string b
+    (Printf.sprintf "// seed: %d index: %d oracle: %s\n" seed index
+       (sanitize d.Oracle.d_oracle));
+  Buffer.add_string b
+    (Printf.sprintf "// detail: %s\n" (sanitize d.Oracle.d_detail));
+  Buffer.add_string b
+    ("// inputs:"
+    ^ String.concat ""
+        (Array.to_list
+           (Array.map
+              (fun f -> Printf.sprintf " %016Lx" (Int64.bits_of_float f))
+              inputs))
+    ^ "\n");
+  Buffer.add_string b src;
+  Buffer.contents b
+
+let save_repro ~dir ~seed ~index ~(d : Oracle.divergence)
+    ~(inputs : float array) (src : string) : string =
+  let path =
+    Filename.concat dir
+      (Printf.sprintf "seed%d_i%d_%s.mc" seed index
+         (String.map
+            (fun c ->
+              if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '-'
+              then c
+              else '_')
+            d.Oracle.d_oracle))
+  in
+  let oc = open_out path in
+  output_string oc (repro_contents ~seed ~index ~d ~inputs src);
+  close_out oc;
+  path
+
+(* parse the "// inputs: <hex> <hex> ..." header of a reproducer *)
+let inputs_of_source (src : string) : float array =
+  let lines = String.split_on_char '\n' src in
+  let prefix = "// inputs:" in
+  let rec find = function
+    | [] -> [||]
+    | l :: rest ->
+        if String.length l >= String.length prefix
+           && String.sub l 0 (String.length prefix) = prefix
+        then
+          String.sub l (String.length prefix)
+            (String.length l - String.length prefix)
+          |> String.split_on_char ' '
+          |> List.filter (fun s -> s <> "")
+          |> List.map (fun s -> Int64.float_of_bits (Int64.of_string ("0x" ^ s)))
+          |> Array.of_list
+        else find rest
+  in
+  find lines
+
+let read_file (path : string) : string =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let replay_file ?(checks = Oracle.default_checks) ?tick (path : string) :
+    Oracle.result =
+  let src = read_file path in
+  let inputs = inputs_of_source src in
+  Oracle.run_source ~checks ?tick ~inputs src
+
+(* replay every .mc file in [dir], sorted for a stable order *)
+let replay_dir ?checks ?tick (dir : string) : (string * Oracle.result) list =
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".mc")
+    |> List.sort compare
+  in
+  List.map
+    (fun f ->
+      let path = Filename.concat dir f in
+      (f, replay_file ?checks ?tick path))
+    files

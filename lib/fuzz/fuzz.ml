@@ -1,0 +1,16 @@
+(* fpgrind.fuzz — public face of the differential-fuzzing subsystem.
+
+   [Fuzz.Gen] builds random well-typed MiniC programs from a splittable
+   seeded PRNG ([Fuzz.Rng]); [Fuzz.Printer] renders them back to source;
+   [Fuzz.Interp] is the independent reference evaluator; [Fuzz.Oracle]
+   runs the N-way differential and metamorphic checks; [Fuzz.Shrink]
+   minimizes counterexamples; [Fuzz.Campaign] drives seeded (optionally
+   Fleet-parallel) batches and the corpus reproducer files. *)
+
+module Rng = Rng
+module Printer = Printer
+module Gen = Gen
+module Interp = Interp
+module Oracle = Oracle
+module Shrink = Shrink
+module Campaign = Campaign

@@ -1,0 +1,597 @@
+(* A typed, seeded MiniC program generator.
+
+   Programs are built directly as [Minic.Ast] values and are well-typed by
+   construction: the generator tracks the variable environment and only
+   produces expressions of the type a context demands, mirroring the
+   typechecker's promotion rules. Termination and definedness are also by
+   construction:
+
+   - every scalar declaration is initialized (the VEX stack reuses frame
+     memory, so an uninitialized local read would see leftover bytes that
+     no reference evaluator should have to model);
+   - loops are bounded counter loops; the counter is "protected" (never
+     assigned in the body) and [continue] is never emitted;
+   - integer division/modulus denominators are nonzero literals or the
+     shape [e*e + 1], which is nonzero for every int64 [e] (squares mod 8
+     are 0, 1 or 4, so [e*e] can never be -1);
+   - array indices are wrapped as [((e % n + n) % n)];
+   - local arrays live only in [main] (whose frame is fresh), so their
+     zero-initialized reads are well-defined;
+   - helper functions only call earlier helpers (no recursion) and always
+     end in [return].
+
+   All randomness flows through one [Rng.t], so a seed fully determines
+   the program. *)
+
+open Minic.Ast
+
+type config = {
+  max_top_stmts : int;  (* statement budget for main *)
+  max_block_stmts : int;  (* budget for nested blocks *)
+  max_expr_depth : int;
+  max_helpers : int;
+  max_arrays : int;
+  max_loop_iters : int;
+  allow_control : bool;  (* if/while/for/break *)
+  allow_arrays : bool;
+  allow_casts : bool;
+  allow_calls : bool;  (* helper functions *)
+  allow_libm : bool;  (* transcendental library calls *)
+  allow_single : bool;  (* binary32 locals, literals and arithmetic *)
+  allow_int_arith : bool;
+  n_inputs : int;  (* size of the __arg input vector *)
+}
+
+let default =
+  {
+    max_top_stmts = 14;
+    max_block_stmts = 5;
+    max_expr_depth = 5;
+    max_helpers = 3;
+    max_arrays = 2;
+    max_loop_iters = 6;
+    allow_control = true;
+    allow_arrays = true;
+    allow_casts = true;
+    allow_calls = true;
+    allow_libm = true;
+    allow_single = true;
+    allow_int_arith = true;
+    n_inputs = 8;
+  }
+
+(* the surface the old hand-rolled differential fuzzer covered:
+   straight-line double expressions only *)
+let straightline =
+  {
+    default with
+    max_top_stmts = 6;
+    max_helpers = 0;
+    max_arrays = 0;
+    allow_control = false;
+    allow_arrays = false;
+    allow_casts = false;
+    allow_calls = false;
+    allow_libm = false;
+    allow_single = false;
+    allow_int_arith = false;
+  }
+
+(* ---------- generator state ---------- *)
+
+type helper = { h_name : string; h_ret : ty; h_params : ty list }
+
+type genv = {
+  cfg : config;
+  rng : Rng.t;
+  mutable vars : (string * ty) list;  (* scalars in scope *)
+  mutable arrays : (string * ty * int) list;  (* name, elem ty, length *)
+  mutable protected : string list;  (* loop counters: read-only *)
+  mutable helpers : helper list;  (* callable from the current point *)
+  mutable fresh : int;
+  mutable in_loop : bool;
+}
+
+let no_pos = { line = 0 }
+let e (desc : expr_desc) : expr = { desc; pos = no_pos }
+let s (sdesc : stmt_desc) : stmt = { sdesc; spos = no_pos }
+
+let fresh_name g prefix =
+  g.fresh <- g.fresh + 1;
+  Printf.sprintf "%s%d" prefix g.fresh
+
+let scalar_tys g =
+  (Tdouble, 6)
+  :: (if g.cfg.allow_int_arith then [ (Tint, 3) ] else [])
+  @ if g.cfg.allow_single then [ (Tfloat, 2) ] else []
+
+let pick_scalar_ty g = Rng.choose g.rng (List.map (fun (t, w) -> (w, t)) (scalar_tys g))
+
+let vars_of_ty g t = List.filter (fun (_, vt) -> vt = t) g.vars
+let assignable g = List.filter (fun (n, _) -> not (List.mem n g.protected)) g.vars
+
+(* ---------- literals ---------- *)
+
+let float_lit_of (f : float) : expr =
+  (* spelling chosen so the lexer reads back the exact double: %.17g
+     round-trips, and a '.0' is forced when the rendering looks integral *)
+  let s0 = Printf.sprintf "%.17g" f in
+  let s0 =
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'n' || c = 'i') s0
+    then s0
+    else s0 ^ ".0"
+  in
+  e (Float_lit (f, s0))
+
+let single_lit_of (f : float) : expr =
+  let f = Ieee.Single.of_double f in
+  let s0 = Printf.sprintf "%.17g" f in
+  let s0 =
+    if String.exists (fun c -> c = '.' || c = 'e') s0 then s0 else s0 ^ ".0"
+  in
+  e (Float_lit (f, s0 ^ "f"))
+
+let interesting_doubles =
+  [|
+    0.0; 1.0; -1.0; 0.5; 2.0; 0.1; 3.0; 10.0; 1e-8; 1e8; 1e16; 1e-16;
+    6755399441055744.0; 3.141592653589793; 0.3333333333333333; 1e300; 1e-300;
+  |]
+
+let gen_double_const g =
+  match Rng.int g.rng 4 with
+  | 0 -> interesting_doubles.(Rng.int g.rng (Array.length interesting_doubles))
+  | 1 -> (Rng.float g.rng *. 200.0) -. 100.0
+  | 2 ->
+      (* exponent-scaled: m * 2^e *)
+      let m = (Rng.float g.rng *. 2.0) -. 1.0 in
+      let ex = Rng.range g.rng (-40) 40 in
+      Float.ldexp m ex
+  | _ -> float_of_int (Rng.range g.rng (-20) 20)
+
+let gen_int_const g : int64 =
+  match Rng.int g.rng 4 with
+  | 0 -> Int64.of_int (Rng.range g.rng 0 8)
+  | 1 -> Int64.of_int (Rng.range g.rng (-64) 64)
+  | 2 -> Int64.shift_left 1L (Rng.int g.rng 20)
+  | _ -> Int64.of_int (Rng.range g.rng (-100000) 100000)
+
+(* the libm surface the generator exercises (all unary/binary/ternary
+   calls return double); sqrt and fabs compile to inline hardware ops,
+   the rest to Dirty library calls *)
+let libm_unary =
+  [ "sqrt"; "fabs"; "exp"; "log"; "sin"; "cos"; "tan"; "atan"; "floor";
+    "ceil"; "trunc"; "round"; "cbrt"; "expm1"; "log1p"; "sinh"; "tanh" ]
+
+let libm_binary = [ "pow"; "atan2"; "fmin"; "fmax"; "hypot"; "fmod"; "copysign"; "fdim" ]
+
+(* ---------- expressions ---------- *)
+
+let rec gen_expr g (want : ty) (depth : int) : expr =
+  match want with
+  | Tdouble -> gen_double g depth
+  | Tint -> gen_int g depth
+  | Tfloat -> gen_single g depth
+  | Tarray _ | Tptr _ -> invalid_arg "Gen.gen_expr: non-scalar"
+
+and gen_double g depth : expr =
+  if depth <= 0 then gen_double_leaf g
+  else
+    let vars = vars_of_ty g Tdouble in
+    let menu =
+      [
+        (2, `Leaf);
+        (8, `Binop);
+        (1, `Neg);
+        (2, `Sqrt_fabs);
+        (1, `Minmax);
+        (2, `Arg);
+      ]
+      @ (if g.cfg.allow_libm then [ (2, `Libm) ] else [])
+      @ (if g.cfg.allow_casts then [ (1, `Cast) ] else [])
+      @ (if g.arrays <> [] && List.exists (fun (_, t, _) -> t = Tdouble) g.arrays
+         then [ (2, `Index) ]
+         else [])
+      @ (if g.helpers <> [] then [ (2, `Call) ] else [])
+      @ if vars <> [] then [ (6, `Var) ] else []
+    in
+    match Rng.choose g.rng menu with
+    | `Leaf -> gen_double_leaf g
+    | `Var -> e (Var (fst (Rng.pick g.rng vars)))
+    | `Binop ->
+        let op = Rng.choose g.rng [ (3, Add); (3, Sub); (3, Mul); (2, Div) ] in
+        (* mixed-type operands exercise the usual arithmetic conversions *)
+        let sub g =
+          if g.cfg.allow_casts && Rng.int g.rng 8 = 0 then
+            gen_expr g (pick_scalar_ty g) (depth - 1)
+          else gen_double g (depth - 1)
+        in
+        e (Binary (op, sub g, gen_double g (depth - 1)))
+    | `Neg -> e (Unary (Neg, gen_double g (depth - 1)))
+    | `Sqrt_fabs ->
+        let f = if Rng.bool g.rng then "sqrt" else "fabs" in
+        e (Call (f, [ gen_double g (depth - 1) ]))
+    | `Minmax ->
+        let f = if Rng.bool g.rng then "fmin" else "fmax" in
+        e (Call (f, [ gen_double g (depth - 1); gen_double g (depth - 1) ]))
+    | `Arg -> e (Call ("__arg", [ gen_int g (min 1 (depth - 1)) ]))
+    | `Libm -> begin
+        match Rng.int g.rng 3 with
+        | 0 ->
+            let f = Rng.pick g.rng libm_unary in
+            e (Call (f, [ gen_double g (depth - 1) ]))
+        | 1 ->
+            let f = Rng.pick g.rng libm_binary in
+            e (Call (f, [ gen_double g (depth - 1); gen_double g (depth - 1) ]))
+        | _ ->
+            e
+              (Call
+                 ( "fma",
+                   [
+                     gen_double g (depth - 1);
+                     gen_double g (depth - 1);
+                     gen_double g (depth - 1);
+                   ] ))
+      end
+    | `Cast ->
+        let from = if g.cfg.allow_single && Rng.bool g.rng then Tfloat else Tint in
+        e (Cast (Tdouble, gen_expr g from (depth - 1)))
+    | `Index -> gen_array_read g Tdouble (depth - 1)
+    | `Call -> gen_helper_call g Tdouble (depth - 1)
+
+and gen_double_leaf g : expr =
+  let vars = vars_of_ty g Tdouble in
+  if vars <> [] && Rng.int g.rng 3 > 0 then e (Var (fst (Rng.pick g.rng vars)))
+  else float_lit_of (gen_double_const g)
+
+and gen_single g depth : expr =
+  if depth <= 0 then gen_single_leaf g
+  else
+    let vars = vars_of_ty g Tfloat in
+    let menu =
+      [ (2, `Leaf); (6, `Binop); (1, `Neg); (2, `Cast) ]
+      @ (if g.arrays <> [] && List.exists (fun (_, t, _) -> t = Tfloat) g.arrays
+         then [ (2, `Index) ]
+         else [])
+      @ if vars <> [] then [ (5, `Var) ] else []
+    in
+    match Rng.choose g.rng menu with
+    | `Leaf -> gen_single_leaf g
+    | `Var -> e (Var (fst (Rng.pick g.rng vars)))
+    | `Binop ->
+        let op = Rng.choose g.rng [ (3, Add); (3, Sub); (3, Mul); (2, Div) ] in
+        e (Binary (op, gen_single g (depth - 1), gen_single g (depth - 1)))
+    | `Neg -> e (Unary (Neg, gen_single g (depth - 1)))
+    | `Cast ->
+        let from = if Rng.bool g.rng then Tdouble else Tint in
+        e (Cast (Tfloat, gen_expr g from (depth - 1)))
+    | `Index -> gen_array_read g Tfloat (depth - 1)
+
+and gen_single_leaf g : expr =
+  let vars = vars_of_ty g Tfloat in
+  if vars <> [] && Rng.int g.rng 3 > 0 then e (Var (fst (Rng.pick g.rng vars)))
+  else single_lit_of ((Rng.float g.rng *. 64.0) -. 32.0)
+
+and gen_int g depth : expr =
+  if depth <= 0 then gen_int_leaf g
+  else
+    let vars = vars_of_ty g Tint in
+    let menu =
+      [ (2, `Leaf); (5, `Binop); (2, `DivMod); (3, `Cmp); (1, `Neg); (1, `Logic) ]
+      @ (if g.cfg.allow_casts then [ (2, `Cast) ] else [])
+      @ (if g.arrays <> [] && List.exists (fun (_, t, _) -> t = Tint) g.arrays
+         then [ (1, `Index) ]
+         else [])
+      @ if vars <> [] then [ (5, `Var) ] else []
+    in
+    match Rng.choose g.rng menu with
+    | `Leaf -> gen_int_leaf g
+    | `Var -> e (Var (fst (Rng.pick g.rng vars)))
+    | `Binop ->
+        let op = Rng.choose g.rng [ (3, Add); (3, Sub); (2, Mul) ] in
+        e (Binary (op, gen_int g (depth - 1), gen_int g (depth - 1)))
+    | `DivMod ->
+        let op = if Rng.bool g.rng then Div else Mod in
+        let denom =
+          if Rng.int g.rng 3 = 0 then begin
+            (* e*e + 1: provably nonzero for every int64 e *)
+            let x = gen_int g (min 1 (depth - 1)) in
+            e (Binary (Add, e (Binary (Mul, x, x)), e (Int_lit 1L)))
+          end
+          else e (Int_lit (Int64.of_int (Rng.pick g.rng [ 2; 3; 4; 5; 7; 8; 16; -3 ])))
+        in
+        e (Binary (op, gen_int g (depth - 1), denom))
+    | `Cmp -> gen_cond ~value:true g (depth - 1)
+    | `Neg -> e (Unary (Neg, gen_int g (depth - 1)))
+    | `Logic -> gen_cond ~value:true g (depth - 1)
+    | `Cast ->
+        let from = if g.cfg.allow_single && Rng.bool g.rng then Tfloat else Tdouble in
+        e (Cast (Tint, gen_expr g from (depth - 1)))
+    | `Index -> gen_array_read g Tint (depth - 1)
+
+and gen_int_leaf g : expr =
+  let vars = vars_of_ty g Tint in
+  if vars <> [] && Rng.int g.rng 3 > 0 then e (Var (fst (Rng.pick g.rng vars)))
+  else
+    let i = gen_int_const g in
+    if Int64.compare i 0L < 0 then e (Unary (Neg, e (Int_lit (Int64.neg i))))
+    else e (Int_lit i)
+
+(* A condition. In condition position (if/while tests, &&/|| operands) a
+   bare scalar is legal (truth-tested against zero); where the result is
+   used as an int-typed *expression* ([?value:true]) only comparisons,
+   &&/||, and ! qualify — a bare double there would be ill-typed. *)
+and gen_cond ?(value = false) g depth : expr =
+  if depth <= 0 then gen_int_leaf g
+  else
+    match Rng.int g.rng 6 with
+    | 0 | 1 | 2 ->
+        let op = Rng.pick g.rng [ Lt; Le; Gt; Ge; Eq; Ne ] in
+        let t = pick_scalar_ty g in
+        e (Binary (op, gen_expr g t (depth - 1), gen_expr g t (depth - 1)))
+    | 3 ->
+        let op = if Rng.bool g.rng then And else Or in
+        e (Binary (op, gen_cond g (depth - 1), gen_cond g (depth - 1)))
+    | 4 -> e (Unary (Not, gen_cond g (depth - 1)))
+    | _ when value ->
+        let op = Rng.pick g.rng [ Lt; Le; Gt; Ge; Eq; Ne ] in
+        let t = pick_scalar_ty g in
+        e (Binary (op, gen_expr g t (depth - 1), gen_expr g t (depth - 1)))
+    | _ ->
+        (* scalar truth test *)
+        gen_expr g (pick_scalar_ty g) (depth - 1)
+
+(* a[((e % n + n) % n)] — in bounds for any int e *)
+and wrap_index g (n : int) (depth : int) : expr =
+  let base = gen_int g depth in
+  let nl () = e (Int_lit (Int64.of_int n)) in
+  e (Binary (Mod, e (Binary (Add, e (Binary (Mod, base, nl ())), nl ())), nl ()))
+
+and gen_array_read g (elt : ty) depth : expr =
+  let candidates = List.filter (fun (_, t, _) -> t = elt) g.arrays in
+  let name, _, n = Rng.pick g.rng candidates in
+  e (Index (e (Var name), wrap_index g n depth))
+
+and gen_helper_call g (want : ty) depth : expr =
+  let fits = List.filter (fun h -> h.h_ret = want) g.helpers in
+  match fits with
+  | [] ->
+      (* no helper of that type: fall back to a cast-free leaf *)
+      gen_expr g want 0
+  | _ ->
+      let h = Rng.pick g.rng fits in
+      e (Call (h.h_name, List.map (fun t -> gen_expr g t (min depth 2)) h.h_params))
+
+(* ---------- statements ---------- *)
+
+let depth g = 1 + Rng.int g.rng g.cfg.max_expr_depth
+
+let gen_decl g : stmt =
+  let t = pick_scalar_ty g in
+  (* initializer of a possibly different scalar type exercises the
+     implicit conversion on declaration *)
+  let it = if g.cfg.allow_casts && Rng.int g.rng 6 = 0 then pick_scalar_ty g else t in
+  let name = fresh_name g "v" in
+  let init = gen_expr g it (depth g) in
+  g.vars <- (name, t) :: g.vars;
+  s (Decl (t, name, Some init))
+
+let gen_assign g : stmt option =
+  match assignable g with
+  | [] -> None
+  | vs ->
+      let name, t = Rng.pick g.rng vs in
+      let it = if g.cfg.allow_casts && Rng.int g.rng 6 = 0 then pick_scalar_ty g else t in
+      Some (s (Assign (name, gen_expr g it (depth g))))
+
+let gen_store g : stmt option =
+  match g.arrays with
+  | [] -> None
+  | arrs ->
+      let name, elt, n = Rng.pick g.rng arrs in
+      let it = if g.cfg.allow_casts && Rng.int g.rng 6 = 0 then pick_scalar_ty g else elt in
+      Some (s (Store (name, wrap_index g n 1, gen_expr g it (depth g))))
+
+let gen_print g : stmt =
+  s (Print (gen_expr g (pick_scalar_ty g) (depth g)))
+
+(* generate [budget] statements into the current scope *)
+let rec gen_block g (budget : int) : stmt list =
+  if budget <= 0 then []
+  else begin
+    let st = gen_stmt g budget in
+    match st with
+    | None -> gen_block g (budget - 1)
+    | Some (stmts, cost) -> stmts @ gen_block g (budget - cost)
+  end
+
+and gen_stmt g budget : (stmt list * int) option =
+  let menu =
+    [ (5, `Decl); (4, `Assign); (3, `Print); (1, `Mark) ]
+    @ (if g.arrays <> [] then [ (3, `Store) ] else [])
+    @ (if g.cfg.allow_control && budget >= 2 then [ (3, `If) ] else [])
+    @ (if g.cfg.allow_control && budget >= 3 then [ (2, `While); (2, `For) ] else [])
+    @ if g.cfg.allow_control && g.in_loop then [ (1, `Break) ] else []
+  in
+  match Rng.choose g.rng menu with
+  | `Decl -> Some ([ gen_decl g ], 1)
+  | `Assign -> Option.map (fun st -> ([ st ], 1)) (gen_assign g)
+  | `Store -> Option.map (fun st -> ([ st ], 1)) (gen_store g)
+  | `Print -> Some ([ gen_print g ], 1)
+  | `Mark -> Some ([ s (Mark (gen_double g (depth g))) ], 1)
+  | `Break ->
+      (* guarded break: unconditional would make the tail dead weight *)
+      Some ([ s (If (gen_cond g 2, [ s Break ], [])) ], 1)
+  | `If ->
+      let c = gen_cond g (depth g) in
+      let saved = g.vars in
+      let then_ = gen_block g (min g.cfg.max_block_stmts (budget - 1)) in
+      g.vars <- saved;
+      let else_ =
+        if Rng.bool g.rng then begin
+          let b = gen_block g (min g.cfg.max_block_stmts (budget - 1)) in
+          g.vars <- saved;
+          b
+        end
+        else []
+      in
+      Some ([ s (If (c, then_, else_)) ], 2)
+  | `While ->
+      let counter = fresh_name g "c" in
+      let iters = 1 + Rng.int g.rng g.cfg.max_loop_iters in
+      let decl = s (Decl (Tint, counter, Some (e (Int_lit 0L)))) in
+      g.vars <- (counter, Tint) :: g.vars;
+      g.protected <- counter :: g.protected;
+      let cond0 =
+        e (Binary (Lt, e (Var counter), e (Int_lit (Int64.of_int iters))))
+      in
+      let cond =
+        if Rng.int g.rng 4 = 0 then e (Binary (And, cond0, gen_cond g 2)) else cond0
+      in
+      let saved = g.vars in
+      let was_in_loop = g.in_loop in
+      g.in_loop <- true;
+      let body = gen_block g (min g.cfg.max_block_stmts (budget - 2)) in
+      g.in_loop <- was_in_loop;
+      g.vars <- saved;
+      let bump =
+        s (Assign (counter, e (Binary (Add, e (Var counter), e (Int_lit 1L)))))
+      in
+      g.protected <- List.filter (fun n -> n <> counter) g.protected;
+      Some ([ decl; s (While (cond, body @ [ bump ])) ], 3)
+  | `For ->
+      let counter = fresh_name g "i" in
+      let iters = 1 + Rng.int g.rng g.cfg.max_loop_iters in
+      let init = s (Decl (Tint, counter, Some (e (Int_lit 0L)))) in
+      let cond = e (Binary (Lt, e (Var counter), e (Int_lit (Int64.of_int iters)))) in
+      let step =
+        s (Assign (counter, e (Binary (Add, e (Var counter), e (Int_lit 1L)))))
+      in
+      let saved = g.vars in
+      g.vars <- (counter, Tint) :: g.vars;
+      g.protected <- counter :: g.protected;
+      let was_in_loop = g.in_loop in
+      g.in_loop <- true;
+      let body = gen_block g (min g.cfg.max_block_stmts (budget - 2)) in
+      g.in_loop <- was_in_loop;
+      g.vars <- saved;
+      g.protected <- List.filter (fun n -> n <> counter) g.protected;
+      Some ([ s (For (Some init, Some cond, Some step, body)) ], 3)
+
+(* ---------- helpers (the multi-function surface) ---------- *)
+
+let gen_helper g (idx : int) : func * helper =
+  let name = Printf.sprintf "h%d" idx in
+  let ret = pick_scalar_ty g in
+  let nparams = Rng.range g.rng 1 3 in
+  let params =
+    List.init nparams (fun i -> (pick_scalar_ty g, Printf.sprintf "p%d" i))
+  in
+  (* a private scope: helper bodies see only their params (and earlier
+     helpers for calls), never main's locals or arrays *)
+  let saved_vars = g.vars and saved_arrays = g.arrays in
+  g.vars <- List.map (fun (t, n) -> (n, t)) params;
+  g.arrays <- [];
+  let budget = Rng.range g.rng 1 4 in
+  let body = gen_block g budget in
+  let final = s (Return (Some (gen_expr g ret (depth g)))) in
+  g.vars <- saved_vars;
+  g.arrays <- saved_arrays;
+  ( { fname = name; ret = Some ret; params; body = body @ [ final ]; fpos = no_pos },
+    { h_name = name; h_ret = ret; h_params = List.map fst params } )
+
+(* ---------- whole programs ---------- *)
+
+let gen_inputs g n =
+  Array.init n (fun _ ->
+      match Rng.int g.rng 5 with
+      | 0 -> float_of_int (Rng.range g.rng (-10) 10)
+      | 1 -> (Rng.float g.rng *. 20.0) -. 10.0
+      | 2 -> Float.ldexp ((Rng.float g.rng *. 2.0) -. 1.0) (Rng.range g.rng (-30) 30)
+      | 3 -> interesting_doubles.(Rng.int g.rng (Array.length interesting_doubles))
+      | _ -> Rng.float g.rng)
+
+let program ?(config = default) (rng : Rng.t) : program * float array =
+  let g =
+    {
+      cfg = config;
+      rng;
+      vars = [];
+      arrays = [];
+      protected = [];
+      helpers = [];
+      fresh = 0;
+      in_loop = false;
+    }
+  in
+  let inputs = gen_inputs g (max 1 config.n_inputs) in
+  (* globals: scalars with literal initializers, plus arrays *)
+  let n_globals = if config.allow_arrays then Rng.int g.rng 3 else 0 in
+  let globals =
+    List.init n_globals (fun i ->
+        if Rng.bool g.rng && List.length g.arrays < config.max_arrays then begin
+          let elt = pick_scalar_ty g in
+          let n = Rng.range g.rng 2 6 in
+          let name = Printf.sprintf "ga%d" i in
+          g.arrays <- (name, elt, n) :: g.arrays;
+          { gty = Tarray (elt, n); gname = name; ginit = None; gpos = no_pos }
+        end
+        else begin
+          let t = pick_scalar_ty g in
+          let name = Printf.sprintf "gv%d" i in
+          let init =
+            match t with
+            | Tint -> e (Int_lit (Int64.of_int (Rng.range g.rng 0 9)))
+            | Tfloat -> single_lit_of (Rng.float g.rng *. 4.0)
+            | _ -> float_lit_of (gen_double_const g)
+          in
+          g.vars <- (name, t) :: g.vars;
+          { gty = t; gname = name; ginit = Some init; gpos = no_pos }
+        end)
+  in
+  (* helper functions *)
+  let n_helpers = if config.allow_calls then Rng.int g.rng (config.max_helpers + 1) else 0 in
+  let helpers =
+    List.init n_helpers (fun i ->
+        let f, h = gen_helper g i in
+        g.helpers <- g.helpers @ [ h ];
+        f)
+  in
+  (* main: seed a few input-backed locals, local arrays, then the body *)
+  let n_seed = Rng.range g.rng 1 3 in
+  let seeds =
+    List.init n_seed (fun i ->
+        let name = fresh_name g "x" in
+        g.vars <- (name, Tdouble) :: g.vars;
+        s (Decl (Tdouble, name, Some (e (Call ("__arg", [ e (Int_lit (Int64.of_int i)) ]))))))
+  in
+  let local_arrays =
+    if config.allow_arrays && List.length g.arrays < config.max_arrays
+       && Rng.bool g.rng
+    then begin
+      let elt = pick_scalar_ty g in
+      let n = Rng.range g.rng 2 6 in
+      let name = fresh_name g "a" in
+      g.arrays <- (name, elt, n) :: g.arrays;
+      [ s (Decl (Tarray (elt, n), name, None)) ]
+    end
+    else []
+  in
+  let body = gen_block g (2 + Rng.int g.rng config.max_top_stmts) in
+  (* guarantee observable output: print the double locals still in scope *)
+  let finale =
+    match vars_of_ty g Tdouble with
+    | [] -> [ gen_print g ]
+    | dvars ->
+        List.filteri (fun i _ -> i < 2) dvars
+        |> List.map (fun (n, _) -> s (Print (e (Var n))))
+  in
+  let main =
+    {
+      fname = "main";
+      ret = Some Tint;
+      params = [];
+      body = seeds @ local_arrays @ body @ finale @ [ s (Return (Some (e (Int_lit 0L)))) ];
+      fpos = no_pos;
+    }
+  in
+  ({ globals; funcs = helpers @ [ main ]; source_file = "fuzz.mc" }, inputs)

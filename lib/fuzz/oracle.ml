@@ -1,0 +1,305 @@
+(* The N-way differential oracle.
+
+   Each generated program is executed along several legs and every leg
+   must produce bit-identical client outputs:
+
+   - reference: the independent AST evaluator ([Interp]);
+   - machine:   compile + uninstrumented VEX machine ([Vex.Machine]);
+   - analysis:  the fully instrumented [Core.Analysis.analyze]
+                (Herbgrind's transparency claim, paper section 3);
+   - ablations: analysis with subsystems disabled — turning a subsystem
+                off must never change client behaviour either;
+   - vectorize: compile with auto-vectorization on;
+   - mathlib:   compile with libm wrapping off (transcendentals run as
+                traced MiniC code); numerically different from libm by
+                design, so this leg only checks machine-vs-analysis
+                transparency within the mode;
+   - kernel:    a metamorphic check that Bigfloat at 53-bit precision
+                reproduces native double arithmetic bit-for-bit on the
+                kernel ops + - * / sqrt fma (subnormal results are
+                skipped: Bigfloat's unbounded exponent does not
+                double-round into the subnormal range the way hardware
+                does; see DESIGN.md). *)
+
+type divergence = { d_oracle : string; d_detail : string }
+
+(* [Skip] means a leg ran out of step budget: a harness limit (the
+   program legitimately runs long, e.g. transcendental mathlib loops
+   inside generated while-loops), not a semantic divergence. *)
+type result = Pass | Skip of string | Fail of divergence
+
+type checks = {
+  c_analysis : bool;
+  c_ablations : bool;
+  c_vectorize : bool;
+  c_mathlib : bool;
+  c_kernel : bool;
+  c_cfg : Core.Config.t;
+  c_max_steps : int;
+}
+
+let default_checks =
+  {
+    c_analysis = true;
+    c_ablations = false;
+    c_vectorize = false;
+    c_mathlib = false;
+    c_kernel = true;
+    c_cfg = Core.Config.fast;
+    c_max_steps = 2_000_000;
+  }
+
+(* everything on: what the campaign uses on a slice of its programs *)
+let deep_checks =
+  { default_checks with c_ablations = true; c_vectorize = true; c_mathlib = true }
+
+(* ---------- canonical outputs ---------- *)
+
+(* canonical output: int, or float by bits (so NaN payloads, -0.0 and
+   every rounding decision are all significant) *)
+type obs = I of int64 | F of int64
+
+let obs_to_string = function
+  | I i -> Printf.sprintf "int %Ld" i
+  | F b -> Printf.sprintf "float %.17g [bits %016Lx]" (Int64.float_of_bits b) b
+
+let obs_of_interp (o : Interp.output) : obs =
+  match o with
+  | Interp.OInt i -> I i
+  | Interp.OFloat f -> F (Int64.bits_of_float f)
+
+let obs_of_machine (o : Vex.Machine.output) : obs =
+  match (o.Vex.Machine.kind, o.Vex.Machine.value) with
+  | Vex.Ir.OutInt, v -> I (Vex.Value.as_i64 v)
+  | (Vex.Ir.OutFloat | Vex.Ir.OutMark), v ->
+      F (Int64.bits_of_float (Vex.Value.as_f64 v))
+
+let diff_obs ~left ~right (a : obs list) (b : obs list) : string option =
+  if List.length a <> List.length b then
+    Some
+      (Printf.sprintf "%s printed %d values, %s printed %d" left
+         (List.length a) right (List.length b))
+  else
+    let rec go i = function
+      | [], [] -> None
+      | x :: xs, y :: ys ->
+          if x = y then go (i + 1) (xs, ys)
+          else
+            Some
+              (Printf.sprintf "output %d: %s=%s, %s=%s" i left
+                 (obs_to_string x) right (obs_to_string y))
+      | _ -> assert false
+    in
+    go 0 (a, b)
+
+(* ---------- legs ---------- *)
+
+(* a leg yields outputs, a budget exhaustion (harness limit, not a
+   bug: the whole program is then skipped), or an error string (which
+   never matches another leg's outputs, so any crash surfaces as a
+   divergence) *)
+type leg_result = Obs of obs list | Out_of_budget of string | Err of string
+
+let is_budget_msg msg =
+  (* both Vex.Machine and Core.Exec word it this way *)
+  let needle = "step budget" in
+  let n = String.length needle and m = String.length msg in
+  let rec go i = i + n <= m && (String.sub msg i n = needle || go (i + 1)) in
+  go 0
+
+let leg (name : string) (f : unit -> obs list) : leg_result =
+  match f () with
+  | obs -> Obs obs
+  | exception Interp.Budget -> Out_of_budget name
+  | exception Interp.Runtime msg -> Err (name ^ ": " ^ msg)
+  | exception Vex.Machine.Client_error msg ->
+      if is_budget_msg msg then Out_of_budget name else Err (name ^ ": " ^ msg)
+  | exception Core.Exec.Client_error msg ->
+      if is_budget_msg msg then Out_of_budget name else Err (name ^ ": " ^ msg)
+  | exception Division_by_zero -> Err (name ^ ": division by zero")
+  | exception Minic.Compile_error msg -> Err (name ^ ": " ^ msg)
+
+let compare_legs (lname : string) (l : leg_result) (rname : string)
+    (r : leg_result) : result =
+  match (l, r) with
+  | Obs a, Obs b -> begin
+      match diff_obs ~left:lname ~right:rname a b with
+      | None -> Pass
+      | Some d -> Fail { d_oracle = rname; d_detail = d }
+    end
+  | Out_of_budget n, _ | _, Out_of_budget n ->
+      Skip (n ^ ": step budget exceeded")
+  | Err e, _ -> Fail { d_oracle = lname; d_detail = e }
+  | _, Err e -> Fail { d_oracle = rname; d_detail = e }
+
+(* ---------- the kernel (metamorphic Bigfloat) oracle ---------- *)
+
+let min_normal = 0x1p-1022
+
+let kernel_apply_exact (name : string) (args : float array) :
+    Bignum.Bigfloat.t =
+  let module B = Bignum.Bigfloat in
+  let a = Array.map B.of_float args in
+  match (name, a) with
+  | "add", [| x; y |] -> B.add ~prec:53 x y
+  | "sub", [| x; y |] -> B.sub ~prec:53 x y
+  | "mul", [| x; y |] -> B.mul ~prec:53 x y
+  | "div", [| x; y |] -> B.div ~prec:53 x y
+  | "sqrt", [| x |] -> B.sqrt ~prec:53 x
+  | "fma", [| x; y; z |] -> Bignum.Bigfloat_math.fma ~prec:53 x y z
+  | _ -> invalid_arg ("kernel_apply_exact: " ^ name)
+
+(* Check one executed kernel op; return a mismatch description if the
+   53-bit Bigfloat result does not reproduce the native double. *)
+let kernel_check (name : string) (args : float array) (r : float) :
+    string option =
+  if not (Array.for_all Float.is_finite args) then None
+  else if not (Float.is_finite r) then None (* overflow/NaN: out of scope *)
+  else if r <> 0.0 && Float.abs r < min_normal then
+    None (* subnormal double rounding: legitimately different *)
+  else
+    match kernel_apply_exact name args with
+    | exception exn ->
+        Some
+          (Printf.sprintf "%s raised %s on %s" name (Printexc.to_string exn)
+             (String.concat " "
+                (Array.to_list (Array.map (Printf.sprintf "%h") args))))
+    | br ->
+        let rf = Bignum.Bigfloat.to_float br in
+        if Int64.bits_of_float rf = Int64.bits_of_float r then None
+        else
+          Some
+            (Printf.sprintf "%s(%s): native %h [%016Lx], bigfloat %h [%016Lx]"
+               name
+               (String.concat ", "
+                  (Array.to_list (Array.map (Printf.sprintf "%h") args)))
+               r
+               (Int64.bits_of_float r)
+               rf
+               (Int64.bits_of_float rf))
+
+(* ---------- the oracle proper ---------- *)
+
+let run ?(checks = default_checks) ?tick ~(inputs : float array)
+    (ast : Minic.Ast.program) : result =
+  let tick = match tick with Some f -> f | None -> fun () -> () in
+  let src = Printer.program ast in
+  let file = "fuzz.mc" in
+  (* reference leg, with the kernel hook recording as it goes *)
+  let kernel_bad = ref None in
+  let hook name args r =
+    if !kernel_bad = None then
+      match kernel_check name args r with
+      | Some d -> kernel_bad := Some d
+      | None -> ()
+  in
+  let reference =
+    leg "reference" (fun () ->
+        let hook = if checks.c_kernel then Some hook else None in
+        List.map obs_of_interp (Interp.run ?hook ~inputs ast))
+  in
+  tick ();
+  match Minic.compile ~file src with
+  | exception Minic.Compile_error e -> Fail { d_oracle = "compile"; d_detail = e }
+  | prog -> begin
+      let machine =
+        leg "machine" (fun () ->
+            let st =
+              Vex.Machine.run ~max_steps:checks.c_max_steps ~inputs prog
+            in
+            List.map obs_of_machine (Vex.Machine.outputs st))
+      in
+      tick ();
+      let analysis_leg name cfg p =
+        leg name (fun () ->
+            let r =
+              Core.Analysis.analyze ~cfg ~max_steps:checks.c_max_steps ~inputs
+                ~tick p
+            in
+            List.map obs_of_machine r.Core.Analysis.raw.Core.Exec.r_outputs)
+      in
+      let ( let* ) r k = match r with Pass -> k () | Skip _ | Fail _ -> r in
+      let* () = compare_legs "reference" reference "machine" machine in
+      let* () =
+        match !kernel_bad with
+        | Some d when checks.c_kernel ->
+            Fail { d_oracle = "kernel"; d_detail = d }
+        | _ -> Pass
+      in
+      let* () =
+        if not checks.c_analysis then Pass
+        else begin
+          let a = analysis_leg "analysis" checks.c_cfg prog in
+          compare_legs "machine" machine "analysis" a
+        end
+      in
+      let* () =
+        if not checks.c_ablations then Pass
+        else begin
+          let ablations =
+            [
+              ("analysis-no-reals", { checks.c_cfg with Core.Config.enable_reals = false });
+              ( "analysis-no-expressions",
+                { checks.c_cfg with Core.Config.enable_expressions = false } );
+              ( "analysis-no-influences",
+                { checks.c_cfg with Core.Config.enable_influences = false } );
+              ( "analysis-no-type-inference",
+                { checks.c_cfg with Core.Config.type_inference = false } );
+            ]
+          in
+          List.fold_left
+            (fun acc (name, cfg) ->
+              match acc with
+              | Skip _ | Fail _ -> acc
+              | Pass -> (
+                  let a = analysis_leg name cfg prog in
+                  match compare_legs "machine" machine "analysis" a with
+                  | Pass -> Pass
+                  | Skip s -> Skip s
+                  | Fail d -> Fail { d with d_oracle = name }))
+            Pass ablations
+        end
+      in
+      let* () =
+        if not checks.c_vectorize then Pass
+        else begin
+          let v =
+            leg "vectorize" (fun () ->
+                let p = Minic.compile ~vectorize:true ~file src in
+                let st =
+                  Vex.Machine.run ~max_steps:checks.c_max_steps ~inputs p
+                in
+                List.map obs_of_machine (Vex.Machine.outputs st))
+          in
+          compare_legs "machine" machine "vectorize" v
+        end
+      in
+      let* () =
+        if not checks.c_mathlib then Pass
+        else begin
+          (* mathlib results differ numerically from libm by design, so
+             this leg checks transparency *within* the mode only *)
+          match Minic.compile ~wrap_libm:false ~file src with
+          | exception Minic.Compile_error e ->
+              Fail { d_oracle = "mathlib"; d_detail = e }
+          | p ->
+              let m =
+                leg "mathlib-machine" (fun () ->
+                    let st =
+                      Vex.Machine.run ~max_steps:checks.c_max_steps ~inputs p
+                    in
+                    List.map obs_of_machine (Vex.Machine.outputs st))
+              in
+              let a = analysis_leg "mathlib-analysis" checks.c_cfg p in
+              compare_legs "mathlib-machine" m "mathlib-analysis" a
+        end
+      in
+      Pass
+    end
+
+(* parse and run: the corpus-replay entry point *)
+let run_source ?checks ?tick ~inputs (src : string) : result =
+  match Minic.parse ~file:"corpus.mc" src with
+  | exception Minic.Compile_error msg ->
+      Fail { d_oracle = "parse"; d_detail = msg }
+  | ast -> run ?checks ?tick ~inputs ast

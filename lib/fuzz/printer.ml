@@ -1,0 +1,214 @@
+(* Render a [Minic.Ast] program back to MiniC source text.
+
+   The generator and shrinker work on the AST; the pipeline under test
+   consumes source, so every generated or shrunken program goes through
+   [Minic.parse] again — the printer parenthesizes aggressively so the
+   round trip is semantics-preserving by construction. Float literals are
+   printed from their recorded spelling ([Float_lit] keeps it), which the
+   generator produces with %.17g so the value survives the round trip
+   bit-for-bit. *)
+
+open Minic.Ast
+
+let buf_add = Buffer.add_string
+
+let rec pp_expr b (e : expr) =
+  match e.desc with
+  | Int_lit i ->
+      if Int64.compare i 0L >= 0 then buf_add b (Int64.to_string i)
+      else begin
+        (* negative literal: print as negation of the absolute value so the
+           lexer (which has no signed literals) reads it back *)
+        buf_add b "(-";
+        buf_add b (Int64.to_string (Int64.neg i));
+        buf_add b ")"
+      end
+  | Float_lit (_, s) ->
+      if String.length s > 0 && s.[0] = '-' then begin
+        (* the lexer has no signed literals: print exactly as the parser
+           will reconstruct it (negation of the absolute value), so
+           print -> parse -> print is a fixpoint *)
+        buf_add b "(-(";
+        buf_add b (String.sub s 1 (String.length s - 1));
+        buf_add b "))"
+      end
+      else begin
+        buf_add b "(";
+        buf_add b s;
+        buf_add b ")"
+      end
+  | Var name -> buf_add b name
+  | Index (a, i) ->
+      pp_expr b a;
+      buf_add b "[";
+      pp_expr b i;
+      buf_add b "]"
+  | Call (name, args) ->
+      buf_add b name;
+      buf_add b "(";
+      List.iteri
+        (fun k a ->
+          if k > 0 then buf_add b ", ";
+          pp_expr b a)
+        args;
+      buf_add b ")"
+  | Unary (Neg, a) ->
+      buf_add b "(-";
+      pp_expr b a;
+      buf_add b ")"
+  | Unary (Not, a) ->
+      buf_add b "(!";
+      pp_expr b a;
+      buf_add b ")"
+  | Binary (op, x, y) ->
+      let sym =
+        match op with
+        | Add -> "+"
+        | Sub -> "-"
+        | Mul -> "*"
+        | Div -> "/"
+        | Mod -> "%"
+        | Lt -> "<"
+        | Le -> "<="
+        | Gt -> ">"
+        | Ge -> ">="
+        | Eq -> "=="
+        | Ne -> "!="
+        | And -> "&&"
+        | Or -> "||"
+      in
+      buf_add b "(";
+      pp_expr b x;
+      buf_add b " ";
+      buf_add b sym;
+      buf_add b " ";
+      pp_expr b y;
+      buf_add b ")"
+  | Cast (t, a) ->
+      buf_add b "((";
+      buf_add b (ty_to_string t);
+      buf_add b ") ";
+      pp_expr b a;
+      buf_add b ")"
+
+let rec pp_stmt b indent (s : stmt) =
+  let pad = String.make indent ' ' in
+  match s.sdesc with
+  | Decl (Tarray (base, n), name, None) ->
+      buf_add b
+        (Printf.sprintf "%s%s %s[%d];\n" pad (ty_to_string base) name n)
+  | Decl (t, name, None) ->
+      buf_add b (Printf.sprintf "%s%s %s;\n" pad (ty_to_string t) name)
+  | Decl (t, name, Some e) ->
+      buf_add b (Printf.sprintf "%s%s %s = " pad (ty_to_string t) name);
+      pp_expr b e;
+      buf_add b ";\n"
+  | Assign (name, e) ->
+      buf_add b (Printf.sprintf "%s%s = " pad name);
+      pp_expr b e;
+      buf_add b ";\n"
+  | Store (name, idx, e) ->
+      buf_add b (Printf.sprintf "%s%s[" pad name);
+      pp_expr b idx;
+      buf_add b "] = ";
+      pp_expr b e;
+      buf_add b ";\n"
+  | If (c, then_, else_) ->
+      buf_add b (pad ^ "if (");
+      pp_expr b c;
+      buf_add b ") {\n";
+      List.iter (pp_stmt b (indent + 2)) then_;
+      if else_ = [] then buf_add b (pad ^ "}\n")
+      else begin
+        buf_add b (pad ^ "} else {\n");
+        List.iter (pp_stmt b (indent + 2)) else_;
+        buf_add b (pad ^ "}\n")
+      end
+  | While (c, body) ->
+      buf_add b (pad ^ "while (");
+      pp_expr b c;
+      buf_add b ") {\n";
+      List.iter (pp_stmt b (indent + 2)) body;
+      buf_add b (pad ^ "}\n")
+  | For (init, cond, step, body) ->
+      buf_add b (pad ^ "for (");
+      (match init with Some st -> pp_simple b st | None -> ());
+      buf_add b "; ";
+      (match cond with Some c -> pp_expr b c | None -> ());
+      buf_add b "; ";
+      (match step with Some st -> pp_simple b st | None -> ());
+      buf_add b ") {\n";
+      List.iter (pp_stmt b (indent + 2)) body;
+      buf_add b (pad ^ "}\n")
+  | Return None -> buf_add b (pad ^ "return;\n")
+  | Return (Some e) ->
+      buf_add b (pad ^ "return ");
+      pp_expr b e;
+      buf_add b ";\n"
+  | Expr e ->
+      buf_add b pad;
+      pp_expr b e;
+      buf_add b ";\n"
+  | Print e ->
+      buf_add b (pad ^ "print(");
+      pp_expr b e;
+      buf_add b ");\n"
+  | Mark e ->
+      buf_add b (pad ^ "__mark(");
+      pp_expr b e;
+      buf_add b ");\n"
+  | Break -> buf_add b (pad ^ "break;\n")
+  | Continue -> buf_add b (pad ^ "continue;\n")
+
+(* a statement in for-header position (no semicolon, no newline) *)
+and pp_simple b (s : stmt) =
+  match s.sdesc with
+  | Decl (t, name, Some e) ->
+      buf_add b (Printf.sprintf "%s %s = " (ty_to_string t) name);
+      pp_expr b e
+  | Decl (t, name, None) ->
+      buf_add b (Printf.sprintf "%s %s" (ty_to_string t) name)
+  | Assign (name, e) ->
+      buf_add b (Printf.sprintf "%s = " name);
+      pp_expr b e
+  | _ -> invalid_arg "Printer.pp_simple: not a simple statement"
+
+let pp_func b (f : func) =
+  buf_add b
+    (match f.ret with
+    | None -> "void "
+    | Some t -> ty_to_string t ^ " ");
+  buf_add b f.fname;
+  buf_add b "(";
+  List.iteri
+    (fun k (t, n) ->
+      if k > 0 then buf_add b ", ";
+      match t with
+      | Tptr base -> buf_add b (Printf.sprintf "%s %s[]" (ty_to_string base) n)
+      | _ -> buf_add b (Printf.sprintf "%s %s" (ty_to_string t) n))
+    f.params;
+  buf_add b ") {\n";
+  List.iter (pp_stmt b 2) f.body;
+  buf_add b "}\n\n"
+
+let pp_global b (g : global) =
+  match (g.gty, g.ginit) with
+  | Tarray (base, n), None ->
+      buf_add b (Printf.sprintf "%s %s[%d];\n" (ty_to_string base) g.gname n)
+  | t, None -> buf_add b (Printf.sprintf "%s %s;\n" (ty_to_string t) g.gname)
+  | t, Some e ->
+      buf_add b (Printf.sprintf "%s %s = " (ty_to_string t) g.gname);
+      pp_expr b e;
+      buf_add b ";\n"
+
+let program (p : program) : string =
+  let b = Buffer.create 1024 in
+  List.iter (pp_global b) p.globals;
+  if p.globals <> [] then buf_add b "\n";
+  List.iter (pp_func b) p.funcs;
+  Buffer.contents b
+
+let expr_to_string (e : expr) : string =
+  let b = Buffer.create 64 in
+  pp_expr b e;
+  Buffer.contents b

@@ -1,0 +1,72 @@
+(* A splittable SplitMix64 PRNG.
+
+   The fuzzer's determinism contract ("same --seed reproduces the
+   identical campaign, including under --jobs N") needs a generator that
+   can be forked per program index without any shared mutable stream:
+   campaign program [i] draws from [make_indexed ~seed i] only, so the
+   schedule of a parallel run cannot perturb what any program looks like.
+   No dependency on [Stdlib.Random] or QCheck anywhere in the library. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+(* the SplitMix64 finalizer: a bijective avalanche mix *)
+let mix (z : int64) : int64 =
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next (t : t) : int64 =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let make (seed : int) : t = { state = mix (Int64.of_int seed) }
+
+(* Derive an independent stream: the child is keyed by one draw from the
+   parent, so sibling splits never overlap. *)
+let split (t : t) : t = { state = mix (next t) }
+
+(* An index-keyed stream for campaign program [i]: depends only on
+   (seed, i), never on how many draws other programs made. *)
+let make_indexed ~seed (i : int) : t =
+  { state = mix (Int64.add (mix (Int64.of_int seed)) (Int64.of_int (i + 1))) }
+
+let bool (t : t) : bool = Int64.logand (next t) 1L = 1L
+
+(* uniform in [0, n); modulo bias is irrelevant at fuzzing scale *)
+let int (t : t) (n : int) : int =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int n))
+
+(* uniform in [lo, hi] inclusive *)
+let range (t : t) (lo : int) (hi : int) : int = lo + int t (hi - lo + 1)
+
+let int64 (t : t) : int64 = next t
+
+(* uniform in [0, 1) with 53 random bits *)
+let float (t : t) : float =
+  Int64.to_float (Int64.shift_right_logical (next t) 11) *. 0x1p-53
+
+(* Pick from a weighted menu. Weights are positive ints. *)
+let choose (t : t) (menu : (int * 'a) list) : 'a =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 menu in
+  let k = int t total in
+  let rec go k = function
+    | [] -> invalid_arg "Rng.choose: empty menu"
+    | (w, x) :: rest -> if k < w then x else go (k - w) rest
+  in
+  go k menu
+
+let pick (t : t) (xs : 'a list) : 'a =
+  match xs with
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | _ -> List.nth xs (int t (List.length xs))

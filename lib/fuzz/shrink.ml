@@ -1,0 +1,203 @@
+(* Greedy divergence shrinking.
+
+   Given a program the oracle rejects, repeatedly try one-step
+   reductions — drop a statement, splice a branch or loop body inline,
+   replace an expression by a subexpression, pull constants toward
+   0 / 1 / half — and restart from the first candidate that still fails
+   the caller's predicate. Candidates that no longer compile are simply
+   rejected by the predicate (the campaign's predicate requires the
+   divergence to keep the same oracle name, so an ill-typed candidate,
+   whose oracle is "compile", cannot hijack a runtime divergence).
+
+   The result is a local minimum: no single reduction keeps it failing. *)
+
+open Minic.Ast
+
+(* ---------- expression reductions ---------- *)
+
+let e (desc : expr_desc) (pos : pos) : expr = { desc; pos }
+
+let float_lit (f : float) ~(single : bool) (pos : pos) : expr =
+  let s = Printf.sprintf "%.17g" f in
+  let s =
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'n' || c = 'i') s
+    then s
+    else s ^ ".0"
+  in
+  e (Float_lit (f, (if single then s ^ "f" else s))) pos
+
+let is_single_lit (s : string) =
+  String.length s > 0 && s.[String.length s - 1] = 'f'
+
+(* one-step reductions of an expression, biggest first *)
+let rec shrink_expr (x : expr) : expr list =
+  let sub = subterms x in
+  let smaller =
+    match x.desc with
+    | Int_lit i ->
+        List.filter_map
+          (fun c -> if Int64.equal c i then None else Some (e (Int_lit c) x.pos))
+          [ 0L; 1L; Int64.div i 2L ]
+    | Float_lit (f, s) ->
+        let single = is_single_lit s in
+        List.filter_map
+          (fun c ->
+            let c = if single then Ieee.Single.of_double c else c in
+            if Int64.equal (Int64.bits_of_float c) (Int64.bits_of_float f) then
+              None
+            else Some (float_lit c ~single x.pos))
+          [ 0.0; 1.0; f /. 2.0; Float.trunc f ]
+    | Index (a, i) ->
+        (* try index 0, and shrink within the index *)
+        (match i.desc with
+        | Int_lit 0L -> []
+        | _ -> [ e (Index (a, e (Int_lit 0L) i.pos)) x.pos ])
+        @ List.map (fun i' -> e (Index (a, i')) x.pos) (shrink_expr i)
+    | Var _ -> []
+    | Call (name, args) ->
+        List.concat
+          (List.mapi
+             (fun k a ->
+               List.map
+                 (fun a' ->
+                   e (Call (name, List.mapi (fun j b -> if j = k then a' else b) args))
+                     x.pos)
+                 (shrink_expr a))
+             args)
+    | Unary (op, a) -> List.map (fun a' -> e (Unary (op, a')) x.pos) (shrink_expr a)
+    | Binary (op, a, b) ->
+        List.map (fun a' -> e (Binary (op, a', b)) x.pos) (shrink_expr a)
+        @ List.map (fun b' -> e (Binary (op, a, b')) x.pos) (shrink_expr b)
+    | Cast (t, a) -> List.map (fun a' -> e (Cast (t, a')) x.pos) (shrink_expr a)
+  in
+  sub @ smaller
+
+(* direct subexpressions usable in place of the whole (type may differ;
+   the recompile gate filters those out) *)
+and subterms (x : expr) : expr list =
+  match x.desc with
+  | Int_lit _ | Float_lit _ | Var _ -> []
+  | Index (_, i) -> [ i ]
+  | Call (_, args) -> args
+  | Unary (_, a) | Cast (_, a) -> [ a ]
+  | Binary (_, a, b) -> [ a; b ]
+
+(* ---------- statement reductions ---------- *)
+
+(* replacements for one statement (a replacement is a statement list, so
+   dropping is [] and splicing a branch body is its statements) *)
+let rec stmt_replacements (s : stmt) : stmt list list =
+  let expr_variants (mk : expr -> stmt_desc) (x : expr) : stmt list list =
+    List.map (fun x' -> [ { s with sdesc = mk x' } ]) (shrink_expr x)
+  in
+  match s.sdesc with
+  | Decl (t, n, Some x) ->
+      (* never drop the initializer: an uninitialized slot reads leftover
+         frame memory, which the reference interpreter cannot model *)
+      expr_variants (fun x' -> Decl (t, n, Some x')) x
+  | Decl (_, _, None) -> []
+  | Assign (n, x) -> [ [] ] @ expr_variants (fun x' -> Assign (n, x')) x
+  | Store (n, i, x) ->
+      [ [] ]
+      @ expr_variants (fun i' -> Store (n, i', x)) i
+      @ expr_variants (fun x' -> Store (n, i, x')) x
+  | If (c, then_, else_) ->
+      [ []; then_; else_ ]
+      @ expr_variants (fun c' -> If (c', then_, else_)) c
+      @ List.map (fun t' -> [ { s with sdesc = If (c, t', else_) } ]) (block_reductions then_)
+      @ List.map (fun e' -> [ { s with sdesc = If (c, then_, e') } ]) (block_reductions else_)
+  | While (c, body) ->
+      [ []; body (* one unrolled iteration *) ]
+      @ expr_variants (fun c' -> While (c', body)) c
+      @ List.map (fun b' -> [ { s with sdesc = While (c, b') } ]) (block_reductions body)
+  | For (init, cond, step, body) ->
+      [ [] ]
+      @ (match cond with
+        | Some c ->
+            List.map
+              (fun c' -> [ { s with sdesc = For (init, Some c', step, body) } ])
+              (shrink_expr c)
+        | None -> [])
+      @ List.map
+          (fun b' -> [ { s with sdesc = For (init, cond, step, b') } ])
+          (block_reductions body)
+  | Return (Some x) -> expr_variants (fun x' -> Return (Some x')) x
+  | Return None -> []
+  | Expr x -> [ [] ] @ expr_variants (fun x' -> Expr x') x
+  | Print x -> [ [] ] @ expr_variants (fun x' -> Print x') x
+  | Mark x -> [ [] ] @ expr_variants (fun x' -> Mark x') x
+  | Break | Continue -> [ [] ]
+
+(* all blocks obtainable by replacing exactly one statement *)
+and block_reductions (stmts : stmt list) : stmt list list =
+  List.concat
+    (List.mapi
+       (fun i si ->
+         List.map
+           (fun repl ->
+             List.concat
+               (List.mapi (fun j sj -> if j = i then repl else [ sj ]) stmts))
+           (stmt_replacements si))
+       stmts)
+
+(* ---------- program reductions ---------- *)
+
+let candidates (p : program) : program list =
+  (* drop a whole global (if unreferenced this just compiles smaller) *)
+  let drop_globals =
+    List.mapi
+      (fun i _ ->
+        { p with globals = List.filteri (fun j _ -> j <> i) p.globals })
+      p.globals
+  in
+  (* drop a whole non-main function *)
+  let drop_funcs =
+    List.filter_map
+      (fun (f : func) ->
+        if f.fname = "main" then None
+        else
+          Some
+            { p with funcs = List.filter (fun (g : func) -> g.fname <> f.fname) p.funcs })
+      p.funcs
+  in
+  (* reduce one statement inside one function *)
+  let reduce_bodies =
+    List.concat_map
+      (fun (f : func) ->
+        List.map
+          (fun body' ->
+            {
+              p with
+              funcs =
+                List.map
+                  (fun (g : func) -> if g.fname = f.fname then { g with body = body' } else g)
+                  p.funcs;
+            })
+          (block_reductions f.body))
+      p.funcs
+  in
+  drop_funcs @ drop_globals @ reduce_bodies
+
+type stats = { attempts : int; rounds : int }
+
+(* Greedily shrink [p] while [still_fails] holds, bounded by
+   [max_attempts] predicate evaluations. *)
+let shrink ?(max_attempts = 4000) ~(still_fails : program -> bool)
+    (p : program) : program * stats =
+  let attempts = ref 0 in
+  let rounds = ref 0 in
+  let rec go p =
+    incr rounds;
+    let rec try_candidates = function
+      | [] -> p (* local minimum *)
+      | c :: rest ->
+          if !attempts >= max_attempts then p
+          else begin
+            incr attempts;
+            if still_fails c then go c else try_candidates rest
+          end
+    in
+    try_candidates (candidates p)
+  in
+  let result = go p in
+  (result, { attempts = !attempts; rounds = !rounds })

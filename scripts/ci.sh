@@ -18,4 +18,10 @@ dune exec bin/fpgrind_cli.exe -- suite \
 
 dune exec bin/fpgrind_cli.exe -- validate "$out"
 
+# Differential-fuzz smoke: a fixed-seed campaign (so CI is reproducible)
+# plus replay of every committed counterexample in test/corpus. Any
+# divergence exits nonzero after printing the shrunken reproducer.
+dune exec bin/fpgrind_cli.exe -- fuzz \
+  --seed 42 --iters 200 --corpus test/corpus --quiet
+
 echo "ci: ok"

@@ -401,7 +401,7 @@ let qcheck_tests =
   ]
 
 let () =
-  Random.self_init ();
+  Random.init 0x5eed;
   Alcotest.run "bignum"
     [
       ( "natural",
@@ -450,5 +450,16 @@ let () =
           Alcotest.test_case "fma" `Quick math_fma;
           Alcotest.test_case "pi and ln2" `Quick math_pi_ln2;
         ] );
-      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+      ( "properties",
+        (* seeded per-test so `dune runtest` is deterministic; set
+           QCHECK_SEED to explore a different stream *)
+        List.mapi
+          (fun i t ->
+            let base =
+              try int_of_string (Sys.getenv "QCHECK_SEED") with _ -> 0x5eed
+            in
+            QCheck_alcotest.to_alcotest
+              ~rand:(Random.State.make [| base; i |])
+              t)
+          qcheck_tests );
     ]

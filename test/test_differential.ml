@@ -1,184 +1,115 @@
-(* Differential fuzzing: random arithmetic programs are generated,
-   compiled through the full MiniC pipeline, and executed three ways --
-   by direct OCaml evaluation, by the uninstrumented VEX machine, and by
-   the instrumented analysis interpreter. All three must agree
-   bit-for-bit on the client outputs; the analysis must never change
-   client behaviour (the property behind every ablation in the paper). *)
+(* Differential fuzzing, driven by the fpgrind.fuzz subsystem.
 
-let checkb = Alcotest.check Alcotest.bool
+   Random well-typed MiniC programs — now with control flow, arrays,
+   computed indices, int/float/double casts, helper functions and
+   mathlib calls — are executed along several legs that must agree
+   bit-for-bit on client outputs: the independent reference evaluator
+   ([Fuzz.Interp]), the uninstrumented VEX machine, and the instrumented
+   analysis (plus, on the deep slice, every ablation, the vectorizer,
+   and the unwrapped-mathlib mode). The analysis must never change
+   client behaviour: the transparency property behind every ablation in
+   the paper (section 3).
 
-(* ---------- a tiny expression language with an OCaml evaluator ---------- *)
+   Iteration counts scale with FPGRIND_FUZZ_ITERS (default 120); CI can
+   raise it for a longer soak without touching the code. Everything is
+   seeded: a failure reproduces with `fpgrind fuzz --seed S` and the
+   printed index. *)
 
-type rexpr =
-  | Rvar of int  (* one of the input variables *)
-  | Rconst of float
-  | Radd of rexpr * rexpr
-  | Rsub of rexpr * rexpr
-  | Rmul of rexpr * rexpr
-  | Rdiv of rexpr * rexpr
-  | Rsqrt of rexpr
-  | Rneg of rexpr
-  | Rabs of rexpr
-  | Rmin of rexpr * rexpr
+let iters =
+  match Sys.getenv_opt "FPGRIND_FUZZ_ITERS" with
+  | Some s -> ( try max 8 (int_of_string (String.trim s)) with _ -> 120)
+  | None -> 120
 
-let rec reval env = function
-  | Rvar i -> env.(i mod Array.length env)
-  | Rconst c -> c
-  | Radd (a, b) -> reval env a +. reval env b
-  | Rsub (a, b) -> reval env a -. reval env b
-  | Rmul (a, b) -> reval env a *. reval env b
-  | Rdiv (a, b) -> reval env a /. reval env b
-  | Rsqrt a -> Float.sqrt (reval env a)
-  | Rneg a -> -.reval env a
-  | Rabs a -> Float.abs (reval env a)
-  | Rmin (a, b) -> Float.min (reval env a) (reval env b)
+let fail_of_entry (e : Fuzz.Campaign.entry) : string =
+  match e.Fuzz.Campaign.e_status with
+  | Fuzz.Campaign.Divergent d ->
+      Printf.sprintf "program %d: DIVERGENT (%s) %s" e.Fuzz.Campaign.e_index
+        d.Fuzz.Oracle.d_oracle d.Fuzz.Oracle.d_detail
+  | Fuzz.Campaign.Error m ->
+      Printf.sprintf "program %d: ERROR %s" e.Fuzz.Campaign.e_index m
+  | Fuzz.Campaign.Passed | Fuzz.Campaign.Skipped _ -> assert false
 
-let rec rexpr_to_minic = function
-  | Rvar i -> Printf.sprintf "v%d" (i mod 3)
-  | Rconst c -> Printf.sprintf "(%.17g)" c
-  | Radd (a, b) -> Printf.sprintf "(%s + %s)" (rexpr_to_minic a) (rexpr_to_minic b)
-  | Rsub (a, b) -> Printf.sprintf "(%s - %s)" (rexpr_to_minic a) (rexpr_to_minic b)
-  | Rmul (a, b) -> Printf.sprintf "(%s * %s)" (rexpr_to_minic a) (rexpr_to_minic b)
-  | Rdiv (a, b) -> Printf.sprintf "(%s / %s)" (rexpr_to_minic a) (rexpr_to_minic b)
-  | Rsqrt a -> Printf.sprintf "sqrt(%s)" (rexpr_to_minic a)
-  | Rneg a -> Printf.sprintf "(-%s)" (rexpr_to_minic a)
-  | Rabs a -> Printf.sprintf "fabs(%s)" (rexpr_to_minic a)
-  | Rmin (a, b) -> Printf.sprintf "fmin(%s, %s)" (rexpr_to_minic a) (rexpr_to_minic b)
+(* run a seeded campaign and fail loudly (with seed + index, so the
+   counterexample is reproducible from the command line) on divergence *)
+let campaign name ?config ~seed n () =
+  let t = Fuzz.Campaign.run ?config ~seed ~iters:n () in
+  match Fuzz.Campaign.failed t with
+  | [] -> ()
+  | bad ->
+      Alcotest.failf "%s (seed %d): %d of %d programs diverged\n%s" name seed
+        (List.length bad) n
+        (String.concat "\n" (List.map fail_of_entry bad))
 
-let gen_rexpr : rexpr QCheck.Gen.t =
-  let open QCheck.Gen in
-  sized
-  @@ fix (fun self n ->
-         if n <= 1 then
-           oneof
-             [
-               map (fun i -> Rvar i) (int_bound 2);
-               map (fun f -> Rconst f) (float_range (-100.0) 100.0);
-             ]
-         else
-           frequency
-             [
-               (3, map2 (fun a b -> Radd (a, b)) (self (n / 2)) (self (n / 2)));
-               (3, map2 (fun a b -> Rsub (a, b)) (self (n / 2)) (self (n / 2)));
-               (3, map2 (fun a b -> Rmul (a, b)) (self (n / 2)) (self (n / 2)));
-               (2, map2 (fun a b -> Rdiv (a, b)) (self (n / 2)) (self (n / 2)));
-               (1, map (fun a -> Rsqrt a) (self (n - 1)));
-               (1, map (fun a -> Rneg a) (self (n - 1)));
-               (1, map (fun a -> Rabs a) (self (n - 1)));
-               (1, map2 (fun a b -> Rmin (a, b)) (self (n / 2)) (self (n / 2)));
-             ])
+(* the surface the pre-fuzz differential test covered: straight-line
+   double arithmetic, no control flow / arrays / casts / helpers *)
+let straightline () =
+  campaign "straightline" ~config:Fuzz.Gen.straightline ~seed:101 iters ()
 
-let arb_rexpr = QCheck.make ~print:rexpr_to_minic gen_rexpr
+(* the full generator surface, deep legs on every 8th program *)
+let full_surface () = campaign "full-surface" ~seed:202 iters ()
 
-let program_for (e : rexpr) =
-  Printf.sprintf
-    {| int main() {
-         int i;
-         for (i = 0; i < 3; i = i + 1) {
-           double v0 = __arg(3 * i);
-           double v1 = __arg(3 * i + 1);
-           double v2 = __arg(3 * i + 2);
-           print(%s);
-         }
-         return 0;
-       } |}
-    (rexpr_to_minic e)
+(* force the expensive legs (ablations, vectorize, mathlib) on every
+   program of a smaller batch, not just the campaign's every-8th slice *)
+let deep_legs () =
+  let n = max 8 (iters / 8) in
+  let bad = ref [] in
+  for i = 0 to n - 1 do
+    let ast, inputs = Fuzz.Campaign.generate ~seed:303 i in
+    match Fuzz.Oracle.run ~checks:Fuzz.Oracle.deep_checks ~inputs ast with
+    | Fuzz.Oracle.Pass | Fuzz.Oracle.Skip _ -> ()
+    | Fuzz.Oracle.Fail d ->
+        bad :=
+          Printf.sprintf "program %d: (%s) %s" i d.Fuzz.Oracle.d_oracle
+            d.Fuzz.Oracle.d_detail
+          :: !bad
+    | exception exn ->
+        bad :=
+          Printf.sprintf "program %d: raised %s" i (Printexc.to_string exn)
+          :: !bad
+  done;
+  if !bad <> [] then
+    Alcotest.failf "deep legs (seed 303):\n%s"
+      (String.concat "\n" (List.rev !bad))
 
-let inputs = Array.init 9 (fun i -> (float_of_int ((i * 37 mod 19) - 9) *. 1.375) +. 0.25)
-
-let bits f = Int64.bits_of_float f
-
-let floats_of_result (r : Core.Analysis.result) = Core.Analysis.output_floats r
-
-let machine_floats prog = Vex.Machine.output_floats (Vex.Machine.run ~inputs prog)
-
-let reference (e : rexpr) =
-  List.init 3 (fun i ->
-      reval [| inputs.(3 * i); inputs.((3 * i) + 1); inputs.((3 * i) + 2) |] e)
-
-let qcheck_tests =
-  [
-    QCheck.Test.make ~name:"native VEX run matches OCaml evaluation" ~count:150
-      arb_rexpr
-      (fun e ->
-        let prog = Minic.compile ~file:"fuzz.mc" (program_for e) in
-        let got = machine_floats prog in
-        let expected = reference e in
-        List.length got = 3
-        && List.for_all2 (fun a b -> Int64.equal (bits a) (bits b)) expected got);
-    QCheck.Test.make ~name:"analysis preserves client outputs" ~count:80
-      arb_rexpr
-      (fun e ->
-        let prog = Minic.compile ~file:"fuzz.mc" (program_for e) in
-        let native = machine_floats prog in
-        let analyzed =
-          floats_of_result (Core.Analysis.analyze ~cfg:Core.Config.fast ~inputs prog)
-        in
-        List.length native = List.length analyzed
-        && List.for_all2 (fun a b -> Int64.equal (bits a) (bits b)) native analyzed);
-    QCheck.Test.make ~name:"every ablation preserves client outputs" ~count:25
-      arb_rexpr
-      (fun e ->
-        let prog = Minic.compile ~file:"fuzz.mc" (program_for e) in
-        let native = machine_floats prog in
-        List.for_all
-          (fun cfg ->
-            let analyzed =
-              floats_of_result (Core.Analysis.analyze ~cfg ~inputs prog)
-            in
-            List.for_all2 (fun a b -> Int64.equal (bits a) (bits b)) native analyzed)
-          [
-            { Core.Config.fast with Core.Config.enable_reals = false };
-            { Core.Config.fast with Core.Config.enable_expressions = false };
-            { Core.Config.fast with Core.Config.type_inference = false };
-            { Core.Config.fast with Core.Config.equiv_depth = 2 };
-          ]);
-    QCheck.Test.make ~name:"vectorizer-compiled fuzz programs agree" ~count:60
-      arb_rexpr
-      (fun e ->
-        (* elementwise loop over arrays computed from the fuzz expression *)
-        let src =
-          Printf.sprintf
-            {| double a[6];
-               double b[6];
-               double c[6];
-               int main() {
-                 int i;
-                 for (i = 0; i < 6; i = i + 1) {
-                   double v0 = __arg(i);
-                   double v1 = __arg(i + 1);
-                   double v2 = __arg(i + 2);
-                   a[i] = %s;
-                   b[i] = v0 + 0.5;
-                 }
-                 for (i = 0; i < 6; i = i + 1) {
-                   c[i] = a[i] * b[i];
-                 }
-                 for (i = 0; i < 6; i = i + 1) { print(c[i]); }
-                 return 0;
-               } |}
-            (rexpr_to_minic e)
-        in
-        let scalar = machine_floats (Minic.compile ~file:"fz.mc" src) in
-        let vector =
-          machine_floats (Minic.compile ~vectorize:true ~file:"fz.mc" src)
-        in
-        List.length scalar = List.length vector
-        && List.for_all2 (fun a b -> Int64.equal (bits a) (bits b)) scalar vector);
-  ]
-
+(* a fixed program exercising the tricky corners by hand: casts in both
+   directions, binary32 arithmetic, eager && with NaN, a computed array
+   index, and a helper call — the harness's own sanity check *)
 let sanity () =
-  (* the harness itself: a fixed expression through all three evaluators *)
-  let e = Rsub (Radd (Rvar 0, Rconst 1.0), Rvar 0) in
-  let prog = Minic.compile ~file:"fuzz.mc" (program_for e) in
-  let native = machine_floats prog in
-  let expected = reference e in
-  checkb "sanity" true
-    (List.for_all2 (fun a b -> Int64.equal (bits a) (bits b)) expected native)
+  let src =
+    {|
+      double poke(double x, int k) {
+        float f = (float) (x / 3.0);
+        if (k && (x / x)) { f = f + 1.5f; }
+        return ((double) f) * (double) k;
+      }
+      int main() {
+        double a[4];
+        int i;
+        for (i = 0; i < 4; i = i + 1) { a[((i * 7 % 4 + 4) % 4)] = __arg(i); }
+        double s = 0.0;
+        while (s < 3.0) { s = s + 1.0; }
+        print(poke(a[1] + s, 2));
+        print((double) (int) (a[2] * 1.0e6));
+        return 0;
+      }
+    |}
+  in
+  let inputs = [| 0.1; -2.5; Float.infinity *. 0.0 (* nan *); 4.25 |] in
+  match Fuzz.Oracle.run_source ~checks:Fuzz.Oracle.deep_checks ~inputs src with
+  | Fuzz.Oracle.Pass -> ()
+  | Fuzz.Oracle.Skip why -> Alcotest.failf "sanity skipped: %s" why
+  | Fuzz.Oracle.Fail d ->
+      Alcotest.failf "sanity diverged: (%s) %s" d.Fuzz.Oracle.d_oracle
+        d.Fuzz.Oracle.d_detail
 
 let () =
   Alcotest.run "differential"
     [
-      ("sanity", [ Alcotest.test_case "fixed expression" `Quick sanity ]);
-      ("fuzz", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+      ("sanity", [ Alcotest.test_case "fixed program, all legs" `Quick sanity ]);
+      ( "fuzz",
+        [
+          Alcotest.test_case "straightline arithmetic" `Quick straightline;
+          Alcotest.test_case "control flow, arrays, casts" `Quick full_surface;
+          Alcotest.test_case "ablations + vectorize + mathlib" `Quick deep_legs;
+        ] );
     ]

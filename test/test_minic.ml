@@ -442,5 +442,16 @@ let () =
           Alcotest.test_case "IMarks carry locations" `Quick imarks_present;
           Alcotest.test_case "type errors rejected" `Quick type_errors_rejected;
         ] );
-      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+      ( "properties",
+        (* seeded per-test so `dune runtest` is deterministic; set
+           QCHECK_SEED to explore a different stream *)
+        List.mapi
+          (fun i t ->
+            let base =
+              try int_of_string (Sys.getenv "QCHECK_SEED") with _ -> 0x5eed
+            in
+            QCheck_alcotest.to_alcotest
+              ~rand:(Random.State.make [| base; i |])
+              t)
+          qcheck_tests );
     ]

@@ -328,5 +328,16 @@ let () =
           Alcotest.test_case "xor trick conservative" `Quick
             type_inference_xor_trick_conservative;
         ] );
-      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+      ( "properties",
+        (* seeded per-test so `dune runtest` is deterministic; set
+           QCHECK_SEED to explore a different stream *)
+        List.mapi
+          (fun i t ->
+            let base =
+              try int_of_string (Sys.getenv "QCHECK_SEED") with _ -> 0x5eed
+            in
+            QCheck_alcotest.to_alcotest
+              ~rand:(Random.State.make [| base; i |])
+              t)
+          qcheck_tests );
     ]
