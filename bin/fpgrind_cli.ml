@@ -330,12 +330,36 @@ let validate_cmd =
       & info [] ~docv:"FILE" ~doc:"A JSONL results file written by suite --json.")
   in
   let run path =
-    match Fleet.Store.load path with
-    | outcomes ->
-        Printf.printf "%s: %d result%s, valid JSONL\n" path
+    match Fleet.Store.load_lenient path with
+    | outcomes, skipped ->
+        let count pred = List.length (List.filter pred outcomes) in
+        let ok =
+          count (fun (o : Fleet.outcome) -> o.Fleet.o_status = Fleet.Done)
+        in
+        let cached =
+          count (fun (o : Fleet.outcome) -> o.Fleet.o_status = Fleet.Cached)
+        in
+        let timeout =
+          count (fun (o : Fleet.outcome) -> o.Fleet.o_status = Fleet.Timed_out)
+        in
+        let failed =
+          count (fun (o : Fleet.outcome) ->
+              match o.Fleet.o_status with Fleet.Failed _ -> true | _ -> false)
+        in
+        Printf.printf
+          "%s: %d record%s (%d ok, %d cached, %d failed, %d timeout%s)\n" path
           (List.length outcomes)
-          (if List.length outcomes = 1 then "" else "s");
-        0
+          (if List.length outcomes = 1 then "" else "s")
+          ok cached failed timeout
+          (if skipped = 0 then ""
+           else Printf.sprintf ", %d truncated record skipped" skipped);
+        if failed > 0 || timeout > 0 || skipped > 0 then begin
+          Printf.eprintf
+            "error: store has %d failed, %d timeout, %d truncated record(s)\n"
+            failed timeout skipped;
+          1
+        end
+        else 0
     | exception Fleet.Json.Parse_error msg | exception Failure msg ->
         Printf.eprintf "error: %s\n" msg;
         1
@@ -345,7 +369,9 @@ let validate_cmd =
   in
   Cmd.v
     (Cmd.info "validate"
-       ~doc:"Parse a JSONL results store and report how many records it holds.")
+       ~doc:
+         "Parse a JSONL results store, report per-status counts, and exit \
+          nonzero if any record is failed, timed out, or invalid.")
     Term.(const run $ path_arg)
 
 (* ---------- list-benchmarks ---------- *)
@@ -545,6 +571,291 @@ let fuzz_cmd =
       const run $ seed_arg $ iters_arg $ jobs_arg $ timeout_arg $ corpus_arg
       $ quiet_arg)
 
+(* ---------- serve (the network analysis service) ---------- *)
+
+let serve_cmd =
+  let port_arg =
+    Arg.(
+      value & opt int 8080
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"TCP port to listen on; 0 picks an ephemeral port (printed).")
+  in
+  let host_arg =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains for analysis jobs.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Bounded job-queue depth. When $(docv) jobs are already \
+             waiting, new work is refused with 503 and a Retry-After \
+             hint instead of queueing unboundedly.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Default per-request analysis deadline.")
+  in
+  let max_body_arg =
+    Arg.(
+      value & opt int Serve.Http.default_max_body
+      & info [ "max-body" ] ~docv:"BYTES"
+          ~doc:"Largest accepted request body; larger submissions get 413.")
+  in
+  let store_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "store" ] ~docv:"FILE"
+          ~doc:
+            "JSONL results store: warm the result cache from $(docv) at \
+             startup and flush all outcomes to it on shutdown.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress per-request log lines.")
+  in
+  let run port host jobs queue timeout max_body store_path quiet =
+    try
+      let cfg =
+        {
+          Serve.Server.port;
+          host;
+          jobs;
+          queue;
+          timeout;
+          max_body;
+          store_path;
+          quiet;
+        }
+      in
+      let srv = Serve.Server.create cfg in
+      (* graceful shutdown: stop accepting, drain in-flight and queued
+         jobs, flush the store, then exit 0 *)
+      let on_signal _ = Serve.Server.stop srv in
+      Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+      (* the pipe is handled inline; a dying client must not kill us *)
+      Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+      Printf.printf "fpgrind serve: listening on http://%s:%d (jobs=%d queue=%d)\n%!"
+        host (Serve.Server.port srv) jobs queue;
+      Serve.Server.run srv;
+      0
+    with Unix.Unix_error (e, fn, _) ->
+      Printf.eprintf "error: %s: %s\n" fn (Unix.error_message e);
+      1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the HTTP analysis service: POST /analyze and /fuzz with a \
+          bounded queue and 503 backpressure, GET /healthz, and GET \
+          /metrics in Prometheus text format.")
+    Term.(
+      const run $ port_arg $ host_arg $ jobs_arg $ queue_arg $ timeout_arg
+      $ max_body_arg $ store_arg $ quiet_arg)
+
+(* ---------- client (talk to a running fpgrind serve) ---------- *)
+
+let client_cmd =
+  let action_arg =
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [
+                  ("analyze", `Analyze); ("fuzz", `Fuzz); ("health", `Health);
+                  ("metrics", `Metrics);
+                ]))
+          None
+      & info [] ~docv:"ACTION" ~doc:"One of analyze, fuzz, health, metrics.")
+  in
+  let target_arg =
+    Arg.(
+      value & pos 1 (some string) None
+      & info [] ~docv:"PROGRAM"
+          ~doc:
+            "For analyze: a MiniC (.mc) or FPCore (.fpcore) source file, \
+             or bench:NAME for a suite benchmark.")
+  in
+  let port_arg =
+    Arg.(
+      value & opt int 8080
+      & info [ "port" ] ~docv:"PORT" ~doc:"Server port.")
+  in
+  let host_arg =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Server address.")
+  in
+  let match_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "match" ] ~docv:"FILE"
+          ~doc:
+            "After an analyze request, assert the response equals the \
+             record with the same benchmark name in the JSONL store \
+             $(docv) on every field except wall_s; exit nonzero on \
+             mismatch.")
+  in
+  let iters_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "iters" ] ~docv:"N" ~doc:"Fuzz campaign length.")
+  in
+  let fuzz_seed_arg =
+    Arg.(
+      value & opt int 42 & info [ "fuzz-seed" ] ~docv:"N" ~doc:"Fuzz seed.")
+  in
+  let client_timeout_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-request analysis deadline.")
+  in
+  (* A cached record is by construction a copy of an ok record, so the
+     comparison normalises "cached" to "ok"; everything else but the
+     wall-time is compared strictly. *)
+  let strip_wall (j : Fleet.Json.t) : Fleet.Json.t =
+    match j with
+    | Fleet.Json.Obj kvs ->
+        Fleet.Json.Obj
+          (List.filter_map
+             (fun (k, v) ->
+               if k = "wall_s" then None
+               else if k = "status" && v = Fleet.Json.Str "cached" then
+                 Some (k, Fleet.Json.Str "ok")
+               else Some (k, v))
+             kvs)
+    | j -> j
+  in
+  let run action target port host inputs iterations seed precision threshold
+      match_store iters fuzz_seed timeout =
+    let enc = Serve.Http.percent_encode in
+    try
+      match action with
+      | `Health ->
+          let r =
+            Serve.Client.request ~host ~port ~meth:"GET" ~path:"/healthz" ()
+          in
+          print_string r.Serve.Client.c_body;
+          if r.Serve.Client.c_status / 100 = 2 then 0 else 1
+      | `Metrics ->
+          let r =
+            Serve.Client.request ~host ~port ~meth:"GET" ~path:"/metrics" ()
+          in
+          print_string r.Serve.Client.c_body;
+          if r.Serve.Client.c_status / 100 = 2 then 0 else 1
+      | `Fuzz ->
+          let path =
+            Printf.sprintf "/fuzz?seed=%d&iters=%d%s" fuzz_seed iters
+              (match timeout with
+              | None -> ""
+              | Some s -> "&timeout=" ^ enc (Printf.sprintf "%g" s))
+          in
+          let r = Serve.Client.request ~host ~port ~meth:"POST" ~path () in
+          print_string r.Serve.Client.c_body;
+          if r.Serve.Client.c_status / 100 = 2 then 0 else 1
+      | `Analyze -> (
+          let target =
+            match target with
+            | Some t -> t
+            | None ->
+                Printf.eprintf "error: client analyze needs a PROGRAM argument\n";
+                raise Exit
+          in
+          let body =
+            if String.length target > 6 && String.sub target 0 6 = "bench:"
+            then target
+            else read_file target
+          in
+          let path =
+            Printf.sprintf
+              "/analyze?iterations=%d&seed=%d&precision=%d&threshold=%s%s%s"
+              iterations seed precision
+              (enc (Printf.sprintf "%.17g" threshold))
+              (match inputs with
+              | [] -> ""
+              | fs ->
+                  "&inputs="
+                  ^ enc (String.concat "," (List.map (Printf.sprintf "%h") fs)))
+              (match timeout with
+              | None -> ""
+              | Some s -> "&timeout=" ^ enc (Printf.sprintf "%g" s))
+          in
+          let r = Serve.Client.request ~host ~port ~meth:"POST" ~path ~body () in
+          print_string r.Serve.Client.c_body;
+          if r.Serve.Client.c_status / 100 <> 2 then 1
+          else
+            match match_store with
+            | None -> 0
+            | Some store_path ->
+                let got =
+                  strip_wall
+                    (Fleet.Json.of_string (String.trim r.Serve.Client.c_body))
+                in
+                let name =
+                  Fleet.Json.get_str "name"
+                    (Fleet.Json.of_string (String.trim r.Serve.Client.c_body))
+                in
+                let expected =
+                  match
+                    List.find_opt
+                      (fun (o : Fleet.outcome) -> o.Fleet.o_name = name)
+                      (Fleet.Store.load store_path)
+                  with
+                  | Some o -> strip_wall (Fleet.Store.outcome_to_json o)
+                  | None ->
+                      failwith
+                        (Printf.sprintf "no record named %s in %s" name
+                           store_path)
+                in
+                if Fleet.Json.to_string got = Fleet.Json.to_string expected
+                then begin
+                  Printf.eprintf
+                    "match: response equals the stored record for %s (modulo \
+                     wall_s)\n"
+                    name;
+                  0
+                end
+                else begin
+                  Printf.eprintf
+                    "MISMATCH for %s\n  server: %s\n  store:  %s\n" name
+                    (Fleet.Json.to_string got)
+                    (Fleet.Json.to_string expected);
+                  1
+                end)
+    with
+    | Exit -> 1
+    | Unix.Unix_error (e, fn, _) ->
+        Printf.eprintf "error: %s: %s\n" fn (Unix.error_message e);
+        1
+    | Sys_error msg | Failure msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Fleet.Json.Parse_error msg | Serve.Http.Error (_, msg) ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Talk to a running fpgrind serve: submit an analysis or fuzz \
+          campaign, or fetch /healthz or /metrics.")
+    Term.(
+      const run $ action_arg $ target_arg $ port_arg $ host_arg $ inputs_arg
+      $ iterations_arg $ Arg.(
+        value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Input sampling seed.")
+      $ precision_arg $ threshold_arg $ match_arg $ iters_arg $ fuzz_seed_arg
+      $ client_timeout_arg)
+
 let () =
   let doc = "find root causes of floating-point error (Herbgrind reproduction)" in
   let info = Cmd.info "fpgrind" ~version:"1.0.0" ~doc in
@@ -553,5 +864,5 @@ let () =
        (Cmd.group info
           [
             analyze_cmd; run_cmd; suite_cmd; validate_cmd; list_cmd;
-            improve_cmd; fuzz_cmd;
+            improve_cmd; fuzz_cmd; serve_cmd; client_cmd;
           ]))

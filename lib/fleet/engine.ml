@@ -56,6 +56,31 @@ type outcome = {
 
 type progress = { pr_done : int; pr_total : int; pr_last : outcome }
 
+(* ---------- observability hooks ---------- *)
+
+(* An installed observer sees every job the engine runs — batch or pool —
+   without the fleet depending on whoever is watching (lib/serve's
+   metrics layer installs one). Observer exceptions are swallowed:
+   observability must never change an outcome. *)
+type observer = {
+  ob_started : spec -> unit;
+  ob_finished : outcome -> unit;
+}
+
+let the_observer : observer option Atomic.t = Atomic.make None
+let set_observer (ob : observer) = Atomic.set the_observer (Some ob)
+let clear_observer () = Atomic.set the_observer None
+
+let notify_started sp =
+  match Atomic.get the_observer with
+  | Some ob -> ( try ob.ob_started sp with _ -> ())
+  | None -> ()
+
+let notify_finished o =
+  match Atomic.get the_observer with
+  | Some ob -> ( try ob.ob_finished o with _ -> ())
+  | None -> ()
+
 (* ---------- running one job ---------- *)
 
 (* The deadline is enforced from the per-superblock tick: every 16th call
@@ -74,16 +99,21 @@ let make_tick ~start = function
           raise Deadline_exceeded
 
 let exec_one ?timeout (sp : spec) : outcome =
+  notify_started sp;
   let start = Unix.gettimeofday () in
   let finish status payload =
-    {
-      o_name = sp.sp_name;
-      o_group = sp.sp_group;
-      o_key = sp.sp_key;
-      o_status = status;
-      o_wall_s = Unix.gettimeofday () -. start;
-      o_payload = payload;
-    }
+    let o =
+      {
+        o_name = sp.sp_name;
+        o_group = sp.sp_group;
+        o_key = sp.sp_key;
+        o_status = status;
+        o_wall_s = Unix.gettimeofday () -. start;
+        o_payload = payload;
+      }
+    in
+    notify_finished o;
+    o
   in
   match sp.sp_work ~tick:(make_tick ~start timeout) with
   | p -> finish Done (Some p)
@@ -121,7 +151,7 @@ let run ?(jobs = 1) ?timeout ?cache ?on_progress (specs : spec list) :
     in
     match cached with
     | Some (prev : outcome) when prev.o_payload <> None ->
-        record i
+        let o =
           {
             prev with
             o_name = sp.sp_name;
@@ -130,6 +160,9 @@ let run ?(jobs = 1) ?timeout ?cache ?on_progress (specs : spec list) :
             o_status = Cached;
             o_wall_s = 0.0;
           }
+        in
+        notify_finished o;
+        record i o
     | _ -> record i (exec_one ?timeout sp)
   in
   let worker () =
@@ -151,6 +184,118 @@ let run ?(jobs = 1) ?timeout ?cache ?on_progress (specs : spec list) :
   |> List.map (function
        | Some o -> o
        | None -> assert false (* every index was claimed exactly once *))
+
+(* ---------- the persistent pool (submit-one-job API) ---------- *)
+
+(* [run] spawns domains per batch; a server cannot afford that per
+   request, so [Pool] keeps the workers alive. A bounded queue feeds
+   [jobs] domains; [submit] refuses (returns [None]) rather than queueing
+   unboundedly when [queue] tickets are already waiting, which the caller
+   turns into backpressure (HTTP 503); [drain] stops intake, finishes
+   every queued and in-flight job, and joins the workers. Jobs already
+   running or queued at drain time always complete — that is the graceful
+   shutdown contract the server relies on. *)
+module Pool = struct
+  type ticket = {
+    tk_spec : spec;
+    tk_timeout : float option;
+    mutable tk_outcome : outcome option;
+  }
+
+  type t = {
+    mu : Mutex.t;
+    cond : Condition.t;
+    pending : ticket Queue.t;
+    queue_max : int;
+    mutable running : int;
+    mutable stopping : bool;
+    mutable workers : unit Domain.t list;
+  }
+
+  let rec worker_loop (t : t) =
+    Mutex.lock t.mu;
+    while Queue.is_empty t.pending && not t.stopping do
+      Condition.wait t.cond t.mu
+    done;
+    if Queue.is_empty t.pending then Mutex.unlock t.mu (* stopping: exit *)
+    else begin
+      let tk = Queue.pop t.pending in
+      t.running <- t.running + 1;
+      Mutex.unlock t.mu;
+      let o = exec_one ?timeout:tk.tk_timeout tk.tk_spec in
+      Mutex.lock t.mu;
+      t.running <- t.running - 1;
+      tk.tk_outcome <- Some o;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.mu;
+      worker_loop t
+    end
+
+  let create ?(queue = 64) ~jobs () : t =
+    let t =
+      {
+        mu = Mutex.create ();
+        cond = Condition.create ();
+        pending = Queue.create ();
+        queue_max = max 0 queue;
+        running = 0;
+        stopping = false;
+        workers = [];
+      }
+    in
+    t.workers <-
+      List.init (max 1 jobs) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+    t
+
+  (* [None] means the queue is full (or the pool is draining): the job was
+     not accepted and will never run. *)
+  let submit (t : t) ?timeout (sp : spec) : ticket option =
+    Mutex.lock t.mu;
+    if t.stopping || Queue.length t.pending >= t.queue_max then begin
+      Mutex.unlock t.mu;
+      None
+    end
+    else begin
+      let tk = { tk_spec = sp; tk_timeout = timeout; tk_outcome = None } in
+      Queue.push tk t.pending;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.mu;
+      Some tk
+    end
+
+  let await (t : t) (tk : ticket) : outcome =
+    Mutex.lock t.mu;
+    let rec wait () =
+      match tk.tk_outcome with
+      | Some o ->
+          Mutex.unlock t.mu;
+          o
+      | None ->
+          Condition.wait t.cond t.mu;
+          wait ()
+    in
+    wait ()
+
+  let queue_depth (t : t) =
+    Mutex.lock t.mu;
+    let n = Queue.length t.pending in
+    Mutex.unlock t.mu;
+    n
+
+  let in_flight (t : t) =
+    Mutex.lock t.mu;
+    let n = t.running in
+    Mutex.unlock t.mu;
+    n
+
+  let drain (t : t) =
+    Mutex.lock t.mu;
+    t.stopping <- true;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mu;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+end
 
 (* ---------- the standard benchmark job ---------- *)
 
@@ -189,6 +334,39 @@ let max_output_err (r : Core.Analysis.result) =
     0.0
     (Core.Analysis.output_spots r)
 
+(* The standard payload of an analysis job: metrics, the deterministic
+   summary line, and the full report. [nodes0] is the domain's trace-node
+   count captured before the analysis ran, so [m_trace_nodes] is the
+   delta this job created. Shared by [bench_spec] and by ad-hoc job
+   builders (the serve subsystem) so a source analyzed over HTTP yields
+   the same record as the batch path. *)
+let payload_for ~name ~group ~nodes0 (r : Core.Analysis.result) : payload =
+  let st = r.Core.Analysis.raw.Core.Exec.r_stats in
+  let err_max = max_output_err r in
+  let causes = List.length (Core.Analysis.erroneous_expressions r) in
+  let metrics =
+    {
+      m_blocks = st.Core.Exec.blocks_run;
+      m_stmts = st.Core.Exec.stmts_run;
+      m_fp_ops = st.Core.Exec.fp_ops;
+      m_trace_nodes = Core.Trace.created_in_domain () - nodes0;
+      m_spots = Hashtbl.length r.Core.Analysis.raw.Core.Exec.r_spots;
+      m_causes = causes;
+      m_compensations = st.Core.Exec.compensations;
+      m_err_max = err_max;
+    }
+  in
+  let summary =
+    Printf.sprintf "%-24s %13s  max output error %5.1f bits, %d root cause%s"
+      name group err_max causes
+      (if causes = 1 then "" else "s")
+  in
+  {
+    p_metrics = metrics;
+    p_summary = summary;
+    p_report = Core.Analysis.report_string r;
+  }
+
 let bench_spec ?(cfg = Core.Config.default) ?(max_steps = 200_000_000)
     (j : Fpcore.Suite.job) : spec =
   let b = j.Fpcore.Suite.job_bench in
@@ -203,27 +381,7 @@ let bench_spec ?(cfg = Core.Config.default) ?(max_steps = 200_000_000)
     in
     let nodes0 = Core.Trace.created_in_domain () in
     let r = Core.Analysis.analyze ~cfg ~max_steps ~inputs ~tick prog in
-    let st = r.Core.Analysis.raw.Core.Exec.r_stats in
-    let err_max = max_output_err r in
-    let causes = List.length (Core.Analysis.erroneous_expressions r) in
-    let metrics =
-      {
-        m_blocks = st.Core.Exec.blocks_run;
-        m_stmts = st.Core.Exec.stmts_run;
-        m_fp_ops = st.Core.Exec.fp_ops;
-        m_trace_nodes = Core.Trace.created_in_domain () - nodes0;
-        m_spots = Hashtbl.length r.Core.Analysis.raw.Core.Exec.r_spots;
-        m_causes = causes;
-        m_compensations = st.Core.Exec.compensations;
-        m_err_max = err_max;
-      }
-    in
-    let summary =
-      Printf.sprintf "%-24s %13s  max output error %5.1f bits, %d root cause%s"
-        b.Fpcore.Suite.name (group_name b) err_max causes
-        (if causes = 1 then "" else "s")
-    in
-    { p_metrics = metrics; p_summary = summary; p_report = Core.Analysis.report_string r }
+    payload_for ~name:b.Fpcore.Suite.name ~group:(group_name b) ~nodes0 r
   in
   {
     sp_name = b.Fpcore.Suite.name;

@@ -101,25 +101,54 @@ let save (path : string) (outcomes : Engine.outcome list) : unit =
     outcomes;
   close_out oc
 
+(* A writer killed mid-record (SIGKILL, power loss) leaves a truncated
+   final line. Loading skips such a *trailing* malformed line with a
+   warning and a process-wide counter instead of raising — losing the
+   torn tail is exactly what the cache semantics want — while corruption
+   anywhere else still raises, since that means more than a torn tail. *)
+let corrupt_tail_counter = Atomic.make 0
+let corrupt_tail_total () = Atomic.get corrupt_tail_counter
+
 (* Raises [Json.Parse_error] or [Failure] with the offending line number
-   on a malformed store. *)
-let load (path : string) : Engine.outcome list =
+   on a malformed store (except for a trailing truncated line, which is
+   skipped). Returns the parsed outcomes and how many trailing lines were
+   skipped (0 or 1). *)
+let load_lenient (path : string) : Engine.outcome list * int =
   let ic = open_in path in
-  let rec go lineno acc =
-    match input_line ic with
-    | exception End_of_file -> List.rev acc
-    | "" -> go (lineno + 1) acc
-    | line -> (
-        match outcome_of_json (Json.of_string line) with
-        | o -> go (lineno + 1) (o :: acc)
-        | exception Json.Parse_error msg ->
-            close_in ic;
-            raise
-              (Json.Parse_error (Printf.sprintf "%s:%d: %s" path lineno msg)))
+  let lines =
+    let rec go acc =
+      match input_line ic with
+      | exception End_of_file -> List.rev acc
+      | line -> go (line :: acc)
+    in
+    let ls = go [] in
+    close_in ic;
+    Array.of_list ls
   in
-  let outcomes = go 1 [] in
-  close_in ic;
-  outcomes
+  let last_nonempty = ref (-1) in
+  Array.iteri (fun i l -> if String.trim l <> "" then last_nonempty := i) lines;
+  let skipped = ref 0 in
+  let acc = ref [] in
+  Array.iteri
+    (fun i line ->
+      if String.trim line <> "" then
+        match outcome_of_json (Json.of_string line) with
+        | o -> acc := o :: !acc
+        | exception (Json.Parse_error msg | Failure msg) ->
+            if i = !last_nonempty then begin
+              Printf.eprintf
+                "warning: %s:%d: skipping truncated trailing record (%s)\n%!"
+                path (i + 1) msg;
+              Atomic.incr corrupt_tail_counter;
+              incr skipped
+            end
+            else
+              raise
+                (Json.Parse_error (Printf.sprintf "%s:%d: %s" path (i + 1) msg)))
+    lines;
+  (List.rev !acc, !skipped)
+
+let load (path : string) : Engine.outcome list = fst (load_lenient path)
 
 (* A cache over a previous store: only successful results with a
    nonempty key are reusable. Missing file = empty cache. *)

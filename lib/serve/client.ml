@@ -1,0 +1,44 @@
+(* fpgrind.serve client: a minimal blocking HTTP/1.1 client — one fresh
+   connection per request, Connection: close — used by `fpgrind client`,
+   the CI smoke run, and the tests. *)
+
+type response = {
+  c_status : int;
+  c_headers : (string * string) list;
+  c_body : string;
+}
+
+let resolve host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+      match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+      | { Unix.ai_addr = Unix.ADDR_INET (addr, _); _ } :: _ -> addr
+      | _ -> failwith ("cannot resolve host " ^ host))
+
+let request ?(host = "127.0.0.1") ~port ~meth ~path ?(headers = [])
+    ?(body = "") () : response =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (resolve host, port));
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf (Printf.sprintf "%s %s HTTP/1.1\r\n" meth path);
+      Buffer.add_string buf (Printf.sprintf "host: %s:%d\r\n" host port);
+      List.iter
+        (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
+        headers;
+      if body <> "" || meth = "POST" || meth = "PUT" then
+        Buffer.add_string buf
+          (Printf.sprintf "content-length: %d\r\n" (String.length body));
+      Buffer.add_string buf "connection: close\r\n\r\n";
+      Buffer.add_string buf body;
+      let s = Buffer.contents buf in
+      let n = String.length s in
+      let sent = ref 0 in
+      while !sent < n do
+        sent := !sent + Unix.write_substring fd s !sent (n - !sent)
+      done;
+      let status, headers, body = Http.read_response (Http.reader_of_fd fd) in
+      { c_status = status; c_headers = headers; c_body = body })

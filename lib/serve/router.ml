@@ -1,0 +1,65 @@
+(* fpgrind.serve routing: exact method+path dispatch over a static route
+   table, plus typed query-parameter accessors that turn malformed values
+   into 400s instead of exceptions. *)
+
+type handler = Http.request -> Http.response
+type t = (string * string * handler) list  (* method, path, handler *)
+
+let dispatch (routes : t) (rq : Http.request) : Http.response =
+  match
+    List.find_opt (fun (m, p, _) -> m = rq.Http.rq_meth && p = rq.Http.rq_path)
+      routes
+  with
+  | Some (_, _, h) -> h rq
+  | None -> (
+      match
+        List.filter_map
+          (fun (m, p, _) -> if p = rq.Http.rq_path then Some m else None)
+          routes
+      with
+      | [] -> Http.error_response 404 ("no such endpoint: " ^ rq.Http.rq_path)
+      | allowed ->
+          Http.error_response 405
+            ~headers:[ ("allow", String.concat ", " allowed) ]
+            (Printf.sprintf "%s does not accept %s" rq.Http.rq_path
+               rq.Http.rq_meth))
+
+(* ---------- query parameters ---------- *)
+
+let q_opt (rq : Http.request) name = List.assoc_opt name rq.Http.rq_query
+
+let q_str rq name ~default =
+  match q_opt rq name with Some v -> v | None -> default
+
+let q_int rq name ~default =
+  match q_opt rq name with
+  | None -> default
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some n -> n
+      | None -> Http.fail 400 (Printf.sprintf "query %s: not an integer: %s" name v))
+
+let q_float_opt rq name =
+  match q_opt rq name with
+  | None -> None
+  | Some v -> (
+      match float_of_string_opt v with
+      | Some f -> Some f
+      | None -> Http.fail 400 (Printf.sprintf "query %s: not a number: %s" name v))
+
+let q_float rq name ~default =
+  match q_float_opt rq name with Some f -> f | None -> default
+
+(* a comma-separated float list, e.g. inputs=1.5,2.5 *)
+let q_floats rq name ~default =
+  match q_opt rq name with
+  | None -> default
+  | Some "" -> default
+  | Some v ->
+      String.split_on_char ',' v
+      |> List.map (fun s ->
+             match float_of_string_opt (String.trim s) with
+             | Some f -> f
+             | None ->
+                 Http.fail 400
+                   (Printf.sprintf "query %s: not a number: %s" name s))

@@ -1,0 +1,15 @@
+(* fpgrind.serve — public face of the network analysis service.
+
+   [Serve.Server] is the HTTP/1.1 service: bounded job queue with 503
+   backpressure, Fleet.Pool dispatch, content-hash result cache, JSONL
+   store flush, graceful drain. [Serve.Http] is the dependency-free
+   request parser / response writer (testable without sockets);
+   [Serve.Router] dispatches and types query parameters; [Serve.Metrics]
+   is the Prometheus-format counter/gauge/histogram layer; [Serve.Client]
+   is the small blocking client behind `fpgrind client` and the tests. *)
+
+module Http = Http
+module Router = Router
+module Metrics = Metrics
+module Server = Server
+module Client = Client

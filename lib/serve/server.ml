@@ -1,0 +1,550 @@
+(* fpgrind.serve — the network analysis service.
+
+   An accept loop (main thread, self-pipe wakeup) hands each connection
+   to a systhread; handlers parse the request and dispatch analysis work
+   onto a persistent Fleet.Pool of domains through a bounded queue.
+   Backpressure is explicit: when the queue is full, POST /analyze and
+   POST /fuzz answer 503 with a Retry-After hint instead of queueing
+   unboundedly. Repeated submissions of the same source are served from
+   the Fleet content-hash cache without re-analysis, and the cache can be
+   warmed from / flushed to a JSONL store (the same format `fpgrind
+   suite --json` writes).
+
+   Graceful shutdown ([stop], or SIGINT/SIGTERM in the CLI): the accept
+   loop exits and closes the listening socket, open connections run to
+   completion — which drains their queued jobs — the pool is drained and
+   joined, and the store is flushed. *)
+
+type config = {
+  port : int;  (* 0 picks an ephemeral port; see [port] for the result *)
+  host : string;
+  jobs : int;  (* pool worker domains *)
+  queue : int;  (* bounded queue depth; overflow answers 503 *)
+  timeout : float option;  (* default per-request analysis deadline *)
+  max_body : int;
+  store_path : string option;  (* JSONL cache warm-start + shutdown flush *)
+  quiet : bool;
+}
+
+let default_config =
+  {
+    port = 8080;
+    host = "127.0.0.1";
+    jobs = 1;
+    queue = 16;
+    timeout = None;
+    max_body = Http.default_max_body;
+    store_path = None;
+    quiet = false;
+  }
+
+type t = {
+  cfg : config;
+  pool : Fleet.Pool.t;
+  reg : Metrics.t;
+  m_requests : Metrics.counter;  (* by endpoint, status *)
+  m_request_seconds : Metrics.histogram;  (* by endpoint *)
+  m_queue_depth : Metrics.gauge;
+  m_in_flight : Metrics.gauge;
+  m_cache_hits : Metrics.counter;
+  m_cache_misses : Metrics.counter;
+  m_rejected : Metrics.counter;  (* queue-full 503s *)
+  m_jobs : Metrics.counter;  (* fleet jobs by status, via the observer *)
+  m_job_seconds : Metrics.histogram;
+  m_store_corrupt : Metrics.gauge;
+  cache_mu : Mutex.t;
+  cache : (string, Fleet.outcome) Hashtbl.t;
+  mutable persisted : Fleet.outcome list;  (* newest first *)
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  stop_flag : bool Atomic.t;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  conn_mu : Mutex.t;
+  conn_cond : Condition.t;
+  mutable conns : int;
+}
+
+let port t = t.bound_port
+
+(* ---------- creation ---------- *)
+
+let install_observer t =
+  Fleet.set_observer
+    {
+      Fleet.ob_started = (fun _ -> ());
+      Fleet.ob_finished =
+        (fun (o : Fleet.outcome) ->
+          Metrics.inc t.m_jobs [ Fleet.Store.status_to_string o.Fleet.o_status ];
+          Metrics.observe t.m_job_seconds o.Fleet.o_wall_s);
+    }
+
+let create (cfg : config) : t =
+  let reg = Metrics.create () in
+  let m_requests =
+    Metrics.counter reg ~labels:[ "endpoint"; "status" ]
+      ~help:"HTTP requests served, by endpoint and response status."
+      "fpgrind_http_requests_total"
+  in
+  let m_request_seconds =
+    Metrics.histogram reg ~labels:[ "endpoint" ]
+      ~help:"Wall time spent serving each request, by endpoint."
+      "fpgrind_http_request_seconds"
+  in
+  let m_queue_depth =
+    Metrics.gauge reg ~help:"Jobs waiting in the bounded analysis queue."
+      "fpgrind_queue_depth"
+  in
+  let m_in_flight =
+    Metrics.gauge reg ~help:"Jobs currently running on pool workers."
+      "fpgrind_jobs_in_flight"
+  in
+  let m_cache_hits =
+    Metrics.counter reg
+      ~help:"Requests answered from the content-hash result cache."
+      "fpgrind_cache_hits_total"
+  in
+  let m_cache_misses =
+    Metrics.counter reg ~help:"Requests that had to run a fresh analysis."
+      "fpgrind_cache_misses_total"
+  in
+  let m_rejected =
+    Metrics.counter reg
+      ~help:"Requests refused with 503 because the queue was full."
+      "fpgrind_rejected_total"
+  in
+  let m_jobs =
+    Metrics.counter reg ~labels:[ "status" ]
+      ~help:"Fleet engine jobs finished, by outcome status."
+      "fpgrind_fleet_jobs_total"
+  in
+  let m_job_seconds =
+    Metrics.histogram reg ~help:"Wall time of finished fleet jobs."
+      "fpgrind_fleet_job_seconds"
+  in
+  let m_store_corrupt =
+    Metrics.gauge reg
+      ~help:"Truncated trailing JSONL store records skipped since start."
+      "fpgrind_store_corrupt_lines_total"
+  in
+  (* warm the cache from the store, tolerating a torn tail *)
+  let cache = Hashtbl.create 97 in
+  let persisted = ref [] in
+  (match cfg.store_path with
+  | Some path when Sys.file_exists path ->
+      let outcomes, _skipped = Fleet.Store.load_lenient path in
+      List.iter
+        (fun (o : Fleet.outcome) ->
+          persisted := o :: !persisted;
+          match o.Fleet.o_status with
+          | (Fleet.Done | Fleet.Cached) when o.Fleet.o_key <> "" ->
+              Hashtbl.replace cache o.Fleet.o_key o
+          | _ -> ())
+        outcomes
+  | _ -> ());
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  (try
+     Unix.bind listen_fd
+       (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port));
+     Unix.listen listen_fd 128
+   with e ->
+     (try Unix.close listen_fd with _ -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> cfg.port
+  in
+  let wake_r, wake_w = Unix.pipe () in
+  let t =
+    {
+      cfg;
+      pool = Fleet.Pool.create ~queue:cfg.queue ~jobs:cfg.jobs ();
+      reg;
+      m_requests;
+      m_request_seconds;
+      m_queue_depth;
+      m_in_flight;
+      m_cache_hits;
+      m_cache_misses;
+      m_rejected;
+      m_jobs;
+      m_job_seconds;
+      m_store_corrupt;
+      cache_mu = Mutex.create ();
+      cache;
+      persisted = !persisted;
+      listen_fd;
+      bound_port;
+      stop_flag = Atomic.make false;
+      wake_r;
+      wake_w;
+      conn_mu = Mutex.create ();
+      conn_cond = Condition.create ();
+      conns = 0;
+    }
+  in
+  install_observer t;
+  t
+
+(* ---------- building analysis jobs from request bodies ---------- *)
+
+let max_steps = 200_000_000 (* same budget as Fleet.bench_spec *)
+
+let cfg_of_query rq : Core.Config.t =
+  let precision =
+    Router.q_int rq "precision"
+      ~default:Core.Config.default.Core.Config.precision
+  in
+  let threshold =
+    Router.q_float rq "threshold"
+      ~default:Core.Config.default.Core.Config.error_threshold
+  in
+  if precision < 53 || precision > 65536 then
+    Http.fail 400 (Printf.sprintf "precision %d out of range [53, 65536]" precision);
+  { Core.Config.default with Core.Config.precision; error_threshold = threshold }
+
+(* an ad-hoc source's cache key: everything that determines its result,
+   mirroring Fleet.job_key for suite benchmarks *)
+let adhoc_key ~kind ~cfg ~iterations ~(inputs : float array) (src : string) =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          ([ kind; src; string_of_int iterations; Core.Config.fingerprint cfg ]
+          @ (Array.to_list inputs |> List.map (Printf.sprintf "%h")))))
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* Sniff the body the way the CLI sniffs its PROGRAM argument:
+   "bench:NAME" names a suite benchmark, a leading '(' is FPCore source,
+   anything else is MiniC source. Raises [Http.Error] 400 on anything
+   that does not compile. *)
+let analyze_spec (rq : Http.request) : Fleet.spec =
+  let cfg = cfg_of_query rq in
+  let iterations = Router.q_int rq "iterations" ~default:16 in
+  let seed = Router.q_int rq "seed" ~default:1 in
+  if iterations < 1 || iterations > 10_000 then
+    Http.fail 400 (Printf.sprintf "iterations %d out of range [1, 10000]" iterations);
+  let body = String.trim rq.Http.rq_body in
+  if body = "" then Http.fail 400 "empty request body";
+  if has_prefix ~prefix:"bench:" body then begin
+    let name = String.sub body 6 (String.length body - 6) in
+    match Fpcore.Suite.enumerate ~iterations ~seed ~names:[ name ] () with
+    | [ job ] -> Fleet.bench_spec ~cfg job
+    | _ -> Http.fail 400 ("unknown benchmark: " ^ name)
+    | exception Invalid_argument msg -> Http.fail 400 msg
+  end
+  else begin
+    let inputs = Array.of_list (Router.q_floats rq "inputs" ~default:[]) in
+    let name = Router.q_str rq "name" ~default:"<request>" in
+    let kind, prog =
+      if body.[0] = '(' then begin
+        match Fpcore.Parse.parse_core body with
+        | core -> ("fpcore", Fpcore.Compile.compile ~n_inputs:iterations core)
+        | exception Fpcore.Parse.Error msg ->
+            Http.fail 400 ("fpcore: " ^ msg)
+        | exception Fpcore.Sexp.Parse_error msg ->
+            Http.fail 400 ("fpcore: " ^ msg)
+      end
+      else
+        match Minic.compile ~file:name rq.Http.rq_body with
+        | prog -> ("minic", prog)
+        | exception Minic.Compile_error msg -> Http.fail 400 msg
+    in
+    let work ~tick =
+      let nodes0 = Core.Trace.created_in_domain () in
+      let r = Core.Analysis.analyze ~cfg ~max_steps ~inputs ~tick prog in
+      Fleet.payload_for ~name ~group:kind ~nodes0 r
+    in
+    {
+      Fleet.sp_name = name;
+      sp_group = kind;
+      sp_key = adhoc_key ~kind ~cfg ~iterations ~inputs body;
+      sp_work = work;
+    }
+  end
+
+let fuzz_iters_cap = 10_000
+
+let fuzz_spec (rq : Http.request) ~timeout : Fleet.spec =
+  let seed = Router.q_int rq "seed" ~default:42 in
+  let iters = Router.q_int rq "iters" ~default:100 in
+  if iters < 1 || iters > fuzz_iters_cap then
+    Http.fail 400
+      (Printf.sprintf "iters %d out of range [1, %d]" iters fuzz_iters_cap);
+  let work ~tick:_ =
+    let t = Fuzz.Campaign.run ~jobs:1 ?timeout ~seed ~iters () in
+    let count p =
+      List.length (List.filter p t.Fuzz.Campaign.t_entries)
+    in
+    let passed =
+      count (fun e -> e.Fuzz.Campaign.e_status = Fuzz.Campaign.Passed)
+    in
+    let skipped =
+      count (fun (e : Fuzz.Campaign.entry) ->
+          match e.Fuzz.Campaign.e_status with
+          | Fuzz.Campaign.Skipped _ -> true
+          | _ -> false)
+    in
+    let failures = Fuzz.Campaign.failed t in
+    let entries =
+      List.map
+        (fun (e : Fuzz.Campaign.entry) ->
+          let oracle, detail =
+            match e.Fuzz.Campaign.e_status with
+            | Fuzz.Campaign.Divergent d ->
+                (d.Fuzz.Oracle.d_oracle, d.Fuzz.Oracle.d_detail)
+            | Fuzz.Campaign.Error msg -> ("error", msg)
+            | Fuzz.Campaign.Passed | Fuzz.Campaign.Skipped _ -> ("", "")
+          in
+          Fleet.Json.Obj
+            [
+              ("index", Fleet.Json.Num (float_of_int e.Fuzz.Campaign.e_index));
+              ("digest", Fleet.Json.Str e.Fuzz.Campaign.e_digest);
+              ("oracle", Fleet.Json.Str oracle);
+              ("detail", Fleet.Json.Str detail);
+            ])
+        failures
+    in
+    let json =
+      Fleet.Json.Obj
+        [
+          ("seed", Fleet.Json.Num (float_of_int seed));
+          ("iters", Fleet.Json.Num (float_of_int iters));
+          ("passed", Fleet.Json.Num (float_of_int passed));
+          ("skipped", Fleet.Json.Num (float_of_int skipped));
+          ("divergent", Fleet.Json.Num (float_of_int (List.length failures)));
+          ("failures", Fleet.Json.Arr entries);
+        ]
+    in
+    {
+      Fleet.p_metrics =
+        {
+          Fleet.m_blocks = 0;
+          m_stmts = 0;
+          m_fp_ops = 0;
+          m_trace_nodes = 0;
+          m_spots = 0;
+          m_causes = List.length failures;
+          m_compensations = 0;
+          m_err_max = 0.0;
+        };
+      p_summary =
+        Printf.sprintf "fuzz seed %d: %d programs, %d divergent, %d skipped"
+          seed iters (List.length failures) skipped;
+      p_report = Fleet.Json.to_string json;
+    }
+  in
+  {
+    Fleet.sp_name = Printf.sprintf "fuzz:seed=%d:iters=%d" seed iters;
+    sp_group = "fuzz";
+    sp_key = "";  (* campaigns are cheap to re-run and rarely repeated *)
+    sp_work = work;
+  }
+
+(* ---------- handlers ---------- *)
+
+let record t (o : Fleet.outcome) =
+  Mutex.lock t.cache_mu;
+  t.persisted <- o :: t.persisted;
+  (match o.Fleet.o_status with
+  | (Fleet.Done | Fleet.Cached) when o.Fleet.o_key <> "" ->
+      Hashtbl.replace t.cache o.Fleet.o_key o
+  | _ -> ());
+  Mutex.unlock t.cache_mu
+
+let cached t key =
+  if key = "" then None
+  else begin
+    Mutex.lock t.cache_mu;
+    let o = Hashtbl.find_opt t.cache key in
+    Mutex.unlock t.cache_mu;
+    o
+  end
+
+let status_of_outcome (o : Fleet.outcome) =
+  match o.Fleet.o_status with
+  | Fleet.Done | Fleet.Cached -> 200
+  | Fleet.Timed_out -> 504
+  | Fleet.Failed _ -> 500
+
+let outcome_response (o : Fleet.outcome) =
+  Http.json_response (status_of_outcome o) (Fleet.Store.outcome_to_json o)
+
+let overloaded_response t =
+  Metrics.inc t.m_rejected [];
+  Http.error_response 503
+    ~headers:[ ("retry-after", "1") ]
+    (Printf.sprintf "analysis queue is full (depth %d); retry shortly"
+       t.cfg.queue)
+
+(* submit to the pool with backpressure, await, record, respond *)
+let run_spec t rq (sp : Fleet.spec) ~cacheable : Http.response =
+  let timeout =
+    match Router.q_float_opt rq "timeout" with
+    | Some s -> Some s
+    | None -> t.cfg.timeout
+  in
+  match cached t (if cacheable then sp.Fleet.sp_key else "") with
+  | Some prev ->
+      Metrics.inc t.m_cache_hits [];
+      outcome_response
+        {
+          prev with
+          Fleet.o_name = sp.Fleet.sp_name;
+          o_group = sp.Fleet.sp_group;
+          o_key = sp.Fleet.sp_key;
+          o_status = Fleet.Cached;
+          o_wall_s = 0.0;
+        }
+  | None -> (
+      if cacheable then Metrics.inc t.m_cache_misses [];
+      match Fleet.Pool.submit t.pool ?timeout sp with
+      | None -> overloaded_response t
+      | Some ticket ->
+          let o = Fleet.Pool.await t.pool ticket in
+          record t o;
+          outcome_response o)
+
+let handle_analyze t rq = run_spec t rq (analyze_spec rq) ~cacheable:true
+
+let handle_fuzz t rq =
+  let timeout =
+    match Router.q_float_opt rq "timeout" with
+    | Some s -> Some s
+    | None -> t.cfg.timeout
+  in
+  run_spec t rq (fuzz_spec rq ~timeout) ~cacheable:false
+
+let handle_healthz _t _rq = Http.text_response 200 "ok\n"
+
+let handle_metrics t _rq =
+  Metrics.set t.m_queue_depth (float_of_int (Fleet.Pool.queue_depth t.pool));
+  Metrics.set t.m_in_flight (float_of_int (Fleet.Pool.in_flight t.pool));
+  Metrics.set t.m_store_corrupt (float_of_int (Fleet.Store.corrupt_tail_total ()));
+  Http.response
+    ~headers:
+      [ ("content-type", "text/plain; version=0.0.4; charset=utf-8") ]
+    200 (Metrics.render t.reg)
+
+let routes t : Router.t =
+  [
+    ("POST", "/analyze", handle_analyze t);
+    ("POST", "/fuzz", handle_fuzz t);
+    ("GET", "/healthz", handle_healthz t);
+    ("GET", "/metrics", handle_metrics t);
+  ]
+
+let known_endpoints = [ "/analyze"; "/fuzz"; "/healthz"; "/metrics" ]
+
+let endpoint_label path =
+  if List.mem path known_endpoints then path else "other"
+
+(* ---------- the connection loop ---------- *)
+
+let write_all fd (s : string) =
+  let n = String.length s in
+  let sent = ref 0 in
+  (try
+     while !sent < n do
+       sent := !sent + Unix.write_substring fd s !sent (n - !sent)
+     done
+   with Unix.Unix_error _ -> () (* peer went away; nothing to salvage *))
+
+let handle_connection t fd =
+  let rd = Http.reader_of_fd fd in
+  let send = write_all fd in
+  (match Http.read_request ~max_body:t.cfg.max_body rd with
+  | rq ->
+      let started = Unix.gettimeofday () in
+      let resp =
+        try Router.dispatch (routes t) rq with
+        | Http.Error (status, msg) -> Http.error_response status msg
+        | e -> Http.error_response 500 (Printexc.to_string e)
+      in
+      let label = endpoint_label rq.Http.rq_path in
+      Metrics.inc t.m_requests [ label; string_of_int resp.Http.rs_status ];
+      Metrics.observe t.m_request_seconds ~labels:[ label ]
+        (Unix.gettimeofday () -. started);
+      if not t.cfg.quiet then
+        Printf.eprintf "fpgrind serve: %s %s -> %d\n%!" rq.Http.rq_meth
+          rq.Http.rq_path resp.Http.rs_status;
+      Http.write_response send resp
+  | exception Http.Closed -> ()
+  | exception Http.Error (status, msg) ->
+      Metrics.inc t.m_requests [ "other"; string_of_int status ];
+      Http.write_response send (Http.error_response status msg));
+  (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let conn_begin t =
+  Mutex.lock t.conn_mu;
+  t.conns <- t.conns + 1;
+  Mutex.unlock t.conn_mu
+
+let conn_end t =
+  Mutex.lock t.conn_mu;
+  t.conns <- t.conns - 1;
+  Condition.broadcast t.conn_cond;
+  Mutex.unlock t.conn_mu
+
+(* ---------- lifecycle ---------- *)
+
+let stop t =
+  Atomic.set t.stop_flag true;
+  (* nudge the accept loop out of select *)
+  try ignore (Unix.write_substring t.wake_w "x" 0 1) with Unix.Unix_error _ -> ()
+
+let flush_store t =
+  match t.cfg.store_path with
+  | None -> ()
+  | Some path ->
+      Mutex.lock t.cache_mu;
+      let outcomes = List.rev t.persisted in
+      Mutex.unlock t.cache_mu;
+      Fleet.Store.save path outcomes
+
+(* Serve until [stop] (or a signal handler calling it) fires, then shut
+   down gracefully: close the listener, let open connections finish
+   (their queued jobs run to completion), drain the pool, flush the
+   store. Returns when fully drained. *)
+let run t =
+  let rec accept_loop () =
+    if not (Atomic.get t.stop_flag) then begin
+      (match Unix.select [ t.listen_fd; t.wake_r ] [] [] 1.0 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | ready, _, _ ->
+          if List.mem t.listen_fd ready then begin
+            match Unix.accept t.listen_fd with
+            | fd, _ ->
+                conn_begin t;
+                ignore
+                  (Thread.create
+                     (fun fd ->
+                       Fun.protect
+                         ~finally:(fun () -> conn_end t)
+                         (fun () ->
+                           try handle_connection t fd with _ -> ()))
+                     fd)
+            | exception Unix.Unix_error _ -> ()
+          end);
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  Mutex.lock t.conn_mu;
+  while t.conns > 0 do
+    Condition.wait t.conn_cond t.conn_mu
+  done;
+  Mutex.unlock t.conn_mu;
+  Fleet.Pool.drain t.pool;
+  flush_store t;
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
+  Fleet.clear_observer ();
+  if not t.cfg.quiet then
+    Printf.eprintf "fpgrind serve: drained, store flushed, exiting\n%!"

@@ -24,4 +24,32 @@ dune exec bin/fpgrind_cli.exe -- validate "$out"
 dune exec bin/fpgrind_cli.exe -- fuzz \
   --seed 42 --iters 200 --corpus test/corpus --quiet
 
+# Server smoke: ephemeral port, one analysis through `fpgrind client`
+# asserted byte-identical (modulo wall time) to the suite record above,
+# a /metrics scrape, then SIGTERM and a clean drain. The built binary is
+# invoked directly: the backgrounded server must not hold the dune lock.
+bin=_build/default/bin/fpgrind_cli.exe
+srv_log="$(mktemp /tmp/fpgrind-ci-serve.XXXXXX.log)"
+srv_store="$(mktemp /tmp/fpgrind-ci-serve.XXXXXX.jsonl)"
+rm -f "$srv_store"
+trap 'rm -f "$out" "$srv_log" "$srv_store"' EXIT
+
+"$bin" serve --port 0 --jobs 1 --queue 8 --store "$srv_store" >"$srv_log" 2>&1 &
+srv_pid=$!
+for _ in $(seq 50); do
+  port="$(sed -n 's/.*127\.0\.0\.1:\([0-9]*\).*/\1/p' "$srv_log" | head -1)"
+  [ -n "$port" ] && break
+  sleep 0.1
+done
+[ -n "$port" ] || { echo "ci: server never came up"; cat "$srv_log"; exit 1; }
+
+"$bin" client --port "$port" analyze bench:intro-example \
+  --iterations 4 --precision 128 --match "$out" >/dev/null
+"$bin" client --port "$port" metrics | grep -q '^fpgrind_http_requests_total'
+
+kill -TERM "$srv_pid"
+wait "$srv_pid"   # exits nonzero (and fails CI) unless the drain is clean
+grep -q 'drained, store flushed' "$srv_log"
+"$bin" validate "$srv_store"
+
 echo "ci: ok"
