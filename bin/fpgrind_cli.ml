@@ -112,11 +112,48 @@ let all_spots_arg =
     value & flag
     & info [ "all-spots" ] ~doc:"Report spots with no observed error too.")
 
+let engine_arg =
+  Arg.(
+    value
+    & opt
+        (enum [ ("full", Core.Config.Full); ("sanitize", Core.Config.Sanitize) ])
+        Core.Config.Full
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Analysis engine: $(b,full) is the Herbgrind-style shadow-real \
+           analysis; $(b,sanitize) is the fast NSan-style double-double \
+           sanitizer.")
+
+(* ---------- running the sanitizer engine (analyze/sanitize commands) ---------- *)
+
+let run_sanitizer ~cfg ~fatal ~all_checks ~inputs prog : int =
+  match
+    Sanitize.Sexec.run ~max_steps:1_000_000_000 ~inputs ~fatal cfg prog
+  with
+  | r ->
+      let rep = Sanitize.Report.build ~report_all:all_checks r in
+      print_string (Sanitize.Report.to_string rep);
+      let st = r.Sanitize.Sexec.sx_stats in
+      Printf.printf
+        "\n--- statistics ---\n\
+         superblocks run:          %d\n\
+         statements run:           %d\n\
+         statements instrumented:  %d\n\
+         shadowed ops:             %d\n\
+         checks run:               %d\n"
+        st.Sanitize.Sexec.blocks_run st.Sanitize.Sexec.stmts_run
+        st.Sanitize.Sexec.stmts_instrumented st.Sanitize.Sexec.shadow_ops
+        st.Sanitize.Sexec.checks_run;
+      0
+  | exception Sanitize.Sexec.Fatal_finding f ->
+      Printf.printf "FATAL: %s\n" (Sanitize.Report.finding_to_string f);
+      2
+
 (* ---------- analyze ---------- *)
 
 let analyze_cmd =
   let run path inputs iterations vectorize precision threshold depth no_wrap
-      no_reals no_exprs no_ti classic all_spots =
+      no_reals no_exprs no_ti classic all_spots engine =
     let cfg =
       {
         Core.Config.default with
@@ -128,6 +165,7 @@ let analyze_cmd =
         type_inference = not no_ti;
         classic_antiunify = classic;
         report_all_spots = all_spots;
+        engine;
       }
     in
     try
@@ -135,20 +173,26 @@ let analyze_cmd =
         load_program ~wrap_libm:(not no_wrap) ~vectorize ~iterations path
       in
       let inputs = if inputs <> [] then Array.of_list inputs else bench_inputs in
-      let r = Core.Analysis.analyze ~cfg ~max_steps:1_000_000_000 ~inputs prog in
-      print_string (Core.Analysis.report_string r);
-      let st = r.Core.Analysis.raw.Core.Exec.r_stats in
-      Printf.printf
-        "\n--- statistics ---\n\
-         superblocks run:          %d\n\
-         statements run:           %d\n\
-         statements instrumented:  %d\n\
-         floating-point ops:       %d\n\
-         compensations detected:   %d\n"
-        st.Core.Exec.blocks_run st.Core.Exec.stmts_run
-        st.Core.Exec.stmts_instrumented st.Core.Exec.fp_ops
-        st.Core.Exec.compensations;
-      0
+      match engine with
+      | Core.Config.Sanitize ->
+          run_sanitizer ~cfg ~fatal:false ~all_checks:all_spots ~inputs prog
+      | Core.Config.Full ->
+          let r =
+            Core.Analysis.analyze ~cfg ~max_steps:1_000_000_000 ~inputs prog
+          in
+          print_string (Core.Analysis.report_string r);
+          let st = r.Core.Analysis.raw.Core.Exec.r_stats in
+          Printf.printf
+            "\n--- statistics ---\n\
+             superblocks run:          %d\n\
+             statements run:           %d\n\
+             statements instrumented:  %d\n\
+             floating-point ops:       %d\n\
+             compensations detected:   %d\n"
+            st.Core.Exec.blocks_run st.Core.Exec.stmts_run
+            st.Core.Exec.stmts_instrumented st.Core.Exec.fp_ops
+            st.Core.Exec.compensations;
+          0
     with
     | Minic.Compile_error msg | Fpcore.Parse.Error msg | Sys_error msg ->
         Printf.eprintf "error: %s\n" msg;
@@ -158,11 +202,138 @@ let analyze_cmd =
     Term.(
       const run $ path_arg $ inputs_arg $ iterations_arg $ vectorize_arg
       $ precision_arg $ threshold_arg $ depth_arg $ no_wrap_arg $ no_reals_arg
-      $ no_exprs_arg $ no_typeinfer_arg $ classic_arg $ all_spots_arg)
+      $ no_exprs_arg $ no_typeinfer_arg $ classic_arg $ all_spots_arg
+      $ engine_arg)
   in
   Cmd.v
     (Cmd.info "analyze"
-       ~doc:"Run a program under the full Herbgrind analysis and print the report.")
+       ~doc:
+         "Run a program under the full Herbgrind analysis (or, with --engine \
+          sanitize, the NSan-style sanitizer) and print the report.")
+    term
+
+(* ---------- sanitize (the NSan-style dual-precision engine) ---------- *)
+
+let sanitize_cmd =
+  let path_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"PROGRAM"
+          ~doc:
+            "A MiniC source file (.mc), an FPCore file (.fpcore), or \
+             bench:NAME for a suite benchmark. Optional with --bench-kernel.")
+  in
+  let fatal_arg =
+    Arg.(
+      value & flag
+      & info [ "fatal" ]
+          ~doc:
+            "Stop at the first firing check (exit 2) instead of resuming \
+             and aggregating findings.")
+  in
+  let all_checks_arg =
+    Arg.(
+      value & flag
+      & info [ "all-checks" ]
+          ~doc:"Report every check point, including ones that never fired.")
+  in
+  let bench_kernel_arg =
+    Arg.(
+      value & flag
+      & info [ "bench-kernel" ]
+          ~doc:
+            "Measure the double-double kernel (ns per operation) instead of \
+             running a program; used by scripts/bench.sh.")
+  in
+  (* ns/op of the twofloat kernel, measured over a dependent chain so the
+     work cannot be dead-code-eliminated; deterministic operands *)
+  let bench_kernel () =
+    let module TF = Sanitize.Twofloat in
+    let n = 5_000_000 in
+    let time name f =
+      let t0 = Unix.gettimeofday () in
+      let acc = f n in
+      let t1 = Unix.gettimeofday () in
+      Printf.printf "%-6s %8.2f ns/op   (sink %h)\n" name
+        (1e9 *. (t1 -. t0) /. float_of_int n)
+        (TF.to_float acc)
+    in
+    let x = TF.of_float 1.000000123 in
+    time "add" (fun n ->
+        let acc = ref (TF.of_float 0.1) in
+        for _ = 1 to n do
+          acc := TF.add !acc x
+        done;
+        !acc);
+    time "mul" (fun n ->
+        let acc = ref (TF.of_float 1.0) in
+        for _ = 1 to n do
+          acc := TF.mul !acc x
+        done;
+        !acc);
+    time "div" (fun n ->
+        let acc = ref (TF.of_float 1.0) in
+        for _ = 1 to n do
+          acc := TF.div !acc x
+        done;
+        !acc);
+    time "sqrt" (fun n ->
+        let acc = ref (TF.of_float 2.0) in
+        for _ = 1 to n do
+          acc := TF.sqrt (TF.add_d !acc 1.5)
+        done;
+        !acc);
+    time "fma" (fun n ->
+        let acc = ref (TF.of_float 0.5) in
+        for _ = 1 to n do
+          acc := TF.fma !acc x (TF.of_float 1e-9)
+        done;
+        !acc);
+    0
+  in
+  let run path inputs iterations vectorize threshold no_wrap fatal all_checks
+      bench_kernel_flag =
+    if bench_kernel_flag then bench_kernel ()
+    else
+      match path with
+      | None ->
+          Printf.eprintf "error: sanitize needs a PROGRAM argument\n";
+          1
+      | Some path -> (
+          let cfg =
+            {
+              Core.Config.default with
+              Core.Config.error_threshold = threshold;
+              engine = Core.Config.Sanitize;
+            }
+          in
+          try
+            let prog, bench_inputs =
+              load_program ~wrap_libm:(not no_wrap) ~vectorize ~iterations path
+            in
+            let inputs =
+              if inputs <> [] then Array.of_list inputs else bench_inputs
+            in
+            run_sanitizer ~cfg ~fatal ~all_checks ~inputs prog
+          with
+          | Minic.Compile_error msg | Fpcore.Parse.Error msg | Sys_error msg ->
+              Printf.eprintf "error: %s\n" msg;
+              1)
+  in
+  let term =
+    Term.(
+      const run $ path_arg $ inputs_arg $ iterations_arg $ vectorize_arg
+      $ threshold_arg $ no_wrap_arg $ fatal_arg $ all_checks_arg
+      $ bench_kernel_arg)
+  in
+  Cmd.v
+    (Cmd.info "sanitize"
+       ~doc:
+         "Run a program under the NSan-style dual-precision shadow \
+          sanitizer: every float is shadowed by a double-double, and checks \
+          fire at stores, float-to-int casts, flipped comparisons and \
+          outputs.")
     term
 
 (* ---------- run (uninstrumented) ---------- *)
@@ -254,12 +425,13 @@ let suite_cmd =
       & info [ "strict" ] ~doc:"Exit nonzero if any job failed or timed out.")
   in
   let run names jobs timeout iterations precision threshold json_path no_cache
-      group seed quiet strict =
+      group seed quiet strict engine =
     let cfg =
       {
         Core.Config.default with
         Core.Config.precision;
         error_threshold = threshold;
+        engine;
       }
     in
     try
@@ -311,7 +483,7 @@ let suite_cmd =
     Term.(
       const run $ names_arg $ jobs_arg $ timeout_arg $ iterations_arg
       $ precision_arg $ threshold_arg $ json_arg $ no_cache_arg $ group_arg
-      $ seed_arg $ quiet_arg $ strict_arg)
+      $ seed_arg $ quiet_arg $ strict_arg $ engine_arg)
   in
   Cmd.v
     (Cmd.info "suite"
@@ -353,6 +525,22 @@ let validate_cmd =
           ok cached failed timeout
           (if skipped = 0 then ""
            else Printf.sprintf ", %d truncated record skipped" skipped);
+        let engines =
+          List.sort_uniq compare
+            (List.map (fun (o : Fleet.outcome) -> o.Fleet.o_engine) outcomes)
+        in
+        let engines =
+          List.filter (fun e -> e = "full") engines
+          @ List.filter (fun e -> e <> "full") engines
+        in
+        if engines <> [] then
+          Printf.printf "engines: %s\n"
+            (String.concat ", "
+               (List.map
+                  (fun e ->
+                    Printf.sprintf "%s %d" e
+                      (count (fun (o : Fleet.outcome) -> o.Fleet.o_engine = e)))
+                  engines));
         if failed > 0 || timeout > 0 || skipped > 0 then begin
           Printf.eprintf
             "error: store has %d failed, %d timeout, %d truncated record(s)\n"
@@ -485,7 +673,20 @@ let fuzz_cmd =
   let quiet_arg =
     Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress progress lines.")
   in
-  let run seed iters jobs timeout corpus quiet =
+  let consistency_arg =
+    Arg.(
+      value & flag
+      & info [ "consistency" ]
+          ~doc:
+            "Run the engine-consistency oracle on every program (sanitizer \
+             findings vs full-analysis spots), not just the deep slice.")
+  in
+  let run seed iters jobs timeout corpus quiet consistency =
+    let checks =
+      if consistency then
+        { Fuzz.Oracle.default_checks with Fuzz.Oracle.c_consistency = true }
+      else Fuzz.Oracle.default_checks
+    in
     let bad = ref false in
     (* replay the corpus first: every past counterexample must stay fixed *)
     (match corpus with
@@ -517,7 +718,7 @@ let fuzz_cmd =
                 p.Fleet.pr_last.Fleet.o_name)
       in
       let t =
-        Fuzz.Campaign.run ~jobs ?timeout ?on_progress ~seed ~iters ()
+        Fuzz.Campaign.run ~checks ~jobs ?timeout ?on_progress ~seed ~iters ()
       in
       let failures = Fuzz.Campaign.failed t in
       let skips = List.length (Fuzz.Campaign.skipped t) in
@@ -536,7 +737,10 @@ let fuzz_cmd =
                 e.Fuzz.Campaign.e_index d0.Fuzz.Oracle.d_oracle
                 d0.Fuzz.Oracle.d_detail;
               (* shrink to a minimal reproducer *)
-              match Fuzz.Campaign.shrink_entry ~seed e.Fuzz.Campaign.e_index with
+              match
+                Fuzz.Campaign.shrink_entry ~checks ~seed
+                  e.Fuzz.Campaign.e_index
+              with
               | Some (small, inputs, d) ->
                   let src = Fuzz.Printer.program small in
                   (match corpus with
@@ -569,7 +773,7 @@ let fuzz_cmd =
           counterexample.")
     Term.(
       const run $ seed_arg $ iters_arg $ jobs_arg $ timeout_arg $ corpus_arg
-      $ quiet_arg)
+      $ quiet_arg $ consistency_arg)
 
 (* ---------- serve (the network analysis service) ---------- *)
 
@@ -672,11 +876,12 @@ let client_cmd =
           (some
              (enum
                 [
-                  ("analyze", `Analyze); ("fuzz", `Fuzz); ("health", `Health);
-                  ("metrics", `Metrics);
+                  ("analyze", `Analyze); ("sanitize", `Sanitize);
+                  ("fuzz", `Fuzz); ("health", `Health); ("metrics", `Metrics);
                 ]))
           None
-      & info [] ~docv:"ACTION" ~doc:"One of analyze, fuzz, health, metrics.")
+      & info [] ~docv:"ACTION"
+          ~doc:"One of analyze, sanitize, fuzz, health, metrics.")
   in
   let target_arg =
     Arg.(
@@ -763,12 +968,18 @@ let client_cmd =
           let r = Serve.Client.request ~host ~port ~meth:"POST" ~path () in
           print_string r.Serve.Client.c_body;
           if r.Serve.Client.c_status / 100 = 2 then 0 else 1
-      | `Analyze -> (
+      | (`Analyze | `Sanitize) as action -> (
+          let endpoint =
+            match action with `Analyze -> "/analyze" | `Sanitize -> "/sanitize"
+          in
           let target =
             match target with
             | Some t -> t
             | None ->
-                Printf.eprintf "error: client analyze needs a PROGRAM argument\n";
+                Printf.eprintf "error: client %s needs a PROGRAM argument\n"
+                  (match action with
+                  | `Analyze -> "analyze"
+                  | `Sanitize -> "sanitize");
                 raise Exit
           in
           let body =
@@ -778,8 +989,8 @@ let client_cmd =
           in
           let path =
             Printf.sprintf
-              "/analyze?iterations=%d&seed=%d&precision=%d&threshold=%s%s%s"
-              iterations seed precision
+              "%s?iterations=%d&seed=%d&precision=%d&threshold=%s%s%s"
+              endpoint iterations seed precision
               (enc (Printf.sprintf "%.17g" threshold))
               (match inputs with
               | [] -> ""
@@ -801,9 +1012,14 @@ let client_cmd =
                   strip_wall
                     (Fleet.Json.of_string (String.trim r.Serve.Client.c_body))
                 in
-                let name =
-                  Fleet.Json.get_str "name"
-                    (Fleet.Json.of_string (String.trim r.Serve.Client.c_body))
+                let resp_json =
+                  Fleet.Json.of_string (String.trim r.Serve.Client.c_body)
+                in
+                let name = Fleet.Json.get_str "name" resp_json in
+                let resp_engine =
+                  match Fleet.Json.member "engine" resp_json with
+                  | Some (Fleet.Json.Str s) -> s
+                  | _ -> "full"
                 in
                 let expected =
                   match
@@ -811,7 +1027,18 @@ let client_cmd =
                       (fun (o : Fleet.outcome) -> o.Fleet.o_name = name)
                       (Fleet.Store.load store_path)
                   with
-                  | Some o -> strip_wall (Fleet.Store.outcome_to_json o)
+                  | Some o ->
+                      (* a full-engine record says nothing about the
+                         sanitizer (and vice versa): comparing them would
+                         only ever report a meaningless mismatch *)
+                      if o.Fleet.o_engine <> resp_engine then
+                        failwith
+                          (Printf.sprintf
+                             "refusing to --match across engines: the \
+                              response for %s came from the %s engine but \
+                              the record in %s came from the %s engine"
+                             name resp_engine store_path o.Fleet.o_engine);
+                      strip_wall (Fleet.Store.outcome_to_json o)
                   | None ->
                       failwith
                         (Printf.sprintf "no record named %s in %s" name
@@ -863,6 +1090,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            analyze_cmd; run_cmd; suite_cmd; validate_cmd; list_cmd;
-            improve_cmd; fuzz_cmd; serve_cmd; client_cmd;
+            analyze_cmd; sanitize_cmd; run_cmd; suite_cmd; validate_cmd;
+            list_cmd; improve_cmd; fuzz_cmd; serve_cmd; client_cmd;
           ]))

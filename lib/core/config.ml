@@ -2,6 +2,17 @@
    precision, equivalence-class depth 5, and every subsystem enabled. The
    per-component switches exist for the section 8.2 ablations. *)
 
+(* Which analysis engine runs the program: the paper's full
+   instrumentation, or the NSan-style dual-precision sanitizer. *)
+type engine = Full | Sanitize
+
+let engine_name = function Full -> "full" | Sanitize -> "sanitize"
+
+let engine_of_name = function
+  | "full" -> Some Full
+  | "sanitize" -> Some Sanitize
+  | _ -> None
+
 type t = {
   precision : int;  (* shadow real precision in bits *)
   error_threshold : float;  (* bits of local error that taint an op *)
@@ -16,6 +27,7 @@ type t = {
          paper's section 4.4 completeness flag *)
   detect_compensation : bool;  (* compensating-term detection *)
   report_all_spots : bool;  (* include spots with no observed error *)
+  engine : engine;  (* full analysis or the dual-precision sanitizer *)
 }
 
 let default =
@@ -31,6 +43,7 @@ let default =
     classic_antiunify = false;
     detect_compensation = true;
     report_all_spots = false;
+    engine = Full;
   }
 
 (* a cheaper configuration for unit tests *)
@@ -41,7 +54,9 @@ let fast = { default with precision = 128 }
    they analyze identically; a new field must be appended here to keep
    stale cache entries from matching. *)
 let fingerprint (t : t) : string =
-  Printf.sprintf "prec=%d;thr=%h;eqd=%d;mtd=%d;re=%b;infl=%b;expr=%b;ti=%b;ca=%b;comp=%b;all=%b"
+  Printf.sprintf
+    "prec=%d;thr=%h;eqd=%d;mtd=%d;re=%b;infl=%b;expr=%b;ti=%b;ca=%b;comp=%b;all=%b;eng=%s"
     t.precision t.error_threshold t.equiv_depth t.max_trace_depth
     t.enable_reals t.enable_influences t.enable_expressions t.type_inference
     t.classic_antiunify t.detect_compensation t.report_all_spots
+    (engine_name t.engine)

@@ -5,6 +5,17 @@
     enabled. The component switches exist for the section 8.2 ablations
     and figure 10 sweeps. *)
 
+(** Which analysis engine runs the program. *)
+type engine =
+  | Full  (** the paper's full instrumentation (reals/influences/traces) *)
+  | Sanitize  (** the NSan-style dual-precision shadow sanitizer *)
+
+val engine_name : engine -> string
+(** ["full"] / ["sanitize"] — the canonical wire and store spelling. *)
+
+val engine_of_name : string -> engine option
+(** Inverse of {!engine_name}. *)
+
 type t = {
   precision : int;  (** shadow real precision in bits (paper default 1000) *)
   error_threshold : float;
@@ -23,6 +34,10 @@ type t = {
           (the section 4.4 completeness flag) *)
   detect_compensation : bool;  (** compensating-term detection (5.4) *)
   report_all_spots : bool;  (** include error-free spots in the report *)
+  engine : engine;
+      (** which engine {!Analysis.analyze} and the batch drivers run;
+          the sanitizer only reads [error_threshold] of the other
+          knobs *)
 }
 
 val default : t

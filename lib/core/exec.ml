@@ -49,8 +49,8 @@ type state = {
   mem : Bytes.t;
   thread : Bytes.t;
   (* shadow storage: byte offset -> (slot, byte size) *)
-  mem_shadow : (int, Shadow.t * int) Hashtbl.t;
-  thread_shadow : (int, Shadow.t * int) Hashtbl.t;
+  mem_shadow : Shadow.t Vex.Shadowtbl.t;
+  thread_shadow : Shadow.t Vex.Shadowtbl.t;
   ops : (int, op_info) Hashtbl.t;
   spots : (int, spot_info) Hashtbl.t;
   inputs : float array;  (* values returned by the __arg builtin *)
@@ -73,8 +73,8 @@ let create ?(mem_size = Vex.Machine.default_mem_size) ?(max_steps = max_int)
     info;
     mem = Bytes.make mem_size '\000';
     thread = Bytes.make Vex.Machine.default_thread_size '\000';
-    mem_shadow = Hashtbl.create 1024;
-    thread_shadow = Hashtbl.create 64;
+    mem_shadow = Vex.Shadowtbl.create 1024;
+    thread_shadow = Vex.Shadowtbl.create 64;
     ops = Hashtbl.create 256;
     spots = Hashtbl.create 64;
     inputs;
@@ -131,31 +131,15 @@ let spot_entry st id loc kind =
       Hashtbl.replace st.spots id s;
       s
 
-(* ---------- shadow storage ---------- *)
+(* ---------- shadow storage ----------
 
-(* remove shadows overlapping [addr, addr+size); entries live at 4-byte
-   granularity in practice *)
-let clear_shadow_range tbl addr size =
-  let lo = addr - 12 in
-  let off = ref lo in
-  while !off < addr + size do
-    (match Hashtbl.find_opt tbl !off with
-    | Some (_, esize) when !off + esize > addr && !off < addr + size ->
-        Hashtbl.remove tbl !off
-    | Some _ | None -> ());
-    off := !off + 4
-  done
+   the aliasing discipline (4-byte-granularity entries, overlapping
+   writes kill old shadows) lives in [Vex.Shadowtbl], shared with the
+   sanitizer's double-double shadows *)
 
-let write_shadow tbl addr size (sh : Shadow.t option) =
-  clear_shadow_range tbl addr size;
-  match sh with
-  | Some s -> Hashtbl.replace tbl addr (s, size)
-  | None -> ()
-
-let read_shadow tbl addr size : Shadow.t option =
-  match Hashtbl.find_opt tbl addr with
-  | Some (s, esize) when esize = size -> Some s
-  | Some _ | None -> None
+let clear_shadow_range = Vex.Shadowtbl.clear_range
+let write_shadow = Vex.Shadowtbl.write
+let read_shadow = Vex.Shadowtbl.read
 
 (* ---------- error metrics ---------- *)
 
@@ -847,14 +831,7 @@ let run_block st (bidx : int) : int =
                 | [ (v, _) ] -> Vex.Value.as_f64 v
                 | _ -> 0.0
               in
-              let client =
-                let n = Array.length st.inputs in
-                if n = 0 then 0.0
-                else begin
-                  let i = int_of_float k in
-                  st.inputs.(((i mod n) + n) mod n)
-                end
-              in
+              let client = Vex.Machine.nth_input st.inputs k in
               fr.temps.(t) <- Vex.Value.VF64 client;
               fr.tshadow.(t) <- Shadow.SVal (Shadow.fresh_leaf client)
           | Vex.Ir.Dirty (t, name, args) ->
@@ -927,17 +904,10 @@ type result = {
 let run ?mem_size ?max_steps ?inputs ?tick (cfg : Config.t)
     (prog : Vex.Ir.prog) : result =
   let st = create ?mem_size ?max_steps ?inputs cfg prog in
-  let bidx = ref st.prog.Vex.Ir.entry in
-  let steps = ref 0 in
-  while !bidx >= 0 do
-    if !bidx >= Array.length st.prog.Vex.Ir.blocks then
-      raise (Client_error (Printf.sprintf "jump out of program: %d" !bidx));
-    incr steps;
-    if !steps > st.max_steps then raise (Client_error "step budget exceeded");
-    (match tick with Some f -> f () | None -> ());
-    st.stats.blocks_run <- st.stats.blocks_run + 1;
-    bidx := run_block st !bidx
-  done;
+  let error msg = Client_error msg in
+  st.stats.blocks_run <-
+    Vex.Machine.drive ~max_steps:st.max_steps ?tick ~error st.prog
+      ~run_block:(run_block st);
   {
     r_ops = st.ops;
     r_spots = st.spots;

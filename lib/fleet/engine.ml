@@ -42,6 +42,7 @@ type spec = {
   sp_name : string;
   sp_group : string;
   sp_key : string;  (* content-hash cache key; "" disables caching *)
+  sp_engine : string;  (* "full" or "sanitize" — which engine ran the job *)
   sp_work : tick:(unit -> unit) -> payload;
 }
 
@@ -49,6 +50,7 @@ type outcome = {
   o_name : string;
   o_group : string;
   o_key : string;
+  o_engine : string;  (* copied from the spec; "full" or "sanitize" *)
   o_status : status;
   o_wall_s : float;
   o_payload : payload option;  (* [Some] for [Done] and [Cached] *)
@@ -107,6 +109,7 @@ let exec_one ?timeout (sp : spec) : outcome =
         o_name = sp.sp_name;
         o_group = sp.sp_group;
         o_key = sp.sp_key;
+        o_engine = sp.sp_engine;
         o_status = status;
         o_wall_s = Unix.gettimeofday () -. start;
         o_payload = payload;
@@ -157,6 +160,7 @@ let run ?(jobs = 1) ?timeout ?cache ?on_progress (specs : spec list) :
             o_name = sp.sp_name;
             o_group = sp.sp_group;
             o_key = sp.sp_key;
+            o_engine = sp.sp_engine;
             o_status = Cached;
             o_wall_s = 0.0;
           }
@@ -367,6 +371,46 @@ let payload_for ~name ~group ~nodes0 (r : Core.Analysis.result) : payload =
     p_report = Core.Analysis.report_string r;
   }
 
+(* The sanitizer's payload, shaped like the full engine's so the store,
+   summary table and serve layer need no second schema. The fields keep
+   their meaning where one exists ([m_causes] = findings that fired,
+   [m_err_max] = worst output-check error) and go to zero where the
+   sanitizer has no analogue (trace nodes, compensations). *)
+let san_payload_for ~name ~group (r : Sanitize.Sexec.result) : payload =
+  let st = r.Sanitize.Sexec.sx_stats in
+  let rep = Sanitize.Report.build r in
+  let err_max =
+    List.fold_left
+      (fun m (f : Sanitize.Sexec.finding) ->
+        match f.Sanitize.Sexec.f_kind with
+        | Sanitize.Sexec.Check_output -> Float.max m f.Sanitize.Sexec.f_bits_max
+        | _ -> m)
+      0.0 rep.Sanitize.Report.findings
+  in
+  let causes = List.length rep.Sanitize.Report.findings in
+  let metrics =
+    {
+      m_blocks = st.Sanitize.Sexec.blocks_run;
+      m_stmts = st.Sanitize.Sexec.stmts_run;
+      m_fp_ops = st.Sanitize.Sexec.shadow_ops;
+      m_trace_nodes = 0;
+      m_spots = rep.Sanitize.Report.total_points;
+      m_causes = causes;
+      m_compensations = 0;
+      m_err_max = err_max;
+    }
+  in
+  let summary =
+    Printf.sprintf "%-24s %13s  max output error %5.1f bits, %d finding%s"
+      name group err_max causes
+      (if causes = 1 then "" else "s")
+  in
+  {
+    p_metrics = metrics;
+    p_summary = summary;
+    p_report = Sanitize.Report.to_string rep;
+  }
+
 let bench_spec ?(cfg = Core.Config.default) ?(max_steps = 200_000_000)
     (j : Fpcore.Suite.job) : spec =
   let b = j.Fpcore.Suite.job_bench in
@@ -379,13 +423,19 @@ let bench_spec ?(cfg = Core.Config.default) ?(max_steps = 200_000_000)
     let prog =
       Fpcore.Compile.compile ~n_inputs:iters ~name:b.Fpcore.Suite.name core
     in
-    let nodes0 = Core.Trace.created_in_domain () in
-    let r = Core.Analysis.analyze ~cfg ~max_steps ~inputs ~tick prog in
-    payload_for ~name:b.Fpcore.Suite.name ~group:(group_name b) ~nodes0 r
+    match cfg.Core.Config.engine with
+    | Core.Config.Full ->
+        let nodes0 = Core.Trace.created_in_domain () in
+        let r = Core.Analysis.analyze ~cfg ~max_steps ~inputs ~tick prog in
+        payload_for ~name:b.Fpcore.Suite.name ~group:(group_name b) ~nodes0 r
+    | Core.Config.Sanitize ->
+        let r = Sanitize.Sexec.run ~max_steps ~inputs ~tick cfg prog in
+        san_payload_for ~name:b.Fpcore.Suite.name ~group:(group_name b) r
   in
   {
     sp_name = b.Fpcore.Suite.name;
     sp_group = group_name b;
     sp_key = job_key ~cfg j;
+    sp_engine = Core.Config.engine_name cfg.Core.Config.engine;
     sp_work = work;
   }

@@ -45,6 +45,7 @@ let outcome_to_json (o : Engine.outcome) : Json.t =
        ("name", Json.Str o.Engine.o_name);
        ("group", Json.Str o.Engine.o_group);
        ("key", Json.Str o.Engine.o_key);
+       ("engine", Json.Str o.Engine.o_engine);
        ("status", Json.Str (status_to_string o.Engine.o_status));
        ("wall_s", Json.Num o.Engine.o_wall_s);
      ]
@@ -85,6 +86,10 @@ let outcome_of_json (v : Json.t) : Engine.outcome =
     Engine.o_name = Json.get_str "name" v;
     o_group = Json.get_str "group" v;
     o_key = Json.get_str "key" v;
+    (* stores written before the sanitizer existed carry no engine field;
+       everything in them came from the full engine *)
+    o_engine =
+      (match Json.member "engine" v with Some (Json.Str s) -> s | _ -> "full");
     o_status = status;
     o_wall_s = Json.get_num "wall_s" v;
     o_payload = payload;
@@ -203,4 +208,21 @@ let summary_table (outcomes : Engine.outcome list) : string =
     (Printf.sprintf
        "%d jobs: %d ok, %d cached, %d failed, %d timeout; total wall %.2fs\n"
        (List.length outcomes) ok cached failed timeout wall);
+  (* per-engine record counts, deterministic order: full first *)
+  let engines =
+    List.sort_uniq compare (List.map (fun o -> o.Engine.o_engine) outcomes)
+  in
+  let engines =
+    List.filter (fun e -> e = "full") engines
+    @ List.filter (fun e -> e <> "full") engines
+  in
+  if engines <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "engines: %s\n"
+         (String.concat ", "
+            (List.map
+               (fun e ->
+                 Printf.sprintf "%s %d" e
+                   (count (fun o -> o.Engine.o_engine = e)))
+               engines)));
   Buffer.contents buf

@@ -116,6 +116,7 @@ let run ?config ?(checks = Oracle.default_checks) ?(jobs = 1) ?timeout
           sp_group = "fuzz";
           sp_key = "";
           (* no caching: generation is cheaper than hashing a campaign key *)
+          sp_engine = "full";
           sp_work =
             (fun ~tick ->
               let entries =

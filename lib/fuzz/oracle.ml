@@ -19,7 +19,17 @@
                 kernel ops + - * / sqrt fma (subnormal results are
                 skipped: Bigfloat's unbounded exponent does not
                 double-round into the subnormal range the way hardware
-                does; see DESIGN.md). *)
+                does; see DESIGN.md);
+   - sanitize:  the NSan-style dual-precision sanitizer engine
+                ([Sanitize.Sexec]) — its client outputs must also be
+                bit-identical to the machine's (same transparency claim,
+                second engine);
+   - consistency: the two engines' verdicts about *where* the error is
+                must agree: an output the full analysis scores far above
+                the threshold must not look clean to the sanitizer (and
+                vice versa, modulo a slack for the precision gap), and a
+                comparison/cast flip the sanitizer is certain about must
+                be an incorrect spot in the full analysis too. *)
 
 type divergence = { d_oracle : string; d_detail : string }
 
@@ -34,6 +44,8 @@ type checks = {
   c_vectorize : bool;
   c_mathlib : bool;
   c_kernel : bool;
+  c_sanitize : bool;  (* sanitizer-engine transparency *)
+  c_consistency : bool;  (* sanitizer vs full-analysis verdict agreement *)
   c_cfg : Core.Config.t;
   c_max_steps : int;
 }
@@ -45,13 +57,21 @@ let default_checks =
     c_vectorize = false;
     c_mathlib = false;
     c_kernel = true;
+    c_sanitize = true;
+    c_consistency = false;
     c_cfg = Core.Config.fast;
     c_max_steps = 2_000_000;
   }
 
 (* everything on: what the campaign uses on a slice of its programs *)
 let deep_checks =
-  { default_checks with c_ablations = true; c_vectorize = true; c_mathlib = true }
+  {
+    default_checks with
+    c_ablations = true;
+    c_vectorize = true;
+    c_mathlib = true;
+    c_consistency = true;
+  }
 
 (* ---------- canonical outputs ---------- *)
 
@@ -116,6 +136,8 @@ let leg (name : string) (f : unit -> obs list) : leg_result =
       if is_budget_msg msg then Out_of_budget name else Err (name ^ ": " ^ msg)
   | exception Core.Exec.Client_error msg ->
       if is_budget_msg msg then Out_of_budget name else Err (name ^ ": " ^ msg)
+  | exception Sanitize.Sexec.Client_error msg ->
+      if is_budget_msg msg then Out_of_budget name else Err (name ^ ": " ^ msg)
   | exception Division_by_zero -> Err (name ^ ": division by zero")
   | exception Minic.Compile_error msg -> Err (name ^ ": " ^ msg)
 
@@ -177,6 +199,142 @@ let kernel_check (name : string) (args : float array) (r : float) :
                (Int64.bits_of_float r)
                rf
                (Int64.bits_of_float rf))
+
+(* ---------- the engine-consistency oracle ---------- *)
+
+(* Calls the dd kernel evaluates natively; any other Dirty call makes
+   the sanitizer's shadow fall back to double-precision libm, so its
+   error magnitudes are not comparable to the full engine's and the
+   consistency check would only measure that precision gap. *)
+let dd_native = [ "__arg"; "sqrt"; "fabs"; "fma"; "fmin"; "fmax" ]
+
+let has_passthrough_libm (prog : Vex.Ir.prog) : bool =
+  Array.exists
+    (fun (b : Vex.Ir.block) ->
+      Array.exists
+        (function
+          | Vex.Ir.Dirty (_, name, _) -> not (List.mem name dd_native)
+          | _ -> false)
+        b.Vex.Ir.stmts)
+    prog.Vex.Ir.blocks
+
+(* The two engines measure against different references (an N-bit
+   Bigfloat vs a ~106-bit double-double), so measured bits legitimately
+   differ by a few ulps of the measurement itself. Only a gross
+   disagreement — one engine far above the threshold while the other
+   sees a clean output — is a divergence. *)
+let consistency_slack = 15.0
+
+let consistency_check ~(checks : checks) ~tick ~inputs (prog : Vex.Ir.prog) :
+    result =
+  if has_passthrough_libm prog then Pass
+  else begin
+    let cfg = checks.c_cfg in
+    match
+      let a =
+        Core.Analysis.analyze ~cfg ~max_steps:checks.c_max_steps ~inputs ~tick
+          prog
+      in
+      let s =
+        Sanitize.Sexec.run ~max_steps:checks.c_max_steps ~inputs ~tick cfg prog
+      in
+      (a, s)
+    with
+    | exception
+        ( Core.Exec.Client_error msg
+        | Sanitize.Sexec.Client_error msg
+        | Vex.Machine.Client_error msg ) ->
+        if is_budget_msg msg then Skip "consistency: step budget exceeded"
+        else Fail { d_oracle = "consistency"; d_detail = msg }
+    | a, s ->
+        let spots = a.Core.Analysis.raw.Core.Exec.r_spots in
+        let thr = cfg.Core.Config.error_threshold in
+        (* a float->int cast re-seeds the sanitizer's shadow from the
+           integer (NSan semantics: the error is reported *at the cast*,
+           then the int is the int), while the full engine carries its
+           real through the round-trip — so once a cast has executed,
+           downstream outputs are only comparable in the direction
+           "sanitizer sees error the full engine doesn't" *)
+        let cast_reseed =
+          Hashtbl.fold
+            (fun _ (f : Sanitize.Sexec.finding) acc ->
+              acc || f.Sanitize.Sexec.f_kind = Sanitize.Sexec.Check_cast)
+            s.Sanitize.Sexec.sx_findings false
+        in
+        let bad = ref None in
+        Hashtbl.iter
+          (fun id (f : Sanitize.Sexec.finding) ->
+            if !bad = None then
+              match f.Sanitize.Sexec.f_kind with
+              | Sanitize.Sexec.Check_output ->
+                  (* both engines observe every executed output, so a
+                     missing full-engine spot means it measured no error *)
+                  let full_err =
+                    match Hashtbl.find_opt spots id with
+                    | Some sp -> sp.Core.Exec.s_err_max
+                    | None -> 0.0
+                  in
+                  let san_err = f.Sanitize.Sexec.f_bits_max in
+                  (* a site that ever printed a nan or an infinity: the
+                     verdict there hinges entirely on whether the
+                     reference resolves the overflow or invalid, and the
+                     two references legitimately differ. A Bigfloat
+                     cannot represent nan (sqrt of a negative drops
+                     provenance, so a full-engine 0.0 means "untracked",
+                     not "clean"), and an exact 1e300-scale cancellation
+                     is resolved by the dd's sparse hi + lo pair but
+                     collapses in any fixed-precision real narrower than
+                     the double exponent range — nothing to compare *)
+                  let nonfinite = f.Sanitize.Sexec.f_nonfinite_hits > 0 in
+                  if
+                    (not nonfinite)
+                    && ((full_err > thr +. consistency_slack && san_err <= thr
+                       && not cast_reseed)
+                       || (san_err > thr +. consistency_slack
+                         && full_err <= thr))
+                  then
+                    bad :=
+                      Some
+                        (Printf.sprintf
+                           "output at %s: full engine measured %.1f bits, \
+                            sanitizer %.1f (threshold %.1f, slack %.1f)"
+                           (Vex.Ir.loc_to_string f.Sanitize.Sexec.f_loc)
+                           full_err san_err thr consistency_slack)
+              | Sanitize.Sexec.Check_cmp | Sanitize.Sexec.Check_cast ->
+                  (* one-directional: a flip the sanitizer is *certain*
+                     about (every hit above dd resolution) must be an
+                     incorrect spot in the full engine too; the reverse
+                     can fail legitimately when the flip margin sits
+                     between dd and Bigfloat resolution *)
+                  if
+                    f.Sanitize.Sexec.f_hits > 0
+                    && f.Sanitize.Sexec.f_uncertain = 0
+                  then begin
+                    match Hashtbl.find_opt spots id with
+                    | Some sp when sp.Core.Exec.s_incorrect = 0 ->
+                        bad :=
+                          Some
+                            (Printf.sprintf
+                               "%s at %s: sanitizer saw %d certain flip(s), \
+                                full engine saw none"
+                               (Sanitize.Sexec.check_kind_name
+                                  f.Sanitize.Sexec.f_kind)
+                               (Vex.Ir.loc_to_string f.Sanitize.Sexec.f_loc)
+                               f.Sanitize.Sexec.f_hits)
+                    | _ ->
+                        (* no spot at all: the engines shadowed different
+                           operands there (e.g. a constant the full engine
+                           tracks exactly); nothing to compare *)
+                        ()
+                  end
+              | Sanitize.Sexec.Check_store ->
+                  (* the full engine has no per-store check to compare *)
+                  ())
+          s.Sanitize.Sexec.sx_findings;
+        (match !bad with
+        | None -> Pass
+        | Some d -> Fail { d_oracle = "consistency"; d_detail = d })
+  end
 
 (* ---------- the oracle proper ---------- *)
 
@@ -259,6 +417,24 @@ let run ?(checks = default_checks) ?tick ~(inputs : float array)
                   | Fail d -> Fail { d with d_oracle = name }))
             Pass ablations
         end
+      in
+      let* () =
+        if not checks.c_sanitize then Pass
+        else begin
+          let s =
+            leg "sanitize" (fun () ->
+                let r =
+                  Sanitize.Sexec.run ~max_steps:checks.c_max_steps ~inputs
+                    ~tick checks.c_cfg prog
+                in
+                List.map obs_of_machine (Sanitize.Sexec.outputs r))
+          in
+          compare_legs "machine" machine "sanitize" s
+        end
+      in
+      let* () =
+        if not checks.c_consistency then Pass
+        else consistency_check ~checks ~tick ~inputs prog
       in
       let* () =
         if not checks.c_vectorize then Pass

@@ -10,23 +10,42 @@ module Ast = Fpcore.Ast
 type sample = (string * float) list
 (* one assignment of input variables *)
 
-let mean_error_bits ?(prec = 256) (e : Ast.expr) (samples : sample list) :
-    float =
-  let total, count =
+(* Mean measured error over the samples, with the domain errors counted
+   separately: a sample where evaluation raises (sqrt of a negative, a
+   log of zero under some candidate rewrite) says nothing about rounding
+   error, so it must not enter the mean — scoring it as a flat 64 bits
+   used to let one out-of-domain sample poison an otherwise-accurate
+   candidate. A candidate with no in-domain samples at all scores
+   [infinity] (it computes nothing, so it must never win the beam). *)
+let error_bits_stats ?(prec = 256) (e : Ast.expr) (samples : sample list) :
+    float * int * int =
+  let total, valid, domain_errors =
     List.fold_left
-      (fun (total, count) env ->
-        match Fpcore.Eval.eval_f env e with
-        | f ->
-            let renv =
-              List.map (fun (x, v) -> (x, Bignum.Bigfloat.of_float v)) env
-            in
-            let r = Fpcore.Eval.eval_r ~prec renv e in
+      (fun (total, valid, domain_errors) env ->
+        match
+          let f = Fpcore.Eval.eval_f env e in
+          let renv =
+            List.map (fun (x, v) -> (x, Bignum.Bigfloat.of_float v)) env
+          in
+          let r = Fpcore.Eval.eval_r ~prec renv e in
+          (f, r)
+        with
+        | f, r ->
             let err = Ieee.bits_of_error f (Bignum.Bigfloat.to_float r) in
-            (total +. err, count + 1)
-        | exception _ -> (total +. 64.0, count + 1))
-      (0.0, 0) samples
+            (total +. err, valid + 1, domain_errors)
+        | exception _ -> (total, valid, domain_errors + 1))
+      (0.0, 0, 0) samples
   in
-  if count = 0 then 0.0 else total /. float_of_int count
+  let mean =
+    if valid > 0 then total /. float_of_int valid
+    else if domain_errors > 0 then infinity
+    else 0.0
+  in
+  (mean, valid, domain_errors)
+
+let mean_error_bits ?prec (e : Ast.expr) (samples : sample list) : float =
+  let mean, _, _ = error_bits_stats ?prec e samples in
+  mean
 
 (* fold operations whose arguments are all literal constants *)
 let rec constant_fold (e : Ast.expr) : Ast.expr =

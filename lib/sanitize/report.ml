@@ -1,0 +1,61 @@
+(* Rendering sanitizer findings, mapped back to MiniC source lines where
+   the IMarks carried them:
+
+     store in accum at kernel.mc:14
+       12.3 bits max error, 4.1 bits average
+       fired 7 of 4096 checks
+*)
+
+type t = {
+  findings : Sexec.finding list;  (* the reportable subset, worst first *)
+  total_checks : int;  (* checks executed over the whole run *)
+  total_points : int;  (* distinct check points seen *)
+  shadow_ops : int;
+}
+
+(* a finding is reportable when it fired: value checks past the
+   threshold, flip checks on any flip *)
+let fired (f : Sexec.finding) = f.Sexec.f_hits > 0
+
+let build ?(report_all = false) (r : Sexec.result) : t =
+  let findings =
+    Sexec.findings r |> List.filter (fun f -> report_all || fired f)
+  in
+  {
+    findings;
+    total_checks = r.Sexec.sx_stats.Sexec.checks_run;
+    total_points = Hashtbl.length r.Sexec.sx_findings;
+    shadow_ops = r.Sexec.sx_stats.Sexec.shadow_ops;
+  }
+
+let finding_to_string (f : Sexec.finding) : string =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s in %s\n"
+       (Sexec.check_kind_name f.Sexec.f_kind)
+       (Vex.Ir.loc_to_string f.Sexec.f_loc));
+  (match f.Sexec.f_kind with
+  | Sexec.Check_store | Sexec.Check_output ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %.1f bits max error, %.1f bits average\n"
+           f.Sexec.f_bits_max
+           (f.Sexec.f_bits_sum /. float_of_int (max 1 f.Sexec.f_total)))
+  | Sexec.Check_cast | Sexec.Check_cmp ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %d flip%s (worst %.1f bits in the operands)\n"
+           f.Sexec.f_hits
+           (if f.Sexec.f_hits = 1 then "" else "s")
+           f.Sexec.f_bits_max));
+  Buffer.add_string buf
+    (Printf.sprintf "  fired %d of %d checks\n" f.Sexec.f_hits f.Sexec.f_total);
+  Buffer.contents buf
+
+let to_string (t : t) : string =
+  if t.findings = [] then "Sanitizer: no floating-point problems found.\n"
+  else String.concat "\n" (List.map finding_to_string t.findings)
+
+let summary (t : t) : string =
+  Printf.sprintf "%d finding%s from %d checks at %d points (%d shadow ops)"
+    (List.length t.findings)
+    (if List.length t.findings = 1 then "" else "s")
+    t.total_checks t.total_points t.shadow_ops

@@ -1,0 +1,23 @@
+(** Rendering sanitizer findings, mapped back to MiniC source lines
+    (carried by the IMarks the compiler emitted). *)
+
+type t = {
+  findings : Sexec.finding list;  (** the reportable subset, worst first *)
+  total_checks : int;  (** checks executed over the whole run *)
+  total_points : int;  (** distinct check points seen *)
+  shadow_ops : int;
+}
+
+val fired : Sexec.finding -> bool
+(** Did this finding fire at least once (error above threshold for
+    store/output checks, any flip for cast/branch checks)? *)
+
+val build : ?report_all:bool -> Sexec.result -> t
+(** Keep the findings that fired; [report_all] keeps every check point
+    (the analogue of [Config.report_all_spots]). *)
+
+val finding_to_string : Sexec.finding -> string
+val to_string : t -> string
+
+val summary : t -> string
+(** One line: finding count, checks run, check points, shadow ops. *)

@@ -1,0 +1,676 @@
+(* The NSan-style shadow executor: runs a superblock program once,
+   shadowing every F32/F64 temporary, thread-state slot and memory slot
+   with a double-double ({!Twofloat}) instead of the full analysis'
+   Bigfloat-plus-trace-plus-influences shadow. Checks fire at the
+   observable points of Courbet's NSan: memory stores of floats,
+   float-to-integer casts, float comparisons that flip against the
+   shadow, and program outputs.
+
+   Client semantics are shared with the other engines through
+   [Vex.Eval]; the stepping loop is [Vex.Machine.drive] and the shadow
+   aliasing discipline is [Vex.Shadowtbl], both shared with
+   [Core.Exec]. Outputs are bit-identical to [Vex.Machine.run]'s (the
+   fuzz transparency oracle holds the engine to that). *)
+
+module TF = Twofloat
+
+type check_kind = Check_store | Check_cast | Check_cmp | Check_output
+
+let check_kind_name = function
+  | Check_store -> "store"
+  | Check_cast -> "cast"
+  | Check_cmp -> "branch"
+  | Check_output -> "output"
+
+type finding = {
+  f_id : int;  (* statement id (pc) *)
+  f_loc : Vex.Ir.loc;
+  f_kind : check_kind;
+  mutable f_total : int;  (* times the check executed *)
+  mutable f_hits : int;  (* fired: error above threshold, or a flip *)
+  mutable f_bits_sum : float;
+  mutable f_bits_max : float;
+  mutable f_uncertain : int;
+      (* flips whose margin is below dd resolution: a higher-precision
+         engine may legitimately disagree (the consistency oracle skips
+         these) *)
+  mutable f_nonfinite_hits : int;
+      (* instances where the client value itself was nan or infinite:
+         kept separate so the engine-consistency oracle can tell a
+         verdict about an overflow/invalid from a measured-error one *)
+}
+
+exception Fatal_finding of finding
+exception Client_error of string
+
+type stats = {
+  mutable blocks_run : int;
+  mutable stmts_run : int;
+  mutable stmts_instrumented : int;
+  mutable shadow_ops : int;  (* dd-shadowed floating-point operations *)
+  mutable checks_run : int;
+}
+
+(* a comparison shadow: the client verdict, the dd verdict, the error in
+   the compared difference, and whether the margin was below what ~106
+   bits can resolve *)
+type sbool = {
+  client_b : bool;
+  shadow_b : bool;
+  cmp_bits : float;
+  uncertain : bool;
+}
+
+type slot = SNone | SF of TF.t | SBool of sbool | SVec of slot array
+
+type state = {
+  prog : Vex.Ir.prog;
+  threshold : float;
+  fatal : bool;
+  info : Vex.Typeinfer.t;
+  mem : Bytes.t;
+  thread : Bytes.t;
+  mem_shadow : TF.t Vex.Shadowtbl.t;
+  thread_shadow : TF.t Vex.Shadowtbl.t;
+  findings : (int, finding) Hashtbl.t;
+  inputs : float array;
+  mutable outputs : Vex.Machine.output list;  (* reversed *)
+  stats : stats;
+  max_steps : int;
+}
+
+let create ?(mem_size = Vex.Machine.default_mem_size) ?(max_steps = max_int)
+    ?(inputs = [||]) ?(fatal = false) (cfg : Core.Config.t) prog =
+  let info =
+    if cfg.Core.Config.type_inference then Vex.Typeinfer.infer prog
+    else Vex.Typeinfer.all_full prog
+  in
+  {
+    prog;
+    threshold = cfg.Core.Config.error_threshold;
+    fatal;
+    info;
+    mem = Bytes.make mem_size '\000';
+    thread = Bytes.make Vex.Machine.default_thread_size '\000';
+    mem_shadow = Vex.Shadowtbl.create 1024;
+    thread_shadow = Vex.Shadowtbl.create 64;
+    findings = Hashtbl.create 64;
+    inputs;
+    outputs = [];
+    stats =
+      {
+        blocks_run = 0;
+        stmts_run = 0;
+        stmts_instrumented = 0;
+        shadow_ops = 0;
+        checks_run = 0;
+      };
+    max_steps;
+  }
+
+(* ---------- findings ---------- *)
+
+let finding_entry st id loc kind =
+  match Hashtbl.find_opt st.findings id with
+  | Some f -> f
+  | None ->
+      let f =
+        {
+          f_id = id;
+          f_loc = loc;
+          f_kind = kind;
+          f_total = 0;
+          f_hits = 0;
+          f_bits_sum = 0.0;
+          f_bits_max = 0.0;
+          f_uncertain = 0;
+          f_nonfinite_hits = 0;
+        }
+      in
+      Hashtbl.replace st.findings id f;
+      f
+
+(* value-error checks (stores, outputs): fire above the threshold *)
+let check_value st ~stmt_id ~loc ~kind ~(bits : float) =
+  st.stats.checks_run <- st.stats.checks_run + 1;
+  let f = finding_entry st stmt_id loc kind in
+  f.f_total <- f.f_total + 1;
+  f.f_bits_sum <- f.f_bits_sum +. bits;
+  if bits > f.f_bits_max then f.f_bits_max <- bits;
+  if bits > st.threshold then begin
+    f.f_hits <- f.f_hits + 1;
+    if st.fatal then raise (Fatal_finding f)
+  end
+
+(* flip checks (casts, comparisons): fire when the verdicts disagree *)
+let check_flip st ~stmt_id ~loc ~kind ~(flip : bool) ~(bits : float)
+    ~(uncertain : bool) =
+  st.stats.checks_run <- st.stats.checks_run + 1;
+  let f = finding_entry st stmt_id loc kind in
+  f.f_total <- f.f_total + 1;
+  if flip then begin
+    f.f_hits <- f.f_hits + 1;
+    f.f_bits_sum <- f.f_bits_sum +. bits;
+    if bits > f.f_bits_max then f.f_bits_max <- bits;
+    if uncertain then f.f_uncertain <- f.f_uncertain + 1;
+    if st.fatal then raise (Fatal_finding f)
+  end
+
+(* error of a client float against its dd shadow, on the client's grid *)
+let shadow_bits ~single (client : float) (sh : TF.t) =
+  let rf = TF.to_float sh in
+  if single then Ieee.Single.bits_of_error client (Ieee.Single.of_double rf)
+  else Ieee.bits_of_error client rf
+
+(* ---------- shadow plumbing ---------- *)
+
+let sf_of (v : float) (sl : slot) : TF.t =
+  match sl with SF d -> d | SNone | SBool _ | SVec _ -> TF.of_float v
+
+let check_mem st addr size =
+  if addr < 0 || addr + size > Bytes.length st.mem then
+    raise (Client_error (Printf.sprintf "memory access out of bounds: %d" addr))
+
+let load_shadow tbl off (ty : Vex.Ir.ty) : slot =
+  match ty with
+  | Vex.Ir.F64 | Vex.Ir.I64 -> begin
+      match Vex.Shadowtbl.read tbl off 8 with
+      | Some d -> SF d
+      | None -> SNone
+    end
+  | Vex.Ir.F32 | Vex.Ir.I32 -> begin
+      match Vex.Shadowtbl.read tbl off 4 with
+      | Some d -> SF d
+      | None -> SNone
+    end
+  | Vex.Ir.V128 -> begin
+      match
+        (Vex.Shadowtbl.read tbl off 8, Vex.Shadowtbl.read tbl (off + 8) 8)
+      with
+      | None, None -> begin
+          let lanes =
+            Array.init 4 (fun i ->
+                match Vex.Shadowtbl.read tbl (off + (4 * i)) 4 with
+                | Some d -> SF d
+                | None -> SNone)
+          in
+          if Array.exists (fun s -> s <> SNone) lanes then SVec lanes
+          else SNone
+        end
+      | lo, hi ->
+          SVec
+            [|
+              (match lo with Some d -> SF d | None -> SNone);
+              (match hi with Some d -> SF d | None -> SNone);
+            |]
+    end
+  | Vex.Ir.I1 | Vex.Ir.I8 | Vex.Ir.I16 -> SNone
+
+let store_shadow tbl off (v : Vex.Value.t) (sh : slot) =
+  match (v, sh) with
+  | Vex.Value.VV128 _, SVec lanes ->
+      let lane_size = if Array.length lanes = 2 then 8 else 4 in
+      Array.iteri
+        (fun i sl ->
+          Vex.Shadowtbl.write tbl
+            (off + (lane_size * i))
+            lane_size
+            (match sl with SF d -> Some d | _ -> None))
+        lanes
+  | Vex.Value.VV128 _, _ -> Vex.Shadowtbl.clear_range tbl off 16
+  | v, SF d ->
+      let size =
+        match Vex.Value.ty_of v with
+        | Vex.Ir.F32 | Vex.Ir.I32 -> 4
+        | _ -> 8
+      in
+      Vex.Shadowtbl.write tbl off size (Some d)
+  | v, _ -> Vex.Shadowtbl.clear_range tbl off (Vex.Ir.ty_size (Vex.Value.ty_of v))
+
+(* ---------- shadowed operations ---------- *)
+
+let float_of_value = function
+  | Vex.Value.VF64 f | Vex.Value.VF32 f -> f
+  | v -> Vex.Value.type_error "expected float" v
+
+(* margin below which a dd comparison verdict is not trustworthy against
+   an arbitrarily precise engine *)
+let cmp_uncertainty_rel = 0x1p-88
+
+let do_cmp st (dd_cmp : TF.t -> TF.t -> bool) ~(client : bool)
+    (a_f : float) (ash : slot) (b_f : float) (bsh : slot) : slot =
+  st.stats.shadow_ops <- st.stats.shadow_ops + 1;
+  let ad = sf_of a_f ash and bd = sf_of b_f bsh in
+  let shadow_b = dd_cmp ad bd in
+  let diff = TF.sub ad bd in
+  let cmp_bits = Ieee.bits_of_error (a_f -. b_f) (TF.to_float diff) in
+  let scale = Float.max (Float.abs (TF.to_float ad)) (Float.abs (TF.to_float bd)) in
+  let uncertain =
+    (not (TF.is_finite ad && TF.is_finite bd))
+    || Float.abs (TF.to_float diff) <= scale *. cmp_uncertainty_rel
+  in
+  SBool { client_b = client; shadow_b; cmp_bits; uncertain }
+
+let record_branch st ~loc ~stmt_id (sb : sbool) =
+  check_flip st ~stmt_id ~loc ~kind:Check_cmp
+    ~flip:(sb.client_b <> sb.shadow_b)
+    ~bits:sb.cmp_bits ~uncertain:sb.uncertain
+
+(* a float -> int cast: compare the client integer against the dd
+   truncation/rounding; flag flips, with an uncertainty guard when the
+   dd value sits within dd resolution of the rounding boundary *)
+let do_cast st ~loc ~stmt_id ~(rn : bool) (arg_f : float) (ash : slot)
+    (client_int : int64) =
+  match ash with
+  | SF d ->
+      let shadow_int = TF.to_int64 ~rn d in
+      let flip =
+        match shadow_int with
+        | Some i -> not (Int64.equal i client_int)
+        | None -> true
+      in
+      let bits =
+        match shadow_int with
+        | Some i ->
+            Ieee.bits_of_error (Int64.to_float client_int) (Int64.to_float i)
+        | None -> 64.0
+      in
+      let uncertain =
+        (not (TF.is_finite d))
+        ||
+        let v = TF.to_float d in
+        let frac = v -. Float.trunc v in
+        let boundary_dist =
+          if rn then Float.abs (Float.abs frac -. 0.5)
+          else Float.min (Float.abs frac) (1.0 -. Float.abs frac)
+        in
+        boundary_dist <= (Float.abs v *. cmp_uncertainty_rel) +. 0x1p-200
+      in
+      check_flip st ~stmt_id ~loc ~kind:Check_cast ~flip ~bits ~uncertain
+  | SNone | SBool _ | SVec _ ->
+      (* no shadow: the cast input is exact, nothing to compare *)
+      ignore arg_f
+
+let lane_slot (sl : slot) n i : slot =
+  match sl with
+  | SVec lanes when Array.length lanes = n -> lanes.(i)
+  | _ -> SNone
+
+let shadow_unop st ~loc ~stmt_id (op : Vex.Ir.unop) (av : Vex.Value.t)
+    (ash : slot) (result : Vex.Value.t) : slot =
+  match op with
+  | Vex.Ir.SqrtF64 ->
+      st.stats.shadow_ops <- st.stats.shadow_ops + 1;
+      SF (TF.sqrt (sf_of (Vex.Value.as_f64 av) ash))
+  | Vex.Ir.SqrtF32 ->
+      st.stats.shadow_ops <- st.stats.shadow_ops + 1;
+      SF (TF.sqrt (sf_of (Vex.Value.as_f32 av) ash))
+  | Vex.Ir.NegF64 | Vex.Ir.NegF32 -> begin
+      match ash with SF d -> SF (TF.neg d) | _ -> SNone
+    end
+  | Vex.Ir.AbsF64 | Vex.Ir.AbsF32 -> begin
+      match ash with SF d -> SF (TF.abs d) | _ -> SNone
+    end
+  (* precision conversions: the dd shadow keeps its full width *)
+  | Vex.Ir.F32toF64 | Vex.Ir.F64toF32 -> ash
+  (* int -> float: exact provenance *)
+  | Vex.Ir.I64toF64 | Vex.Ir.I64toF32 ->
+      SF (TF.of_int64 (Vex.Value.as_i64 av))
+  (* float -> int: a cast check point *)
+  | Vex.Ir.F64toI64tz ->
+      do_cast st ~loc ~stmt_id ~rn:false (Vex.Value.as_f64 av) ash
+        (Vex.Value.as_i64 result);
+      SNone
+  | Vex.Ir.F64toI64rn ->
+      do_cast st ~loc ~stmt_id ~rn:true (Vex.Value.as_f64 av) ash
+        (Vex.Value.as_i64 result);
+      SNone
+  | Vex.Ir.F32toI64tz ->
+      do_cast st ~loc ~stmt_id ~rn:false (Vex.Value.as_f32 av) ash
+        (Vex.Value.as_i64 result);
+      SNone
+  (* bit reinterpretation: the shadow rides along *)
+  | Vex.Ir.ReinterpF64asI64 | Vex.Ir.ReinterpI64asF64 | Vex.Ir.ReinterpF32asI32
+  | Vex.Ir.ReinterpI32asF32 ->
+      ash
+  | Vex.Ir.V128to64 -> lane_slot ash 2 0
+  | Vex.Ir.V128HIto64 -> lane_slot ash 2 1
+  | Vex.Ir.Sqrt64Fx2 ->
+      let a0, a1 = Vex.Value.v128_f64_lanes (Vex.Value.as_v128 av) in
+      let lane i a =
+        st.stats.shadow_ops <- st.stats.shadow_ops + 1;
+        SF (TF.sqrt (sf_of a (lane_slot ash 2 i)))
+      in
+      SVec [| lane 0 a0; lane 1 a1 |]
+  | Vex.Ir.Not1 | Vex.Ir.Neg64 | Vex.Ir.Not64 | Vex.Ir.I32toI64s
+  | Vex.Ir.I32toI64u | Vex.Ir.I64toI32 -> begin
+      (* Not1 must preserve comparison shadows so negated guards track *)
+      match (op, ash) with
+      | Vex.Ir.Not1, SBool sb ->
+          SBool { sb with client_b = not sb.client_b; shadow_b = not sb.shadow_b }
+      | _ -> SNone
+    end
+
+let shadow_binop st (op : Vex.Ir.binop) (a : Vex.Value.t * slot)
+    (b : Vex.Value.t * slot) (result : Vex.Value.t) : slot =
+  let av, ash = a and bv, bsh = b in
+  let f64_op dd_fn =
+    st.stats.shadow_ops <- st.stats.shadow_ops + 1;
+    SF
+      (dd_fn
+         (sf_of (Vex.Value.as_f64 av) ash)
+         (sf_of (Vex.Value.as_f64 bv) bsh))
+  in
+  let f32_op dd_fn =
+    st.stats.shadow_ops <- st.stats.shadow_ops + 1;
+    SF
+      (dd_fn
+         (sf_of (Vex.Value.as_f32 av) ash)
+         (sf_of (Vex.Value.as_f32 bv) bsh))
+  in
+  let cmp_op dd_cmp =
+    do_cmp st dd_cmp
+      ~client:(Vex.Value.as_bool result)
+      (float_of_value av) ash (float_of_value bv) bsh
+  in
+  match op with
+  | Vex.Ir.AddF64 -> f64_op TF.add
+  | Vex.Ir.SubF64 -> f64_op TF.sub
+  | Vex.Ir.MulF64 -> f64_op TF.mul
+  | Vex.Ir.DivF64 -> f64_op TF.div
+  | Vex.Ir.MinF64 -> f64_op TF.min2
+  | Vex.Ir.MaxF64 -> f64_op TF.max2
+  | Vex.Ir.AddF32 -> f32_op TF.add
+  | Vex.Ir.SubF32 -> f32_op TF.sub
+  | Vex.Ir.MulF32 -> f32_op TF.mul
+  | Vex.Ir.DivF32 -> f32_op TF.div
+  | Vex.Ir.CmpEQF64 | Vex.Ir.CmpEQF32 -> cmp_op TF.eq
+  | Vex.Ir.CmpNEF64 -> cmp_op (fun x y -> not (TF.eq x y))
+  | Vex.Ir.CmpLTF64 | Vex.Ir.CmpLTF32 -> cmp_op TF.lt
+  | Vex.Ir.CmpLEF64 | Vex.Ir.CmpLEF32 -> cmp_op TF.le
+  (* gcc bit tricks: XOR with the sign mask is negation, AND with the
+     abs mask is fabs *)
+  | Vex.Ir.Xor64 -> begin
+      match (ash, bsh, av, bv) with
+      | SF d, SNone, _, Vex.Value.VI64 m
+        when Int64.equal m Ieee.Bits.sign_flip_mask64 ->
+          SF (TF.neg d)
+      | SNone, SF d, Vex.Value.VI64 m, _
+        when Int64.equal m Ieee.Bits.sign_flip_mask64 ->
+          SF (TF.neg d)
+      | _ -> SNone
+    end
+  | Vex.Ir.And64 -> begin
+      match (ash, bsh, av, bv) with
+      | SF d, SNone, _, Vex.Value.VI64 m
+        when Int64.equal m Ieee.Bits.abs_mask64 ->
+          SF (TF.abs d)
+      | SNone, SF d, Vex.Value.VI64 m, _
+        when Int64.equal m Ieee.Bits.abs_mask64 ->
+          SF (TF.abs d)
+      | _ -> SNone
+    end
+  (* SIMD packed float ops: one dd op per lane *)
+  | Vex.Ir.Add64Fx2 | Vex.Ir.Sub64Fx2 | Vex.Ir.Mul64Fx2 | Vex.Ir.Div64Fx2 ->
+      let dd_fn =
+        match op with
+        | Vex.Ir.Add64Fx2 -> TF.add
+        | Vex.Ir.Sub64Fx2 -> TF.sub
+        | Vex.Ir.Mul64Fx2 -> TF.mul
+        | _ -> TF.div
+      in
+      let a0, a1 = Vex.Value.v128_f64_lanes (Vex.Value.as_v128 av) in
+      let b0, b1 = Vex.Value.v128_f64_lanes (Vex.Value.as_v128 bv) in
+      let lane i x y =
+        st.stats.shadow_ops <- st.stats.shadow_ops + 1;
+        SF (dd_fn (sf_of x (lane_slot ash 2 i)) (sf_of y (lane_slot bsh 2 i)))
+      in
+      SVec [| lane 0 a0 b0; lane 1 a1 b1 |]
+  | Vex.Ir.Add32Fx4 | Vex.Ir.Sub32Fx4 | Vex.Ir.Mul32Fx4 | Vex.Ir.Div32Fx4 ->
+      let dd_fn =
+        match op with
+        | Vex.Ir.Add32Fx4 -> TF.add
+        | Vex.Ir.Sub32Fx4 -> TF.sub
+        | Vex.Ir.Mul32Fx4 -> TF.mul
+        | _ -> TF.div
+      in
+      let a0, a1, a2, a3 = Vex.Value.v128_f32_lanes (Vex.Value.as_v128 av) in
+      let b0, b1, b2, b3 = Vex.Value.v128_f32_lanes (Vex.Value.as_v128 bv) in
+      let lane i x y =
+        st.stats.shadow_ops <- st.stats.shadow_ops + 1;
+        SF (dd_fn (sf_of x (lane_slot ash 4 i)) (sf_of y (lane_slot bsh 4 i)))
+      in
+      SVec [| lane 0 a0 b0; lane 1 a1 b1; lane 2 a2 b2; lane 3 a3 b3 |]
+  | Vex.Ir.I64HLtoV128 ->
+      (* Binop(hi, lo): lanes are [lo; hi] *)
+      SVec [| bsh; ash |]
+  | Vex.Ir.XorV128 | Vex.Ir.AndV128 | Vex.Ir.OrV128 -> SNone
+  | Vex.Ir.Add64 | Vex.Ir.Sub64 | Vex.Ir.Mul64 | Vex.Ir.DivS64 | Vex.Ir.ModS64
+  | Vex.Ir.Or64 | Vex.Ir.Shl64 | Vex.Ir.Shr64 | Vex.Ir.Sar64 | Vex.Ir.CmpEQ64
+  | Vex.Ir.CmpNE64 | Vex.Ir.CmpLT64S | Vex.Ir.CmpLE64S ->
+      SNone
+
+(* ---------- statement and block loop ---------- *)
+
+type frame = { temps : Vex.Value.t array; tshadow : slot array }
+
+exception Exit_to of int
+
+let rec eval st fr ~loc ~stmt_id (e : Vex.Ir.expr) : Vex.Value.t * slot =
+  match e with
+  | Vex.Ir.RdTmp t -> (fr.temps.(t), fr.tshadow.(t))
+  | Vex.Ir.Const c -> (Vex.Value.of_const c, SNone)
+  | Vex.Ir.LabelAddr l ->
+      (Vex.Value.VI64 (Int64.of_int (Vex.Ir.block_index st.prog l)), SNone)
+  | Vex.Ir.Get (off, ty) ->
+      (Vex.Value.read_bytes st.thread off ty, load_shadow st.thread_shadow off ty)
+  | Vex.Ir.Load (ty, a) ->
+      let av, _ = eval st fr ~loc ~stmt_id a in
+      let addr = Int64.to_int (Vex.Value.as_i64 av) in
+      check_mem st addr (Vex.Ir.ty_size ty);
+      (Vex.Value.read_bytes st.mem addr ty, load_shadow st.mem_shadow addr ty)
+  | Vex.Ir.Unop (op, a) ->
+      let av, ash = eval st fr ~loc ~stmt_id a in
+      let v = Vex.Eval.eval_unop op av in
+      (v, shadow_unop st ~loc ~stmt_id op av ash v)
+  | Vex.Ir.Binop (op, a, b) ->
+      let av, ash = eval st fr ~loc ~stmt_id a in
+      let bv, bsh = eval st fr ~loc ~stmt_id b in
+      let v = Vex.Eval.eval_binop op av bv in
+      (v, shadow_binop st op (av, ash) (bv, bsh) v)
+  | Vex.Ir.ITE (g, t, e2) ->
+      let gv, gsh = eval st fr ~loc ~stmt_id g in
+      let taken = Vex.Value.as_bool gv in
+      (* an ITE guarded by a float comparison is a branch check point *)
+      (match gsh with
+      | SBool sb -> record_branch st ~loc ~stmt_id sb
+      | SNone | SF _ | SVec _ -> ());
+      if taken then eval st fr ~loc ~stmt_id t else eval st fr ~loc ~stmt_id e2
+
+let run_block st (bidx : int) : int =
+  let b = st.prog.Vex.Ir.blocks.(bidx) in
+  let fr =
+    {
+      temps = Array.map Vex.Machine.init_value b.Vex.Ir.temp_tys;
+      tshadow = Array.make (Array.length b.Vex.Ir.temp_tys) SNone;
+    }
+  in
+  let cur_loc = ref Vex.Ir.no_loc in
+  let n = Array.length b.Vex.Ir.stmts in
+  (* the fast path shares the uninstrumented evaluator shape with
+     [Core.Exec]: statements that provably touch no floats skip shadow
+     plumbing entirely *)
+  let rec fast_eval (e : Vex.Ir.expr) : Vex.Value.t =
+    match e with
+    | Vex.Ir.RdTmp t -> fr.temps.(t)
+    | Vex.Ir.Const c -> Vex.Value.of_const c
+    | Vex.Ir.LabelAddr l ->
+        Vex.Value.VI64 (Int64.of_int (Vex.Ir.block_index st.prog l))
+    | Vex.Ir.Get (off, ty) -> Vex.Value.read_bytes st.thread off ty
+    | Vex.Ir.Load (ty, a) ->
+        let addr = Int64.to_int (Vex.Value.as_i64 (fast_eval a)) in
+        check_mem st addr (Vex.Ir.ty_size ty);
+        Vex.Value.read_bytes st.mem addr ty
+    | Vex.Ir.Unop (op, a) -> Vex.Eval.eval_unop op (fast_eval a)
+    | Vex.Ir.Binop (op, a, b) ->
+        Vex.Eval.eval_binop op (fast_eval a) (fast_eval b)
+    | Vex.Ir.ITE (g, t, e2) ->
+        if Vex.Value.as_bool (fast_eval g) then fast_eval t else fast_eval e2
+  in
+  let rec go i =
+    if i >= n then
+      match b.Vex.Ir.next with
+      | Vex.Ir.Goto l -> Vex.Ir.block_index st.prog l
+      | Vex.Ir.IndirectGoto e -> Int64.to_int (Vex.Value.as_i64 (fast_eval e))
+      | Vex.Ir.Halt -> -1
+    else begin
+      st.stats.stmts_run <- st.stats.stmts_run + 1;
+      let stmt_id = Vex.Ir.stmt_id ~block:bidx ~stmt:i in
+      let action = Vex.Typeinfer.action st.info ~block:bidx ~stmt:i in
+      (match (b.Vex.Ir.stmts.(i), action) with
+      | Vex.Ir.IMark l, _ -> cur_loc := l
+      (* fast paths allowed by type inference *)
+      | Vex.Ir.WrTmp (t, e), Vex.Typeinfer.Skip -> fr.temps.(t) <- fast_eval e
+      | Vex.Ir.Exit (g, l), Vex.Typeinfer.Skip ->
+          if Vex.Value.as_bool (fast_eval g) then
+            raise (Exit_to (Vex.Ir.block_index st.prog l))
+      | Vex.Ir.Put (off, e), Vex.Typeinfer.Clear ->
+          let v = fast_eval e in
+          Vex.Shadowtbl.clear_range st.thread_shadow off
+            (Vex.Ir.ty_size (Vex.Value.ty_of v));
+          Vex.Value.write_bytes st.thread off v
+      | Vex.Ir.Store (a, v), Vex.Typeinfer.Clear ->
+          let addr = Int64.to_int (Vex.Value.as_i64 (fast_eval a)) in
+          let value = fast_eval v in
+          check_mem st addr (Vex.Ir.ty_size (Vex.Value.ty_of value));
+          Vex.Shadowtbl.clear_range st.mem_shadow addr
+            (Vex.Ir.ty_size (Vex.Value.ty_of value));
+          Vex.Value.write_bytes st.mem addr value
+      | stmt, _ -> begin
+          st.stats.stmts_instrumented <- st.stats.stmts_instrumented + 1;
+          let loc = !cur_loc in
+          match stmt with
+          | Vex.Ir.IMark _ -> ()
+          | Vex.Ir.WrTmp (t, e) ->
+              let v, sh = eval st fr ~loc ~stmt_id e in
+              fr.temps.(t) <- v;
+              fr.tshadow.(t) <- sh
+          | Vex.Ir.Put (off, e) ->
+              let v, sh = eval st fr ~loc ~stmt_id e in
+              store_shadow st.thread_shadow off v sh;
+              Vex.Value.write_bytes st.thread off v
+          | Vex.Ir.Store (a, ve) ->
+              let av, _ = eval st fr ~loc ~stmt_id a in
+              let addr = Int64.to_int (Vex.Value.as_i64 av) in
+              let v, sh = eval st fr ~loc ~stmt_id ve in
+              check_mem st addr (Vex.Ir.ty_size (Vex.Value.ty_of v));
+              (* NSan's store check: how far has this value drifted by
+                 the time it is written back to memory? *)
+              (match (v, sh) with
+              | Vex.Value.VF64 f, SF d ->
+                  check_value st ~stmt_id ~loc ~kind:Check_store
+                    ~bits:(shadow_bits ~single:false f d)
+              | Vex.Value.VF32 f, SF d ->
+                  check_value st ~stmt_id ~loc ~kind:Check_store
+                    ~bits:(shadow_bits ~single:true f d)
+              | _ -> ());
+              store_shadow st.mem_shadow addr v sh;
+              Vex.Value.write_bytes st.mem addr v
+          | Vex.Ir.Dirty (t, name, args) when name = "__arg" ->
+              (* a harness input: an exact dd shadow of the client value *)
+              let evaluated =
+                List.map (fun a -> eval st fr ~loc ~stmt_id a) args
+              in
+              let k =
+                match evaluated with
+                | [ (v, _) ] -> Vex.Value.as_f64 v
+                | _ -> 0.0
+              in
+              let client = Vex.Machine.nth_input st.inputs k in
+              fr.temps.(t) <- Vex.Value.VF64 client;
+              fr.tshadow.(t) <- SF (TF.of_float client)
+          | Vex.Ir.Dirty (t, name, args) ->
+              let evaluated =
+                List.map (fun a -> eval st fr ~loc ~stmt_id a) args
+              in
+              let fargs =
+                Array.of_list
+                  (List.map (fun (v, _) -> Vex.Value.as_f64 v) evaluated)
+              in
+              let client = Vex.Eval.libm_apply name fargs in
+              st.stats.shadow_ops <- st.stats.shadow_ops + 1;
+              let dd_args =
+                Array.of_list
+                  (List.map
+                     (fun (v, sh) -> sf_of (Vex.Value.as_f64 v) sh)
+                     evaluated)
+              in
+              fr.temps.(t) <- Vex.Value.VF64 client;
+              fr.tshadow.(t) <- SF (TF.libm_apply name dd_args)
+          | Vex.Ir.Exit (g, l) ->
+              let gv, gsh = eval st fr ~loc ~stmt_id g in
+              (match gsh with
+              | SBool sb -> record_branch st ~loc ~stmt_id sb
+              | SNone | SF _ | SVec _ -> ());
+              if Vex.Value.as_bool gv then
+                raise (Exit_to (Vex.Ir.block_index st.prog l))
+          | Vex.Ir.Out (kind, e) ->
+              let v, sh = eval st fr ~loc ~stmt_id e in
+              (match kind with
+              | Vex.Ir.OutMark -> () (* user spot mark: not a program output *)
+              | Vex.Ir.OutFloat | Vex.Ir.OutInt ->
+                  st.outputs <-
+                    { Vex.Machine.stmt_id; loc; kind; value = v } :: st.outputs);
+              (match (v, sh) with
+              | (Vex.Value.VF64 f | Vex.Value.VF32 f), sh ->
+                  let single =
+                    match v with Vex.Value.VF32 _ -> true | _ -> false
+                  in
+                  let d = sf_of f sh in
+                  (* a nan output is conservatively reported at full
+                     error even when the shadow is nan too, mirroring the
+                     full engine's rule *)
+                  let bits =
+                    if Float.is_nan f then 64.0 else shadow_bits ~single f d
+                  in
+                  check_value st ~stmt_id ~loc ~kind:Check_output ~bits;
+                  if not (Float.is_finite f) then begin
+                    let fe = finding_entry st stmt_id loc Check_output in
+                    fe.f_nonfinite_hits <- fe.f_nonfinite_hits + 1
+                  end
+              | _ -> ())
+        end);
+      go (i + 1)
+    end
+  in
+  try go 0 with Exit_to target -> target
+
+(* ---------- results ---------- *)
+
+type result = {
+  sx_findings : (int, finding) Hashtbl.t;
+  sx_outputs : Vex.Machine.output list;
+  sx_stats : stats;
+}
+
+let run ?mem_size ?max_steps ?inputs ?tick ?fatal (cfg : Core.Config.t)
+    (prog : Vex.Ir.prog) : result =
+  let st = create ?mem_size ?max_steps ?inputs ?fatal cfg prog in
+  let error msg = Client_error msg in
+  st.stats.blocks_run <-
+    Vex.Machine.drive ~max_steps:st.max_steps ?tick ~error st.prog
+      ~run_block:(run_block st);
+  {
+    sx_findings = st.findings;
+    sx_outputs = List.rev st.outputs;
+    sx_stats = st.stats;
+  }
+
+let outputs r = r.sx_outputs
+
+let findings r =
+  Hashtbl.fold (fun _ f acc -> f :: acc) r.sx_findings []
+  |> List.sort (fun a b ->
+         match compare b.f_bits_max a.f_bits_max with
+         | 0 -> compare a.f_id b.f_id
+         | c -> c)

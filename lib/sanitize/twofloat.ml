@@ -1,0 +1,225 @@
+(* Double-double ("twofloat") arithmetic: an unevaluated sum hi + lo of
+   two IEEE doubles with |lo| <= ulp(hi)/2, giving ~106 significand bits
+   with no allocation beyond the pair itself. The algorithms are the
+   classical error-free transformations (Knuth/Dekker two_sum, fma-based
+   two_prod) composed the way the QD library does for its "accurate"
+   variants; see Hida/Li/Bailey, "Library for Double-Double and
+   Quad-Double Arithmetic".
+
+   Caveats, by construction:
+   - once hi leaves the finite range the pair degrades to a plain double
+     (lo is forced to 0.0 so inf/nan propagate cleanly instead of
+     leaving an inf - inf = nan residue in the low word);
+   - in the subnormal range the error terms themselves round, so
+     precision degrades smoothly back to ordinary double precision;
+   - transcendental pass-throughs evaluate libm at double precision
+     (there is no quad libm here), so only arithmetic, sqrt and fma
+     carry the full ~106 bits. *)
+
+type t = { hi : float; lo : float }
+
+let mk hi lo =
+  (* non-finite hi: the low word is meaningless (typically nan from an
+     inf - inf in an error term); drop it *)
+  if Float.is_finite hi then { hi; lo } else { hi; lo = 0.0 }
+
+let zero = { hi = 0.0; lo = 0.0 }
+let of_float f = mk f 0.0
+(* a zero low word must not launder the head through an addition:
+   -0.0 +. 0.0 is +0.0, which would lose the sign of a negative zero *)
+let to_float t = if t.lo = 0.0 then t.hi else t.hi +. t.lo
+let is_finite t = Float.is_finite t.hi
+let is_nan t = Float.is_nan t.hi
+
+(* ---------- error-free transformations ---------- *)
+
+(* s + err = a + b exactly (Knuth, 6 flops, no precondition) *)
+let two_sum a b =
+  let s = a +. b in
+  let bb = s -. a in
+  let err = (a -. (s -. bb)) +. (b -. bb) in
+  (s, err)
+
+(* s + err = a + b exactly, requires |a| >= |b| or a = 0. Also the
+   renormalization step of every dd operation, so a zero [b] must not
+   launder [a] through an addition: -0.0 +. 0.0 is +0.0, which would
+   turn an exact -0.0 product into +0.0 and flip the sign of a
+   subsequent division by it. *)
+let quick_two_sum a b =
+  if b = 0.0 then (a, 0.0)
+  else begin
+    let s = a +. b in
+    let err = b -. (s -. a) in
+    (s, err)
+  end
+
+(* p + err = a * b exactly (one fused multiply-add) *)
+let two_prod a b =
+  let p = a *. b in
+  let err = Float.fma a b (-.p) in
+  (p, err)
+
+(* ---------- arithmetic ---------- *)
+
+(* QD's accurate (ieee_add) variant: both words enter error-free sums.
+   A head that leaves the finite range short-circuits: past overflow the
+   error terms are inf - inf = nan and would poison the
+   renormalization. *)
+let add x y =
+  let s1, s2 = two_sum x.hi y.hi in
+  if not (Float.is_finite s1) then of_float s1
+  else begin
+    let t1, t2 = two_sum x.lo y.lo in
+    let s2 = s2 +. t1 in
+    let s1, s2 = quick_two_sum s1 s2 in
+    let s2 = s2 +. t2 in
+    let s1, s2 = quick_two_sum s1 s2 in
+    mk s1 s2
+  end
+
+let neg t = { hi = -.t.hi; lo = -.t.lo }
+let abs t = if t.hi < 0.0 || (t.hi = 0.0 && t.lo < 0.0) then neg t else t
+let sub x y = add x (neg y)
+
+let mul x y =
+  let p1, p2 = two_prod x.hi y.hi in
+  if not (Float.is_finite p1) then of_float p1
+  else begin
+    let p2 = p2 +. ((x.hi *. y.lo) +. (x.lo *. y.hi)) in
+    let s1, s2 = quick_two_sum p1 p2 in
+    mk s1 s2
+  end
+
+(* dd * double, used by long division below *)
+let mul_d x (d : float) =
+  let p1, p2 = two_prod x.hi d in
+  if not (Float.is_finite p1) then of_float p1
+  else begin
+    let p2 = p2 +. (x.lo *. d) in
+    let s1, s2 = quick_two_sum p1 p2 in
+    mk s1 s2
+  end
+
+let add_d x (d : float) =
+  let s1, s2 = two_sum x.hi d in
+  if not (Float.is_finite s1) then of_float s1
+  else begin
+    let s2 = s2 +. x.lo in
+    let s1, s2 = quick_two_sum s1 s2 in
+    mk s1 s2
+  end
+
+(* QD's accurate division: three quotient terms by long division. A
+   non-finite operand falls back to the double quotient: with y = inf
+   the head quotient x.hi / inf = 0.0 is finite, but the long-division
+   remainder would then compute inf * 0.0 = nan and poison a result the
+   client correctly resolves to 0. *)
+let div x y =
+  if not (Float.is_finite x.hi) || not (Float.is_finite y.hi) then
+    of_float (x.hi /. y.hi)
+  else if y.hi = 0.0 then of_float (x.hi /. y.hi)  (* ±inf or nan, by sign *)
+  else begin
+    let q1 = x.hi /. y.hi in
+    if not (Float.is_finite q1) then of_float q1
+    else begin
+      let r = sub x (mul_d y q1) in
+      let q2 = r.hi /. y.hi in
+      let r = sub r (mul_d y q2) in
+      let q3 = r.hi /. y.hi in
+      let s1, s2 = quick_two_sum q1 q2 in
+      add_d (mk s1 s2) q3
+    end
+  end
+
+(* Karp's trick: one double sqrt plus one Newton correction in dd *)
+let sqrt x =
+  if x.hi = 0.0 && x.lo = 0.0 then of_float (Float.sqrt x.hi)
+  else if x.hi < 0.0 then of_float Float.nan
+  else if not (Float.is_finite x.hi) then of_float (Float.sqrt x.hi)
+  else begin
+    let r = Float.sqrt x.hi in
+    let rr =
+      let p, e = two_prod r r in
+      mk p e
+    in
+    let err = sub x rr in
+    let corr = err.hi /. (2.0 *. r) in
+    let s1, s2 = quick_two_sum r corr in
+    mk s1 s2
+  end
+
+(* fma as a composition: mul is already error-free in its head terms, so
+   the composed result stays well within 2 ulps of the 106-bit format *)
+let fma x y z = add (mul x y) z
+
+(* ---------- comparisons ---------- *)
+
+(* IEEE-style: any comparison with a nan is false (so [ne] is true) *)
+let eq x y = x.hi = y.hi && x.lo = y.lo
+let lt x y = x.hi < y.hi || (x.hi = y.hi && x.lo < y.lo)
+let le x y = x.hi < y.hi || (x.hi = y.hi && x.lo <= y.lo)
+
+let min2 x y =
+  if is_nan x then x else if is_nan y then y else if le x y then x else y
+
+let max2 x y =
+  if is_nan x then x else if is_nan y then y else if le x y then y else x
+
+(* ---------- conversions ---------- *)
+
+(* int64 -> dd; exact for |i| < 2^62, else within 1 ulp of the head *)
+let of_int64 (i : int64) =
+  let hi = Int64.to_float i in
+  if Float.abs hi >= 0x1p62 then of_float hi
+  else begin
+    let lo = Int64.to_float (Int64.sub i (Int64.of_float hi)) in
+    let s1, s2 = quick_two_sum hi lo in
+    mk s1 s2
+  end
+
+(* Integer conversion assembles the result in int64: both words are
+   split into (exact) integral and fractional parts — integral doubles
+   below 2^62 convert exactly — and the fractional remainder stays a dd,
+   because boundary cases like 0.5 - 1e-20 collapse to 0.5 in a plain
+   double. Truncation is toward zero (the client's F64toI64tz); rounding
+   is half away from zero (Float.round, the client's F64toI64rn). *)
+let to_int64 ~(rn : bool) t : int64 option =
+  if not (Float.is_finite t.hi) then None
+  else if Float.abs t.hi >= 0x1p62 then None
+  else begin
+    let ip = Float.trunc t.hi in
+    let lp = Float.trunc t.lo in
+    let base = Int64.add (Int64.of_float ip) (Int64.of_float lp) in
+    let s, e = two_sum (t.hi -. ip) (t.lo -. lp) in
+    let frac = mk s e in
+    (* value = base + frac with |frac| < 2; one carry restores < 1 *)
+    let base, frac =
+      if le (of_float 1.0) frac then (Int64.add base 1L, sub frac (of_float 1.0))
+      else if le frac (of_float (-1.0)) then
+        (Int64.sub base 1L, add frac (of_float 1.0))
+      else (base, frac)
+    in
+    Some
+      (if rn then
+         if le (of_float 0.5) frac then Int64.add base 1L
+         else if le frac (of_float (-0.5)) then Int64.sub base 1L
+         else base
+       else if Int64.compare base 0L > 0 && lt frac zero then
+         Int64.sub base 1L
+       else if Int64.compare base 0L < 0 && lt zero frac then
+         Int64.add base 1L
+       else base)
+  end
+
+(* ---------- libm pass-throughs ---------- *)
+
+(* evaluated at double precision on the rounded arguments; sqrt, fabs
+   and fma are redirected to their native dd versions *)
+let libm_apply (name : string) (args : t array) : t =
+  match name with
+  | "sqrt" -> sqrt args.(0)
+  | "fabs" -> abs args.(0)
+  | "fma" -> fma args.(0) args.(1) args.(2)
+  | "fmin" -> min2 args.(0) args.(1)
+  | "fmax" -> max2 args.(0) args.(1)
+  | _ -> of_float (Vex.Eval.libm_apply name (Array.map to_float args))

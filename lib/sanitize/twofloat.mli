@@ -1,0 +1,59 @@
+(** Double-double ("twofloat") arithmetic: an unevaluated sum [hi + lo]
+    of two IEEE doubles giving ~106 significand bits with no allocation
+    beyond the pair, built from the classical error-free transformations
+    (Knuth/Dekker two_sum, fma-based two_prod) composed as in the QD
+    library's accurate variants.
+
+    Precision caveats: non-finite values degrade to a plain double
+    ([lo] forced to 0.0); subnormals degrade smoothly to double
+    precision; libm pass-throughs other than sqrt/fabs/fma/fmin/fmax
+    evaluate at double precision. *)
+
+type t = private { hi : float; lo : float }
+
+val zero : t
+val of_float : float -> t
+val to_float : t -> float
+val is_finite : t -> bool
+val is_nan : t -> bool
+
+val two_sum : float -> float -> float * float
+(** [two_sum a b = (s, err)] with [s + err = a + b] exactly. *)
+
+val quick_two_sum : float -> float -> float * float
+(** Like {!two_sum} in 3 flops; requires [|a| >= |b|] or [a = 0]. *)
+
+val two_prod : float -> float -> float * float
+(** [two_prod a b = (p, err)] with [p + err = a * b] exactly. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val sqrt : t -> t
+val fma : t -> t -> t -> t
+val neg : t -> t
+val abs : t -> t
+val add_d : t -> float -> t
+val mul_d : t -> float -> t
+
+val eq : t -> t -> bool
+(** IEEE-style: false when either side is nan. *)
+
+val lt : t -> t -> bool
+val le : t -> t -> bool
+val min2 : t -> t -> t
+val max2 : t -> t -> t
+
+val of_int64 : int64 -> t
+(** Exact for [|i| < 2^62]; within 1 ulp of the head beyond. *)
+
+val to_int64 : rn:bool -> t -> int64 option
+(** Convert to an integer — truncating toward zero, or ([rn]) rounding
+    to nearest half-away-from-zero like [Float.round]. [None] for
+    non-finite values or magnitudes at or above [2^62]. *)
+
+val libm_apply : string -> t array -> t
+(** Math-library calls on dd shadows; sqrt/fabs/fma/fmin/fmax run
+    natively in dd, everything else passes through double-precision
+    libm on the rounded arguments. *)

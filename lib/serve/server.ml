@@ -51,6 +51,8 @@ type t = {
   m_rejected : Metrics.counter;  (* queue-full 503s *)
   m_jobs : Metrics.counter;  (* fleet jobs by status, via the observer *)
   m_job_seconds : Metrics.histogram;
+  m_sanitize_jobs : Metrics.counter;  (* sanitizer-engine jobs by status *)
+  m_sanitize_findings : Metrics.counter;  (* findings those jobs reported *)
   m_store_corrupt : Metrics.gauge;
   cache_mu : Mutex.t;
   cache : (string, Fleet.outcome) Hashtbl.t;
@@ -76,7 +78,16 @@ let install_observer t =
       Fleet.ob_finished =
         (fun (o : Fleet.outcome) ->
           Metrics.inc t.m_jobs [ Fleet.Store.status_to_string o.Fleet.o_status ];
-          Metrics.observe t.m_job_seconds o.Fleet.o_wall_s);
+          Metrics.observe t.m_job_seconds o.Fleet.o_wall_s;
+          if o.Fleet.o_engine = "sanitize" then begin
+            Metrics.inc t.m_sanitize_jobs
+              [ Fleet.Store.status_to_string o.Fleet.o_status ];
+            match o.Fleet.o_payload with
+            | Some p ->
+                Metrics.inc ~by:(float_of_int p.Fleet.p_metrics.Fleet.m_causes)
+                  t.m_sanitize_findings []
+            | None -> ()
+          end);
     }
 
 let create (cfg : config) : t =
@@ -121,6 +132,16 @@ let create (cfg : config) : t =
   let m_job_seconds =
     Metrics.histogram reg ~help:"Wall time of finished fleet jobs."
       "fpgrind_fleet_job_seconds"
+  in
+  let m_sanitize_jobs =
+    Metrics.counter reg ~labels:[ "status" ]
+      ~help:"Sanitizer-engine jobs finished, by outcome status."
+      "fpgrind_sanitize_jobs_total"
+  in
+  let m_sanitize_findings =
+    Metrics.counter reg
+      ~help:"Findings reported by finished sanitizer-engine jobs."
+      "fpgrind_sanitize_findings_total"
   in
   let m_store_corrupt =
     Metrics.gauge reg
@@ -171,6 +192,8 @@ let create (cfg : config) : t =
       m_rejected;
       m_jobs;
       m_job_seconds;
+      m_sanitize_jobs;
+      m_sanitize_findings;
       m_store_corrupt;
       cache_mu = Mutex.create ();
       cache;
@@ -192,7 +215,10 @@ let create (cfg : config) : t =
 
 let max_steps = 200_000_000 (* same budget as Fleet.bench_spec *)
 
-let cfg_of_query rq : Core.Config.t =
+(* [engine] comes from the query on /analyze and is forced by the
+   /sanitize endpoint; either way it lands in the config, so the cache
+   key (which hashes the fingerprint) separates the engines' results. *)
+let cfg_of_query ?engine rq : Core.Config.t =
   let precision =
     Router.q_int rq "precision"
       ~default:Core.Config.default.Core.Config.precision
@@ -203,7 +229,24 @@ let cfg_of_query rq : Core.Config.t =
   in
   if precision < 53 || precision > 65536 then
     Http.fail 400 (Printf.sprintf "precision %d out of range [53, 65536]" precision);
-  { Core.Config.default with Core.Config.precision; error_threshold = threshold }
+  let engine =
+    match engine with
+    | Some e -> e
+    | None -> (
+        let name = Router.q_str rq "engine" ~default:"full" in
+        match Core.Config.engine_of_name name with
+        | Some e -> e
+        | None ->
+            Http.fail 400
+              (Printf.sprintf "unknown engine %S (expected full or sanitize)"
+                 name))
+  in
+  {
+    Core.Config.default with
+    Core.Config.precision;
+    error_threshold = threshold;
+    engine;
+  }
 
 (* an ad-hoc source's cache key: everything that determines its result,
    mirroring Fleet.job_key for suite benchmarks *)
@@ -222,8 +265,8 @@ let has_prefix ~prefix s =
    "bench:NAME" names a suite benchmark, a leading '(' is FPCore source,
    anything else is MiniC source. Raises [Http.Error] 400 on anything
    that does not compile. *)
-let analyze_spec (rq : Http.request) : Fleet.spec =
-  let cfg = cfg_of_query rq in
+let analyze_spec ?engine (rq : Http.request) : Fleet.spec =
+  let cfg = cfg_of_query ?engine rq in
   let iterations = Router.q_int rq "iterations" ~default:16 in
   let seed = Router.q_int rq "seed" ~default:1 in
   if iterations < 1 || iterations > 10_000 then
@@ -255,14 +298,20 @@ let analyze_spec (rq : Http.request) : Fleet.spec =
         | exception Minic.Compile_error msg -> Http.fail 400 msg
     in
     let work ~tick =
-      let nodes0 = Core.Trace.created_in_domain () in
-      let r = Core.Analysis.analyze ~cfg ~max_steps ~inputs ~tick prog in
-      Fleet.payload_for ~name ~group:kind ~nodes0 r
+      match cfg.Core.Config.engine with
+      | Core.Config.Full ->
+          let nodes0 = Core.Trace.created_in_domain () in
+          let r = Core.Analysis.analyze ~cfg ~max_steps ~inputs ~tick prog in
+          Fleet.payload_for ~name ~group:kind ~nodes0 r
+      | Core.Config.Sanitize ->
+          let r = Sanitize.Sexec.run ~max_steps ~inputs ~tick cfg prog in
+          Fleet.san_payload_for ~name ~group:kind r
     in
     {
       Fleet.sp_name = name;
       sp_group = kind;
       sp_key = adhoc_key ~kind ~cfg ~iterations ~inputs body;
+      sp_engine = Core.Config.engine_name cfg.Core.Config.engine;
       sp_work = work;
     }
   end
@@ -342,6 +391,7 @@ let fuzz_spec (rq : Http.request) ~timeout : Fleet.spec =
     Fleet.sp_name = Printf.sprintf "fuzz:seed=%d:iters=%d" seed iters;
     sp_group = "fuzz";
     sp_key = "";  (* campaigns are cheap to re-run and rarely repeated *)
+    sp_engine = "full";
     sp_work = work;
   }
 
@@ -397,6 +447,7 @@ let run_spec t rq (sp : Fleet.spec) ~cacheable : Http.response =
           Fleet.o_name = sp.Fleet.sp_name;
           o_group = sp.Fleet.sp_group;
           o_key = sp.Fleet.sp_key;
+          o_engine = sp.Fleet.sp_engine;
           o_status = Fleet.Cached;
           o_wall_s = 0.0;
         }
@@ -410,6 +461,13 @@ let run_spec t rq (sp : Fleet.spec) ~cacheable : Http.response =
           outcome_response o)
 
 let handle_analyze t rq = run_spec t rq (analyze_spec rq) ~cacheable:true
+
+(* same body sniffing and caching as /analyze, engine pinned to the
+   sanitizer (an `engine` query parameter is ignored here) *)
+let handle_sanitize t rq =
+  run_spec t rq
+    (analyze_spec ~engine:Core.Config.Sanitize rq)
+    ~cacheable:true
 
 let handle_fuzz t rq =
   let timeout =
@@ -433,12 +491,13 @@ let handle_metrics t _rq =
 let routes t : Router.t =
   [
     ("POST", "/analyze", handle_analyze t);
+    ("POST", "/sanitize", handle_sanitize t);
     ("POST", "/fuzz", handle_fuzz t);
     ("GET", "/healthz", handle_healthz t);
     ("GET", "/metrics", handle_metrics t);
   ]
 
-let known_endpoints = [ "/analyze"; "/fuzz"; "/healthz"; "/metrics" ]
+let known_endpoints = [ "/analyze"; "/sanitize"; "/fuzz"; "/healthz"; "/metrics" ]
 
 let endpoint_label path =
   if List.mem path known_endpoints then path else "other"

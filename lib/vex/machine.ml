@@ -31,13 +31,17 @@ let create ?(mem_size = default_mem_size) ?(max_steps = max_int)
     max_steps;
   }
 
-let read_input st (k : float) : float =
-  let n = Array.length st.inputs in
+(* [__arg k] semantics shared by every engine: wrap the index into the
+   input vector (empty vector reads as 0.0) *)
+let nth_input (inputs : float array) (k : float) : float =
+  let n = Array.length inputs in
   if n = 0 then 0.0
   else begin
     let i = int_of_float k in
-    st.inputs.(((i mod n) + n) mod n)
+    inputs.(((i mod n) + n) mod n)
   end
+
+let read_input st (k : float) : float = nth_input st.inputs k
 
 let check_mem st addr size =
   if addr < 0 || addr + size > Bytes.length st.mem then
@@ -128,16 +132,31 @@ let run_block st (bidx : int) : int =
   in
   try go 0 with Exit_to target -> target
 
+(* The superblock stepping loop shared by every engine (this machine, the
+   full instrumented interpreter, and the sanitizer): start at the entry
+   block, follow the indices [run_block] returns, stop at -1. [error]
+   builds each engine's own exception for jumps outside the program and
+   an exceeded step budget; [tick] is the batch drivers' deadline hook,
+   called once per superblock. Returns the number of superblocks run. *)
+let drive ?(max_steps = max_int) ?tick ~(error : string -> exn)
+    (prog : Ir.prog) ~(run_block : int -> int) : int =
+  let bidx = ref prog.Ir.entry in
+  let steps = ref 0 in
+  while !bidx >= 0 do
+    if !bidx >= Array.length prog.Ir.blocks then
+      raise (error (Printf.sprintf "jump out of program: %d" !bidx));
+    incr steps;
+    if !steps > max_steps then raise (error "step budget exceeded");
+    (match tick with Some f -> f () | None -> ());
+    bidx := run_block !bidx
+  done;
+  !steps
+
 let run ?mem_size ?max_steps ?inputs prog =
   let st = create ?mem_size ?max_steps ?inputs prog in
-  let bidx = ref st.prog.Ir.entry in
-  while !bidx >= 0 do
-    if !bidx >= Array.length st.prog.Ir.blocks then
-      raise (Client_error (Printf.sprintf "jump out of program: %d" !bidx));
-    st.steps <- st.steps + 1;
-    if st.steps > st.max_steps then raise (Client_error "step budget exceeded");
-    bidx := run_block st !bidx
-  done;
+  let error msg = Client_error msg in
+  st.steps <-
+    drive ~max_steps:st.max_steps ~error st.prog ~run_block:(run_block st);
   st
 
 let outputs st = List.rev st.outputs

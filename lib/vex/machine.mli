@@ -30,6 +30,21 @@ val run :
   ?mem_size:int -> ?max_steps:int -> ?inputs:float array -> Ir.prog -> state
 (** Run the program from its entry block until it halts. *)
 
+val drive :
+  ?max_steps:int ->
+  ?tick:(unit -> unit) ->
+  error:(string -> exn) ->
+  Ir.prog ->
+  run_block:(int -> int) ->
+  int
+(** The superblock stepping loop shared by every execution engine: start
+    at the program's entry block, repeatedly call [run_block] with the
+    current block index and follow the index it returns, halt at -1.
+    Raises [error "jump out of program: N"] on an out-of-range index and
+    [error "step budget exceeded"] past [max_steps]; [tick] runs once per
+    superblock (batch drivers raise from it to enforce deadlines).
+    Returns the number of superblocks run. *)
+
 val run_block : state -> int -> int
 (** Execute one superblock; returns the next block index, -1 to halt. *)
 
@@ -44,4 +59,9 @@ val init_value : Ir.ty -> Value.t
 
 val load : state -> Ir.ty -> int -> Value.t
 val store : state -> int -> Value.t -> unit
+
+val nth_input : float array -> float -> float
+(** The [__arg k] builtin's semantics, shared by every engine: wrap the
+    (truncated) index into the input vector; an empty vector reads 0.0. *)
+
 val read_input : state -> float -> float

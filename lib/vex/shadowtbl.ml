@@ -1,0 +1,33 @@
+(* Sparse shadow storage over a byte-addressed space, polymorphic in the
+   shadow payload so the full analysis (Bigfloat shadows) and the
+   sanitizer (double-double shadows) share one aliasing discipline: an
+   entry covers [addr, addr+size) and any overlapping write kills it.
+   Entries live at 4-byte granularity in practice (F32/F64 slots and
+   V128 lanes), which bounds the overlap scan. *)
+
+type 'a t = (int, 'a * int) Hashtbl.t
+
+let create n : 'a t = Hashtbl.create n
+
+(* remove shadows overlapping [addr, addr+size) *)
+let clear_range (tbl : 'a t) addr size =
+  let lo = addr - 12 in
+  let off = ref lo in
+  while !off < addr + size do
+    (match Hashtbl.find_opt tbl !off with
+    | Some (_, esize) when !off + esize > addr && !off < addr + size ->
+        Hashtbl.remove tbl !off
+    | Some _ | None -> ());
+    off := !off + 4
+  done
+
+let write (tbl : 'a t) addr size (sh : 'a option) =
+  clear_range tbl addr size;
+  match sh with
+  | Some s -> Hashtbl.replace tbl addr (s, size)
+  | None -> ()
+
+let read (tbl : 'a t) addr size : 'a option =
+  match Hashtbl.find_opt tbl addr with
+  | Some (s, esize) when esize = size -> Some s
+  | Some _ | None -> None

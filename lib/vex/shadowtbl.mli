@@ -1,0 +1,22 @@
+(** Sparse shadow storage over a byte-addressed space, polymorphic in
+    the shadow payload so the full analysis (Bigfloat shadows) and the
+    sanitizer (double-double shadows) share one aliasing discipline: an
+    entry covers [addr, addr+size) bytes and any overlapping write kills
+    it. Entries are expected at 4-byte granularity (F32/F64 slots and
+    V128 lanes), which bounds the overlap scan. *)
+
+type 'a t = (int, 'a * int) Hashtbl.t
+
+val create : int -> 'a t
+
+val clear_range : 'a t -> int -> int -> unit
+(** [clear_range tbl addr size] removes every entry overlapping
+    [addr, addr+size). *)
+
+val write : 'a t -> int -> int -> 'a option -> unit
+(** [write tbl addr size sh] clears the range, then (for [Some]) records
+    [sh] as covering [addr, addr+size). [None] just clears. *)
+
+val read : 'a t -> int -> int -> 'a option
+(** [read tbl addr size] returns the entry at exactly [addr] with
+    exactly [size] bytes, if any. *)

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Benchmark trajectory, PR 5: the full (Herbgrind-style shadow-real)
+# engine vs the sanitize (NSan-style double-double) engine over the
+# whole vendored FPBench suite at default config, plus per-operation
+# timings of the twofloat kernel. Emits BENCH_5.json at the repo root;
+# the raw per-run outputs (bench_output_*.txt, *.jsonl) are gitignored.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dune build @all
+bin=_build/default/bin/fpgrind_cli.exe
+
+run_suite() { # engine -> "<seconds> <programs>"
+  local engine="$1"
+  local store log t0 t1 n
+  store="$(mktemp /tmp/fpgrind-bench.XXXXXX.jsonl)"
+  log="bench_output_${engine}_suite.txt"
+  rm -f "$store"
+  t0=$(date +%s.%N)
+  "$bin" suite --engine "$engine" --no-cache --quiet \
+    --json "$store" --timeout 600 >"$log"
+  t1=$(date +%s.%N)
+  n=$(wc -l <"$store")
+  rm -f "$store"
+  awk -v a="$t0" -v b="$t1" -v n="$n" 'BEGIN { printf "%.3f %d", b - a, n }'
+}
+
+echo "bench: full engine over the suite (slow; shadow reals at 1000 bits)..."
+read -r t_full n_full <<<"$(run_suite full)"
+echo "bench: sanitize engine over the suite..."
+read -r t_san n_san <<<"$(run_suite sanitize)"
+
+echo "bench: twofloat kernel ns/op..."
+"$bin" sanitize --bench-kernel | tee bench_output_kernel.txt
+
+# assemble the JSON: suite wall times, throughput, speedup, kernel table
+awk -v t_full="$t_full" -v n_full="$n_full" \
+    -v t_san="$t_san" -v n_san="$n_san" '
+  /ns\/op/ { kern[$1] = $2 }
+  END {
+    printf "{\n"
+    printf "  \"bench\": \"full-vs-sanitize suite + twofloat kernel\",\n"
+    printf "  \"suite\": {\n"
+    printf "    \"programs\": %d,\n", n_full
+    printf "    \"full\":     { \"wall_s\": %s, \"programs_per_s\": %.3f },\n", \
+      t_full, n_full / t_full
+    printf "    \"sanitize\": { \"wall_s\": %s, \"programs_per_s\": %.3f },\n", \
+      t_san, n_san / t_san
+    printf "    \"sanitize_speedup\": %.2f\n", t_full / t_san
+    printf "  },\n"
+    printf "  \"twofloat_ns_per_op\": {\n"
+    sep = ""
+    split("add mul div sqrt fma", order, " ")
+    for (i = 1; i <= 5; i++) {
+      op = order[i]
+      if (op in kern) { printf "%s    \"%s\": %s", sep, op, kern[op]; sep = ",\n" }
+    }
+    printf "\n  }\n}\n"
+  }' bench_output_kernel.txt >BENCH_5.json
+
+echo "bench: wrote BENCH_5.json"
+cat BENCH_5.json

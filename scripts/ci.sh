@@ -24,6 +24,39 @@ dune exec bin/fpgrind_cli.exe -- validate "$out"
 dune exec bin/fpgrind_cli.exe -- fuzz \
   --seed 42 --iters 200 --corpus test/corpus --quiet
 
+# Sanitizer smoke: the second engine must flag a known-bad program
+# (cancellation at 1e16 — 62 bits of error) and stay silent on a clean
+# one; --fatal turns the first finding into exit 2.
+san_bad="$(mktemp /tmp/fpgrind-ci-bad.XXXXXX.mc)"
+san_ok="$(mktemp /tmp/fpgrind-ci-ok.XXXXXX.mc)"
+trap 'rm -f "$out" "$san_bad" "$san_ok"' EXIT
+cat >"$san_bad" <<'EOF'
+int main() {
+  double x = 1.0e16;
+  print((x + 1.0) - x);
+  return 0;
+}
+EOF
+cat >"$san_ok" <<'EOF'
+int main() {
+  double x = 0.5;
+  print(x * 2.0 + 0.25);
+  return 0;
+}
+EOF
+dune exec bin/fpgrind_cli.exe -- sanitize "$san_bad" | grep -q 'bits max error'
+if dune exec bin/fpgrind_cli.exe -- sanitize "$san_bad" --fatal >/dev/null 2>&1
+then
+  echo "ci: sanitizer missed a known-bad program"; exit 1
+fi
+dune exec bin/fpgrind_cli.exe -- sanitize "$san_ok" \
+  | grep -q 'no floating-point problems'
+
+# Engine-consistency fuzz: fixed seed, the full analysis and the
+# sanitizer must agree on which spots are erroneous, program by program.
+dune exec bin/fpgrind_cli.exe -- fuzz \
+  --seed 42 --iters 100 --consistency --quiet
+
 # Server smoke: ephemeral port, one analysis through `fpgrind client`
 # asserted byte-identical (modulo wall time) to the suite record above,
 # a /metrics scrape, then SIGTERM and a clean drain. The built binary is
@@ -32,7 +65,7 @@ bin=_build/default/bin/fpgrind_cli.exe
 srv_log="$(mktemp /tmp/fpgrind-ci-serve.XXXXXX.log)"
 srv_store="$(mktemp /tmp/fpgrind-ci-serve.XXXXXX.jsonl)"
 rm -f "$srv_store"
-trap 'rm -f "$out" "$srv_log" "$srv_store"' EXIT
+trap 'rm -f "$out" "$san_bad" "$san_ok" "$srv_log" "$srv_store"' EXIT
 
 "$bin" serve --port 0 --jobs 1 --queue 8 --store "$srv_store" >"$srv_log" 2>&1 &
 srv_pid=$!

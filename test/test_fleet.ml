@@ -23,7 +23,13 @@ let ok_payload name =
   }
 
 let spec name work =
-  { Fleet.sp_name = name; sp_group = "test"; sp_key = ""; sp_work = work }
+  {
+    Fleet.sp_name = name;
+    sp_group = "test";
+    sp_key = "";
+    sp_engine = "full";
+    sp_work = work;
+  }
 
 (* ---------- fault isolation ---------- *)
 
@@ -115,6 +121,7 @@ let test_json_roundtrip () =
     in
     Alcotest.(check string) "name" o.Fleet.o_name o'.Fleet.o_name;
     Alcotest.(check string) "key" o.Fleet.o_key o'.Fleet.o_key;
+    Alcotest.(check string) "engine" o.Fleet.o_engine o'.Fleet.o_engine;
     Alcotest.(check bool) "status" true (o.Fleet.o_status = o'.Fleet.o_status);
     match (o.Fleet.o_payload, o'.Fleet.o_payload) with
     | Some p, Some p' ->
@@ -131,6 +138,7 @@ let test_json_roundtrip () =
       Fleet.o_name = "quote\"and\\newline\n";
       o_group = "straight-line";
       o_key = "abc123";
+      o_engine = "full";
       o_status = Fleet.Done;
       o_wall_s = 0.25;
       o_payload = Some (ok_payload "rt");
@@ -140,6 +148,7 @@ let test_json_roundtrip () =
       Fleet.o_name = "boom";
       o_group = "looping";
       o_key = "";
+      o_engine = "sanitize";
       o_status = Fleet.Failed "Failure(\"injected\")";
       o_wall_s = 0.0;
       o_payload = None;

@@ -1,0 +1,294 @@
+(* Tests of the fpgrind.sanitize subsystem: the double-double kernel
+   against the 128-bit Bigfloat reference (seeded QCheck properties over
+   bit-uniform doubles, plus explicit subnormal/overflow/nan cases), the
+   integer conversion helpers, and the shadow executor itself — findings
+   on a known-bad program, silence on a clean one, transparency against
+   the uninstrumented machine, and fatal mode. *)
+
+module B = Bignum.Bigfloat
+module TF = Sanitize.Twofloat
+
+let checkb = Alcotest.check Alcotest.bool
+
+(* ---------- the dd kernel vs the Bigfloat reference ---------- *)
+
+(* the dd pair hi + lo is exact in <= ~110 bits, so a 256-bit add
+   renders it exactly *)
+let b_of_dd (d : TF.t) =
+  B.add ~prec:256 (B.of_float d.TF.hi) (B.of_float d.TF.lo)
+
+(* relative error bound for the accurate dd algorithms: the published
+   bounds (Joldes/Muller/Popescu) are a few units in 2^-106; 2^-100
+   leaves slack for the composed fma *)
+let dd_rel_bound = B.mul_2exp B.one (-100)
+
+let dd_close (reference : B.t) (dd : TF.t) : bool =
+  if B.is_nan reference then TF.is_nan dd
+  else if B.is_inf reference || B.is_zero reference then
+    TF.to_float dd = B.to_float reference
+  else begin
+    let diff = B.abs (B.sub ~prec:256 (b_of_dd dd) reference) in
+    B.le diff (B.mul ~prec:256 (B.abs reference) dd_rel_bound)
+  end
+
+(* draw raw bit patterns so exponents are uniform, not clustered *)
+let gen_bits_float : float QCheck.Gen.t =
+  QCheck.Gen.map
+    (fun (hi, lo) ->
+      Int64.float_of_bits
+        (Int64.logor
+           (Int64.shift_left (Int64.of_int hi) 32)
+           (Int64.logand (Int64.of_int lo) 0xFFFFFFFFL)))
+    QCheck.Gen.(pair (int_bound 0xFFFFFFFF) (int_bound 0xFFFFFFFF))
+
+let arb_bits_float = QCheck.make ~print:(Printf.sprintf "%h") gen_bits_float
+
+(* keep magnitudes where the dd error bounds hold: away from overflow
+   and from the subnormal range where the low word loses bits *)
+let comfy x = x = 0.0 || (Float.is_finite x && Float.abs x >= 0x1p-400 && Float.abs x <= 0x1p400)
+
+let kernel_tests =
+  let check2 name dd_fn ref_fn =
+    QCheck.Test.make
+      ~name:(Printf.sprintf "dd %s within 2^-100 of 128-bit bigfloat" name)
+      ~count:500
+      QCheck.(pair arb_bits_float arb_bits_float)
+      (fun (x, y) ->
+        if not (comfy x && comfy y) then true
+        else begin
+          let dd = dd_fn (TF.of_float x) (TF.of_float y) in
+          let reference = ref_fn (B.of_float x) (B.of_float y) in
+          dd_close reference dd
+          || QCheck.Test.fail_reportf "%s %h %h: dd %h + %h vs ref %s" name x
+               y dd.TF.hi dd.TF.lo
+               (B.to_decimal_string ~digits:40 reference)
+        end)
+  in
+  [
+    check2 "add" TF.add (B.add ~prec:128);
+    check2 "sub" TF.sub (B.sub ~prec:128);
+    check2 "mul" TF.mul (B.mul ~prec:128);
+    check2 "div" TF.div (B.div ~prec:128);
+    QCheck.Test.make ~name:"dd sqrt within 2^-100 of 128-bit bigfloat"
+      ~count:500 arb_bits_float
+      (fun x ->
+        if not (comfy x) then true
+        else begin
+          let dd = TF.sqrt (TF.of_float x) in
+          let reference = B.sqrt ~prec:128 (B.of_float x) in
+          dd_close reference dd
+          || QCheck.Test.fail_reportf "sqrt %h: dd %h + %h" x dd.TF.hi
+               dd.TF.lo
+        end);
+    QCheck.Test.make ~name:"dd fma within 2^-100 of 128-bit bigfloat"
+      ~count:500
+      QCheck.(triple arb_bits_float arb_bits_float arb_bits_float)
+      (fun (x, y, z) ->
+        if not (comfy x && comfy y && comfy z) then true
+        else begin
+          let dd = TF.fma (TF.of_float x) (TF.of_float y) (TF.of_float z) in
+          let reference =
+            B.add ~prec:128 (B.mul ~prec:200 (B.of_float x) (B.of_float y))
+              (B.of_float z)
+          in
+          dd_close reference dd
+          || QCheck.Test.fail_reportf "fma %h %h %h: dd %h + %h" x y z
+               dd.TF.hi dd.TF.lo
+        end);
+  ]
+
+(* ---------- explicit edge cases ---------- *)
+
+let subnormal_cases () =
+  (* in the subnormal range the kernel degrades to plain double
+     precision: the head must still equal the native result exactly *)
+  let a = Int64.float_of_bits 0x0000000000000003L in
+  let b = Int64.float_of_bits 0x0000000000000007L in
+  Alcotest.(check (float 0.0))
+    "subnormal add head" (a +. b)
+    (TF.to_float (TF.add (TF.of_float a) (TF.of_float b)));
+  Alcotest.(check (float 0.0))
+    "subnormal mul head is zero" (a *. b)
+    (TF.to_float (TF.mul (TF.of_float a) (TF.of_float b)));
+  let tiny = Int64.float_of_bits 0x0010000000000000L (* smallest normal *) in
+  Alcotest.(check (float 0.0))
+    "normal/subnormal boundary div" (tiny /. 2.0)
+    (TF.to_float (TF.div (TF.of_float tiny) (TF.of_float 2.0)))
+
+let overflow_cases () =
+  let huge = TF.of_float Float.max_float in
+  let sum = TF.add huge huge in
+  checkb "overflowing add is +inf" true (TF.to_float sum = Float.infinity);
+  checkb "overflow drops the low word" true (sum.TF.lo = 0.0);
+  let prod = TF.mul huge huge in
+  checkb "overflowing mul is +inf" true (TF.to_float prod = Float.infinity);
+  checkb "inf / inf is nan" true (TF.is_nan (TF.div prod sum));
+  checkb "div by zero is inf" true
+    (TF.to_float (TF.div (TF.of_float 1.0) TF.zero) = Float.infinity);
+  (* a finite head quotient with an infinite divisor must not let the
+     long-division remainder (inf * 0 = nan) poison the result *)
+  checkb "finite / inf is zero" true
+    (TF.to_float (TF.div (TF.of_float 2.0) prod) = 0.0);
+  checkb "finite / -inf is -zero" true
+    (1.0 /. TF.to_float (TF.div (TF.of_float 2.0) (TF.neg prod))
+    = Float.neg_infinity);
+  checkb "sqrt inf is inf" true
+    (TF.to_float (TF.sqrt prod) = Float.infinity)
+
+let nan_cases () =
+  let n = TF.of_float Float.nan in
+  checkb "nan normalizes its low word" true (n.TF.lo = 0.0);
+  checkb "nan propagates through add" true (TF.is_nan (TF.add n (TF.of_float 1.0)));
+  checkb "nan propagates through mul" true (TF.is_nan (TF.mul (TF.of_float 2.0) n));
+  checkb "sqrt of negative is nan" true (TF.is_nan (TF.sqrt (TF.of_float (-4.0))));
+  checkb "nan compares false" false (TF.lt n (TF.of_float 1.0));
+  checkb "nan eq nan is false" false (TF.eq n n)
+
+let to_int64_cases () =
+  let check_i64 name expect got =
+    Alcotest.(check (option int64)) name expect got
+  in
+  check_i64 "trunc positive" (Some 3L)
+    (TF.to_int64 ~rn:false (TF.of_float 3.7));
+  check_i64 "trunc negative toward zero" (Some (-3L))
+    (TF.to_int64 ~rn:false (TF.of_float (-3.7)));
+  check_i64 "round half away" (Some 4L) (TF.to_int64 ~rn:true (TF.of_float 3.5));
+  check_i64 "round negative half away" (Some (-4L))
+    (TF.to_int64 ~rn:true (TF.of_float (-3.5)));
+  (* the dd-only cases: a low word crossing the integer boundary *)
+  let just_below_5 = TF.add (TF.of_float 5.0) (TF.of_float (-1e-20)) in
+  check_i64 "dd low word crosses trunc boundary" (Some 4L)
+    (TF.to_int64 ~rn:false just_below_5);
+  check_i64 "dd low word keeps round boundary" (Some 5L)
+    (TF.to_int64 ~rn:true just_below_5);
+  let just_below_half = TF.add (TF.of_float 0.5) (TF.of_float (-1e-20)) in
+  check_i64 "dd low word crosses round boundary" (Some 0L)
+    (TF.to_int64 ~rn:true just_below_half);
+  check_i64 "non-finite is None" None
+    (TF.to_int64 ~rn:false (TF.of_float Float.infinity));
+  check_i64 "out of range is None" None
+    (TF.to_int64 ~rn:false (TF.of_float 0x1p62));
+  check_i64 "int64 round-trips" (Some 123456789123456789L)
+    (TF.to_int64 ~rn:false (TF.of_int64 123456789123456789L))
+
+(* ---------- the shadow executor ---------- *)
+
+let compile src = Minic.compile ~file:"test.mc" src
+
+let bad_src =
+  {|
+int main() {
+  double x = 0.1;
+  double big = 1e16;
+  double y = (x + big) - big;
+  print(y);
+  return 0;
+}
+|}
+
+let clean_src =
+  {|
+int main() {
+  double x = 2.0;
+  double y = x * 3.0 + 1.5;
+  print(y);
+  return 0;
+}
+|}
+
+let sanitize_finds_cancellation () =
+  let r = Sanitize.Sexec.run Core.Config.default (compile bad_src) in
+  let rep = Sanitize.Report.build r in
+  checkb "at least one finding fired" true (rep.Sanitize.Report.findings <> []);
+  checkb "an output check fired" true
+    (List.exists
+       (fun f -> f.Sanitize.Sexec.f_kind = Sanitize.Sexec.Check_output)
+       rep.Sanitize.Report.findings)
+
+let sanitize_clean_program () =
+  let r = Sanitize.Sexec.run Core.Config.default (compile clean_src) in
+  let rep = Sanitize.Report.build r in
+  Alcotest.(check int)
+    "no findings" 0
+    (List.length rep.Sanitize.Report.findings);
+  checkb "but checks did run" true (r.Sanitize.Sexec.sx_stats.Sanitize.Sexec.checks_run > 0)
+
+(* the sanitizer is transparent: its outputs are bit-identical to the
+   uninstrumented machine's (the fuzz oracle holds this across the whole
+   generator surface; this is the direct unit-level check) *)
+let sanitize_transparent () =
+  let obs (outs : Vex.Machine.output list) =
+    List.map
+      (fun (o : Vex.Machine.output) ->
+        (o.Vex.Machine.stmt_id, Vex.Value.to_string o.Vex.Machine.value))
+      outs
+  in
+  List.iter
+    (fun (name, src, inputs) ->
+      let prog = compile src in
+      let m = Vex.Machine.run ~inputs prog in
+      let s = Sanitize.Sexec.run ~inputs Core.Config.default prog in
+      Alcotest.(check (list (pair int string)))
+        name
+        (obs (Vex.Machine.outputs m))
+        (obs (Sanitize.Sexec.outputs s)))
+    [
+      ("bad", bad_src, [||]);
+      ("clean", clean_src, [||]);
+      ( "loop with args",
+        {|
+int main() {
+  double s = 0.0;
+  for (int i = 0; i < 40; i = i + 1) {
+    s = s + __arg(i) / 7.0;
+  }
+  print(s);
+  print((double) (s < 1.0));
+  int k = (int) (s * 3.0);
+  print((double) k);
+  return 0;
+}
+|},
+        [| 0.25; -1.5; 3.25 |] );
+    ]
+
+let sanitize_fatal_mode () =
+  match Sanitize.Sexec.run ~fatal:true Core.Config.default (compile bad_src) with
+  | _ -> Alcotest.fail "expected Fatal_finding"
+  | exception Sanitize.Sexec.Fatal_finding f ->
+      checkb "fatal finding carries bits" true (f.Sanitize.Sexec.f_bits_max > 5.0)
+
+let () =
+  Alcotest.run "sanitize"
+    [
+      ( "twofloat",
+        (* seeded per-test so `dune runtest` is deterministic; set
+           QCHECK_SEED to explore a different stream *)
+        List.mapi
+          (fun i t ->
+            let base =
+              try int_of_string (Sys.getenv "QCHECK_SEED") with _ -> 0x5eed
+            in
+            QCheck_alcotest.to_alcotest
+              ~rand:(Random.State.make [| base; i |])
+              t)
+          kernel_tests );
+      ( "edge cases",
+        [
+          Alcotest.test_case "subnormals degrade to double" `Quick
+            subnormal_cases;
+          Alcotest.test_case "overflow propagates inf" `Quick overflow_cases;
+          Alcotest.test_case "nan propagation" `Quick nan_cases;
+          Alcotest.test_case "integer conversion" `Quick to_int64_cases;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "flags catastrophic cancellation" `Quick
+            sanitize_finds_cancellation;
+          Alcotest.test_case "silent on a clean program" `Quick
+            sanitize_clean_program;
+          Alcotest.test_case "transparent vs the machine" `Quick
+            sanitize_transparent;
+          Alcotest.test_case "fatal mode raises" `Quick sanitize_fatal_mode;
+        ] );
+    ]

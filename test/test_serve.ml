@@ -30,6 +30,7 @@ let outcome ?(status = Fleet.Done) ?(key = "") name =
     Fleet.o_name = name;
     o_group = "test";
     o_key = key;
+    o_engine = "full";
     o_status = status;
     o_wall_s = 0.1;
     o_payload = (match status with Fleet.Failed _ -> None | _ -> Some (ok_payload name));
@@ -138,7 +139,13 @@ let test_pool_backpressure () =
   Mutex.lock gate;
   let pool = Fleet.Pool.create ~queue:1 ~jobs:1 () in
   let spec name work =
-    { Fleet.sp_name = name; sp_group = "test"; sp_key = ""; sp_work = work }
+    {
+      Fleet.sp_name = name;
+      sp_group = "test";
+      sp_key = "";
+      sp_engine = "full";
+      sp_work = work;
+    }
   in
   let blocker =
     spec "blocker" (fun ~tick:_ ->
@@ -267,6 +274,20 @@ let test_server_end_to_end () =
           "(FPCore (x) (- (+ x 1) x))"
       in
       Alcotest.(check int) "fpcore analyze" 200 r.Client.c_status;
+      (* the sanitizer engine has its own endpoint; records carry the tag *)
+      let r =
+        post port "/sanitize?name=san.mc"
+          "int main() { double x = 0.1 + 0.2; print((x - 0.3) * 1e17); \
+           return 0; }"
+      in
+      Alcotest.(check int) "sanitize status" 200 r.Client.c_status;
+      Alcotest.(check string)
+        "sanitize engine tag" "sanitize"
+        (Fleet.Json.get_str "engine"
+           (Fleet.Json.of_string (String.trim r.Client.c_body)));
+      Alcotest.(check int)
+        "bad engine name" 400
+        (post port "/analyze?engine=quad" "bench:intro-example").Client.c_status;
       (* request rejection: all analysis-side 400s *)
       let bad path body =
         (post port path body).Client.c_status
@@ -299,10 +320,12 @@ let test_server_end_to_end () =
         (has "fpgrind_cache_hits_total 1");
       Alcotest.(check bool) "rejection counter exposed" true
         (has "fpgrind_rejected_total 0");
-      (* 3 jobs through the pool, plus the in-process exec_one above —
+      Alcotest.(check bool) "sanitize jobs counted" true
+        (has "fpgrind_sanitize_jobs_total{status=\"ok\"} 1");
+      (* 4 jobs through the pool, plus the in-process exec_one above —
          the engine observer is global, so it sees that one too *)
       Alcotest.(check bool) "fleet jobs observed" true
-        (has "fpgrind_fleet_jobs_total{status=\"ok\"} 4"))
+        (has "fpgrind_fleet_jobs_total{status=\"ok\"} 5"))
 
 let test_server_backpressure () =
   (* one worker, queue depth 2, eight concurrent slow requests: at most
