@@ -116,13 +116,19 @@ let engine_arg =
   Arg.(
     value
     & opt
-        (enum [ ("full", Core.Config.Full); ("sanitize", Core.Config.Sanitize) ])
+        (enum
+           [
+             ("full", Core.Config.Full);
+             ("sanitize", Core.Config.Sanitize);
+             ("tiered", Core.Config.Tiered);
+           ])
         Core.Config.Full
     & info [ "engine" ] ~docv:"ENGINE"
         ~doc:
           "Analysis engine: $(b,full) is the Herbgrind-style shadow-real \
            analysis; $(b,sanitize) is the fast NSan-style double-double \
-           sanitizer.")
+           sanitizer; $(b,tiered) triages with the sanitizer and escalates \
+           only the flagged slices to the full analysis.")
 
 (* ---------- running the sanitizer engine (analyze/sanitize commands) ---------- *)
 
@@ -148,6 +154,31 @@ let run_sanitizer ~cfg ~fatal ~all_checks ~inputs prog : int =
   | exception Sanitize.Sexec.Fatal_finding f ->
       Printf.printf "FATAL: %s\n" (Sanitize.Report.finding_to_string f);
       2
+
+(* ---------- running the tiered engine (analyze/sanitize commands) ---------- *)
+
+let run_tiered ~cfg ~inputs prog : int =
+  let r = Tiered.analyze ~cfg ~max_steps:1_000_000_000 ~inputs prog in
+  print_string (Tiered.report_string r);
+  let sst = r.Tiered.t_san.Sanitize.Sexec.sx_stats in
+  Printf.printf
+    "\n--- statistics ---\n\
+     triage superblocks run:   %d\n\
+     triage checks run:        %d\n\
+     escalation seeds:         %d\n\
+     slice statements:         %d\n"
+    sst.Sanitize.Sexec.blocks_run sst.Sanitize.Sexec.checks_run
+    (List.length r.Tiered.t_seeds)
+    r.Tiered.t_slice_stmts;
+  (match r.Tiered.t_full with
+  | None -> Printf.printf "escalation:               none\n"
+  | Some full ->
+      let st = full.Core.Analysis.raw.Core.Exec.r_stats in
+      Printf.printf
+        "escalated fp ops:         %d\n\
+         escalated compensations:  %d\n"
+        st.Core.Exec.fp_ops st.Core.Exec.compensations);
+  0
 
 (* ---------- analyze ---------- *)
 
@@ -176,6 +207,7 @@ let analyze_cmd =
       match engine with
       | Core.Config.Sanitize ->
           run_sanitizer ~cfg ~fatal:false ~all_checks:all_spots ~inputs prog
+      | Core.Config.Tiered -> run_tiered ~cfg ~inputs prog
       | Core.Config.Full ->
           let r =
             Core.Analysis.analyze ~cfg ~max_steps:1_000_000_000 ~inputs prog
@@ -209,7 +241,8 @@ let analyze_cmd =
     (Cmd.info "analyze"
        ~doc:
          "Run a program under the full Herbgrind analysis (or, with --engine \
-          sanitize, the NSan-style sanitizer) and print the report.")
+          sanitize / --engine tiered, the NSan-style sanitizer or the \
+          two-pass tiered engine) and print the report.")
     term
 
 (* ---------- sanitize (the NSan-style dual-precision engine) ---------- *)
@@ -292,8 +325,23 @@ let sanitize_cmd =
         !acc);
     0
   in
+  let engine_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("sanitize", Core.Config.Sanitize);
+               ("tiered", Core.Config.Tiered);
+             ])
+          Core.Config.Sanitize
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "$(b,sanitize) (the default) runs the dual-precision sanitizer \
+             alone; $(b,tiered) escalates its findings to the full analysis.")
+  in
   let run path inputs iterations vectorize threshold no_wrap fatal all_checks
-      bench_kernel_flag =
+      bench_kernel_flag engine =
     if bench_kernel_flag then bench_kernel ()
     else
       match path with
@@ -305,7 +353,7 @@ let sanitize_cmd =
             {
               Core.Config.default with
               Core.Config.error_threshold = threshold;
-              engine = Core.Config.Sanitize;
+              engine;
             }
           in
           try
@@ -315,7 +363,17 @@ let sanitize_cmd =
             let inputs =
               if inputs <> [] then Array.of_list inputs else bench_inputs
             in
-            run_sanitizer ~cfg ~fatal ~all_checks ~inputs prog
+            match engine with
+            | Core.Config.Tiered ->
+                if fatal || all_checks then begin
+                  Printf.eprintf
+                    "error: --fatal and --all-checks apply to the sanitize \
+                     engine only\n";
+                  1
+                end
+                else run_tiered ~cfg ~inputs prog
+            | Core.Config.Sanitize | Core.Config.Full ->
+                run_sanitizer ~cfg ~fatal ~all_checks ~inputs prog
           with
           | Minic.Compile_error msg | Fpcore.Parse.Error msg | Sys_error msg ->
               Printf.eprintf "error: %s\n" msg;
@@ -325,7 +383,7 @@ let sanitize_cmd =
     Term.(
       const run $ path_arg $ inputs_arg $ iterations_arg $ vectorize_arg
       $ threshold_arg $ no_wrap_arg $ fatal_arg $ all_checks_arg
-      $ bench_kernel_arg)
+      $ bench_kernel_arg $ engine_arg)
   in
   Cmd.v
     (Cmd.info "sanitize"
@@ -501,7 +559,16 @@ let validate_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"FILE" ~doc:"A JSONL results file written by suite --json.")
   in
-  let run path =
+  let expect_engine_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Require every record to come from this engine (full, sanitize \
+             or tiered); any other record fails validation.")
+  in
+  let run path expect_engine =
     match Fleet.Store.load_lenient path with
     | outcomes, skipped ->
         let count pred = List.length (List.filter pred outcomes) in
@@ -541,10 +608,52 @@ let validate_cmd =
                     Printf.sprintf "%s %d" e
                       (count (fun (o : Fleet.outcome) -> o.Fleet.o_engine = e)))
                   engines));
-        if failed > 0 || timeout > 0 || skipped > 0 then begin
+        (* records from an engine this binary does not know are always
+           invalid: they cannot be compared against anything *)
+        let unknown =
+          List.filter
+            (fun (o : Fleet.outcome) ->
+              Core.Config.engine_of_name o.Fleet.o_engine = None)
+            outcomes
+        in
+        List.iter
+          (fun (o : Fleet.outcome) ->
+            Printf.eprintf "error: record %s has unknown engine %S\n"
+              o.Fleet.o_name o.Fleet.o_engine)
+          unknown;
+        let mismatched =
+          match expect_engine with
+          | None -> []
+          | Some want ->
+              if Core.Config.engine_of_name want = None then begin
+                Printf.eprintf
+                  "error: unknown engine %S (expected full, sanitize or \
+                   tiered)\n"
+                  want;
+                exit 1
+              end;
+              List.filter
+                (fun (o : Fleet.outcome) -> o.Fleet.o_engine <> want)
+                outcomes
+        in
+        (match (mismatched, expect_engine) with
+        | _ :: _, Some want ->
+            List.iter
+              (fun (o : Fleet.outcome) ->
+                Printf.eprintf
+                  "error: record %s came from the %s engine, expected %s\n"
+                  o.Fleet.o_name o.Fleet.o_engine want)
+              mismatched
+        | _ -> ());
+        if
+          failed > 0 || timeout > 0 || skipped > 0
+          || mismatched <> [] || unknown <> []
+        then begin
           Printf.eprintf
-            "error: store has %d failed, %d timeout, %d truncated record(s)\n"
-            failed timeout skipped;
+            "error: store has %d failed, %d timeout, %d truncated, %d \
+             engine-mismatched record(s)\n"
+            failed timeout skipped
+            (List.length mismatched + List.length unknown);
           1
         end
         else 0
@@ -559,8 +668,9 @@ let validate_cmd =
     (Cmd.info "validate"
        ~doc:
          "Parse a JSONL results store, report per-status counts, and exit \
-          nonzero if any record is failed, timed out, or invalid.")
-    Term.(const run $ path_arg)
+          nonzero if any record is failed, timed out, engine-mismatched, or \
+          invalid.")
+    Term.(const run $ path_arg $ expect_engine_arg)
 
 (* ---------- list-benchmarks ---------- *)
 
@@ -681,11 +791,22 @@ let fuzz_cmd =
             "Run the engine-consistency oracle on every program (sanitizer \
              findings vs full-analysis spots), not just the deep slice.")
   in
-  let run seed iters jobs timeout corpus quiet consistency =
+  let tiered_consistency_arg =
+    Arg.(
+      value & flag
+      & info [ "tiered-consistency" ]
+          ~doc:
+            "Run the tiered-consistency oracle on every program: every \
+             spot the tiered engine reports must be bit-identical to the \
+             full engine's record for it, and its outputs must match.")
+  in
+  let run seed iters jobs timeout corpus quiet consistency tiered_consistency =
     let checks =
-      if consistency then
-        { Fuzz.Oracle.default_checks with Fuzz.Oracle.c_consistency = true }
-      else Fuzz.Oracle.default_checks
+      {
+        Fuzz.Oracle.default_checks with
+        Fuzz.Oracle.c_consistency = consistency;
+        c_tiered = tiered_consistency;
+      }
     in
     let bad = ref false in
     (* replay the corpus first: every past counterexample must stay fixed *)
@@ -773,7 +894,7 @@ let fuzz_cmd =
           counterexample.")
     Term.(
       const run $ seed_arg $ iters_arg $ jobs_arg $ timeout_arg $ corpus_arg
-      $ quiet_arg $ consistency_arg)
+      $ quiet_arg $ consistency_arg $ tiered_consistency_arg)
 
 (* ---------- serve (the network analysis service) ---------- *)
 
@@ -925,6 +1046,15 @@ let client_cmd =
       value & opt (some float) None
       & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-request analysis deadline.")
   in
+  let client_engine_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Analysis engine for the analyze action: $(b,full), \
+             $(b,sanitize) or $(b,tiered). Sent to the server as the \
+             $(b,engine) query parameter.")
+  in
   (* A cached record is by construction a copy of an ok record, so the
      comparison normalises "cached" to "ok"; everything else but the
      wall-time is compared strictly. *)
@@ -942,9 +1072,15 @@ let client_cmd =
     | j -> j
   in
   let run action target port host inputs iterations seed precision threshold
-      match_store iters fuzz_seed timeout =
+      match_store iters fuzz_seed timeout engine =
     let enc = Serve.Http.percent_encode in
     try
+      (match engine with
+      | Some e when Core.Config.engine_of_name e = None ->
+          Printf.eprintf
+            "error: unknown engine %S (expected full, sanitize or tiered)\n" e;
+          raise Exit
+      | _ -> ());
       match action with
       | `Health ->
           let r =
@@ -1000,6 +1136,11 @@ let client_cmd =
               (match timeout with
               | None -> ""
               | Some s -> "&timeout=" ^ enc (Printf.sprintf "%g" s))
+          in
+          let path =
+            match engine with
+            | Some e -> path ^ "&engine=" ^ enc e
+            | None -> path
           in
           let r = Serve.Client.request ~host ~port ~meth:"POST" ~path ~body () in
           print_string r.Serve.Client.c_body;
@@ -1081,7 +1222,7 @@ let client_cmd =
       $ iterations_arg $ Arg.(
         value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Input sampling seed.")
       $ precision_arg $ threshold_arg $ match_arg $ iters_arg $ fuzz_seed_arg
-      $ client_timeout_arg)
+      $ client_timeout_arg $ client_engine_arg)
 
 let () =
   let doc = "find root causes of floating-point error (Herbgrind reproduction)" in

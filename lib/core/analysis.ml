@@ -7,9 +7,9 @@ type result = {
   cfg : Config.t;
 }
 
-let analyze ?(cfg = Config.default) ?mem_size ?max_steps ?inputs ?tick
-    (prog : Vex.Ir.prog) : result =
-  let raw = Exec.run ?mem_size ?max_steps ?inputs ?tick cfg prog in
+let analyze ?(cfg = Config.default) ?mem_size ?max_steps ?inputs ?restrict
+    ?tick (prog : Vex.Ir.prog) : result =
+  let raw = Exec.run ?mem_size ?max_steps ?inputs ?restrict ?tick cfg prog in
   let report = Report.build ~cfg raw in
   { raw; report; cfg }
 

@@ -15,14 +15,16 @@ val analyze :
   ?mem_size:int ->
   ?max_steps:int ->
   ?inputs:float array ->
+  ?restrict:(int -> bool) ->
   ?tick:(unit -> unit) ->
   Vex.Ir.prog ->
   result
 (** Run [prog] under the analysis. [inputs] backs the [__arg] builtin
     (program inputs with no floating-point provenance); [max_steps] bounds
-    the number of superblocks executed; [tick] is called once per
-    superblock (see {!Exec.run}) so callers can abort long runs by
-    raising from it. *)
+    the number of superblocks executed; [restrict] limits instrumentation
+    to a dependency-closed statement set (the tiered engine's pass 2, see
+    {!Exec.run}); [tick] is called once per superblock (see {!Exec.run})
+    so callers can abort long runs by raising from it. *)
 
 val report_string : result -> string
 (** The report in the paper's format: one entry per erroneous spot, with

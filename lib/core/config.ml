@@ -3,14 +3,20 @@
    per-component switches exist for the section 8.2 ablations. *)
 
 (* Which analysis engine runs the program: the paper's full
-   instrumentation, or the NSan-style dual-precision sanitizer. *)
-type engine = Full | Sanitize
+   instrumentation, the NSan-style dual-precision sanitizer, or the
+   tiered two-pass combination (sanitizer triage, then full analysis
+   restricted to the flagged slices). *)
+type engine = Full | Sanitize | Tiered
 
-let engine_name = function Full -> "full" | Sanitize -> "sanitize"
+let engine_name = function
+  | Full -> "full"
+  | Sanitize -> "sanitize"
+  | Tiered -> "tiered"
 
 let engine_of_name = function
   | "full" -> Some Full
   | "sanitize" -> Some Sanitize
+  | "tiered" -> Some Tiered
   | _ -> None
 
 type t = {

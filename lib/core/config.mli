@@ -9,9 +9,13 @@
 type engine =
   | Full  (** the paper's full instrumentation (reals/influences/traces) *)
   | Sanitize  (** the NSan-style dual-precision shadow sanitizer *)
+  | Tiered
+      (** two-pass: sanitizer triage, then the full engine restricted to
+          the backward slices of the flagged spots *)
 
 val engine_name : engine -> string
-(** ["full"] / ["sanitize"] — the canonical wire and store spelling. *)
+(** ["full"] / ["sanitize"] / ["tiered"] — the canonical wire and store
+    spelling. *)
 
 val engine_of_name : string -> engine option
 (** Inverse of {!engine_name}. *)

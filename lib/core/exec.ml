@@ -47,6 +47,9 @@ type state = {
   cfg : Config.t;
   info : Vex.Typeinfer.t;
   mem : Bytes.t;
+  (* exclusive upper bound of client memory traffic this run; the
+     scratch pool re-zeroes only [0, mem_hw) on reuse *)
+  mutable mem_hw : int;
   thread : Bytes.t;
   (* shadow storage: byte offset -> (slot, byte size) *)
   mem_shadow : Shadow.t Vex.Shadowtbl.t;
@@ -57,21 +60,61 @@ type state = {
   mutable outputs : Vex.Machine.output list;
   stats : stats;
   max_steps : int;
+  (* tiered pass 2: statements outside the restriction run machine-only
+     (no shadows, no spots); [None] instruments everything. The
+     membership predicate is pre-evaluated per static statement at
+     [create] so the per-statement hot path is an array read, not a
+     closure call. *)
+  restrict : bool array array option;
 }
 
 exception Client_error of string
 
+(* A per-domain pool of one client-memory buffer: a fresh zeroed 1 MiB
+   [Bytes.make] per execution is measurable across a suite run, so
+   [run] parks its buffer here and [create] re-zeroes only the prefix
+   the previous run touched ([mem_hw] bounds every load and store) —
+   reads above the watermark still see the zeros machine semantics
+   promise. *)
+let scratch_pool : (Bytes.t * int) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let acquire_mem mem_size : Bytes.t =
+  let pool = Domain.DLS.get scratch_pool in
+  match !pool with
+  | Some (b, hw) when Bytes.length b = mem_size ->
+      pool := None;
+      Bytes.fill b 0 (min hw mem_size) '\000';
+      b
+  | _ -> Bytes.make mem_size '\000'
+
+let release_mem (mem : Bytes.t) (mem_hw : int) : unit =
+  let pool = Domain.DLS.get scratch_pool in
+  pool := Some (mem, mem_hw)
+
 let create ?(mem_size = Vex.Machine.default_mem_size) ?(max_steps = max_int)
-    ?(inputs = [||]) (cfg : Config.t) prog =
+    ?(inputs = [||]) ?restrict (cfg : Config.t) prog =
   let info =
     if cfg.Config.type_inference then Vex.Typeinfer.infer prog
     else Vex.Typeinfer.all_full prog
+  in
+  let restrict =
+    match restrict with
+    | None -> None
+    | Some f ->
+        Some
+          (Array.mapi
+             (fun bi (b : Vex.Ir.block) ->
+               Array.init (Array.length b.Vex.Ir.stmts) (fun si ->
+                   f (Vex.Ir.stmt_id ~block:bi ~stmt:si)))
+             prog.Vex.Ir.blocks)
   in
   {
     prog;
     cfg;
     info;
-    mem = Bytes.make mem_size '\000';
+    mem = acquire_mem mem_size;
+    mem_hw = 0;
     thread = Bytes.make Vex.Machine.default_thread_size '\000';
     mem_shadow = Vex.Shadowtbl.create 1024;
     thread_shadow = Vex.Shadowtbl.create 64;
@@ -88,6 +131,7 @@ let create ?(mem_size = Vex.Machine.default_mem_size) ?(max_steps = max_int)
         compensations = 0;
       };
     max_steps;
+    restrict;
   }
 
 (* ---------- spot and op tables ---------- *)
@@ -298,6 +342,7 @@ let prec st = st.cfg.Config.precision
 let check_mem st addr size =
   if addr < 0 || addr + size > Bytes.length st.mem then
     raise (Client_error (Printf.sprintf "memory access out of bounds: %d" addr))
+  else if addr + size > st.mem_hw then st.mem_hw <- addr + size
 
 (* evaluate an expression returning both the client value and its shadow *)
 let rec eval st fr ~loc ~stmt_id (e : Vex.Ir.expr) : Vex.Value.t * Shadow.slot =
@@ -782,6 +827,9 @@ let run_block st (bidx : int) : int =
       st.stats.stmts_run <- st.stats.stmts_run + 1;
       let stmt_id = Vex.Ir.stmt_id ~block:bidx ~stmt:i in
       let action = Vex.Typeinfer.action st.info ~block:bidx ~stmt:i in
+      let off_slice =
+        match st.restrict with None -> false | Some m -> not m.(bidx).(i)
+      in
       (match (b.Vex.Ir.stmts.(i), action) with
       | Vex.Ir.IMark l, _ -> cur_loc := l
       (* fast paths allowed by type inference *)
@@ -801,6 +849,57 @@ let run_block st (bidx : int) : int =
           clear_shadow_range st.mem_shadow addr
             (Vex.Ir.ty_size (Vex.Value.ty_of value));
           Vex.Value.write_bytes st.mem addr value
+      (* tiered pass 2, off the escalated slice: machine semantics only.
+         Temp/thread/memory shadows are cleared rather than written, so
+         an on-slice reader can never observe a stale real here — the
+         slice closure guarantees every producer feeding an on-slice
+         statement is itself on-slice. Outputs are still pushed (client
+         transparency); no spot or op entries are created. *)
+      | stmt, _ when off_slice -> begin
+          match stmt with
+          | Vex.Ir.IMark _ -> ()
+          | Vex.Ir.WrTmp (t, e) ->
+              fr.temps.(t) <- fast_eval e;
+              fr.tshadow.(t) <- Shadow.SNone
+          | Vex.Ir.Put (off, e) ->
+              let v = fast_eval e in
+              clear_shadow_range st.thread_shadow off
+                (Vex.Ir.ty_size (Vex.Value.ty_of v));
+              Vex.Value.write_bytes st.thread off v
+          | Vex.Ir.Store (a, ve) ->
+              let addr = Int64.to_int (Vex.Value.as_i64 (fast_eval a)) in
+              let v = fast_eval ve in
+              check_mem st addr (Vex.Ir.ty_size (Vex.Value.ty_of v));
+              clear_shadow_range st.mem_shadow addr
+                (Vex.Ir.ty_size (Vex.Value.ty_of v));
+              Vex.Value.write_bytes st.mem addr v
+          | Vex.Ir.Dirty (t, name, args) when name = "__arg" ->
+              let k =
+                match args with
+                | [ a ] -> Vex.Value.as_f64 (fast_eval a)
+                | _ -> 0.0
+              in
+              fr.temps.(t) <- Vex.Value.VF64 (Vex.Machine.nth_input st.inputs k);
+              fr.tshadow.(t) <- Shadow.SNone
+          | Vex.Ir.Dirty (t, name, args) ->
+              let fargs =
+                Array.of_list
+                  (List.map (fun a -> Vex.Value.as_f64 (fast_eval a)) args)
+              in
+              fr.temps.(t) <- Vex.Value.VF64 (Vex.Eval.libm_apply name fargs);
+              fr.tshadow.(t) <- Shadow.SNone
+          | Vex.Ir.Exit (g, l) ->
+              if Vex.Value.as_bool (fast_eval g) then
+                raise (Exit_to (Vex.Ir.block_index st.prog l))
+          | Vex.Ir.Out (kind, e) ->
+              let v = fast_eval e in
+              (match kind with
+              | Vex.Ir.OutMark -> ()
+              | Vex.Ir.OutFloat | Vex.Ir.OutInt ->
+                  st.outputs <-
+                    { Vex.Machine.stmt_id; loc = !cur_loc; kind; value = v }
+                    :: st.outputs)
+        end
       | stmt, _ -> begin
           st.stats.stmts_instrumented <- st.stats.stmts_instrumented + 1;
           let loc = !cur_loc in
@@ -901,16 +1000,19 @@ type result = {
   r_stats : stats;
 }
 
-let run ?mem_size ?max_steps ?inputs ?tick (cfg : Config.t)
+let run ?mem_size ?max_steps ?inputs ?restrict ?tick (cfg : Config.t)
     (prog : Vex.Ir.prog) : result =
-  let st = create ?mem_size ?max_steps ?inputs cfg prog in
-  let error msg = Client_error msg in
-  st.stats.blocks_run <-
-    Vex.Machine.drive ~max_steps:st.max_steps ?tick ~error st.prog
-      ~run_block:(run_block st);
-  {
-    r_ops = st.ops;
-    r_spots = st.spots;
-    r_outputs = List.rev st.outputs;
-    r_stats = st.stats;
-  }
+  let st = create ?mem_size ?max_steps ?inputs ?restrict cfg prog in
+  Fun.protect
+    ~finally:(fun () -> release_mem st.mem st.mem_hw)
+    (fun () ->
+      let error msg = Client_error msg in
+      st.stats.blocks_run <-
+        Vex.Machine.drive ~max_steps:st.max_steps ?tick ~error st.prog
+          ~run_block:(run_block st);
+      {
+        r_ops = st.ops;
+        r_spots = st.spots;
+        r_outputs = List.rev st.outputs;
+        r_stats = st.stats;
+      })

@@ -61,12 +61,20 @@ val run :
   ?mem_size:int ->
   ?max_steps:int ->
   ?inputs:float array ->
+  ?restrict:(int -> bool) ->
   ?tick:(unit -> unit) ->
   Config.t ->
   Vex.Ir.prog ->
   result
 (** Run the program under full instrumentation, following the client's
     control flow (divergences are recorded as spots, paper 4.2).
+
+    [restrict] (the tiered engine's pass 2) limits instrumentation to
+    the statement ids it accepts: everything else runs machine-only with
+    its shadows cleared, creating no spot or op entries. For the
+    restricted run to report identically to an unrestricted one at the
+    accepted spots, the accepted set must be closed under backward data
+    dependencies ({!Vex.Slice}).
 
     [tick] is called once per superblock before it executes; batch
     drivers use it to enforce wall-clock deadlines by raising from the

@@ -30,6 +30,8 @@ type metrics = {
   m_causes : int;  (* erroneous expressions above threshold *)
   m_compensations : int;
   m_err_max : float;  (* max output-spot error, bits *)
+  m_escalations : int;  (* tiered: 1 if pass 2 ran, else 0 *)
+  m_slice_stmts : int;  (* tiered: statements in the escalated slice *)
 }
 
 type payload = {
@@ -42,7 +44,7 @@ type spec = {
   sp_name : string;
   sp_group : string;
   sp_key : string;  (* content-hash cache key; "" disables caching *)
-  sp_engine : string;  (* "full" or "sanitize" — which engine ran the job *)
+  sp_engine : string;  (* "full", "sanitize" or "tiered" *)
   sp_work : tick:(unit -> unit) -> payload;
 }
 
@@ -50,7 +52,7 @@ type outcome = {
   o_name : string;
   o_group : string;
   o_key : string;
-  o_engine : string;  (* copied from the spec; "full" or "sanitize" *)
+  o_engine : string;  (* copied from the spec *)
   o_status : status;
   o_wall_s : float;
   o_payload : payload option;  (* [Some] for [Done] and [Cached] *)
@@ -358,6 +360,8 @@ let payload_for ~name ~group ~nodes0 (r : Core.Analysis.result) : payload =
       m_causes = causes;
       m_compensations = st.Core.Exec.compensations;
       m_err_max = err_max;
+      m_escalations = 0;
+      m_slice_stmts = 0;
     }
   in
   let summary =
@@ -398,6 +402,8 @@ let san_payload_for ~name ~group (r : Sanitize.Sexec.result) : payload =
       m_causes = causes;
       m_compensations = 0;
       m_err_max = err_max;
+      m_escalations = 0;
+      m_slice_stmts = 0;
     }
   in
   let summary =
@@ -410,6 +416,54 @@ let san_payload_for ~name ~group (r : Sanitize.Sexec.result) : payload =
     p_summary = summary;
     p_report = Sanitize.Report.to_string rep;
   }
+
+(* The tiered engine's payload: pass 2's metrics and report when the
+   program escalated (so a fully escalated job's record matches the full
+   engine's, plus the escalation counters); pass 1's run stats and the
+   clean-program report when it did not. *)
+let tiered_payload_for ~name ~group ~nodes0 (r : Tiered.result) : payload =
+  match r.Tiered.t_full with
+  | Some full ->
+      let p = payload_for ~name ~group ~nodes0 full in
+      {
+        p with
+        p_metrics =
+          {
+            p.p_metrics with
+            m_escalations = 1;
+            m_slice_stmts = r.Tiered.t_slice_stmts;
+          };
+        p_summary =
+          Printf.sprintf "%s [slice %d stmts]" p.p_summary
+            r.Tiered.t_slice_stmts;
+      }
+  | None ->
+      let st = r.Tiered.t_san.Sanitize.Sexec.sx_stats in
+      let metrics =
+        {
+          m_blocks = st.Sanitize.Sexec.blocks_run;
+          m_stmts = st.Sanitize.Sexec.stmts_run;
+          m_fp_ops = st.Sanitize.Sexec.shadow_ops;
+          m_trace_nodes = 0;
+          m_spots = 0;
+          m_causes = 0;
+          m_compensations = 0;
+          m_err_max = 0.0;
+          m_escalations = 0;
+          m_slice_stmts = 0;
+        }
+      in
+      let summary =
+        Printf.sprintf
+          "%-24s %13s  max output error %5.1f bits, 0 root causes [not \
+           escalated]"
+          name group 0.0
+      in
+      {
+        p_metrics = metrics;
+        p_summary = summary;
+        p_report = Tiered.report_string r;
+      }
 
 let bench_spec ?(cfg = Core.Config.default) ?(max_steps = 200_000_000)
     (j : Fpcore.Suite.job) : spec =
@@ -431,6 +485,11 @@ let bench_spec ?(cfg = Core.Config.default) ?(max_steps = 200_000_000)
     | Core.Config.Sanitize ->
         let r = Sanitize.Sexec.run ~max_steps ~inputs ~tick cfg prog in
         san_payload_for ~name:b.Fpcore.Suite.name ~group:(group_name b) r
+    | Core.Config.Tiered ->
+        let nodes0 = Core.Trace.created_in_domain () in
+        let r = Tiered.analyze ~cfg ~max_steps ~inputs ~tick prog in
+        tiered_payload_for ~name:b.Fpcore.Suite.name ~group:(group_name b)
+          ~nodes0 r
   in
   {
     sp_name = b.Fpcore.Suite.name;

@@ -25,6 +25,8 @@ let metrics_to_json (m : Engine.metrics) : Json.t =
       ("causes", Json.Num (float_of_int m.Engine.m_causes));
       ("compensations", Json.Num (float_of_int m.Engine.m_compensations));
       ("err_max_bits", Json.Num m.Engine.m_err_max);
+      ("escalations", Json.Num (float_of_int m.Engine.m_escalations));
+      ("slice_stmts", Json.Num (float_of_int m.Engine.m_slice_stmts));
     ]
 
 let metrics_of_json (v : Json.t) : Engine.metrics =
@@ -37,6 +39,9 @@ let metrics_of_json (v : Json.t) : Engine.metrics =
     m_causes = Json.get_int "causes" v;
     m_compensations = Json.get_int "compensations" v;
     m_err_max = Json.get_num "err_max_bits" v;
+    (* absent in stores written before the tiered engine: default 0 *)
+    m_escalations = Json.get_int "escalations" v;
+    m_slice_stmts = Json.get_int "slice_stmts" v;
   }
 
 let outcome_to_json (o : Engine.outcome) : Json.t =

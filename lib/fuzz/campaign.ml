@@ -144,6 +144,8 @@ let run ?config ?(checks = Oracle.default_checks) ?(jobs = 1) ?timeout
                     m_causes = divergences;
                     m_compensations = 0;
                     m_err_max = 0.0;
+                    m_escalations = 0;
+                    m_slice_stmts = 0;
                   };
                 p_summary =
                   Printf.sprintf "%d programs, %d divergent" (hi - lo)

@@ -29,7 +29,14 @@
                 the threshold must not look clean to the sanitizer (and
                 vice versa, modulo a slack for the precision gap), and a
                 comparison/cast flip the sanitizer is certain about must
-                be an incorrect spot in the full analysis too. *)
+                be an incorrect spot in the full analysis too;
+   - tiered:    the tiered engine's one-directional contract: every
+                spot the tiered engine reports must be bit-identical —
+                raw counters, error sums by bits, influence sets, and
+                the rendered report entry — to the full engine's record
+                for that spot, and its client outputs must match the
+                full engine's. Spots the tiered engine misses (triage
+                below dd resolution) are legitimate. *)
 
 type divergence = { d_oracle : string; d_detail : string }
 
@@ -46,6 +53,7 @@ type checks = {
   c_kernel : bool;
   c_sanitize : bool;  (* sanitizer-engine transparency *)
   c_consistency : bool;  (* sanitizer vs full-analysis verdict agreement *)
+  c_tiered : bool;  (* tiered engine vs full-analysis bit-identity *)
   c_cfg : Core.Config.t;
   c_max_steps : int;
 }
@@ -59,6 +67,7 @@ let default_checks =
     c_kernel = true;
     c_sanitize = true;
     c_consistency = false;
+    c_tiered = false;
     c_cfg = Core.Config.fast;
     c_max_steps = 2_000_000;
   }
@@ -71,6 +80,7 @@ let deep_checks =
     c_vectorize = true;
     c_mathlib = true;
     c_consistency = true;
+    c_tiered = true;
   }
 
 (* ---------- canonical outputs ---------- *)
@@ -336,6 +346,130 @@ let consistency_check ~(checks : checks) ~tick ~inputs (prog : Vex.Ir.prog) :
         | Some d -> Fail { d_oracle = "consistency"; d_detail = d })
   end
 
+(* ---------- the tiered-consistency oracle ---------- *)
+
+(* The tiered engine's contract is one-directional and exact: every spot
+   it reports must be bit-identical to the full engine's record for that
+   spot — raw counters, error sums compared by bits, influence sets, and
+   the rendered report entry (which folds in the influencing ops'
+   aggregates and anti-unified expressions). Client outputs must match
+   the full engine's too. A spot the tiered engine *misses* is
+   legitimate: the dd triage can sit below Bigfloat resolution. Unlike
+   the magnitude-based consistency check, nothing here depends on the
+   sanitizer's libm fallback, so passthrough-libm programs are fair
+   game. *)
+let tiered_check ~(checks : checks) ~tick ~inputs (prog : Vex.Ir.prog) :
+    result =
+  let cfg = checks.c_cfg in
+  match
+    let t =
+      Tiered.analyze
+        ~cfg:{ cfg with Core.Config.engine = Core.Config.Tiered }
+        ~max_steps:checks.c_max_steps ~inputs ~tick prog
+    in
+    let full =
+      Core.Analysis.analyze ~cfg ~max_steps:checks.c_max_steps ~inputs ~tick
+        prog
+    in
+    (t, full)
+  with
+  | exception
+      ( Core.Exec.Client_error msg
+      | Sanitize.Sexec.Client_error msg
+      | Vex.Machine.Client_error msg ) ->
+      if is_budget_msg msg then Skip "tiered: step budget exceeded"
+      else Fail { d_oracle = "tiered"; d_detail = msg }
+  | t, full -> begin
+      let fail d = Fail { d_oracle = "tiered"; d_detail = d } in
+      let t_obs = List.map obs_of_machine (Tiered.outputs t) in
+      let f_obs =
+        List.map obs_of_machine full.Core.Analysis.raw.Core.Exec.r_outputs
+      in
+      match diff_obs ~left:"tiered" ~right:"full" t_obs f_obs with
+      | Some d -> fail d
+      | None -> (
+          match t.Tiered.t_full with
+          | None -> Pass (* not escalated: nothing reported, nothing owed *)
+          | Some pass2 ->
+              let fspots = full.Core.Analysis.raw.Core.Exec.r_spots in
+              let bad = ref None in
+              Hashtbl.iter
+                (fun id (ts : Core.Exec.spot_info) ->
+                  if !bad = None then
+                    match Hashtbl.find_opt fspots id with
+                    | None ->
+                        bad :=
+                          Some
+                            (Printf.sprintf
+                               "tiered spot at %s has no full-engine record"
+                               (Vex.Ir.loc_to_string ts.Core.Exec.s_loc))
+                    | Some fs ->
+                        let b = Int64.bits_of_float in
+                        if
+                          ts.Core.Exec.s_total <> fs.Core.Exec.s_total
+                          || ts.Core.Exec.s_incorrect
+                             <> fs.Core.Exec.s_incorrect
+                          || b ts.Core.Exec.s_err_sum
+                             <> b fs.Core.Exec.s_err_sum
+                          || b ts.Core.Exec.s_err_max
+                             <> b fs.Core.Exec.s_err_max
+                          || not
+                               (Core.Shadow.IntSet.equal ts.Core.Exec.s_infl
+                                  fs.Core.Exec.s_infl)
+                        then
+                          bad :=
+                            Some
+                              (Printf.sprintf
+                                 "spot at %s: tiered %d/%d err %h/%h (%d \
+                                  infl), full %d/%d err %h/%h (%d infl)"
+                                 (Vex.Ir.loc_to_string ts.Core.Exec.s_loc)
+                                 ts.Core.Exec.s_total ts.Core.Exec.s_incorrect
+                                 ts.Core.Exec.s_err_sum ts.Core.Exec.s_err_max
+                                 (Core.Shadow.IntSet.cardinal
+                                    ts.Core.Exec.s_infl)
+                                 fs.Core.Exec.s_total fs.Core.Exec.s_incorrect
+                                 fs.Core.Exec.s_err_sum fs.Core.Exec.s_err_max
+                                 (Core.Shadow.IntSet.cardinal
+                                    fs.Core.Exec.s_infl)))
+                pass2.Core.Analysis.raw.Core.Exec.r_spots;
+              (* rendered report entries: byte-identical per spot *)
+              if !bad = None then begin
+                let full_entries = Hashtbl.create 7 in
+                List.iter
+                  (fun (e : Core.Report.entry) ->
+                    Hashtbl.replace full_entries
+                      e.Core.Report.e_spot.Core.Exec.s_id e)
+                  full.Core.Analysis.report.Core.Report.entries;
+                List.iter
+                  (fun (e : Core.Report.entry) ->
+                    if !bad = None then
+                      let id = e.Core.Report.e_spot.Core.Exec.s_id in
+                      match Hashtbl.find_opt full_entries id with
+                      | None ->
+                          bad :=
+                            Some
+                              (Printf.sprintf
+                                 "tiered report entry at %s absent from the \
+                                  full report"
+                                 (Vex.Ir.loc_to_string
+                                    e.Core.Report.e_spot.Core.Exec.s_loc))
+                      | Some fe ->
+                          let te_s = Core.Report.entry_to_string e in
+                          let fe_s = Core.Report.entry_to_string fe in
+                          if te_s <> fe_s then
+                            bad :=
+                              Some
+                                (Printf.sprintf
+                                   "report entry at %s differs\n  tiered: \
+                                    %s\n  full:   %s"
+                                   (Vex.Ir.loc_to_string
+                                      e.Core.Report.e_spot.Core.Exec.s_loc)
+                                   (String.trim te_s) (String.trim fe_s)))
+                  pass2.Core.Analysis.report.Core.Report.entries
+              end;
+              (match !bad with None -> Pass | Some d -> fail d))
+    end
+
 (* ---------- the oracle proper ---------- *)
 
 let run ?(checks = default_checks) ?tick ~(inputs : float array)
@@ -435,6 +569,10 @@ let run ?(checks = default_checks) ?tick ~(inputs : float array)
       let* () =
         if not checks.c_consistency then Pass
         else consistency_check ~checks ~tick ~inputs prog
+      in
+      let* () =
+        if not checks.c_tiered then Pass
+        else tiered_check ~checks ~tick ~inputs prog
       in
       let* () =
         if not checks.c_vectorize then Pass

@@ -63,21 +63,152 @@ type sbool = {
 
 type slot = SNone | SF of TF.t | SBool of sbool | SVec of slot array
 
+(* A paged dense shadow table, replacing the sparse [Vex.Shadowtbl] on
+   the sanitizer's hot path: a load or store of a shadowed float costs a
+   few array reads instead of hashtable probes, and nothing allocates
+   after the first touch of a page. Semantics mirror [Vex.Shadowtbl] —
+   an entry covers [addr, addr+size) at a 4-aligned start, and any
+   overlapping write kills it; unaligned addresses never hit (the probe
+   grid is 4-aligned, exactly like the sparse table's key space). *)
+module Stbl : sig
+  type t
+
+  val create : int -> t
+  (** [create nbytes] shadows a [nbytes]-byte space, initially empty. *)
+
+  val get : t -> int -> int -> slot
+  (** the slot at exactly [addr]/[size], or [SNone] *)
+
+  val clear_range : t -> int -> int -> unit
+  val set : t -> int -> int -> slot -> unit
+end = struct
+  type page = { slots : slot array; sizes : Bytes.t }
+  type t = { pages : page option array }
+
+  let page_cells = 1024 (* 4 KiB of client space per page *)
+
+  let create nbytes =
+    let ncells = (nbytes + 3) lsr 2 in
+    { pages = Array.make (((ncells + page_cells - 1) / page_cells) + 1) None }
+
+  let get t addr size : slot =
+    if addr land 3 <> 0 || addr < 0 then SNone
+    else
+      let c = addr lsr 2 in
+      let p = c / page_cells in
+      if p >= Array.length t.pages then SNone
+      else
+        match t.pages.(p) with
+        | None -> SNone
+        | Some pg ->
+            let i = c land (page_cells - 1) in
+            if Bytes.get_uint8 pg.sizes i = size then pg.slots.(i) else SNone
+
+  let clear_range t addr size =
+    let off = ref (addr - 12) in
+    while !off < addr + size do
+      (if !off >= 0 && !off land 3 = 0 then
+         let c = !off lsr 2 in
+         let p = c / page_cells in
+         if p < Array.length t.pages then
+           match t.pages.(p) with
+           | None -> ()
+           | Some pg ->
+               let i = c land (page_cells - 1) in
+               let esize = Bytes.get_uint8 pg.sizes i in
+               if esize > 0 && !off + esize > addr && !off < addr + size
+               then begin
+                 Bytes.set_uint8 pg.sizes i 0;
+                 pg.slots.(i) <- SNone
+               end);
+      off := !off + 4
+    done
+
+  let set t addr size (s : slot) =
+    clear_range t addr size;
+    if addr land 3 = 0 && addr >= 0 then begin
+      let c = addr lsr 2 in
+      let p = c / page_cells in
+      if p < Array.length t.pages then begin
+        let pg =
+          match t.pages.(p) with
+          | Some pg -> pg
+          | None ->
+              let pg =
+                {
+                  slots = Array.make page_cells SNone;
+                  sizes = Bytes.make page_cells '\000';
+                }
+              in
+              t.pages.(p) <- Some pg;
+              pg
+        in
+        let i = c land (page_cells - 1) in
+        pg.slots.(i) <- s;
+        Bytes.set_uint8 pg.sizes i size
+      end
+    end
+end
+
+(* Per-block scratch space, allocated once at [create] and reused on
+   every execution of the block (the stepping loop runs one block at a
+   time, so reuse cannot race). [esh] carries the shadow slot of the
+   expression [eval] just returned — an out-parameter, so the hot
+   evaluator never allocates a (value, slot) pair per node. *)
+type frame = {
+  temps : Vex.Value.t array;
+  tshadow : slot array;
+  mutable esh : slot;
+}
+
 type state = {
   prog : Vex.Ir.prog;
   threshold : float;
   fatal : bool;
   info : Vex.Typeinfer.t;
   mem : Bytes.t;
+  (* exclusive upper bound of client memory traffic this run; the
+     scratch pool re-zeroes only [0, mem_hw) on reuse *)
+  mutable mem_hw : int;
   thread : Bytes.t;
-  mem_shadow : TF.t Vex.Shadowtbl.t;
-  thread_shadow : TF.t Vex.Shadowtbl.t;
+  (* the tables hold whole [SF] slots, not bare dd values: a load can
+     then return the stored box as-is and a store re-insert it, so the
+     hot loop never re-wraps a shadow it just read *)
+  mem_shadow : Stbl.t;
+  thread_shadow : Stbl.t;
   findings : (int, finding) Hashtbl.t;
+  (* the same findings indexed [block].(stmt): check sites hit their
+     entry with two array reads instead of a hash probe *)
+  findings_by_stmt : finding option array array;
+  frames : frame array;  (* per-block scratch, reused across executions *)
+  temp_inits : Vex.Value.t array array;  (* pristine temps per block *)
   inputs : float array;
   mutable outputs : Vex.Machine.output list;  (* reversed *)
   stats : stats;
   max_steps : int;
 }
+
+(* A per-domain pool of one client-memory buffer. Zeroing a fresh 1 MiB
+   [Bytes.make] per execution costs more than many sanitize runs do, so
+   [run] parks its buffer here on exit and [create] re-zeroes only the
+   prefix the previous run actually touched ([mem_hw], which bounds
+   every load and store) — a read above the watermark still sees the
+   zeros the machine semantics promise. *)
+let scratch_pool : (Bytes.t * int) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let acquire_mem mem_size : Bytes.t =
+  let pool = Domain.DLS.get scratch_pool in
+  match !pool with
+  | Some (b, hw) when Bytes.length b = mem_size ->
+      pool := None;
+      Bytes.fill b 0 (min hw mem_size) '\000';
+      b
+  | _ -> Bytes.make mem_size '\000'
+
+let release_mem (mem : Bytes.t) (mem_hw : int) : unit =
+  let pool = Domain.DLS.get scratch_pool in
+  pool := Some (mem, mem_hw)
 
 let create ?(mem_size = Vex.Machine.default_mem_size) ?(max_steps = max_int)
     ?(inputs = [||]) ?(fatal = false) (cfg : Core.Config.t) prog =
@@ -90,11 +221,32 @@ let create ?(mem_size = Vex.Machine.default_mem_size) ?(max_steps = max_int)
     threshold = cfg.Core.Config.error_threshold;
     fatal;
     info;
-    mem = Bytes.make mem_size '\000';
+    mem = acquire_mem mem_size;
+    mem_hw = 0;
     thread = Bytes.make Vex.Machine.default_thread_size '\000';
-    mem_shadow = Vex.Shadowtbl.create 1024;
-    thread_shadow = Vex.Shadowtbl.create 64;
+    mem_shadow = Stbl.create mem_size;
+    thread_shadow = Stbl.create Vex.Machine.default_thread_size;
     findings = Hashtbl.create 64;
+    findings_by_stmt =
+      Array.map
+        (fun (b : Vex.Ir.block) ->
+          Array.make (Array.length b.Vex.Ir.stmts) None)
+        prog.Vex.Ir.blocks;
+    frames =
+      Array.map
+        (fun (b : Vex.Ir.block) ->
+          let n = Array.length b.Vex.Ir.temp_tys in
+          {
+            temps = Array.map Vex.Machine.init_value b.Vex.Ir.temp_tys;
+            tshadow = Array.make n SNone;
+            esh = SNone;
+          })
+        prog.Vex.Ir.blocks;
+    temp_inits =
+      Array.map
+        (fun (b : Vex.Ir.block) ->
+          Array.map Vex.Machine.init_value b.Vex.Ir.temp_tys)
+        prog.Vex.Ir.blocks;
     inputs;
     outputs = [];
     stats =
@@ -111,7 +263,9 @@ let create ?(mem_size = Vex.Machine.default_mem_size) ?(max_steps = max_int)
 (* ---------- findings ---------- *)
 
 let finding_entry st id loc kind =
-  match Hashtbl.find_opt st.findings id with
+  let row = st.findings_by_stmt.(Vex.Ir.stmt_id_block id) in
+  let si = Vex.Ir.stmt_id_stmt id in
+  match row.(si) with
   | Some f -> f
   | None ->
       let f =
@@ -127,6 +281,7 @@ let finding_entry st id loc kind =
           f_nonfinite_hits = 0;
         }
       in
+      row.(si) <- Some f;
       Hashtbl.replace st.findings id f;
       f
 
@@ -170,39 +325,26 @@ let sf_of (v : float) (sl : slot) : TF.t =
 let check_mem st addr size =
   if addr < 0 || addr + size > Bytes.length st.mem then
     raise (Client_error (Printf.sprintf "memory access out of bounds: %d" addr))
+  else if addr + size > st.mem_hw then st.mem_hw <- addr + size
+
+(* the stored slot at exactly [off]/[size], or SNone — allocation-free *)
+let tbl_slot tbl off size : slot =
+  match Stbl.get tbl off size with
+  | s -> s
+  | exception Not_found -> SNone
 
 let load_shadow tbl off (ty : Vex.Ir.ty) : slot =
   match ty with
-  | Vex.Ir.F64 | Vex.Ir.I64 -> begin
-      match Vex.Shadowtbl.read tbl off 8 with
-      | Some d -> SF d
-      | None -> SNone
-    end
-  | Vex.Ir.F32 | Vex.Ir.I32 -> begin
-      match Vex.Shadowtbl.read tbl off 4 with
-      | Some d -> SF d
-      | None -> SNone
-    end
+  | Vex.Ir.F64 | Vex.Ir.I64 -> tbl_slot tbl off 8
+  | Vex.Ir.F32 | Vex.Ir.I32 -> tbl_slot tbl off 4
   | Vex.Ir.V128 -> begin
-      match
-        (Vex.Shadowtbl.read tbl off 8, Vex.Shadowtbl.read tbl (off + 8) 8)
-      with
-      | None, None -> begin
-          let lanes =
-            Array.init 4 (fun i ->
-                match Vex.Shadowtbl.read tbl (off + (4 * i)) 4 with
-                | Some d -> SF d
-                | None -> SNone)
-          in
+      match (tbl_slot tbl off 8, tbl_slot tbl (off + 8) 8) with
+      | SNone, SNone -> begin
+          let lanes = Array.init 4 (fun i -> tbl_slot tbl (off + (4 * i)) 4) in
           if Array.exists (fun s -> s <> SNone) lanes then SVec lanes
           else SNone
         end
-      | lo, hi ->
-          SVec
-            [|
-              (match lo with Some d -> SF d | None -> SNone);
-              (match hi with Some d -> SF d | None -> SNone);
-            |]
+      | lo, hi -> SVec [| lo; hi |]
     end
   | Vex.Ir.I1 | Vex.Ir.I8 | Vex.Ir.I16 -> SNone
 
@@ -212,20 +354,20 @@ let store_shadow tbl off (v : Vex.Value.t) (sh : slot) =
       let lane_size = if Array.length lanes = 2 then 8 else 4 in
       Array.iteri
         (fun i sl ->
-          Vex.Shadowtbl.write tbl
-            (off + (lane_size * i))
-            lane_size
-            (match sl with SF d -> Some d | _ -> None))
+          match sl with
+          | SF _ -> Stbl.set tbl (off + (lane_size * i)) lane_size sl
+          | SNone | SBool _ | SVec _ ->
+              Stbl.clear_range tbl (off + (lane_size * i)) lane_size)
         lanes
-  | Vex.Value.VV128 _, _ -> Vex.Shadowtbl.clear_range tbl off 16
-  | v, SF d ->
+  | Vex.Value.VV128 _, _ -> Stbl.clear_range tbl off 16
+  | v, (SF _ as s) ->
       let size =
         match Vex.Value.ty_of v with
         | Vex.Ir.F32 | Vex.Ir.I32 -> 4
         | _ -> 8
       in
-      Vex.Shadowtbl.write tbl off size (Some d)
-  | v, _ -> Vex.Shadowtbl.clear_range tbl off (Vex.Ir.ty_size (Vex.Value.ty_of v))
+      Stbl.set tbl off size s
+  | v, _ -> Stbl.clear_range tbl off (Vex.Ir.ty_size (Vex.Value.ty_of v))
 
 (* ---------- shadowed operations ---------- *)
 
@@ -351,9 +493,8 @@ let shadow_unop st ~loc ~stmt_id (op : Vex.Ir.unop) (av : Vex.Value.t)
       | _ -> SNone
     end
 
-let shadow_binop st (op : Vex.Ir.binop) (a : Vex.Value.t * slot)
-    (b : Vex.Value.t * slot) (result : Vex.Value.t) : slot =
-  let av, ash = a and bv, bsh = b in
+let shadow_binop st (op : Vex.Ir.binop) (av : Vex.Value.t) (ash : slot)
+    (bv : Vex.Value.t) (bsh : slot) (result : Vex.Value.t) : slot =
   let f64_op dd_fn =
     st.stats.shadow_ops <- st.stats.shadow_ops + 1;
     SF
@@ -452,51 +593,61 @@ let shadow_binop st (op : Vex.Ir.binop) (a : Vex.Value.t * slot)
 
 (* ---------- statement and block loop ---------- *)
 
-type frame = { temps : Vex.Value.t array; tshadow : slot array }
-
 exception Exit_to of int
 
-let rec eval st fr ~loc ~stmt_id (e : Vex.Ir.expr) : Vex.Value.t * slot =
+(* the client value of [e]; its shadow slot is left in [fr.esh] *)
+let rec eval st fr ~loc ~stmt_id (e : Vex.Ir.expr) : Vex.Value.t =
   match e with
-  | Vex.Ir.RdTmp t -> (fr.temps.(t), fr.tshadow.(t))
-  | Vex.Ir.Const c -> (Vex.Value.of_const c, SNone)
+  | Vex.Ir.RdTmp t ->
+      fr.esh <- fr.tshadow.(t);
+      fr.temps.(t)
+  | Vex.Ir.Const c ->
+      fr.esh <- SNone;
+      Vex.Value.of_const c
   | Vex.Ir.LabelAddr l ->
-      (Vex.Value.VI64 (Int64.of_int (Vex.Ir.block_index st.prog l)), SNone)
+      fr.esh <- SNone;
+      Vex.Value.VI64 (Int64.of_int (Vex.Ir.block_index st.prog l))
   | Vex.Ir.Get (off, ty) ->
-      (Vex.Value.read_bytes st.thread off ty, load_shadow st.thread_shadow off ty)
+      fr.esh <- load_shadow st.thread_shadow off ty;
+      Vex.Value.read_bytes st.thread off ty
   | Vex.Ir.Load (ty, a) ->
-      let av, _ = eval st fr ~loc ~stmt_id a in
+      let av = eval st fr ~loc ~stmt_id a in
       let addr = Int64.to_int (Vex.Value.as_i64 av) in
       check_mem st addr (Vex.Ir.ty_size ty);
-      (Vex.Value.read_bytes st.mem addr ty, load_shadow st.mem_shadow addr ty)
+      fr.esh <- load_shadow st.mem_shadow addr ty;
+      Vex.Value.read_bytes st.mem addr ty
   | Vex.Ir.Unop (op, a) ->
-      let av, ash = eval st fr ~loc ~stmt_id a in
+      let av = eval st fr ~loc ~stmt_id a in
+      let ash = fr.esh in
       let v = Vex.Eval.eval_unop op av in
-      (v, shadow_unop st ~loc ~stmt_id op av ash v)
+      fr.esh <- shadow_unop st ~loc ~stmt_id op av ash v;
+      v
   | Vex.Ir.Binop (op, a, b) ->
-      let av, ash = eval st fr ~loc ~stmt_id a in
-      let bv, bsh = eval st fr ~loc ~stmt_id b in
+      let av = eval st fr ~loc ~stmt_id a in
+      let ash = fr.esh in
+      let bv = eval st fr ~loc ~stmt_id b in
+      let bsh = fr.esh in
       let v = Vex.Eval.eval_binop op av bv in
-      (v, shadow_binop st op (av, ash) (bv, bsh) v)
+      fr.esh <- shadow_binop st op av ash bv bsh v;
+      v
   | Vex.Ir.ITE (g, t, e2) ->
-      let gv, gsh = eval st fr ~loc ~stmt_id g in
+      let gv = eval st fr ~loc ~stmt_id g in
       let taken = Vex.Value.as_bool gv in
       (* an ITE guarded by a float comparison is a branch check point *)
-      (match gsh with
+      (match fr.esh with
       | SBool sb -> record_branch st ~loc ~stmt_id sb
       | SNone | SF _ | SVec _ -> ());
       if taken then eval st fr ~loc ~stmt_id t else eval st fr ~loc ~stmt_id e2
 
 let run_block st (bidx : int) : int =
   let b = st.prog.Vex.Ir.blocks.(bidx) in
-  let fr =
-    {
-      temps = Array.map Vex.Machine.init_value b.Vex.Ir.temp_tys;
-      tshadow = Array.make (Array.length b.Vex.Ir.temp_tys) SNone;
-    }
-  in
+  let fr = st.frames.(bidx) in
+  let nt = Array.length fr.temps in
+  Array.blit st.temp_inits.(bidx) 0 fr.temps 0 nt;
+  Array.fill fr.tshadow 0 nt SNone;
   let cur_loc = ref Vex.Ir.no_loc in
   let n = Array.length b.Vex.Ir.stmts in
+  let actions = Vex.Typeinfer.block_actions st.info ~block:bidx in
   (* the fast path shares the uninstrumented evaluator shape with
      [Core.Exec]: statements that provably touch no floats skip shadow
      plumbing entirely *)
@@ -526,8 +677,7 @@ let run_block st (bidx : int) : int =
     else begin
       st.stats.stmts_run <- st.stats.stmts_run + 1;
       let stmt_id = Vex.Ir.stmt_id ~block:bidx ~stmt:i in
-      let action = Vex.Typeinfer.action st.info ~block:bidx ~stmt:i in
-      (match (b.Vex.Ir.stmts.(i), action) with
+      (match (b.Vex.Ir.stmts.(i), actions.(i)) with
       | Vex.Ir.IMark l, _ -> cur_loc := l
       (* fast paths allowed by type inference *)
       | Vex.Ir.WrTmp (t, e), Vex.Typeinfer.Skip -> fr.temps.(t) <- fast_eval e
@@ -536,14 +686,14 @@ let run_block st (bidx : int) : int =
             raise (Exit_to (Vex.Ir.block_index st.prog l))
       | Vex.Ir.Put (off, e), Vex.Typeinfer.Clear ->
           let v = fast_eval e in
-          Vex.Shadowtbl.clear_range st.thread_shadow off
+          Stbl.clear_range st.thread_shadow off
             (Vex.Ir.ty_size (Vex.Value.ty_of v));
           Vex.Value.write_bytes st.thread off v
       | Vex.Ir.Store (a, v), Vex.Typeinfer.Clear ->
           let addr = Int64.to_int (Vex.Value.as_i64 (fast_eval a)) in
           let value = fast_eval v in
           check_mem st addr (Vex.Ir.ty_size (Vex.Value.ty_of value));
-          Vex.Shadowtbl.clear_range st.mem_shadow addr
+          Stbl.clear_range st.mem_shadow addr
             (Vex.Ir.ty_size (Vex.Value.ty_of value));
           Vex.Value.write_bytes st.mem addr value
       | stmt, _ -> begin
@@ -552,17 +702,18 @@ let run_block st (bidx : int) : int =
           match stmt with
           | Vex.Ir.IMark _ -> ()
           | Vex.Ir.WrTmp (t, e) ->
-              let v, sh = eval st fr ~loc ~stmt_id e in
+              let v = eval st fr ~loc ~stmt_id e in
               fr.temps.(t) <- v;
-              fr.tshadow.(t) <- sh
+              fr.tshadow.(t) <- fr.esh
           | Vex.Ir.Put (off, e) ->
-              let v, sh = eval st fr ~loc ~stmt_id e in
-              store_shadow st.thread_shadow off v sh;
+              let v = eval st fr ~loc ~stmt_id e in
+              store_shadow st.thread_shadow off v fr.esh;
               Vex.Value.write_bytes st.thread off v
           | Vex.Ir.Store (a, ve) ->
-              let av, _ = eval st fr ~loc ~stmt_id a in
+              let av = eval st fr ~loc ~stmt_id a in
               let addr = Int64.to_int (Vex.Value.as_i64 av) in
-              let v, sh = eval st fr ~loc ~stmt_id ve in
+              let v = eval st fr ~loc ~stmt_id ve in
+              let sh = fr.esh in
               check_mem st addr (Vex.Ir.ty_size (Vex.Value.ty_of v));
               (* NSan's store check: how far has this value drifted by
                  the time it is written back to memory? *)
@@ -582,16 +733,18 @@ let run_block st (bidx : int) : int =
                 List.map (fun a -> eval st fr ~loc ~stmt_id a) args
               in
               let k =
-                match evaluated with
-                | [ (v, _) ] -> Vex.Value.as_f64 v
-                | _ -> 0.0
+                match evaluated with [ v ] -> Vex.Value.as_f64 v | _ -> 0.0
               in
               let client = Vex.Machine.nth_input st.inputs k in
               fr.temps.(t) <- Vex.Value.VF64 client;
               fr.tshadow.(t) <- SF (TF.of_float client)
           | Vex.Ir.Dirty (t, name, args) ->
               let evaluated =
-                List.map (fun a -> eval st fr ~loc ~stmt_id a) args
+                List.map
+                  (fun a ->
+                    let v = eval st fr ~loc ~stmt_id a in
+                    (v, fr.esh))
+                  args
               in
               let fargs =
                 Array.of_list
@@ -608,14 +761,15 @@ let run_block st (bidx : int) : int =
               fr.temps.(t) <- Vex.Value.VF64 client;
               fr.tshadow.(t) <- SF (TF.libm_apply name dd_args)
           | Vex.Ir.Exit (g, l) ->
-              let gv, gsh = eval st fr ~loc ~stmt_id g in
-              (match gsh with
+              let gv = eval st fr ~loc ~stmt_id g in
+              (match fr.esh with
               | SBool sb -> record_branch st ~loc ~stmt_id sb
               | SNone | SF _ | SVec _ -> ());
               if Vex.Value.as_bool gv then
                 raise (Exit_to (Vex.Ir.block_index st.prog l))
           | Vex.Ir.Out (kind, e) ->
-              let v, sh = eval st fr ~loc ~stmt_id e in
+              let v = eval st fr ~loc ~stmt_id e in
+              let sh = fr.esh in
               (match kind with
               | Vex.Ir.OutMark -> () (* user spot mark: not a program output *)
               | Vex.Ir.OutFloat | Vex.Ir.OutInt ->
@@ -656,15 +810,18 @@ type result = {
 let run ?mem_size ?max_steps ?inputs ?tick ?fatal (cfg : Core.Config.t)
     (prog : Vex.Ir.prog) : result =
   let st = create ?mem_size ?max_steps ?inputs ?fatal cfg prog in
-  let error msg = Client_error msg in
-  st.stats.blocks_run <-
-    Vex.Machine.drive ~max_steps:st.max_steps ?tick ~error st.prog
-      ~run_block:(run_block st);
-  {
-    sx_findings = st.findings;
-    sx_outputs = List.rev st.outputs;
-    sx_stats = st.stats;
-  }
+  Fun.protect
+    ~finally:(fun () -> release_mem st.mem st.mem_hw)
+    (fun () ->
+      let error msg = Client_error msg in
+      st.stats.blocks_run <-
+        Vex.Machine.drive ~max_steps:st.max_steps ?tick ~error st.prog
+          ~run_block:(run_block st);
+      {
+        sx_findings = st.findings;
+        sx_outputs = List.rev st.outputs;
+        sx_stats = st.stats;
+      })
 
 let outputs r = r.sx_outputs
 

@@ -53,6 +53,9 @@ type t = {
   m_job_seconds : Metrics.histogram;
   m_sanitize_jobs : Metrics.counter;  (* sanitizer-engine jobs by status *)
   m_sanitize_findings : Metrics.counter;  (* findings those jobs reported *)
+  m_tiered_jobs : Metrics.counter;  (* tiered-engine jobs by status *)
+  m_tiered_escalations : Metrics.counter;  (* jobs that ran pass 2 *)
+  m_tiered_slice_stmts : Metrics.counter;  (* statements escalated *)
   m_store_corrupt : Metrics.gauge;
   cache_mu : Mutex.t;
   cache : (string, Fleet.outcome) Hashtbl.t;
@@ -86,6 +89,19 @@ let install_observer t =
             | Some p ->
                 Metrics.inc ~by:(float_of_int p.Fleet.p_metrics.Fleet.m_causes)
                   t.m_sanitize_findings []
+            | None -> ()
+          end;
+          if o.Fleet.o_engine = "tiered" then begin
+            Metrics.inc t.m_tiered_jobs
+              [ Fleet.Store.status_to_string o.Fleet.o_status ];
+            match o.Fleet.o_payload with
+            | Some p ->
+                Metrics.inc
+                  ~by:(float_of_int p.Fleet.p_metrics.Fleet.m_escalations)
+                  t.m_tiered_escalations [];
+                Metrics.inc
+                  ~by:(float_of_int p.Fleet.p_metrics.Fleet.m_slice_stmts)
+                  t.m_tiered_slice_stmts []
             | None -> ()
           end);
     }
@@ -143,6 +159,23 @@ let create (cfg : config) : t =
       ~help:"Findings reported by finished sanitizer-engine jobs."
       "fpgrind_sanitize_findings_total"
   in
+  let m_tiered_jobs =
+    Metrics.counter reg ~labels:[ "status" ]
+      ~help:"Tiered-engine jobs finished, by outcome status."
+      "fpgrind_tiered_jobs_total"
+  in
+  let m_tiered_escalations =
+    Metrics.counter reg
+      ~help:
+        "Tiered-engine jobs whose sanitizer pass flagged spots and ran the \
+         full-precision escalation pass."
+      "fpgrind_tiered_escalations_total"
+  in
+  let m_tiered_slice_stmts =
+    Metrics.counter reg
+      ~help:"Statements escalated to full precision by tiered-engine jobs."
+      "fpgrind_tiered_slice_stmts_total"
+  in
   let m_store_corrupt =
     Metrics.gauge reg
       ~help:"Truncated trailing JSONL store records skipped since start."
@@ -194,6 +227,9 @@ let create (cfg : config) : t =
       m_job_seconds;
       m_sanitize_jobs;
       m_sanitize_findings;
+      m_tiered_jobs;
+      m_tiered_escalations;
+      m_tiered_slice_stmts;
       m_store_corrupt;
       cache_mu = Mutex.create ();
       cache;
@@ -238,8 +274,8 @@ let cfg_of_query ?engine rq : Core.Config.t =
         | Some e -> e
         | None ->
             Http.fail 400
-              (Printf.sprintf "unknown engine %S (expected full or sanitize)"
-                 name))
+              (Printf.sprintf
+                 "unknown engine %S (expected full, sanitize or tiered)" name))
   in
   {
     Core.Config.default with
@@ -306,6 +342,10 @@ let analyze_spec ?engine (rq : Http.request) : Fleet.spec =
       | Core.Config.Sanitize ->
           let r = Sanitize.Sexec.run ~max_steps ~inputs ~tick cfg prog in
           Fleet.san_payload_for ~name ~group:kind r
+      | Core.Config.Tiered ->
+          let nodes0 = Core.Trace.created_in_domain () in
+          let r = Tiered.analyze ~cfg ~max_steps ~inputs ~tick prog in
+          Fleet.tiered_payload_for ~name ~group:kind ~nodes0 r
     in
     {
       Fleet.sp_name = name;
@@ -380,6 +420,8 @@ let fuzz_spec (rq : Http.request) ~timeout : Fleet.spec =
           m_causes = List.length failures;
           m_compensations = 0;
           m_err_max = 0.0;
+          m_escalations = 0;
+          m_slice_stmts = 0;
         };
       p_summary =
         Printf.sprintf "fuzz seed %d: %d programs, %d divergent, %d skipped"

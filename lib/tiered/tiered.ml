@@ -1,0 +1,88 @@
+(* The tiered-precision engine: sanitizer triage, then selective
+   full-precision escalation.
+
+   Pass 1 runs the program under the NSan-style double-double sanitizer
+   ([Sanitize.Sexec]) — cheap, hardware arithmetic. If nothing fires,
+   that is the verdict: no escalation, no Bigfloat work at all. If
+   checks fired, the escalation planner turns the flagged observation
+   points into slice seeds, [Vex.Slice] closes them under backward data
+   dependencies, and pass 2 re-runs the program under the full
+   Herbgrind-style engine ([Core.Analysis]) restricted to that slice:
+   on-slice statements get the complete treatment (shadow reals, traces,
+   influences), everything else runs machine-only.
+
+   The consistency contract is one-directional: every spot the tiered
+   engine reports is bit-identical to the full engine's record for that
+   spot (the slice closure means on-slice shadows never see a machine
+   re-seed the full engine wouldn't). Spots the sanitizer's ~106-bit
+   shadow cannot see — error or flip margins below dd resolution — may
+   be missing entirely; that is the triage bargain. *)
+
+type result = {
+  t_san : Sanitize.Sexec.result;  (* pass 1, always present *)
+  t_full : Core.Analysis.result option;  (* pass 2; [None] = no escalation *)
+  t_seeds : int list;  (* flagged stmt ids that seeded the slice *)
+  t_slice_stmts : int;  (* statements in the escalated slice *)
+  t_cfg : Core.Config.t;
+}
+
+(* The escalation planner: which pass-1 findings become slice seeds.
+   Only spot-kind checks qualify — comparisons, casts and outputs are
+   the observation points the full engine reports on. Store checks are
+   NSan's extra early-warning surface with no full-engine counterpart;
+   seeding on them would drag entire value chains into the slice for
+   spots the report cannot mention. Uncertain flips count (the full
+   engine may resolve them into real incorrect instances), and so do
+   nonfinite output instances (the full engine reports nan outputs at
+   full error regardless of measured bits). *)
+let plan (san : Sanitize.Sexec.result) : int list =
+  Hashtbl.fold
+    (fun id (f : Sanitize.Sexec.finding) acc ->
+      match f.Sanitize.Sexec.f_kind with
+      | Sanitize.Sexec.Check_store -> acc
+      | Sanitize.Sexec.Check_cmp | Sanitize.Sexec.Check_cast
+      | Sanitize.Sexec.Check_output ->
+          if
+            f.Sanitize.Sexec.f_hits > 0
+            || f.Sanitize.Sexec.f_uncertain > 0
+            || f.Sanitize.Sexec.f_nonfinite_hits > 0
+          then id :: acc
+          else acc)
+    san.Sanitize.Sexec.sx_findings []
+  |> List.sort compare
+
+let escalated (r : result) : bool = r.t_full <> None
+
+let analyze ?mem_size ?max_steps ?inputs ?tick
+    ?(cfg = { Core.Config.default with Core.Config.engine = Core.Config.Tiered })
+    (prog : Vex.Ir.prog) : result =
+  let san = Sanitize.Sexec.run ?mem_size ?max_steps ?inputs ?tick cfg prog in
+  let seeds = plan san in
+  match seeds with
+  | [] -> { t_san = san; t_full = None; t_seeds = []; t_slice_stmts = 0; t_cfg = cfg }
+  | _ ->
+      let slice = Vex.Slice.compute prog ~seeds in
+      let full =
+        Core.Analysis.analyze ~cfg ?mem_size ?max_steps ?inputs
+          ~restrict:(Vex.Slice.contains slice) ?tick prog
+      in
+      {
+        t_san = san;
+        t_full = Some full;
+        t_seeds = seeds;
+        t_slice_stmts = Vex.Slice.size slice;
+        t_cfg = cfg;
+      }
+
+(* Report passthrough: pass 2's report when escalated; otherwise the
+   full engine's clean-program rendering, so a clean program reads the
+   same under either engine. *)
+let report_string (r : result) : string =
+  match r.t_full with
+  | Some full -> Core.Analysis.report_string full
+  | None -> "No floating-point problems found.\n"
+
+let outputs (r : result) : Vex.Machine.output list =
+  match r.t_full with
+  | Some full -> full.Core.Analysis.raw.Core.Exec.r_outputs
+  | None -> Sanitize.Sexec.outputs r.t_san

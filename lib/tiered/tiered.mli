@@ -1,0 +1,53 @@
+(** The tiered-precision engine: sanitizer triage + selective
+    full-precision escalation.
+
+    Pass 1 runs the double-double sanitizer over the whole program; if
+    checks fired, pass 2 re-runs it under the full Bigfloat engine
+    restricted to the backward slice of the flagged spots
+    ({!Vex.Slice}), so the expensive shadow-real machinery only touches
+    statements that can flow into a reported spot.
+
+    Consistency contract (one-directional): every spot the tiered
+    engine reports is bit-identical to the full engine's record for
+    that spot. Spots below the dd shadow's resolution may be missed —
+    that is the triage trade. The fuzz tiered-consistency oracle and
+    [test/test_tiered.ml] enforce the contract. *)
+
+type result = {
+  t_san : Sanitize.Sexec.result;  (** pass 1, always present *)
+  t_full : Core.Analysis.result option;
+      (** pass 2, restricted to the escalated slice; [None] when pass 1
+          flagged nothing *)
+  t_seeds : int list;  (** flagged statement ids that seeded the slice *)
+  t_slice_stmts : int;  (** statements in the escalated slice (0 if none) *)
+  t_cfg : Core.Config.t;
+}
+
+val plan : Sanitize.Sexec.result -> int list
+(** The escalation planner: statement ids of pass-1 findings that
+    qualify as slice seeds — fired (or uncertain, or nonfinite-output)
+    comparison/cast/output checks. Store checks never seed: they have no
+    full-engine spot counterpart. Sorted ascending. *)
+
+val analyze :
+  ?mem_size:int ->
+  ?max_steps:int ->
+  ?inputs:float array ->
+  ?tick:(unit -> unit) ->
+  ?cfg:Core.Config.t ->
+  Vex.Ir.prog ->
+  result
+(** Run both passes. [cfg] defaults to {!Core.Config.default} with the
+    engine set to [Tiered]; the sanitizer pass reads [error_threshold],
+    the escalation pass every other knob. *)
+
+val escalated : result -> bool
+(** Whether pass 2 ran. *)
+
+val report_string : result -> string
+(** Pass 2's root-cause report, or the engine's clean-program line when
+    nothing escalated. *)
+
+val outputs : result -> Vex.Machine.output list
+(** The client program's outputs (from pass 2 when it ran, else pass 1);
+    bit-identical to {!Vex.Machine.run}'s either way. *)

@@ -9,15 +9,18 @@ type 'a t = (int, 'a * int) Hashtbl.t
 
 let create n : 'a t = Hashtbl.create n
 
-(* remove shadows overlapping [addr, addr+size) *)
+(* remove shadows overlapping [addr, addr+size); the probe is
+   exception-based rather than [find_opt] so the scan allocates
+   nothing — this sits on the store path of every engine *)
 let clear_range (tbl : 'a t) addr size =
   let lo = addr - 12 in
   let off = ref lo in
   while !off < addr + size do
-    (match Hashtbl.find_opt tbl !off with
-    | Some (_, esize) when !off + esize > addr && !off < addr + size ->
+    (match Hashtbl.find tbl !off with
+    | _, esize when !off + esize > addr && !off < addr + size ->
         Hashtbl.remove tbl !off
-    | Some _ | None -> ());
+    | _ -> ()
+    | exception Not_found -> ());
     off := !off + 4
   done
 
@@ -27,7 +30,15 @@ let write (tbl : 'a t) addr size (sh : 'a option) =
   | Some s -> Hashtbl.replace tbl addr (s, size)
   | None -> ()
 
+let set (tbl : 'a t) addr size (sh : 'a) =
+  clear_range tbl addr size;
+  Hashtbl.replace tbl addr (sh, size)
+
 let read (tbl : 'a t) addr size : 'a option =
   match Hashtbl.find_opt tbl addr with
   | Some (s, esize) when esize = size -> Some s
   | Some _ | None -> None
+
+let get (tbl : 'a t) addr size : 'a =
+  let s, esize = Hashtbl.find tbl addr in
+  if esize = size then s else raise Not_found

@@ -20,3 +20,11 @@ val write : 'a t -> int -> int -> 'a option -> unit
 val read : 'a t -> int -> int -> 'a option
 (** [read tbl addr size] returns the entry at exactly [addr] with
     exactly [size] bytes, if any. *)
+
+val set : 'a t -> int -> int -> 'a -> unit
+(** [write] with a present payload, minus the option allocation — for
+    engines whose store path is allocation-sensitive. *)
+
+val get : 'a t -> int -> int -> 'a
+(** [read] minus the option allocation: returns the entry at exactly
+    [addr]/[size] or raises [Not_found]. *)

@@ -1,0 +1,230 @@
+(* Static backward slicing over VEX programs, for the tiered engine.
+
+   Given seed statements (the spots the sanitizer flagged), compute the
+   set of statements whose values can flow into a seed — the statements
+   the full engine must shadow exactly to reproduce its report at those
+   spots bit for bit. The slice is static and over-approximate, which is
+   what the bit-identity argument needs: every producer of an on-slice
+   statement's inputs is itself on-slice, so no shadow is ever re-seeded
+   from a machine value where the full engine would have carried a real.
+
+   Dependency edges, all conservative:
+   - [RdTmp t]     -> every writer of [t] in the same block (temps are
+                      block-local);
+   - [Get(off,ty)] -> every [Put] program-wide whose static byte range
+                      overlaps [off, off+size) (the Put value's size is
+                      computed from its expression's result type);
+   - [Load]        -> every [Store] program-wide whose address class may
+                      alias the load's (below);
+   - every subexpression counts, including addresses and ITE guards:
+     the instrumented executor evaluates address expressions with full
+     instrumentation, so their producers must be exact too.
+
+   Address classes. Every named MiniC variable lives in memory (stack
+   frame or global segment), so "Load -> every Store" would pull the
+   whole program into any slice and forfeit the tiered engine's
+   throughput. A tiny symbolic evaluator resolves address expressions
+   through single-assignment temps into three classes:
+
+   - [Abs k]: a constant address — the global segment;
+   - [Rel k]: frame-pointer- or stack-pointer-relative at constant
+     offset k. The two registers share one coordinate system: the
+     code generator sets the callee's fp to the caller's sp, so a
+     caller's argument store at sp+k is the callee's local at fp+k.
+     Within one function sp = fp + framesize keeps its offsets beyond
+     every local's, so unifying them never claims a false non-alias;
+   - [Top]: anything else (computed indices, pointer loads) — aliases
+     everything.
+
+   [Abs] and [Rel] never alias each other: the generator lays globals
+   out below [stack_base] and every frame at or above it. [frame_regs]
+   names the thread-state offsets that hold stack addresses by that
+   convention; pass [~frame_regs:[]] for VEX code that does not follow
+   it and every frame access degrades to [Top]. *)
+
+type t = {
+  members : bool array array;  (* [block].(stmt) *)
+  mutable n_members : int;
+}
+
+let contains (t : t) (id : int) : bool =
+  let b = Ir.stmt_id_block id and s = Ir.stmt_id_stmt id in
+  b < Array.length t.members
+  && s < Array.length t.members.(b)
+  && t.members.(b).(s)
+
+let size (t : t) : int = t.n_members
+
+(* result type of an expression, given the enclosing block's temp types *)
+let rec expr_ty (temp_tys : Ir.ty array) (e : Ir.expr) : Ir.ty =
+  match e with
+  | Ir.RdTmp t -> temp_tys.(t)
+  | Ir.Const c -> Ir.const_ty c
+  | Ir.LabelAddr _ -> Ir.I64
+  | Ir.Get (_, ty) -> ty
+  | Ir.Load (ty, _) -> ty
+  | Ir.Unop (op, _) -> Ir.unop_result_ty op
+  | Ir.Binop (op, _, _) -> Ir.binop_result_ty op
+  | Ir.ITE (_, th, _) -> expr_ty temp_tys th
+
+(* ---------- address classification ---------- *)
+
+type aval = Abs of int64 | Rel of int64 | Top
+
+(* resolve [e] through the block's single-assignment temps; [fuel]
+   bounds pathological definition chains *)
+let rec aeval (frame_regs : int list) (tdef : Ir.expr option array)
+    (fuel : int) (e : Ir.expr) : aval =
+  if fuel = 0 then Top
+  else
+    let recur = aeval frame_regs tdef (fuel - 1) in
+    match e with
+    | Ir.Const (Ir.CI64 c) -> Abs c
+    | Ir.Const _ | Ir.LabelAddr _ -> Top
+    | Ir.Get (off, Ir.I64) when List.mem off frame_regs -> Rel 0L
+    | Ir.Get _ -> Top
+    | Ir.RdTmp t -> (
+        match tdef.(t) with Some d -> recur d | None -> Top)
+    | Ir.Binop (Ir.Add64, a, b) -> (
+        match (recur a, recur b) with
+        | Abs x, Abs y -> Abs (Int64.add x y)
+        | Rel x, Abs y | Abs y, Rel x -> Rel (Int64.add x y)
+        | _ -> Top)
+    | Ir.Binop (Ir.Sub64, a, b) -> (
+        match (recur a, recur b) with
+        | Abs x, Abs y -> Abs (Int64.sub x y)
+        | Rel x, Abs y -> Rel (Int64.sub x y)
+        | _ -> Top)
+    | Ir.Binop (Ir.Mul64, a, b) -> (
+        match (recur a, recur b) with
+        | Abs x, Abs y -> Abs (Int64.mul x y)
+        | _ -> Top)
+    | Ir.Unop _ | Ir.Binop _ | Ir.Load _ | Ir.ITE _ -> Top
+
+let ranges_overlap x sx y sy =
+  let open Int64 in
+  compare x (add y (of_int sy)) < 0 && compare y (add x (of_int sx)) < 0
+
+let may_alias (a : aval) (sa : int) (b : aval) (sb : int) : bool =
+  match (a, b) with
+  | Top, _ | _, Top -> true
+  | Abs x, Abs y | Rel x, Rel y -> ranges_overlap x sa y sb
+  | Abs _, Rel _ | Rel _, Abs _ -> false
+
+let compute ?(frame_regs = [ 0; 8 ]) (prog : Ir.prog) ~(seeds : int list) : t =
+  let nb = Array.length prog.Ir.blocks in
+  let members =
+    Array.map (fun b -> Array.make (Array.length b.Ir.stmts) false)
+      prog.Ir.blocks
+  in
+  (* per-block temp writers: writers.(b).(t) = stmt indices writing t,
+     and the defining expression when the write is unique (for address
+     resolution; Dirty results and re-written temps resolve to Top) *)
+  let writers =
+    Array.map
+      (fun (b : Ir.block) ->
+        let w = Array.make (Array.length b.Ir.temp_tys) [] in
+        Array.iteri
+          (fun i s ->
+            match s with
+            | Ir.WrTmp (t, _) | Ir.Dirty (t, _, _) -> w.(t) <- i :: w.(t)
+            | _ -> ())
+          b.Ir.stmts;
+        w)
+      prog.Ir.blocks
+  in
+  let tdefs =
+    Array.map
+      (fun (b : Ir.block) ->
+        let d = Array.make (Array.length b.Ir.temp_tys) None in
+        let seen = Array.make (Array.length b.Ir.temp_tys) 0 in
+        Array.iter
+          (fun s ->
+            match s with
+            | Ir.WrTmp (t, e) ->
+                seen.(t) <- seen.(t) + 1;
+                d.(t) <- (if seen.(t) = 1 then Some e else None)
+            | Ir.Dirty (t, _, _) ->
+                seen.(t) <- seen.(t) + 1;
+                d.(t) <- None
+            | _ -> ())
+          b.Ir.stmts;
+        d)
+      prog.Ir.blocks
+  in
+  let addr_class bi e = aeval frame_regs tdefs.(bi) 64 e in
+  (* program-wide Put ranges and classified Store sites *)
+  let puts = ref [] and stores = ref [] in
+  Array.iteri
+    (fun bi (b : Ir.block) ->
+      Array.iteri
+        (fun si s ->
+          match s with
+          | Ir.Put (off, e) ->
+              let size = Ir.ty_size (expr_ty b.Ir.temp_tys e) in
+              puts := (Ir.stmt_id ~block:bi ~stmt:si, off, size) :: !puts
+          | Ir.Store (a, v) ->
+              let size = Ir.ty_size (expr_ty b.Ir.temp_tys v) in
+              stores :=
+                (Ir.stmt_id ~block:bi ~stmt:si, addr_class bi a, size)
+                :: !stores
+          | _ -> ())
+        b.Ir.stmts)
+    prog.Ir.blocks;
+  let puts = !puts and stores = !stores in
+  let t = { members; n_members = 0 } in
+  let work = Queue.create () in
+  let add id =
+    let b = Ir.stmt_id_block id and s = Ir.stmt_id_stmt id in
+    if b >= nb || s >= Array.length members.(b) then
+      invalid_arg (Printf.sprintf "Slice.compute: bad stmt id %d" id)
+    else if not members.(b).(s) then begin
+      members.(b).(s) <- true;
+      t.n_members <- t.n_members + 1;
+      Queue.push id work
+    end
+  in
+  List.iter add seeds;
+  let rec dep_expr bi (b : Ir.block) (e : Ir.expr) =
+    match e with
+    | Ir.Const _ | Ir.LabelAddr _ -> ()
+    | Ir.RdTmp tmp ->
+        List.iter
+          (fun si -> add (Ir.stmt_id ~block:bi ~stmt:si))
+          writers.(bi).(tmp)
+    | Ir.Get (off, ty) ->
+        let size = Ir.ty_size ty in
+        List.iter
+          (fun (id, poff, psize) ->
+            if poff < off + size && off < poff + psize then add id)
+          puts
+    | Ir.Load (ty, a) ->
+        let la = addr_class bi a in
+        let lsize = Ir.ty_size ty in
+        List.iter
+          (fun (id, sa, ssize) -> if may_alias la lsize sa ssize then add id)
+          stores;
+        dep_expr bi b a
+    | Ir.Unop (_, a) -> dep_expr bi b a
+    | Ir.Binop (_, a, c) ->
+        dep_expr bi b a;
+        dep_expr bi b c
+    | Ir.ITE (g, th, el) ->
+        dep_expr bi b g;
+        dep_expr bi b th;
+        dep_expr bi b el
+  in
+  while not (Queue.is_empty work) do
+    let id = Queue.pop work in
+    let bi = Ir.stmt_id_block id and si = Ir.stmt_id_stmt id in
+    let b = prog.Ir.blocks.(bi) in
+    match b.Ir.stmts.(si) with
+    | Ir.IMark _ -> ()
+    | Ir.WrTmp (_, e) | Ir.Put (_, e) | Ir.Exit (e, _) | Ir.Out (_, e) ->
+        dep_expr bi b e
+    | Ir.Store (a, v) ->
+        dep_expr bi b a;
+        dep_expr bi b v
+    | Ir.Dirty (_, _, args) -> List.iter (dep_expr bi b) args
+  done;
+  t

@@ -1,0 +1,35 @@
+(** Static backward slicing over VEX programs.
+
+    Used by the tiered engine: the slice of the sanitizer-flagged spots
+    is the set of statements the full engine must shadow exactly for its
+    report at those spots to be bit-identical to an unrestricted run.
+    The slice is static (covers every instance of a statement) and
+    over-approximate: temps -> same-block writers, [Get] -> statically
+    overlapping [Put]s program-wide, [Load] -> every [Store] whose
+    address class may alias the load's, every subexpression including
+    addresses and guards.
+
+    Addresses are classified by a symbolic evaluator into constant
+    (global-segment), frame-relative-at-constant-offset, and unknown;
+    unknown aliases everything, and the two constant classes alias only
+    on byte-range overlap within their own class (the code generator
+    keeps globals and stack frames disjoint). *)
+
+type t
+
+val compute : ?frame_regs:int list -> Ir.prog -> seeds:int list -> t
+(** Close the seed set (statement ids, {!Ir.stmt_id}) under backward
+    data dependencies. Raises [Invalid_argument] on an id that does not
+    name a statement of [prog].
+
+    [frame_regs] (default [[0; 8]], the MiniC code generator's sp and
+    fp) names the thread-state offsets holding stack addresses, which
+    the classifier treats as disjoint from constant addresses; pass
+    [[]] for VEX code with no such convention — every frame access then
+    degrades to the unknown class. *)
+
+val contains : t -> int -> bool
+(** O(1) membership by statement id. *)
+
+val size : t -> int
+(** Number of member statements. *)

@@ -195,6 +195,7 @@ let all_full (prog : Ir.prog) : t =
   }
 
 let action (info : t) ~block ~stmt = info.blocks.(block).actions.(stmt)
+let block_actions (info : t) ~block = info.blocks.(block).actions
 
 let stats (info : t) =
   Array.fold_left

@@ -32,5 +32,10 @@ val all_full : Ir.prog -> t
 
 val action : t -> block:int -> stmt:int -> action
 
+val block_actions : t -> block:int -> action array
+(** The whole action row for a block, for interpreters that want one
+    bounds-checked lookup per statement instead of two. The array is the
+    inference's own storage — callers must not mutate it. *)
+
 val stats : t -> int * int
 (** (statements classified Full, total statements). *)

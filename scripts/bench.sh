@@ -1,19 +1,20 @@
 #!/usr/bin/env bash
-# Benchmark trajectory, PR 5: the full (Herbgrind-style shadow-real)
-# engine vs the sanitize (NSan-style double-double) engine over the
-# whole vendored FPBench suite at default config, plus per-operation
-# timings of the twofloat kernel. Emits BENCH_5.json at the repo root;
-# the raw per-run outputs (bench_output_*.txt, *.jsonl) are gitignored.
+# Benchmark trajectory, PR 6: the full (Herbgrind-style shadow-real)
+# engine vs the sanitize (NSan-style double-double) engine vs the tiered
+# engine (sanitizer triage + slice-restricted full-precision escalation)
+# over the whole vendored FPBench suite at default config, plus
+# per-operation timings of the twofloat kernel. Emits BENCH_6.json at
+# the repo root; the raw per-run outputs (bench_output_*.txt, *.jsonl)
+# are gitignored.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 dune build @all
 bin=_build/default/bin/fpgrind_cli.exe
 
-run_suite() { # engine -> "<seconds> <programs>"
-  local engine="$1"
-  local store log t0 t1 n
-  store="$(mktemp /tmp/fpgrind-bench.XXXXXX.jsonl)"
+run_suite() { # engine store -> "<seconds> <programs>"
+  local engine="$1" store="$2"
+  local log t0 t1 n
   log="bench_output_${engine}_suite.txt"
   rm -f "$store"
   t0=$(date +%s.%N)
@@ -21,32 +22,51 @@ run_suite() { # engine -> "<seconds> <programs>"
     --json "$store" --timeout 600 >"$log"
   t1=$(date +%s.%N)
   n=$(wc -l <"$store")
-  rm -f "$store"
   awk -v a="$t0" -v b="$t1" -v n="$n" 'BEGIN { printf "%.3f %d", b - a, n }'
 }
 
+store_full="$(mktemp /tmp/fpgrind-bench-full.XXXXXX.jsonl)"
+store_san="$(mktemp /tmp/fpgrind-bench-san.XXXXXX.jsonl)"
+store_tier="$(mktemp /tmp/fpgrind-bench-tier.XXXXXX.jsonl)"
+trap 'rm -f "$store_full" "$store_san" "$store_tier"' EXIT
+
 echo "bench: full engine over the suite (slow; shadow reals at 1000 bits)..."
-read -r t_full n_full <<<"$(run_suite full)"
+read -r t_full n_full <<<"$(run_suite full "$store_full")"
 echo "bench: sanitize engine over the suite..."
-read -r t_san n_san <<<"$(run_suite sanitize)"
+read -r t_san n_san <<<"$(run_suite sanitize "$store_san")"
+echo "bench: tiered engine over the suite..."
+read -r t_tier n_tier <<<"$(run_suite tiered "$store_tier")"
+
+# How much of the suite the tiered engine escalated to pass 2, and how
+# big the escalated slices were — the honesty metrics behind the speedup.
+read -r esc slice <<<"$(jq -s \
+  '[([.[].metrics.escalations] | add), ([.[].metrics.slice_stmts] | add)] | @tsv' \
+  -r "$store_tier")"
 
 echo "bench: twofloat kernel ns/op..."
 "$bin" sanitize --bench-kernel | tee bench_output_kernel.txt
 
-# assemble the JSON: suite wall times, throughput, speedup, kernel table
+# assemble the JSON: suite wall times, throughput, speedups, kernel table
 awk -v t_full="$t_full" -v n_full="$n_full" \
-    -v t_san="$t_san" -v n_san="$n_san" '
+    -v t_san="$t_san" -v n_san="$n_san" \
+    -v t_tier="$t_tier" -v n_tier="$n_tier" \
+    -v esc="$esc" -v slice="$slice" '
   /ns\/op/ { kern[$1] = $2 }
   END {
     printf "{\n"
-    printf "  \"bench\": \"full-vs-sanitize suite + twofloat kernel\",\n"
+    printf "  \"bench\": \"full vs sanitize vs tiered suite + twofloat kernel\",\n"
     printf "  \"suite\": {\n"
     printf "    \"programs\": %d,\n", n_full
     printf "    \"full\":     { \"wall_s\": %s, \"programs_per_s\": %.3f },\n", \
       t_full, n_full / t_full
     printf "    \"sanitize\": { \"wall_s\": %s, \"programs_per_s\": %.3f },\n", \
       t_san, n_san / t_san
-    printf "    \"sanitize_speedup\": %.2f\n", t_full / t_san
+    printf "    \"tiered\":   { \"wall_s\": %s, \"programs_per_s\": %.3f,\n", \
+      t_tier, n_tier / t_tier
+    printf "                    \"escalated_programs\": %d, \"slice_stmts\": %d },\n", \
+      esc, slice
+    printf "    \"sanitize_speedup\": %.2f,\n", t_full / t_san
+    printf "    \"tiered_speedup\": %.2f\n", t_full / t_tier
     printf "  },\n"
     printf "  \"twofloat_ns_per_op\": {\n"
     sep = ""
@@ -56,7 +76,7 @@ awk -v t_full="$t_full" -v n_full="$n_full" \
       if (op in kern) { printf "%s    \"%s\": %s", sep, op, kern[op]; sep = ",\n" }
     }
     printf "\n  }\n}\n"
-  }' bench_output_kernel.txt >BENCH_5.json
+  }' bench_output_kernel.txt >BENCH_6.json
 
-echo "bench: wrote BENCH_5.json"
-cat BENCH_5.json
+echo "bench: wrote BENCH_6.json"
+cat BENCH_6.json

@@ -57,6 +57,28 @@ dune exec bin/fpgrind_cli.exe -- sanitize "$san_ok" \
 dune exec bin/fpgrind_cli.exe -- fuzz \
   --seed 42 --iters 100 --consistency --quiet
 
+# Tiered smoke: the two-pass engine must flag the known-bad program at
+# the same spot as the full analysis, and stay silent on the clean one.
+tier_out="$(mktemp /tmp/fpgrind-ci-tier.XXXXXX.txt)"
+full_out="$(mktemp /tmp/fpgrind-ci-full.XXXXXX.txt)"
+trap 'rm -f "$out" "$san_bad" "$san_ok" "$tier_out" "$full_out"' EXIT
+dune exec bin/fpgrind_cli.exe -- analyze "$san_bad" --engine tiered >"$tier_out"
+dune exec bin/fpgrind_cli.exe -- analyze "$san_bad" --engine full >"$full_out"
+tier_spot="$(grep -o 'at [^ ]*:[0-9]*' "$tier_out" | head -1)"
+full_spot="$(grep -o 'at [^ ]*:[0-9]*' "$full_out" | head -1)"
+if [ -z "$tier_spot" ] || [ "$tier_spot" != "$full_spot" ]; then
+  echo "ci: tiered engine disagrees with full on the known-bad spot"
+  echo "  tiered: ${tier_spot:-<none>}   full: ${full_spot:-<none>}"
+  exit 1
+fi
+dune exec bin/fpgrind_cli.exe -- analyze "$san_ok" --engine tiered \
+  | grep -q 'No floating-point problems'
+
+# Tiered-consistency fuzz: fixed seed, every spot the tiered engine
+# reports must be bit-identical to the full engine's record for it.
+dune exec bin/fpgrind_cli.exe -- fuzz \
+  --seed 42 --iters 500 --tiered-consistency --quiet
+
 # Server smoke: ephemeral port, one analysis through `fpgrind client`
 # asserted byte-identical (modulo wall time) to the suite record above,
 # a /metrics scrape, then SIGTERM and a clean drain. The built binary is

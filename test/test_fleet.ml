@@ -17,6 +17,8 @@ let ok_payload name =
         m_causes = 0;
         m_compensations = 0;
         m_err_max = 0.0;
+        m_escalations = 0;
+        m_slice_stmts = 0;
       };
     p_summary = name ^ ": ok";
     p_report = "No floating-point problems found.\n";
