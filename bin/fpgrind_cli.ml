@@ -482,8 +482,26 @@ let suite_cmd =
       value & flag
       & info [ "strict" ] ~doc:"Exit nonzero if any job failed or timed out.")
   in
+  let dir_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "Ingest an external corpus: every .fpcore file (FPCore form \
+             stream) and .json file (Herbie-style datafile) in $(docv) \
+             becomes a suite job. Malformed inputs become structured \
+             failed records, not crashes. Repeatable.")
+  in
+  let datafile_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "datafile" ] ~docv:"FILE"
+          ~doc:
+            "Ingest a Herbie-style JSON datafile: each test entry's FPCore \
+             input becomes a suite job. Repeatable.")
+  in
   let run names jobs timeout iterations precision threshold json_path no_cache
-      group seed quiet strict engine =
+      group seed quiet strict engine dirs datafiles =
     let cfg =
       {
         Core.Config.default with
@@ -493,9 +511,41 @@ let suite_cmd =
       }
     in
     try
+      (* external corpora replace the vendored suite unless benchmarks
+         are also named explicitly *)
+      let vendored =
+        if (dirs = [] && datafiles = []) || names <> [] then
+          Fpcore.Suite.enumerate ~iterations ~seed ~names ?group ()
+        else []
+      in
+      let loaded =
+        Fpcore.Suite.dedup_loaded
+          (Fpcore.Suite.merge_loaded
+             (List.map Fpcore.Suite.load_path dirs
+             @ List.map Fpcore.Suite.load_datafile datafiles))
+      in
+      let engine_name = Core.Config.engine_name engine in
+      let failed_specs =
+        List.map
+          (fun (e : Fpcore.Suite.load_error) ->
+            {
+              Fleet.sp_name = e.Fpcore.Suite.le_name;
+              sp_group = "ingest";
+              sp_key = "";
+              sp_engine = engine_name;
+              sp_work =
+                (fun ~tick:_ ->
+                  failwith
+                    (Printf.sprintf "%s: %s" e.Fpcore.Suite.le_file
+                       e.Fpcore.Suite.le_reason));
+            })
+          loaded.Fpcore.Suite.l_failures
+      in
       let specs =
-        Fpcore.Suite.enumerate ~iterations ~seed ~names ?group ()
-        |> List.map (Fleet.bench_spec ~cfg)
+        List.map (Fleet.bench_spec ~cfg)
+          (vendored
+          @ Fpcore.Suite.jobs_of_loaded ~iterations ~seed loaded)
+        @ failed_specs
       in
       let cache =
         match json_path with
@@ -541,7 +591,8 @@ let suite_cmd =
     Term.(
       const run $ names_arg $ jobs_arg $ timeout_arg $ iterations_arg
       $ precision_arg $ threshold_arg $ json_arg $ no_cache_arg $ group_arg
-      $ seed_arg $ quiet_arg $ strict_arg $ engine_arg)
+      $ seed_arg $ quiet_arg $ strict_arg $ engine_arg $ dir_arg
+      $ datafile_arg)
   in
   Cmd.v
     (Cmd.info "suite"
@@ -800,7 +851,44 @@ let fuzz_cmd =
              spot the tiered engine reports must be bit-identical to the \
              full engine's record for it, and its outputs must match.")
   in
-  let run seed iters jobs timeout corpus quiet consistency tiered_consistency =
+  let soundiness_arg =
+    Arg.(
+      value & flag
+      & info [ "soundiness" ]
+          ~doc:
+            "Run the soundiness oracle instead of the differential \
+             campaign: iteration i runs Rewrite.Improve on suite \
+             benchmark (i mod 82) over a seeded search context and \
+             asserts the accepted rewrite is error-non-increasing on a \
+             disjoint resampled context. Violations print an actual-vs-\
+             predicted error table and exit nonzero.")
+  in
+  let run seed iters jobs timeout corpus quiet consistency tiered_consistency
+      soundiness =
+    if soundiness then begin
+      let benches = Fpcore.Suite.all in
+      let nbench = List.length benches in
+      let violations = ref 0 in
+      for i = 0 to iters - 1 do
+        let bench = List.nth benches (i mod nbench) in
+        let r =
+          Rewrite.Soundness.check_bench
+            ~seed:((seed * 1_000_003) + i)
+            bench
+        in
+        if not r.Rewrite.Soundness.r_sound then begin
+          incr violations;
+          print_endline (Rewrite.Soundness.table r)
+        end
+        else if not quiet then
+          Printf.eprintf "[%3d/%3d] sound    %s\n%!" (i + 1) iters
+            bench.Fpcore.Suite.name
+      done;
+      Printf.printf "fuzz: seed %d, %d soundiness checks, %d violations\n"
+        seed iters !violations;
+      if !violations > 0 then 1 else 0
+    end
+    else begin
     let checks =
       {
         Fuzz.Oracle.default_checks with
@@ -884,6 +972,7 @@ let fuzz_cmd =
         failures
     end;
     if !bad then 1 else 0
+    end
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -891,10 +980,114 @@ let fuzz_cmd =
          "Differential fuzzing: generate seeded random MiniC programs and \
           check the reference evaluator, the VEX machine and the \
           instrumented analysis agree bit-for-bit; shrink and record any \
-          counterexample.")
+          counterexample. With --soundiness, check Rewrite.Improve results \
+          on resampled point contexts instead.")
     Term.(
       const run $ seed_arg $ iters_arg $ jobs_arg $ timeout_arg $ corpus_arg
-      $ quiet_arg $ consistency_arg $ tiered_consistency_arg)
+      $ quiet_arg $ consistency_arg $ tiered_consistency_arg $ soundiness_arg)
+
+(* ---------- campaign (long-running resumable fuzz) ---------- *)
+
+let campaign_cmd =
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed.")
+  in
+  let iters_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "iters" ] ~docv:"N" ~doc:"Stream length (total tasks).")
+  in
+  let state_arg =
+    Arg.(
+      value & opt string "campaign.state.json"
+      & info [ "state" ] ~docv:"FILE"
+          ~doc:
+            "Checkpoint file. If it exists and matches this campaign's \
+             config fingerprint, the campaign resumes from the recorded \
+             stream index; a mismatched file is refused.")
+  in
+  let findings_arg =
+    Arg.(
+      value & opt string "findings.jsonl"
+      & info [ "findings" ] ~docv:"FILE"
+          ~doc:
+            "Append-only findings feed (JSON lines). Serve it live with \
+             $(b,fpgrind serve --findings) $(docv).")
+  in
+  let soundiness_every_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "soundiness-every" ] ~docv:"N"
+          ~doc:
+            "Make every Nth stream index a soundiness check over the \
+             benchmark suite (0 disables the soundiness slice).")
+  in
+  let checkpoint_every_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Checkpoint the state file every N completed tasks.")
+  in
+  let no_shrink_arg =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ]
+          ~doc:"Skip corpus minimization of divergent programs.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress progress lines.")
+  in
+  let run seed iters state_path findings_path soundiness_every
+      checkpoint_every no_shrink quiet =
+    let cfg =
+      {
+        (Campaign.Runner.default_config ~state_path ~findings_path) with
+        Campaign.Runner.cfg_seed = seed;
+        cfg_iters = iters;
+        cfg_soundness_every = soundiness_every;
+        cfg_checkpoint_every = max 1 checkpoint_every;
+        cfg_shrink = not no_shrink;
+      }
+    in
+    (* SIGINT/SIGTERM request a stop; the loop finishes the task in
+       flight, appends its findings, checkpoints, and exits 3 so a
+       supervisor can tell "interrupted, resume me" from "done". *)
+    let stop = ref false in
+    let on_signal _ = stop := true in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+    let on_progress st =
+      if not quiet then
+        Printf.eprintf "%s\n%!" (Campaign.Runner.summary_line st)
+    in
+    try
+      match
+        Campaign.Runner.run ~should_stop:(fun () -> !stop) ~on_progress cfg
+      with
+      | Campaign.Runner.Completed st ->
+          Printf.printf "%s\n" (Campaign.Runner.summary_line st);
+          0
+      | Campaign.Runner.Interrupted st ->
+          Printf.printf "interrupted; %s\n" (Campaign.Runner.summary_line st);
+          3
+    with Campaign.Runner.Resume_mismatch msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Run a long-running, resumable fuzz campaign: differential + \
+          engine-consistency oracles over seeded random programs, an \
+          optional soundiness slice over the benchmark suite, periodic \
+          checkpoints, and an append-only findings JSONL feed. SIGINT or \
+          SIGTERM checkpoints and exits 3; rerunning with the same flags \
+          resumes and the merged findings feed is byte-identical to an \
+          uninterrupted run.")
+    Term.(
+      const run $ seed_arg $ iters_arg $ state_arg $ findings_arg
+      $ soundiness_every_arg $ checkpoint_every_arg $ no_shrink_arg
+      $ quiet_arg)
 
 (* ---------- serve (the network analysis service) ---------- *)
 
@@ -944,10 +1137,21 @@ let serve_cmd =
             "JSONL results store: warm the result cache from $(docv) at \
              startup and flush all outcomes to it on shutdown.")
   in
+  let findings_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "findings" ] ~docv:"FILE"
+          ~doc:
+            "Campaign findings JSONL feed to serve verbatim on GET \
+             /findings (typically the --findings file of a running \
+             $(b,fpgrind campaign)). Also populates the \
+             fpgrind_campaign_* metrics.")
+  in
   let quiet_arg =
     Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress per-request log lines.")
   in
-  let run port host jobs queue timeout max_body store_path quiet =
+  let run port host jobs queue timeout max_body store_path findings_path quiet
+      =
     try
       let cfg =
         {
@@ -958,6 +1162,7 @@ let serve_cmd =
           timeout;
           max_body;
           store_path;
+          findings_path;
           quiet;
         }
       in
@@ -981,11 +1186,11 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run the HTTP analysis service: POST /analyze and /fuzz with a \
-          bounded queue and 503 backpressure, GET /healthz, and GET \
-          /metrics in Prometheus text format.")
+          bounded queue and 503 backpressure, GET /healthz, GET /findings \
+          for a campaign feed, and GET /metrics in Prometheus text format.")
     Term.(
       const run $ port_arg $ host_arg $ jobs_arg $ queue_arg $ timeout_arg
-      $ max_body_arg $ store_arg $ quiet_arg)
+      $ max_body_arg $ store_arg $ findings_arg $ quiet_arg)
 
 (* ---------- client (talk to a running fpgrind serve) ---------- *)
 
@@ -999,10 +1204,11 @@ let client_cmd =
                 [
                   ("analyze", `Analyze); ("sanitize", `Sanitize);
                   ("fuzz", `Fuzz); ("health", `Health); ("metrics", `Metrics);
+                  ("findings", `Findings);
                 ]))
           None
       & info [] ~docv:"ACTION"
-          ~doc:"One of analyze, sanitize, fuzz, health, metrics.")
+          ~doc:"One of analyze, sanitize, fuzz, health, metrics, findings.")
   in
   let target_arg =
     Arg.(
@@ -1091,6 +1297,12 @@ let client_cmd =
       | `Metrics ->
           let r =
             Serve.Client.request ~host ~port ~meth:"GET" ~path:"/metrics" ()
+          in
+          print_string r.Serve.Client.c_body;
+          if r.Serve.Client.c_status / 100 = 2 then 0 else 1
+      | `Findings ->
+          let r =
+            Serve.Client.request ~host ~port ~meth:"GET" ~path:"/findings" ()
           in
           print_string r.Serve.Client.c_body;
           if r.Serve.Client.c_status / 100 = 2 then 0 else 1
@@ -1232,5 +1444,6 @@ let () =
        (Cmd.group info
           [
             analyze_cmd; sanitize_cmd; run_cmd; suite_cmd; validate_cmd;
-            list_cmd; improve_cmd; fuzz_cmd; serve_cmd; client_cmd;
+            list_cmd; improve_cmd; fuzz_cmd; campaign_cmd; serve_cmd;
+            client_cmd;
           ]))

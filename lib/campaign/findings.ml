@@ -1,0 +1,81 @@
+(* The campaign findings feed: one JSON object per line, append-only.
+   Append-only is the contract that makes resume byte-identity checkable
+   — a finding for stream index [i] is a pure function of (seed, i,
+   config), findings are appended in index order, so the merged feed of
+   an interrupted+resumed run is byte-identical to an uninterrupted one.
+   The server tails this file for `GET /findings`. *)
+
+type finding = {
+  f_index : int;  (* campaign stream index that produced it *)
+  f_seed : int;
+  f_kind : string;  (* "divergence" | "error" | "soundiness" *)
+  f_subject : string;  (* program digest, or benchmark name *)
+  f_detail : string;  (* oracle leg + detail, or regression summary *)
+  f_table : string;  (* actual-vs-predicted error table; "" when n/a *)
+  f_repro : string;  (* minimized reproducer source; "" when n/a *)
+}
+
+let to_json (f : finding) : Json.t =
+  Json.Obj
+    ([
+       ("index", Json.Num (float_of_int f.f_index));
+       ("seed", Json.Num (float_of_int f.f_seed));
+       ("kind", Json.Str f.f_kind);
+       ("subject", Json.Str f.f_subject);
+       ("detail", Json.Str f.f_detail);
+     ]
+    @ (if f.f_table = "" then [] else [ ("table", Json.Str f.f_table) ])
+    @ if f.f_repro = "" then [] else [ ("repro", Json.Str f.f_repro) ])
+
+let to_line (f : finding) : string = Json.to_string (to_json f)
+
+let of_json (j : Json.t) : finding =
+  {
+    f_index = Json.get_int "index" j;
+    f_seed = Json.get_int "seed" j;
+    f_kind = Json.get_str "kind" j;
+    f_subject = Json.get_str "subject" j;
+    f_detail = Json.get_str "detail" j;
+    f_table = Json.get_str "table" j;
+    f_repro = Json.get_str "repro" j;
+  }
+
+let of_line (line : string) : finding option =
+  match Json.of_string line with
+  | j -> Some (of_json j)
+  | exception Json.Parse_error _ -> None
+
+(* One finding is one write+flush: the feed is live for `GET /findings`
+   while the campaign runs, and a crash can at worst tear the final
+   line, which the lenient reader (and Store.load_lenient's discipline)
+   skips. *)
+let append ~(path : string) (fs : finding list) : unit =
+  if fs <> [] then begin
+    let oc =
+      open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path
+    in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        List.iter
+          (fun f ->
+            output_string oc (to_line f);
+            output_char oc '\n')
+          fs;
+        flush oc)
+  end
+
+let load (path : string) : finding list =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | line -> go (match of_line line with Some f -> f :: acc | None -> acc)
+          | exception End_of_file -> List.rev acc
+        in
+        go [])
+  end

@@ -1,0 +1,102 @@
+(* The campaign checkpoint. What makes resume byte-identical is that the
+   checkpoint records the *PRNG stream index* — every campaign task at
+   stream index [i] derives its randomness from (seed, i) alone
+   (SplitMix64 [Fuzz.Rng.make_indexed] for fuzz programs, the suite's
+   xorshift64* stream for soundiness contexts), so "resume at s_next"
+   replays exactly the suffix an uninterrupted run would have produced.
+   The fingerprint pins everything else a finding depends on; resuming
+   under a different config is refused rather than silently diverging.
+
+   Writes are atomic (temp file + rename in the same directory), so a
+   SIGKILL mid-checkpoint leaves the previous checkpoint intact. *)
+
+type t = {
+  s_seed : int;
+  s_iters : int;  (* target stream length *)
+  s_next : int;  (* next stream index to run; iters = completed *)
+  s_soundness_every : int;  (* every Nth index is a soundiness task *)
+  s_fingerprint : string;  (* config fingerprint; resume guard *)
+  s_passed : int;
+  s_skipped : int;
+  s_divergent : int;
+  s_errors : int;
+  s_soundness_checks : int;
+  s_soundness_violations : int;
+}
+
+let fresh ~seed ~iters ~soundness_every ~fingerprint =
+  {
+    s_seed = seed;
+    s_iters = iters;
+    s_next = 0;
+    s_soundness_every = soundness_every;
+    s_fingerprint = fingerprint;
+    s_passed = 0;
+    s_skipped = 0;
+    s_divergent = 0;
+    s_errors = 0;
+    s_soundness_checks = 0;
+    s_soundness_violations = 0;
+  }
+
+let findings (t : t) : int = t.s_divergent + t.s_errors + t.s_soundness_violations
+let complete (t : t) : bool = t.s_next >= t.s_iters
+
+let to_json (t : t) : Json.t =
+  let num i = Json.Num (float_of_int i) in
+  Json.Obj
+    [
+      ("seed", num t.s_seed);
+      ("iters", num t.s_iters);
+      ("next", num t.s_next);
+      ("soundness_every", num t.s_soundness_every);
+      ("fingerprint", Json.Str t.s_fingerprint);
+      ("passed", num t.s_passed);
+      ("skipped", num t.s_skipped);
+      ("divergent", num t.s_divergent);
+      ("errors", num t.s_errors);
+      ("soundness_checks", num t.s_soundness_checks);
+      ("soundness_violations", num t.s_soundness_violations);
+    ]
+
+let of_json (j : Json.t) : t =
+  {
+    s_seed = Json.get_int "seed" j;
+    s_iters = Json.get_int "iters" j;
+    s_next = Json.get_int "next" j;
+    s_soundness_every = Json.get_int "soundness_every" j;
+    s_fingerprint = Json.get_str "fingerprint" j;
+    s_passed = Json.get_int "passed" j;
+    s_skipped = Json.get_int "skipped" j;
+    s_divergent = Json.get_int "divergent" j;
+    s_errors = Json.get_int "errors" j;
+    s_soundness_checks = Json.get_int "soundness_checks" j;
+    s_soundness_violations = Json.get_int "soundness_violations" j;
+  }
+
+let save ~(path : string) (t : t) : unit =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir "campaign-state" ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc (Json.to_string (to_json t));
+     output_char oc '\n';
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let load ~(path : string) : (t, string) result =
+  if not (Sys.file_exists path) then Error "no such state file"
+  else
+    let ic = open_in_bin path in
+    let src =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Json.of_string (String.trim src) with
+    | j -> Ok (of_json j)
+    | exception Json.Parse_error msg -> Error ("corrupt state file: " ^ msg)

@@ -440,3 +440,326 @@ let inputs_for ?(seed = 42) (bench : bench) ~(n : int) : float array =
         let var = i mod nvars in
         let _, lo, hi, scale = List.nth bench.ranges var in
         sample_range state (lo, hi, scale))
+
+(* ---------- external-corpus ingestion ---------- *)
+
+(* Arbitrary user corpora — directories of `.fpcore` files and
+   Herbie-style JSON datafiles — become first-class suite benches. The
+   contract is *structured failure*: a malformed core, an unparsable
+   datafile entry, and a duplicate name each yield a [load_error]
+   record the caller turns into a `failed` fleet outcome; nothing
+   raises out of the loaders. *)
+
+type load_error = { le_file : string; le_name : string; le_reason : string }
+type loaded = { l_benches : bench list; l_failures : load_error list }
+
+let no_benches failure = { l_benches = []; l_failures = [ failure ] }
+
+let merge_loaded (ls : loaded list) : loaded =
+  {
+    l_benches = List.concat_map (fun l -> l.l_benches) ls;
+    l_failures = List.concat_map (fun l -> l.l_failures) ls;
+  }
+
+let default_lo = -10.0
+let default_hi = 10.0
+
+(* Constant-fold a precondition operand: numbers, named constants, and
+   closed arithmetic like (- 1) all reduce; anything containing a
+   variable does not. *)
+let const_value (e : Ast.expr) : float option =
+  match Eval.eval_f [] e with v -> Some v | exception _ -> None
+
+(* Extract per-variable sampling ranges from a `:pre` conjunction. The
+   recognized grammar (DESIGN.md §14) is conjunctions of comparison
+   chains over one variable and constants — (<= lo x), (<= x hi),
+   (<= lo x hi), and their </>/>= duals. Anything else is ignored: a
+   precondition we cannot read narrows nothing, it just leaves the
+   default range in place. Ranges are log-scaled when strictly positive
+   and at least three decades wide, matching the vendored suite's
+   convention for wide positive domains. *)
+let ranges_of_pre (args : string list) (pre : Ast.expr option) :
+    (string * float * float * scale) list =
+  let lo_tbl = Hashtbl.create 8 and hi_tbl = Hashtbl.create 8 in
+  let tighten tbl better x v =
+    match Hashtbl.find_opt tbl x with
+    | Some v' when not (better v v') -> ()
+    | _ -> Hashtbl.replace tbl x v
+  in
+  (* a op b, op in {<,<=,>,>=}: whichever side is a closed constant
+     bounds the variable on the other side *)
+  let bound op a b =
+    match (a, b, op) with
+    | _, Ast.Var x, ("<" | "<=") -> (
+        match const_value a with
+        | Some v -> tighten lo_tbl ( > ) x v (* keep the tightest: max lo *)
+        | None -> ())
+    | Ast.Var x, _, ("<" | "<=") -> (
+        match const_value b with
+        | Some v -> tighten hi_tbl ( < ) x v (* min hi *)
+        | None -> ())
+    | _, Ast.Var x, (">" | ">=") -> (
+        match const_value a with
+        | Some v -> tighten hi_tbl ( < ) x v
+        | None -> ())
+    | Ast.Var x, _, (">" | ">=") -> (
+        match const_value b with
+        | Some v -> tighten lo_tbl ( > ) x v
+        | None -> ())
+    | _ -> ()
+  in
+  let rec walk (e : Ast.expr) =
+    match e with
+    | Ast.AndE es -> List.iter walk es
+    | Ast.Cmp (op, operands)
+      when op = "<" || op = "<=" || op = ">" || op = ">=" ->
+        let rec pairs = function
+          | a :: (b :: _ as rest) ->
+              bound op a b;
+              pairs rest
+          | _ -> ()
+        in
+        pairs operands
+    | _ -> ()
+  in
+  Option.iter walk pre;
+  List.map
+    (fun x ->
+      let lo = Option.value (Hashtbl.find_opt lo_tbl x) ~default:default_lo in
+      let hi = Option.value (Hashtbl.find_opt hi_tbl x) ~default:default_hi in
+      let lo, hi =
+        if Float.is_finite lo && Float.is_finite hi && lo < hi then (lo, hi)
+        else (default_lo, default_hi)
+      in
+      let scale = if lo > 0.0 && hi /. lo >= 1000.0 then Log else Linear in
+      (x, lo, hi, scale))
+    args
+
+(* Bench names feed file paths, JSONL records, and URLs; keep them to a
+   tame character set. *)
+let sanitize_name (s : string) : string =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+      | _ -> '-')
+    s
+
+let bench_of_core ~(file : string) ~(index : int) (sx : Sexp.t) :
+    (bench, load_error) result =
+  let fallback_name =
+    Printf.sprintf "%s#%d" (Filename.basename file) (index + 1)
+  in
+  match Parse.core_of_sexp sx with
+  | core ->
+      let base =
+        sanitize_name (Filename.remove_extension (Filename.basename file))
+      in
+      let name =
+        match core.Ast.name with
+        | Some n when n <> "" -> sanitize_name n
+        | _ ->
+            if index = 0 then base
+            else Printf.sprintf "%s-%d" base (index + 1)
+      in
+      let group = if Ast.has_loop core.Ast.body then `Loop else `Straight in
+      Ok
+        {
+          name;
+          group;
+          src = Sexp.to_string sx;
+          ranges = ranges_of_pre core.Ast.args core.Ast.pre;
+        }
+  | exception Parse.Error msg ->
+      Error
+        { le_file = file; le_name = fallback_name; le_reason = "parse error: " ^ msg }
+  | exception Sexp.Parse_error msg ->
+      Error
+        { le_file = file; le_name = fallback_name; le_reason = "parse error: " ^ msg }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_fpcore_file (path : string) : loaded =
+  let base = Filename.basename path in
+  match read_file path with
+  | exception e ->
+      no_benches
+        {
+          le_file = path;
+          le_name = base;
+          le_reason = "read error: " ^ Printexc.to_string e;
+        }
+  | src -> (
+      match Sexp.parse_many src with
+      | exception Sexp.Parse_error msg ->
+          no_benches
+            { le_file = path; le_name = base; le_reason = "parse error: " ^ msg }
+      | [] ->
+          no_benches
+            { le_file = path; le_name = base; le_reason = "no FPCore forms" }
+      | sxs ->
+          let benches, failures =
+            List.partition_map
+              (fun (i, sx) ->
+                match bench_of_core ~file:path ~index:i sx with
+                | Ok b -> Left b
+                | Error e -> Right e)
+              (List.mapi (fun i sx -> (i, sx)) sxs)
+          in
+          { l_benches = benches; l_failures = failures })
+
+(* Herbie-style datafile: a JSON report whose tests array carries the
+   FPCore input of each benchmark run (Herbie's datafile.rkt writes the
+   source under "input"; some emitters use "core"). Both a bare array
+   and {"tests": [...]} are accepted; each entry fails independently. *)
+let load_datafile (path : string) : loaded =
+  let base = Filename.basename path in
+  match read_file path with
+  | exception e ->
+      no_benches
+        {
+          le_file = path;
+          le_name = base;
+          le_reason = "read error: " ^ Printexc.to_string e;
+        }
+  | src -> (
+      match Json.of_string src with
+      | exception Json.Parse_error msg ->
+          no_benches
+            {
+              le_file = path;
+              le_name = base;
+              le_reason = "datafile parse error: " ^ msg;
+            }
+      | j -> (
+          let tests =
+            match j with
+            | Json.Arr ts -> Some ts
+            | Json.Obj _ -> (
+                match Json.member "tests" j with
+                | Some (Json.Arr ts) -> Some ts
+                | _ -> None)
+            | _ -> None
+          in
+          match tests with
+          | None ->
+              no_benches
+                {
+                  le_file = path;
+                  le_name = base;
+                  le_reason = "datafile has no tests array";
+                }
+          | Some ts ->
+              let one i t =
+                let entry_name =
+                  match Json.member "name" t with
+                  | Some (Json.Str n) when n <> "" -> Some (sanitize_name n)
+                  | _ -> None
+                in
+                let fallback =
+                  Option.value entry_name
+                    ~default:(Printf.sprintf "%s#%d" base (i + 1))
+                in
+                let core_src =
+                  match (Json.member "input" t, Json.member "core" t) with
+                  | Some (Json.Str s), _ | _, Some (Json.Str s) -> Some s
+                  | _ -> None
+                in
+                match core_src with
+                | None ->
+                    Either.Right
+                      {
+                        le_file = path;
+                        le_name = fallback;
+                        le_reason = "test entry has no input/core field";
+                      }
+                | Some s -> (
+                    match bench_of_core ~file:path ~index:i (Sexp.parse s) with
+                    | Ok b ->
+                        let name = Option.value entry_name ~default:b.name in
+                        Either.Left { b with name }
+                    | Error e -> Either.Right { e with le_name = fallback }
+                    | exception Sexp.Parse_error msg ->
+                        Either.Right
+                          {
+                            le_file = path;
+                            le_name = fallback;
+                            le_reason = "parse error: " ^ msg;
+                          })
+              in
+              let benches, failures =
+                List.partition_map
+                  (fun (i, t) -> one i t)
+                  (List.mapi (fun i t -> (i, t)) ts)
+              in
+              { l_benches = benches; l_failures = failures }))
+
+(* Duplicate names would collide in the JSONL store and the cache; the
+   first occurrence (in deterministic load order) wins, later ones
+   become structured failures. *)
+let dedup_loaded (l : loaded) : loaded =
+  let seen = Hashtbl.create 32 in
+  let benches, dup_failures =
+    List.fold_left
+      (fun (bs, fs) b ->
+        if Hashtbl.mem seen b.name then
+          ( bs,
+            {
+              le_file = b.name;
+              le_name = b.name;
+              le_reason = "duplicate benchmark name";
+            }
+            :: fs )
+        else begin
+          Hashtbl.replace seen b.name true;
+          (b :: bs, fs)
+        end)
+      ([], []) l.l_benches
+  in
+  {
+    l_benches = List.rev benches;
+    l_failures = l.l_failures @ List.rev dup_failures;
+  }
+
+(* Enumerate a directory of corpora: `.fpcore` files parse as FPCore
+   form streams, `.json` files as Herbie datafiles; anything else is
+   skipped. File order is sorted, so the loaded set is deterministic. *)
+let load_dir (dir : string) : loaded =
+  match Sys.readdir dir with
+  | exception Sys_error msg ->
+      no_benches
+        { le_file = dir; le_name = Filename.basename dir; le_reason = msg }
+  | entries ->
+      let entries = List.sort compare (Array.to_list entries) in
+      let per_file =
+        List.filter_map
+          (fun f ->
+            let path = Filename.concat dir f in
+            if Sys.is_directory path then None
+            else if Filename.check_suffix f ".fpcore" then
+              Some (load_fpcore_file path)
+            else if Filename.check_suffix f ".json" then
+              Some (load_datafile path)
+            else None)
+          entries
+      in
+      dedup_loaded (merge_loaded per_file)
+
+(* Dispatch on what the path is: a directory of corpora, a datafile, or
+   a single FPCore file. *)
+let load_path (path : string) : loaded =
+  if (try Sys.is_directory path with Sys_error _ -> false) then load_dir path
+  else if Filename.check_suffix path ".json" then
+    dedup_loaded (load_datafile path)
+  else dedup_loaded (load_fpcore_file path)
+
+(* Loaded benches become ordinary suite jobs, so fleet/serve/fuzz run
+   external corpora through cache and store unchanged. *)
+let jobs_of_loaded ?(iterations = 8) ?(seed = 1) (l : loaded) : job list =
+  List.map
+    (fun b -> { job_bench = b; job_iterations = iterations; job_seed = seed })
+    l.l_benches

@@ -23,6 +23,7 @@ type config = {
   timeout : float option;  (* default per-request analysis deadline *)
   max_body : int;
   store_path : string option;  (* JSONL cache warm-start + shutdown flush *)
+  findings_path : string option;  (* campaign findings JSONL feed *)
   quiet : bool;
 }
 
@@ -35,6 +36,7 @@ let default_config =
     timeout = None;
     max_body = Http.default_max_body;
     store_path = None;
+    findings_path = None;
     quiet = false;
   }
 
@@ -57,6 +59,10 @@ type t = {
   m_tiered_escalations : Metrics.counter;  (* jobs that ran pass 2 *)
   m_tiered_slice_stmts : Metrics.counter;  (* statements escalated *)
   m_store_corrupt : Metrics.gauge;
+  m_store_torn : Metrics.counter;  (* torn store records, monotone *)
+  m_campaign_findings : Metrics.gauge;  (* findings in the feed *)
+  m_campaign_feed_bytes : Metrics.gauge;
+  mutable torn_seen : int;  (* last Store.corrupt_tail_total observed *)
   cache_mu : Mutex.t;
   cache : (string, Fleet.outcome) Hashtbl.t;
   mutable persisted : Fleet.outcome list;  (* newest first *)
@@ -181,6 +187,22 @@ let create (cfg : config) : t =
       ~help:"Truncated trailing JSONL store records skipped since start."
       "fpgrind_store_corrupt_lines_total"
   in
+  let m_store_torn =
+    Metrics.counter reg
+      ~help:
+        "Torn JSONL store records skipped by lenient loads. Monotone \
+         counter view of the same signal as the corrupt-lines gauge."
+      "fpgrind_store_torn_records_total"
+  in
+  let m_campaign_findings =
+    Metrics.gauge reg
+      ~help:"Findings currently in the campaign feed served by /findings."
+      "fpgrind_campaign_findings_total"
+  in
+  let m_campaign_feed_bytes =
+    Metrics.gauge reg ~help:"Size of the campaign findings feed in bytes."
+      "fpgrind_campaign_feed_bytes"
+  in
   (* warm the cache from the store, tolerating a torn tail *)
   let cache = Hashtbl.create 97 in
   let persisted = ref [] in
@@ -231,6 +253,10 @@ let create (cfg : config) : t =
       m_tiered_escalations;
       m_tiered_slice_stmts;
       m_store_corrupt;
+      m_store_torn;
+      m_campaign_findings;
+      m_campaign_feed_bytes;
+      torn_seen = 0;
       cache_mu = Mutex.create ();
       cache;
       persisted = !persisted;
@@ -245,6 +271,9 @@ let create (cfg : config) : t =
     }
   in
   install_observer t;
+  (* materialize the unlabeled torn-records series so a clean server
+     still renders the counter at 0 *)
+  Metrics.inc ~by:0.0 t.m_store_torn [];
   t
 
 (* ---------- building analysis jobs from request bodies ---------- *)
@@ -521,10 +550,56 @@ let handle_fuzz t rq =
 
 let handle_healthz _t _rq = Http.text_response 200 "ok\n"
 
+(* The campaign findings feed: the raw append-only JSONL file, served
+   verbatim so a consumer sees exactly what the campaign wrote (the
+   byte-identity contract extends to the wire). An unconfigured server
+   404s; a configured one whose campaign has found nothing yet serves
+   an empty feed. *)
+let read_whole_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let findings_feed t : string option =
+  match t.cfg.findings_path with
+  | None -> None
+  | Some path ->
+      Some (if Sys.file_exists path then read_whole_file path else "")
+
+let handle_findings t _rq =
+  match findings_feed t with
+  | None -> Http.error_response 404 "no findings feed configured"
+  | Some body ->
+      Http.response
+        ~headers:[ ("content-type", "application/x-ndjson") ]
+        200 body
+
+let update_campaign_metrics t =
+  match findings_feed t with
+  | None -> ()
+  | Some body ->
+      let findings =
+        List.length
+          (List.filter
+             (fun l -> String.trim l <> "")
+             (String.split_on_char '\n' body))
+      in
+      Metrics.set t.m_campaign_findings (float_of_int findings);
+      Metrics.set t.m_campaign_feed_bytes (float_of_int (String.length body))
+
 let handle_metrics t _rq =
   Metrics.set t.m_queue_depth (float_of_int (Fleet.Pool.queue_depth t.pool));
   Metrics.set t.m_in_flight (float_of_int (Fleet.Pool.in_flight t.pool));
-  Metrics.set t.m_store_corrupt (float_of_int (Fleet.Store.corrupt_tail_total ()));
+  let torn = Fleet.Store.corrupt_tail_total () in
+  Metrics.set t.m_store_corrupt (float_of_int torn);
+  (* counters are inc-only, so surface the monotone total as a delta
+     against the last scrape *)
+  if torn > t.torn_seen then begin
+    Metrics.inc ~by:(float_of_int (torn - t.torn_seen)) t.m_store_torn [];
+    t.torn_seen <- torn
+  end;
+  update_campaign_metrics t;
   Http.response
     ~headers:
       [ ("content-type", "text/plain; version=0.0.4; charset=utf-8") ]
@@ -537,9 +612,11 @@ let routes t : Router.t =
     ("POST", "/fuzz", handle_fuzz t);
     ("GET", "/healthz", handle_healthz t);
     ("GET", "/metrics", handle_metrics t);
+    ("GET", "/findings", handle_findings t);
   ]
 
-let known_endpoints = [ "/analyze"; "/sanitize"; "/fuzz"; "/healthz"; "/metrics" ]
+let known_endpoints =
+  [ "/analyze"; "/sanitize"; "/fuzz"; "/healthz"; "/metrics"; "/findings" ]
 
 let endpoint_label path =
   if List.mem path known_endpoints then path else "other"

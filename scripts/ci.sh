@@ -107,4 +107,66 @@ wait "$srv_pid"   # exits nonzero (and fails CI) unless the drain is clean
 grep -q 'drained, store flushed' "$srv_log"
 "$bin" validate "$srv_store"
 
+# External-corpus ingestion smoke: the committed fixture corpus (good
+# cores + malformed/truncated/duplicate artifacts) must analyze under
+# the tiered engine with structured failed rows — exit 0, no crashes.
+# (validate is NOT run on this store: failed ingest records are the
+# point, and validate treats any failed row as nonzero.)
+ing_out="$(mktemp /tmp/fpgrind-ci-ingest.XXXXXX.jsonl)"
+ing_txt="$(mktemp /tmp/fpgrind-ci-ingest.XXXXXX.txt)"
+trap 'rm -f "$out" "$san_bad" "$san_ok" "$srv_log" "$srv_store" "$ing_out" "$ing_txt"' EXIT
+"$bin" suite --dir test/corpus-ext --engine tiered \
+  --iterations 2 --timeout 60 --json "$ing_out" --no-cache >"$ing_txt"
+grep -q 'ext-sqrt-diff' "$ing_txt"
+grep -q 'ingest' "$ing_txt"   # the malformed artifacts surfaced as failed rows
+
+# Campaign smoke: a fixed-seed campaign covering the full 82-bench
+# soundiness sweep interleaved with fuzz programs, SIGINT'd mid-run
+# (exit 3, checkpointed), resumed to completion, and the merged
+# findings feed must be byte-identical to an uninterrupted run of the
+# same seed. Then a server configured with the feed serves it at
+# GET /findings and exports the campaign gauges.
+camp_dir="$(mktemp -d /tmp/fpgrind-ci-camp.XXXXXX)"
+trap 'rm -f "$out" "$san_bad" "$san_ok" "$srv_log" "$srv_store" "$ing_out" "$ing_txt"; rm -rf "$camp_dir"' EXIT
+camp_flags=(--seed 42 --iters 164 --soundiness-every 2 --checkpoint-every 10 --quiet)
+
+"$bin" campaign "${camp_flags[@]}" \
+  --state "$camp_dir/ref.state.json" --findings "$camp_dir/ref.jsonl"
+[ -s "$camp_dir/ref.jsonl" ] || { echo "ci: campaign found nothing at seed 42"; exit 1; }
+
+"$bin" campaign "${camp_flags[@]}" \
+  --state "$camp_dir/int.state.json" --findings "$camp_dir/int.jsonl" &
+camp_pid=$!
+sleep 1
+kill -INT "$camp_pid"
+camp_rc=0; wait "$camp_pid" || camp_rc=$?
+if [ "$camp_rc" -ne 3 ]; then
+  echo "ci: interrupted campaign exited $camp_rc, expected 3 (did it finish early?)"
+  exit 1
+fi
+"$bin" campaign "${camp_flags[@]}" \
+  --state "$camp_dir/int.state.json" --findings "$camp_dir/int.jsonl"
+cmp "$camp_dir/ref.jsonl" "$camp_dir/int.jsonl"
+
+srv_log2="$camp_dir/serve.log"
+"$bin" serve --port 0 --jobs 1 --queue 8 --findings "$camp_dir/ref.jsonl" \
+  >"$srv_log2" 2>&1 &
+srv2_pid=$!
+for _ in $(seq 50); do
+  port2="$(sed -n 's/.*127\.0\.0\.1:\([0-9]*\).*/\1/p' "$srv_log2" | head -1)"
+  [ -n "$port2" ] && break
+  sleep 0.1
+done
+[ -n "$port2" ] || { echo "ci: findings server never came up"; cat "$srv_log2"; exit 1; }
+"$bin" client --port "$port2" findings >"$camp_dir/feed.jsonl"
+cmp "$camp_dir/ref.jsonl" "$camp_dir/feed.jsonl"
+# external corpus round-trips through POST /analyze too
+"$bin" client --port "$port2" analyze test/corpus-ext/noname.fpcore \
+  --iterations 2 >/dev/null
+"$bin" client --port "$port2" metrics >"$camp_dir/metrics.txt"
+grep -q '^fpgrind_campaign_findings_total [1-9]' "$camp_dir/metrics.txt"
+grep -q '^fpgrind_store_torn_records_total' "$camp_dir/metrics.txt"
+kill -TERM "$srv2_pid"
+wait "$srv2_pid"
+
 echo "ci: ok"

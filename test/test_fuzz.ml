@@ -118,6 +118,73 @@ let shrinker_soundness () =
   checkb "shrinker made progress" true
     (stats.Fuzz.Shrink.rounds >= 1 && len small < len ast)
 
+(* A shrunk reproducer must still trigger the oracle predicate under
+   every engine — full, tiered, and sanitize — not just the engine that
+   found it. The predicate here is "the program prints at least one
+   output"; the shrinker only ever consults the full engine, and the
+   cross-engine half of the property is checked once on the result. *)
+let shrinker_cross_engine () =
+  let cfg = Core.Config.fast in
+  let max_steps = 2_000_000 in
+  let compile_of (p : Minic.Ast.program) =
+    match Minic.compile ~file:"xshrink.mc" (Fuzz.Printer.program p) with
+    | prog -> Some prog
+    | exception Minic.Compile_error _ -> None
+  in
+  let full_prints ~inputs p =
+    match compile_of p with
+    | None -> false
+    | Some prog -> (
+        match Core.Analysis.analyze ~cfg ~max_steps ~inputs prog with
+        | r -> r.Core.Analysis.raw.Core.Exec.r_outputs <> []
+        | exception _ -> false)
+  in
+  (* find a seeded program that prints *)
+  let rec find i =
+    if i >= 200 then Alcotest.fail "no generated program prints an output"
+    else
+      let ast, inputs = Fuzz.Campaign.generate ~seed:45 i in
+      if full_prints ~inputs ast then (ast, inputs) else find (i + 1)
+  in
+  let ast, inputs = find 0 in
+  let small, _stats =
+    Fuzz.Shrink.shrink ~still_fails:(full_prints ~inputs) ast
+  in
+  checkb "shrunk program still triggers the predicate under full" true
+    (full_prints ~inputs small);
+  let prog =
+    match compile_of small with
+    | Some prog -> prog
+    | None -> Alcotest.fail "shrunk program no longer compiles"
+  in
+  let out_bits (os : Vex.Machine.output list) =
+    List.map
+      (fun (o : Vex.Machine.output) ->
+        Int64.bits_of_float (Vex.Value.as_f64 o.Vex.Machine.value))
+      (List.filter
+         (fun (o : Vex.Machine.output) -> o.Vex.Machine.kind = Vex.Ir.OutFloat)
+         os)
+  in
+  let full_out =
+    (Core.Analysis.analyze ~cfg ~max_steps ~inputs prog).Core.Analysis.raw
+      .Core.Exec.r_outputs
+  in
+  let tiered =
+    Tiered.analyze ~cfg:{ cfg with Core.Config.engine = Core.Config.Tiered }
+      ~max_steps ~inputs prog
+  in
+  let san = Sanitize.Sexec.run ~max_steps ~inputs cfg prog in
+  checkb "tiered engine also triggers the predicate" true
+    (Tiered.outputs tiered <> []);
+  checkb "sanitize engine also triggers the predicate" true
+    (Sanitize.Sexec.outputs san <> []);
+  Alcotest.(check (list int64))
+    "tiered outputs bit-identical to full" (out_bits full_out)
+    (out_bits (Tiered.outputs tiered));
+  Alcotest.(check (list int64))
+    "sanitize outputs bit-identical to full" (out_bits full_out)
+    (out_bits (Sanitize.Sexec.outputs san))
+
 (* shrinking is deterministic: same input, same predicate, same result *)
 let shrinker_deterministic () =
   let still_fails p =
@@ -312,6 +379,7 @@ let () =
         [
           Alcotest.test_case "sound on injected oracle bug" `Quick
             shrinker_soundness;
+          Alcotest.test_case "cross-engine" `Quick shrinker_cross_engine;
           Alcotest.test_case "deterministic" `Quick shrinker_deterministic;
         ] );
       ( "kernel",
