@@ -562,10 +562,36 @@ let suite_cmd =
                 (Fleet.Store.status_to_string p.Fleet.pr_last.Fleet.o_status)
                 p.Fleet.pr_last.Fleet.o_name p.Fleet.pr_last.Fleet.o_wall_s)
       in
-      let outcomes = Fleet.run ~jobs ?timeout ?cache ?on_progress specs in
-      (match json_path with
-      | Some path -> Fleet.Store.save path outcomes
-      | None -> ());
+      (* benchmark/CI hooks, env-gated so the flag surface stays stable:
+         FPGRIND_SUITE_PASSES=N re-runs the same spec list N times in
+         this one process (pass p > 1 writes to <json>.passP), which is
+         how ci.sh proves the second pass is served by the compile
+         cache; FPGRIND_COMPILE_STATS=1 prints one JSON line per pass
+         with the process-wide compile counters for jq. *)
+      let passes =
+        match Sys.getenv_opt "FPGRIND_SUITE_PASSES" with
+        | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 1)
+        | None -> 1
+      in
+      let compile_stats = Sys.getenv_opt "FPGRIND_COMPILE_STATS" = Some "1" in
+      let last = ref [] in
+      for p = 1 to passes do
+        let outcomes = Fleet.run ~jobs ?timeout ?cache ?on_progress specs in
+        (match json_path with
+        | Some path ->
+            let path =
+              if p = 1 then path else path ^ ".pass" ^ string_of_int p
+            in
+            Fleet.Store.save path outcomes
+        | None -> ());
+        if compile_stats then
+          Printf.eprintf "{\"pass\":%d,\"blocks_compiled\":%d,\"cache_hits\":%d}\n%!"
+            p
+            (Vex.Compile.blocks_compiled_total ())
+            (Vex.Compile.cache_hits_total ());
+        last := outcomes
+      done;
+      let outcomes = !last in
       print_string (Fleet.Store.summary_table outcomes);
       let bad =
         List.exists

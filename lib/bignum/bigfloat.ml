@@ -65,14 +65,13 @@ let round_raw ~prec ~sticky neg mant exp =
   else begin
     let drop = bl - prec in
     let keep = N.shift_right mant drop in
-    let low = N.sub mant (N.shift_left keep drop) in
-    let halfway = N.shift_left N.one (drop - 1) in
-    let c = N.compare low halfway in
+    (* The discarded part low compares against halfway = 2^(drop-1)
+       through two bits: the round bit and whether anything is set below
+       it — no need to materialize low itself. *)
+    let rb = N.testbit mant (drop - 1) in
     let up =
-      if c > 0 then true
-      else if c < 0 then false
-      else if sticky then true
-      else N.testbit keep 0
+      rb
+      && (N.any_bit_below mant (drop - 1) || sticky || N.testbit keep 0)
     in
     let keep = if up then N.add keep N.one else keep in
     make ~neg ~mant:keep ~exp:(exp + drop)
@@ -119,6 +118,16 @@ let exact = max_int / 16
    collapsed to a sticky nudge (faithful rounding; see DESIGN.md). *)
 let max_align_bits prec = (2 * min prec exact) + 4096
 
+(* Fused align-and-round: when [hi.exp - lo.exp = g >= 1], the exact sum
+   [hi.mant * 2^g +/- lo.mant] has [lo]'s low [g-1] bits strictly below
+   the guard bit of any [prec]-bit rounding of a value at least
+   [2^(prec-1+g-1)], so they can be folded into a sticky flag instead of
+   materialized: compute only [hi*2 +/- ceil/floor(lo / 2^(g-1))] — one
+   guard bit wide — and let [round_raw] consume the sticky. Identical
+   result to rounding the full-width sum; the subtraction side falls
+   back when cancellation eats into the guard bit (the fold is only
+   valid while the top stays above [prec] bits). *)
+
 let add_fin ~prec (a : fin) (b : fin) =
   if a.neg = b.neg then begin
     (* same sign: magnitude addition *)
@@ -127,15 +136,21 @@ let add_fin ~prec (a : fin) (b : fin) =
     if gap > max_align_bits prec then begin
       (* lo only contributes a sticky bit *)
       let sticky_exp = magnitude hi - max_align_bits prec in
-      let m = N.add (N.shift_left hi.mant (hi.exp - sticky_exp)) N.one in
+      let m = N.add_shifted hi.mant (hi.exp - sticky_exp) N.one in
       round_raw ~prec ~sticky:false hi.neg m sticky_exp
     end
+    else if hi.exp - lo.exp >= 1 && N.bit_length hi.mant >= prec then begin
+      let g = hi.exp - lo.exp in
+      let sticky = N.any_bit_below lo.mant (g - 1) in
+      let m = N.add_shifted hi.mant 1 (N.shift_right lo.mant (g - 1)) in
+      round_raw ~prec ~sticky hi.neg m (lo.exp + g - 1)
+    end
     else begin
-      let e = min a.exp b.exp in
       let m =
-        N.add (N.shift_left a.mant (a.exp - e)) (N.shift_left b.mant (b.exp - e))
+        if a.exp >= b.exp then N.add_shifted a.mant (a.exp - b.exp) b.mant
+        else N.add_shifted b.mant (b.exp - a.exp) a.mant
       in
-      round_raw ~prec ~sticky:false a.neg m e
+      round_raw ~prec ~sticky:false a.neg m (min a.exp b.exp)
     end
   end
   else begin
@@ -147,17 +162,39 @@ let add_fin ~prec (a : fin) (b : fin) =
       let gap = magnitude hi - magnitude lo in
       if gap > max_align_bits prec then begin
         let sticky_exp = magnitude hi - max_align_bits prec in
-        let m = N.sub (N.shift_left hi.mant (hi.exp - sticky_exp)) N.one in
+        let m = N.sub_shifted hi.mant (hi.exp - sticky_exp) N.one in
         round_raw ~prec ~sticky:false hi.neg m sticky_exp
       end
       else begin
-        let e = min hi.exp lo.exp in
-        let m =
-          N.sub
-            (N.shift_left hi.mant (hi.exp - e))
-            (N.shift_left lo.mant (lo.exp - e))
+        let fused =
+          let g = hi.exp - lo.exp in
+          if g < 1 then None
+          else begin
+            let sticky = N.any_bit_below lo.mant (g - 1) in
+            let t = N.shift_right lo.mant (g - 1) in
+            let t = if sticky then N.add t N.one else t in
+            let m1 = N.sub_shifted hi.mant 1 t in
+            (* the guard-bit fold is only exact while the top keeps
+               more than [prec] bits; cancellation past that must see
+               the full-width difference *)
+            if N.bit_length m1 > prec then
+              Some (round_raw ~prec ~sticky hi.neg m1 (lo.exp + g - 1))
+            else None
+          end
         in
-        round_raw ~prec ~sticky:false hi.neg m e
+        match fused with
+        | Some r -> r
+        | None ->
+            let e = min hi.exp lo.exp in
+            let m =
+              if hi.exp >= lo.exp then
+                N.sub_shifted hi.mant (hi.exp - e) lo.mant
+              else
+                N.sub
+                  (N.shift_left hi.mant (hi.exp - e))
+                  (N.shift_left lo.mant (lo.exp - e))
+            in
+            round_raw ~prec ~sticky:false hi.neg m e
       end
     end
   end
@@ -181,9 +218,17 @@ let mul ~prec x y =
   | Inf a, Fin f | Fin f, Inf a -> Inf (a <> f.neg)
   | Zero a, Zero b -> Zero (a <> b)
   | Zero a, Fin f | Fin f, Zero a -> Zero (a <> f.neg)
-  | Fin a, Fin b ->
-      round_raw ~prec ~sticky:false (a.neg <> b.neg) (N.mul a.mant b.mant)
-        (a.exp + b.exp)
+  | Fin a, Fin b -> begin
+      (* Canonical mantissas are odd, so the short product can usually
+         round without computing the low half; identical result either
+         way (see Natural.mul_round). *)
+      match N.mul_round ~prec a.mant b.mant with
+      | Some (mant, shift) ->
+          make ~neg:(a.neg <> b.neg) ~mant ~exp:(a.exp + b.exp + shift)
+      | None ->
+          round_raw ~prec ~sticky:false (a.neg <> b.neg) (N.mul a.mant b.mant)
+            (a.exp + b.exp)
+    end
 
 let div ~prec x y =
   match (x, y) with
@@ -202,6 +247,44 @@ let div ~prec x y =
       let q, r = N.divmod (N.shift_left a.mant s) b.mant in
       round_raw ~prec ~sticky:(not (N.is_zero r)) (a.neg <> b.neg) q
         (a.exp - b.exp - s)
+
+(* Division by a machine-integer divisor: bit-identical to
+   [div ~prec x (of_int k)], but the whole quotient comes out of one
+   fused shift-and-divide pass ({!Natural.divshift_int}) instead of the
+   general path's chain of temporaries. Series evaluation in
+   [Bigfloat_math] divides by a small integer once per term, which makes
+   this the hottest division form in the tree. *)
+let div_int ~prec x k =
+  if k = 0 || k = min_int then div ~prec x (of_int k)
+  else
+    match x with
+    | Nan -> Nan
+    | Inf a -> Inf (a <> (k < 0))
+    | Zero a -> Zero (a <> (k < 0))
+    | Fin a ->
+        let ka = Stdlib.abs k in
+        (* mirror [of_int]'s canonical odd-mantissa decomposition *)
+        let tz = ref 0 in
+        let ko = ref ka in
+        while !ko land 1 = 0 do
+          incr tz;
+          ko := !ko lsr 1
+        done;
+        let ko = !ko in
+        let lb = ref 0 and v = ref ko in
+        while !v > 0 do
+          incr lb;
+          v := !v lsr 1
+        done;
+        (* divisors past one limb take the general path *)
+        if !lb > 31 then div ~prec x (of_int k)
+        else begin
+          let la = N.bit_length a.mant in
+          let s = max 0 (prec + 2 + !lb - la) in
+          let q, r = N.divshift_int a.mant s ko in
+          round_raw ~prec ~sticky:(r <> 0) (a.neg <> (k < 0)) q
+            (a.exp - !tz - s)
+        end
 
 let sqrt ~prec x =
   match x with

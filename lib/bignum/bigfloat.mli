@@ -54,6 +54,12 @@ val add : prec:int -> t -> t -> t
 val sub : prec:int -> t -> t -> t
 val mul : prec:int -> t -> t -> t
 val div : prec:int -> t -> t -> t
+
+val div_int : prec:int -> t -> int -> t
+(** [div_int ~prec x k] is [div ~prec x (of_int k)] bit for bit, via a
+    fused single-pass divide — the form series evaluation hits once per
+    term. *)
+
 val sqrt : prec:int -> t -> t
 
 val mul_2exp : t -> int -> t

@@ -93,7 +93,7 @@ let exp_series ~wp r =
   let acc = ref B.one and term = ref B.one and i = ref 1 in
   let continue = ref true in
   while !continue do
-    term := B.div ~prec:wp (B.mul ~prec:wp !term r) (B.of_int !i);
+    term := B.div_int ~prec:wp (B.mul ~prec:wp !term r) !i;
     if B.is_zero !term || magnitude !term < magnitude !acc - wp - 4 then
       continue := false
     else begin
@@ -138,7 +138,7 @@ let atanh2_series ~wp z =
   let continue = ref true in
   while !continue do
     term := B.mul ~prec:wp !term z2;
-    let t = B.div ~prec:wp !term (B.of_int (2 * !i + 1)) in
+    let t = B.div_int ~prec:wp !term (2 * !i + 1) in
     if B.is_zero t || magnitude t < magnitude !acc - wp - 4 then
       continue := false
     else begin
@@ -222,7 +222,7 @@ let expm1 ~prec x =
         let acc = ref x and term = ref x and i = ref 2 in
         let continue = ref true in
         while !continue do
-          term := B.div ~prec:wp (B.mul ~prec:wp !term x) (B.of_int !i);
+          term := B.div_int ~prec:wp (B.mul ~prec:wp !term x) !i;
           if B.is_zero !term || magnitude !term < magnitude !acc - wp - 4 then
             continue := false
           else begin
@@ -274,9 +274,9 @@ let sin_series ~wp r =
   while !continue do
     term :=
       B.neg
-        (B.div ~prec:wp
+        (B.div_int ~prec:wp
            (B.mul ~prec:wp !term r2)
-           (B.of_int ((2 * !k) * ((2 * !k) + 1))));
+           ((2 * !k) * ((2 * !k) + 1)));
     if B.is_zero !term || magnitude !term < magnitude !acc - wp - 4 then
       continue := false
     else begin
@@ -293,9 +293,9 @@ let cos_series ~wp r =
   while !continue do
     term :=
       B.neg
-        (B.div ~prec:wp
+        (B.div_int ~prec:wp
            (B.mul ~prec:wp !term r2)
-           (B.of_int (((2 * !k) - 1) * (2 * !k))));
+           (((2 * !k) - 1) * (2 * !k)));
     if B.is_zero !term || magnitude !term < magnitude !acc - wp - 4 then
       continue := false
     else begin
@@ -313,6 +313,7 @@ let trig_reduce ~wp x =
   let xmag = max 0 (magnitude x) in
   if xmag > 8192 then None
   else begin
+    let p0 = wp + xmag + guard in
     let rec attempt extra tries =
       let p = wp + xmag + extra in
       let halfpi = B.mul_2exp (pi ~prec:p) (-1) in
@@ -338,7 +339,35 @@ let trig_reduce ~wp x =
         Some (qmod, r)
       end
     in
-    attempt guard 0
+    (* The first Ziv attempt's outcome is often decidable from a float
+       approximation of |x| alone, letting us skip a full multi-precision
+       divide/multiply/subtract round.  Both shortcuts below reproduce the
+       loop's behaviour exactly; anything unprovable falls through to the
+       plain recursion.
+
+       Case A, |x| <= 0.78: the attempt-0 quotient x/halfpi is correctly
+       rounded, and |x|/(pi/2) <= 0.78*(1+2^-52)/1.5707... < 0.497, so it
+       rounds to the integer q = 0.  Then r = round_p0(x), which is x
+       itself whenever x carries at most p0 significant bits, and q = 0
+       forbids a retry: attempt 0 returns (0, x).
+
+       Case B, |x| >= 0.79 (including to_float overflow to infinity):
+       the quotient is >= 0.79*(1-2^-52)/1.5708/(1+2^-p) > 0.502, so
+       q <> 0.  Here magnitude x >= 0, hence xmag = magnitude x and the
+       retry threshold at extra = guard is 2*guard - guard = guard = 32;
+       any nonzero remainder has |r| <~ pi/4 and magnitude <= 1 < 32, so
+       attempt 0 retries iff r <> 0.  And r <> 0 is guaranteed when x has
+       fewer significant bits than pi at precision p0: r = 0 would need
+       x = q * halfpi_p0 exactly, whose canonical mantissa (q' * pi_mant
+       for the odd part q' of q, both odd) is at least as wide as
+       pi_p0's.  In that case attempt 0 always retries, so we start the
+       recursion directly at its successor (extra = 3*guard, tries = 1). *)
+    let ax = Float.abs (B.to_float x) in
+    if ax <= 0.78 && B.precision_of x <= p0 then Some (0, x)
+    else if
+      ax >= 0.79 && B.precision_of x < B.precision_of (pi ~prec:p0)
+    then attempt (guard + max 64 (2 * guard)) 1
+    else attempt guard 0
   end
 
 let sin ~prec x =
@@ -425,7 +454,7 @@ let atan ~prec x =
       let continue = ref true in
       while !continue do
         term := B.neg (B.mul ~prec:wp !term z2);
-        let t = B.div ~prec:wp !term (B.of_int ((2 * !i) + 1)) in
+        let t = B.div_int ~prec:wp !term ((2 * !i) + 1) in
         if B.is_zero t || magnitude t < magnitude !acc - wp - 4 then
           continue := false
         else begin
@@ -532,9 +561,9 @@ let sinh ~prec x =
         let continue = ref true in
         while !continue do
           term :=
-            B.div ~prec:wp
+            B.div_int ~prec:wp
               (B.mul ~prec:wp !term x2)
-              (B.of_int ((2 * !k) * ((2 * !k) + 1)));
+              ((2 * !k) * ((2 * !k) + 1));
           if B.is_zero !term || magnitude !term < magnitude !acc - wp - 4 then
             continue := false
           else begin

@@ -66,9 +66,11 @@ let add (a : t) (b : t) : t =
   let carry = ref 0 in
   for i = 0 to lr - 1 do
     let s =
-      (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry
+      (if i < la then Array.unsafe_get a i else 0)
+      + (if i < lb then Array.unsafe_get b i else 0)
+      + !carry
     in
-    r.(i) <- s land limb_mask;
+    Array.unsafe_set r i (s land limb_mask);
     carry := s lsr base_bits
   done;
   normalize r
@@ -79,13 +81,17 @@ let sub (a : t) (b : t) : t =
   let r = Array.make la 0 in
   let borrow = ref 0 in
   for i = 0 to la - 1 do
-    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    let d =
+      Array.unsafe_get a i
+      - (if i < lb then Array.unsafe_get b i else 0)
+      - !borrow
+    in
     if d < 0 then begin
-      r.(i) <- d + base;
+      Array.unsafe_set r i (d + base);
       borrow := 1
     end
     else begin
-      r.(i) <- d;
+      Array.unsafe_set r i d;
       borrow := 0
     end
   done;
@@ -99,8 +105,8 @@ let mul_int (a : t) (k : int) : t =
     let r = Array.make (la + 1) 0 in
     let carry = ref 0 in
     for i = 0 to la - 1 do
-      let p = (a.(i) * k) + !carry in
-      r.(i) <- p land limb_mask;
+      let p = (Array.unsafe_get a i * k) + !carry in
+      Array.unsafe_set r i (p land limb_mask);
       carry := p lsr base_bits
     done;
     r.(la) <- !carry;
@@ -114,23 +120,28 @@ let mul_school (a : t) (b : t) : t =
   else begin
     let r = Array.make (la + lb) 0 in
     for i = 0 to la - 1 do
-      let ai = a.(i) in
+      let ai = Array.unsafe_get a i in
       if ai <> 0 then begin
         let carry = ref 0 in
         for j = 0 to lb - 1 do
-          let p = (ai * b.(j)) + r.(i + j) + !carry in
-          r.(i + j) <- p land limb_mask;
+          let p =
+            (ai * Array.unsafe_get b j) + Array.unsafe_get r (i + j) + !carry
+          in
+          Array.unsafe_set r (i + j) (p land limb_mask);
           carry := p lsr base_bits
         done;
         (* The final carry fits in one limb: ai*b(j) <= (B-1)^2 and the
            running sum stays below B^2. *)
-        r.(i + lb) <- r.(i + lb) + !carry
+        Array.unsafe_set r (i + lb) (Array.unsafe_get r (i + lb) + !carry)
       end
     done;
     normalize r
   end
 
-let karatsuba_threshold = 32
+(* Below this limb count Karatsuba's split/recombine allocations cost
+   more than the ~25% of limb products they save; 1000-bit operands (34
+   limbs) land in schoolbook, which profiles ~2x faster there. *)
+let karatsuba_threshold = 72
 
 let split_at (a : t) (k : int) : t * t =
   let la = Array.length a in
@@ -162,8 +173,8 @@ let rec mul (a : t) (b : t) : t =
     add (add z0 (shift_limbs z1 k)) (shift_limbs z2 (2 * k))
   end
 
-let bit_length (a : t) =
-  let la = Array.length a in
+
+let bit_length_raw (a : int array) (la : int) =
   if la = 0 then 0
   else begin
     let top = a.(la - 1) in
@@ -176,9 +187,31 @@ let bit_length (a : t) =
     ((la - 1) * base_bits) + !bits
   end
 
+let bit_length (a : t) = bit_length_raw a (Array.length a)
+
 let testbit (a : t) (i : int) =
   let limb = i / base_bits and off = i mod base_bits in
   limb < Array.length a && (a.(limb) lsr off) land 1 = 1
+
+(* Is any bit strictly below position [i] set? Scans from the bottom, so
+   for odd values (canonical Bigfloat mantissas) it answers in O(1). *)
+let any_bit_below (a : t) (i : int) =
+  if i <= 0 || is_zero a then false
+  else begin
+    let limb = i / base_bits and off = i mod base_bits in
+    let la = Array.length a in
+    let full = min limb la in
+    let rec scan k = k < full && (a.(k) <> 0 || scan (k + 1)) in
+    scan 0
+    || (off > 0 && limb < la && a.(limb) land ((1 lsl off) - 1) <> 0)
+  end
+
+(* Are all bits in [lo, hi) set? (false for an empty range) *)
+let all_ones_between (a : t) (lo : int) (hi : int) =
+  lo < hi
+  &&
+  let rec go i = i >= hi || (testbit a i && go (i + 1)) in
+  go lo
 
 let is_even (a : t) = is_zero a || a.(0) land 1 = 0
 
@@ -193,8 +226,8 @@ let shift_left (a : t) (n : int) : t =
     else begin
       let carry = ref 0 in
       for i = 0 to la - 1 do
-        let v = (a.(i) lsl bits) lor !carry in
-        r.(i + limbs) <- v land limb_mask;
+        let v = (Array.unsafe_get a i lsl bits) lor !carry in
+        Array.unsafe_set r (i + limbs) (v land limb_mask);
         carry := v lsr base_bits
       done;
       r.(la + limbs) <- !carry
@@ -215,15 +248,180 @@ let shift_right (a : t) (n : int) : t =
       if bits = 0 then Array.blit a limbs r 0 lr
       else
         for i = 0 to lr - 1 do
-          let lo = a.(i + limbs) lsr bits in
+          let lo = Array.unsafe_get a (i + limbs) lsr bits in
           let hi =
             if i + limbs + 1 < la then
-              (a.(i + limbs + 1) lsl (base_bits - bits)) land limb_mask
+              (Array.unsafe_get a (i + limbs + 1) lsl (base_bits - bits))
+              land limb_mask
             else 0
           in
-          r.(i) <- lo lor hi
+          Array.unsafe_set r i (lo lor hi)
         done;
       normalize r
+    end
+  end
+
+(* Bigfloat addition aligns operands by shifting the higher-exponent one
+   left before a full-width add or sub.  Fusing the shift into the
+   add/sub writes the shifted operand straight into the result buffer —
+   one allocation and one pass instead of three — which matters in series
+   evaluation where the alignment gap grows with every term. *)
+let write_shifted (a : t) (limbs : int) (bits : int) (r : int array) =
+  let la = Array.length a in
+  if bits = 0 then Array.blit a 0 r limbs la
+  else begin
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let v = (Array.unsafe_get a i lsl bits) lor !carry in
+      Array.unsafe_set r (i + limbs) (v land limb_mask);
+      carry := v lsr base_bits
+    done;
+    r.(la + limbs) <- !carry
+  end
+
+(* [add_shifted a s b] = a*2^s + b. *)
+let add_shifted (a : t) (s : int) (b : t) : t =
+  if s < 0 then invalid_arg "Natural.add_shifted: negative shift";
+  if s = 0 then add a b
+  else if is_zero a then b
+  else if is_zero b then shift_left a s
+  else begin
+    let limbs = s / base_bits and bits = s mod base_bits in
+    let la = Array.length a and lb = Array.length b in
+    let lr = 1 + max (la + limbs + 1) lb in
+    let r = Array.make lr 0 in
+    write_shifted a limbs bits r;
+    let carry = ref 0 and i = ref 0 in
+    while !i < lb || !carry <> 0 do
+      let v =
+        Array.unsafe_get r !i
+        + (if !i < lb then Array.unsafe_get b !i else 0)
+        + !carry
+      in
+      Array.unsafe_set r !i (v land limb_mask);
+      carry := v lsr base_bits;
+      incr i
+    done;
+    normalize r
+  end
+
+(* [sub_shifted a s b] = a*2^s - b; requires a*2^s >= b. *)
+let sub_shifted (a : t) (s : int) (b : t) : t =
+  if s < 0 then invalid_arg "Natural.sub_shifted: negative shift";
+  if s = 0 then sub a b
+  else if is_zero b then shift_left a s
+  else begin
+    let limbs = s / base_bits and bits = s mod base_bits in
+    let la = Array.length a and lb = Array.length b in
+    let lr = la + limbs + 1 in
+    if is_zero a || lb > lr then
+      invalid_arg "Natural.sub_shifted: negative result";
+    let r = Array.make lr 0 in
+    write_shifted a limbs bits r;
+    let borrow = ref 0 and i = ref 0 in
+    while (!i < lb || !borrow <> 0) && !i < lr do
+      let v =
+        Array.unsafe_get r !i
+        - (if !i < lb then Array.unsafe_get b !i else 0)
+        - !borrow
+      in
+      if v < 0 then begin
+        Array.unsafe_set r !i (v + base);
+        borrow := 1
+      end
+      else begin
+        Array.unsafe_set r !i v;
+        borrow := 0
+      end;
+      incr i
+    done;
+    if !borrow <> 0 then invalid_arg "Natural.sub_shifted: negative result";
+    normalize r
+  end
+
+(* Short-product multiply-and-round for odd operands.
+
+   [mul_round ~prec a b] rounds a*b to [prec] significant bits (round to
+   nearest) and returns [Some (mant, shift)] with
+   round(a*b) = mant * 2^shift, or [None] when the caller must fall back
+   to the exact product.
+
+   Soundness argument. Both operands are odd (canonical Bigfloat
+   mantissas), so the product P is odd: the bits discarded by rounding
+   always contain a set bit below the round bit, the tie case is
+   impossible, and round-to-nearest reduces to "add the round bit".
+   The short product keeps only the partial products a_i*b_j with
+   i+j >= off and computes S with P = S*B^off + E where
+   0 <= E < off*B^(off+1), i.e. E < 2^44*B^off for off <= 8192. Adding E
+   to S*B^off can change bits at positions >= off*31+45 only through a
+   carry chain of consecutive set bits, so if some bit of S in the
+   window [45, round-bit) is clear, the round bit and everything above
+   it are exact. The all-ones window (probability ~2^-window per call)
+   falls back to the exact product. *)
+let mul_round ~prec (a : t) (b : t) : (t * int) option =
+  let la = Array.length a and lb = Array.length b in
+  if la < 6 || lb < 6 || prec <= 0 then None
+  else if a.(0) land 1 = 0 || b.(0) land 1 = 0 then None
+  else begin
+    let bl_min = bit_length a + bit_length b - 1 in
+    let drop_min = bl_min - prec in
+    (* the round bit must sit comfortably above the uncertain window *)
+    let off = (drop_min - 1 - 96) / base_bits in
+    if off < 2 || off > 8192 then None
+    else begin
+      let lr = la + lb - off in
+      let r = Array.make lr 0 in
+      (* Column-major (Comba) accumulation over exactly the pairs with
+         [i + j >= off] — the same partial products as a row walk, so
+         the truncated sum is bit-identical, but the carry chain runs
+         once per column instead of once per product. A column of up to
+         [la] products can overflow 63 bits, so each product is split
+         into its low and high limb halves and the two are summed
+         separately (each bounded by [la * 2^31], comfortably in
+         range). *)
+      let carry = ref 0 and hi_prev = ref 0 in
+      for c = off to la + lb - 2 do
+        let i0 = if c - lb + 1 > 0 then c - lb + 1 else 0 in
+        let i1 = if c < la - 1 then c else la - 1 in
+        (* two independent accumulator pairs halve the add-latency chain;
+           products pipeline through the multiplier either way *)
+        let lo = ref 0 and hi = ref 0 in
+        let lo' = ref 0 and hi' = ref 0 in
+        let i = ref i0 in
+        while !i + 1 <= i1 do
+          let p = Array.unsafe_get a !i * Array.unsafe_get b (c - !i) in
+          let q =
+            Array.unsafe_get a (!i + 1) * Array.unsafe_get b (c - !i - 1)
+          in
+          lo := !lo + (p land limb_mask);
+          hi := !hi + (p lsr base_bits);
+          lo' := !lo' + (q land limb_mask);
+          hi' := !hi' + (q lsr base_bits);
+          i := !i + 2
+        done;
+        if !i = i1 then begin
+          let p = Array.unsafe_get a !i * Array.unsafe_get b (c - !i) in
+          lo := !lo + (p land limb_mask);
+          hi := !hi + (p lsr base_bits)
+        end;
+        let s = !carry + !hi_prev + !lo + !lo' in
+        Array.unsafe_set r (c - off) (s land limb_mask);
+        carry := s lsr base_bits;
+        hi_prev := !hi + !hi'
+      done;
+      Array.unsafe_set r (lr - 1) (!carry + !hi_prev);
+      let s = normalize r in
+      let bl_s = bit_length s in
+      (* round-bit position within S *)
+      let rb_pos = bl_s - prec - 1 in
+      if rb_pos < 64 then None
+      else if all_ones_between s 45 rb_pos then None
+      else begin
+        let rb = testbit s rb_pos in
+        let keep = shift_right s (rb_pos + 1) in
+        let mant = if rb then add keep one else keep in
+        Some (mant, bl_s + (off * base_bits) - prec)
+      end
     end
   end
 
@@ -246,12 +444,67 @@ let divmod_int (a : t) (k : int) : t * int =
   let la = Array.length a in
   let q = Array.make la 0 in
   let rem = ref 0 in
+  (* One float reciprocal-multiply per limb instead of two hardware
+     integer divides (or one float divide, whose ~15-cycle latency sits
+     on the loop's serial rem chain). cur < k*2^31, so the true quotient
+     fits 31 bits; the estimate's relative error — three roundings at
+     ~2^-53 each — is under 2^-50, hence off by at most 1 after
+     truncation, and a single fixup in each direction restores
+     exactness. *)
+  let ik = 1.0 /. float_of_int k in
   for i = la - 1 downto 0 do
-    let cur = (!rem lsl base_bits) lor a.(i) in
-    q.(i) <- cur / k;
-    rem := cur mod k
+    let cur = (!rem lsl base_bits) lor Array.unsafe_get a i in
+    let qi = int_of_float (float_of_int cur *. ik) in
+    let r = cur - (qi * k) in
+    let qi = if r < 0 then qi - 1 else if r >= k then qi + 1 else qi in
+    let r = if r < 0 then r + k else if r >= k then r - k else r in
+    Array.unsafe_set q i qi;
+    rem := r
   done;
   (normalize q, !rem)
+
+(* [divmod_int (shift_left a s) k], fused: the shifted limbs are
+   produced on the fly inside the division pass, so the scaled dividend
+   is never materialized. [Bigfloat.div_int] divides a full-precision
+   mantissa by a machine integer once per series term, where the
+   general path's temporaries dominate the profile. *)
+let divshift_int (a : t) (s : int) (k : int) : t * int =
+  if s < 0 then invalid_arg "Natural.divshift_int: negative shift";
+  if k <= 0 then invalid_arg "Natural.divshift_int: non-positive divisor";
+  if k >= base then invalid_arg "Natural.divshift_int: divisor too large";
+  let n = Array.length a in
+  if n = 0 then (zero, 0)
+  else begin
+    let sw = s / base_bits and sb = s mod base_bits in
+    (* one limb of headroom for the sub-limb shift's spill *)
+    let nt = n + sw + if sb = 0 then 0 else 1 in
+    let q = Array.make nt 0 in
+    let ik = 1.0 /. float_of_int k in
+    let rem = ref 0 in
+    for i = nt - 1 downto 0 do
+      let j = i - sw in
+      let limb =
+        if sb = 0 then (if j >= 0 && j < n then Array.unsafe_get a j else 0)
+        else begin
+          let hi = if j >= 0 && j < n then Array.unsafe_get a j lsl sb else 0
+          and lo =
+            if j >= 1 then Array.unsafe_get a (j - 1) lsr (base_bits - sb)
+            else 0
+          in
+          (hi lor lo) land limb_mask
+        end
+      in
+      (* same reciprocal-multiply quotient step as [divmod_int] *)
+      let cur = (!rem lsl base_bits) lor limb in
+      let qi = int_of_float (float_of_int cur *. ik) in
+      let r = cur - (qi * k) in
+      let qi = if r < 0 then qi - 1 else if r >= k then qi + 1 else qi in
+      let r = if r < 0 then r + k else if r >= k then r - k else r in
+      Array.unsafe_set q i qi;
+      rem := r
+    done;
+    (normalize q, !rem)
+  end
 
 (* Knuth algorithm D (TAOCP vol. 2, 4.3.1). Divisor normalized so its top
    limb has the high bit set, which bounds the qhat correction loop. *)
@@ -286,15 +539,15 @@ let divmod_knuth (a : t) (b : t) : t * t =
       (* multiply-subtract u[j..j+n] -= qhat * v *)
       let borrow = ref 0 and carry = ref 0 in
       for i = 0 to n - 1 do
-        let p = (!qhat * v.(i)) + !carry in
+        let p = (!qhat * Array.unsafe_get v i) + !carry in
         carry := p lsr base_bits;
-        let d = u.(i + j) - (p land limb_mask) - !borrow in
+        let d = Array.unsafe_get u (i + j) - (p land limb_mask) - !borrow in
         if d < 0 then begin
-          u.(i + j) <- d + base;
+          Array.unsafe_set u (i + j) (d + base);
           borrow := 1
         end
         else begin
-          u.(i + j) <- d;
+          Array.unsafe_set u (i + j) d;
           borrow := 0
         end
       done;

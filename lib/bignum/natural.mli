@@ -38,8 +38,21 @@ val divmod : t -> t -> t * t
 val divmod_int : t -> int -> t * int
 (** [divmod_int a k] divides by a small positive int. *)
 
+val divshift_int : t -> int -> int -> t * int
+(** [divshift_int a s k] is [divmod_int (shift_left a s) k] in one pass,
+    without materializing the shifted dividend. *)
+
 val shift_left : t -> int -> t
 val shift_right : t -> int -> t
+
+val add_shifted : t -> int -> t -> t
+(** [add_shifted a s b] is [a*2^s + b] ([s >= 0]), fusing the alignment
+    shift of floating-point addition into the add: one pass, one
+    allocation. *)
+
+val sub_shifted : t -> int -> t -> t
+(** [sub_shifted a s b] is [a*2^s - b]; requires [a*2^s >= b] and
+    [s >= 0], raising [Invalid_argument] otherwise. *)
 
 val bit_length : t -> int
 (** [bit_length n] is the position of the highest set bit plus one; 0 for
@@ -47,6 +60,21 @@ val bit_length : t -> int
 
 val testbit : t -> int -> bool
 (** [testbit n i] is bit [i] (little-endian) of [n]. *)
+
+val any_bit_below : t -> int -> bool
+(** [any_bit_below n i] is true when some bit strictly below position [i]
+    is set. O(1) on odd values. *)
+
+val mul_round : prec:int -> t -> t -> (t * int) option
+(** [mul_round ~prec a b] computes [a*b] rounded to nearest at [prec]
+    significant bits via a short product, returning [Some (mant, shift)]
+    with [round(a*b) = mant * 2^shift]. Requires both operands odd
+    (ties are then impossible and the sticky bit is always set, exactly
+    the contract of {!Bigfloat}'s canonical mantissas); returns [None]
+    when the operands are small, even, or the short product cannot
+    prove the rounding — callers fall back to the exact product. The
+    returned rounding is always identical to rounding the exact
+    product. *)
 
 val is_even : t -> bool
 

@@ -23,8 +23,9 @@ val analyze :
     (program inputs with no floating-point provenance); [max_steps] bounds
     the number of superblocks executed; [restrict] limits instrumentation
     to a dependency-closed statement set (the tiered engine's pass 2, see
-    {!Exec.run}); [tick] is called once per superblock (see {!Exec.run})
-    so callers can abort long runs by raising from it. *)
+    {!Exec.run}); [tick] is called at block granularity, strided to
+    about once per 1024 executed raw statements (see {!Exec.run}), so
+    callers can abort long runs by raising from it. *)
 
 val report_string : result -> string
 (** The report in the paper's format: one entry per erroneous spot, with

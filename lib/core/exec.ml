@@ -1,10 +1,20 @@
-(* The instrumented VEX interpreter: the analogue of running the client
+(* The instrumented VEX executor: the analogue of running the client
    binary under Valgrind with the Herbgrind tool loaded. Client semantics
    are shared with the fast interpreter through [Vex.Eval]; this module
    adds the three shadow executions of paper section 4 (reals, influences,
    expressions), the spot bookkeeping, libm wrapping, bit-trick
    recognition, compensation detection, and the type-inference fast
-   paths. *)
+   paths.
+
+   The executor runs pre-decoded superblocks ([Vex.Compile]): statement
+   ids, source locations, jump targets, fast-path/off-slice/full dispatch
+   and the lazy-trace reachability verdict are all resolved once per
+   program (and cached process-wide), so the per-statement loop is an
+   array walk over decoded operations. Per-block temporaries and their
+   shadow slots live in arenas allocated once at [create] and bulk-reset
+   on block entry. Concrete trace nodes are materialized only when the
+   compiled program can reach a trace consumer; otherwise every creation
+   site keeps the logical node count with [Trace.phantom]. *)
 
 module B = Bignum.Bigfloat
 module IntSet = Shadow.IntSet
@@ -37,15 +47,27 @@ type spot_info = {
 type stats = {
   mutable blocks_run : int;
   mutable stmts_run : int;
+  mutable stmts_executed : int;
   mutable stmts_instrumented : int;
   mutable fp_ops : int;
   mutable compensations : int;
 }
 
+(* per-block scratch, allocated once at [create] and reused on every
+   execution of the block (the stepping loop runs one block at a time,
+   so reuse cannot race) *)
+type frame = {
+  temps : Vex.Value.t array;
+  tshadow : Shadow.slot array;
+}
+
 type state = {
   prog : Vex.Ir.prog;
   cfg : Config.t;
-  info : Vex.Typeinfer.t;
+  compiled : Vex.Compile.t;
+  (* the lazy-trace materialization verdict for this run: expressions are
+     enabled and the compiled program contains a trace consumer *)
+  traces : bool;
   mem : Bytes.t;
   (* exclusive upper bound of client memory traffic this run; the
      scratch pool re-zeroes only [0, mem_hw) on reuse *)
@@ -60,12 +82,12 @@ type state = {
   mutable outputs : Vex.Machine.output list;
   stats : stats;
   max_steps : int;
-  (* tiered pass 2: statements outside the restriction run machine-only
-     (no shadows, no spots); [None] instruments everything. The
-     membership predicate is pre-evaluated per static statement at
-     [create] so the per-statement hot path is an array read, not a
-     closure call. *)
-  restrict : bool array array option;
+  frames : frame array;  (* per-block scratch, reused across executions *)
+  temp_inits : Vex.Value.t array array;  (* pristine temps per block *)
+  (* deadline hook, called by the executor itself every [tick_stride]
+     raw statements rather than by the driver per superblock *)
+  tick : (unit -> unit) option;
+  mutable stmts_since_tick : int;
 }
 
 exception Client_error of string
@@ -92,12 +114,13 @@ let release_mem (mem : Bytes.t) (mem_hw : int) : unit =
   let pool = Domain.DLS.get scratch_pool in
   pool := Some (mem, mem_hw)
 
+(* raw statements between wall-clock checks; small enough that a
+   deadline overshoots by microseconds, large enough that the check is
+   invisible in the profile *)
+let tick_stride = 1024
+
 let create ?(mem_size = Vex.Machine.default_mem_size) ?(max_steps = max_int)
-    ?(inputs = [||]) ?restrict (cfg : Config.t) prog =
-  let info =
-    if cfg.Config.type_inference then Vex.Typeinfer.infer prog
-    else Vex.Typeinfer.all_full prog
-  in
+    ?(inputs = [||]) ?restrict ?tick (cfg : Config.t) prog =
   let restrict =
     match restrict with
     | None -> None
@@ -109,10 +132,16 @@ let create ?(mem_size = Vex.Machine.default_mem_size) ?(max_steps = max_int)
                    f (Vex.Ir.stmt_id ~block:bi ~stmt:si)))
              prog.Vex.Ir.blocks)
   in
+  let compiled =
+    Vex.Compile.get ~type_inference:cfg.Config.type_inference ?restrict prog
+  in
   {
     prog;
     cfg;
-    info;
+    compiled;
+    traces =
+      cfg.Config.enable_expressions
+      && compiled.Vex.Compile.c_traces_reachable;
     mem = acquire_mem mem_size;
     mem_hw = 0;
     thread = Bytes.make Vex.Machine.default_thread_size '\000';
@@ -126,12 +155,30 @@ let create ?(mem_size = Vex.Machine.default_mem_size) ?(max_steps = max_int)
       {
         blocks_run = 0;
         stmts_run = 0;
+        stmts_executed = 0;
         stmts_instrumented = 0;
         fp_ops = 0;
         compensations = 0;
       };
     max_steps;
-    restrict;
+    frames =
+      Array.map
+        (fun (b : Vex.Ir.block) ->
+          {
+            temps = Array.map Vex.Machine.init_value b.Vex.Ir.temp_tys;
+            tshadow = Array.make (Array.length b.Vex.Ir.temp_tys) Shadow.SNone;
+          })
+        prog.Vex.Ir.blocks;
+    temp_inits =
+      Array.map
+        (fun (b : Vex.Ir.block) ->
+          Array.map Vex.Machine.init_value b.Vex.Ir.temp_tys)
+        prog.Vex.Ir.blocks;
+    tick;
+    (* start at the stride so the first block entry checks the deadline
+       immediately: a caller with an already-expired budget must not get
+       a whole stride of free work *)
+    stmts_since_tick = tick_stride;
   }
 
 (* ---------- spot and op tables ---------- *)
@@ -202,17 +249,18 @@ let out_error st (client : float) (real : B.t) ~single =
    compensation detection (5.4), the concrete trace node, and folds the
    trace into the op's aggregation (6.3). *)
 
-let arg_shadow ~single (v : float) (sl : Shadow.slot) : Shadow.t =
+let arg_shadow st ~single (v : float) (sl : Shadow.slot) : Shadow.t =
   match sl with
   | Shadow.SVal s -> s
-  | Shadow.SNone | Shadow.SBool _ | Shadow.SVec _ -> Shadow.fresh_leaf ~single v
+  | Shadow.SNone | Shadow.SBool _ | Shadow.SVec _ ->
+      Shadow.fresh_leaf ~single ~traces:st.traces v
 
 let do_op st ~stmt_id ~loc ~name ~single ~(client : float)
     ~(client_fn : float array -> float) ~(real_fn : B.t array -> B.t)
     (args : (float * Shadow.slot) array) : Shadow.slot =
   st.stats.fp_ops <- st.stats.fp_ops + 1;
   let cfg = st.cfg in
-  let shadows = Array.map (fun (v, sl) -> arg_shadow ~single v sl) args in
+  let shadows = Array.map (fun (v, sl) -> arg_shadow st ~single v sl) args in
   let real =
     if cfg.Config.enable_reals then
       real_fn (Array.map (fun s -> s.Shadow.real) shadows)
@@ -285,18 +333,26 @@ let do_op st ~stmt_id ~loc ~name ~single ~(client : float)
           else union_all
     end
   in
-  (* trace; the node key hashes the exact result for equivalence inference *)
+  (* trace; the node key hashes the exact result for equivalence
+     inference. With expressions off the eager executor built a bare
+     value leaf here; that leaf had no consumer, so it is phantom-counted
+     instead. *)
   let trace =
     if cfg.Config.enable_expressions then
-      Trace.node ~max_depth:cfg.Config.max_trace_depth ~key:(B.hash real) name
-        (Array.map (fun s -> s.Shadow.trace) shadows)
-        client
-    else Trace.leaf client
+      Some
+        (Trace.node ~max_depth:cfg.Config.max_trace_depth ~key:(B.hash real)
+           name
+           (Array.map Shadow.trace_of shadows)
+           client)
+    else begin
+      Trace.phantom ();
+      None
+    end
   in
   (* aggregate *)
   if cfg.Config.enable_expressions then begin
     let o = op_entry st stmt_id loc name in
-    Antiunify.add o.o_agg trace;
+    (match trace with Some tr -> Antiunify.add o.o_agg tr | None -> ());
     o.o_count <- o.o_count + 1;
     o.o_local_err_sum <- o.o_local_err_sum +. local_err;
     if local_err > o.o_local_err_max then o.o_local_err_max <- local_err;
@@ -311,7 +367,7 @@ let do_op st ~stmt_id ~loc ~name ~single ~(client : float)
     o.o_local_err_sum <- o.o_local_err_sum +. local_err;
     if local_err > o.o_local_err_max then o.o_local_err_max <- local_err
   end;
-  Shadow.SVal { Shadow.real; trace; infl; single }
+  Shadow.SVal { Shadow.real; value = client; trace; infl; single }
 
 (* comparison of two shadowed floats in the reals *)
 let do_cmp st ~(client : bool) (cmp : B.t -> B.t -> bool)
@@ -319,7 +375,7 @@ let do_cmp st ~(client : bool) (cmp : B.t -> B.t -> bool)
   if not st.cfg.Config.enable_reals then Shadow.SNone
   else begin
     let shadows =
-      Array.map (fun (v, sl) -> arg_shadow ~single:false v sl) args
+      Array.map (fun (v, sl) -> arg_shadow st ~single:false v sl) args
     in
     let shadow_b = cmp shadows.(0).Shadow.real shadows.(1).Shadow.real in
     let binfl =
@@ -331,11 +387,6 @@ let do_cmp st ~(client : bool) (cmp : B.t -> B.t -> bool)
   end
 
 (* ---------- per-statement interpretation ---------- *)
-
-type frame = {
-  temps : Vex.Value.t array;
-  tshadow : Shadow.slot array;
-}
 
 let prec st = st.cfg.Config.precision
 
@@ -350,6 +401,7 @@ let rec eval st fr ~loc ~stmt_id (e : Vex.Ir.expr) : Vex.Value.t * Shadow.slot =
   | Vex.Ir.RdTmp t -> (fr.temps.(t), fr.tshadow.(t))
   | Vex.Ir.Const c -> (Vex.Value.of_const c, Shadow.SNone)
   | Vex.Ir.LabelAddr l ->
+      (* compiled expressions pre-resolve labels; kept for raw input *)
       (Vex.Value.VI64 (Int64.of_int (Vex.Ir.block_index st.prog l)), Shadow.SNone)
   | Vex.Ir.Get (off, ty) ->
       let v = Vex.Value.read_bytes st.thread off ty in
@@ -482,34 +534,47 @@ and shadow_unop st ~loc ~stmt_id (op : Vex.Ir.unop) (av : Vex.Value.t)
       match ash with
       | Shadow.SVal s ->
           let real = B.neg s.Shadow.real in
-          let trace =
-            if st.cfg.Config.enable_expressions then
-              Trace.node ~max_depth:st.cfg.Config.max_trace_depth
-                ~key:(B.hash real) "neg"
-                [| s.Shadow.trace |]
-                (match result with
-                | Vex.Value.VF64 f | Vex.Value.VF32 f -> f
-                | _ -> 0.0)
-            else s.Shadow.trace
-          in
-          Shadow.SVal { s with Shadow.real = real; trace }
+          if st.cfg.Config.enable_expressions then begin
+            let client =
+              match result with
+              | Vex.Value.VF64 f | Vex.Value.VF32 f -> f
+              | _ -> 0.0
+            in
+            let trace =
+              Some
+                (Trace.node ~max_depth:st.cfg.Config.max_trace_depth
+                   ~key:(B.hash real) "neg"
+                   [| Shadow.trace_of s |]
+                   client)
+            in
+            Shadow.SVal { s with Shadow.real; value = client; trace }
+          end
+          else
+            (* passthrough: the trace — and the value the eager trace
+               node carried — ride along unchanged *)
+            Shadow.SVal { s with Shadow.real }
       | _ -> Shadow.SNone
     end
   | Vex.Ir.AbsF64 | Vex.Ir.AbsF32 -> begin
       match ash with
       | Shadow.SVal s ->
           let real = B.abs s.Shadow.real in
-          let trace =
-            if st.cfg.Config.enable_expressions then
-              Trace.node ~max_depth:st.cfg.Config.max_trace_depth
-                ~key:(B.hash real) "fabs"
-                [| s.Shadow.trace |]
-                (match result with
-                | Vex.Value.VF64 f | Vex.Value.VF32 f -> f
-                | _ -> 0.0)
-            else s.Shadow.trace
-          in
-          Shadow.SVal { s with Shadow.real = real; trace }
+          if st.cfg.Config.enable_expressions then begin
+            let client =
+              match result with
+              | Vex.Value.VF64 f | Vex.Value.VF32 f -> f
+              | _ -> 0.0
+            in
+            let trace =
+              Some
+                (Trace.node ~max_depth:st.cfg.Config.max_trace_depth
+                   ~key:(B.hash real) "fabs"
+                   [| Shadow.trace_of s |]
+                   client)
+            in
+            Shadow.SVal { s with Shadow.real; value = client; trace }
+          end
+          else Shadow.SVal { s with Shadow.real }
       | _ -> Shadow.SNone
     end
   (* precision conversions: same value, new grid; no trace node (6.1) *)
@@ -527,20 +592,38 @@ and shadow_unop st ~loc ~stmt_id (op : Vex.Ir.unop) (av : Vex.Value.t)
   | Vex.Ir.I64toF64 ->
       let i = Vex.Value.as_i64 av in
       let real = B.of_bigint (Bignum.Bigint.of_int (Int64.to_int i)) in
+      let client = Vex.Value.as_f64 result in
+      let trace =
+        if st.traces then Some (Trace.leaf ~key:(B.hash real) client)
+        else begin
+          Trace.phantom ();
+          None
+        end
+      in
       Shadow.SVal
         {
-          Shadow.real = real;
-          trace = Trace.leaf ~key:(B.hash real) (Vex.Value.as_f64 result);
+          Shadow.real;
+          value = client;
+          trace;
           infl = IntSet.empty;
           single = false;
         }
   | Vex.Ir.I64toF32 ->
       let i = Vex.Value.as_i64 av in
       let real = B.of_bigint (Bignum.Bigint.of_int (Int64.to_int i)) in
+      let client = Vex.Value.as_f32 result in
+      let trace =
+        if st.traces then Some (Trace.leaf ~key:(B.hash real) client)
+        else begin
+          Trace.phantom ();
+          None
+        end
+      in
       Shadow.SVal
         {
-          Shadow.real = real;
-          trace = Trace.leaf ~key:(B.hash real) (Vex.Value.as_f32 result);
+          Shadow.real;
+          value = client;
+          trace;
           infl = IntSet.empty;
           single = true;
         }
@@ -721,36 +804,44 @@ and float_of_value = function
   | v -> Vex.Value.type_error "expected float" v
 
 and bit_trick_neg st (s : Shadow.t) (result : Vex.Value.t) : Shadow.slot =
-  let client =
-    match result with
-    | Vex.Value.VI64 bits -> Int64.float_of_bits bits
-    | Vex.Value.VF64 f -> f
-    | _ -> 0.0
-  in
   let real = B.neg s.Shadow.real in
-  let trace =
-    if st.cfg.Config.enable_expressions then
-      Trace.node ~max_depth:st.cfg.Config.max_trace_depth ~key:(B.hash real)
-        "neg" [| s.Shadow.trace |] client
-    else s.Shadow.trace
-  in
-  Shadow.SVal { s with Shadow.real = real; trace }
+  if st.cfg.Config.enable_expressions then begin
+    let client =
+      match result with
+      | Vex.Value.VI64 bits -> Int64.float_of_bits bits
+      | Vex.Value.VF64 f -> f
+      | _ -> 0.0
+    in
+    let trace =
+      Some
+        (Trace.node ~max_depth:st.cfg.Config.max_trace_depth ~key:(B.hash real)
+           "neg"
+           [| Shadow.trace_of s |]
+           client)
+    in
+    Shadow.SVal { s with Shadow.real; value = client; trace }
+  end
+  else Shadow.SVal { s with Shadow.real }
 
 and bit_trick_abs st (s : Shadow.t) (result : Vex.Value.t) : Shadow.slot =
-  let client =
-    match result with
-    | Vex.Value.VI64 bits -> Int64.float_of_bits bits
-    | Vex.Value.VF64 f -> f
-    | _ -> 0.0
-  in
   let real = B.abs s.Shadow.real in
-  let trace =
-    if st.cfg.Config.enable_expressions then
-      Trace.node ~max_depth:st.cfg.Config.max_trace_depth ~key:(B.hash real)
-        "fabs" [| s.Shadow.trace |] client
-    else s.Shadow.trace
-  in
-  Shadow.SVal { s with Shadow.real = real; trace }
+  if st.cfg.Config.enable_expressions then begin
+    let client =
+      match result with
+      | Vex.Value.VI64 bits -> Int64.float_of_bits bits
+      | Vex.Value.VF64 f -> f
+      | _ -> 0.0
+    in
+    let trace =
+      Some
+        (Trace.node ~max_depth:st.cfg.Config.max_trace_depth ~key:(B.hash real)
+           "fabs"
+           [| Shadow.trace_of s |]
+           client)
+    in
+    Shadow.SVal { s with Shadow.real; value = client; trace }
+  end
+  else Shadow.SVal { s with Shadow.real }
 
 and simd2 st ~loc ~stmt_id name ffn rfn (av, ash) (bv, bsh) result : Shadow.slot =
   let a0, a1 = Vex.Value.v128_f64_lanes (Vex.Value.as_v128 av) in
@@ -789,15 +880,21 @@ and lane_slot (sl : Shadow.slot) n i : Shadow.slot =
 exception Exit_to of int
 
 let run_block st (bidx : int) : int =
-  let b = st.prog.Vex.Ir.blocks.(bidx) in
-  let fr =
-    {
-      temps = Array.map Vex.Machine.init_value b.Vex.Ir.temp_tys;
-      tshadow = Array.make (Array.length b.Vex.Ir.temp_tys) Shadow.SNone;
-    }
-  in
-  let cur_loc = ref Vex.Ir.no_loc in
-  let n = Array.length b.Vex.Ir.stmts in
+  let cb = st.compiled.Vex.Compile.cblocks.(bidx) in
+  (* self-ticked deadline: check the wall clock at block granularity,
+     but only once every [tick_stride] executed raw statements *)
+  (match st.tick with
+  | Some tick ->
+      if st.stmts_since_tick >= tick_stride then begin
+        tick ();
+        st.stmts_since_tick <- 0
+      end;
+      st.stmts_since_tick <- st.stmts_since_tick + cb.Vex.Compile.cb_n_raw
+  | None -> ());
+  let fr = st.frames.(bidx) in
+  let nt = Array.length fr.temps in
+  Array.blit st.temp_inits.(bidx) 0 fr.temps 0 nt;
+  Array.fill fr.tshadow 0 nt Shadow.SNone;
   (* the fast path shares the uninstrumented evaluator through a minimal
      machine-state view *)
   let rec fast_eval (e : Vex.Ir.expr) : Vex.Value.t =
@@ -817,134 +914,140 @@ let run_block st (bidx : int) : int =
     | Vex.Ir.ITE (g, t, e2) ->
         if Vex.Value.as_bool (fast_eval g) then fast_eval t else fast_eval e2
   in
+  let stmts = cb.Vex.Compile.cb_stmts in
+  let n = Array.length stmts in
   let rec go i =
-    if i >= n then
-      match b.Vex.Ir.next with
-      | Vex.Ir.Goto l -> Vex.Ir.block_index st.prog l
-      | Vex.Ir.IndirectGoto e -> Int64.to_int (Vex.Value.as_i64 (fast_eval e))
-      | Vex.Ir.Halt -> -1
+    if i >= n then begin
+      st.stats.stmts_run <- st.stats.stmts_run + cb.Vex.Compile.cb_tail_w;
+      match cb.Vex.Compile.cb_next with
+      | Vex.Compile.CGoto t -> t
+      | Vex.Compile.CIndirect e -> Int64.to_int (Vex.Value.as_i64 (fast_eval e))
+      | Vex.Compile.CHalt -> -1
+    end
     else begin
-      st.stats.stmts_run <- st.stats.stmts_run + 1;
-      let stmt_id = Vex.Ir.stmt_id ~block:bidx ~stmt:i in
-      let action = Vex.Typeinfer.action st.info ~block:bidx ~stmt:i in
-      let off_slice =
-        match st.restrict with None -> false | Some m -> not m.(bidx).(i)
-      in
-      (match (b.Vex.Ir.stmts.(i), action) with
-      | Vex.Ir.IMark l, _ -> cur_loc := l
+      let c = stmts.(i) in
+      st.stats.stmts_run <- st.stats.stmts_run + c.Vex.Compile.cs_run_w;
+      st.stats.stmts_executed <- st.stats.stmts_executed + 1;
+      (match c.Vex.Compile.cs_path with
       (* fast paths allowed by type inference *)
-      | Vex.Ir.WrTmp (t, e), Vex.Typeinfer.Skip -> fr.temps.(t) <- fast_eval e
-      | Vex.Ir.Exit (g, l), Vex.Typeinfer.Skip ->
-          if Vex.Value.as_bool (fast_eval g) then
-            raise (Exit_to (Vex.Ir.block_index st.prog l))
-      | Vex.Ir.Put (off, e), Vex.Typeinfer.Clear ->
-          let v = fast_eval e in
-          clear_shadow_range st.thread_shadow off
-            (Vex.Ir.ty_size (Vex.Value.ty_of v));
-          Vex.Value.write_bytes st.thread off v
-      | Vex.Ir.Store (a, v), Vex.Typeinfer.Clear ->
-          let addr = Int64.to_int (Vex.Value.as_i64 (fast_eval a)) in
-          let value = fast_eval v in
-          check_mem st addr (Vex.Ir.ty_size (Vex.Value.ty_of value));
-          clear_shadow_range st.mem_shadow addr
-            (Vex.Ir.ty_size (Vex.Value.ty_of value));
-          Vex.Value.write_bytes st.mem addr value
+      | Vex.Compile.PFast -> begin
+          match c.Vex.Compile.cs_op with
+          | Vex.Compile.CWrTmp (t, e) -> fr.temps.(t) <- fast_eval e
+          | Vex.Compile.CExit (g, target) ->
+              if Vex.Value.as_bool (fast_eval g) then raise (Exit_to target)
+          | Vex.Compile.CPut (off, e) ->
+              let v = fast_eval e in
+              clear_shadow_range st.thread_shadow off
+                (Vex.Ir.ty_size (Vex.Value.ty_of v));
+              Vex.Value.write_bytes st.thread off v
+          | Vex.Compile.CStore (a, v) ->
+              let addr = Int64.to_int (Vex.Value.as_i64 (fast_eval a)) in
+              let value = fast_eval v in
+              check_mem st addr (Vex.Ir.ty_size (Vex.Value.ty_of value));
+              clear_shadow_range st.mem_shadow addr
+                (Vex.Ir.ty_size (Vex.Value.ty_of value));
+              Vex.Value.write_bytes st.mem addr value
+          | Vex.Compile.CDirtyArg _ | Vex.Compile.CDirty _
+          | Vex.Compile.COut _ ->
+              assert false (* never classified fast *)
+        end
       (* tiered pass 2, off the escalated slice: machine semantics only.
          Temp/thread/memory shadows are cleared rather than written, so
          an on-slice reader can never observe a stale real here — the
          slice closure guarantees every producer feeding an on-slice
          statement is itself on-slice. Outputs are still pushed (client
          transparency); no spot or op entries are created. *)
-      | stmt, _ when off_slice -> begin
-          match stmt with
-          | Vex.Ir.IMark _ -> ()
-          | Vex.Ir.WrTmp (t, e) ->
+      | Vex.Compile.POff -> begin
+          match c.Vex.Compile.cs_op with
+          | Vex.Compile.CWrTmp (t, e) ->
               fr.temps.(t) <- fast_eval e;
               fr.tshadow.(t) <- Shadow.SNone
-          | Vex.Ir.Put (off, e) ->
+          | Vex.Compile.CPut (off, e) ->
               let v = fast_eval e in
               clear_shadow_range st.thread_shadow off
                 (Vex.Ir.ty_size (Vex.Value.ty_of v));
               Vex.Value.write_bytes st.thread off v
-          | Vex.Ir.Store (a, ve) ->
+          | Vex.Compile.CStore (a, ve) ->
               let addr = Int64.to_int (Vex.Value.as_i64 (fast_eval a)) in
               let v = fast_eval ve in
               check_mem st addr (Vex.Ir.ty_size (Vex.Value.ty_of v));
               clear_shadow_range st.mem_shadow addr
                 (Vex.Ir.ty_size (Vex.Value.ty_of v));
               Vex.Value.write_bytes st.mem addr v
-          | Vex.Ir.Dirty (t, name, args) when name = "__arg" ->
+          | Vex.Compile.CDirtyArg (t, args) ->
               let k =
-                match args with
-                | [ a ] -> Vex.Value.as_f64 (fast_eval a)
-                | _ -> 0.0
+                if Array.length args = 1 then
+                  Vex.Value.as_f64 (fast_eval args.(0))
+                else 0.0
               in
               fr.temps.(t) <- Vex.Value.VF64 (Vex.Machine.nth_input st.inputs k);
               fr.tshadow.(t) <- Shadow.SNone
-          | Vex.Ir.Dirty (t, name, args) ->
+          | Vex.Compile.CDirty (t, name, args) ->
               let fargs =
-                Array.of_list
-                  (List.map (fun a -> Vex.Value.as_f64 (fast_eval a)) args)
+                Array.map (fun a -> Vex.Value.as_f64 (fast_eval a)) args
               in
               fr.temps.(t) <- Vex.Value.VF64 (Vex.Eval.libm_apply name fargs);
               fr.tshadow.(t) <- Shadow.SNone
-          | Vex.Ir.Exit (g, l) ->
-              if Vex.Value.as_bool (fast_eval g) then
-                raise (Exit_to (Vex.Ir.block_index st.prog l))
-          | Vex.Ir.Out (kind, e) ->
+          | Vex.Compile.CExit (g, target) ->
+              if Vex.Value.as_bool (fast_eval g) then raise (Exit_to target)
+          | Vex.Compile.COut (kind, e) -> (
               let v = fast_eval e in
-              (match kind with
+              match kind with
               | Vex.Ir.OutMark -> ()
               | Vex.Ir.OutFloat | Vex.Ir.OutInt ->
                   st.outputs <-
-                    { Vex.Machine.stmt_id; loc = !cur_loc; kind; value = v }
+                    {
+                      Vex.Machine.stmt_id = c.Vex.Compile.cs_id;
+                      loc = c.Vex.Compile.cs_loc;
+                      kind;
+                      value = v;
+                    }
                     :: st.outputs)
         end
-      | stmt, _ -> begin
+      | Vex.Compile.PFull -> begin
           st.stats.stmts_instrumented <- st.stats.stmts_instrumented + 1;
-          let loc = !cur_loc in
-          match stmt with
-          | Vex.Ir.IMark _ -> ()
-          | Vex.Ir.WrTmp (t, e) ->
+          let loc = c.Vex.Compile.cs_loc in
+          let stmt_id = c.Vex.Compile.cs_id in
+          match c.Vex.Compile.cs_op with
+          | Vex.Compile.CWrTmp (t, e) ->
               let v, sh = eval st fr ~loc ~stmt_id e in
               fr.temps.(t) <- v;
               fr.tshadow.(t) <- sh
-          | Vex.Ir.Put (off, e) ->
+          | Vex.Compile.CPut (off, e) ->
               let v, sh = eval st fr ~loc ~stmt_id e in
               store_shadow st st.thread_shadow off v sh;
               Vex.Value.write_bytes st.thread off v
-          | Vex.Ir.Store (a, ve) ->
+          | Vex.Compile.CStore (a, ve) ->
               let av, _ = eval st fr ~loc ~stmt_id a in
               let addr = Int64.to_int (Vex.Value.as_i64 av) in
               let v, sh = eval st fr ~loc ~stmt_id ve in
               check_mem st addr (Vex.Ir.ty_size (Vex.Value.ty_of v));
               store_shadow st st.mem_shadow addr v sh;
               Vex.Value.write_bytes st.mem addr v
-          | Vex.Ir.Dirty (t, name, args) when name = "__arg" ->
+          | Vex.Compile.CDirtyArg (t, args) ->
               (* a harness input: a fresh shadow leaf with no provenance *)
               let evaluated =
-                List.map (fun a -> eval st fr ~loc ~stmt_id a) args
+                Array.map (fun a -> eval st fr ~loc ~stmt_id a) args
               in
               let k =
-                match evaluated with
-                | [ (v, _) ] -> Vex.Value.as_f64 v
-                | _ -> 0.0
+                if Array.length evaluated = 1 then
+                  Vex.Value.as_f64 (fst evaluated.(0))
+                else 0.0
               in
               let client = Vex.Machine.nth_input st.inputs k in
               fr.temps.(t) <- Vex.Value.VF64 client;
-              fr.tshadow.(t) <- Shadow.SVal (Shadow.fresh_leaf client)
-          | Vex.Ir.Dirty (t, name, args) ->
+              fr.tshadow.(t) <-
+                Shadow.SVal (Shadow.fresh_leaf ~traces:st.traces client)
+          | Vex.Compile.CDirty (t, name, args) ->
               let evaluated =
-                List.map (fun a -> eval st fr ~loc ~stmt_id a) args
+                Array.map (fun a -> eval st fr ~loc ~stmt_id a) args
               in
               let fargs =
-                Array.of_list
-                  (List.map (fun (v, _) -> Vex.Value.as_f64 v) evaluated)
+                Array.map (fun (v, _) -> Vex.Value.as_f64 v) evaluated
               in
               let client = Vex.Eval.libm_apply name fargs in
               let arg_pairs =
-                Array.of_list
-                  (List.map (fun (v, sh) -> (Vex.Value.as_f64 v, sh)) evaluated)
+                Array.map (fun (v, sh) -> (Vex.Value.as_f64 v, sh)) evaluated
               in
               let sh =
                 do_op st ~stmt_id ~loc ~name ~single:false ~client
@@ -955,14 +1058,13 @@ let run_block st (bidx : int) : int =
               in
               fr.temps.(t) <- Vex.Value.VF64 client;
               fr.tshadow.(t) <- sh
-          | Vex.Ir.Exit (g, l) ->
+          | Vex.Compile.CExit (g, target) ->
               let gv, gsh = eval st fr ~loc ~stmt_id g in
               (match gsh with
               | Shadow.SBool sb -> record_branch st ~loc ~stmt_id sb
               | Shadow.SNone | Shadow.SVal _ | Shadow.SVec _ -> ());
-              if Vex.Value.as_bool gv then
-                raise (Exit_to (Vex.Ir.block_index st.prog l))
-          | Vex.Ir.Out (kind, e) ->
+              if Vex.Value.as_bool gv then raise (Exit_to target)
+          | Vex.Compile.COut (kind, e) ->
               let v, sh = eval st fr ~loc ~stmt_id e in
               (match kind with
               | Vex.Ir.OutMark -> () (* user spot mark: not a program output *)
@@ -1002,13 +1104,13 @@ type result = {
 
 let run ?mem_size ?max_steps ?inputs ?restrict ?tick (cfg : Config.t)
     (prog : Vex.Ir.prog) : result =
-  let st = create ?mem_size ?max_steps ?inputs ?restrict cfg prog in
+  let st = create ?mem_size ?max_steps ?inputs ?restrict ?tick cfg prog in
   Fun.protect
     ~finally:(fun () -> release_mem st.mem st.mem_hw)
     (fun () ->
       let error msg = Client_error msg in
       st.stats.blocks_run <-
-        Vex.Machine.drive ~max_steps:st.max_steps ?tick ~error st.prog
+        Vex.Machine.drive ~max_steps:st.max_steps ~error st.prog
           ~run_block:(run_block st);
       {
         r_ops = st.ops;

@@ -1,11 +1,15 @@
-(** The instrumented VEX interpreter: the analogue of running the client
+(** The instrumented VEX executor: the analogue of running the client
     binary under Valgrind with the Herbgrind tool loaded.
 
     Client semantics are shared with the fast interpreter through
     {!Vex.Eval}; this module adds the three shadow executions of paper
     section 4 (reals, influences, expressions), spot bookkeeping, libm
     wrapping, bit-trick recognition, compensation detection, and the
-    type-inference fast paths. Use {!Analysis.analyze} unless you need
+    type-inference fast paths. Programs execute as pre-decoded
+    superblocks ({!Vex.Compile}, cached process-wide); per-block
+    temporaries and shadow slots are arena-allocated and bulk-reset, and
+    concrete trace nodes are materialized only when the compiled program
+    can reach a trace consumer. Use {!Analysis.analyze} unless you need
     the raw tables. *)
 
 (** Per-operation (pc) aggregate: location, running anti-unification of
@@ -42,7 +46,10 @@ type spot_info = {
 
 type stats = {
   mutable blocks_run : int;
-  mutable stmts_run : int;
+  mutable stmts_run : int;  (** raw statements, IMarks included *)
+  mutable stmts_executed : int;
+      (** pre-decoded statements dispatched (IMarks are elided at
+          compile time, so this is the real dispatch count) *)
   mutable stmts_instrumented : int;  (** statements taking the full path *)
   mutable fp_ops : int;  (** shadowed floating-point operations *)
   mutable compensations : int;  (** compensating ops detected (5.4) *)
@@ -76,6 +83,9 @@ val run :
     accepted spots, the accepted set must be closed under backward data
     dependencies ({!Vex.Slice}).
 
-    [tick] is called once per superblock before it executes; batch
-    drivers use it to enforce wall-clock deadlines by raising from the
-    callback (the exception propagates out of [run] untouched). *)
+    [tick] is the deadline hook: the executor calls it at block
+    granularity, at most once per 1024 executed raw statements (and
+    immediately on the first block, so an already-expired budget gets no
+    free work); batch drivers enforce wall-clock deadlines by raising
+    from the callback (the exception propagates out of [run]
+    untouched). *)

@@ -7,6 +7,13 @@
    in temporaries, thread state, and memory (section 6.2); OCaml's GC
    replaces the reference counting of the C implementation.
 
+   [value] is the client double computed where the shadow was created
+   (trace-node semantics: passthrough rewrites such as precision moves
+   keep the creating site's value). It lives directly in the shadow so
+   the trace can stay unmaterialized: when the executor's reachability
+   pre-pass proves no consumer can see a trace, [trace] is [None] and
+   only the logical node count is kept (see {!Trace.phantom}).
+
    Shadow *locations* describe what a VEX temporary or storage slot
    holds: nothing, one scalar shadow, a float-comparison boolean, or the
    lanes of a SIMD vector. *)
@@ -15,7 +22,8 @@ module IntSet = Set.Make (Int)
 
 type t = {
   real : Bignum.Bigfloat.t;
-  trace : Trace.node;
+  value : float;
+  trace : Trace.node option;
   infl : IntSet.t;
   single : bool;  (* true when this value lives on the binary32 grid *)
 }
@@ -32,14 +40,23 @@ type slot =
 
 (* lazily shadow a client value that has no recorded provenance; trace keys
    always hash the exact value so equivalence inference is consistent
-   between leaves and computed nodes *)
-let fresh_leaf ?(single = false) (v : float) : t =
+   between leaves and computed nodes. [traces] is the executor's
+   materialization verdict: when false the leaf is phantom-counted. *)
+let fresh_leaf ?(single = false) ~traces (v : float) : t =
   let real = Bignum.Bigfloat.of_float v in
-  {
-    real;
-    trace = Trace.leaf ~key:(Bignum.Bigfloat.hash real) v;
-    infl = IntSet.empty;
-    single;
-  }
+  let trace =
+    if traces then Some (Trace.leaf ~key:(Bignum.Bigfloat.hash real) v)
+    else begin
+      Trace.phantom ();
+      None
+    end
+  in
+  { real; value = v; trace; infl = IntSet.empty; single }
 
-let client_value (s : t) : float = s.trace.Trace.value
+let client_value (s : t) : float = s.value
+
+(* the materialized trace of [s]; reconstructs a value leaf in the
+   (unreachable by the executors' reachability rule) case where a
+   consumer meets an unmaterialized shadow *)
+let trace_of (s : t) : Trace.node =
+  match s.trace with Some t -> t | None -> Trace.leaf s.value

@@ -33,13 +33,27 @@ type node = {
    time, so the delta across a job is exactly that job's node count, with
    no interference from jobs on other domains. *)
 let counter = Atomic.make 0
-let created_key = Domain.DLS.new_key (fun () -> ref 0)
+
+type counts = { mutable created : int; mutable materialized : int }
+
+let counts_key = Domain.DLS.new_key (fun () -> { created = 0; materialized = 0 })
 
 let next_id () =
-  incr (Domain.DLS.get created_key);
+  let c = Domain.DLS.get counts_key in
+  c.created <- c.created + 1;
+  c.materialized <- c.materialized + 1;
   Atomic.fetch_and_add counter 1 + 1
 
-let created_in_domain () = !(Domain.DLS.get created_key)
+let created_in_domain () = (Domain.DLS.get counts_key).created
+let materialized_in_domain () = (Domain.DLS.get counts_key).materialized
+
+(* Account for a node the executor decided not to build (the lazy-trace
+   path: no consumer can ever reach it). The logical creation count —
+   the per-job [m_trace_nodes] metric — stays exactly what an eager
+   executor would have reported; only the materialized count differs. *)
+let phantom () =
+  let c = Domain.DLS.get counts_key in
+  c.created <- c.created + 1
 
 let float_key v = Hashtbl.hash (Int64.bits_of_float v)
 

@@ -27,9 +27,20 @@ type node = private {
 }
 
 val created_in_domain : unit -> int
-(** Nodes created on the calling domain since it started. A batch worker
-    running one job at a time can difference this around the job to get a
-    per-job trace-node count that is independent of other domains. *)
+(** Nodes logically created on the calling domain since it started —
+    materialized nodes plus {!phantom} bumps. A batch worker running one
+    job at a time can difference this around the job to get a per-job
+    trace-node count that is independent of other domains. *)
+
+val materialized_in_domain : unit -> int
+(** Nodes actually allocated on the calling domain. Equals
+    {!created_in_domain} under eager tracing; lower when the executors'
+    lazy-trace reachability rule proves nodes unreachable. *)
+
+val phantom : unit -> unit
+(** Record a node that was deliberately not built (lazy traces): bumps
+    the logical creation count only, keeping [m_trace_nodes] identical
+    to an eager run. *)
 
 val max_tree_size : int
 (** Bound on a node's tree-expanded size; larger children are summarized

@@ -24,8 +24,10 @@ type status =
 type metrics = {
   m_blocks : int;  (* superblocks executed *)
   m_stmts : int;  (* statements executed (instruction count) *)
+  m_stmts_executed : int;  (* pre-decoded statements dispatched *)
   m_fp_ops : int;  (* shadowed floating-point operations *)
   m_trace_nodes : int;  (* concrete trace nodes built for this job *)
+  m_traces_materialized : int;  (* trace nodes actually allocated *)
   m_spots : int;  (* spots observed *)
   m_causes : int;  (* erroneous expressions above threshold *)
   m_compensations : int;
@@ -87,20 +89,18 @@ let notify_finished o =
 
 (* ---------- running one job ---------- *)
 
-(* The deadline is enforced from the per-superblock tick: every 16th call
-   compares the clock (the first call also checks, so an already-expired
-   deadline fires deterministically even on tiny jobs). A domain cannot
-   be killed, so a job that never re-enters the interpreter loop can only
-   be stopped by [Exec]'s own step budget. *)
+(* The deadline is enforced from the executors' tick. The executors
+   already stride the callback — one call per ~thousand executed
+   statements, with a guaranteed call on the first block — so every call
+   compares the clock directly: an already-expired deadline fires
+   deterministically even on tiny jobs. A domain cannot be killed, so a
+   job that never re-enters the execution loop can only be stopped by
+   [Exec]'s own step budget. *)
 let make_tick ~start = function
   | None -> fun () -> ()
   | Some timeout ->
       let deadline = start +. timeout in
-      let calls = ref 0 in
-      fun () ->
-        incr calls;
-        if !calls land 15 = 1 && Unix.gettimeofday () > deadline then
-          raise Deadline_exceeded
+      fun () -> if Unix.gettimeofday () > deadline then raise Deadline_exceeded
 
 let exec_one ?timeout (sp : spec) : outcome =
   notify_started sp;
@@ -341,12 +341,15 @@ let max_output_err (r : Core.Analysis.result) =
     (Core.Analysis.output_spots r)
 
 (* The standard payload of an analysis job: metrics, the deterministic
-   summary line, and the full report. [nodes0] is the domain's trace-node
-   count captured before the analysis ran, so [m_trace_nodes] is the
-   delta this job created. Shared by [bench_spec] and by ad-hoc job
-   builders (the serve subsystem) so a source analyzed over HTTP yields
-   the same record as the batch path. *)
-let payload_for ~name ~group ~nodes0 (r : Core.Analysis.result) : payload =
+   summary line, and the full report. [nodes0] and [mat0] are the
+   domain's trace-node counters (logical creations and actual
+   materializations) captured before the analysis ran, so
+   [m_trace_nodes] / [m_traces_materialized] are the deltas this job
+   created; their gap is the lazy-trace saving. Shared by [bench_spec]
+   and by ad-hoc job builders (the serve subsystem) so a source analyzed
+   over HTTP yields the same record as the batch path. *)
+let payload_for ~name ~group ~nodes0 ~mat0 (r : Core.Analysis.result) :
+    payload =
   let st = r.Core.Analysis.raw.Core.Exec.r_stats in
   let err_max = max_output_err r in
   let causes = List.length (Core.Analysis.erroneous_expressions r) in
@@ -354,8 +357,10 @@ let payload_for ~name ~group ~nodes0 (r : Core.Analysis.result) : payload =
     {
       m_blocks = st.Core.Exec.blocks_run;
       m_stmts = st.Core.Exec.stmts_run;
+      m_stmts_executed = st.Core.Exec.stmts_executed;
       m_fp_ops = st.Core.Exec.fp_ops;
       m_trace_nodes = Core.Trace.created_in_domain () - nodes0;
+      m_traces_materialized = Core.Trace.materialized_in_domain () - mat0;
       m_spots = Hashtbl.length r.Core.Analysis.raw.Core.Exec.r_spots;
       m_causes = causes;
       m_compensations = st.Core.Exec.compensations;
@@ -396,8 +401,10 @@ let san_payload_for ~name ~group (r : Sanitize.Sexec.result) : payload =
     {
       m_blocks = st.Sanitize.Sexec.blocks_run;
       m_stmts = st.Sanitize.Sexec.stmts_run;
+      m_stmts_executed = st.Sanitize.Sexec.stmts_executed;
       m_fp_ops = st.Sanitize.Sexec.shadow_ops;
       m_trace_nodes = 0;
+      m_traces_materialized = 0;
       m_spots = rep.Sanitize.Report.total_points;
       m_causes = causes;
       m_compensations = 0;
@@ -421,10 +428,11 @@ let san_payload_for ~name ~group (r : Sanitize.Sexec.result) : payload =
    program escalated (so a fully escalated job's record matches the full
    engine's, plus the escalation counters); pass 1's run stats and the
    clean-program report when it did not. *)
-let tiered_payload_for ~name ~group ~nodes0 (r : Tiered.result) : payload =
+let tiered_payload_for ~name ~group ~nodes0 ~mat0 (r : Tiered.result) :
+    payload =
   match r.Tiered.t_full with
   | Some full ->
-      let p = payload_for ~name ~group ~nodes0 full in
+      let p = payload_for ~name ~group ~nodes0 ~mat0 full in
       {
         p with
         p_metrics =
@@ -443,8 +451,10 @@ let tiered_payload_for ~name ~group ~nodes0 (r : Tiered.result) : payload =
         {
           m_blocks = st.Sanitize.Sexec.blocks_run;
           m_stmts = st.Sanitize.Sexec.stmts_run;
+          m_stmts_executed = st.Sanitize.Sexec.stmts_executed;
           m_fp_ops = st.Sanitize.Sexec.shadow_ops;
           m_trace_nodes = 0;
+          m_traces_materialized = 0;
           m_spots = 0;
           m_causes = 0;
           m_compensations = 0;
@@ -480,16 +490,19 @@ let bench_spec ?(cfg = Core.Config.default) ?(max_steps = 200_000_000)
     match cfg.Core.Config.engine with
     | Core.Config.Full ->
         let nodes0 = Core.Trace.created_in_domain () in
+        let mat0 = Core.Trace.materialized_in_domain () in
         let r = Core.Analysis.analyze ~cfg ~max_steps ~inputs ~tick prog in
-        payload_for ~name:b.Fpcore.Suite.name ~group:(group_name b) ~nodes0 r
+        payload_for ~name:b.Fpcore.Suite.name ~group:(group_name b) ~nodes0
+          ~mat0 r
     | Core.Config.Sanitize ->
         let r = Sanitize.Sexec.run ~max_steps ~inputs ~tick cfg prog in
         san_payload_for ~name:b.Fpcore.Suite.name ~group:(group_name b) r
     | Core.Config.Tiered ->
         let nodes0 = Core.Trace.created_in_domain () in
+        let mat0 = Core.Trace.materialized_in_domain () in
         let r = Tiered.analyze ~cfg ~max_steps ~inputs ~tick prog in
         tiered_payload_for ~name:b.Fpcore.Suite.name ~group:(group_name b)
-          ~nodes0 r
+          ~nodes0 ~mat0 r
   in
   {
     sp_name = b.Fpcore.Suite.name;

@@ -19,8 +19,11 @@ let metrics_to_json (m : Engine.metrics) : Json.t =
     [
       ("blocks", Json.Num (float_of_int m.Engine.m_blocks));
       ("stmts", Json.Num (float_of_int m.Engine.m_stmts));
+      ("stmts_executed", Json.Num (float_of_int m.Engine.m_stmts_executed));
       ("fp_ops", Json.Num (float_of_int m.Engine.m_fp_ops));
       ("trace_nodes", Json.Num (float_of_int m.Engine.m_trace_nodes));
+      ( "traces_materialized",
+        Json.Num (float_of_int m.Engine.m_traces_materialized) );
       ("spots", Json.Num (float_of_int m.Engine.m_spots));
       ("causes", Json.Num (float_of_int m.Engine.m_causes));
       ("compensations", Json.Num (float_of_int m.Engine.m_compensations));
@@ -33,8 +36,11 @@ let metrics_of_json (v : Json.t) : Engine.metrics =
   {
     Engine.m_blocks = Json.get_int "blocks" v;
     m_stmts = Json.get_int "stmts" v;
+    (* absent in stores written before the compiled executor: default 0 *)
+    m_stmts_executed = Json.get_int "stmts_executed" v;
     m_fp_ops = Json.get_int "fp_ops" v;
     m_trace_nodes = Json.get_int "trace_nodes" v;
+    m_traces_materialized = Json.get_int "traces_materialized" v;
     m_spots = Json.get_int "spots" v;
     m_causes = Json.get_int "causes" v;
     m_compensations = Json.get_int "compensations" v;

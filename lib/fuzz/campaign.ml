@@ -138,8 +138,10 @@ let run ?config ?(checks = Oracle.default_checks) ?(jobs = 1) ?timeout
                   {
                     Fleet.m_blocks = hi - lo;
                     m_stmts = 0;
+                    m_stmts_executed = 0;
                     m_fp_ops = 0;
                     m_trace_nodes = 0;
+                    m_traces_materialized = 0;
                     m_spots = 0;
                     m_causes = divergences;
                     m_compensations = 0;

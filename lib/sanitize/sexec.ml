@@ -7,10 +7,10 @@
    shadow, and program outputs.
 
    Client semantics are shared with the other engines through
-   [Vex.Eval]; the stepping loop is [Vex.Machine.drive] and the shadow
-   aliasing discipline is [Vex.Shadowtbl], both shared with
-   [Core.Exec]. Outputs are bit-identical to [Vex.Machine.run]'s (the
-   fuzz transparency oracle holds the engine to that). *)
+   [Vex.Eval]; the stepping loop is [Vex.Machine.drive], the pre-decoded
+   superblock stream is [Vex.Compile] (cached process-wide), both shared
+   with [Core.Exec]. Outputs are bit-identical to [Vex.Machine.run]'s
+   (the fuzz transparency oracle holds the engine to that). *)
 
 module TF = Twofloat
 
@@ -46,6 +46,7 @@ exception Client_error of string
 type stats = {
   mutable blocks_run : int;
   mutable stmts_run : int;
+  mutable stmts_executed : int;  (* pre-decoded statements dispatched *)
   mutable stmts_instrumented : int;
   mutable shadow_ops : int;  (* dd-shadowed floating-point operations *)
   mutable checks_run : int;
@@ -165,7 +166,7 @@ type state = {
   prog : Vex.Ir.prog;
   threshold : float;
   fatal : bool;
-  info : Vex.Typeinfer.t;
+  compiled : Vex.Compile.t;
   mem : Bytes.t;
   (* exclusive upper bound of client memory traffic this run; the
      scratch pool re-zeroes only [0, mem_hw) on reuse *)
@@ -186,6 +187,10 @@ type state = {
   mutable outputs : Vex.Machine.output list;  (* reversed *)
   stats : stats;
   max_steps : int;
+  (* deadline hook, called by the executor itself every [tick_stride]
+     raw statements rather than by the driver per superblock *)
+  tick : (unit -> unit) option;
+  mutable stmts_since_tick : int;
 }
 
 (* A per-domain pool of one client-memory buffer. Zeroing a fresh 1 MiB
@@ -210,17 +215,19 @@ let release_mem (mem : Bytes.t) (mem_hw : int) : unit =
   let pool = Domain.DLS.get scratch_pool in
   pool := Some (mem, mem_hw)
 
+(* raw statements between wall-clock checks; shared with [Core.Exec] *)
+let tick_stride = 1024
+
 let create ?(mem_size = Vex.Machine.default_mem_size) ?(max_steps = max_int)
-    ?(inputs = [||]) ?(fatal = false) (cfg : Core.Config.t) prog =
-  let info =
-    if cfg.Core.Config.type_inference then Vex.Typeinfer.infer prog
-    else Vex.Typeinfer.all_full prog
+    ?(inputs = [||]) ?(fatal = false) ?tick (cfg : Core.Config.t) prog =
+  let compiled =
+    Vex.Compile.get ~type_inference:cfg.Core.Config.type_inference prog
   in
   {
     prog;
     threshold = cfg.Core.Config.error_threshold;
     fatal;
-    info;
+    compiled;
     mem = acquire_mem mem_size;
     mem_hw = 0;
     thread = Bytes.make Vex.Machine.default_thread_size '\000';
@@ -253,11 +260,16 @@ let create ?(mem_size = Vex.Machine.default_mem_size) ?(max_steps = max_int)
       {
         blocks_run = 0;
         stmts_run = 0;
+        stmts_executed = 0;
         stmts_instrumented = 0;
         shadow_ops = 0;
         checks_run = 0;
       };
     max_steps;
+    tick;
+    (* start at the stride so the first block entry checks the deadline
+       immediately *)
+    stmts_since_tick = tick_stride;
   }
 
 (* ---------- findings ---------- *)
@@ -640,14 +652,21 @@ let rec eval st fr ~loc ~stmt_id (e : Vex.Ir.expr) : Vex.Value.t =
       if taken then eval st fr ~loc ~stmt_id t else eval st fr ~loc ~stmt_id e2
 
 let run_block st (bidx : int) : int =
-  let b = st.prog.Vex.Ir.blocks.(bidx) in
+  let cb = st.compiled.Vex.Compile.cblocks.(bidx) in
+  (* self-ticked deadline: check the wall clock at block granularity,
+     but only once every [tick_stride] executed raw statements *)
+  (match st.tick with
+  | Some tick ->
+      if st.stmts_since_tick >= tick_stride then begin
+        tick ();
+        st.stmts_since_tick <- 0
+      end;
+      st.stmts_since_tick <- st.stmts_since_tick + cb.Vex.Compile.cb_n_raw
+  | None -> ());
   let fr = st.frames.(bidx) in
   let nt = Array.length fr.temps in
   Array.blit st.temp_inits.(bidx) 0 fr.temps 0 nt;
   Array.fill fr.tshadow 0 nt SNone;
-  let cur_loc = ref Vex.Ir.no_loc in
-  let n = Array.length b.Vex.Ir.stmts in
-  let actions = Vex.Typeinfer.block_actions st.info ~block:bidx in
   (* the fast path shares the uninstrumented evaluator shape with
      [Core.Exec]: statements that provably touch no floats skip shadow
      plumbing entirely *)
@@ -668,48 +687,59 @@ let run_block st (bidx : int) : int =
     | Vex.Ir.ITE (g, t, e2) ->
         if Vex.Value.as_bool (fast_eval g) then fast_eval t else fast_eval e2
   in
+  let stmts = cb.Vex.Compile.cb_stmts in
+  let n = Array.length stmts in
   let rec go i =
-    if i >= n then
-      match b.Vex.Ir.next with
-      | Vex.Ir.Goto l -> Vex.Ir.block_index st.prog l
-      | Vex.Ir.IndirectGoto e -> Int64.to_int (Vex.Value.as_i64 (fast_eval e))
-      | Vex.Ir.Halt -> -1
+    if i >= n then begin
+      st.stats.stmts_run <- st.stats.stmts_run + cb.Vex.Compile.cb_tail_w;
+      match cb.Vex.Compile.cb_next with
+      | Vex.Compile.CGoto t -> t
+      | Vex.Compile.CIndirect e -> Int64.to_int (Vex.Value.as_i64 (fast_eval e))
+      | Vex.Compile.CHalt -> -1
+    end
     else begin
-      st.stats.stmts_run <- st.stats.stmts_run + 1;
-      let stmt_id = Vex.Ir.stmt_id ~block:bidx ~stmt:i in
-      (match (b.Vex.Ir.stmts.(i), actions.(i)) with
-      | Vex.Ir.IMark l, _ -> cur_loc := l
+      let c = stmts.(i) in
+      st.stats.stmts_run <- st.stats.stmts_run + c.Vex.Compile.cs_run_w;
+      st.stats.stmts_executed <- st.stats.stmts_executed + 1;
+      (match c.Vex.Compile.cs_path with
       (* fast paths allowed by type inference *)
-      | Vex.Ir.WrTmp (t, e), Vex.Typeinfer.Skip -> fr.temps.(t) <- fast_eval e
-      | Vex.Ir.Exit (g, l), Vex.Typeinfer.Skip ->
-          if Vex.Value.as_bool (fast_eval g) then
-            raise (Exit_to (Vex.Ir.block_index st.prog l))
-      | Vex.Ir.Put (off, e), Vex.Typeinfer.Clear ->
-          let v = fast_eval e in
-          Stbl.clear_range st.thread_shadow off
-            (Vex.Ir.ty_size (Vex.Value.ty_of v));
-          Vex.Value.write_bytes st.thread off v
-      | Vex.Ir.Store (a, v), Vex.Typeinfer.Clear ->
-          let addr = Int64.to_int (Vex.Value.as_i64 (fast_eval a)) in
-          let value = fast_eval v in
-          check_mem st addr (Vex.Ir.ty_size (Vex.Value.ty_of value));
-          Stbl.clear_range st.mem_shadow addr
-            (Vex.Ir.ty_size (Vex.Value.ty_of value));
-          Vex.Value.write_bytes st.mem addr value
-      | stmt, _ -> begin
+      | Vex.Compile.PFast -> begin
+          match c.Vex.Compile.cs_op with
+          | Vex.Compile.CWrTmp (t, e) -> fr.temps.(t) <- fast_eval e
+          | Vex.Compile.CExit (g, target) ->
+              if Vex.Value.as_bool (fast_eval g) then raise (Exit_to target)
+          | Vex.Compile.CPut (off, e) ->
+              let v = fast_eval e in
+              Stbl.clear_range st.thread_shadow off
+                (Vex.Ir.ty_size (Vex.Value.ty_of v));
+              Vex.Value.write_bytes st.thread off v
+          | Vex.Compile.CStore (a, v) ->
+              let addr = Int64.to_int (Vex.Value.as_i64 (fast_eval a)) in
+              let value = fast_eval v in
+              check_mem st addr (Vex.Ir.ty_size (Vex.Value.ty_of value));
+              Stbl.clear_range st.mem_shadow addr
+                (Vex.Ir.ty_size (Vex.Value.ty_of value));
+              Vex.Value.write_bytes st.mem addr value
+          | Vex.Compile.CDirtyArg _ | Vex.Compile.CDirty _
+          | Vex.Compile.COut _ ->
+              assert false (* never classified fast *)
+        end
+      (* the sanitizer never restricts, so POff cannot appear in its
+         compiled programs; fold it into the shadow path defensively *)
+      | Vex.Compile.POff | Vex.Compile.PFull -> begin
           st.stats.stmts_instrumented <- st.stats.stmts_instrumented + 1;
-          let loc = !cur_loc in
-          match stmt with
-          | Vex.Ir.IMark _ -> ()
-          | Vex.Ir.WrTmp (t, e) ->
+          let loc = c.Vex.Compile.cs_loc in
+          let stmt_id = c.Vex.Compile.cs_id in
+          match c.Vex.Compile.cs_op with
+          | Vex.Compile.CWrTmp (t, e) ->
               let v = eval st fr ~loc ~stmt_id e in
               fr.temps.(t) <- v;
               fr.tshadow.(t) <- fr.esh
-          | Vex.Ir.Put (off, e) ->
+          | Vex.Compile.CPut (off, e) ->
               let v = eval st fr ~loc ~stmt_id e in
               store_shadow st.thread_shadow off v fr.esh;
               Vex.Value.write_bytes st.thread off v
-          | Vex.Ir.Store (a, ve) ->
+          | Vex.Compile.CStore (a, ve) ->
               let av = eval st fr ~loc ~stmt_id a in
               let addr = Int64.to_int (Vex.Value.as_i64 av) in
               let v = eval st fr ~loc ~stmt_id ve in
@@ -727,47 +757,46 @@ let run_block st (bidx : int) : int =
               | _ -> ());
               store_shadow st.mem_shadow addr v sh;
               Vex.Value.write_bytes st.mem addr v
-          | Vex.Ir.Dirty (t, name, args) when name = "__arg" ->
+          | Vex.Compile.CDirtyArg (t, args) ->
               (* a harness input: an exact dd shadow of the client value *)
               let evaluated =
-                List.map (fun a -> eval st fr ~loc ~stmt_id a) args
+                Array.map (fun a -> eval st fr ~loc ~stmt_id a) args
               in
               let k =
-                match evaluated with [ v ] -> Vex.Value.as_f64 v | _ -> 0.0
+                if Array.length evaluated = 1 then
+                  Vex.Value.as_f64 evaluated.(0)
+                else 0.0
               in
               let client = Vex.Machine.nth_input st.inputs k in
               fr.temps.(t) <- Vex.Value.VF64 client;
               fr.tshadow.(t) <- SF (TF.of_float client)
-          | Vex.Ir.Dirty (t, name, args) ->
+          | Vex.Compile.CDirty (t, name, args) ->
               let evaluated =
-                List.map
+                Array.map
                   (fun a ->
                     let v = eval st fr ~loc ~stmt_id a in
                     (v, fr.esh))
                   args
               in
               let fargs =
-                Array.of_list
-                  (List.map (fun (v, _) -> Vex.Value.as_f64 v) evaluated)
+                Array.map (fun (v, _) -> Vex.Value.as_f64 v) evaluated
               in
               let client = Vex.Eval.libm_apply name fargs in
               st.stats.shadow_ops <- st.stats.shadow_ops + 1;
               let dd_args =
-                Array.of_list
-                  (List.map
-                     (fun (v, sh) -> sf_of (Vex.Value.as_f64 v) sh)
-                     evaluated)
+                Array.map
+                  (fun (v, sh) -> sf_of (Vex.Value.as_f64 v) sh)
+                  evaluated
               in
               fr.temps.(t) <- Vex.Value.VF64 client;
               fr.tshadow.(t) <- SF (TF.libm_apply name dd_args)
-          | Vex.Ir.Exit (g, l) ->
+          | Vex.Compile.CExit (g, target) ->
               let gv = eval st fr ~loc ~stmt_id g in
               (match fr.esh with
               | SBool sb -> record_branch st ~loc ~stmt_id sb
               | SNone | SF _ | SVec _ -> ());
-              if Vex.Value.as_bool gv then
-                raise (Exit_to (Vex.Ir.block_index st.prog l))
-          | Vex.Ir.Out (kind, e) ->
+              if Vex.Value.as_bool gv then raise (Exit_to target)
+          | Vex.Compile.COut (kind, e) ->
               let v = eval st fr ~loc ~stmt_id e in
               let sh = fr.esh in
               (match kind with
@@ -809,13 +838,13 @@ type result = {
 
 let run ?mem_size ?max_steps ?inputs ?tick ?fatal (cfg : Core.Config.t)
     (prog : Vex.Ir.prog) : result =
-  let st = create ?mem_size ?max_steps ?inputs ?fatal cfg prog in
+  let st = create ?mem_size ?max_steps ?inputs ?fatal ?tick cfg prog in
   Fun.protect
     ~finally:(fun () -> release_mem st.mem st.mem_hw)
     (fun () ->
       let error msg = Client_error msg in
       st.stats.blocks_run <-
-        Vex.Machine.drive ~max_steps:st.max_steps ?tick ~error st.prog
+        Vex.Machine.drive ~max_steps:st.max_steps ~error st.prog
           ~run_block:(run_block st);
       {
         sx_findings = st.findings;

@@ -5,9 +5,9 @@
     Checks fire at the observable points of Courbet's NSan: memory
     stores of floats, float-to-integer casts, float comparisons whose
     verdict flips against the shadow (observed at branches), and
-    program outputs. Client semantics, the stepping loop and the shadow
-    aliasing discipline are shared with the other engines
-    ({!Vex.Eval}, {!Vex.Machine.drive}, {!Vex.Shadowtbl}); outputs are
+    program outputs. Client semantics, the stepping loop and the
+    pre-decoded superblock stream are shared with the other engines
+    ({!Vex.Eval}, {!Vex.Machine.drive}, {!Vex.Compile}); outputs are
     bit-identical to {!Vex.Machine.run}'s, which the fuzz transparency
     oracle enforces. *)
 
@@ -47,7 +47,10 @@ exception Client_error of string
 
 type stats = {
   mutable blocks_run : int;
-  mutable stmts_run : int;
+  mutable stmts_run : int;  (** raw statements, IMarks included *)
+  mutable stmts_executed : int;
+      (** pre-decoded statements dispatched (IMarks elided at compile
+          time) *)
   mutable stmts_instrumented : int;  (** statements taking the shadow path *)
   mutable shadow_ops : int;  (** dd-shadowed floating-point operations *)
   mutable checks_run : int;
@@ -71,8 +74,9 @@ val run :
 (** Run the program under the sanitizer. Only [error_threshold] is read
     from the configuration (the other knobs belong to the full engine).
     [fatal] makes the first firing check raise {!Fatal_finding} instead
-    of resuming; [tick] is the batch drivers' per-superblock deadline
-    hook, as in {!Core.Exec.run}. *)
+    of resuming; [tick] is the batch drivers' deadline hook, called by
+    the executor at block granularity at most once per 1024 executed raw
+    statements, as in {!Core.Exec.run}. *)
 
 val outputs : result -> Vex.Machine.output list
 (** Everything the program printed, oldest first. *)

@@ -62,7 +62,11 @@ type t = {
   m_store_torn : Metrics.counter;  (* torn store records, monotone *)
   m_campaign_findings : Metrics.gauge;  (* findings in the feed *)
   m_campaign_feed_bytes : Metrics.gauge;
+  m_blocks_compiled : Metrics.counter;  (* Vex superblocks pre-decoded *)
+  m_compile_hits : Metrics.counter;  (* compile-cache hits *)
   mutable torn_seen : int;  (* last Store.corrupt_tail_total observed *)
+  mutable compiled_seen : int;  (* last Compile.blocks_compiled_total *)
+  mutable compile_hits_seen : int;  (* last Compile.cache_hits_total *)
   cache_mu : Mutex.t;
   cache : (string, Fleet.outcome) Hashtbl.t;
   mutable persisted : Fleet.outcome list;  (* newest first *)
@@ -203,6 +207,16 @@ let create (cfg : config) : t =
     Metrics.gauge reg ~help:"Size of the campaign findings feed in bytes."
       "fpgrind_campaign_feed_bytes"
   in
+  let m_blocks_compiled =
+    Metrics.counter reg
+      ~help:"Vex superblocks pre-decoded into flat compiled statement streams."
+      "fpgrind_blocks_compiled_total"
+  in
+  let m_compile_hits =
+    Metrics.counter reg
+      ~help:"Program executions served from the compiled-block cache."
+      "fpgrind_compile_cache_hits_total"
+  in
   (* warm the cache from the store, tolerating a torn tail *)
   let cache = Hashtbl.create 97 in
   let persisted = ref [] in
@@ -256,7 +270,11 @@ let create (cfg : config) : t =
       m_store_torn;
       m_campaign_findings;
       m_campaign_feed_bytes;
+      m_blocks_compiled;
+      m_compile_hits;
       torn_seen = 0;
+      compiled_seen = 0;
+      compile_hits_seen = 0;
       cache_mu = Mutex.create ();
       cache;
       persisted = !persisted;
@@ -274,6 +292,8 @@ let create (cfg : config) : t =
   (* materialize the unlabeled torn-records series so a clean server
      still renders the counter at 0 *)
   Metrics.inc ~by:0.0 t.m_store_torn [];
+  Metrics.inc ~by:0.0 t.m_blocks_compiled [];
+  Metrics.inc ~by:0.0 t.m_compile_hits [];
   t
 
 (* ---------- building analysis jobs from request bodies ---------- *)
@@ -366,15 +386,17 @@ let analyze_spec ?engine (rq : Http.request) : Fleet.spec =
       match cfg.Core.Config.engine with
       | Core.Config.Full ->
           let nodes0 = Core.Trace.created_in_domain () in
+          let mat0 = Core.Trace.materialized_in_domain () in
           let r = Core.Analysis.analyze ~cfg ~max_steps ~inputs ~tick prog in
-          Fleet.payload_for ~name ~group:kind ~nodes0 r
+          Fleet.payload_for ~name ~group:kind ~nodes0 ~mat0 r
       | Core.Config.Sanitize ->
           let r = Sanitize.Sexec.run ~max_steps ~inputs ~tick cfg prog in
           Fleet.san_payload_for ~name ~group:kind r
       | Core.Config.Tiered ->
           let nodes0 = Core.Trace.created_in_domain () in
+          let mat0 = Core.Trace.materialized_in_domain () in
           let r = Tiered.analyze ~cfg ~max_steps ~inputs ~tick prog in
-          Fleet.tiered_payload_for ~name ~group:kind ~nodes0 r
+          Fleet.tiered_payload_for ~name ~group:kind ~nodes0 ~mat0 r
     in
     {
       Fleet.sp_name = name;
@@ -443,8 +465,10 @@ let fuzz_spec (rq : Http.request) ~timeout : Fleet.spec =
         {
           Fleet.m_blocks = 0;
           m_stmts = 0;
+          m_stmts_executed = 0;
           m_fp_ops = 0;
           m_trace_nodes = 0;
+          m_traces_materialized = 0;
           m_spots = 0;
           m_causes = List.length failures;
           m_compensations = 0;
@@ -598,6 +622,18 @@ let handle_metrics t _rq =
   if torn > t.torn_seen then begin
     Metrics.inc ~by:(float_of_int (torn - t.torn_seen)) t.m_store_torn [];
     t.torn_seen <- torn
+  end;
+  let compiled = Vex.Compile.blocks_compiled_total () in
+  if compiled > t.compiled_seen then begin
+    Metrics.inc
+      ~by:(float_of_int (compiled - t.compiled_seen))
+      t.m_blocks_compiled [];
+    t.compiled_seen <- compiled
+  end;
+  let hits = Vex.Compile.cache_hits_total () in
+  if hits > t.compile_hits_seen then begin
+    Metrics.inc ~by:(float_of_int (hits - t.compile_hits_seen)) t.m_compile_hits [];
+    t.compile_hits_seen <- hits
   end;
   update_campaign_metrics t;
   Http.response

@@ -1,0 +1,310 @@
+(* Pre-decoded superblocks: the compile-once/run-many layer under both
+   instrumented executors ([Core.Exec] and [Sanitize.Sexec]).
+
+   The tree-walking interpreters re-derived per statement, on every
+   execution, facts that never change: the statement id, the current
+   source location (set by the preceding IMark), the type-inference
+   action, tiered restrict-mask membership, and — through the label
+   hashtable — every jump target. This module resolves all of that once
+   per program into a flat array of decoded statements per block:
+
+   - IMark statements are elided. Each compiled statement carries the
+     statically-known location of its nearest preceding IMark, plus a
+     [cs_run_w] weight (1 + the elided IMarks before it) so the executed
+     raw-statement count stays exactly what the interpreter reported,
+     including on a taken side exit.
+   - [LabelAddr] expressions, [Exit] targets and [Goto] successors are
+     resolved to block indices, removing every label lookup from the hot
+     path.
+   - The three-way dispatch the executors performed per statement
+     (type-inference fast path / off the tiered slice / fully
+     instrumented) is a precomputed tag. The classification mirrors the
+     interpreters' match order: the fast paths win even off-slice.
+   - [Dirty] argument lists are pre-flattened to arrays and the "__arg"
+     harness builtin is recognized at compile time.
+
+   Compiled programs are cached process-wide, keyed by the program's
+   structure plus everything that changes the compilation (the
+   type-inference switch and the tiered restrict mask), so repeated
+   fleet, suite or fuzz jobs over the same benchmark never re-decode.
+   Compiled blocks are immutable after construction and safe to share
+   across domains. *)
+
+type cpath =
+  | PFast  (* type-inference fast path: no shadow bookkeeping *)
+  | POff  (* tiered pass 2, off the escalated slice: machine-only *)
+  | PFull  (* fully instrumented *)
+
+type cop =
+  | CWrTmp of int * Ir.expr
+  | CPut of int * Ir.expr
+  | CStore of Ir.expr * Ir.expr
+  | CDirtyArg of int * Ir.expr array  (* the "__arg" harness input *)
+  | CDirty of int * string * Ir.expr array
+  | CExit of Ir.expr * int  (* guard, resolved target block *)
+  | COut of Ir.out_kind * Ir.expr
+
+type cstmt = {
+  cs_op : cop;
+  cs_id : int;  (* Ir.stmt_id of the original statement *)
+  cs_loc : Ir.loc;  (* static location: nearest preceding IMark *)
+  cs_path : cpath;
+  cs_run_w : int;  (* raw-statement weight: 1 + elided IMarks before *)
+}
+
+type cnext = CGoto of int | CIndirect of Ir.expr | CHalt
+
+type cblock = {
+  cb_stmts : cstmt array;
+  cb_tail_w : int;  (* elided IMarks after the last real statement *)
+  cb_n_raw : int;  (* raw statements in the original block *)
+  cb_next : cnext;
+}
+
+type t = {
+  cblocks : cblock array;
+  c_traces_reachable : bool;
+      (* the lazy-trace reachability verdict for this compilation: true
+         iff some compiled statement consumes concrete traces (an
+         op-aggregation site exists and expressions are being built).
+         When false, executors keep the logical trace-node count with
+         phantom bumps and never materialize a node. *)
+}
+
+(* ---------- expression pre-resolution ---------- *)
+
+(* Replace LabelAddr with the resolved block index. The interpreter
+   evaluated both to the same VI64 with no shadow, so the rewrite is
+   invisible to all three engines. *)
+let rec resolve_expr (prog : Ir.prog) (e : Ir.expr) : Ir.expr =
+  match e with
+  | Ir.RdTmp _ | Ir.Const _ -> e
+  | Ir.LabelAddr l ->
+      Ir.Const (Ir.CI64 (Int64.of_int (Ir.block_index prog l)))
+  | Ir.Get _ -> e
+  | Ir.Load (ty, a) -> Ir.Load (ty, resolve_expr prog a)
+  | Ir.Unop (op, a) -> Ir.Unop (op, resolve_expr prog a)
+  | Ir.Binop (op, a, b) ->
+      Ir.Binop (op, resolve_expr prog a, resolve_expr prog b)
+  | Ir.ITE (g, t, e2) ->
+      Ir.ITE (resolve_expr prog g, resolve_expr prog t, resolve_expr prog e2)
+
+(* ---------- per-block compilation ---------- *)
+
+(* The lazy-trace reachability pre-pass. Concrete trace nodes are
+   consumed in exactly two ways: an op-aggregation site folds its result
+   trace into anti-unification the moment it is built, and building any
+   node reads its children. Both happen only at fully-instrumented
+   statements whose expressions contain a shadowed float operation (or a
+   libm dirty call, or an integer mask op that may be a recognized
+   negate/fabs bit trick). Output and comparison spots read only the
+   real and influence components of a shadow. So if no such statement
+   exists on a full path anywhere in the program, no trace can ever
+   reach a consumer and the executors need not materialize any node —
+   only keep the logical count. *)
+let rec expr_builds_nodes (e : Ir.expr) : bool =
+  match e with
+  | Ir.RdTmp _ | Ir.Const _ | Ir.LabelAddr _ | Ir.Get _ -> false
+  | Ir.Load (_, a) -> expr_builds_nodes a
+  | Ir.Unop (op, a) -> (
+      match op with
+      | Ir.NegF64 | Ir.AbsF64 | Ir.SqrtF64 | Ir.NegF32 | Ir.AbsF32
+      | Ir.SqrtF32 | Ir.Sqrt64Fx2 ->
+          true
+      | _ -> expr_builds_nodes a)
+  | Ir.Binop (op, a, b) -> (
+      match op with
+      | Ir.AddF64 | Ir.SubF64 | Ir.MulF64 | Ir.DivF64 | Ir.MinF64
+      | Ir.MaxF64 | Ir.AddF32 | Ir.SubF32 | Ir.MulF32 | Ir.DivF32
+      | Ir.Add64Fx2 | Ir.Sub64Fx2 | Ir.Mul64Fx2 | Ir.Div64Fx2 | Ir.Add32Fx4
+      | Ir.Sub32Fx4 | Ir.Mul32Fx4 | Ir.Div32Fx4 | Ir.Xor64 | Ir.And64 ->
+          true
+      | _ -> expr_builds_nodes a || expr_builds_nodes b)
+  | Ir.ITE (g, t, e2) ->
+      expr_builds_nodes g || expr_builds_nodes t || expr_builds_nodes e2
+
+let consumes_traces (op : cop) (path : cpath) : bool =
+  match path with
+  | PFast | POff -> false
+  | PFull -> (
+      match op with
+      | CDirty _ -> true  (* libm calls are op-aggregation sites *)
+      | CDirtyArg _ -> false  (* harness input: a leaf, never a consumer *)
+      | CWrTmp (_, e) | CPut (_, e) | CExit (e, _) | COut (_, e) ->
+          expr_builds_nodes e
+      | CStore (a, v) -> expr_builds_nodes a || expr_builds_nodes v)
+
+let compile_block (prog : Ir.prog) ~(actions : Typeinfer.action array)
+    ~(restrict_row : bool array option) (bidx : int) (b : Ir.block) : cblock =
+  let n = Array.length b.Ir.stmts in
+  let out = ref [] in
+  let cur_loc = ref Ir.no_loc in
+  let pending = ref 0 in
+  for i = 0 to n - 1 do
+    match b.Ir.stmts.(i) with
+    | Ir.IMark l ->
+        cur_loc := l;
+        incr pending
+    | s ->
+        let fast =
+          match (s, actions.(i)) with
+          | Ir.WrTmp _, Typeinfer.Skip
+          | Ir.Exit _, Typeinfer.Skip
+          | Ir.Put _, Typeinfer.Clear
+          | Ir.Store _, Typeinfer.Clear ->
+              true
+          | _ -> false
+        in
+        let path =
+          if fast then PFast
+          else
+            match restrict_row with
+            | Some row when not row.(i) -> POff
+            | _ -> PFull
+        in
+        let r = resolve_expr prog in
+        let op =
+          match s with
+          | Ir.IMark _ -> assert false
+          | Ir.WrTmp (t, e) -> CWrTmp (t, r e)
+          | Ir.Put (off, e) -> CPut (off, r e)
+          | Ir.Store (a, v) -> CStore (r a, r v)
+          | Ir.Dirty (t, name, args) ->
+              let args = Array.of_list (List.map r args) in
+              if name = "__arg" then CDirtyArg (t, args)
+              else CDirty (t, name, args)
+          | Ir.Exit (g, l) -> CExit (r g, Ir.block_index prog l)
+          | Ir.Out (k, e) -> COut (k, r e)
+        in
+        out :=
+          {
+            cs_op = op;
+            cs_id = Ir.stmt_id ~block:bidx ~stmt:i;
+            cs_loc = !cur_loc;
+            cs_path = path;
+            cs_run_w = !pending + 1;
+          }
+          :: !out;
+        pending := 0
+  done;
+  let next =
+    match b.Ir.next with
+    | Ir.Goto l -> CGoto (Ir.block_index prog l)
+    | Ir.IndirectGoto e -> CIndirect (resolve_expr prog e)
+    | Ir.Halt -> CHalt
+  in
+  {
+    cb_stmts = Array.of_list (List.rev !out);
+    cb_tail_w = !pending;
+    cb_n_raw = n;
+    cb_next = next;
+  }
+
+let compile ~(type_inference : bool) ?(restrict : bool array array option)
+    (prog : Ir.prog) : t =
+  let info =
+    if type_inference then Typeinfer.infer prog else Typeinfer.all_full prog
+  in
+  let cblocks =
+    Array.mapi
+      (fun bidx b ->
+        let actions = Typeinfer.block_actions info ~block:bidx in
+        let restrict_row =
+          match restrict with None -> None | Some m -> Some m.(bidx)
+        in
+        compile_block prog ~actions ~restrict_row bidx b)
+      prog.Ir.blocks
+  in
+  let reachable =
+    Array.exists
+      (fun cb ->
+        Array.exists (fun c -> consumes_traces c.cs_op c.cs_path) cb.cb_stmts)
+      cblocks
+  in
+  { cblocks; c_traces_reachable = reachable }
+
+(* ---------- the compile cache ---------- *)
+
+let blocks_compiled = Atomic.make 0
+let cache_hits = Atomic.make 0
+let blocks_compiled_total () = Atomic.get blocks_compiled
+let cache_hits_total () = Atomic.get cache_hits
+
+(* Keyed by everything the compilation depends on: the structural
+   content of the program (blocks and entry; the label hashtable is
+   derived from them) plus the type-inference flag and the restrict
+   mask. Marshal is deterministic on these immutable trees. *)
+let cache_key ~type_inference ~(restrict : bool array array option)
+    (prog : Ir.prog) : string =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Marshal.to_string (prog.Ir.blocks, prog.Ir.entry) []);
+  Buffer.add_char b (if type_inference then 'T' else 'F');
+  (match restrict with
+  | None -> Buffer.add_char b '-'
+  | Some m -> Buffer.add_string b (Marshal.to_string m []));
+  Digest.string (Buffer.contents b)
+
+let cache : (string, t) Hashtbl.t = Hashtbl.create 64
+let cache_mu = Mutex.create ()
+
+(* enough for every benchmark suite plus a fuzz campaign's working set;
+   a full wipe on overflow keeps the bound simple and the common case
+   allocation-free *)
+let max_cache_entries = 1024
+
+let get_slow ~(type_inference : bool) ~(restrict : bool array array option)
+    (prog : Ir.prog) : t =
+  let key = cache_key ~type_inference ~restrict prog in
+  Mutex.lock cache_mu;
+  match Hashtbl.find_opt cache key with
+  | Some c ->
+      Atomic.incr cache_hits;
+      Mutex.unlock cache_mu;
+      c
+  | None ->
+      (* compile outside the lock: programs are immutable and compiling
+         the same key twice costs only the duplicated work *)
+      Mutex.unlock cache_mu;
+      let c = compile ~type_inference ?restrict prog in
+      Atomic.fetch_and_add blocks_compiled (Array.length c.cblocks) |> ignore;
+      Mutex.lock cache_mu;
+      if Hashtbl.length cache >= max_cache_entries then Hashtbl.reset cache;
+      if not (Hashtbl.mem cache key) then Hashtbl.add cache key c;
+      Mutex.unlock cache_mu;
+      c
+
+(* A per-domain one-entry memo in front of the digest cache: batch
+   drivers run the same (physically identical) program value back to
+   back, and hashing a whole program per run is measurable across a
+   suite. Restricted compilations skip it — their masks are rebuilt per
+   run, so physical identity never holds for them. *)
+type memo_entry = {
+  me_prog : Ir.prog;
+  me_type_inference : bool;
+  me_compiled : t;
+}
+
+let memo_key : memo_entry option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let get ~(type_inference : bool) ?(restrict : bool array array option)
+    (prog : Ir.prog) : t =
+  match restrict with
+  | Some _ -> get_slow ~type_inference ~restrict prog
+  | None -> (
+      let memo = Domain.DLS.get memo_key in
+      match !memo with
+      | Some m when m.me_prog == prog && m.me_type_inference = type_inference
+        ->
+          Atomic.incr cache_hits;
+          m.me_compiled
+      | _ ->
+          let c = get_slow ~type_inference ~restrict prog in
+          memo :=
+            Some
+              {
+                me_prog = prog;
+                me_type_inference = type_inference;
+                me_compiled = c;
+              };
+          c)

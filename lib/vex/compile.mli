@@ -1,0 +1,63 @@
+(** Pre-decoded superblocks: the compile-once/run-many layer under the
+    instrumented executors.
+
+    [get] turns an {!Ir.prog} into flat per-block arrays of decoded
+    statements with all statically-determined facts resolved at compile
+    time — statement ids, IMark-derived source locations, jump targets,
+    the type-inference dispatch path and tiered restrict-mask
+    membership — and caches the result process-wide so repeated jobs
+    over the same program never re-decode. IMark statements are elided;
+    [cs_run_w] and [cb_tail_w] preserve the executors' exact
+    raw-statement counts, including on taken side exits. *)
+
+type cpath =
+  | PFast  (** type-inference fast path: no shadow bookkeeping *)
+  | POff  (** tiered pass 2, off the escalated slice: machine-only *)
+  | PFull  (** fully instrumented *)
+
+type cop =
+  | CWrTmp of int * Ir.expr
+  | CPut of int * Ir.expr
+  | CStore of Ir.expr * Ir.expr
+  | CDirtyArg of int * Ir.expr array  (** the "__arg" harness input *)
+  | CDirty of int * string * Ir.expr array
+  | CExit of Ir.expr * int  (** guard, resolved target block *)
+  | COut of Ir.out_kind * Ir.expr
+
+type cstmt = {
+  cs_op : cop;
+  cs_id : int;  (** {!Ir.stmt_id} of the original statement *)
+  cs_loc : Ir.loc;  (** static location: nearest preceding IMark *)
+  cs_path : cpath;
+  cs_run_w : int;  (** raw-statement weight: 1 + elided IMarks before *)
+}
+
+type cnext = CGoto of int | CIndirect of Ir.expr | CHalt
+
+type cblock = {
+  cb_stmts : cstmt array;
+  cb_tail_w : int;  (** elided IMarks after the last real statement *)
+  cb_n_raw : int;  (** raw statements in the original block *)
+  cb_next : cnext;
+}
+
+type t = {
+  cblocks : cblock array;
+  c_traces_reachable : bool;
+      (** true iff some compiled statement consumes concrete traces; see
+          the lazy-trace rule in DESIGN.md §15 *)
+}
+
+val get : type_inference:bool -> ?restrict:bool array array -> Ir.prog -> t
+(** The compiled form of [prog], from the process-wide cache when a
+    structurally identical program was compiled before with the same
+    [type_inference] flag and [restrict] mask. *)
+
+val compile : type_inference:bool -> ?restrict:bool array array -> Ir.prog -> t
+(** Compile without consulting or populating the cache (tests). *)
+
+val blocks_compiled_total : unit -> int
+(** Superblocks compiled since process start (cache misses). *)
+
+val cache_hits_total : unit -> int
+(** Compile-cache hits since process start. *)

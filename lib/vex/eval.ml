@@ -191,8 +191,8 @@ let libm_apply (name : string) (args : float array) : float =
            (Array.length args))
 
 (* The exact (shadow) semantics of the same calls, on Bigfloat. *)
-let libm_apply_real ~prec (name : string) (args : Bignum.Bigfloat.t array) :
-    Bignum.Bigfloat.t =
+let libm_apply_real_uncached ~prec (name : string)
+    (args : Bignum.Bigfloat.t array) : Bignum.Bigfloat.t =
   let module B = Bignum.Bigfloat in
   let module M = Bignum.Bigfloat_math in
   match (name, args) with
@@ -232,3 +232,43 @@ let libm_apply_real ~prec (name : string) (args : Bignum.Bigfloat.t array) :
       invalid_arg
         (Printf.sprintf "Eval.libm_apply_real: unknown %s/%d" name
            (Array.length args))
+
+(* Transcendentals dominate shadow-execution cost (a 1000-bit sin is
+   hundreds of Taylor-series multiplies), and loop-heavy clients often
+   revisit the same argument — e.g. a benchmark computing cos of the same
+   subexpression twice per iteration.  Memoize per domain, keyed on the
+   structural representation of the arguments: Bigfloat values are
+   canonical (bool/int/int-array), so structural equality is exact value
+   identity and — unlike [Bigfloat.equal] — keeps -0.0 and +0.0 apart,
+   which matters for sign-sensitive calls like sqrt(-0) and atan2.  Cheap
+   O(1) calls (fabs, rounding, min/max, copysign) skip the table: hashing
+   a 1000-bit mantissa costs more than the call. *)
+let libm_memo_worthwhile (name : string) =
+  match name with
+  | "fabs" | "floor" | "ceil" | "trunc" | "round" | "fmin" | "fmax"
+  | "copysign" ->
+      false
+  | _ -> true
+
+let libm_memo_key : (string * int * Bignum.Bigfloat.t array, Bignum.Bigfloat.t)
+    Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 1024)
+
+let libm_memo_max_entries = 32768
+
+let libm_apply_real ~prec (name : string) (args : Bignum.Bigfloat.t array) :
+    Bignum.Bigfloat.t =
+  if not (libm_memo_worthwhile name) then
+    libm_apply_real_uncached ~prec name args
+  else begin
+    let tbl = Domain.DLS.get libm_memo_key in
+    let key = (name, prec, args) in
+    match Hashtbl.find_opt tbl key with
+    | Some v -> v
+    | None ->
+        let v = libm_apply_real_uncached ~prec name args in
+        if Hashtbl.length tbl >= libm_memo_max_entries then Hashtbl.reset tbl;
+        (* defensively copy: callers may reuse their argument buffer *)
+        Hashtbl.add tbl (name, prec, Array.copy args) v;
+        v
+  end

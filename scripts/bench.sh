@@ -1,82 +1,101 @@
 #!/usr/bin/env bash
-# Benchmark trajectory, PR 6: the full (Herbgrind-style shadow-real)
-# engine vs the sanitize (NSan-style double-double) engine vs the tiered
-# engine (sanitizer triage + slice-restricted full-precision escalation)
-# over the whole vendored FPBench suite at default config, plus
-# per-operation timings of the twofloat kernel. Emits BENCH_6.json at
-# the repo root; the raw per-run outputs (bench_output_*.txt, *.jsonl)
-# are gitignored.
+# Benchmark trajectory, PR 7: the compiled executor (pre-decoded
+# superblocks, arena shadows, lazy traces) vs the tree-walking
+# interpreter it replaced. Emits BENCH_7.json at the repo root with
+# before/after three-engine suite numbers, the twofloat kernel table,
+# and the compile-cache hit rate of a double suite pass.
+#
+# "Before" numbers come from a pre-refactor binary when
+# FPGRIND_BEFORE_BIN points at one (build commit bb231c2 in a git
+# worktree for a same-day, same-machine comparison); otherwise the
+# numbers recorded in BENCH_6.json are carried over with a note, since
+# this machine's clock drifts across days. Raw per-run outputs
+# (bench_output_*.txt, *.jsonl) are gitignored.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 dune build @all
 bin=_build/default/bin/fpgrind_cli.exe
+before_bin="${FPGRIND_BEFORE_BIN:-}"
 
-run_suite() { # engine store -> "<seconds> <programs>"
-  local engine="$1" store="$2"
-  local log t0 t1 n
+run_suite() { # bin engine store passes -> "<seconds> <programs>"
+  local b="$1" engine="$2" store="$3" passes="$4"
+  local log stats t0 t1 n
   log="bench_output_${engine}_suite.txt"
+  stats="bench_output_${engine}_stats.txt"
   rm -f "$store"
   t0=$(date +%s.%N)
-  "$bin" suite --engine "$engine" --no-cache --quiet \
-    --json "$store" --timeout 600 >"$log"
+  FPGRIND_SUITE_PASSES="$passes" FPGRIND_COMPILE_STATS=1 \
+    "$b" suite --engine "$engine" --no-cache --quiet \
+    --json "$store" --timeout 600 >"$log" 2>"$stats"
   t1=$(date +%s.%N)
   n=$(wc -l <"$store")
   awk -v a="$t0" -v b="$t1" -v n="$n" 'BEGIN { printf "%.3f %d", b - a, n }'
 }
 
-store_full="$(mktemp /tmp/fpgrind-bench-full.XXXXXX.jsonl)"
-store_san="$(mktemp /tmp/fpgrind-bench-san.XXXXXX.jsonl)"
-store_tier="$(mktemp /tmp/fpgrind-bench-tier.XXXXXX.jsonl)"
-trap 'rm -f "$store_full" "$store_san" "$store_tier"' EXIT
+suite_json() { # t_full n_full t_san t_tier esc slice -> one suite object
+  jq -n --argjson t_full "$1" --argjson n "$2" \
+        --argjson t_san "$3" --argjson t_tier "$4" \
+        --argjson esc "$5" --argjson slice "$6" '
+    { programs: $n,
+      full:     { wall_s: $t_full, programs_per_s: (($n / $t_full) * 1000 | round / 1000) },
+      sanitize: { wall_s: $t_san,  programs_per_s: (($n / $t_san) * 1000 | round / 1000) },
+      tiered:   { wall_s: $t_tier, programs_per_s: (($n / $t_tier) * 1000 | round / 1000),
+                  escalated_programs: $esc, slice_stmts: $slice } }'
+}
 
-echo "bench: full engine over the suite (slow; shadow reals at 1000 bits)..."
-read -r t_full n_full <<<"$(run_suite full "$store_full")"
-echo "bench: sanitize engine over the suite..."
-read -r t_san n_san <<<"$(run_suite sanitize "$store_san")"
-echo "bench: tiered engine over the suite..."
-read -r t_tier n_tier <<<"$(run_suite tiered "$store_tier")"
+measure_tree() { # bin tag -> emits suite object on stdout
+  local b="$1" tag="$2"
+  echo "bench: $tag full engine over the suite..." >&2
+  read -r t_full n_full <<<"$(run_suite "$b" full "/tmp/fpgrind-bench-$tag-full.jsonl" 1)"
+  echo "bench: $tag sanitize engine over the suite..." >&2
+  read -r t_san _ <<<"$(run_suite "$b" sanitize "/tmp/fpgrind-bench-$tag-san.jsonl" 1)"
+  echo "bench: $tag tiered engine over the suite..." >&2
+  read -r t_tier _ <<<"$(run_suite "$b" tiered "/tmp/fpgrind-bench-$tag-tier.jsonl" 1)"
+  read -r esc slice <<<"$(jq -s \
+    '[([.[].metrics.escalations] | add), ([.[].metrics.slice_stmts] | add)] | @tsv' \
+    -r "/tmp/fpgrind-bench-$tag-tier.jsonl")"
+  suite_json "$t_full" "$n_full" "$t_san" "$t_tier" "$esc" "$slice"
+}
 
-# How much of the suite the tiered engine escalated to pass 2, and how
-# big the escalated slices were — the honesty metrics behind the speedup.
-read -r esc slice <<<"$(jq -s \
-  '[([.[].metrics.escalations] | add), ([.[].metrics.slice_stmts] | add)] | @tsv' \
-  -r "$store_tier")"
+after_suite="$(measure_tree "$bin" after)"
+
+if [ -n "$before_bin" ]; then
+  before_suite="$(measure_tree "$before_bin" before)"
+  before_source="measured same-day from FPGRIND_BEFORE_BIN (pre-refactor interpreter)"
+else
+  before_suite="$(jq '.suite | del(.sanitize_speedup, .tiered_speedup)' BENCH_6.json)"
+  before_source="carried over from BENCH_6.json (recorded on an earlier machine state)"
+fi
+
+# Compile-cache behaviour: the whole suite twice in one process — the
+# second pass must be served entirely from the compiled-block cache.
+echo "bench: double suite pass for compile-cache hit rate..."
+read -r _ _ <<<"$(run_suite "$bin" full /tmp/fpgrind-bench-cache.jsonl 2)"
+compile_cache="$(jq -s '
+  { blocks_compiled: .[0].blocks_compiled,
+    pass2_new_blocks: (.[1].blocks_compiled - .[0].blocks_compiled),
+    pass2_cache_hits: (.[1].cache_hits - .[0].cache_hits) }' \
+  bench_output_full_stats.txt)"
 
 echo "bench: twofloat kernel ns/op..."
 "$bin" sanitize --bench-kernel | tee bench_output_kernel.txt
+kernel="$(awk '/ns\/op/ { printf "{\"op\":\"%s\",\"ns\":%s}\n", $1, $2 }' \
+  bench_output_kernel.txt | jq -s 'map({(.op): .ns}) | add')"
 
-# assemble the JSON: suite wall times, throughput, speedups, kernel table
-awk -v t_full="$t_full" -v n_full="$n_full" \
-    -v t_san="$t_san" -v n_san="$n_san" \
-    -v t_tier="$t_tier" -v n_tier="$n_tier" \
-    -v esc="$esc" -v slice="$slice" '
-  /ns\/op/ { kern[$1] = $2 }
-  END {
-    printf "{\n"
-    printf "  \"bench\": \"full vs sanitize vs tiered suite + twofloat kernel\",\n"
-    printf "  \"suite\": {\n"
-    printf "    \"programs\": %d,\n", n_full
-    printf "    \"full\":     { \"wall_s\": %s, \"programs_per_s\": %.3f },\n", \
-      t_full, n_full / t_full
-    printf "    \"sanitize\": { \"wall_s\": %s, \"programs_per_s\": %.3f },\n", \
-      t_san, n_san / t_san
-    printf "    \"tiered\":   { \"wall_s\": %s, \"programs_per_s\": %.3f,\n", \
-      t_tier, n_tier / t_tier
-    printf "                    \"escalated_programs\": %d, \"slice_stmts\": %d },\n", \
-      esc, slice
-    printf "    \"sanitize_speedup\": %.2f,\n", t_full / t_san
-    printf "    \"tiered_speedup\": %.2f\n", t_full / t_tier
-    printf "  },\n"
-    printf "  \"twofloat_ns_per_op\": {\n"
-    sep = ""
-    split("add mul div sqrt fma", order, " ")
-    for (i = 1; i <= 5; i++) {
-      op = order[i]
-      if (op in kern) { printf "%s    \"%s\": %s", sep, op, kern[op]; sep = ",\n" }
-    }
-    printf "\n  }\n}\n"
-  }' bench_output_kernel.txt >BENCH_6.json
+jq -n --argjson before "$before_suite" --argjson after "$after_suite" \
+      --argjson cache "$compile_cache" --argjson kernel "$kernel" \
+      --arg before_source "$before_source" '
+  { bench: "compiled executor vs tree-walking interpreter: three-engine suite + twofloat kernel + compile cache",
+    before_source: $before_source,
+    suite_before: $before,
+    suite_after: $after,
+    speedup: {
+      full:     (($before.full.wall_s     / $after.full.wall_s)     * 100 | round / 100),
+      sanitize: (($before.sanitize.wall_s / $after.sanitize.wall_s) * 100 | round / 100),
+      tiered:   (($before.tiered.wall_s   / $after.tiered.wall_s)   * 100 | round / 100) },
+    compile_cache: $cache,
+    twofloat_ns_per_op: $kernel }' >BENCH_7.json
 
-echo "bench: wrote BENCH_6.json"
-cat BENCH_6.json
+echo "bench: wrote BENCH_7.json"
+cat BENCH_7.json

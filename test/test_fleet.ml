@@ -11,8 +11,10 @@ let ok_payload name =
       {
         Fleet.m_blocks = 1;
         m_stmts = 1;
+        m_stmts_executed = 0;
         m_fp_ops = 0;
         m_trace_nodes = 0;
+        m_traces_materialized = 0;
         m_spots = 0;
         m_causes = 0;
         m_compensations = 0;
