@@ -768,12 +768,31 @@ let list_cmd =
 
 (* ---------- improve ---------- *)
 
+(* "bench:NAME" resolves to a suite benchmark with its sampling ranges;
+   raw FPCore source gets a synthetic bench whose every variable samples
+   [lo, hi] independently (log-uniformly when positive). Both paths draw
+   the point context from the suite's seeded xorshift stream — the old
+   diagonal sampling (every variable at the same value per point)
+   amounted to scoring candidates on a single representative axis and
+   was exactly the overfit the soundiness oracle kept flagging. *)
+let improve_bench_of ~lo ~hi (src : string) : Fpcore.Suite.bench =
+  if String.length src > 6 && String.sub src 0 6 = "bench:" then
+    Fpcore.Suite.find (String.sub src 6 (String.length src - 6))
+  else
+    let core = Fpcore.Parse.parse_core src in
+    Regime.Sampler.bench_of_ranges ~name:"<request>" ~src
+      (List.map (fun v -> (v, lo, hi)) core.Fpcore.Ast.args)
+
 let improve_cmd =
   let expr_arg =
     Arg.(
-      required
+      value
       & pos 0 (some string) None
-      & info [] ~docv:"FPCORE" ~doc:"An FPCore expression to improve.")
+      & info [] ~docv:"FPCORE"
+          ~doc:
+            "An FPCore expression to improve, or bench:NAME for a suite \
+             benchmark (sampled over its own input ranges). Unused with \
+             --sweep.")
   in
   let lo_arg =
     Arg.(value & opt float 1.0 & info [ "lo" ] ~doc:"Sample range low end.")
@@ -781,46 +800,175 @@ let improve_cmd =
   let hi_arg =
     Arg.(value & opt float 1e9 & info [ "hi" ] ~doc:"Sample range high end.")
   in
-  let run src lo hi =
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Context seed.")
+  in
+  let points_arg =
+    Arg.(
+      value & opt int 24
+      & info [ "points" ] ~docv:"N" ~doc:"Points per sampled context.")
+  in
+  let beam_arg =
+    Arg.(value & opt int 8 & info [ "beam" ] ~docv:"N" ~doc:"Beam width.")
+  in
+  let depth_arg =
+    Arg.(
+      value & opt int 3 & info [ "depth" ] ~docv:"N" ~doc:"Rewrite depth.")
+  in
+  let regimes_arg =
+    Arg.(
+      value & flag
+      & info [ "regimes" ]
+          ~doc:
+            "Infer input regimes: branch between beam candidates along a \
+             single-variable threshold when that lowers total predicted \
+             error past an MDL penalty, then re-validate the branched fix \
+             on a disjoint resampled context. Prints the actual-vs-\
+             predicted error table; exits 1 if the fix is unsound.")
+  in
+  let penalty_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "penalty" ] ~docv:"BITS"
+          ~doc:"MDL penalty per context point per extra regime.")
+  in
+  let sweep_arg =
+    Arg.(
+      value & flag
+      & info [ "sweep" ]
+          ~doc:
+            "Run --regimes over every straight-line suite benchmark \
+             (ignoring FPCORE), one JSON line per benchmark on --json.")
+  in
+  let json_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the regime report(s) as JSON(L) to $(docv); - is stdout.")
+  in
+  let minic_arg =
+    Arg.(
+      value & flag
+      & info [ "minic" ] ~doc:"Also print the branched fix as MiniC.")
+  in
+  let run src lo hi seed points beam depth regimes penalty sweep json minic =
+    let opts = { Regime.Search.default_options with Regime.Search.penalty_bits = penalty } in
+    let json_out lines =
+      match json with
+      | None -> ()
+      | Some "-" -> List.iter print_endline lines
+      | Some path ->
+          let oc = open_out path in
+          List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+          close_out oc
+    in
+    let with_wall f =
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      (r, Unix.gettimeofday () -. t0)
+    in
+    let report_line (r : Regime.report) wall =
+      match Regime.to_json r with
+      | Fleet.Json.Obj kvs ->
+          Fleet.Json.to_string
+            (Fleet.Json.Obj (kvs @ [ ("wall_s", Fleet.Json.Num wall) ]))
+      | j -> Fleet.Json.to_string j
+    in
     try
-      let core = Fpcore.Parse.parse_core src in
-      let n = 12 in
-      let samples =
-        List.init n (fun i ->
-            let t = float_of_int i /. float_of_int (max 1 (n - 1)) in
-            let v =
-              if lo > 0.0 && hi > 0.0 then lo *. Float.pow (hi /. lo) t
-              else lo +. (t *. (hi -. lo))
-            in
-            List.map (fun x -> (x, v)) core.Fpcore.Ast.args)
-      in
-      let r = Rewrite.Improve.improve core.Fpcore.Ast.body samples in
-      Printf.printf "error before: %.2f bits\nerror after:  %.2f bits\n"
-        r.Rewrite.Improve.error_before r.Rewrite.Improve.error_after;
-      let rec render (e : Fpcore.Ast.expr) =
-        match e with
-        | Fpcore.Ast.Num f ->
-            if Float.is_integer f && Float.abs f < 1e15 then
-              Printf.sprintf "%.0f" f
-            else Printf.sprintf "%.17g" f
-        | Fpcore.Ast.Var x -> x
-        | Fpcore.Ast.Const c -> c
-        | Fpcore.Ast.Op (f, args) ->
-            Printf.sprintf "(%s %s)" f (String.concat " " (List.map render args))
-        | _ -> "<unsupported>"
-      in
-      Printf.printf "improved: (FPCore (%s) %s)\n"
-        (String.concat " " core.Fpcore.Ast.args)
-        (render r.Rewrite.Improve.improved);
-      0
-    with Fpcore.Parse.Error msg | Fpcore.Sexp.Parse_error msg ->
-      Printf.eprintf "error: %s\n" msg;
-      1
+      if sweep then begin
+        let benches =
+          List.filter
+            (fun b -> b.Fpcore.Suite.group = `Straight)
+            Fpcore.Suite.all
+        in
+        let lines =
+          List.map
+            (fun b ->
+              let r, wall =
+                with_wall (fun () ->
+                    Regime.infer ~beam ~depth ~points ~seed ~opts b)
+              in
+              let act_after =
+                match r.Regime.re_selected with
+                | "branched" -> r.Regime.re_act_branched
+                | "single" -> r.Regime.re_act_single
+                | _ -> r.Regime.re_act_before
+              in
+              Printf.eprintf
+                "%-20s %d regimes  %-8s  %s -> %s bits on resample%s\n%!"
+                b.Fpcore.Suite.name
+                (Regime.selected_regimes r.Regime.re_selected
+                   r.Regime.re_regimes)
+                r.Regime.re_selected
+                (Rewrite.Soundness.fmt_bits r.Regime.re_act_before)
+                (Rewrite.Soundness.fmt_bits act_after)
+                (if r.Regime.re_soundness.Rewrite.Soundness.r_sound then ""
+                 else "  UNSOUND");
+              report_line r wall)
+            benches
+        in
+        json_out lines;
+        0
+      end
+      else begin
+        let src =
+          match src with
+          | Some s -> s
+          | None ->
+              Printf.eprintf "error: FPCORE argument required without --sweep\n";
+              raise Exit
+        in
+        let bench = improve_bench_of ~lo ~hi src in
+        if regimes then begin
+          let r, wall =
+            with_wall (fun () ->
+                Regime.infer ~beam ~depth ~points ~seed ~opts bench)
+          in
+          print_endline (Regime.table r);
+          if minic then begin
+            match
+              Regime.Emit.minic_program ~args:r.Regime.re_args
+                r.Regime.re_fix
+            with
+            | src -> Printf.printf "--- minic ---\n%s" src
+            | exception Regime.Emit.Unsupported what ->
+                Printf.printf "--- minic: unsupported (%s) ---\n" what
+          end;
+          json_out [ report_line r wall ];
+          if r.Regime.re_soundness.Rewrite.Soundness.r_sound then 0 else 1
+        end
+        else begin
+          let core = Fpcore.Suite.core_of bench in
+          let samples = Regime.Sampler.context ~seed ~n:points bench in
+          let r =
+            Rewrite.Improve.improve ~beam ~depth core.Fpcore.Ast.body samples
+          in
+          Printf.printf "error before: %.2f bits\nerror after:  %.2f bits\n"
+            r.Rewrite.Improve.error_before r.Rewrite.Improve.error_after;
+          Printf.printf "improved: %s\n"
+            (Regime.Emit.render_core ~args:core.Fpcore.Ast.args
+               r.Rewrite.Improve.improved);
+          0
+        end
+      end
+    with
+    | Fpcore.Parse.Error msg | Fpcore.Sexp.Parse_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Invalid_argument msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Exit -> 1
   in
   Cmd.v
     (Cmd.info "improve"
-       ~doc:"Search for a more accurate equivalent of an FPCore expression.")
-    Term.(const run $ expr_arg $ lo_arg $ hi_arg)
+       ~doc:
+         "Search for a more accurate equivalent of an FPCore expression, \
+          optionally with regime inference (--regimes).")
+    Term.(
+      const run $ expr_arg $ lo_arg $ hi_arg $ seed_arg $ points_arg
+      $ beam_arg $ depth_arg $ regimes_arg $ penalty_arg $ sweep_arg
+      $ json_arg $ minic_arg)
 
 (* ---------- fuzz (differential campaigns) ---------- *)
 
@@ -1287,6 +1435,15 @@ let client_cmd =
              $(b,sanitize) or $(b,tiered). Sent to the server as the \
              $(b,engine) query parameter.")
   in
+  let client_regimes_arg =
+    Arg.(
+      value & flag
+      & info [ "regimes" ]
+          ~doc:
+            "For analyze on a bench:NAME target: ask the server to run \
+             regime inference and annotate the record with the branch \
+             structure (sent as the $(b,regimes=1) query parameter).")
+  in
   (* A cached record is by construction a copy of an ok record, so the
      comparison normalises "cached" to "ok"; everything else but the
      wall-time is compared strictly. *)
@@ -1304,7 +1461,7 @@ let client_cmd =
     | j -> j
   in
   let run action target port host inputs iterations seed precision threshold
-      match_store iters fuzz_seed timeout engine =
+      match_store iters fuzz_seed timeout engine regimes =
     let enc = Serve.Http.percent_encode in
     try
       (match engine with
@@ -1380,6 +1537,7 @@ let client_cmd =
             | Some e -> path ^ "&engine=" ^ enc e
             | None -> path
           in
+          let path = if regimes then path ^ "&regimes=1" else path in
           let r = Serve.Client.request ~host ~port ~meth:"POST" ~path ~body () in
           print_string r.Serve.Client.c_body;
           if r.Serve.Client.c_status / 100 <> 2 then 1
@@ -1460,7 +1618,7 @@ let client_cmd =
       $ iterations_arg $ Arg.(
         value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Input sampling seed.")
       $ precision_arg $ threshold_arg $ match_arg $ iters_arg $ fuzz_seed_arg
-      $ client_timeout_arg $ client_engine_arg)
+      $ client_timeout_arg $ client_engine_arg $ client_regimes_arg)
 
 let () =
   let doc = "find root causes of floating-point error (Herbgrind reproduction)" in

@@ -13,6 +13,9 @@ type finding = {
   f_detail : string;  (* oracle leg + detail, or regression summary *)
   f_table : string;  (* actual-vs-predicted error table; "" when n/a *)
   f_repro : string;  (* minimized reproducer source; "" when n/a *)
+  f_regime_candidate : bool option;
+      (* soundiness only: Some true when regime inference retires the
+         overfit (its validation-gated fix is sound on resample) *)
 }
 
 let to_json (f : finding) : Json.t =
@@ -25,7 +28,11 @@ let to_json (f : finding) : Json.t =
        ("detail", Json.Str f.f_detail);
      ]
     @ (if f.f_table = "" then [] else [ ("table", Json.Str f.f_table) ])
-    @ if f.f_repro = "" then [] else [ ("repro", Json.Str f.f_repro) ])
+    @ (if f.f_repro = "" then [] else [ ("repro", Json.Str f.f_repro) ])
+    @
+    match f.f_regime_candidate with
+    | None -> []
+    | Some b -> [ ("regime_candidate", Json.Bool b) ])
 
 let to_line (f : finding) : string = Json.to_string (to_json f)
 
@@ -38,6 +45,10 @@ let of_json (j : Json.t) : finding =
     f_detail = Json.get_str "detail" j;
     f_table = Json.get_str "table" j;
     f_repro = Json.get_str "repro" j;
+    f_regime_candidate =
+      (match Json.member "regime_candidate" j with
+      | Some (Json.Bool b) -> Some b
+      | _ -> None);
   }
 
 let of_line (line : string) : finding option =

@@ -84,7 +84,18 @@ let run_soundness (c : config) (i : int) : Findings.finding option =
       ~points:c.cfg_soundness_points ~seed:(soundness_seed c i) bench
   in
   if report.Rewrite.Soundness.r_sound then None
-  else
+  else begin
+    (* Would the regime pipeline retire this overfit? Its validation
+       gate rejects fixes that only win in-sample, so a [true] here
+       marks the finding as fixed by `improve --regimes`. *)
+    let regime_candidate =
+      match
+        Regime.infer ~depth:c.cfg_soundness_depth
+          ~points:c.cfg_soundness_points ~seed:(soundness_seed c i) bench
+      with
+      | r -> Some r.Regime.re_soundness.Rewrite.Soundness.r_sound
+      | exception _ -> None
+    in
     Some
       {
         Findings.f_index = i;
@@ -96,7 +107,9 @@ let run_soundness (c : config) (i : int) : Findings.finding option =
             report.Rewrite.Soundness.r_regression;
         f_table = Rewrite.Soundness.table report;
         f_repro = "";
+        f_regime_candidate = regime_candidate;
       }
+  end
 
 let run_fuzz (c : config) (i : int) : Findings.finding option * Fcampaign.status
     =
@@ -115,6 +128,7 @@ let run_fuzz (c : config) (i : int) : Findings.finding option * Fcampaign.status
             f_detail = msg;
             f_table = "";
             f_repro = "";
+            f_regime_candidate = None;
           },
         entry.Fcampaign.e_status )
   | Fcampaign.Divergent d0 ->
@@ -139,6 +153,7 @@ let run_fuzz (c : config) (i : int) : Findings.finding option * Fcampaign.status
               Printf.sprintf "%s: %s" d0.Oracle.d_oracle d0.Oracle.d_detail;
             f_table = "";
             f_repro = repro;
+            f_regime_candidate = None;
           },
         entry.Fcampaign.e_status )
 

@@ -36,10 +36,22 @@ type metrics = {
   m_slice_stmts : int;  (* tiered: statements in the escalated slice *)
 }
 
+(* Regime-inference artifacts, attached to a job when the caller asked
+   for branched-fix synthesis (`suite --regimes`, `POST
+   /analyze?regimes=1`). The fleet carries and serializes them but never
+   computes them — the regime library sits above the fleet. *)
+type regime_summary = {
+  rs_regimes : int;  (* 1 = no branch *)
+  rs_thresholds : (string * float) list;  (* (variable, threshold) *)
+  rs_error_table : string;  (* actual-vs-predicted table, rendered *)
+  rs_search_points : int;  (* point evaluations the regime search spent *)
+}
+
 type payload = {
   p_metrics : metrics;
   p_summary : string;  (* one deterministic line, no timing *)
   p_report : string;  (* the full root-cause report *)
+  p_regime : regime_summary option;
 }
 
 type spec = {
@@ -378,6 +390,7 @@ let payload_for ~name ~group ~nodes0 ~mat0 (r : Core.Analysis.result) :
     p_metrics = metrics;
     p_summary = summary;
     p_report = Core.Analysis.report_string r;
+    p_regime = None;
   }
 
 (* The sanitizer's payload, shaped like the full engine's so the store,
@@ -422,6 +435,7 @@ let san_payload_for ~name ~group (r : Sanitize.Sexec.result) : payload =
     p_metrics = metrics;
     p_summary = summary;
     p_report = Sanitize.Report.to_string rep;
+    p_regime = None;
   }
 
 (* The tiered engine's payload: pass 2's metrics and report when the
@@ -473,6 +487,7 @@ let tiered_payload_for ~name ~group ~nodes0 ~mat0 (r : Tiered.result) :
         p_metrics = metrics;
         p_summary = summary;
         p_report = Tiered.report_string r;
+        p_regime = None;
       }
 
 let bench_spec ?(cfg = Core.Config.default) ?(max_steps = 200_000_000)

@@ -66,12 +66,31 @@ let outcome_to_json (o : Engine.outcome) : Json.t =
     @
     match o.Engine.o_payload with
     | None -> []
-    | Some p ->
+    | Some p -> (
         [
           ("metrics", metrics_to_json p.Engine.p_metrics);
           ("summary", Json.Str p.Engine.p_summary);
           ("report", Json.Str p.Engine.p_report);
-        ])
+        ]
+        (* regime fields are additive: absent in records written without
+           --regimes, so pre-existing stores stay byte-identical *)
+        @
+        match p.Engine.p_regime with
+        | None -> []
+        | Some rs ->
+            [
+              ("regimes", Json.Num (float_of_int rs.Engine.rs_regimes));
+              ( "thresholds",
+                Json.Arr
+                  (List.map
+                     (fun (var, value) ->
+                       Json.Obj
+                         [ ("var", Json.Str var); ("value", Json.Num value) ])
+                     rs.Engine.rs_thresholds) );
+              ("error_table", Json.Str rs.Engine.rs_error_table);
+              ( "regime_search_points",
+                Json.Num (float_of_int rs.Engine.rs_search_points) );
+            ]))
 
 let outcome_of_json (v : Json.t) : Engine.outcome =
   let status =
@@ -86,11 +105,34 @@ let outcome_of_json (v : Json.t) : Engine.outcome =
     match Json.member "metrics" v with
     | None -> None
     | Some m ->
+        let regime =
+          match Json.member "regimes" v with
+          | None -> None
+          | Some _ ->
+              Some
+                {
+                  Engine.rs_regimes = Json.get_int "regimes" v;
+                  rs_thresholds =
+                    (match Json.member "thresholds" v with
+                    | Some (Json.Arr ts) ->
+                        List.map
+                          (fun t ->
+                            (Json.get_str "var" t, Json.get_num "value" t))
+                          ts
+                    | _ -> []);
+                  rs_error_table = Json.get_str "error_table" v;
+                  rs_search_points =
+                    (match Json.member "regime_search_points" v with
+                    | Some (Json.Num n) -> int_of_float n
+                    | _ -> 0);
+                }
+        in
         Some
           {
             Engine.p_metrics = metrics_of_json m;
             p_summary = Json.get_str "summary" v;
             p_report = Json.get_str "report" v;
+            p_regime = regime;
           }
   in
   {

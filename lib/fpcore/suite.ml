@@ -300,6 +300,25 @@ let straight_line =
        (* (* (* x x) x) x) x) x))) (* 252 (* (* (* (* x x) x) x) x))) (* \
        210 (* (* (* x x) x) x))) (* 120 (* (* x x) x))) (* 45 (* x x))) (* \
        10 x)) 1))";
+    (* The canonical multi-regime benchmark: the quadratic root with [b]
+       spanning zero. For b > 0 the subtraction -b + sqrt(b^2-4ac)
+       cancels catastrophically and the citardauq form 2c/(-b - sqrt(D))
+       is accurate; for b < 0 it is the other way around. No single
+       rewrite fixes both halves — a branch at b ~ 0 does. *)
+    b "quadratic-full" `Straight
+      [ ("a", 0.001, 0.01, Linear); ("b", -1000.0, 1000.0, Linear);
+        ("c", 0.001, 0.01, Linear) ]
+      "(FPCore (a b c) (/ (+ (- b) (sqrt (- (* b b) (* (* 4 a) c)))) (* 2 a)))";
+    (* the mirrored root: cancellation flips to b < 0 *)
+    b "quadratic-full-m" `Straight
+      [ ("a", 0.001, 0.01, Linear); ("b", -1000.0, 1000.0, Linear);
+        ("c", 0.001, 0.01, Linear) ]
+      "(FPCore (a b c) (/ (- (- b) (sqrt (- (* b b) (* (* 4 a) c)))) (* 2 a)))";
+    (* thin-lens image distance -(2 far near)/(far - near): the
+       denominator cancels as far -> near, the paper's root-cause shape *)
+    b "thin-lens" `Straight
+      [ ("far", 1.0, 100.0, Linear); ("near", 1.0, 100.0, Linear) ]
+      "(FPCore (far near) (- (/ (* (* 2 far) near) (- far near))))";
   ]
 
 (* ---------- looping benchmarks ---------- *)

@@ -154,6 +154,7 @@ let run ?config ?(checks = Oracle.default_checks) ?(jobs = 1) ?timeout
                     divergences;
                 p_report =
                   String.concat "\n" (List.map entry_to_line entries);
+                p_regime = None;
               });
         })
   in

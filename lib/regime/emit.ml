@@ -1,0 +1,118 @@
+(* Emitters for branched fixes: FPCore `if` chains (which round-trip
+   through [Fpcore.Parse]) and MiniC programs (which round-trip through
+   [Minic.compile] and run under every engine, inputs via __arg). The
+   FPCore renderer is [Rewrite.Soundness.render_expr], the same one the
+   soundiness reports use, so rendering is one discipline repo-wide. *)
+
+module Ast = Fpcore.Ast
+
+exception Unsupported of string
+
+(* the branched expression: candidates low-range-first over ascending
+   thresholds of one variable *)
+let if_chain ~(var : string) ~(thresholds : float list)
+    ~(cands : Ast.expr list) : Ast.expr =
+  let rec go ts cs =
+    match (ts, cs) with
+    | [], [ c ] -> c
+    | t :: ts', c :: cs' ->
+        Ast.If (Ast.Cmp ("<=", [ Ast.Var var; Ast.Num t ]), c, go ts' cs')
+    | _ -> invalid_arg "Emit.if_chain: need one more candidate than thresholds"
+  in
+  go thresholds cands
+
+let render_core ~(args : string list) (body : Ast.expr) : string =
+  Printf.sprintf "(FPCore (%s) %s)" (String.concat " " args)
+    (Rewrite.Soundness.render_expr body)
+
+(* ---------- MiniC ---------- *)
+
+(* a float literal MiniC's lexer reads back exactly: %.17g round-trips
+   doubles, and a forced '.'/exponent keeps it a FLOAT_LIT *)
+let c_lit (f : float) : string =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else if Float.is_finite f then begin
+    let s = Printf.sprintf "%.17g" f in
+    if String.contains s '.' || String.contains s 'e' then s else s ^ ".0"
+  end
+  else raise (Unsupported "non-finite literal")
+
+let c_const = function
+  | "PI" -> c_lit (List.assoc "PI" Ast.constants)
+  | "E" -> c_lit (List.assoc "E" Ast.constants)
+  | c -> (
+      match List.assoc_opt c Ast.constants with
+      | Some v -> c_lit v
+      | None -> raise (Unsupported ("constant " ^ c)))
+
+let mathlib_fns =
+  [
+    "sqrt"; "exp"; "log"; "sin"; "cos"; "tan"; "atan"; "atan2"; "pow";
+    "asin"; "acos"; "sinh"; "cosh"; "tanh"; "expm1"; "log1p"; "cbrt";
+    "hypot"; "fabs"; "fmin"; "fmax"; "fma"; "floor"; "ceil"; "fmod";
+  ]
+
+let rec c_expr (e : Ast.expr) : string =
+  match e with
+  | Ast.Num f -> c_lit f
+  | Ast.Const c -> c_const c
+  | Ast.Var x -> x
+  | Ast.Op ("-", [ a ]) -> Printf.sprintf "(-%s)" (c_expr a)
+  | Ast.Op ("+", [ a ]) -> c_expr a
+  | Ast.Op (("+" | "-" | "*" | "/") as op, a :: (_ :: _ as rest)) ->
+      List.fold_left
+        (fun acc b -> Printf.sprintf "(%s %s %s)" acc op (c_expr b))
+        (c_expr a) rest
+  | Ast.Op (f, args) when List.mem f mathlib_fns ->
+      Printf.sprintf "%s(%s)" f (String.concat ", " (List.map c_expr args))
+  | Ast.Op (f, _) -> raise (Unsupported ("operator " ^ f))
+  | Ast.Cmp (op, [ a; b ]) ->
+      Printf.sprintf "(%s %s %s)" (c_expr a) op (c_expr b)
+  | Ast.Cmp _ -> raise (Unsupported "chained comparison")
+  | Ast.AndE args ->
+      "(" ^ String.concat " && " (List.map c_expr args) ^ ")"
+  | Ast.OrE args -> "(" ^ String.concat " || " (List.map c_expr args) ^ ")"
+  | Ast.NotE a -> Printf.sprintf "(!%s)" (c_expr a)
+  | Ast.If _ | Ast.Let _ | Ast.LetStar _ ->
+      raise (Unsupported "if/let in expression position")
+  | Ast.While _ | Ast.WhileStar _ -> raise (Unsupported "loop")
+
+(* Lower an FPCore body to statements assigning [dst]. Ifs become MiniC
+   if/else; lets become declarations in the enclosing block. MiniC has
+   one flat scope per function, so a let name that collides with an
+   already-declared one is refused rather than silently shadowed. *)
+let rec c_stmts buf ~indent ~declared ~dst (e : Ast.expr) : unit =
+  let pad = String.make indent ' ' in
+  match e with
+  | Ast.If (c, t, f) ->
+      Printf.bprintf buf "%sif %s {\n" pad (c_expr c);
+      c_stmts buf ~indent:(indent + 2) ~declared ~dst t;
+      Printf.bprintf buf "%s} else {\n" pad;
+      c_stmts buf ~indent:(indent + 2) ~declared ~dst f;
+      Printf.bprintf buf "%s}\n" pad
+  | Ast.Let (binds, body) | Ast.LetStar (binds, body) ->
+      let declared =
+        List.fold_left
+          (fun declared (x, e) ->
+            if List.mem x declared then
+              raise (Unsupported ("shadowed binding " ^ x));
+            Printf.bprintf buf "%sdouble %s = %s;\n" pad x (c_expr e);
+            x :: declared)
+          declared binds
+      in
+      c_stmts buf ~indent ~declared ~dst body
+  | e -> Printf.bprintf buf "%s%s = %s;\n" pad dst (c_expr e)
+
+(* A complete MiniC program computing [body] over [args] read from
+   __arg(0..), printing the result. Raises [Unsupported] on constructs
+   MiniC cannot express (loops, exotic operators). *)
+let minic_program ~(args : string list) (body : Ast.expr) : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "int main() {\n";
+  List.iteri
+    (fun i x -> Printf.bprintf buf "  double %s = __arg(%d);\n" x i)
+    args;
+  Buffer.add_string buf "  double __r;\n";
+  c_stmts buf ~indent:2 ~declared:("__r" :: args) ~dst:"__r" body;
+  Buffer.add_string buf "  print(__r);\n  return 0;\n}\n";
+  Buffer.contents buf

@@ -47,6 +47,24 @@ let mean_error_bits ?prec (e : Ast.expr) (samples : sample list) : float =
   let mean, _, _ = error_bits_stats ?prec e samples in
   mean
 
+(* Candidate score over the FULL point context. The bare mean silently
+   drops every point where a candidate leaves the domain, so a rewrite
+   that only survives on a handful of points used to be scored on that
+   handful alone — single-representative-point scoring in the extreme,
+   and the root of the depth-2 overfits the soundiness oracle found.
+   Points the *original* already loses say nothing about the rewrite and
+   stay excluded; a domain exit the candidate *introduces* counts as a
+   worst-case 64 bits, so shrinking the domain can never look like an
+   accuracy win. *)
+let score_on_context ?(prec = 256) ~(baseline_domain_errors : int)
+    (e : Ast.expr) (samples : sample list) : float =
+  let mean, valid, domain_errors = error_bits_stats ~prec e samples in
+  let extra = max 0 (domain_errors - baseline_domain_errors) in
+  if valid = 0 || extra = 0 then mean
+  else
+    ((mean *. float_of_int valid) +. (64.0 *. float_of_int extra))
+    /. float_of_int (valid + extra)
+
 (* fold operations whose arguments are all literal constants *)
 let rec constant_fold (e : Ast.expr) : Ast.expr =
   match e with
@@ -116,15 +134,30 @@ let rec expr_size (e : Ast.expr) : int =
   | Ast.Op (_, args) -> 1 + List.fold_left (fun a e -> a + expr_size e) 0 args
   | _ -> 1000
 
-let improve ?(beam = 8) ?(depth = 4) ?(prec = 256) (e : Ast.expr)
-    (samples : sample list) : result =
-  let score e = mean_error_bits ~prec e samples in
-  let e0_err = score e in
+(* The beam search, returning the global top-[keep] scored candidates
+   (best first, the original always in the pool). [improve] takes the
+   head; the regime search branches over the whole set, because the
+   best expression *per input region* is rarely the best overall. *)
+let improve_candidates ?(beam = 8) ?(depth = 4) ?(prec = 256) ?(keep = 6)
+    (e : Ast.expr) (samples : sample list) : (float * Ast.expr) list =
+  let _, _, base_derr = error_bits_stats ~prec e samples in
+  let score e' =
+    score_on_context ~prec ~baseline_domain_errors:base_derr e' samples
+  in
+  let e0_err = mean_error_bits ~prec e samples in
   let seen = Hashtbl.create 64 in
   let key e = Marshal.to_string e [] in
   Hashtbl.replace seen (key e) ();
+  let better (a, ea) (b, eb) =
+    match compare a b with
+    | 0 -> compare (expr_size ea) (expr_size eb)
+    | c -> c
+  in
+  let top = ref [ (e0_err, e) ] in
+  let insert c =
+    top := List.filteri (fun i _ -> i < keep) (List.sort better (c :: !top))
+  in
   let frontier = ref [ (e0_err, e) ] in
-  let best = ref (e0_err, e) in
   for _ = 1 to depth do
     let candidates =
       List.concat_map
@@ -140,30 +173,24 @@ let improve ?(beam = 8) ?(depth = 4) ?(prec = 256) (e : Ast.expr)
             (List.map constant_fold (rewrites Rules.all e)))
         !frontier
     in
-    let sorted =
-      List.sort
-        (fun (a, ea) (b, eb) ->
-          match compare a b with 0 -> compare (expr_size ea) (expr_size eb) | c -> c)
-        candidates
-    in
-    let keep = List.filteri (fun i _ -> i < beam) sorted in
-    (match keep with
-    | (err, e') :: _ when err < fst !best -> best := (err, e')
-    | (err, e') :: _ ->
-        (* ties: prefer the smaller expression *)
-        if err = fst !best && expr_size e' < expr_size (snd !best) then
-          best := (err, e')
-    | [] -> ());
-    frontier := keep
+    List.iter insert candidates;
+    frontier := List.filteri (fun i _ -> i < beam) (List.sort better candidates)
   done;
-  let err_after, improved = !best in
-  {
-    original = e;
-    improved;
-    error_before = e0_err;
-    error_after = err_after;
-    steps = [];
-  }
+  !top
+
+let improve ?(beam = 8) ?(depth = 4) ?(prec = 256) (e : Ast.expr)
+    (samples : sample list) : result =
+  let e0_err = mean_error_bits ~prec e samples in
+  match improve_candidates ~beam ~depth ~prec ~keep:1 e samples with
+  | (err_after, improved) :: _ ->
+      {
+        original = e;
+        improved;
+        error_before = e0_err;
+        error_after = err_after;
+        steps = [];
+      }
+  | [] -> assert false
 
 (* ---------- bridging from the analysis's symbolic expressions ---------- *)
 

@@ -30,6 +30,10 @@ let accuracy_rules =
     r "quadratic-flip"
       "(/ (+ (- ?b) (sqrt (- (* ?b ?b) (* (* 4 ?a) ?c)))) (* 2 ?a))"
       "(/ (* 2 ?c) (- (- ?b) (sqrt (- (* ?b ?b) (* (* 4 ?a) ?c)))))";
+    (* the mirrored root: x- cancels when b < 0, and flips the same way *)
+    r "quadratic-flip-m"
+      "(/ (- (- ?b) (sqrt (- (* ?b ?b) (* (* 4 ?a) ?c)))) (* 2 ?a))"
+      "(/ (* 2 ?c) (+ (- ?b) (sqrt (- (* ?b ?b) (* (* 4 ?a) ?c)))))";
     (* fused-multiply-add introduction *)
     r "fma-intro" "(+ (* ?a ?b) ?c)" "(fma ?a ?b ?c)";
     r "fms-intro" "(- (* ?a ?b) ?c)" "(fma ?a ?b (- ?c))";

@@ -64,6 +64,8 @@ type t = {
   m_campaign_feed_bytes : Metrics.gauge;
   m_blocks_compiled : Metrics.counter;  (* Vex superblocks pre-decoded *)
   m_compile_hits : Metrics.counter;  (* compile-cache hits *)
+  m_regimes : Metrics.counter;  (* regimes inferred by regime jobs *)
+  m_regime_points : Metrics.counter;  (* point evals spent by the search *)
   mutable torn_seen : int;  (* last Store.corrupt_tail_total observed *)
   mutable compiled_seen : int;  (* last Compile.blocks_compiled_total *)
   mutable compile_hits_seen : int;  (* last Compile.cache_hits_total *)
@@ -113,7 +115,16 @@ let install_observer t =
                   ~by:(float_of_int p.Fleet.p_metrics.Fleet.m_slice_stmts)
                   t.m_tiered_slice_stmts []
             | None -> ()
-          end);
+          end;
+          match o.Fleet.o_payload with
+          | Some { Fleet.p_regime = Some rs; _ } ->
+              Metrics.inc
+                ~by:(float_of_int rs.Fleet.rs_regimes)
+                t.m_regimes [];
+              Metrics.inc
+                ~by:(float_of_int rs.Fleet.rs_search_points)
+                t.m_regime_points []
+          | _ -> ());
     }
 
 let create (cfg : config) : t =
@@ -217,6 +228,18 @@ let create (cfg : config) : t =
       ~help:"Program executions served from the compiled-block cache."
       "fpgrind_compile_cache_hits_total"
   in
+  let m_regimes =
+    Metrics.counter reg
+      ~help:
+        "Regimes inferred by finished regime-analysis jobs (1 per job when \
+         no branch ships)."
+      "fpgrind_regimes_inferred_total"
+  in
+  let m_regime_points =
+    Metrics.counter reg
+      ~help:"Point evaluations spent by regime threshold searches."
+      "fpgrind_regime_search_points_total"
+  in
   (* warm the cache from the store, tolerating a torn tail *)
   let cache = Hashtbl.create 97 in
   let persisted = ref [] in
@@ -272,6 +295,8 @@ let create (cfg : config) : t =
       m_campaign_feed_bytes;
       m_blocks_compiled;
       m_compile_hits;
+      m_regimes;
+      m_regime_points;
       torn_seen = 0;
       compiled_seen = 0;
       compile_hits_seen = 0;
@@ -360,8 +385,38 @@ let analyze_spec ?engine (rq : Http.request) : Fleet.spec =
   if body = "" then Http.fail 400 "empty request body";
   if has_prefix ~prefix:"bench:" body then begin
     let name = String.sub body 6 (String.length body - 6) in
+    let regimes = Router.q_int rq "regimes" ~default:0 <> 0 in
     match Fpcore.Suite.enumerate ~iterations ~seed ~names:[ name ] () with
-    | [ job ] -> Fleet.bench_spec ~cfg job
+    | [ job ] ->
+        let base = Fleet.bench_spec ~cfg job in
+        let bench = job.Fpcore.Suite.job_bench in
+        if (not regimes) || bench.Fpcore.Suite.group <> `Straight then base
+        else
+          (* same engine work, then regime inference at the official
+             swept configuration; the key suffix keeps regime-annotated
+             results out of the plain /analyze cache entry and back *)
+          let work ~tick =
+            let p = base.Fleet.sp_work ~tick in
+            let r =
+              Regime.infer ~points:Regime.official_points
+                ~depth:Regime.official_depth ~opts:Regime.official_options
+                ~seed bench
+            in
+            {
+              p with
+              Fleet.p_regime =
+                Some
+                  {
+                    Fleet.rs_regimes =
+                      Regime.selected_regimes r.Regime.re_selected
+                        r.Regime.re_regimes;
+                    rs_thresholds = Regime.thresholds r;
+                    rs_error_table = Regime.table r;
+                    rs_search_points = r.Regime.re_search_points;
+                  };
+            }
+          in
+          { base with Fleet.sp_key = base.Fleet.sp_key ^ ":regimes"; sp_work = work }
     | _ -> Http.fail 400 ("unknown benchmark: " ^ name)
     | exception Invalid_argument msg -> Http.fail 400 msg
   end
@@ -480,6 +535,7 @@ let fuzz_spec (rq : Http.request) ~timeout : Fleet.spec =
         Printf.sprintf "fuzz seed %d: %d programs, %d divergent, %d skipped"
           seed iters (List.length failures) skipped;
       p_report = Fleet.Json.to_string json;
+      p_regime = None;
     }
   in
   {

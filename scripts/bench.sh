@@ -1,101 +1,58 @@
 #!/usr/bin/env bash
-# Benchmark trajectory, PR 7: the compiled executor (pre-decoded
-# superblocks, arena shadows, lazy traces) vs the tree-walking
-# interpreter it replaced. Emits BENCH_7.json at the repo root with
-# before/after three-engine suite numbers, the twofloat kernel table,
-# and the compile-cache hit rate of a double suite pass.
-#
-# "Before" numbers come from a pre-refactor binary when
-# FPGRIND_BEFORE_BIN points at one (build commit bb231c2 in a git
-# worktree for a same-day, same-machine comparison); otherwise the
-# numbers recorded in BENCH_6.json are carried over with a note, since
-# this machine's clock drifts across days. Raw per-run outputs
-# (bench_output_*.txt, *.jsonl) are gitignored.
+# Benchmark trajectory, PR 9: regime inference over the full
+# straight-line suite. Runs `fpgrind improve --sweep` at the official
+# swept configuration (96 points, depth 4, MDL penalty 0.05 bits/point)
+# and emits BENCH_8.json at the repo root: one row per benchmark with
+# before/after resampled mean_error_bits, the selected fix shape, and
+# wall time, plus sweep-level aggregates. The sweep itself asserts the
+# soundness contract — the script fails if any shipped fix is unsound
+# on its disjoint resample context. Raw sweep output
+# (bench_output_regimes.jsonl) is gitignored.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 dune build @all
 bin=_build/default/bin/fpgrind_cli.exe
-before_bin="${FPGRIND_BEFORE_BIN:-}"
 
-run_suite() { # bin engine store passes -> "<seconds> <programs>"
-  local b="$1" engine="$2" store="$3" passes="$4"
-  local log stats t0 t1 n
-  log="bench_output_${engine}_suite.txt"
-  stats="bench_output_${engine}_stats.txt"
-  rm -f "$store"
-  t0=$(date +%s.%N)
-  FPGRIND_SUITE_PASSES="$passes" FPGRIND_COMPILE_STATS=1 \
-    "$b" suite --engine "$engine" --no-cache --quiet \
-    --json "$store" --timeout 600 >"$log" 2>"$stats"
-  t1=$(date +%s.%N)
-  n=$(wc -l <"$store")
-  awk -v a="$t0" -v b="$t1" -v n="$n" 'BEGIN { printf "%.3f %d", b - a, n }'
-}
+sweep=bench_output_regimes.jsonl
+log=bench_output_regimes.txt
+rm -f "$sweep"
 
-suite_json() { # t_full n_full t_san t_tier esc slice -> one suite object
-  jq -n --argjson t_full "$1" --argjson n "$2" \
-        --argjson t_san "$3" --argjson t_tier "$4" \
-        --argjson esc "$5" --argjson slice "$6" '
-    { programs: $n,
-      full:     { wall_s: $t_full, programs_per_s: (($n / $t_full) * 1000 | round / 1000) },
-      sanitize: { wall_s: $t_san,  programs_per_s: (($n / $t_san) * 1000 | round / 1000) },
-      tiered:   { wall_s: $t_tier, programs_per_s: (($n / $t_tier) * 1000 | round / 1000),
-                  escalated_programs: $esc, slice_stmts: $slice } }'
-}
+t0=$(date +%s.%N)
+"$bin" improve --sweep --points 96 --depth 4 --penalty 0.05 \
+  --json "$sweep" 2>"$log"
+t1=$(date +%s.%N)
+wall=$(awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", b - a }')
 
-measure_tree() { # bin tag -> emits suite object on stdout
-  local b="$1" tag="$2"
-  echo "bench: $tag full engine over the suite..." >&2
-  read -r t_full n_full <<<"$(run_suite "$b" full "/tmp/fpgrind-bench-$tag-full.jsonl" 1)"
-  echo "bench: $tag sanitize engine over the suite..." >&2
-  read -r t_san _ <<<"$(run_suite "$b" sanitize "/tmp/fpgrind-bench-$tag-san.jsonl" 1)"
-  echo "bench: $tag tiered engine over the suite..." >&2
-  read -r t_tier _ <<<"$(run_suite "$b" tiered "/tmp/fpgrind-bench-$tag-tier.jsonl" 1)"
-  read -r esc slice <<<"$(jq -s \
-    '[([.[].metrics.escalations] | add), ([.[].metrics.slice_stmts] | add)] | @tsv' \
-    -r "/tmp/fpgrind-bench-$tag-tier.jsonl")"
-  suite_json "$t_full" "$n_full" "$t_san" "$t_tier" "$esc" "$slice"
-}
-
-after_suite="$(measure_tree "$bin" after)"
-
-if [ -n "$before_bin" ]; then
-  before_suite="$(measure_tree "$before_bin" before)"
-  before_source="measured same-day from FPGRIND_BEFORE_BIN (pre-refactor interpreter)"
-else
-  before_suite="$(jq '.suite | del(.sanitize_speedup, .tiered_speedup)' BENCH_6.json)"
-  before_source="carried over from BENCH_6.json (recorded on an earlier machine state)"
+if grep -q UNSOUND "$log"; then
+  echo "bench: sweep shipped an unsound fix" >&2
+  grep UNSOUND "$log" >&2
+  exit 1
 fi
 
-# Compile-cache behaviour: the whole suite twice in one process — the
-# second pass must be served entirely from the compiled-block cache.
-echo "bench: double suite pass for compile-cache hit rate..."
-read -r _ _ <<<"$(run_suite "$bin" full /tmp/fpgrind-bench-cache.jsonl 2)"
-compile_cache="$(jq -s '
-  { blocks_compiled: .[0].blocks_compiled,
-    pass2_new_blocks: (.[1].blocks_compiled - .[0].blocks_compiled),
-    pass2_cache_hits: (.[1].cache_hits - .[0].cache_hits) }' \
-  bench_output_full_stats.txt)"
+jq -s --argjson wall "$wall" '
+  def after: (if .selected == "branched" then .act_branched_bits
+              elif .selected == "single" then .act_single_bits
+              else .act_before_bits end);
+  { bench: "regime inference: branched-fix synthesis over the straight-line suite (points=96 depth=4 penalty=0.05 seed=42)",
+    wall_s: $wall,
+    programs: length,
+    benchmarks: [ .[] | {
+      name, regimes, selected,
+      mean_error_bits_before: (.act_before_bits * 100 | round / 100),
+      mean_error_bits_after:  (after * 100 | round / 100),
+      thresholds: [ .thresholds[] | { var, value } ],
+      wall_s: (.wall_s * 1000 | round / 1000) } ],
+    aggregates: {
+      branched: [ .[] | select(.selected == "branched") ] | length,
+      single:   [ .[] | select(.selected == "single") ] | length,
+      original: [ .[] | select(.selected == "original") ] | length,
+      unsound:  [ .[] | select(.sound | not) ] | length,
+      improved: [ .[] | select(after < .act_before_bits) ] | length,
+      mean_bits_before: (([ .[] | .act_before_bits ] | add / length) * 100 | round / 100),
+      mean_bits_after:  (([ .[] | after ] | add / length) * 100 | round / 100),
+      search_points_total: ([ .[] | .search_points ] | add) } }' \
+  "$sweep" >BENCH_8.json
 
-echo "bench: twofloat kernel ns/op..."
-"$bin" sanitize --bench-kernel | tee bench_output_kernel.txt
-kernel="$(awk '/ns\/op/ { printf "{\"op\":\"%s\",\"ns\":%s}\n", $1, $2 }' \
-  bench_output_kernel.txt | jq -s 'map({(.op): .ns}) | add')"
-
-jq -n --argjson before "$before_suite" --argjson after "$after_suite" \
-      --argjson cache "$compile_cache" --argjson kernel "$kernel" \
-      --arg before_source "$before_source" '
-  { bench: "compiled executor vs tree-walking interpreter: three-engine suite + twofloat kernel + compile cache",
-    before_source: $before_source,
-    suite_before: $before,
-    suite_after: $after,
-    speedup: {
-      full:     (($before.full.wall_s     / $after.full.wall_s)     * 100 | round / 100),
-      sanitize: (($before.sanitize.wall_s / $after.sanitize.wall_s) * 100 | round / 100),
-      tiered:   (($before.tiered.wall_s   / $after.tiered.wall_s)   * 100 | round / 100) },
-    compile_cache: $cache,
-    twofloat_ns_per_op: $kernel }' >BENCH_7.json
-
-echo "bench: wrote BENCH_7.json"
-cat BENCH_7.json
+echo "bench: wrote BENCH_8.json"
+jq '{wall_s, programs, aggregates}' BENCH_8.json

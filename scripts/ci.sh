@@ -142,7 +142,45 @@ trap 'rm -f "$out" "$san_bad" "$san_ok" "$srv_log" "$srv_store" "$ing_out" "$ing
 grep -q 'ext-sqrt-diff' "$ing_txt"
 grep -q 'ingest' "$ing_txt"   # the malformed artifacts surfaced as failed rows
 
-# Campaign smoke: a fixed-seed campaign covering the full 82-bench
+# Regime smoke: the official swept configuration must branch the
+# quadratic formula into >= 2 regimes with a strictly lower resampled
+# mean error, and must decline to branch the already-accurate thin-lens
+# bench (no thresholds, original kept). Both must be sound on resample
+# (a regime run exits 1 on an unsound fix).
+reg_multi="$(mktemp /tmp/fpgrind-ci-regime.XXXXXX.json)"
+reg_single="$(mktemp /tmp/fpgrind-ci-regime1.XXXXXX.json)"
+trap 'rm -f "$out" "$san_bad" "$san_ok" "$srv_log" "$srv_store" "$ing_out" "$ing_txt" "$reg_multi" "$reg_single"' EXIT
+"$bin" improve bench:quadratic-full --regimes \
+  --points 96 --depth 4 --penalty 0.05 --json "$reg_multi" >/dev/null
+jq -e '(.regimes >= 2) and (.selected == "branched")
+       and (.act_branched_bits < .act_before_bits)
+       and (.thresholds | length >= 1) and .sound' "$reg_multi" >/dev/null \
+  || { echo "ci: quadratic-full did not branch into sound regimes"; cat "$reg_multi"; exit 1; }
+"$bin" improve bench:thin-lens --regimes \
+  --points 96 --depth 4 --penalty 0.05 --json "$reg_single" >/dev/null
+jq -e '(.regimes == 1) and (.thresholds | length == 0) and .sound' \
+  "$reg_single" >/dev/null \
+  || { echo "ci: thin-lens emitted a spurious branch"; cat "$reg_single"; exit 1; }
+# the server path annotates records and exports the regime counters
+"$bin" serve --port 0 --jobs 1 --queue 8 >"$srv_log" 2>&1 &
+reg_srv_pid=$!
+for _ in $(seq 50); do
+  reg_port="$(sed -n 's/.*127\.0\.0\.1:\([0-9]*\).*/\1/p' "$srv_log" | head -1)"
+  [ -n "$reg_port" ] && break
+  sleep 0.1
+done
+[ -n "$reg_port" ] || { echo "ci: regime server never came up"; cat "$srv_log"; exit 1; }
+"$bin" client --port "$reg_port" analyze bench:quadratic-full \
+  --iterations 2 --seed 42 --regimes \
+  | jq -e '.regimes >= 2 and (.error_table | length > 0)' >/dev/null \
+  || { echo "ci: /analyze?regimes=1 did not annotate the record"; exit 1; }
+"$bin" client --port "$reg_port" metrics \
+  | grep -q '^fpgrind_regimes_inferred_total [1-9]' \
+  || { echo "ci: regime counters missing from /metrics"; exit 1; }
+kill -TERM "$reg_srv_pid"
+wait "$reg_srv_pid"
+
+# Campaign smoke: a fixed-seed campaign covering the full 85-bench
 # soundiness sweep interleaved with fuzz programs, SIGINT'd mid-run
 # (exit 3, checkpointed), resumed to completion, and the merged
 # findings feed must be byte-identical to an uninterrupted run of the
@@ -150,7 +188,7 @@ grep -q 'ingest' "$ing_txt"   # the malformed artifacts surfaced as failed rows
 # GET /findings and exports the campaign gauges.
 camp_dir="$(mktemp -d /tmp/fpgrind-ci-camp.XXXXXX)"
 trap 'rm -f "$out" "$san_bad" "$san_ok" "$srv_log" "$srv_store" "$ing_out" "$ing_txt"; rm -rf "$camp_dir"' EXIT
-camp_flags=(--seed 42 --iters 164 --soundiness-every 2 --checkpoint-every 10 --quiet)
+camp_flags=(--seed 42 --iters 170 --soundiness-every 2 --checkpoint-every 10 --quiet)
 
 "$bin" campaign "${camp_flags[@]}" \
   --state "$camp_dir/ref.state.json" --findings "$camp_dir/ref.jsonl"

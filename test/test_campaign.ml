@@ -146,6 +146,7 @@ let findings_roundtrip () =
       f_detail = "improve regressed 0.04 bits on resampled points";
       f_table = "line1\nline2";
       f_repro = "";
+      f_regime_candidate = Some true;
     }
   in
   let line = Campaign.Findings.to_line f in

@@ -24,6 +24,7 @@ let ok_payload name =
       };
     p_summary = name ^ ": ok";
     p_report = "No floating-point problems found.\n";
+    p_regime = None;
   }
 
 let spec name work =

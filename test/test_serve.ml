@@ -27,6 +27,7 @@ let ok_payload name =
       };
     p_summary = name ^ ": ok";
     p_report = "No floating-point problems found.\n";
+    p_regime = None;
   }
 
 let outcome ?(status = Fleet.Done) ?(key = "") name =
@@ -442,6 +443,67 @@ let test_validate_exit_codes () =
       close_out oc;
       Alcotest.(check int) "truncated tail" 1 (run_cli ("validate " ^ path)))
 
+(* /analyze?regimes=1 runs regime inference after the engine pass,
+   annotates the record with the branch structure, keeps a separate
+   cache entry from the plain analysis, and feeds the regime metrics *)
+let test_server_regimes () =
+  let srv, th, port =
+    start_server { Server.default_config with port = 0; queue = 8; quiet = true }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      Thread.join th)
+    (fun () ->
+      let q = "/analyze?iterations=2&seed=42&precision=64" in
+      (* plain analysis first: no regime fields on the record *)
+      let plain = post port q "bench:quadratic-full" in
+      Alcotest.(check int) "plain status" 200 plain.Client.c_status;
+      let pj = Fleet.Json.of_string (String.trim plain.Client.c_body) in
+      Alcotest.(check bool)
+        "plain record has no regime fields" true
+        (Fleet.Json.member "regimes" pj = None);
+      (* regime-annotated analysis is a distinct cache entry, not a hit *)
+      let r = post port (q ^ "&regimes=1") "bench:quadratic-full" in
+      Alcotest.(check int) "regimes status" 200 r.Client.c_status;
+      let j = Fleet.Json.of_string (String.trim r.Client.c_body) in
+      Alcotest.(check string)
+        "regime run is fresh, not the plain cache entry" "ok"
+        (Fleet.Json.get_str "status" j);
+      Alcotest.(check bool)
+        "quadratic-full branches into >= 2 regimes" true
+        (Fleet.Json.get_int "regimes" j >= 2);
+      Alcotest.(check bool)
+        "thresholds present" true
+        (match Fleet.Json.member "thresholds" j with
+        | Some (Fleet.Json.Arr (_ :: _)) -> true
+        | _ -> false);
+      Alcotest.(check bool)
+        "error table rendered" true
+        (String.length (Fleet.Json.get_str "error_table" j) > 0);
+      (* record round-trips through the store parser with regime intact *)
+      let o = Fleet.Store.outcome_of_json j in
+      (match o.Fleet.o_payload with
+      | Some { Fleet.p_regime = Some rs; _ } ->
+          Alcotest.(check bool) "summary regimes" true (rs.Fleet.rs_regimes >= 2);
+          Alcotest.(check bool)
+            "summary search points" true
+            (rs.Fleet.rs_search_points > 0)
+      | _ -> Alcotest.fail "store parser dropped the regime summary");
+      (* the scrape carries both regime counters *)
+      let m = (get port "/metrics").Client.c_body in
+      let counter name =
+        let re = Str.regexp (Str.quote name ^ " \\([0-9.]+\\)") in
+        ignore (Str.search_forward re m 0);
+        float_of_string (Str.matched_group 1 m)
+      in
+      Alcotest.(check bool)
+        "regimes inferred counted" true
+        (counter "fpgrind_regimes_inferred_total" >= 2.0);
+      Alcotest.(check bool)
+        "search points counted" true
+        (counter "fpgrind_regime_search_points_total" > 0.0))
+
 let test_suite_strict_exit_codes () =
   let base = "suite intro-example --iterations 1 --precision 64 --timeout 0.000001 --quiet" in
   Alcotest.(check int) "timeouts fail under --strict" 1
@@ -472,6 +534,8 @@ let () =
           Alcotest.test_case "backpressure under load" `Quick
             test_server_backpressure;
           Alcotest.test_case "shutdown drains" `Quick test_server_shutdown_drains;
+          Alcotest.test_case "regime inference endpoint" `Quick
+            test_server_regimes;
         ] );
       ( "cli",
         [
