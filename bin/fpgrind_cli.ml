@@ -1196,6 +1196,16 @@ let campaign_cmd =
             "Make every Nth stream index a soundiness check over the \
              benchmark suite (0 disables the soundiness slice).")
   in
+  let regimes_every_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "regimes-every" ] ~docv:"N"
+          ~doc:
+            "Make every Nth stream index a regime-inference task over the \
+             straight-line suite; fixes and unsound candidates land in the \
+             findings feed with a regime_candidate verdict (0 disables the \
+             regime slice; soundiness wins when both slices hit one index).")
+  in
   let checkpoint_every_arg =
     Arg.(
       value & opt int 50
@@ -1211,7 +1221,7 @@ let campaign_cmd =
   let quiet_arg =
     Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress progress lines.")
   in
-  let run seed iters state_path findings_path soundiness_every
+  let run seed iters state_path findings_path soundiness_every regimes_every
       checkpoint_every no_shrink quiet =
     let cfg =
       {
@@ -1219,6 +1229,7 @@ let campaign_cmd =
         Campaign.Runner.cfg_seed = seed;
         cfg_iters = iters;
         cfg_soundness_every = soundiness_every;
+        cfg_regimes_every = regimes_every;
         cfg_checkpoint_every = max 1 checkpoint_every;
         cfg_shrink = not no_shrink;
       }
@@ -1260,8 +1271,8 @@ let campaign_cmd =
           uninterrupted run.")
     Term.(
       const run $ seed_arg $ iters_arg $ state_arg $ findings_arg
-      $ soundiness_every_arg $ checkpoint_every_arg $ no_shrink_arg
-      $ quiet_arg)
+      $ soundiness_every_arg $ regimes_every_arg $ checkpoint_every_arg
+      $ no_shrink_arg $ quiet_arg)
 
 (* ---------- serve (the network analysis service) ---------- *)
 
@@ -1324,8 +1335,48 @@ let serve_cmd =
   let quiet_arg =
     Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress per-request log lines.")
   in
+  let shards_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Pre-fork $(docv) worker processes sharing one listening \
+             socket. Each shard is a full server (own pool, cache, \
+             metrics); a crashed or OOM-killed shard is respawned by the \
+             parent and results are shared through an advisory-locked \
+             JSONL cache (the --store file). 0 runs the classic \
+             single-process server.")
+  in
+  let keep_alive_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "keep-alive-requests" ] ~docv:"N"
+          ~doc:
+            "Requests served per connection before it is closed \
+             (Connection: close on the last response).")
+  in
+  let idle_timeout_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:"Tear down a keep-alive connection idle for $(docv).")
+  in
+  let rate_limit_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "rate-limit" ] ~docv:"RPS"
+          ~doc:
+            "Per-client token-bucket rate limit on POST requests, in \
+             requests/second; over-limit clients get 503 with Retry-After.")
+  in
+  let rate_burst_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "rate-burst" ] ~docv:"N"
+          ~doc:"Token-bucket capacity for --rate-limit.")
+  in
   let run port host jobs queue timeout max_body store_path findings_path quiet
-      =
+      shards keep_alive_requests idle_timeout rate_limit rate_burst =
     try
       let cfg =
         {
@@ -1338,20 +1389,61 @@ let serve_cmd =
           store_path;
           findings_path;
           quiet;
+          keep_alive_requests;
+          idle_timeout;
+          rate_limit;
+          rate_burst;
+          shared_cache_path = None;
+          shard_status_path = None;
+          listen_fd = None;
         }
       in
-      let srv = Serve.Server.create cfg in
-      (* graceful shutdown: stop accepting, drain in-flight and queued
-         jobs, flush the store, then exit 0 *)
-      let on_signal _ = Serve.Server.stop srv in
-      Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
-      Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
-      (* the pipe is handled inline; a dying client must not kill us *)
-      Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-      Printf.printf "fpgrind serve: listening on http://%s:%d (jobs=%d queue=%d)\n%!"
-        host (Serve.Server.port srv) jobs queue;
-      Serve.Server.run srv;
-      0
+      if shards > 0 then begin
+        (* Shard mode: workers publish every fresh result to the shared
+           cache file incrementally, which *is* the durable store —
+           per-worker truncate-and-save flushes would clobber each other,
+           so the workers run with store_path = None. *)
+        let status_path =
+          match store_path with
+          | Some p -> p ^ ".status.json"
+          | None -> Filename.temp_file "fpgrind-shard-status" ".json"
+        in
+        let worker_cfg =
+          {
+            cfg with
+            Serve.Server.store_path = None;
+            shared_cache_path = store_path;
+          }
+        in
+        let shard_cfg =
+          {
+            (Shard.default_config ~serve:worker_cfg ~status_path) with
+            Shard.sh_shards = shards;
+          }
+        in
+        Shard.run
+          ~on_listen:(fun bound ->
+            Printf.printf
+              "fpgrind serve: listening on http://%s:%d (shards=%d jobs=%d \
+               queue=%d)\n%!"
+              host bound shards jobs queue)
+          shard_cfg
+      end
+      else begin
+        let srv = Serve.Server.create cfg in
+        (* graceful shutdown: stop accepting, drain in-flight and queued
+           jobs, flush the store, then exit 0 *)
+        let on_signal _ = Serve.Server.stop srv in
+        Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+        (* the pipe is handled inline; a dying client must not kill us *)
+        Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+        Printf.printf
+          "fpgrind serve: listening on http://%s:%d (jobs=%d queue=%d)\n%!"
+          host (Serve.Server.port srv) jobs queue;
+        Serve.Server.run srv;
+        0
+      end
     with Unix.Unix_error (e, fn, _) ->
       Printf.eprintf "error: %s: %s\n" fn (Unix.error_message e);
       1
@@ -1359,12 +1451,16 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Run the HTTP analysis service: POST /analyze and /fuzz with a \
-          bounded queue and 503 backpressure, GET /healthz, GET /findings \
-          for a campaign feed, and GET /metrics in Prometheus text format.")
+         "Run the HTTP analysis service: keep-alive HTTP/1.1 with POST \
+          /analyze and /fuzz behind a bounded queue with 503 backpressure, \
+          optional pre-forked shards (--shards) with crash respawn and a \
+          shared result cache, per-client rate limiting, GET /healthz, GET \
+          /findings for a campaign feed, and GET /metrics in Prometheus \
+          text format.")
     Term.(
       const run $ port_arg $ host_arg $ jobs_arg $ queue_arg $ timeout_arg
-      $ max_body_arg $ store_arg $ findings_arg $ quiet_arg)
+      $ max_body_arg $ store_arg $ findings_arg $ quiet_arg $ shards_arg
+      $ keep_alive_arg $ idle_timeout_arg $ rate_limit_arg $ rate_burst_arg)
 
 (* ---------- client (talk to a running fpgrind serve) ---------- *)
 
@@ -1444,6 +1540,16 @@ let client_cmd =
              regime inference and annotate the record with the branch \
              structure (sent as the $(b,regimes=1) query parameter).")
   in
+  let repeat_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:
+            "Send the request $(docv) times over a single keep-alive \
+             connection; only the last response is printed (and compared \
+             by --match). Useful for warming the server cache and for \
+             eyeballing keep-alive behaviour.")
+  in
   (* A cached record is by construction a copy of an ok record, so the
      comparison normalises "cached" to "ok"; everything else but the
      wall-time is compared strictly. *)
@@ -1461,8 +1567,24 @@ let client_cmd =
     | j -> j
   in
   let run action target port host inputs iterations seed precision threshold
-      match_store iters fuzz_seed timeout engine regimes =
+      match_store iters fuzz_seed timeout engine regimes repeat =
     let enc = Serve.Http.percent_encode in
+    let repeat = max 1 repeat in
+    (* all requests of one invocation share one keep-alive connection;
+       the connection is opened lazily so argument errors never dial *)
+    let conn = lazy (Serve.Client.connect ~host ~port ()) in
+    let send ~meth ~path ?body () =
+      let c = Lazy.force conn in
+      let r = ref (Serve.Client.request_conn c ~meth ~path ?body ()) in
+      for _ = 2 to repeat do
+        r := Serve.Client.request_conn c ~meth ~path ?body ()
+      done;
+      !r
+    in
+    let finish code =
+      if Lazy.is_val conn then Serve.Client.close (Lazy.force conn);
+      code
+    in
     try
       (match engine with
       | Some e when Core.Config.engine_of_name e = None ->
@@ -1470,23 +1592,19 @@ let client_cmd =
             "error: unknown engine %S (expected full, sanitize or tiered)\n" e;
           raise Exit
       | _ -> ());
+      finish
+      @@
       match action with
       | `Health ->
-          let r =
-            Serve.Client.request ~host ~port ~meth:"GET" ~path:"/healthz" ()
-          in
+          let r = send ~meth:"GET" ~path:"/healthz" () in
           print_string r.Serve.Client.c_body;
           if r.Serve.Client.c_status / 100 = 2 then 0 else 1
       | `Metrics ->
-          let r =
-            Serve.Client.request ~host ~port ~meth:"GET" ~path:"/metrics" ()
-          in
+          let r = send ~meth:"GET" ~path:"/metrics" () in
           print_string r.Serve.Client.c_body;
           if r.Serve.Client.c_status / 100 = 2 then 0 else 1
       | `Findings ->
-          let r =
-            Serve.Client.request ~host ~port ~meth:"GET" ~path:"/findings" ()
-          in
+          let r = send ~meth:"GET" ~path:"/findings" () in
           print_string r.Serve.Client.c_body;
           if r.Serve.Client.c_status / 100 = 2 then 0 else 1
       | `Fuzz ->
@@ -1496,7 +1614,7 @@ let client_cmd =
               | None -> ""
               | Some s -> "&timeout=" ^ enc (Printf.sprintf "%g" s))
           in
-          let r = Serve.Client.request ~host ~port ~meth:"POST" ~path () in
+          let r = send ~meth:"POST" ~path () in
           print_string r.Serve.Client.c_body;
           if r.Serve.Client.c_status / 100 = 2 then 0 else 1
       | (`Analyze | `Sanitize) as action -> (
@@ -1538,7 +1656,7 @@ let client_cmd =
             | None -> path
           in
           let path = if regimes then path ^ "&regimes=1" else path in
-          let r = Serve.Client.request ~host ~port ~meth:"POST" ~path ~body () in
+          let r = send ~meth:"POST" ~path ~body () in
           print_string r.Serve.Client.c_body;
           if r.Serve.Client.c_status / 100 <> 2 then 1
           else
@@ -1618,7 +1736,151 @@ let client_cmd =
       $ iterations_arg $ Arg.(
         value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Input sampling seed.")
       $ precision_arg $ threshold_arg $ match_arg $ iters_arg $ fuzz_seed_arg
-      $ client_timeout_arg $ client_engine_arg $ client_regimes_arg)
+      $ client_timeout_arg $ client_engine_arg $ client_regimes_arg
+      $ repeat_arg)
+
+let loadgen_cmd =
+  let url_arg =
+    Arg.(
+      value & opt string "http://127.0.0.1:8080"
+      & info [ "url" ] ~docv:"URL"
+          ~doc:"Server base URL, $(b,http://HOST:PORT).")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 50.0
+      & info [ "rate" ] ~docv:"RPS"
+          ~doc:
+            "Open-loop arrival rate in requests/second. Request i is due \
+             at start + i/RATE regardless of earlier completions, and its \
+             latency is charged from that due time.")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "duration" ] ~docv:"SECONDS" ~doc:"Seconds of offered load.")
+  in
+  let lg_seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Request-stream seed; the body of request i is a pure \
+             function of (seed, i, mix), so the same seed offers the \
+             same bodies regardless of timing or concurrency.")
+  in
+  let mix_arg =
+    Arg.(
+      value & opt string "bench=1,minic=1"
+      & info [ "mix" ] ~docv:"SPEC"
+          ~doc:
+            "Weighted request mix, e.g. $(b,bench=3,minic=1): \
+             $(b,bench) requests repeat suite benchmarks (cache-friendly), \
+             $(b,minic) requests carry fresh generated programs \
+             (cache-cold).")
+  in
+  let conns_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "conns" ] ~docv:"N"
+          ~doc:"Concurrent keep-alive connections carrying the stream.")
+  in
+  let lg_engine_arg =
+    Arg.(
+      value & opt string "sanitize"
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:"Analysis engine query parameter sent with every request.")
+  in
+  let lg_iterations_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "iterations" ] ~docv:"N"
+          ~doc:"Sampled inputs per analysis request.")
+  in
+  let json_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also write the report JSON to $(docv).")
+  in
+  (* http://HOST:PORT — no path/userinfo, this is a bench driver not a
+     general HTTP client *)
+  let parse_url (u : string) : (string * int, string) result =
+    let prefix = "http://" in
+    let plen = String.length prefix in
+    if String.length u <= plen || String.sub u 0 plen <> prefix then
+      Error (Printf.sprintf "expected http://HOST:PORT, got %s" u)
+    else
+      let rest = String.sub u plen (String.length u - plen) in
+      let rest =
+        if String.length rest > 0 && rest.[String.length rest - 1] = '/' then
+          String.sub rest 0 (String.length rest - 1)
+        else rest
+      in
+      match String.rindex_opt rest ':' with
+      | None -> Ok (rest, 80)
+      | Some i -> (
+          let host = String.sub rest 0 i in
+          let port = String.sub rest (i + 1) (String.length rest - i - 1) in
+          match int_of_string_opt port with
+          | Some p when p > 0 && host <> "" -> Ok (host, p)
+          | _ -> Error (Printf.sprintf "bad port in %s" u))
+  in
+  let run url rate duration seed mix conns engine iterations json_path =
+    try
+      let host, port =
+        match parse_url url with Ok hp -> hp | Error msg -> failwith msg
+      in
+      if rate <= 0.0 then failwith "loadgen: --rate must be positive";
+      if duration <= 0.0 then failwith "loadgen: --duration must be positive";
+      let cfg =
+        {
+          Loadgen.lg_host = host;
+          lg_port = port;
+          lg_rate = rate;
+          lg_duration = duration;
+          lg_conns = max 1 conns;
+          lg_seed = seed;
+          lg_mix = Loadgen.mix_of_string mix;
+          lg_engine = engine;
+          lg_iterations = max 1 iterations;
+        }
+      in
+      let report = Loadgen.run cfg in
+      let j = Fleet.Json.to_string (Loadgen.to_json cfg report) in
+      print_endline j;
+      (match json_path with
+      | None -> ()
+      | Some p ->
+          let oc = open_out p in
+          output_string oc j;
+          output_char oc '\n';
+          close_out oc);
+      (* 503s are the server keeping its latency promise under overload;
+         other 5xx (or transport failures) mean it broke *)
+      if report.Loadgen.r_errors_5xx > 0 || report.Loadgen.r_conn_errors > 0
+      then 1
+      else 0
+    with
+    | Failure msg | Sys_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Unix.Unix_error (e, fn, _) ->
+        Printf.eprintf "error: %s: %s\n" fn (Unix.error_message e);
+        1
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Offer seeded open-loop load to a running fpgrind serve and \
+          report p50/p90/p99 latency, throughput and error rates as JSON. \
+          The request stream is a pure function of --seed and --mix; \
+          latency is measured from each request's scheduled arrival time, \
+          so server stalls show up as queueing delay instead of silently \
+          slowing the generator (no coordinated omission).")
+    Term.(
+      const run $ url_arg $ rate_arg $ duration_arg $ lg_seed_arg $ mix_arg
+      $ conns_arg $ lg_engine_arg $ lg_iterations_arg $ json_arg)
 
 let () =
   let doc = "find root causes of floating-point error (Herbgrind reproduction)" in
@@ -1629,5 +1891,5 @@ let () =
           [
             analyze_cmd; sanitize_cmd; run_cmd; suite_cmd; validate_cmd;
             list_cmd; improve_cmd; fuzz_cmd; campaign_cmd; serve_cmd;
-            client_cmd;
+            client_cmd; loadgen_cmd;
           ]))

@@ -8,14 +8,15 @@
 type finding = {
   f_index : int;  (* campaign stream index that produced it *)
   f_seed : int;
-  f_kind : string;  (* "divergence" | "error" | "soundiness" *)
+  f_kind : string;  (* "divergence" | "error" | "soundiness" | "regime" *)
   f_subject : string;  (* program digest, or benchmark name *)
   f_detail : string;  (* oracle leg + detail, or regression summary *)
   f_table : string;  (* actual-vs-predicted error table; "" when n/a *)
   f_repro : string;  (* minimized reproducer source; "" when n/a *)
   f_regime_candidate : bool option;
-      (* soundiness only: Some true when regime inference retires the
-         overfit (its validation-gated fix is sound on resample) *)
+      (* soundiness: Some true when regime inference retires the overfit
+         (its validation-gated fix is sound on resample); regime: the
+         shipped fix's own soundness verdict *)
 }
 
 let to_json (f : finding) : Json.t =

@@ -4,8 +4,11 @@
    The stream is indexed 0..iters-1. When [soundness_every] is N > 0,
    every Nth index (i ≡ N-1 mod N) is a soundiness task over the
    benchmark suite — the k-th soundiness task checks bench (k mod 82)
-   with a per-index derived seed — and every other index is a fuzz
-   program, generated from (seed, i) exactly as `fpgrind fuzz` would.
+   with a per-index derived seed; when [regimes_every] is M > 0, every
+   Mth index is a regime-inference task over the straight-line suite
+   (soundiness wins when both land on one index); and every other index
+   is a fuzz program, generated from (seed, i) exactly as `fpgrind
+   fuzz` would.
    Each index is therefore a pure function of (seed, i, config): the
    loop runs strictly in index order, findings append in index order,
    and the checkpoint records the next index to run — which is all it
@@ -26,6 +29,7 @@ type config = {
   cfg_seed : int;
   cfg_iters : int;
   cfg_soundness_every : int;  (* 0 disables the soundiness slice *)
+  cfg_regimes_every : int;  (* 0 disables the regime slice *)
   cfg_checkpoint_every : int;
   cfg_state_path : string;
   cfg_findings_path : string;
@@ -40,6 +44,7 @@ let default_config ~state_path ~findings_path =
     cfg_seed = 42;
     cfg_iters = 2000;
     cfg_soundness_every = 0;
+    cfg_regimes_every = 0;
     cfg_checkpoint_every = 50;
     cfg_state_path = state_path;
     cfg_findings_path = findings_path;
@@ -56,17 +61,26 @@ let default_config ~state_path ~findings_path =
 let fingerprint (c : config) : string =
   let ck = c.cfg_checks in
   Printf.sprintf
-    "seed=%d iters=%d every=%d an=%b ab=%b vec=%b ml=%b k=%b san=%b cons=%b \
-     tier=%b steps=%d cfg=%s pts=%d depth=%d shrink=%b"
-    c.cfg_seed c.cfg_iters c.cfg_soundness_every ck.Oracle.c_analysis
-    ck.Oracle.c_ablations ck.Oracle.c_vectorize ck.Oracle.c_mathlib
-    ck.Oracle.c_kernel ck.Oracle.c_sanitize ck.Oracle.c_consistency
-    ck.Oracle.c_tiered ck.Oracle.c_max_steps
+    "seed=%d iters=%d every=%d regimes=%d an=%b ab=%b vec=%b ml=%b k=%b \
+     san=%b cons=%b tier=%b steps=%d cfg=%s pts=%d depth=%d shrink=%b"
+    c.cfg_seed c.cfg_iters c.cfg_soundness_every c.cfg_regimes_every
+    ck.Oracle.c_analysis ck.Oracle.c_ablations ck.Oracle.c_vectorize
+    ck.Oracle.c_mathlib ck.Oracle.c_kernel ck.Oracle.c_sanitize
+    ck.Oracle.c_consistency ck.Oracle.c_tiered ck.Oracle.c_max_steps
     (Core.Config.fingerprint ck.Oracle.c_cfg)
     c.cfg_soundness_points c.cfg_soundness_depth c.cfg_shrink
 
 let is_soundness (c : config) (i : int) : bool =
   c.cfg_soundness_every > 0 && (i + 1) mod c.cfg_soundness_every = 0
+
+(* The periodic regime slice (ROADMAP item 1 follow-up). When both
+   slices land on the same index the soundiness check wins — the two
+   predicates must partition deterministically or resume would replay a
+   different stream. *)
+let is_regime (c : config) (i : int) : bool =
+  c.cfg_regimes_every > 0
+  && (i + 1) mod c.cfg_regimes_every = 0
+  && not (is_soundness c i)
 
 (* Seed for the k-th soundiness task's point contexts: distinct per
    index, deterministic, and unrelated to the fuzz SplitMix64 stream. *)
@@ -108,6 +122,49 @@ let run_soundness (c : config) (i : int) : Findings.finding option =
         f_table = Rewrite.Soundness.table report;
         f_repro = "";
         f_regime_candidate = regime_candidate;
+      }
+  end
+
+(* One regime task: run the full inference pipeline on the k-th
+   straight-line bench (rotating) with a per-index derived seed, and
+   report a finding whenever it has something to say — a branched or
+   single fix that beats the original on the disjoint resample context,
+   or a fix its own soundness gate rejects. [regime_candidate] carries
+   the gate's verdict, same field the soundiness findings use. *)
+let run_regime (c : config) (i : int) : Findings.finding option =
+  let k = ((i + 1) / c.cfg_regimes_every) - 1 in
+  let benches =
+    List.filter (fun b -> b.Suite.group = `Straight) Suite.all
+  in
+  let bench = List.nth benches (k mod List.length benches) in
+  let r =
+    Regime.infer ~depth:c.cfg_soundness_depth ~points:c.cfg_soundness_points
+      ~seed:(soundness_seed c i) bench
+  in
+  let sound = r.Regime.re_soundness.Rewrite.Soundness.r_sound in
+  if r.Regime.re_selected = "original" && sound then None
+  else begin
+    let after =
+      match r.Regime.re_selected with
+      | "branched" -> r.Regime.re_act_branched
+      | "single" -> r.Regime.re_act_single
+      | _ -> r.Regime.re_act_before
+    in
+    Some
+      {
+        Findings.f_index = i;
+        f_seed = c.cfg_seed;
+        f_kind = "regime";
+        f_subject = bench.Suite.name;
+        f_detail =
+          Printf.sprintf "%s fix, %d regimes: %.2f -> %.2f bits on resample%s"
+            r.Regime.re_selected
+            (Regime.selected_regimes r.Regime.re_selected r.Regime.re_regimes)
+            r.Regime.re_act_before after
+            (if sound then "" else " (UNSOUND)");
+        f_table = Regime.table r;
+        f_repro = "";
+        f_regime_candidate = Some sound;
       }
   end
 
@@ -216,6 +273,18 @@ let run ?(should_stop = fun () -> false) ?(on_progress = fun (_ : State.t) -> ()
                 s_soundness_violations = s.State.s_soundness_violations + 1;
               }
         end
+        else if is_regime c i then begin
+          match run_regime c i with
+          | None ->
+              { s with State.s_regime_checks = s.State.s_regime_checks + 1 }
+          | Some f ->
+              Findings.append ~path:c.cfg_findings_path [ f ];
+              {
+                s with
+                State.s_regime_checks = s.State.s_regime_checks + 1;
+                s_regime_findings = s.State.s_regime_findings + 1;
+              }
+        end
         else begin
           match run_fuzz c i with
           | None, Fcampaign.Passed ->
@@ -239,8 +308,10 @@ let run ?(should_stop = fun () -> false) ?(on_progress = fun (_ : State.t) -> ()
 let summary_line (st : State.t) : string =
   Printf.sprintf
     "campaign seed %d: %d/%d done — %d passed, %d skipped, %d divergent, %d \
-     errors, %d soundiness checks (%d violations), %d findings"
+     errors, %d soundiness checks (%d violations), %d regime checks (%d \
+     findings), %d findings"
     st.State.s_seed st.State.s_next st.State.s_iters st.State.s_passed
     st.State.s_skipped st.State.s_divergent st.State.s_errors
     st.State.s_soundness_checks st.State.s_soundness_violations
+    st.State.s_regime_checks st.State.s_regime_findings
     (State.findings st)

@@ -22,6 +22,8 @@ type t = {
   s_errors : int;
   s_soundness_checks : int;
   s_soundness_violations : int;
+  s_regime_checks : int;  (* regime-slice tasks completed *)
+  s_regime_findings : int;  (* regime tasks that produced a finding *)
 }
 
 let fresh ~seed ~iters ~soundness_every ~fingerprint =
@@ -37,9 +39,12 @@ let fresh ~seed ~iters ~soundness_every ~fingerprint =
     s_errors = 0;
     s_soundness_checks = 0;
     s_soundness_violations = 0;
+    s_regime_checks = 0;
+    s_regime_findings = 0;
   }
 
-let findings (t : t) : int = t.s_divergent + t.s_errors + t.s_soundness_violations
+let findings (t : t) : int =
+  t.s_divergent + t.s_errors + t.s_soundness_violations + t.s_regime_findings
 let complete (t : t) : bool = t.s_next >= t.s_iters
 
 let to_json (t : t) : Json.t =
@@ -57,6 +62,8 @@ let to_json (t : t) : Json.t =
       ("errors", num t.s_errors);
       ("soundness_checks", num t.s_soundness_checks);
       ("soundness_violations", num t.s_soundness_violations);
+      ("regime_checks", num t.s_regime_checks);
+      ("regime_findings", num t.s_regime_findings);
     ]
 
 let of_json (j : Json.t) : t =
@@ -72,6 +79,9 @@ let of_json (j : Json.t) : t =
     s_errors = Json.get_int "errors" j;
     s_soundness_checks = Json.get_int "soundness_checks" j;
     s_soundness_violations = Json.get_int "soundness_violations" j;
+    (* default 0: state files from before the regime slice stay loadable *)
+    s_regime_checks = Json.get_int ~default:0 "regime_checks" j;
+    s_regime_findings = Json.get_int ~default:0 "regime_findings" j;
   }
 
 let save ~(path : string) (t : t) : unit =

@@ -1,0 +1,97 @@
+(* HDR-style latency histogram: log-spaced major buckets (one per power
+   of two of microseconds) each split into 16 linear sub-buckets, so any
+   recorded value is off by at most 1/16 ≈ 6% relative error — constant
+   memory over a 0 µs .. ~1 hour dynamic range, exact below 16 µs.
+
+   Same idea as HdrHistogram with 4 significant-value bits: the bucket
+   index of value v (in µs) is built from the position of v's top bit
+   and the next 4 bits below it. Everything is plain int arrays so
+   per-worker histograms are cheap and [merge] is elementwise. *)
+
+let sub_bits = 4
+let sub = 1 lsl sub_bits  (* 16 linear sub-buckets per power of two *)
+let max_pow = 42  (* covers ~2^42 µs; saturates beyond *)
+let buckets = sub + ((max_pow - sub_bits) * sub)
+
+type t = {
+  counts : int array;
+  mutable n : int;
+  mutable sum : float;  (* seconds *)
+  mutable vmax : float;
+  mutable vmin : float;
+}
+
+let create () =
+  {
+    counts = Array.make buckets 0;
+    n = 0;
+    sum = 0.0;
+    vmax = 0.0;
+    vmin = infinity;
+  }
+
+let msb_pos (v : int) : int =
+  (* position of the highest set bit; v > 0 *)
+  let rec go v p = if v = 1 then p else go (v lsr 1) (p + 1) in
+  go v 0
+
+let index_of_us (u : int) : int =
+  if u < sub then u
+  else
+    let p = msb_pos u in
+    let p = min p (max_pow - 1) in
+    let g = p - sub_bits in
+    let s = (u lsr g) land (sub - 1) in
+    min (buckets - 1) (sub + (g * sub) + s)
+
+(* representative value (upper edge) of a bucket, in µs *)
+let us_of_index (i : int) : int =
+  if i < sub then i
+  else
+    let g = (i - sub) / sub in
+    let s = (i - sub) mod sub in
+    ((sub + s + 1) lsl g) - 1
+
+let record (t : t) (seconds : float) : unit =
+  let s = if Float.is_nan seconds || seconds < 0.0 then 0.0 else seconds in
+  let us = int_of_float (Float.min (s *. 1e6) 4.0e12) in
+  t.counts.(index_of_us us) <- t.counts.(index_of_us us) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. s;
+  if s > t.vmax then t.vmax <- s;
+  if s < t.vmin then t.vmin <- s
+
+let merge (dst : t) (src : t) : unit =
+  Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) src.counts;
+  dst.n <- dst.n + src.n;
+  dst.sum <- dst.sum +. src.sum;
+  if src.vmax > dst.vmax then dst.vmax <- src.vmax;
+  if src.vmin < dst.vmin then dst.vmin <- src.vmin
+
+let count (t : t) : int = t.n
+let mean (t : t) : float = if t.n = 0 then nan else t.sum /. float_of_int t.n
+let max_value (t : t) : float = if t.n = 0 then nan else t.vmax
+let min_value (t : t) : float = if t.n = 0 then nan else t.vmin
+
+(* p in [0,1]: smallest bucket upper edge covering at least p of the
+   recorded values — the usual cumulative-rank walk *)
+let quantile (t : t) (p : float) : float =
+  if t.n = 0 then nan
+  else begin
+    let rank =
+      let r = int_of_float (Float.ceil (p *. float_of_int t.n)) in
+      max 1 (min t.n r)
+    in
+    let acc = ref 0 in
+    let found = ref nan in
+    (try
+       for i = 0 to buckets - 1 do
+         acc := !acc + t.counts.(i);
+         if !acc >= rank then begin
+           found := float_of_int (us_of_index i) /. 1e6;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !found
+  end

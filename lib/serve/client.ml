@@ -1,6 +1,12 @@
-(* fpgrind.serve client: a minimal blocking HTTP/1.1 client — one fresh
-   connection per request, Connection: close — used by `fpgrind client`,
-   the CI smoke run, and the tests. *)
+(* fpgrind.serve client: a minimal blocking HTTP/1.1 client used by
+   `fpgrind client`, `fpgrind loadgen`, the CI smoke run, and the tests.
+
+   [request] is the original one-shot path: fresh connection,
+   Connection: close. [connect]/[request_conn] hold one keep-alive
+   connection open across requests — responses are delimited by
+   content-length, and when the server ends the connection (request cap
+   reached, idle timeout, restarting shard) the next request
+   transparently reconnects and retries once. *)
 
 type response = {
   c_status : int;
@@ -16,6 +22,29 @@ let resolve host =
       | { Unix.ai_addr = Unix.ADDR_INET (addr, _); _ } :: _ -> addr
       | _ -> failwith ("cannot resolve host " ^ host))
 
+let send_all fd s =
+  let n = String.length s in
+  let sent = ref 0 in
+  while !sent < n do
+    sent := !sent + Unix.write_substring fd s !sent (n - !sent)
+  done
+
+let request_bytes ~host ~port ~meth ~path ~headers ~body ~keep_alive : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "%s %s HTTP/1.1\r\n" meth path);
+  Buffer.add_string buf (Printf.sprintf "host: %s:%d\r\n" host port);
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
+    headers;
+  if body <> "" || meth = "POST" || meth = "PUT" then
+    Buffer.add_string buf
+      (Printf.sprintf "content-length: %d\r\n" (String.length body));
+  Buffer.add_string buf
+    (if keep_alive then "connection: keep-alive\r\n\r\n"
+     else "connection: close\r\n\r\n");
+  Buffer.add_string buf body;
+  Buffer.contents buf
+
 let request ?(host = "127.0.0.1") ~port ~meth ~path ?(headers = [])
     ?(body = "") () : response =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -23,22 +52,74 @@ let request ?(host = "127.0.0.1") ~port ~meth ~path ?(headers = [])
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
       Unix.connect fd (Unix.ADDR_INET (resolve host, port));
-      let buf = Buffer.create 256 in
-      Buffer.add_string buf (Printf.sprintf "%s %s HTTP/1.1\r\n" meth path);
-      Buffer.add_string buf (Printf.sprintf "host: %s:%d\r\n" host port);
-      List.iter
-        (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
-        headers;
-      if body <> "" || meth = "POST" || meth = "PUT" then
-        Buffer.add_string buf
-          (Printf.sprintf "content-length: %d\r\n" (String.length body));
-      Buffer.add_string buf "connection: close\r\n\r\n";
-      Buffer.add_string buf body;
-      let s = Buffer.contents buf in
-      let n = String.length s in
-      let sent = ref 0 in
-      while !sent < n do
-        sent := !sent + Unix.write_substring fd s !sent (n - !sent)
-      done;
+      send_all fd
+        (request_bytes ~host ~port ~meth ~path ~headers ~body
+           ~keep_alive:false);
       let status, headers, body = Http.read_response (Http.reader_of_fd fd) in
       { c_status = status; c_headers = headers; c_body = body })
+
+(* ---------- keep-alive connections ---------- *)
+
+type conn = {
+  cn_host : string;
+  cn_port : int;
+  mutable cn_fd : Unix.file_descr option;
+  mutable cn_rd : Http.reader option;
+}
+
+let connect ?(host = "127.0.0.1") ~port () : conn =
+  { cn_host = host; cn_port = port; cn_fd = None; cn_rd = None }
+
+let close (c : conn) : unit =
+  (match c.cn_fd with
+  | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
+  c.cn_fd <- None;
+  c.cn_rd <- None
+
+let ensure_connected (c : conn) : Unix.file_descr * Http.reader =
+  match (c.cn_fd, c.cn_rd) with
+  | Some fd, Some rd -> (fd, rd)
+  | _ ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_INET (resolve c.cn_host, c.cn_port))
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      let rd = Http.reader_of_fd fd in
+      c.cn_fd <- Some fd;
+      c.cn_rd <- Some rd;
+      (fd, rd)
+
+exception Stale
+(* the server closed the connection between our requests *)
+
+let roundtrip (c : conn) ~meth ~path ~headers ~body : response =
+  let fd, rd = ensure_connected c in
+  let bytes =
+    request_bytes ~host:c.cn_host ~port:c.cn_port ~meth ~path ~headers ~body
+      ~keep_alive:true
+  in
+  (try send_all fd bytes
+   with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> raise Stale);
+  match Http.read_response rd with
+  | status, rheaders, rbody ->
+      (* honor the server's verdict so the next request starts clean *)
+      (match List.assoc_opt "connection" rheaders with
+      | Some v when String.lowercase_ascii v = "close" -> close c
+      | _ -> ());
+      { c_status = status; c_headers = rheaders; c_body = rbody }
+  | exception Http.Closed -> raise Stale
+  | exception Http.Error _ when Http.(rd.eof) -> raise Stale
+
+(* One transparent retry on a stale connection: a keep-alive peer is
+   allowed to hang up between requests (cap reached, idle timeout,
+   shard respawn), and the request has not been processed when the
+   connection dies before a status line arrives. *)
+let request_conn (c : conn) ~meth ~path ?(headers = []) ?(body = "") () :
+    response =
+  match roundtrip c ~meth ~path ~headers ~body with
+  | r -> r
+  | exception Stale ->
+      close c;
+      roundtrip c ~meth ~path ~headers ~body

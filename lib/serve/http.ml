@@ -4,11 +4,14 @@
    testable without a live socket: tests feed it strings, the server
    feeds it a file descriptor.
 
-   Scope: exactly what the analysis service needs. One request per
-   connection (every response carries Connection: close), Content-Length
+   Scope: exactly what the analysis service needs. HTTP/1.1 keep-alive
+   with pipelined request reads ([session] serves a whole connection off
+   one buffered reader, so a second request that arrived in the same TCP
+   segment is parsed without touching the socket again), Content-Length
    bodies only — Transfer-Encoding is refused with 501 — and hard limits
-   on line length, header count, and body size so a hostile peer cannot
-   make the server buffer unboundedly. *)
+   on line length, header count, body size, per-connection request count
+   and idle time so a hostile peer cannot make the server buffer
+   unboundedly or pin a thread forever. *)
 
 exception Error of int * string
 (** An HTTP-level protocol error: status code to answer with, and why. *)
@@ -24,6 +27,7 @@ type request = {
   rq_query : (string * string) list;  (* decoded key/value pairs *)
   rq_headers : (string * string) list;  (* names lowercased, values trimmed *)
   rq_body : string;
+  rq_version : string;  (* "HTTP/1.1" or "HTTP/1.0" *)
 }
 
 type response = {
@@ -193,7 +197,7 @@ let parse_request_line line =
               parse_query
                 (String.sub target (i + 1) (String.length target - i - 1)) )
       in
-      (String.uppercase_ascii meth, percent_decode path, query)
+      (String.uppercase_ascii meth, percent_decode path, query, version)
   | _ -> fail 400 "malformed request line"
 
 let trim_ows s =
@@ -245,7 +249,7 @@ let content_length_of headers ~max_body =
 
 let read_request ?(max_body = default_max_body) (rd : reader) : request =
   let line = read_line ~over:414 ~at_start:true rd in
-  let meth, path, query = parse_request_line line in
+  let meth, path, query, version = parse_request_line line in
   let headers = read_headers rd in
   if List.mem_assoc "transfer-encoding" headers then
     fail 501 "transfer-encoding is not supported; send content-length";
@@ -258,9 +262,30 @@ let read_request ?(max_body = default_max_body) (rd : reader) : request =
         else ""
   in
   { rq_meth = meth; rq_path = path; rq_query = query; rq_headers = headers;
-    rq_body = body }
+    rq_body = body; rq_version = version }
 
 let header req name = List.assoc_opt (String.lowercase_ascii name) req.rq_headers
+
+(* ---------- keep-alive ---------- *)
+
+(* Does this request forbid reusing the connection? A Connection header
+   is a comma-separated token list; "close" anywhere in it wins. An
+   HTTP/1.0 peer must opt in with "keep-alive" explicitly. *)
+let want_close (rq : request) : bool =
+  let tokens =
+    match header rq "connection" with
+    | None -> []
+    | Some v ->
+        String.split_on_char ',' v
+        |> List.map (fun s -> String.lowercase_ascii (trim_ows s))
+  in
+  if List.mem "close" tokens then true
+  else if rq.rq_version = "HTTP/1.0" then not (List.mem "keep-alive" tokens)
+  else false
+
+(* Unconsumed bytes already sitting in the reader's buffer — a pipelined
+   next request that must be served before waiting on the byte source. *)
+let buffered (rd : reader) : bool = rd.pos < rd.len
 
 (* ---------- responses ---------- *)
 
@@ -298,7 +323,7 @@ let json_response ?(headers = []) status (j : Fleet.Json.t) =
 let error_response ?headers status msg =
   json_response ?headers status (Fleet.Json.Obj [ ("error", Fleet.Json.Str msg) ])
 
-let response_string (r : response) : string =
+let response_string ?(keep_alive = false) (r : response) : string =
   let buf = Buffer.create (256 + String.length r.rs_body) in
   Buffer.add_string buf
     (Printf.sprintf "HTTP/1.1 %d %s\r\n" r.rs_status (status_text r.rs_status));
@@ -307,12 +332,57 @@ let response_string (r : response) : string =
     r.rs_headers;
   Buffer.add_string buf
     (Printf.sprintf "content-length: %d\r\n" (String.length r.rs_body));
-  Buffer.add_string buf "connection: close\r\n\r\n";
+  Buffer.add_string buf
+    (if keep_alive then "connection: keep-alive\r\n\r\n"
+     else "connection: close\r\n\r\n");
   Buffer.add_string buf r.rs_body;
   Buffer.contents buf
 
-let write_response (write : string -> unit) (r : response) =
-  write (response_string r)
+let write_response ?keep_alive (write : string -> unit) (r : response) =
+  write (response_string ?keep_alive r)
+
+(* ---------- the connection session ---------- *)
+
+(* Serve one connection: a loop of read-request / dispatch / write-
+   response over a single buffered reader, so pipelined requests already
+   in the buffer are served back to back. The loop ends when
+
+   - the handler's request said Connection: close (or was HTTP/1.0
+     without keep-alive) — the response says "connection: close";
+   - [max_requests] responses have been written — the last one also says
+     "connection: close";
+   - the peer goes quiet: with nothing buffered, [idle_wait] decides
+     whether bytes are worth waiting for (the server points it at
+     select-with-timeout; [false] tears the connection down silently);
+   - the peer closes before a request line ([Closed]); or
+   - the stream breaks mid-request ([Error]): after a 413 or a malformed
+     frame the body's framing is unknowable, so the error response is
+     written with "connection: close" and the session ends. [on_error]
+     sees the status for accounting.
+
+   Pure function of the reader + callbacks — the tests drive it with
+   string readers and a Buffer writer, no sockets involved. *)
+let session ?(max_requests = max_int) ?(max_body = default_max_body)
+    ?(idle_wait = fun () -> true) ?(on_error = fun (_ : int) -> ())
+    (rd : reader) ~(write : string -> unit)
+    ~(handler : request -> response) : unit =
+  let rec go served =
+    if served >= max_requests then ()
+    else if (not (buffered rd)) && rd.eof then ()
+    else if (not (buffered rd)) && not (idle_wait ()) then ()
+    else
+      match read_request ~max_body rd with
+      | rq ->
+          let resp = handler rq in
+          let keep = (not (want_close rq)) && served + 1 < max_requests in
+          write (response_string ~keep_alive:keep resp);
+          if keep then go (served + 1)
+      | exception Closed -> ()
+      | exception Error (status, msg) ->
+          on_error status;
+          write (response_string ~keep_alive:false (error_response status msg))
+  in
+  go 0
 
 (* ---------- response parsing (for the client) ---------- *)
 

@@ -1,0 +1,68 @@
+(* Per-client token buckets feeding the 503/Retry-After backpressure.
+
+   One bucket per client key (the server keys on peer IP). A bucket
+   holds at most [burst] tokens and refills at [rate] tokens/second;
+   admitting a request costs one token. When the bucket is dry the
+   caller answers 503 with a Retry-After derived from the time until
+   the next whole token.
+
+   The table is bounded: once it holds [max_clients] buckets, a sweep
+   drops every bucket that has been idle long enough to have refilled
+   completely — an address a full bucket would admit carries no state
+   worth keeping. *)
+
+type bucket = { mutable tokens : float; mutable last : float }
+
+type t = {
+  rate : float;  (* tokens per second *)
+  burst : float;  (* bucket capacity *)
+  mu : Mutex.t;
+  tbl : (string, bucket) Hashtbl.t;
+}
+
+let max_clients = 4096
+
+type verdict = Admit | Limit of float  (* seconds until the next token *)
+
+let create ~rate ~burst : t =
+  {
+    rate = (if rate <= 0.0 then 1.0 else rate);
+    burst = float_of_int (max 1 burst);
+    mu = Mutex.create ();
+    tbl = Hashtbl.create 97;
+  }
+
+let sweep_locked (t : t) (now : float) =
+  if Hashtbl.length t.tbl >= max_clients then begin
+    let full_after = t.burst /. t.rate in
+    let stale =
+      Hashtbl.fold
+        (fun key b acc -> if now -. b.last >= full_after then key :: acc else acc)
+        t.tbl []
+    in
+    List.iter (Hashtbl.remove t.tbl) stale
+  end
+
+let check ?(now = Unix.gettimeofday ()) (t : t) (key : string) : verdict =
+  Mutex.lock t.mu;
+  let b =
+    match Hashtbl.find_opt t.tbl key with
+    | Some b -> b
+    | None ->
+        sweep_locked t now;
+        let b = { tokens = t.burst; last = now } in
+        Hashtbl.replace t.tbl key b;
+        b
+  in
+  let elapsed = max 0.0 (now -. b.last) in
+  b.tokens <- Float.min t.burst (b.tokens +. (elapsed *. t.rate));
+  b.last <- now;
+  let verdict =
+    if b.tokens >= 1.0 then begin
+      b.tokens <- b.tokens -. 1.0;
+      Admit
+    end
+    else Limit ((1.0 -. b.tokens) /. t.rate)
+  in
+  Mutex.unlock t.mu;
+  verdict

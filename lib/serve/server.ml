@@ -1,7 +1,9 @@
 (* fpgrind.serve — the network analysis service.
 
    An accept loop (main thread, self-pipe wakeup) hands each connection
-   to a systhread; handlers parse the request and dispatch analysis work
+   to a systhread, which serves HTTP/1.1 keep-alive requests off it in a
+   loop ([Http.session]: pipelined reads, per-connection request cap and
+   idle timeout); handlers parse the request and dispatch analysis work
    onto a persistent Fleet.Pool of domains through a bounded queue.
    Backpressure is explicit: when the queue is full, POST /analyze and
    POST /fuzz answer 503 with a Retry-After hint instead of queueing
@@ -25,6 +27,15 @@ type config = {
   store_path : string option;  (* JSONL cache warm-start + shutdown flush *)
   findings_path : string option;  (* campaign findings JSONL feed *)
   quiet : bool;
+  keep_alive_requests : int;  (* requests served per connection before close *)
+  idle_timeout : float;  (* seconds a keep-alive connection may sit quiet *)
+  rate_limit : float option;  (* per-client POSTs/second; None = unlimited *)
+  rate_burst : int;  (* token-bucket capacity *)
+  shared_cache_path : string option;  (* cross-shard JSONL result cache *)
+  shard_status_path : string option;  (* shard parent's status file *)
+  listen_fd : Unix.file_descr option;
+      (* pre-bound listening socket (shard workers inherit the parent's);
+         None binds host:port *)
 }
 
 let default_config =
@@ -38,6 +49,13 @@ let default_config =
     store_path = None;
     findings_path = None;
     quiet = false;
+    keep_alive_requests = 100;
+    idle_timeout = 5.0;
+    rate_limit = None;
+    rate_burst = 16;
+    shared_cache_path = None;
+    shard_status_path = None;
+    listen_fd = None;
   }
 
 type t = {
@@ -66,6 +84,11 @@ type t = {
   m_compile_hits : Metrics.counter;  (* compile-cache hits *)
   m_regimes : Metrics.counter;  (* regimes inferred by regime jobs *)
   m_regime_points : Metrics.counter;  (* point evals spent by the search *)
+  m_active_conns : Metrics.gauge;  (* connections currently open *)
+  m_ratelimited : Metrics.counter;  (* token-bucket 503s *)
+  m_shard_restarts : Metrics.gauge;  (* respawns, via the parent's status file *)
+  shared : Cachefile.t option;  (* cross-shard result cache *)
+  limiter : Ratelimit.t option;
   mutable torn_seen : int;  (* last Store.corrupt_tail_total observed *)
   mutable compiled_seen : int;  (* last Compile.blocks_compiled_total *)
   mutable compile_hits_seen : int;  (* last Compile.cache_hits_total *)
@@ -240,6 +263,22 @@ let create (cfg : config) : t =
       ~help:"Point evaluations spent by regime threshold searches."
       "fpgrind_regime_search_points_total"
   in
+  let m_active_conns =
+    Metrics.gauge reg ~help:"Client connections currently open."
+      "fpgrind_active_connections"
+  in
+  let m_ratelimited =
+    Metrics.counter reg
+      ~help:"Requests refused with 503 by the per-client token bucket."
+      "fpgrind_ratelimited_total"
+  in
+  let m_shard_restarts =
+    Metrics.gauge reg
+      ~help:
+        "Shard workers respawned by the parent after a crash or kill \
+         (0 when not running under the shard layer)."
+      "fpgrind_shard_restarts_total"
+  in
   (* warm the cache from the store, tolerating a torn tail *)
   let cache = Hashtbl.create 97 in
   let persisted = ref [] in
@@ -255,15 +294,25 @@ let create (cfg : config) : t =
           | _ -> ())
         outcomes
   | _ -> ());
-  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
-  (try
-     Unix.bind listen_fd
-       (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port));
-     Unix.listen listen_fd 128
-   with e ->
-     (try Unix.close listen_fd with _ -> ());
-     raise e);
+  let listen_fd =
+    match cfg.listen_fd with
+    | Some fd -> fd
+    | None ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        (try
+           Unix.bind fd
+             (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port));
+           Unix.listen fd 128
+         with e ->
+           (try Unix.close fd with _ -> ());
+           raise e);
+        fd
+  in
+  (* Non-blocking accept: with several shard workers select()ing on one
+     inherited socket, a connection that wakes everyone is accepted by
+     exactly one — the losers see EAGAIN instead of blocking. *)
+  Unix.set_nonblock listen_fd;
   let bound_port =
     match Unix.getsockname listen_fd with
     | Unix.ADDR_INET (_, p) -> p
@@ -297,6 +346,14 @@ let create (cfg : config) : t =
       m_compile_hits;
       m_regimes;
       m_regime_points;
+      m_active_conns;
+      m_ratelimited;
+      m_shard_restarts;
+      shared = Option.map Cachefile.create cfg.shared_cache_path;
+      limiter =
+        Option.map
+          (fun rate -> Ratelimit.create ~rate ~burst:cfg.rate_burst)
+          cfg.rate_limit;
       torn_seen = 0;
       compiled_seen = 0;
       compile_hits_seen = 0;
@@ -319,6 +376,7 @@ let create (cfg : config) : t =
   Metrics.inc ~by:0.0 t.m_store_torn [];
   Metrics.inc ~by:0.0 t.m_blocks_compiled [];
   Metrics.inc ~by:0.0 t.m_compile_hits [];
+  Metrics.inc ~by:0.0 t.m_ratelimited [];
   t
 
 (* ---------- building analysis jobs from request bodies ---------- *)
@@ -555,7 +613,10 @@ let record t (o : Fleet.outcome) =
   | (Fleet.Done | Fleet.Cached) when o.Fleet.o_key <> "" ->
       Hashtbl.replace t.cache o.Fleet.o_key o
   | _ -> ());
-  Mutex.unlock t.cache_mu
+  Mutex.unlock t.cache_mu;
+  match t.shared with
+  | Some shared -> Cachefile.publish shared o
+  | None -> ()
 
 let cached t key =
   if key = "" then None
@@ -563,7 +624,18 @@ let cached t key =
     Mutex.lock t.cache_mu;
     let o = Hashtbl.find_opt t.cache key in
     Mutex.unlock t.cache_mu;
-    o
+    match (o, t.shared) with
+    | (Some _ as hit), _ -> hit
+    | None, None -> None
+    | None, Some shared -> (
+        (* a sibling shard may have computed it; tail the shared file *)
+        match Cachefile.lookup shared key with
+        | Some o ->
+            Mutex.lock t.cache_mu;
+            Hashtbl.replace t.cache key o;
+            Mutex.unlock t.cache_mu;
+            Some o
+        | None -> None)
   end
 
 let status_of_outcome (o : Fleet.outcome) =
@@ -668,9 +740,34 @@ let update_campaign_metrics t =
       Metrics.set t.m_campaign_findings (float_of_int findings);
       Metrics.set t.m_campaign_feed_bytes (float_of_int (String.length body))
 
+(* The shard parent's view of the world, for this worker's /metrics.
+   Written atomically (temp + rename) by Shard.run; absent or torn files
+   read as 0 restarts. *)
+let shard_restarts t : int =
+  match t.cfg.shard_status_path with
+  | None -> 0
+  | Some path -> (
+      if not (Sys.file_exists path) then 0
+      else
+        match
+          let ic = open_in_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        with
+        | src -> (
+            match Fleet.Json.of_string (String.trim src) with
+            | j -> Fleet.Json.get_int "restarts" j
+            | exception _ -> 0)
+        | exception Sys_error _ -> 0)
+
 let handle_metrics t _rq =
   Metrics.set t.m_queue_depth (float_of_int (Fleet.Pool.queue_depth t.pool));
   Metrics.set t.m_in_flight (float_of_int (Fleet.Pool.in_flight t.pool));
+  Mutex.lock t.conn_mu;
+  Metrics.set t.m_active_conns (float_of_int t.conns);
+  Mutex.unlock t.conn_mu;
+  Metrics.set t.m_shard_restarts (float_of_int (shard_restarts t));
   let torn = Fleet.Store.corrupt_tail_total () in
   Metrics.set t.m_store_corrupt (float_of_int torn);
   (* counters are inc-only, so surface the monotone total as a delta
@@ -724,29 +821,61 @@ let write_all fd (s : string) =
      done
    with Unix.Unix_error _ -> () (* peer went away; nothing to salvage *))
 
-let handle_connection t fd =
+(* 503 from the token bucket: same shape as the queue-full answer so
+   clients retry the same way, Retry-After rounded up to whole seconds. *)
+let ratelimited_response t ~wait =
+  Metrics.inc t.m_ratelimited [];
+  let after = max 1 (int_of_float (Float.ceil wait)) in
+  Http.error_response 503
+    ~headers:[ ("retry-after", string_of_int after) ]
+    "rate limit exceeded; retry shortly"
+
+(* Analysis traffic (POSTs) pays the per-client token bucket; reads —
+   health probes, metric scrapes, feed tails — stay free so operators
+   can always see a server that is busy saying 503. *)
+let admit t ~peer (rq : Http.request) : Http.response option =
+  match t.limiter with
+  | None -> None
+  | Some _ when rq.Http.rq_meth <> "POST" -> None
+  | Some limiter -> (
+      match Ratelimit.check limiter peer with
+      | Ratelimit.Admit -> None
+      | Ratelimit.Limit wait -> Some (ratelimited_response t ~wait))
+
+let handle_connection t fd ~peer =
   let rd = Http.reader_of_fd fd in
   let send = write_all fd in
-  (match Http.read_request ~max_body:t.cfg.max_body rd with
-  | rq ->
-      let started = Unix.gettimeofday () in
-      let resp =
-        try Router.dispatch (routes t) rq with
-        | Http.Error (status, msg) -> Http.error_response status msg
-        | e -> Http.error_response 500 (Printexc.to_string e)
-      in
-      let label = endpoint_label rq.Http.rq_path in
-      Metrics.inc t.m_requests [ label; string_of_int resp.Http.rs_status ];
-      Metrics.observe t.m_request_seconds ~labels:[ label ]
-        (Unix.gettimeofday () -. started);
-      if not t.cfg.quiet then
-        Printf.eprintf "fpgrind serve: %s %s -> %d\n%!" rq.Http.rq_meth
-          rq.Http.rq_path resp.Http.rs_status;
-      Http.write_response send resp
-  | exception Http.Closed -> ()
-  | exception Http.Error (status, msg) ->
-      Metrics.inc t.m_requests [ "other"; string_of_int status ];
-      Http.write_response send (Http.error_response status msg));
+  let idle_wait () =
+    match Unix.select [ fd ] [] [] t.cfg.idle_timeout with
+    | [], _, _ -> false
+    | _ -> true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> true
+    | exception Unix.Unix_error _ -> false
+  in
+  let handler rq =
+    let started = Unix.gettimeofday () in
+    let resp =
+      match admit t ~peer rq with
+      | Some limited -> limited
+      | None -> (
+          try Router.dispatch (routes t) rq with
+          | Http.Error (status, msg) -> Http.error_response status msg
+          | e -> Http.error_response 500 (Printexc.to_string e))
+    in
+    let label = endpoint_label rq.Http.rq_path in
+    Metrics.inc t.m_requests [ label; string_of_int resp.Http.rs_status ];
+    Metrics.observe t.m_request_seconds ~labels:[ label ]
+      (Unix.gettimeofday () -. started);
+    if not t.cfg.quiet then
+      Printf.eprintf "fpgrind serve: %s %s -> %d\n%!" rq.Http.rq_meth
+        rq.Http.rq_path resp.Http.rs_status;
+    resp
+  in
+  let on_error status =
+    Metrics.inc t.m_requests [ "other"; string_of_int status ]
+  in
+  Http.session ~max_requests:t.cfg.keep_alive_requests
+    ~max_body:t.cfg.max_body ~idle_wait ~on_error rd ~write:send ~handler;
   (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
   try Unix.close fd with Unix.Unix_error _ -> ()
 
@@ -789,7 +918,15 @@ let run t =
       | ready, _, _ ->
           if List.mem t.listen_fd ready then begin
             match Unix.accept t.listen_fd with
-            | fd, _ ->
+            | fd, addr ->
+                (* the listener is non-blocking (shared-socket accept
+                   races between shards); the connection must not be *)
+                (try Unix.clear_nonblock fd with Unix.Unix_error _ -> ());
+                let peer =
+                  match addr with
+                  | Unix.ADDR_INET (a, _) -> Unix.string_of_inet_addr a
+                  | Unix.ADDR_UNIX s -> s
+                in
                 conn_begin t;
                 ignore
                   (Thread.create
@@ -797,7 +934,7 @@ let run t =
                        Fun.protect
                          ~finally:(fun () -> conn_end t)
                          (fun () ->
-                           try handle_connection t fd with _ -> ()))
+                           try handle_connection t fd ~peer with _ -> ()))
                      fd)
             | exception Unix.Unix_error _ -> ()
           end);

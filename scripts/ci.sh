@@ -188,7 +188,7 @@ wait "$reg_srv_pid"
 # GET /findings and exports the campaign gauges.
 camp_dir="$(mktemp -d /tmp/fpgrind-ci-camp.XXXXXX)"
 trap 'rm -f "$out" "$san_bad" "$san_ok" "$srv_log" "$srv_store" "$ing_out" "$ing_txt"; rm -rf "$camp_dir"' EXIT
-camp_flags=(--seed 42 --iters 170 --soundiness-every 2 --checkpoint-every 10 --quiet)
+camp_flags=(--seed 42 --iters 170 --soundiness-every 2 --regimes-every 3 --checkpoint-every 10 --quiet)
 
 "$bin" campaign "${camp_flags[@]}" \
   --state "$camp_dir/ref.state.json" --findings "$camp_dir/ref.jsonl"
@@ -228,5 +228,57 @@ grep -q '^fpgrind_campaign_findings_total [1-9]' "$camp_dir/metrics.txt"
 grep -q '^fpgrind_store_torn_records_total' "$camp_dir/metrics.txt"
 kill -TERM "$srv2_pid"
 wait "$srv2_pid"
+
+# Shard + loadgen smoke: a 2-shard pre-forked server on an ephemeral
+# port takes a short seeded open-loop burst with zero 5xx (503
+# backpressure is allowed — that's the latency promise, not a failure),
+# survives a SIGKILL of one worker (the parent respawns it and the next
+# request succeeds), then drains on SIGTERM leaving a validate-clean
+# store (the advisory-locked shared cache file).
+shard_dir="$(mktemp -d /tmp/fpgrind-ci-shard.XXXXXX)"
+trap 'rm -f "$out" "$san_bad" "$san_ok" "$srv_log" "$srv_store" "$ing_out" "$ing_txt"; rm -rf "$camp_dir" "$shard_dir"' EXIT
+shard_log="$shard_dir/serve.log"
+shard_store="$shard_dir/store.jsonl"
+
+"$bin" serve --shards 2 --port 0 --jobs 1 --queue 16 \
+  --store "$shard_store" --quiet >"$shard_log" 2>&1 &
+shard_pid=$!
+for _ in $(seq 50); do
+  shard_port="$(sed -n 's/.*127\.0\.0\.1:\([0-9]*\).*/\1/p' "$shard_log" | head -1)"
+  [ -n "$shard_port" ] && break
+  sleep 0.1
+done
+[ -n "$shard_port" ] || { echo "ci: shard server never came up"; cat "$shard_log"; exit 1; }
+
+# seeded open-loop burst: loadgen itself exits nonzero on any 5xx or
+# transport error; the jq assert pins the contract in the report too
+"$bin" loadgen --url "http://127.0.0.1:$shard_port" \
+  --rate 25 --duration 2 --seed 7 --conns 3 --iterations 4 \
+  --json "$shard_dir/burst.json"
+jq -e '(.errors_5xx == 0) and (.conn_errors == 0)
+       and (.ok + .throttled_503 == .requests)' "$shard_dir/burst.json" >/dev/null \
+  || { echo "ci: loadgen burst saw server failures"; cat "$shard_dir/burst.json"; exit 1; }
+
+# kill one worker outright: at most that shard's in-flight work is
+# lost, the parent respawns it, and the service keeps answering
+victim="$(pgrep -P "$shard_pid" | head -1)"
+[ -n "$victim" ] || { echo "ci: no shard worker to kill"; exit 1; }
+kill -KILL "$victim"
+sleep 0.5
+"$bin" client --port "$shard_port" analyze bench:intro-example \
+  --iterations 4 --precision 128 >/dev/null \
+  || { echo "ci: request after shard kill failed"; exit 1; }
+grep -q '"restarts": [1-9]' "$shard_store.status.json" \
+  || { echo "ci: shard kill not recorded in the status file"; exit 1; }
+"$bin" client --port "$shard_port" metrics \
+  | grep -q '^fpgrind_shard_restarts_total [1-9]' \
+  || { echo "ci: shard restart not visible on /metrics"; exit 1; }
+
+# rolling drain: SIGTERM the parent, wait, assert the drain line and a
+# validate-clean store
+kill -TERM "$shard_pid"
+wait "$shard_pid"
+grep -q 'drained, store flushed' "$shard_log"
+"$bin" validate "$shard_store"
 
 echo "ci: ok"

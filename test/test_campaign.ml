@@ -259,6 +259,90 @@ let resume_byte_identity () =
   checkb "final states identical" true (s1 = s2);
   List.iter Sys.remove [ st1; f1; st2; f2 ]
 
+(* ---------- the regime slice ---------- *)
+
+(* Every third index runs regime inference over the straight-line suite;
+   benches 0..5 at seed 42 include three whose validation-gated fix
+   ships, so the feed carries "regime" findings with a soundness
+   verdict. The slice must survive interrupt+resume byte-identically
+   just like the fuzz stream. *)
+let regime_config ~state_path ~findings_path =
+  {
+    (Campaign.Runner.default_config ~state_path ~findings_path) with
+    Campaign.Runner.cfg_seed = 42;
+    cfg_iters = 18;
+    cfg_regimes_every = 3;
+    cfg_checkpoint_every = 4;
+  }
+
+let regime_slice_resume () =
+  (* uninterrupted reference *)
+  let st1 = tmp_path ".json" and f1 = tmp_path ".jsonl" in
+  (match Campaign.Runner.run (regime_config ~state_path:st1 ~findings_path:f1) with
+  | Campaign.Runner.Completed st ->
+      checki "six regime checks" 6 st.Campaign.State.s_regime_checks;
+      checkb "slice produced findings" true
+        (st.Campaign.State.s_regime_findings > 0)
+  | Campaign.Runner.Interrupted _ -> Alcotest.fail "reference run interrupted");
+  (* interrupted between two regime indices, then resumed *)
+  let st2 = tmp_path ".json" and f2 = tmp_path ".jsonl" in
+  let cfg2 = regime_config ~state_path:st2 ~findings_path:f2 in
+  let calls = ref 0 in
+  let should_stop () =
+    incr calls;
+    !calls > 7
+  in
+  (match Campaign.Runner.run ~should_stop cfg2 with
+  | Campaign.Runner.Interrupted st ->
+      checki "stopped mid-stream" 7 st.Campaign.State.s_next
+  | Campaign.Runner.Completed _ -> Alcotest.fail "expected an interrupt");
+  (match Campaign.Runner.run cfg2 with
+  | Campaign.Runner.Completed st ->
+      checki "resumed to completion" 18 st.Campaign.State.s_next
+  | Campaign.Runner.Interrupted _ -> Alcotest.fail "resume interrupted");
+  let a = read_file f1 and b = read_file f2 in
+  checkb "feed is non-empty" true (String.length a > 0);
+  checks "merged regime feed byte-identical to uninterrupted run" a b;
+  (* every finding in the feed is a regime finding with a verdict *)
+  let fs = Campaign.Findings.load f1 in
+  checkb "regime findings only" true
+    (List.for_all (fun f -> f.Campaign.Findings.f_kind = "regime") fs);
+  checkb "every finding carries the soundness verdict" true
+    (List.for_all
+       (fun f -> f.Campaign.Findings.f_regime_candidate <> None)
+       fs);
+  (* final states agree *)
+  let s1 =
+    match Campaign.State.load ~path:st1 with Ok s -> s | Error e -> Alcotest.fail e
+  in
+  let s2 =
+    match Campaign.State.load ~path:st2 with Ok s -> s | Error e -> Alcotest.fail e
+  in
+  checkb "final states identical" true (s1 = s2);
+  List.iter Sys.remove [ st1; f1; st2; f2 ]
+
+(* when an index is both a soundiness and a regime index, soundiness
+   wins — the two slices never double-book a stream index *)
+let regime_precedence () =
+  let st = tmp_path ".json" and f = tmp_path ".jsonl" in
+  let cfg =
+    {
+      (Campaign.Runner.default_config ~state_path:st ~findings_path:f) with
+      Campaign.Runner.cfg_seed = 42;
+      cfg_iters = 12;
+      cfg_soundness_every = 2;
+      cfg_regimes_every = 2;
+      cfg_checkpoint_every = 50;
+    }
+  in
+  (match Campaign.Runner.run cfg with
+  | Campaign.Runner.Completed st ->
+      checki "soundiness takes every shared index" 6
+        st.Campaign.State.s_soundness_checks;
+      checki "regime slice got none" 0 st.Campaign.State.s_regime_checks
+  | Campaign.Runner.Interrupted _ -> Alcotest.fail "run interrupted");
+  List.iter (fun p -> if Sys.file_exists p then Sys.remove p) [ st; f ]
+
 (* ---------- the soundiness oracle ---------- *)
 
 (* resample contexts are disjoint from search contexts for any seed *)
@@ -343,6 +427,13 @@ let () =
         [
           Alcotest.test_case "byte-identical findings" `Quick
             resume_byte_identity;
+        ] );
+      ( "regimes",
+        [
+          Alcotest.test_case "slice resumes byte-identically" `Quick
+            regime_slice_resume;
+          Alcotest.test_case "soundiness wins shared indices" `Quick
+            regime_precedence;
         ] );
       ( "soundiness",
         [

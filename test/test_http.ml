@@ -182,6 +182,125 @@ let test_query_accessors_reject_garbage () =
   check_err 400 (fun () -> Router.q_float rq "f" ~default:0.0);
   check_err 400 (fun () -> Router.q_floats rq "fs" ~default:[])
 
+(* ---------- keep-alive sessions ----------
+
+   [Http.session] is a pure function of a reader plus callbacks, so every
+   connection-lifetime policy is testable without a socket: the "wire" is
+   a string, the responses land in a buffer, and idle_wait is a stateful
+   closure standing in for select(2). *)
+
+let run_session ?max_requests ?max_body ?idle_wait ?on_error wire =
+  let out = Buffer.create 256 in
+  let served = ref [] in
+  Http.session ?max_requests ?max_body ?idle_wait ?on_error
+    (Http.reader_of_string wire)
+    ~write:(Buffer.add_string out)
+    ~handler:(fun rq ->
+      served := rq.Http.rq_path :: !served;
+      Http.text_response 200 ("saw " ^ rq.Http.rq_path));
+  (List.rev !served, Buffer.contents out)
+
+(* split the response byte stream back into (status, connection) pairs *)
+let parse_responses (s : string) : (int * string option) list =
+  let rd = Http.reader_of_string s in
+  let rec go acc =
+    match Http.read_response rd with
+    | status, headers, _ ->
+        go ((status, List.assoc_opt "connection" headers) :: acc)
+    | exception Http.Closed -> List.rev acc
+  in
+  go []
+
+let get path = Printf.sprintf "GET %s HTTP/1.1\r\nhost: x\r\n\r\n" path
+
+let test_pipelined_second_request () =
+  (* the second request is already buffered when the first response goes
+     out, so the session must serve it without consulting idle_wait in
+     between; idle_wait fires once before the first read (empty buffer)
+     and once at the final EOF probe *)
+  let idle_calls = ref 0 in
+  let served, out =
+    run_session
+      ~idle_wait:(fun () -> incr idle_calls; !idle_calls <= 1)
+      (get "/a" ^ get "/b")
+  in
+  Alcotest.(check (list string)) "both served in order" [ "/a"; "/b" ] served;
+  (match parse_responses out with
+  | [ (200, Some "keep-alive"); (200, _) ] -> ()
+  | rs ->
+      Alcotest.failf "expected two responses, first keep-alive, got %d"
+        (List.length rs));
+  Alcotest.(check int) "no idle consult between the pair" 2 !idle_calls
+
+let test_connection_close_honored () =
+  let served, out =
+    run_session
+      ("GET /a HTTP/1.1\r\nconnection: close\r\n\r\n" ^ get "/b")
+  in
+  Alcotest.(check (list string)) "second request never read" [ "/a" ] served;
+  match parse_responses out with
+  | [ (200, Some "close") ] -> ()
+  | _ -> Alcotest.fail "expected a single connection: close response"
+
+let test_http10_defaults_to_close () =
+  let served, out =
+    run_session ("GET /a HTTP/1.0\r\n\r\n" ^ get "/b")
+  in
+  Alcotest.(check (list string)) "HTTP/1.0 closes after one" [ "/a" ] served;
+  (match parse_responses out with
+  | [ (200, Some "close") ] -> ()
+  | _ -> Alcotest.fail "expected connection: close");
+  (* ...unless the client opts in *)
+  let served, _ =
+    run_session
+      ("GET /a HTTP/1.0\r\nconnection: keep-alive\r\n\r\n" ^ get "/b")
+  in
+  Alcotest.(check (list string)) "keep-alive opt-in" [ "/a"; "/b" ] served
+
+let test_idle_timeout_teardown () =
+  (* one request, then silence: the post-response idle consult says
+     "timed out" and the session ends without reading anything more *)
+  let idle_calls = ref 0 in
+  let served, out =
+    run_session
+      ~idle_wait:(fun () -> incr idle_calls; !idle_calls <= 1)
+      (get "/a")
+  in
+  Alcotest.(check (list string)) "one request served" [ "/a" ] served;
+  Alcotest.(check int) "idle_wait consulted twice" 2 !idle_calls;
+  match parse_responses out with
+  | [ (200, Some "keep-alive") ] -> ()
+  | _ -> Alcotest.fail "expected one keep-alive response"
+
+let test_413_closes_mid_stream () =
+  (* an oversized body poisons the framing: the session cannot know where
+     the declared body ends, so it must answer 413 with connection: close
+     and never look at the pipelined follow-up *)
+  let big =
+    "POST /analyze HTTP/1.1\r\ncontent-length: 64\r\n\r\n"
+    ^ String.make 64 'x'
+  in
+  let errors = ref [] in
+  let served, out =
+    run_session ~max_body:16
+      ~on_error:(fun s -> errors := s :: !errors)
+      (big ^ get "/b")
+  in
+  Alcotest.(check (list string)) "nothing served" [] served;
+  Alcotest.(check (list int)) "413 reported" [ 413 ] !errors;
+  match parse_responses out with
+  | [ (413, Some "close") ] -> ()
+  | _ -> Alcotest.fail "expected a single 413 close response"
+
+let test_request_cap_closes_last () =
+  let served, out =
+    run_session ~max_requests:2 (get "/a" ^ get "/b" ^ get "/c")
+  in
+  Alcotest.(check (list string)) "cap at two" [ "/a"; "/b" ] served;
+  match parse_responses out with
+  | [ (200, Some "keep-alive"); (200, Some "close") ] -> ()
+  | _ -> Alcotest.fail "expected keep-alive then close at the cap"
+
 let () =
   Alcotest.run "http"
     [
@@ -226,5 +345,20 @@ let () =
           Alcotest.test_case "dispatch, 404, 405" `Quick test_router_dispatch;
           Alcotest.test_case "typed query rejects garbage" `Quick
             test_query_accessors_reject_garbage;
+        ] );
+      ( "keepalive",
+        [
+          Alcotest.test_case "pipelined second request" `Quick
+            test_pipelined_second_request;
+          Alcotest.test_case "connection: close honored" `Quick
+            test_connection_close_honored;
+          Alcotest.test_case "HTTP/1.0 defaults to close" `Quick
+            test_http10_defaults_to_close;
+          Alcotest.test_case "idle timeout tears down" `Quick
+            test_idle_timeout_teardown;
+          Alcotest.test_case "413 mid-stream closes" `Quick
+            test_413_closes_mid_stream;
+          Alcotest.test_case "request cap closes last response" `Quick
+            test_request_cap_closes_last;
         ] );
     ]

@@ -330,7 +330,179 @@ let test_server_end_to_end () =
       (* 4 jobs through the pool, plus the in-process exec_one above —
          the engine observer is global, so it sees that one too *)
       Alcotest.(check bool) "fleet jobs observed" true
-        (has "fpgrind_fleet_jobs_total{status=\"ok\"} 5"))
+        (has "fpgrind_fleet_jobs_total{status=\"ok\"} 5");
+      (* the serve-v2 gauges: the metrics scrape itself is the one open
+         connection; no limiter and no shards are configured, but both
+         series must still be materialized at zero *)
+      Alcotest.(check bool) "active connections gauge" true
+        (has "fpgrind_active_connections 1");
+      Alcotest.(check bool) "rate-limit counter materialized" true
+        (has "fpgrind_ratelimited_total 0");
+      Alcotest.(check bool) "shard restarts gauge" true
+        (has "fpgrind_shard_restarts_total 0");
+      (* the request-latency histogram renders cumulative buckets:
+         every count is <= the next, ending at +Inf *)
+      let bucket_counts =
+        let re =
+          Str.regexp
+            "fpgrind_http_request_seconds_bucket{endpoint=\"/analyze\",le=\"\\([^\"]+\\)\"} \\([0-9]+\\)"
+        in
+        let rec go pos acc =
+          match Str.search_forward re m pos with
+          | pos ->
+              let le = Str.matched_group 1 m in
+              let n = int_of_string (Str.matched_group 2 m) in
+              go (pos + 1) ((le, n) :: acc)
+          | exception Not_found -> List.rev acc
+        in
+        go 0 []
+      in
+      Alcotest.(check bool)
+        "latency histogram has buckets" true
+        (List.length bucket_counts > 1);
+      Alcotest.(check string)
+        "last bucket is +Inf" "+Inf"
+        (fst (List.nth bucket_counts (List.length bucket_counts - 1)));
+      let counts = List.map snd bucket_counts in
+      Alcotest.(check bool)
+        "bucket counts are cumulative" true
+        (List.for_all2 ( <= )
+           (List.filteri (fun i _ -> i < List.length counts - 1) counts)
+           (List.tl counts));
+      Alcotest.(check bool)
+        "+Inf bucket saw every /analyze request" true
+        (List.nth counts (List.length counts - 1) >= 4))
+
+(* ---------- keep-alive end to end ---------- *)
+
+let test_server_keepalive () =
+  let srv, th, port =
+    start_server { Server.default_config with port = 0; queue = 8; quiet = true }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      Thread.join th)
+    (fun () ->
+      let conn = Client.connect ~port () in
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          let req ?body meth path =
+            Client.request_conn conn ~meth ~path ?body ()
+          in
+          (* several requests down one connection *)
+          let h = req "GET" "/healthz" in
+          Alcotest.(check int) "healthz over keep-alive" 200 h.Client.c_status;
+          Alcotest.(check (option string))
+            "server keeps the connection open" (Some "keep-alive")
+            (List.assoc_opt "connection" h.Client.c_headers);
+          (* /analyze under keep-alive is byte-identical to the engine's
+             own record, modulo wall_s — same contract as one-shot *)
+          let q = "/analyze?iterations=4&seed=1&precision=128" in
+          let r = req "POST" q ~body:"bench:intro-example" in
+          Alcotest.(check int) "analyze status" 200 r.Client.c_status;
+          let job =
+            List.hd
+              (Fpcore.Suite.enumerate ~iterations:4 ~seed:1
+                 ~names:[ "intro-example" ] ())
+          in
+          let cfg = { Core.Config.default with Core.Config.precision = 128 } in
+          let local = Fleet.exec_one (Fleet.bench_spec ~cfg job) in
+          Alcotest.(check string)
+            "keep-alive response equals the engine's record (modulo wall_s)"
+            (Fleet.Json.to_string
+               (strip_volatile (Fleet.Store.outcome_to_json local)))
+            (Fleet.Json.to_string
+               (strip_volatile
+                  (Fleet.Json.of_string (String.trim r.Client.c_body))));
+          (* the repeat on the same connection is a cache hit *)
+          let r2 = req "POST" q ~body:"bench:intro-example" in
+          Alcotest.(check string)
+            "second request on the same connection is cached" "cached"
+            (Fleet.Json.get_str "status"
+               (Fleet.Json.of_string (String.trim r2.Client.c_body)));
+          (* the scrape sees exactly one open connection: ours *)
+          let m = (req "GET" "/metrics").Client.c_body in
+          Alcotest.(check bool)
+            "one active connection" true
+            (try
+               ignore
+                 (Str.search_forward
+                    (Str.regexp_string "fpgrind_active_connections 1")
+                    m 0);
+               true
+             with Not_found -> false)))
+
+(* ---------- per-client rate limiting ---------- *)
+
+let test_server_ratelimit () =
+  (* burst of 2 tokens refilling at 1/s: a salvo of six quick POSTs gets
+     roughly two through and the rest 503 with Retry-After; GETs and the
+     metrics scrape never pay tokens *)
+  let srv, th, port =
+    start_server
+      {
+        Server.default_config with
+        port = 0;
+        queue = 8;
+        quiet = true;
+        rate_limit = Some 1.0;
+        rate_burst = 2;
+      }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      Thread.join th)
+    (fun () ->
+      let conn = Client.connect ~port () in
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          let statuses =
+            List.init 6 (fun _ ->
+                Client.request_conn conn ~meth:"POST"
+                  ~path:"/analyze?iterations=2&precision=64"
+                  ~body:"bench:intro-example" ())
+          in
+          let ok =
+            List.length
+              (List.filter (fun r -> r.Client.c_status = 200) statuses)
+          in
+          let limited =
+            List.filter (fun r -> r.Client.c_status = 503) statuses
+          in
+          Alcotest.(check bool) "some admitted" true (ok >= 1);
+          Alcotest.(check bool) "some limited" true (List.length limited >= 1);
+          Alcotest.(check int)
+            "everything answered" 6
+            (ok + List.length limited);
+          List.iter
+            (fun r ->
+              match List.assoc_opt "retry-after" r.Client.c_headers with
+              | Some s when int_of_string s >= 1 -> ()
+              | _ -> Alcotest.fail "limited response lacks retry-after")
+            limited;
+          (* reads are free *)
+          List.iter
+            (fun _ ->
+              Alcotest.(check int)
+                "GET is never limited" 200
+                (Client.request_conn conn ~meth:"GET" ~path:"/healthz" ())
+                  .Client.c_status)
+            [ (); (); (); () ];
+          let m =
+            (Client.request_conn conn ~meth:"GET" ~path:"/metrics" ())
+              .Client.c_body
+          in
+          let count =
+            let re = Str.regexp "fpgrind_ratelimited_total \\([0-9]+\\)" in
+            ignore (Str.search_forward re m 0);
+            int_of_string (Str.matched_group 1 m)
+          in
+          Alcotest.(check int)
+            "every 503 counted" (List.length limited) count))
 
 let test_server_backpressure () =
   (* one worker, queue depth 2, eight concurrent slow requests: at most
@@ -531,6 +703,10 @@ let () =
       ( "server",
         [
           Alcotest.test_case "end to end" `Quick test_server_end_to_end;
+          Alcotest.test_case "keep-alive end to end" `Quick
+            test_server_keepalive;
+          Alcotest.test_case "per-client rate limit" `Quick
+            test_server_ratelimit;
           Alcotest.test_case "backpressure under load" `Quick
             test_server_backpressure;
           Alcotest.test_case "shutdown drains" `Quick test_server_shutdown_drains;
